@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Bnb Cgraph Clustering Compactphy Distmat Float Fun Int List Printf Table Ultra Workloads

@@ -1,0 +1,1 @@
+bench/exp_grid.ml: Clustersim Float Hashtbl List Printf Table Workloads

@@ -1,0 +1,1 @@
+bench/exp_hpc.ml: Bnb Clustersim Float Hashtbl List Table Workloads

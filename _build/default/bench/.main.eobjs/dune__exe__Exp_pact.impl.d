@@ -1,0 +1,1 @@
+bench/exp_pact.ml: Bnb Compactphy Hashtbl Int List Printf Table Workloads

@@ -1,0 +1,1 @@
+bench/exp_scpa.ml: List Printf Random Redistrib Table

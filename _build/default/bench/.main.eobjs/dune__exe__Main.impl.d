@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_grid Exp_hpc Exp_pact Exp_scpa List Micro Printf Sys Table Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Align Analyze Bechamel Benchmark Bnb Cgraph Clustering Distmat Hashtbl Instance Lazy List Measure Random Redistrib Seqsim Staged String Table Test Time Toolkit Ultra Workloads

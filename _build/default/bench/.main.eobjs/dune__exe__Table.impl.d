@@ -1,0 +1,1 @@
+bench/table.ml: Array Filename Float Fun Int List Printf String

@@ -1,0 +1,1 @@
+bench/workloads.ml: Bnb Distmat Random Seqsim Unix

@@ -1,0 +1,154 @@
+(* Experiments of the core paper (PaCT 2005), Figures 8-13: computing
+   time and total tree cost, with vs without compact sets, on random
+   matrices and on surrogate Human Mitochondrial DNA. *)
+
+module Pipeline = Compactphy.Pipeline
+
+type row = {
+  label : string;
+  t_with : float;
+  t_without : float;
+  c_with : float;
+  c_without : float;
+  largest : int;
+  capped : bool;
+}
+
+let run_one ?(cap = 0) m label =
+  let options =
+    if cap > 0 then Workloads.capped_options cap
+    else Bnb.Solver.default_options
+  in
+  let w = Pipeline.with_compact_sets ~options m in
+  let wo = Pipeline.exact ~options m in
+  {
+    label;
+    t_with = w.Pipeline.elapsed_s;
+    t_without = wo.Pipeline.elapsed_s;
+    c_with = w.Pipeline.cost;
+    c_without = wo.Pipeline.cost;
+    largest = w.Pipeline.largest_block;
+    capped = not wo.Pipeline.optimal;
+  }
+
+let saved r =
+  if r.t_without <= 0. then 0.
+  else (r.t_without -. r.t_with) /. r.t_without *. 100.
+
+let cost_diff r =
+  if r.c_without <= 0. then 0.
+  else (r.c_with -. r.c_without) /. r.c_without *. 100.
+
+let time_row r =
+  [
+    r.label;
+    Table.seconds r.t_with;
+    Table.seconds r.t_without ^ (if r.capped then " (cap)" else "");
+    Table.pct (saved r);
+    Table.d r.largest;
+  ]
+
+let cost_row r =
+  [
+    r.label;
+    Table.f2 r.c_with;
+    Table.f2 r.c_without ^ (if r.capped then " (cap)" else "");
+    Table.pct (cost_diff r);
+  ]
+
+let time_headers = [ "data"; "with CS"; "without CS"; "time saved"; "largest block" ]
+let cost_headers = [ "data"; "cost with CS"; "cost without CS"; "cost diff" ]
+
+let random_rows ~quick () =
+  let sizes = if quick then [ 10; 12; 14 ] else [ 10; 12; 14; 16; 18 ] in
+  let datasets = if quick then 2 else 3 in
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun (family, gen) ->
+          let rows =
+            List.init datasets (fun seed ->
+                run_one (gen ~seed n) (Printf.sprintf "%s n=%d" family n))
+          in
+          (* Average the datasets into one row per (family, n). *)
+          [
+            {
+              label = Printf.sprintf "%s n=%d (avg of %d)" family n datasets;
+              t_with = Table.mean (List.map (fun r -> r.t_with) rows);
+              t_without = Table.mean (List.map (fun r -> r.t_without) rows);
+              c_with = Table.mean (List.map (fun r -> r.c_with) rows);
+              c_without = Table.mean (List.map (fun r -> r.c_without) rows);
+              largest =
+                List.fold_left (fun a r -> Int.max a r.largest) 0 rows;
+              capped = List.exists (fun r -> r.capped) rows;
+            };
+          ])
+        [
+          ("structured", Workloads.random_structured);
+          ("uniform", Workloads.random_uniform);
+        ])
+    sizes
+
+let fig8 ~quick () =
+  Table.print
+    ~title:
+      "PaCT Fig. 8 — computing time, random data (paper: compact sets save \
+       77.19-99.7 % of the time)"
+    ~headers:time_headers
+    (List.map time_row (random_rows ~quick ()))
+
+let fig9 ~quick () =
+  Table.print
+    ~title:
+      "PaCT Fig. 9 — total tree cost, random data (paper: difference below \
+       5 %)"
+    ~headers:cost_headers
+    (List.map cost_row (random_rows ~quick ()))
+
+(* Figures 10/11 (and 12/13) share their measurements; cache them so the
+   expensive capped searches run once per bench invocation. *)
+let mtdna_cache : (int * int * int * bool, row list) Hashtbl.t =
+  Hashtbl.create 4
+
+let mtdna_rows ~quick ~species ~datasets ~cap () =
+  let key = (species, datasets, cap, quick) in
+  match Hashtbl.find_opt mtdna_cache key with
+  | Some rows -> rows
+  | None ->
+      let datasets = if quick then Int.min 4 datasets else datasets in
+      let cap = if quick then cap / 4 else cap in
+      let rows =
+        List.init datasets (fun seed ->
+            run_one ~cap
+              (Workloads.mtdna ~seed:(seed + (100 * species)) species)
+              (Printf.sprintf "set %d" (seed + 1)))
+      in
+      Hashtbl.replace mtdna_cache key rows;
+      rows
+
+let fig10 ~quick () =
+  Table.print
+    ~title:
+      "PaCT Fig. 10 — total tree cost, 15 data sets of 26 mtDNA species \
+       (paper: max difference 1.5 %)"
+    ~headers:cost_headers
+    (List.map cost_row (mtdna_rows ~quick ~species:26 ~datasets:15 ~cap:400_000 ()))
+
+let fig11 ~quick () =
+  Table.print
+    ~title:"PaCT Fig. 11 — computing time, 26 mtDNA species"
+    ~headers:time_headers
+    (List.map time_row (mtdna_rows ~quick ~species:26 ~datasets:15 ~cap:400_000 ()))
+
+let fig12 ~quick () =
+  Table.print
+    ~title:
+      "PaCT Fig. 12 — total tree cost, 10 data sets of 30 mtDNA species"
+    ~headers:cost_headers
+    (List.map cost_row (mtdna_rows ~quick ~species:30 ~datasets:10 ~cap:400_000 ()))
+
+let fig13 ~quick () =
+  Table.print
+    ~title:"PaCT Fig. 13 — computing time, 30 mtDNA species"
+    ~headers:time_headers
+    (List.map time_row (mtdna_rows ~quick ~species:30 ~datasets:10 ~cap:400_000 ()))

@@ -1,0 +1,78 @@
+(* Experiments of the APPT 2005 SCPA paper, Figures 10-11: percentage of
+   instances where SCPA beats the divide-and-conquer baseline on total
+   step size, for uneven and even GEN_BLOCK distributions. *)
+
+module Gen_block = Redistrib.Gen_block
+module Message = Redistrib.Message
+module Schedule = Redistrib.Schedule
+
+let rng seed = Random.State.make [| 0xD15C0; seed |]
+
+let contest ~seed ~total ~procs ~lo_frac ~hi_frac =
+  let src =
+    Gen_block.random ~rng:(rng seed) ~total ~procs ~lo_frac ~hi_frac
+  in
+  let dst =
+    Gen_block.random ~rng:(rng (seed + 65537)) ~total ~procs ~lo_frac
+      ~hi_frac
+  in
+  let messages = Message.of_distributions src dst in
+  let s = Schedule.total_step_size (Redistrib.Scpa.schedule messages) in
+  let d = Schedule.total_step_size (Redistrib.Dca.schedule messages) in
+  if s < d then `Scpa else if s > d then `Dca else `Tie
+
+let percentages ~instances ~total ~procs ~lo_frac ~hi_frac =
+  let scpa = ref 0 and dca = ref 0 and tie = ref 0 in
+  for seed = 0 to instances - 1 do
+    match contest ~seed ~total ~procs ~lo_frac ~hi_frac with
+    | `Scpa -> incr scpa
+    | `Dca -> incr dca
+    | `Tie -> incr tie
+  done;
+  let pct x = 100. *. float_of_int x /. float_of_int instances in
+  (pct !scpa, pct !tie, pct !dca)
+
+let by_procs ~instances ~lo_frac ~hi_frac =
+  List.map
+    (fun procs ->
+      let s, t, d =
+        percentages ~instances ~total:1_000_000 ~procs ~lo_frac ~hi_frac
+      in
+      [ Table.d procs; Table.pct s; Table.pct t; Table.pct d ])
+    [ 4; 8; 12; 16; 20; 24 ]
+
+let by_total ~instances ~lo_frac ~hi_frac =
+  List.map
+    (fun total ->
+      let s, t, d =
+        percentages ~instances ~total ~procs:8 ~lo_frac ~hi_frac
+      in
+      [
+        Printf.sprintf "%dK" (total / 1000);
+        Table.pct s;
+        Table.pct t;
+        Table.pct d;
+      ])
+    [ 250_000; 500_000; 1_000_000; 2_000_000 ]
+
+let headers = [ "procs / size"; "SCPA better"; "tie"; "DCA better" ]
+
+let fig10 ~quick () =
+  let instances = if quick then 40 else 100 in
+  Table.print
+    ~title:
+      "SCPA Fig. 10 — uneven GEN_BLOCK (bounds 0.3-1.5 of average); paper: \
+       SCPA better in the large majority of cases"
+    ~headers
+    (by_procs ~instances ~lo_frac:0.3 ~hi_frac:1.5
+    @ by_total ~instances ~lo_frac:0.3 ~hi_frac:1.5)
+
+let fig11 ~quick () =
+  let instances = if quick then 40 else 100 in
+  Table.print
+    ~title:
+      "SCPA Fig. 11 — even GEN_BLOCK (bounds 0.7-1.3 of average); paper: \
+       SCPA at least 85 % supreme"
+    ~headers
+    (by_procs ~instances ~lo_frac:0.7 ~hi_frac:1.3
+    @ by_total ~instances ~lo_frac:0.7 ~hi_frac:1.3)

@@ -1,0 +1,103 @@
+(* Benchmark harness: regenerates every table and figure of the papers'
+   evaluation sections (see DESIGN.md for the experiment index).
+
+   Usage:
+     dune exec bench/main.exe                 run everything
+     dune exec bench/main.exe -- --quick      smaller sizes, faster run
+     dune exec bench/main.exe -- --exp ID     one experiment
+     dune exec bench/main.exe -- --csv DIR    also write one CSV per table
+     dune exec bench/main.exe -- --list       list experiment ids *)
+
+let experiments : (string * string * (quick:bool -> unit -> unit)) list =
+  [
+    ("pact-fig8", "PaCT Fig. 8: time, random data", Exp_pact.fig8);
+    ("pact-fig9", "PaCT Fig. 9: cost, random data", Exp_pact.fig9);
+    ("pact-fig10", "PaCT Fig. 10: cost, 26 mtDNA", Exp_pact.fig10);
+    ("pact-fig11", "PaCT Fig. 11: time, 26 mtDNA", Exp_pact.fig11);
+    ("pact-fig12", "PaCT Fig. 12: cost, 30 mtDNA", Exp_pact.fig12);
+    ("pact-fig13", "PaCT Fig. 13: time, 30 mtDNA", Exp_pact.fig13);
+    ("hpc-fig1", "HPCAsia Fig. 1: time, 16 slaves, mtDNA", Exp_hpc.fig1);
+    ("hpc-fig2", "HPCAsia Fig. 2: time, 1 node, mtDNA", Exp_hpc.fig2);
+    ("hpc-fig3", "HPCAsia Fig. 3: speedup, mtDNA", Exp_hpc.fig3);
+    ("hpc-fig4", "HPCAsia Fig. 4: 3-3 relationship, mtDNA", Exp_hpc.fig4);
+    ("hpc-fig5", "HPCAsia Fig. 5: time, 16 slaves, random", Exp_hpc.fig5);
+    ("hpc-fig6", "HPCAsia Fig. 6: speedup, random", Exp_hpc.fig6);
+    ("hpc-fig7", "HPCAsia Fig. 7: time, 1 node, random", Exp_hpc.fig7);
+    ("hpc-fig8", "HPCAsia Fig. 8: 3-3 relationship, random", Exp_hpc.fig8);
+    ("grid-table3", "NCS Table 3: median times", Exp_grid.table3);
+    ("grid-table4", "NCS Table 4: mean times", Exp_grid.table4);
+    ("grid-table5", "NCS Table 5: worst-case times", Exp_grid.table5);
+    ("grid-table6", "NCS Table 6: cluster vs grids", Exp_grid.table6);
+    ("scpa-fig10", "SCPA Fig. 10: uneven GEN_BLOCK", Exp_scpa.fig10);
+    ("scpa-fig11", "SCPA Fig. 11: even GEN_BLOCK", Exp_scpa.fig11);
+    ("ablation-linkage", "A-1: max/min/avg linkage", Exp_ablation.linkage);
+    ("ablation-lb", "A-2: LB0 vs LB1", Exp_ablation.lower_bound);
+    ( "ablation-compact",
+      "A-3: naive vs optimised compact sets",
+      Exp_ablation.compact_finder );
+    ("ablation-33", "A-4: 3-3 pruning modes", Exp_ablation.relation33);
+    ("ablation-ub", "A-5: initial upper bounds", Exp_ablation.initial_ub);
+    ("ablation-search", "A-6: DFS vs best-first", Exp_ablation.search_order);
+    ("ablation-all", "A-7: all optimal trees", Exp_ablation.all_optimal);
+    ("ablation-nni", "A-8: NNI local search", Exp_ablation.nni);
+    ( "ablation-relax",
+      "A-9: alpha-compact relaxation",
+      Exp_ablation.relaxation );
+  ]
+
+let usage () =
+  print_endline
+    "usage: main.exe [--quick] [--csv DIR] [--exp ID | --list | --micro-only]";
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  let csv_dir, args =
+    let rec extract acc = function
+      | "--csv" :: dir :: rest -> (Some dir, List.rev_append acc rest)
+      | x :: rest -> extract (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    extract [] args
+  in
+  (match csv_dir with
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  | None -> ());
+  let with_csv id f =
+    (match csv_dir with
+    | Some dir -> Table.csv_target := Some (dir, id)
+    | None -> ());
+    f ();
+    Table.csv_target := None
+  in
+  match args with
+  | [ "--list" ] ->
+      List.iter
+        (fun (id, doc, _) -> Printf.printf "%-18s %s\n" id doc)
+        experiments;
+      print_endline "micro               Bechamel kernel micro-benchmarks"
+  | [ "--exp"; id ] -> (
+      if id = "micro" then Micro.run ()
+      else
+        match
+          List.find_opt (fun (id', _, _) -> id = id') experiments
+        with
+        | Some (_, _, run) -> with_csv id (fun () -> run ~quick ())
+        | None ->
+            Printf.eprintf "unknown experiment %S; try --list\n" id;
+            exit 1)
+  | [ "--micro-only" ] -> Micro.run ()
+  | [] ->
+      let t0 = Unix.gettimeofday () in
+      List.iter
+        (fun (id, _, run) ->
+          Printf.printf "\n##### %s #####\n%!" id;
+          with_csv id (fun () -> run ~quick ()))
+        experiments;
+      Printf.printf "\n##### micro #####\n%!";
+      Micro.run ();
+      Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  | _ -> usage ()

@@ -1,0 +1,127 @@
+(* Bechamel micro-benchmarks of the hot kernels, one Test.make each. *)
+
+open Bechamel
+open Toolkit
+
+let mtdna_50 = lazy (Workloads.mtdna ~seed:1 50)
+let mtdna_100 = lazy (Workloads.mtdna ~seed:2 100)
+let random_20 = lazy (Workloads.random_structured ~seed:3 20)
+
+let messages_16 =
+  lazy
+    (let rng = Random.State.make [| 99 |] in
+     let src =
+       Redistrib.Gen_block.random ~rng ~total:1_000_000 ~procs:16
+         ~lo_frac:0.3 ~hi_frac:1.5
+     in
+     let dst =
+       Redistrib.Gen_block.random ~rng ~total:1_000_000 ~procs:16
+         ~lo_frac:0.3 ~hi_frac:1.5
+     in
+     Redistrib.Message.of_distributions src dst)
+
+let tree_20 =
+  lazy
+    (let m = Lazy.force random_20 in
+     Clustering.Linkage.upgmm m)
+
+let tests =
+  [
+    Test.make ~name:"mst/prim-100"
+      (Staged.stage (fun () -> Cgraph.Mst.prim (Lazy.force mtdna_100)));
+    Test.make ~name:"mst/kruskal-100"
+      (Staged.stage (fun () ->
+           Cgraph.Mst.kruskal
+             (Cgraph.Wgraph.complete_of_matrix (Lazy.force mtdna_100))));
+    Test.make ~name:"compact-sets/fast-100"
+      (Staged.stage (fun () -> Cgraph.Compact_sets.find (Lazy.force mtdna_100)));
+    Test.make ~name:"compact-sets/naive-50"
+      (Staged.stage (fun () ->
+           Cgraph.Compact_sets.find_naive (Lazy.force mtdna_50)));
+    Test.make ~name:"clustering/upgmm-100"
+      (Staged.stage (fun () -> Clustering.Linkage.upgmm (Lazy.force mtdna_100)));
+    Test.make ~name:"clustering/nj-50"
+      (Staged.stage (fun () ->
+           Clustering.Nj.rooted_topology (Lazy.force mtdna_50)));
+    Test.make ~name:"bnb/insertions-20"
+      (Staged.stage (fun () ->
+           Bnb.Bb_tree.insertions (Lazy.force random_20) (Lazy.force tree_20)
+             19));
+    Test.make ~name:"bnb/maxmin-permutation-100"
+      (Staged.stage (fun () ->
+           Distmat.Permutation.maxmin (Lazy.force mtdna_100)));
+    Test.make ~name:"ultra/minimal-realization-20"
+      (Staged.stage (fun () ->
+           Ultra.Utree.minimal_realization (Lazy.force random_20)
+             (Lazy.force tree_20)));
+    Test.make ~name:"relation33/count-20"
+      (Staged.stage (fun () ->
+           Bnb.Relation33.count_contradictions (Lazy.force random_20)
+             (Lazy.force tree_20)));
+    Test.make ~name:"redistrib/scpa-16procs"
+      (Staged.stage (fun () ->
+           Redistrib.Scpa.schedule (Lazy.force messages_16)));
+    Test.make ~name:"redistrib/dca-16procs"
+      (Staged.stage (fun () -> Redistrib.Dca.schedule (Lazy.force messages_16)));
+    Test.make ~name:"align/pairwise-300bp"
+      (Staged.stage
+         (let pair =
+            lazy
+              (let rng = Random.State.make [| 21 |] in
+               ( Seqsim.Dna.random ~rng 300,
+                 Seqsim.Dna.random ~rng 300 ))
+          in
+          fun () ->
+            let a, b = Lazy.force pair in
+            Align.Pairwise.align a b));
+    Test.make ~name:"align/msa-8x120bp"
+      (Staged.stage
+         (let seqs =
+            lazy
+              (let rng = Random.State.make [| 22 |] in
+               let t = Seqsim.Clock_tree.coalescent ~rng 8 in
+               Seqsim.Evolve.sequences_with_indels ~rng ~mu:0.2
+                 ~indel_rate:0.03 ~sites:120 t)
+          in
+          fun () -> Align.Msa.align (Lazy.force seqs)));
+    Test.make ~name:"seqsim/jc-matrix-20x600"
+      (Staged.stage
+         (let seqs =
+            lazy
+              (let rng = Random.State.make [| 5 |] in
+               let t = Seqsim.Clock_tree.coalescent ~rng 20 in
+               Seqsim.Evolve.sequences ~rng ~mu:0.15 ~sites:600 t)
+          in
+          fun () -> Seqsim.Distance.matrix (Lazy.force seqs)));
+  ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let grouped = Test.make_grouped ~name:"kernels" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_newline ();
+  print_endline "Bechamel micro-benchmarks (monotonic clock per run):";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ x ] -> Table.seconds (x *. 1e-9)
+        | Some _ | None -> "n/a"
+      in
+      let name =
+        match String.index_opt name ' ' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      rows := [ name; estimate ] :: !rows)
+    results;
+  Table.print ~title:"" ~headers:[ "kernel"; "time / run" ]
+    (List.sort compare !rows)

@@ -1,0 +1,90 @@
+(* Plain-text table rendering for experiment output, with optional CSV
+   tee-ing (set by main via --csv DIR). *)
+
+let csv_target : (string * string) option ref = ref None
+(* (directory, experiment id) *)
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~headers rows =
+  match !csv_target with
+  | None -> ()
+  | Some (dir, id) ->
+      let path = Filename.concat dir (id ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (String.concat "," (List.map csv_escape headers) ^ "\n");
+          List.iter
+            (fun row ->
+              output_string oc
+                (String.concat "," (List.map csv_escape row) ^ "\n"))
+            rows)
+
+let print ~title ~headers rows =
+  let ncols = List.length headers in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then invalid_arg "Table.print: ragged row";
+      List.iteri
+        (fun i cell -> widths.(i) <- Int.max widths.(i) (String.length cell))
+        row)
+    rows;
+  let line c =
+    print_string "+";
+    Array.iter
+      (fun w ->
+        print_string (String.make (w + 2) c);
+        print_string "+")
+      widths;
+    print_newline ()
+  in
+  write_csv ~headers rows;
+  let print_row cells =
+    print_string "|";
+    List.iteri
+      (fun i cell ->
+        Printf.printf " %-*s |" widths.(i) cell)
+      cells;
+    print_newline ()
+  in
+  Printf.printf "\n%s\n" title;
+  line '-';
+  print_row headers;
+  line '=';
+  List.iter print_row rows;
+  line '-'
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f4 x = Printf.sprintf "%.4f" x
+let f6 x = Printf.sprintf "%.6f" x
+let d = string_of_int
+
+let pct x = Printf.sprintf "%.2f%%" x
+
+let seconds x =
+  if x < 1e-3 then Printf.sprintf "%.1f us" (x *. 1e6)
+  else if x < 1. then Printf.sprintf "%.2f ms" (x *. 1e3)
+  else Printf.sprintf "%.3f s" x
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let maximum xs = List.fold_left Float.max neg_infinity xs

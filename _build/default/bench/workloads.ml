@@ -1,0 +1,35 @@
+(* Deterministic workload generators shared by the experiments.
+
+   Two families mirror the papers' data: "HMDNA" (surrogate
+   mitochondrial DNA, via seqsim) and "random" matrices.  For the random
+   family we report two flavours: [random_structured] draws a random
+   clock tree and perturbs it (a randomly generated matrix that, like the
+   papers' data, still decomposes into compact sets) and
+   [random_uniform] is the papers' literal uniform 0..100 draw repaired
+   into a metric. *)
+
+let rng seed = Random.State.make [| 0xC0FFEE; seed |]
+
+let mtdna ~seed n =
+  (Seqsim.Mtdna.generate ~rng:(rng seed) n).Seqsim.Mtdna.matrix
+
+let mtdna_with_tree ~seed n = Seqsim.Mtdna.generate ~rng:(rng seed) n
+
+let random_structured ~seed n =
+  Distmat.Gen.near_ultrametric ~rng:(rng (seed + 7919)) ~noise:0.3 n
+
+let random_uniform ~seed n =
+  Distmat.Gen.uniform_metric ~rng:(rng (seed + 104729)) n
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+(* Shared branch-and-bound budget for the "without compact sets"
+   condition at sizes where the exact search does not terminate in
+   sensible wall-clock time (the papers call such runs "unendurable").
+   Capped runs report the best tree found within the budget; EXPERIMENTS
+   .md discusses the effect. *)
+let capped_options cap =
+  { Bnb.Solver.default_options with max_expanded = Some cap }

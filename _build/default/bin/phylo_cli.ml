@@ -1,0 +1,577 @@
+(* compactphy — command-line interface.
+
+   Subcommands: gen, stats, compact-sets, tree, compare, simulate.
+   Matrices travel as PHYLIP square files (see Distmat.Matrix_io). *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Metric = Distmat.Metric
+module Matrix_io = Distmat.Matrix_io
+module Gen = Distmat.Gen
+module Compact_sets = Cgraph.Compact_sets
+module Newick = Ultra.Newick
+module Solver = Bnb.Solver
+module Pipeline = Compactphy.Pipeline
+module Decompose = Compactphy.Decompose
+module Platform = Clustersim.Platform
+module Dist_bnb = Clustersim.Dist_bnb
+
+open Cmdliner
+
+let read_matrix path =
+  let named = Matrix_io.of_phylip (Matrix_io.read_file path) in
+  (named.Matrix_io.names, named.Matrix_io.matrix)
+
+let write_or_print output contents =
+  match output with
+  | None -> print_string contents
+  | Some path -> Matrix_io.write_file path contents
+
+(* --- common options --- *)
+
+let input_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"MATRIX" ~doc:"Input distance matrix (PHYLIP square).")
+
+let output_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write output to $(docv).")
+
+let seed_opt =
+  Arg.(
+    value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let species_opt =
+  Arg.(
+    value
+    & opt int 12
+    & info [ "n"; "species" ] ~docv:"N" ~doc:"Number of species.")
+
+let workers_opt =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "workers" ] ~docv:"N"
+        ~doc:"Worker domains for the parallel branch-and-bound.")
+
+let linkage_opt =
+  let linkage_conv =
+    Arg.enum
+      [ ("max", Decompose.Max); ("min", Decompose.Min); ("avg", Decompose.Avg) ]
+  in
+  Arg.(
+    value
+    & opt linkage_conv Decompose.Max
+    & info [ "linkage" ] ~docv:"KIND"
+        ~doc:
+          "Representative distance for small matrices: $(b,max) (the \
+           paper's variant), $(b,min) or $(b,avg).")
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let kind_conv =
+    Arg.enum
+      [
+        ("uniform", `Uniform);
+        ("mtdna", `Mtdna);
+        ("clustered", `Clustered);
+        ("ultrametric", `Ultrametric);
+        ("near-ultrametric", `Near);
+      ]
+  in
+  let kind =
+    Arg.(
+      value
+      & opt kind_conv `Mtdna
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Workload family: $(b,uniform) (the papers' random 0-100 \
+             matrices), $(b,mtdna) (surrogate mitochondrial DNA), \
+             $(b,clustered), $(b,ultrametric) or $(b,near-ultrametric).")
+  in
+  let run kind n seed output =
+    let rng = Random.State.make [| seed |] in
+    let m =
+      match kind with
+      | `Uniform -> Gen.uniform_metric ~rng n
+      | `Mtdna -> (Seqsim.Mtdna.generate ~rng n).Seqsim.Mtdna.matrix
+      | `Clustered ->
+          Gen.clustered ~rng ~n_clusters:(Int.max 2 (n / 5)) n
+      | `Ultrametric -> Gen.ultrametric ~rng n
+      | `Near -> Gen.near_ultrametric ~rng n
+    in
+    write_or_print output (Matrix_io.to_phylip m)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a distance matrix.")
+    Term.(const run $ kind $ species_opt $ seed_opt $ output_opt)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run input =
+    let names, m = read_matrix input in
+    let n = Dist_matrix.size m in
+    Fmt.pr "species:          %d@." n;
+    Fmt.pr "first species:    %s@." names.(0);
+    Fmt.pr "metric:           %b@." (Metric.is_metric m);
+    Fmt.pr "ultrametric:      %b@." (Metric.is_ultrametric m);
+    Fmt.pr "max distance:     %g@." (Dist_matrix.max_entry m);
+    if n >= 2 then
+      Fmt.pr "min distance:     %g@." (Dist_matrix.min_off_diagonal m);
+    let deco = Compactphy.Decompose.decompose m in
+    Fmt.pr "compact sets:     %d@." (Compactphy.Decompose.n_blocks deco - 1);
+    Fmt.pr "largest block:    %d@." (Compactphy.Decompose.largest_block deco)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Diagnostics for a distance matrix.")
+    Term.(const run $ input_arg)
+
+(* --- compact-sets --- *)
+
+let compact_sets_cmd =
+  let run input =
+    let names, m = read_matrix input in
+    let sets = Compact_sets.find m in
+    if sets = [] then Fmt.pr "no compact sets@."
+    else
+      List.iter
+        (fun set ->
+          Fmt.pr "{%s}@."
+            (String.concat ", " (List.map (fun i -> names.(i)) set)))
+        sets
+  in
+  Cmd.v
+    (Cmd.info "compact-sets"
+       ~doc:"List all compact sets of the matrix's complete graph.")
+    Term.(const run $ input_arg)
+
+(* --- tree --- *)
+
+let method_opt =
+  let method_conv =
+    Arg.enum
+      [
+        ("compact", `Compact);
+        ("exact", `Exact);
+        ("upgmm", `Upgmm);
+        ("upgma", `Upgma);
+        ("nj", `Nj);
+        ("nni", `Nni);
+      ]
+  in
+  Arg.(
+    value
+    & opt method_conv `Compact
+    & info [ "method" ] ~docv:"M"
+        ~doc:
+          "Construction method: $(b,compact) (the paper's technique), \
+           $(b,exact) (full branch-and-bound), the $(b,upgmm), \
+           $(b,upgma), $(b,nj) heuristics, or $(b,nni) (UPGMM plus \
+           local search).")
+
+let tree_cmd =
+  let nexus =
+    Arg.(
+      value & flag
+      & info [ "nexus" ]
+          ~doc:
+            "Write a NEXUS document (taxa + distance matrix + tree) \
+             instead of bare Newick.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "With $(b,--method exact): gather every optimal tree (the \
+             companion paper's Step 7) and print them all, plus their \
+             strict consensus.")
+  in
+  let run input method_ linkage workers all nexus output =
+    let names, m = read_matrix input in
+    match (method_, all) with
+    | `Exact, true ->
+        let options = { Solver.default_options with collect_all = true } in
+        let r = Solver.solve ~options m in
+        Fmt.epr "optimum %g; %d optimal tree(s)@." r.Solver.cost
+          (List.length r.Solver.all_optimal);
+        let buf = Buffer.create 256 in
+        List.iter
+          (fun t ->
+            Buffer.add_string buf (Newick.to_string ~names t);
+            Buffer.add_char buf '\n')
+          r.Solver.all_optimal;
+        List.iter
+          (fun cluster ->
+            Buffer.add_string buf
+              ("consensus: {"
+              ^ String.concat ", " (List.map (fun i -> names.(i)) cluster)
+              ^ "}\n"))
+          (Ultra.Consensus.strict r.Solver.all_optimal);
+        write_or_print output (Buffer.contents buf)
+    | _, _ ->
+        let tree =
+          match method_ with
+          | `Compact ->
+              (Pipeline.with_compact_sets ~linkage ~workers m).Pipeline.tree
+          | `Exact -> (Pipeline.exact ~workers m).Pipeline.tree
+          | `Upgmm -> Clustering.Linkage.upgmm m
+          | `Upgma ->
+              Ultra.Utree.minimal_realization m (Clustering.Linkage.upgma m)
+          | `Nj -> Clustering.Nj.ultrametric_of m
+          | `Nni -> (Bnb.Local_search.from_upgmm m).Bnb.Local_search.tree
+        in
+        Ultra.Tree_check.assert_valid m tree;
+        Fmt.epr "tree cost: %g@." (Ultra.Utree.weight tree);
+        if nexus then
+          write_or_print output
+            (Ultra.Nexus.to_string
+               { Ultra.Nexus.taxa = names; matrix = Some m;
+                 trees = [ ("compactphy", tree) ] })
+        else write_or_print output (Newick.to_string ~names tree ^ "\n")
+  in
+  Cmd.v
+    (Cmd.info "tree"
+       ~doc:"Construct an ultrametric tree (Newick or NEXUS output).")
+    Term.(
+      const run $ input_arg $ method_opt $ linkage_opt $ workers_opt $ all
+      $ nexus $ output_opt)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run input linkage workers =
+    let _, m = read_matrix input in
+    let c = Pipeline.compare_methods ~linkage ~workers m in
+    Fmt.pr "@[<v>with compact sets:    cost %-12g %8.4f s (%d blocks, largest %d)@,"
+      c.Pipeline.with_cs.Pipeline.cost c.Pipeline.with_cs.Pipeline.elapsed_s
+      c.Pipeline.with_cs.Pipeline.n_blocks
+      c.Pipeline.with_cs.Pipeline.largest_block;
+    Fmt.pr "without compact sets: cost %-12g %8.4f s@,"
+      c.Pipeline.without_cs.Pipeline.cost
+      c.Pipeline.without_cs.Pipeline.elapsed_s;
+    Fmt.pr "time saved:           %.2f %%@,cost increase:        %.2f %%@]@."
+      c.Pipeline.time_saved_pct c.Pipeline.cost_increase_pct
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare construction with and without compact sets.")
+    Term.(const run $ input_arg $ linkage_opt $ workers_opt)
+
+(* --- render --- *)
+
+let render_cmd =
+  let svg =
+    Arg.(
+      value & flag
+      & info [ "svg" ] ~doc:"Emit an SVG document instead of ASCII art.")
+  in
+  let run input method_ linkage workers svg output =
+    let names, m = read_matrix input in
+    let tree =
+      match method_ with
+      | `Compact ->
+          (Pipeline.with_compact_sets ~linkage ~workers m).Pipeline.tree
+      | `Exact -> (Pipeline.exact ~workers m).Pipeline.tree
+      | `Upgmm -> Clustering.Linkage.upgmm m
+      | `Upgma ->
+          Ultra.Utree.minimal_realization m (Clustering.Linkage.upgma m)
+      | `Nj -> Clustering.Nj.ultrametric_of m
+      | `Nni -> (Bnb.Local_search.from_upgmm m).Bnb.Local_search.tree
+    in
+    let rendered =
+      if svg then Ultra.Render.to_svg ~names tree
+      else Ultra.Render.to_ascii ~names tree
+    in
+    write_or_print output rendered
+  in
+  Cmd.v
+    (Cmd.info "render"
+       ~doc:"Construct a tree and draw it as an ASCII or SVG dendrogram.")
+    Term.(
+      const run $ input_arg $ method_opt $ linkage_opt $ workers_opt $ svg
+      $ output_opt)
+
+(* --- treedist --- *)
+
+let treedist_cmd =
+  let tree_a =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TREE_A" ~doc:"First tree (Newick).")
+  in
+  let tree_b =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"TREE_B" ~doc:"Second tree (Newick).")
+  in
+  let run a b =
+    let load path = Ultra.Newick.of_string (Matrix_io.read_file path) in
+    let ta = load a and tb = load b in
+    Fmt.pr "Robinson-Foulds: %d (normalised %.4f)@."
+      (Ultra.Rf_distance.distance ta tb)
+      (Ultra.Rf_distance.normalized ta tb);
+    Fmt.pr "triplet:         %d (normalised %.4f)@."
+      (Ultra.Triplet_distance.distance ta tb)
+      (Ultra.Triplet_distance.normalized ta tb)
+  in
+  Cmd.v
+    (Cmd.info "treedist"
+       ~doc:
+         "Robinson-Foulds and triplet distances between two Newick trees \
+          (integer leaf labels).")
+    Term.(const run $ tree_a $ tree_b)
+
+(* --- report --- *)
+
+let html_report ~names ~m ~deco ~sets ~fast ~upgmm =
+  let buf = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let n = Dist_matrix.size m in
+  add "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+  add "<title>compactphy report</title>\n";
+  add
+    "<style>body{font-family:sans-serif;max-width:60em;margin:2em \
+     auto}table{border-collapse:collapse}td,th{border:1px solid \
+     #999;padding:0.3em 0.7em}code{background:#f4f4f4}</style>\n";
+  add "</head><body>\n<h1>compactphy report</h1>\n";
+  add "<h2>Matrix</h2>\n<table>\n";
+  add "<tr><th>species</th><td>%d</td></tr>\n" n;
+  add "<tr><th>metric</th><td>%b</td></tr>\n" (Metric.is_metric m);
+  add "<tr><th>ultrametric</th><td>%b</td></tr>\n" (Metric.is_ultrametric m);
+  add "<tr><th>distance range</th><td>%g &ndash; %g</td></tr>\n"
+    (if n >= 2 then Dist_matrix.min_off_diagonal m else 0.)
+    (Dist_matrix.max_entry m);
+  add "</table>\n<h2>Compact sets</h2>\n";
+  add "<p>%d compact sets; largest exact subproblem: %d species.</p>\n<ul>\n"
+    (List.length sets)
+    (Compactphy.Decompose.largest_block deco);
+  List.iter
+    (fun set ->
+      add "<li>{%s}</li>\n"
+        (String.concat ", " (List.map (fun i -> names.(i)) set)))
+    sets;
+  add "</ul>\n<h2>Trees</h2>\n<table>\n";
+  add "<tr><th>compact-set tree cost</th><td>%.4f (%.4f s, %d blocks)</td></tr>\n"
+    fast.Pipeline.cost fast.Pipeline.elapsed_s fast.Pipeline.n_blocks;
+  add "<tr><th>UPGMM heuristic cost</th><td>%.4f</td></tr>\n"
+    (Ultra.Utree.weight upgmm);
+  add
+    "<tr><th>3-3 contradictions</th><td>compact %d, UPGMM %d</td></tr>\n"
+    (Bnb.Relation33.count_contradictions m fast.Pipeline.tree)
+    (Bnb.Relation33.count_contradictions m upgmm);
+  add "</table>\n<h2>Dendrogram</h2>\n%s\n"
+    (Ultra.Render.to_svg ~names fast.Pipeline.tree);
+  add "<h2>Newick</h2>\n<p><code>%s</code></p>\n"
+    (Ultra.Newick.to_string ~names fast.Pipeline.tree);
+  add "</body></html>\n";
+  Buffer.contents buf
+
+let report_cmd =
+  let html =
+    Arg.(
+      value & flag
+      & info [ "html" ]
+          ~doc:"Emit a standalone HTML report (with an SVG dendrogram) \
+                instead of text.")
+  in
+  let run input linkage workers html output =
+    let names, m = read_matrix input in
+    let n = Dist_matrix.size m in
+    if html then begin
+      let deco = Compactphy.Decompose.decompose m in
+      let sets = Cgraph.Compact_sets.find m in
+      let fast = Pipeline.with_compact_sets ~linkage ~workers m in
+      let upgmm = Clustering.Linkage.upgmm m in
+      write_or_print output (html_report ~names ~m ~deco ~sets ~fast ~upgmm)
+    end
+    else begin
+    Fmt.pr "# compactphy report@.@.";
+    Fmt.pr "## Matrix@.@.";
+    Fmt.pr "- species: %d@." n;
+    Fmt.pr "- metric: %b, ultrametric: %b@." (Metric.is_metric m)
+      (Metric.is_ultrametric m);
+    Fmt.pr "- distance range: %g .. %g@.@."
+      (if n >= 2 then Dist_matrix.min_off_diagonal m else 0.)
+      (Dist_matrix.max_entry m);
+    Fmt.pr "## Compact sets@.@.";
+    let deco = Decompose.decompose m in
+    let sets = Cgraph.Compact_sets.find m in
+    Fmt.pr "- %d compact sets; largest exact subproblem: %d species@.@."
+      (List.length sets)
+      (Decompose.largest_block deco);
+    List.iter
+      (fun set ->
+        Fmt.pr "  - {%s}@."
+          (String.concat ", " (List.map (fun i -> names.(i)) set)))
+      sets;
+    Fmt.pr "@.## Trees@.@.";
+    let fast = Pipeline.with_compact_sets ~linkage ~workers m in
+    Fmt.pr "- compact-set tree: cost %.4f in %.4f s (%d blocks)@."
+      fast.Pipeline.cost fast.Pipeline.elapsed_s fast.Pipeline.n_blocks;
+    let upgmm = Clustering.Linkage.upgmm m in
+    Fmt.pr "- UPGMM heuristic:  cost %.4f@." (Ultra.Utree.weight upgmm);
+    Fmt.pr "- 3-3 contradictions (tree vs matrix): compact %d, UPGMM %d@.@."
+      (Bnb.Relation33.count_contradictions m fast.Pipeline.tree)
+      (Bnb.Relation33.count_contradictions m upgmm);
+    Fmt.pr "## Dendrogram@.@.%s@."
+      (Ultra.Render.to_ascii ~names fast.Pipeline.tree);
+    Fmt.pr "## Newick@.@.%s@."
+      (Ultra.Newick.to_string ~names fast.Pipeline.tree)
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Full analysis report of a matrix (markdown-flavoured text, or \
+          HTML with $(b,--html)).")
+    Term.(const run $ input_arg $ linkage_opt $ workers_opt $ html
+    $ output_opt)
+
+(* --- align (the sequences model, from FASTA) --- *)
+
+let align_cmd =
+  let fasta_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FASTA" ~doc:"Unaligned sequences (FASTA).")
+  in
+  let matrix_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "matrix" ] ~docv:"FILE"
+          ~doc:"Also write the alignment-derived distance matrix (PHYLIP).")
+  in
+  let with_tree =
+    Arg.(
+      value & flag
+      & info [ "tree" ]
+          ~doc:"Also construct the compact-set tree and print it (Newick).")
+  in
+  let bootstrap =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "bootstrap" ] ~docv:"N"
+          ~doc:"With $(b,--tree): annotate clades with $(docv)-replicate \
+                bootstrap support.")
+  in
+  let run fasta matrix_out with_tree bootstrap workers output =
+    let entries = Seqsim.Fasta.read_file fasta in
+    let names = Array.of_list (List.map (fun e -> e.Seqsim.Fasta.name) entries) in
+    let seqs = Array.of_list (List.map (fun e -> e.Seqsim.Fasta.seq) entries) in
+    let msa = Align.Msa.align seqs in
+    let buf = Buffer.create 1024 in
+    Array.iteri
+      (fun i row ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-12s %s\n" names.(i) (Align.Gapped.to_string row)))
+      msa.Align.Msa.rows;
+    let m = Align.Msa.distance_matrix msa in
+    (match matrix_out with
+    | Some path -> Matrix_io.write_file path (Matrix_io.to_phylip ~names m)
+    | None -> ());
+    if with_tree then begin
+      let r = Pipeline.with_compact_sets ~workers m in
+      Buffer.add_string buf
+        (Newick.to_string ~names r.Pipeline.tree ^ "\n");
+      if bootstrap > 0 then begin
+        (* Resample alignment columns; gaps become the row-consensus-free
+           placeholder A, a standard quick approximation. *)
+        let as_dna =
+          Array.map
+            (Array.map (function
+              | Align.Gapped.Base b -> b
+              | Align.Gapped.Gap -> Seqsim.Dna.A))
+            msa.Align.Msa.rows
+        in
+        let support =
+          Seqsim.Bootstrap.support
+            ~rng:(Random.State.make [| 2005 |])
+            ~replicates:bootstrap
+            ~construct:(fun m -> (Pipeline.with_compact_sets m).Pipeline.tree)
+            ~reference:r.Pipeline.tree as_dna
+        in
+        List.iter
+          (fun (clade, sup) ->
+            Buffer.add_string buf
+              (Printf.sprintf "support {%s}: %.0f%%\n"
+                 (String.concat ","
+                    (List.map (fun i -> names.(i)) clade))
+                 (100. *. sup)))
+          support
+      end
+    end;
+    write_or_print output (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "align"
+       ~doc:
+         "Progressively align FASTA sequences; optionally derive the \
+          distance matrix and the compact-set tree with bootstrap \
+          support.")
+    Term.(
+      const run $ fasta_arg $ matrix_out $ with_tree $ bootstrap
+      $ workers_opt $ output_opt)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let slaves =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "slaves" ] ~docv:"N" ~doc:"Simulated slave nodes.")
+  in
+  let grid =
+    Arg.(
+      value & flag
+      & info [ "grid" ]
+          ~doc:"Use the grid platform (WAN latency) instead of the cluster.")
+  in
+  let run input slaves grid =
+    let _, m = read_matrix input in
+    let platform =
+      if grid then Platform.grid ~sites:[ (slaves, 30_000.) ]
+      else Platform.cluster slaves
+    in
+    let r = Dist_bnb.run platform m in
+    Fmt.pr "@[<v>cost:       %g@,makespan:   %.6f virtual s@,"
+      r.Dist_bnb.cost r.Dist_bnb.makespan;
+    Fmt.pr "expansions: %d@,messages:   %d@]@." r.Dist_bnb.expansions
+      r.Dist_bnb.messages
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the construction on the simulated cluster or grid.")
+    Term.(const run $ input_arg $ slaves $ grid)
+
+let () =
+  let doc =
+    "Fast evolutionary-tree construction with compact sets (PaCT 2005)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "compactphy" ~version:"1.0.0" ~doc)
+          [
+            gen_cmd;
+            stats_cmd;
+            compact_sets_cmd;
+            tree_cmd;
+            compare_cmd;
+            render_cmd;
+            treedist_cmd;
+            report_cmd;
+            align_cmd;
+            simulate_cmd;
+          ]))

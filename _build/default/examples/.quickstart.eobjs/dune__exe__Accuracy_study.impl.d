@@ -1,0 +1,1 @@
+examples/accuracy_study.ml: Clustering Compactphy Fmt List Random Seqsim Ultra

@@ -1,0 +1,1 @@
+examples/accuracy_study.mli:

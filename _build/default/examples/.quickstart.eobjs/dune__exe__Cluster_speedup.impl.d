@@ -1,0 +1,1 @@
+examples/cluster_speedup.ml: Clustersim Distmat Fmt List Random Seqsim

@@ -1,0 +1,1 @@
+examples/cluster_speedup.mli:

@@ -1,0 +1,1 @@
+examples/mtdna_pipeline.ml: Array Bnb Clustering Compactphy Distmat Fmt Random Seqsim String Ultra

@@ -1,0 +1,1 @@
+examples/mtdna_pipeline.mli:

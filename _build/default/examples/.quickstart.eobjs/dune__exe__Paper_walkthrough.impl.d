@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Cgraph Compactphy Distmat Fmt List String Ultra

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compactphy Distmat Fmt Random Ultra

@@ -1,0 +1,1 @@
+examples/redistribution_demo.ml: Fmt List Random Redistrib

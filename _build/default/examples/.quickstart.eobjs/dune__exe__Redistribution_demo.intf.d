@@ -1,0 +1,1 @@
+examples/redistribution_demo.mli:

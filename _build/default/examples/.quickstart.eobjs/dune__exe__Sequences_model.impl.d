@@ -1,0 +1,1 @@
+examples/sequences_model.ml: Align Array Compactphy Fmt List Random Seqsim String Ultra

@@ -1,0 +1,1 @@
+examples/sequences_model.mli:

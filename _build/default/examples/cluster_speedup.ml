@@ -1,0 +1,42 @@
+(* Reproduce the companion paper's cluster experiment in miniature: run
+   the master/slave branch-and-bound on the simulated PC cluster with
+   1 .. 16 slaves and print the speedup curve, then compare the cluster
+   against a computational grid at equal node count (the NCS 2005
+   question).
+
+   Run with:  dune exec examples/cluster_speedup.exe *)
+
+module Gen = Distmat.Gen
+module Platform = Clustersim.Platform
+module Dist_bnb = Clustersim.Dist_bnb
+
+let () =
+  let rng = Random.State.make [| 7 |] in
+  let m = (Seqsim.Mtdna.generate ~rng 17).Seqsim.Mtdna.matrix in
+
+  Fmt.pr "Simulated master/slave B&B, surrogate mtDNA, 17 species@.@.";
+  let base = Dist_bnb.run (Platform.single ()) m in
+  Fmt.pr "%-8s %-12s %-10s %-12s %s@." "slaves" "makespan(s)" "speedup"
+    "expansions" "messages";
+  List.iter
+    (fun p ->
+      let r = Dist_bnb.run (Platform.cluster p) m in
+      Fmt.pr "%-8d %-12.4f %-10.2f %-12d %d@." p r.Dist_bnb.makespan
+        (base.Dist_bnb.makespan /. r.Dist_bnb.makespan)
+        r.Dist_bnb.expansions r.Dist_bnb.messages)
+    [ 1; 2; 4; 8; 16 ];
+
+  Fmt.pr "@.Cluster vs grid at 16 nodes (and a 24-node grid):@.";
+  let platforms =
+    [
+      ("cluster-16", Platform.cluster 16);
+      ("grid-16", Platform.grid ~sites:[ (12, 2_900.); (4, 2_400.) ]);
+      ("grid-24", Platform.grid ~sites:[ (12, 2_900.); (12, 2_400.) ]);
+    ]
+  in
+  List.iter
+    (fun (name, p) ->
+      let r = Dist_bnb.run p m in
+      Fmt.pr "%-12s makespan %.4f s (cost %.2f)@." name r.Dist_bnb.makespan
+        r.Dist_bnb.cost)
+    platforms

@@ -1,0 +1,65 @@
+(* The paper's worked example (Figures 3-7), step by step: the complete
+   weighted graph, its minimum spanning tree, the Kruskal sweep that
+   discovers the compact sets, the small maximum matrices, and the final
+   grafted ultrametric tree.
+
+   Run with:  dune exec examples/paper_walkthrough.exe *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Wgraph = Cgraph.Wgraph
+module Mst = Cgraph.Mst
+module Compact_sets = Cgraph.Compact_sets
+module Laminar = Cgraph.Laminar
+module Utree = Ultra.Utree
+module Newick = Ultra.Newick
+module Decompose = Compactphy.Decompose
+module Pipeline = Compactphy.Pipeline
+module Paper_example = Compactphy.Paper_example
+
+let section title = Fmt.pr "@.== %s ==@." title
+
+let () =
+  let m = Paper_example.matrix in
+  section "Distance matrix (paper Figure 3, 0-indexed)";
+  Fmt.pr "%a@." Dist_matrix.pp m;
+
+  section "Minimum spanning tree (paper Figure 4)";
+  let mst = Mst.kruskal (Wgraph.complete_of_matrix m) in
+  List.iter (fun e -> Fmt.pr "%a@." Wgraph.pp_edge e) mst;
+  Fmt.pr "total weight: %g@." (Mst.total_weight mst);
+
+  section "Compact sets (paper Figure 5)";
+  let sets = Compact_sets.find m in
+  List.iter
+    (fun set ->
+      Fmt.pr "{%s}@." (String.concat "," (List.map string_of_int set)))
+    sets;
+
+  section "Laminar hierarchy";
+  let forest = Laminar.of_sets ~n:(Dist_matrix.size m) sets in
+  Fmt.pr "%a@." Laminar.pp forest;
+
+  section "Small maximum matrices (paper Figure 6)";
+  let deco = Decompose.decompose m in
+  let show_block label block =
+    Fmt.pr "%s over %d children:@.%a@." label
+      (List.length block.Decompose.children)
+      Dist_matrix.pp block.Decompose.small
+  in
+  show_block "root block" deco.Decompose.root_block;
+  List.iter
+    (fun (tree, block) ->
+      show_block
+        (Fmt.str "block {%s}"
+           (String.concat ","
+              (List.map string_of_int (Laminar.members tree))))
+        block)
+    deco.Decompose.set_blocks;
+
+  section "Final ultrametric tree";
+  let fast = Pipeline.with_compact_sets m in
+  let exact = Pipeline.exact m in
+  Fmt.pr "compact sets: cost %g -> %s@." fast.Pipeline.cost
+    (Newick.to_string fast.Pipeline.tree);
+  Fmt.pr "exact MUT:    cost %g -> %s@." exact.Pipeline.cost
+    (Newick.to_string exact.Pipeline.tree)

@@ -1,0 +1,1 @@
+lib/align/gapped.ml: Array Dna Import List String

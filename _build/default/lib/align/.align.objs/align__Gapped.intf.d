@@ -1,0 +1,1 @@
+lib/align/gapped.mli: Dna Import

@@ -1,0 +1,1 @@
+lib/align/gotoh.ml: Array

@@ -1,0 +1,1 @@
+lib/align/import.ml: Clustering Distmat Seqsim Ultra

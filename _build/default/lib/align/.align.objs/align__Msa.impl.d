@@ -1,0 +1,1 @@
+lib/align/msa.ml: Array Dist_matrix Format Gapped Import Int Linkage List Metric Pairwise Profile Utree

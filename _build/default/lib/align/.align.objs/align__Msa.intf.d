@@ -1,0 +1,1 @@
+lib/align/msa.mli: Dist_matrix Dna Format Gapped Import Scoring Utree

@@ -1,0 +1,1 @@
+lib/align/pairwise.ml: Array Float Gapped Gotoh List Scoring

@@ -1,0 +1,1 @@
+lib/align/pairwise.mli: Dna Gapped Import Scoring

@@ -1,0 +1,1 @@
+lib/align/profile.ml: Array Dna Gapped Gotoh Import List Scoring

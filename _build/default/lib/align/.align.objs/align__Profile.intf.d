@@ -1,0 +1,1 @@
+lib/align/profile.mli: Dna Gapped Import Scoring

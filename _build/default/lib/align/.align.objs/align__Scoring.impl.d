@@ -1,0 +1,1 @@
+lib/align/scoring.ml: Dna Import

@@ -1,0 +1,1 @@
+lib/align/scoring.mli: Dna Import

@@ -1,0 +1,53 @@
+open Import
+
+type symbol = Base of Dna.base | Gap
+
+type t = symbol array
+
+let of_dna seq = Array.map (fun b -> Base b) seq
+
+let to_dna t =
+  Array.of_list
+    (List.filter_map
+       (function Base b -> Some b | Gap -> None)
+       (Array.to_list t))
+
+let to_string t =
+  String.init (Array.length t) (fun i ->
+      match t.(i) with
+      | Gap -> '-'
+      | Base b -> (Dna.to_string [| b |]).[0])
+
+let of_string s =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '-' -> Gap
+      | c -> Base (Dna.of_string (String.make 1 c)).(0))
+
+let length = Array.length
+
+let n_gaps t =
+  Array.fold_left (fun acc x -> if x = Gap then acc + 1 else acc) 0 t
+
+let compared_columns a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Gapped: different lengths";
+  let same = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun i x ->
+      match (x, b.(i)) with
+      | Base p, Base q ->
+          incr total;
+          if p = q then incr same
+      | Gap, _ | _, Gap -> ())
+    a;
+  (!same, !total)
+
+let identity a b =
+  let same, total = compared_columns a b in
+  if total = 0 then 0. else float_of_int same /. float_of_int total
+
+let p_distance a b =
+  let same, total = compared_columns a b in
+  if total = 0 then 0.
+  else float_of_int (total - same) /. float_of_int total

@@ -1,0 +1,30 @@
+open Import
+
+(** Gapped sequences: DNA with alignment gaps. *)
+
+type symbol = Base of Dna.base | Gap
+
+type t = symbol array
+
+val of_dna : Dna.t -> t
+val to_dna : t -> Dna.t
+(** Drop the gaps. *)
+
+val to_string : t -> string
+(** Gaps print as ['-']. *)
+
+val of_string : string -> t
+(** @raise Invalid_argument on characters outside [ACGTacgt-]. *)
+
+val length : t -> int
+val n_gaps : t -> int
+
+val identity : t -> t -> float
+(** Fraction of columns where both rows carry the {e same base};
+    columns with a gap in either row are excluded from the denominator.
+    [0.] when no gap-free columns exist.
+    @raise Invalid_argument on different lengths. *)
+
+val p_distance : t -> t -> float
+(** Fraction of differing bases over gap-free columns (the standard
+    pairwise-deletion p-distance); [0.] when no gap-free columns. *)

@@ -1,0 +1,74 @@
+type op = Match | Delete | Insert
+
+let neg_inf = neg_infinity
+
+let st_m = 0
+let st_x = 1 (* Delete state: consuming the first side against gaps *)
+let st_y = 2 (* Insert state *)
+
+let align ~sub ~gap_open ~gap_extend la lb =
+  let open_ext = gap_open +. gap_extend in
+  let ext = gap_extend in
+  let m = Array.make_matrix (la + 1) (lb + 1) neg_inf in
+  let x = Array.make_matrix (la + 1) (lb + 1) neg_inf in
+  let y = Array.make_matrix (la + 1) (lb + 1) neg_inf in
+  let from_m = Array.make_matrix (la + 1) (lb + 1) 0 in
+  let from_x = Array.make_matrix (la + 1) (lb + 1) 0 in
+  let from_y = Array.make_matrix (la + 1) (lb + 1) 0 in
+  m.(0).(0) <- 0.;
+  for i = 1 to la do
+    x.(i).(0) <- gap_open +. (float_of_int i *. ext);
+    from_x.(i).(0) <- (if i = 1 then st_m else st_x)
+  done;
+  for j = 1 to lb do
+    y.(0).(j) <- gap_open +. (float_of_int j *. ext);
+    from_y.(0).(j) <- (if j = 1 then st_m else st_y)
+  done;
+  let best3 a b c =
+    if a >= b && a >= c then (a, st_m)
+    else if b >= c then (b, st_x)
+    else (c, st_y)
+  in
+  for i = 1 to la do
+    for j = 1 to lb do
+      let s = sub (i - 1) (j - 1) in
+      let v, st = best3 m.(i - 1).(j - 1) x.(i - 1).(j - 1) y.(i - 1).(j - 1) in
+      m.(i).(j) <- v +. s;
+      from_m.(i).(j) <- st;
+      let vx, sx =
+        best3
+          (m.(i - 1).(j) +. open_ext)
+          (x.(i - 1).(j) +. ext)
+          (y.(i - 1).(j) +. open_ext)
+      in
+      x.(i).(j) <- vx;
+      from_x.(i).(j) <- sx;
+      let vy, sy =
+        best3
+          (m.(i).(j - 1) +. open_ext)
+          (x.(i).(j - 1) +. open_ext)
+          (y.(i).(j - 1) +. ext)
+      in
+      y.(i).(j) <- vy;
+      from_y.(i).(j) <- sy
+    done
+  done;
+  let score, final = best3 m.(la).(lb) x.(la).(lb) y.(la).(lb) in
+  let ops = ref [] in
+  let rec walk i j state =
+    if i > 0 || j > 0 then
+      if state = st_m then begin
+        ops := Match :: !ops;
+        walk (i - 1) (j - 1) from_m.(i).(j)
+      end
+      else if state = st_x then begin
+        ops := Delete :: !ops;
+        walk (i - 1) j from_x.(i).(j)
+      end
+      else begin
+        ops := Insert :: !ops;
+        walk i (j - 1) from_y.(i).(j)
+      end
+  in
+  walk la lb final;
+  (!ops, score)

@@ -1,0 +1,23 @@
+(** Generic global alignment with affine gaps (Gotoh's algorithm),
+    over abstract positions.
+
+    Both {!Pairwise} (bases) and {!Profile} (alignment columns) drive
+    this engine; they only differ in the substitution function. *)
+
+type op =
+  | Match  (** consume one position from each side *)
+  | Delete  (** consume from the first side, gap on the second *)
+  | Insert  (** gap on the first side, consume from the second *)
+
+val align :
+  sub:(int -> int -> float) ->
+  gap_open:float ->
+  gap_extend:float ->
+  int ->
+  int ->
+  op list * float
+(** [align ~sub ~gap_open ~gap_extend la lb] returns the operation list
+    (from the start of the sequences) and the optimal score, where
+    [sub i j] scores matching position [i] of the first side (0-based)
+    with position [j] of the second, and a gap of length [k] costs
+    [gap_open + k * gap_extend].  O(la * lb) time and space. *)

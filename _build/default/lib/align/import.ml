@@ -1,0 +1,7 @@
+(* Aliases for modules from dependency libraries. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Metric = Distmat.Metric
+module Dna = Seqsim.Dna
+module Utree = Ultra.Utree
+module Linkage = Clustering.Linkage

@@ -1,0 +1,75 @@
+open Import
+
+type t = { rows : Gapped.t array }
+
+let guide_distances ?scoring seqs =
+  let n = Array.length seqs in
+  Dist_matrix.init n (fun i j ->
+      let r = Pairwise.align ?scoring seqs.(i) seqs.(j) in
+      (* p-distance plus a small gap penalty term so that very gappy
+         pairs look distant even when their shared columns agree. *)
+      let gaps =
+        float_of_int (Gapped.n_gaps r.Pairwise.a + Gapped.n_gaps r.Pairwise.b)
+      in
+      Gapped.p_distance r.Pairwise.a r.Pairwise.b
+      +. (gaps /. float_of_int (2 * Gapped.length r.Pairwise.a))
+      +. 1e-9)
+
+let guide_tree ?scoring seqs =
+  if Array.length seqs = 0 then invalid_arg "Msa.guide_tree: no sequences";
+  if Array.length seqs = 1 then Utree.leaf 0
+  else Linkage.upgma (guide_distances ?scoring seqs)
+
+let align ?scoring seqs =
+  match Array.length seqs with
+  | 0 -> invalid_arg "Msa.align: no sequences"
+  | 1 -> { rows = [| Gapped.of_dna seqs.(0) |] }
+  | n ->
+      let guide = guide_tree ?scoring seqs in
+      let rec build t =
+        match t with
+        | Utree.Leaf i -> Profile.of_sequence i seqs.(i)
+        | Utree.Node nd ->
+            Profile.combine ?scoring (build nd.left) (build nd.right)
+      in
+      let profile = build guide in
+      let rows = Array.make n [||] in
+      List.iter (fun (id, row) -> rows.(id) <- row) (Profile.rows profile);
+      { rows }
+
+let width t = if Array.length t.rows = 0 then 0 else Gapped.length t.rows.(0)
+
+let to_strings t = Array.map Gapped.to_string t.rows
+
+let pp ppf t =
+  let block = 60 in
+  let w = width t in
+  let rec blocks start =
+    if start < w then begin
+      let len = Int.min block (w - start) in
+      Array.iteri
+        (fun i row ->
+          Format.fprintf ppf "s%-6d %s@." i
+            (Gapped.to_string (Array.sub row start len)))
+        t.rows;
+      Format.fprintf ppf "@.";
+      blocks (start + block)
+    end
+  in
+  blocks 0
+
+let jc_cap = 10.
+
+let distance_matrix ?(jc = true) t =
+  let n = Array.length t.rows in
+  let raw =
+    Dist_matrix.init n (fun i j ->
+        let p = Gapped.p_distance t.rows.(i) t.rows.(j) in
+        let d =
+          if not jc then p
+          else if p >= 0.749 then jc_cap
+          else -0.75 *. log (1. -. (4. /. 3. *. p))
+        in
+        d *. 100.)
+  in
+  Metric.floyd_warshall raw

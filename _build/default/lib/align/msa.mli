@@ -1,0 +1,36 @@
+open Import
+
+(** Progressive multiple sequence alignment.
+
+    The papers' "sequences model": align the species' sequences, then
+    build the tree from the alignment.  Exact MSA is NP-hard (the papers
+    cite Wang & Jiang 1994), so we use the classical progressive
+    heuristic: pairwise guide distances, a UPGMA guide tree, and
+    postorder profile-profile merges. *)
+
+type t = { rows : Gapped.t array }
+(** [rows.(i)] is sequence [i] with gaps inserted; all rows share one
+    width, and stripping the gaps recovers the input sequences. *)
+
+val align : ?scoring:Scoring.t -> Dna.t array -> t
+(** Align 1 or more sequences.  O(n^2 L^2) guide phase plus one profile
+    merge per internal guide-tree node.
+    @raise Invalid_argument on an empty array. *)
+
+val width : t -> int
+
+val guide_tree : ?scoring:Scoring.t -> Dna.t array -> Utree.t
+(** The UPGMA guide tree over pairwise alignment p-distances (exposed
+    for inspection and tests). *)
+
+val to_strings : t -> string array
+(** One gapped string per input sequence, gaps as ['-']. *)
+
+val pp : Format.formatter -> t -> unit
+(** Clustal-style block rendering. *)
+
+val distance_matrix :
+  ?jc:bool -> t -> Dist_matrix.t
+(** Pairwise-deletion distances from the alignment — p-distances, or
+    Jukes-Cantor corrected with [jc] (default true) — scaled by 100 and
+    closed into a metric; ready for {!Compactphy.Pipeline}. *)

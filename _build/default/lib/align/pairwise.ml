@@ -1,0 +1,73 @@
+type result = { a : Gapped.t; b : Gapped.t; score : float }
+
+let align ?(scoring = Scoring.default) sa sb =
+  let ops, score =
+    Gotoh.align
+      ~sub:(fun i j -> Scoring.substitution scoring sa.(i) sb.(j))
+      ~gap_open:scoring.Scoring.gap_open
+      ~gap_extend:scoring.Scoring.gap_extend (Array.length sa)
+      (Array.length sb)
+  in
+  let ra = ref [] and rb = ref [] and i = ref 0 and j = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Gotoh.Match ->
+          ra := Gapped.Base sa.(!i) :: !ra;
+          rb := Gapped.Base sb.(!j) :: !rb;
+          incr i;
+          incr j
+      | Gotoh.Delete ->
+          ra := Gapped.Base sa.(!i) :: !ra;
+          rb := Gapped.Gap :: !rb;
+          incr i
+      | Gotoh.Insert ->
+          ra := Gapped.Gap :: !ra;
+          rb := Gapped.Base sb.(!j) :: !rb;
+          incr j)
+    ops;
+  {
+    a = Array.of_list (List.rev !ra);
+    b = Array.of_list (List.rev !rb);
+    score;
+  }
+
+let score ?(scoring = Scoring.default) sa sb =
+  (* Row-wise DP keeping only the previous row of each state table. *)
+  let la = Array.length sa and lb = Array.length sb in
+  let open_ext = scoring.Scoring.gap_open +. scoring.Scoring.gap_extend in
+  let ext = scoring.Scoring.gap_extend in
+  let neg_inf = neg_infinity in
+  let mp = Array.make (lb + 1) neg_inf in
+  let xp = Array.make (lb + 1) neg_inf in
+  let yp = Array.make (lb + 1) neg_inf in
+  let mc = Array.make (lb + 1) neg_inf in
+  let xc = Array.make (lb + 1) neg_inf in
+  let yc = Array.make (lb + 1) neg_inf in
+  mp.(0) <- 0.;
+  for j = 1 to lb do
+    yp.(j) <- scoring.Scoring.gap_open +. (float_of_int j *. ext)
+  done;
+  for i = 1 to la do
+    mc.(0) <- neg_inf;
+    yc.(0) <- neg_inf;
+    xc.(0) <- scoring.Scoring.gap_open +. (float_of_int i *. ext);
+    for j = 1 to lb do
+      let sub = Scoring.substitution scoring sa.(i - 1) sb.(j - 1) in
+      mc.(j) <- sub +. Float.max mp.(j - 1) (Float.max xp.(j - 1) yp.(j - 1));
+      xc.(j) <-
+        Float.max (mp.(j) +. open_ext)
+          (Float.max (xp.(j) +. ext) (yp.(j) +. open_ext));
+      yc.(j) <-
+        Float.max
+          (mc.(j - 1) +. open_ext)
+          (Float.max (xc.(j - 1) +. open_ext) (yc.(j - 1) +. ext))
+    done;
+    Array.blit mc 0 mp 0 (lb + 1);
+    Array.blit xc 0 xp 0 (lb + 1);
+    Array.blit yc 0 yp 0 (lb + 1)
+  done;
+  Float.max mp.(lb) (Float.max xp.(lb) yp.(lb))
+
+let edit_distance sa sb =
+  -. score ~scoring:Scoring.unit_edit sa sb |> Float.round |> int_of_float

@@ -1,0 +1,23 @@
+open Import
+
+(** Global pairwise alignment with affine gaps (Needleman-Wunsch /
+    Gotoh).
+
+    This is the edit-distance computation the papers' distance-matrix
+    model refers to ("they determine the distance as the edit distance
+    for any two of species"), generalised to affine gap costs. *)
+
+type result = { a : Gapped.t; b : Gapped.t; score : float }
+(** Both rows have equal length; stripping gaps recovers the inputs. *)
+
+val align : ?scoring:Scoring.t -> Dna.t -> Dna.t -> result
+(** Optimal global alignment ({!Scoring.default} by default).
+    O(|a| * |b|) time and space. *)
+
+val score : ?scoring:Scoring.t -> Dna.t -> Dna.t -> float
+(** Optimal score only — two-row DP, O(min) memory. *)
+
+val edit_distance : Dna.t -> Dna.t -> int
+(** Unit-cost Levenshtein distance via {!Scoring.unit_edit}: the negated
+    optimal score.  Agrees with {!Seqsim.Distance.edit_distance} (see
+    the test suite). *)

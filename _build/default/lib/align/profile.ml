@@ -1,0 +1,89 @@
+open Import
+
+(* Per-column frequency vector over A, C, G, T, gap. *)
+type column = float array
+
+type t = { columns : column array; members : (int * Gapped.t) list }
+
+let symbol_index = function
+  | Gapped.Base Dna.A -> 0
+  | Gapped.Base Dna.C -> 1
+  | Gapped.Base Dna.G -> 2
+  | Gapped.Base Dna.T -> 3
+  | Gapped.Gap -> 4
+
+let base_of_index = [| Dna.A; Dna.C; Dna.G; Dna.T |]
+
+let column_of_rows rows col =
+  let c = Array.make 5 0. in
+  List.iter
+    (fun (_, row) ->
+      let i = symbol_index row.(col) in
+      c.(i) <- c.(i) +. 1.)
+    rows;
+  c
+
+let recompute_columns members width =
+  Array.init width (column_of_rows members)
+
+let of_sequence id seq =
+  let row = Gapped.of_dna seq in
+  {
+    columns = recompute_columns [ (id, row) ] (Array.length row);
+    members = [ (id, row) ];
+  }
+
+let width t = Array.length t.columns
+let n_rows t = List.length t.members
+let rows t = t.members
+
+(* Expected substitution score between two columns: average over base
+   pairs; a base facing an existing gap costs one gap extension, and
+   gap-gap pairs are neutral. *)
+let column_score scoring (p : column) (q : column) =
+  let np = Array.fold_left ( +. ) 0. p and nq = Array.fold_left ( +. ) 0. q in
+  let total = ref 0. in
+  for a = 0 to 3 do
+    if p.(a) > 0. then
+      for b = 0 to 3 do
+        if q.(b) > 0. then
+          total :=
+            !total
+            +. p.(a) *. q.(b)
+               *. Scoring.substitution scoring base_of_index.(a)
+                    base_of_index.(b)
+      done
+  done;
+  let gap_cross = (p.(4) *. (nq -. q.(4))) +. (q.(4) *. (np -. p.(4))) in
+  total := !total +. (gap_cross *. scoring.Scoring.gap_extend);
+  !total /. (np *. nq)
+
+let insert_gaps ops ~keep_on row =
+  (* Rebuild one row following the merged operation list; [keep_on] says
+     which ops consume this row's columns. *)
+  let out = ref [] and i = ref 0 in
+  List.iter
+    (fun op ->
+      if keep_on op then begin
+        out := row.(!i) :: !out;
+        incr i
+      end
+      else out := Gapped.Gap :: !out)
+    ops;
+  Array.of_list (List.rev !out)
+
+let combine ?(scoring = Scoring.default) p q =
+  let ops, _score =
+    Gotoh.align
+      ~sub:(fun i j -> column_score scoring p.columns.(i) q.columns.(j))
+      ~gap_open:scoring.Scoring.gap_open
+      ~gap_extend:scoring.Scoring.gap_extend (width p) (width q)
+  in
+  let keep_p = function Gotoh.Match | Gotoh.Delete -> true | Gotoh.Insert -> false in
+  let keep_q = function Gotoh.Match | Gotoh.Insert -> true | Gotoh.Delete -> false in
+  let members =
+    List.map (fun (id, row) -> (id, insert_gaps ops ~keep_on:keep_p row)) p.members
+    @ List.map (fun (id, row) -> (id, insert_gaps ops ~keep_on:keep_q row)) q.members
+  in
+  let w = List.length ops in
+  { columns = recompute_columns members w; members }

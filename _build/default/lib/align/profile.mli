@@ -1,0 +1,22 @@
+open Import
+
+(** Alignment profiles: a block of already-aligned rows, summarised per
+    column by symbol frequencies, alignable against another profile with
+    the same Gotoh engine (sum-of-pairs expected score). *)
+
+type t
+(** Invariant: every row has the same length (the profile width). *)
+
+val of_sequence : int -> Dna.t -> t
+(** [of_sequence id seq] — a single-row profile; [id] tags the row so
+    the final alignment can be reassembled in input order. *)
+
+val width : t -> int
+val n_rows : t -> int
+
+val rows : t -> (int * Gapped.t) list
+(** Tagged rows, in no particular order. *)
+
+val combine : ?scoring:Scoring.t -> t -> t -> t
+(** Align two profiles and merge them into one (progressive-alignment
+    step). *)

@@ -1,0 +1,36 @@
+open Import
+
+type t = {
+  matches : float;
+  transition : float;
+  transversion : float;
+  gap_open : float;
+  gap_extend : float;
+}
+
+let default =
+  {
+    matches = 2.;
+    transition = -1.;
+    transversion = -2.;
+    gap_open = -4.;
+    gap_extend = -1.;
+  }
+
+let unit_edit =
+  {
+    matches = 0.;
+    transition = -1.;
+    transversion = -1.;
+    gap_open = 0.;
+    gap_extend = -1.;
+  }
+
+let is_purine = function Dna.A | Dna.G -> true | Dna.C | Dna.T -> false
+
+let is_transition a b = a <> b && is_purine a = is_purine b
+
+let substitution t a b =
+  if a = b then t.matches
+  else if is_transition a b then t.transition
+  else t.transversion

@@ -1,0 +1,28 @@
+open Import
+
+(** Alignment scoring: substitution scores and affine gap penalties.
+
+    Scores are maximised; gap penalties are negative.  A gap of length
+    [k] costs [gap_open + k * gap_extend]. *)
+
+type t = {
+  matches : float;  (** score for identical bases *)
+  transition : float;
+      (** purine-purine / pyrimidine-pyrimidine mismatch (A<->G, C<->T) —
+          biologically far more common, so penalised less *)
+  transversion : float;  (** the other mismatches *)
+  gap_open : float;  (** opening a gap (negative) *)
+  gap_extend : float;  (** each gap position (negative) *)
+}
+
+val default : t
+(** [+2 / -1 / -2 / -4 / -1] — EDNAFULL-flavoured. *)
+
+val unit_edit : t
+(** Scores whose maximising alignment minimises unit-cost edit distance:
+    [0 / -1 / -1 / 0 / -1]. *)
+
+val substitution : t -> Dna.base -> Dna.base -> float
+
+val is_transition : Dna.base -> Dna.base -> bool
+(** [A<->G] or [C<->T]. *)

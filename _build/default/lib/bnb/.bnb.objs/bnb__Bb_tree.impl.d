@@ -1,0 +1,1 @@
+lib/bnb/bb_tree.ml: Array Dist_matrix Float Import List Utree

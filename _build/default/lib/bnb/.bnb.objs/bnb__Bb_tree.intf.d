@@ -1,0 +1,1 @@
+lib/bnb/bb_tree.mli: Dist_matrix Import Utree

@@ -1,0 +1,1 @@
+lib/bnb/enumerate.ml: Bb_tree Dist_matrix Import List Utree

@@ -1,0 +1,1 @@
+lib/bnb/enumerate.mli: Dist_matrix Import Utree

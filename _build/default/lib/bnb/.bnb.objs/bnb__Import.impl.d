@@ -1,0 +1,1 @@
+lib/bnb/import.ml: Clustering Distmat Ultra

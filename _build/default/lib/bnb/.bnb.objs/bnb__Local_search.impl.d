@@ -1,0 +1,1 @@
+lib/bnb/local_search.ml: Bb_tree Float Fun Import Linkage List Utree

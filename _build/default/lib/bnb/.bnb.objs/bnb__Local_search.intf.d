@@ -1,0 +1,1 @@
+lib/bnb/local_search.mli: Dist_matrix Import Utree

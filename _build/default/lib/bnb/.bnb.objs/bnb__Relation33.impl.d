@@ -1,0 +1,1 @@
+lib/bnb/relation33.ml: Array Dist_matrix Import List Utree

@@ -1,0 +1,1 @@
+lib/bnb/relation33.mli: Dist_matrix Import Utree

@@ -1,0 +1,1 @@
+lib/bnb/solver.ml: Array Bb_tree Dist_matrix Float Import Int Linkage List Nj Permutation Relation33 Stats Utree

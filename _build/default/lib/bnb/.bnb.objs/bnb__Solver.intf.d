@@ -1,0 +1,1 @@
+lib/bnb/solver.mli: Bb_tree Dist_matrix Import Permutation Stats Utree

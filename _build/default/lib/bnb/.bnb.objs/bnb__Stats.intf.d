@@ -1,0 +1,1 @@
+lib/bnb/stats.mli: Format

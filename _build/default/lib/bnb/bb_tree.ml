@@ -1,0 +1,74 @@
+open Import
+
+type node = { tree : Utree.t; k : int; cost : float; lb : float }
+
+let suffix_min_bounds dm =
+  let n = Dist_matrix.size dm in
+  let dmin x =
+    let best = ref infinity in
+    for j = 0 to n - 1 do
+      if j <> x then best := Float.min !best (Dist_matrix.get dm x j)
+    done;
+    !best
+  in
+  let b = Array.make (n + 1) 0. in
+  for k = n - 1 downto 0 do
+    b.(k) <- b.(k + 1) +. (dmin k /. 2.)
+  done;
+  b
+
+let root dm =
+  if Dist_matrix.size dm < 2 then invalid_arg "Bb_tree.root: need n >= 2";
+  let h = Dist_matrix.get dm 0 1 /. 2. in
+  let tree = Utree.node h (Utree.leaf 0) (Utree.leaf 1) in
+  let cost = Utree.weight tree in
+  { tree; k = 2; cost; lb = cost }
+
+let insertions dm t sp =
+  let dist j = Dist_matrix.get dm sp j in
+  (* Returns the candidates for every position inside [t] plus the
+     maximum of [dist j] over the leaves of [t]; each node on the path to
+     an insertion is raised to [max height (maxd / 2)], which keeps every
+     candidate a minimal realization (height = half the max pairwise
+     distance in its subtree). *)
+  let rec go t =
+    match t with
+    | Utree.Leaf i ->
+        let d = dist i in
+        ([ Utree.Node { height = d /. 2.; left = t; right = Utree.Leaf sp } ], d)
+    | Utree.Node n ->
+        let lcands, lmax = go n.left in
+        let rcands, rmax = go n.right in
+        let maxd = Float.max lmax rmax in
+        let h' = Float.max n.height (maxd /. 2.) in
+        let here =
+          Utree.Node { height = h'; left = t; right = Utree.Leaf sp }
+        in
+        let with_left =
+          List.map
+            (fun c -> Utree.Node { height = h'; left = c; right = n.right })
+            lcands
+        in
+        let with_right =
+          List.map
+            (fun c -> Utree.Node { height = h'; left = n.left; right = c })
+            rcands
+        in
+        (here :: List.rev_append with_left with_right, maxd)
+  in
+  fst (go t)
+
+let branch dm ~lb_extra node =
+  let n = Dist_matrix.size dm in
+  if node.k >= n then invalid_arg "Bb_tree.branch: node is complete";
+  let sp = node.k in
+  let children =
+    List.map
+      (fun tree ->
+        let cost = Utree.weight tree in
+        { tree; k = sp + 1; cost; lb = cost +. lb_extra.(sp + 1) })
+      (insertions dm node.tree sp)
+  in
+  List.sort (fun a b -> Float.compare a.lb b.lb) children
+
+let is_complete dm node = node.k = Dist_matrix.size dm

@@ -1,0 +1,40 @@
+open Import
+
+(** Branching for the branch-and-bound tree (BBT).
+
+    A BBT node is a partial topology over the first [k] species of the
+    (maxmin-relabelled) matrix, stored as its minimal realization (see
+    {!Ultra.Utree}).  Branching inserts species [k] at each of the
+    [2k - 1] positions of a [k]-leaf tree — above every node including
+    the root — so the full BBT has [(2n-3)!!] leaves, matching the
+    paper's [A(n)] counts. *)
+
+type node = {
+  tree : Utree.t;  (** minimal realization over species [0 .. k-1] *)
+  k : int;  (** number of species inserted so far *)
+  cost : float;  (** [Utree.weight tree], cached *)
+  lb : float;  (** lower bound on any completion of this topology *)
+}
+
+val root : Dist_matrix.t -> node
+(** The BBT root: the unique topology over species 0 and 1.
+    @raise Invalid_argument if the matrix has fewer than 2 species. *)
+
+val suffix_min_bounds : Dist_matrix.t -> float array
+(** [b.(k)] = sum over species [x >= k] of [min_j D(x,j) / 2] — the LB1
+    increment for a node with [k] species inserted.  [b.(n) = 0]. *)
+
+val insertions : Dist_matrix.t -> Utree.t -> int -> Utree.t list
+(** [insertions dm t sp] are the [2k - 1] minimal realizations obtained
+    by inserting leaf [sp] at every position of [t].  Heights are updated
+    along the insertion path only, so each candidate shares structure
+    with [t]. *)
+
+val branch :
+  Dist_matrix.t -> lb_extra:float array -> node -> node list
+(** Children of a BBT node: all insertions of species [node.k], with
+    costs and lower bounds ([cost + lb_extra.(k + 1)]) filled in, sorted
+    by ascending lower bound.  @raise Invalid_argument if the node is
+    already complete. *)
+
+val is_complete : Dist_matrix.t -> node -> bool

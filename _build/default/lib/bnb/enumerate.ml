@@ -1,0 +1,31 @@
+open Import
+
+let count n =
+  if n < 1 then invalid_arg "Enumerate.count: n < 1";
+  if n > 17 then invalid_arg "Enumerate.count: overflow";
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 2) in
+  go 1 ((2 * n) - 3)
+
+let iter dm f =
+  let n = Dist_matrix.size dm in
+  if n > 12 then invalid_arg "Enumerate.iter: n too large";
+  if n = 1 then f (Utree.leaf 0)
+  else begin
+    let start =
+      Utree.node (Dist_matrix.get dm 0 1 /. 2.) (Utree.leaf 0) (Utree.leaf 1)
+    in
+    let rec go t k =
+      if k = n then f t
+      else List.iter (fun t' -> go t' (k + 1)) (Bb_tree.insertions dm t k)
+    in
+    go start 2
+  end
+
+let minimum dm =
+  let best = ref None in
+  iter dm (fun t ->
+      let w = Utree.weight t in
+      match !best with
+      | Some (w0, _) when w0 <= w -> ()
+      | Some _ | None -> best := Some (w, t));
+  match !best with Some (_, t) -> t | None -> assert false

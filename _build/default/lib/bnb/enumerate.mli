@@ -1,0 +1,22 @@
+open Import
+
+(** Exhaustive enumeration of rooted binary topologies.
+
+    There are [(2n-3)!! = 1 * 3 * ... * (2n-3)] leaf-labelled rooted
+    binary trees on [n] leaves — the [A(n)] counts the papers quote
+    ([A(20) > 10^21]).  Exhaustive enumeration is the ground truth the
+    test suite checks the branch-and-bound against, and a practical
+    solver for up to ~9 species. *)
+
+val count : int -> int
+(** [(2n-3)!!] for [n >= 1].  @raise Invalid_argument for [n < 1] or
+    when the count overflows [int] (n > 17 on 64-bit). *)
+
+val iter : Dist_matrix.t -> (Utree.t -> unit) -> unit
+(** Apply a function to the minimal realization of every topology over
+    the matrix's species.  Visits [count n] trees; guarded to [n <= 12].
+    @raise Invalid_argument beyond the guard. *)
+
+val minimum : Dist_matrix.t -> Utree.t
+(** The exact minimum ultrametric tree by enumeration (first optimal
+    tree in generation order).  Same guard as {!iter}. *)

@@ -1,0 +1,7 @@
+(* Aliases for modules from dependency libraries. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Permutation = Distmat.Permutation
+module Utree = Ultra.Utree
+module Linkage = Clustering.Linkage
+module Nj = Clustering.Nj

@@ -1,0 +1,85 @@
+open Import
+
+type outcome = {
+  tree : Utree.t;
+  cost : float;
+  rounds : int;
+  improvements : int;
+}
+
+(* An internal edge joins an internal node [v] to an internal child [c].
+   With [c]'s children (x, y) and [v]'s other child z, the two NNI
+   rearrangements swap z with x or with y.  Heights are placeholders
+   (parents get max-of-children) and are re-realised by the caller. *)
+let neighbors tree =
+  let acc = ref [] in
+  let mk l r = Utree.node (Float.max (Utree.height l) (Utree.height r)) l r in
+  (* Rebuild the tree with subtree [fresh] in place of the node currently
+     at [path] — we recurse carrying a context function. *)
+  let rec visit t (rebuild : Utree.t -> Utree.t) =
+    match t with
+    | Utree.Leaf _ -> ()
+    | Utree.Node n ->
+        (match (n.left, n.right) with
+        | Utree.Node c, z ->
+            (* Internal edge t -> left child. *)
+            acc := rebuild (mk (mk c.left z) c.right) :: !acc;
+            acc := rebuild (mk (mk c.right z) c.left) :: !acc
+        | _ -> ());
+        (match (n.right, n.left) with
+        | Utree.Node c, z ->
+            acc := rebuild (mk (mk c.left z) c.right) :: !acc;
+            acc := rebuild (mk (mk c.right z) c.left) :: !acc
+        | _ -> ());
+        visit n.left (fun sub ->
+            rebuild (Utree.Node { n with left = sub }));
+        visit n.right (fun sub ->
+            rebuild (Utree.Node { n with right = sub }))
+  in
+  visit tree Fun.id;
+  !acc
+
+let delete_leaf x tree =
+  let rec go = function
+    | Utree.Leaf i -> if i = x then None else Some (Utree.Leaf i)
+    | Utree.Node n -> (
+        match (go n.left, go n.right) with
+        | None, Some s | Some s, None -> Some s
+        | Some l, Some r -> Some (Utree.Node { n with left = l; right = r })
+        | None, None -> None)
+  in
+  go tree
+
+let leaf_moves dm tree =
+  List.concat_map
+    (fun x ->
+      match delete_leaf x tree with
+      | None | Some (Utree.Leaf _) -> []
+      | Some pruned -> Bb_tree.insertions dm pruned x)
+    (Utree.leaves tree)
+
+let improve ?(max_rounds = 50) dm start =
+  let realize t = Utree.minimal_realization dm t in
+  let current = ref (realize start) in
+  let cost = ref (Utree.weight !current) in
+  let rounds = ref 0 and improvements = ref 0 in
+  let improved = ref true in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    (* Steepest descent: scan all neighbours, move to the best one. *)
+    List.iter
+      (fun candidate ->
+        let candidate = realize candidate in
+        let w = Utree.weight candidate in
+        if w < !cost -. 1e-12 then begin
+          cost := w;
+          current := candidate;
+          improved := true;
+          incr improvements
+        end)
+      (neighbors !current @ leaf_moves dm !current)
+  done;
+  { tree = !current; cost = !cost; rounds = !rounds; improvements = !improvements }
+
+let from_upgmm ?max_rounds dm = improve ?max_rounds dm (Linkage.upgmm dm)

@@ -1,0 +1,36 @@
+open Import
+
+(** Local search for ultrametric trees: nearest-neighbour interchanges
+    (NNI) plus single-leaf reinsertion (a restricted SPR).
+
+    When a matrix has no useful compact sets and branch-and-bound is out
+    of reach, hill-climbing from a heuristic tree is the standard
+    fallback.  NNI alone is weak for the ultrametric cost (UPGMM trees
+    are frequently NNI-local-optima even when globally suboptimal — see
+    the A-8 ablation), so each round also tries pruning every leaf and
+    reinserting it at every position.  The result is never worse than
+    the starting tree. *)
+
+type outcome = {
+  tree : Utree.t;  (** locally optimal minimal realization *)
+  cost : float;
+  rounds : int;  (** full NNI sweeps performed *)
+  improvements : int;  (** accepted interchanges *)
+}
+
+val neighbors : Utree.t -> Utree.t list
+(** All trees one NNI move away (two per internal edge), as bare
+    topologies (heights not re-realised). *)
+
+val leaf_moves : Dist_matrix.t -> Utree.t -> Utree.t list
+(** All trees obtained by pruning one leaf and reinserting it elsewhere
+    (heights re-realised along the insertion path). *)
+
+val improve :
+  ?max_rounds:int -> Dist_matrix.t -> Utree.t -> outcome
+(** Hill-climb from the given topology over the combined NNI +
+    leaf-reinsertion neighbourhood (default at most 50 sweeps).  The
+    starting tree's leaves must be exactly the matrix's species. *)
+
+val from_upgmm : ?max_rounds:int -> Dist_matrix.t -> outcome
+(** Convenience: hill-climb starting from the UPGMM tree. *)

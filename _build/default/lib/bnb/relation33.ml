@@ -1,0 +1,99 @@
+open Import
+
+let ordered a b = if a < b then (a, b) else (b, a)
+
+let matrix_pair dm i j k =
+  let dij = Dist_matrix.get dm i j
+  and dik = Dist_matrix.get dm i k
+  and djk = Dist_matrix.get dm j k in
+  if dij < dik && dij < djk then Some (ordered i j)
+  else if dik < dij && dik < djk then Some (ordered i k)
+  else if djk < dij && djk < dik then Some (ordered j k)
+  else None
+
+(* Heights of [LCA(sp, a)] for every other leaf [a], in one traversal:
+   walking the root-to-[sp] path, every leaf hanging off the path at a
+   node has its LCA with [sp] exactly there. *)
+let lca_heights_from t sp =
+  let acc = ref [] in
+  let rec record_all h t =
+    match t with
+    | Utree.Leaf a -> acc := (a, h) :: !acc
+    | Utree.Node n ->
+        record_all h n.left;
+        record_all h n.right
+  in
+  let rec contains x = function
+    | Utree.Leaf l -> l = x
+    | Utree.Node n -> contains x n.left || contains x n.right
+  in
+  let rec walk t =
+    match t with
+    | Utree.Leaf l -> if l <> sp then raise Not_found
+    | Utree.Node n ->
+        if contains sp n.left then begin
+          record_all n.height n.right;
+          walk n.left
+        end
+        else begin
+          record_all n.height n.left;
+          walk n.right
+        end
+  in
+  walk t;
+  !acc
+
+let tree_pair t i j k =
+  let hs = lca_heights_from t i in
+  let hj = List.assoc j hs and hk = List.assoc k hs in
+  if hj < hk then ordered i j
+  else if hk < hj then ordered i k
+  else ordered j k
+
+let contradicts dm t i j k =
+  match matrix_pair dm i j k with
+  | None -> false
+  | Some p -> p <> tree_pair t i j k
+
+let count_contradictions dm t =
+  let n = Dist_matrix.size dm in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    (* One path walk per leaf i gives LCA heights to every other leaf. *)
+    let hs = lca_heights_from t i in
+    let h = Array.make n 0. in
+    List.iter (fun (a, x) -> h.(a) <- x) hs;
+    for j = i + 1 to n - 1 do
+      for k = j + 1 to n - 1 do
+        let tpair =
+          if h.(j) < h.(k) then (i, j)
+          else if h.(k) < h.(j) then (i, k)
+          else (j, k)
+        in
+        match matrix_pair dm i j k with
+        | Some p when p <> tpair -> incr count
+        | Some _ | None -> ()
+      done
+    done
+  done;
+  !count
+
+let compatible_insertion dm t sp =
+  let hs = lca_heights_from t sp in
+  let rec pairs = function
+    | [] -> true
+    | (a, ha) :: rest ->
+        List.for_all
+          (fun (b, hb) ->
+            let tpair =
+              if ha < hb then ordered sp a
+              else if hb < ha then ordered sp b
+              else ordered a b
+            in
+            match matrix_pair dm sp a b with
+            | None -> true
+            | Some p -> p = tpair)
+          rest
+        && pairs rest
+  in
+  pairs hs

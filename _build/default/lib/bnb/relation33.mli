@@ -1,0 +1,39 @@
+open Import
+
+(** The 3-3 relationship between a distance matrix and a tree topology
+    (Definition 11 of the companion paper, after Fan 2000).
+
+    For any three species, the matrix may single out a {e strictly}
+    closest pair; a binary tree always groups exactly one of the three
+    pairs below the triple's common ancestor.  A triple is
+    {e contradictory} when the matrix's strict pair differs from the
+    tree's pair.  Counting contradictions measures how faithfully a tree
+    reflects the matrix; constraining branch-and-bound insertions to
+    avoid new contradictions prunes the solution space (the companion
+    paper applies it when inserting the third species; applying it at
+    every insertion is its stated future work, exposed here as
+    {!compatible_insertion}). *)
+
+val matrix_pair : Dist_matrix.t -> int -> int -> int -> (int * int) option
+(** [matrix_pair dm i j k] is the pair of the triple at strictly smaller
+    distance than the other two pairs, or [None] when ties prevent a
+    strict choice.  The pair is returned with smaller index first. *)
+
+val tree_pair : Utree.t -> int -> int -> int -> int * int
+(** The pair grouped below the triple's common ancestor (well defined on
+    binary trees).  @raise Not_found if a label is missing from the
+    tree. *)
+
+val contradicts : Dist_matrix.t -> Utree.t -> int -> int -> int -> bool
+(** Whether the triple is contradictory: the matrix names a strict pair
+    and the tree groups a different one. *)
+
+val count_contradictions : Dist_matrix.t -> Utree.t -> int
+(** Contradictory triples over all [C(n,3)] triples of the tree's leaves
+    (Fan's tree-quality measure).  The tree's leaves must be exactly
+    [0 .. n-1] for the matrix's [n]. *)
+
+val compatible_insertion : Dist_matrix.t -> Utree.t -> int -> bool
+(** [compatible_insertion dm t sp]: [t] is a topology that already
+    contains leaf [sp]; check that no triple [(sp, a, b)] is
+    contradictory.  O(k^2) for a tree with [k] leaves. *)

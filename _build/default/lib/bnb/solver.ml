@@ -1,0 +1,270 @@
+open Import
+
+type lb_kind = LB0 | LB1
+type mode33 = Off | Third_only | Every_insertion
+type initial_ub = Upgmm_ub | Upgma_ub | Nj_ub | No_heuristic_ub
+type search_order = Dfs | Best_first
+
+type options = {
+  lb : lb_kind;
+  relation33 : mode33;
+  initial_ub : initial_ub;
+  max_expanded : int option;
+  search : search_order;
+  collect_all : bool;
+}
+
+let default_options =
+  {
+    lb = LB1;
+    relation33 = Off;
+    initial_ub = Upgmm_ub;
+    max_expanded = None;
+    search = Dfs;
+    collect_all = false;
+  }
+
+type outcome = {
+  tree : Utree.t;
+  cost : float;
+  optimal : bool;
+  all_optimal : Utree.t list;
+  stats : Stats.t;
+}
+
+type problem = {
+  pm : Dist_matrix.t;
+  perm : Permutation.t;
+  lb_extra : float array;
+  ub0 : float;
+  incumbent0 : Utree.t option;
+  opts : options;
+}
+
+let prepare ?(options = default_options) dm =
+  let perm = Permutation.maxmin dm in
+  let pm = Permutation.apply dm perm in
+  let n = Dist_matrix.size pm in
+  let lb_extra =
+    match options.lb with
+    | LB0 -> Array.make (n + 1) 0.
+    | LB1 -> Bb_tree.suffix_min_bounds pm
+  in
+  let heuristic_tree =
+    match options.initial_ub with
+    | Upgmm_ub -> Some (Linkage.upgmm pm)
+    | Upgma_ub -> Some (Utree.minimal_realization pm (Linkage.upgma pm))
+    | Nj_ub -> Some (Nj.ultrametric_of pm)
+    | No_heuristic_ub -> None
+  in
+  let ub0 =
+    match heuristic_tree with
+    | Some t -> Utree.weight t
+    | None -> infinity
+  in
+  { pm; perm; lb_extra; ub0; incumbent0 = heuristic_tree; opts = options }
+
+let relabel_out problem t =
+  let p = Permutation.to_array problem.perm in
+  Utree.relabel (fun r -> p.(r)) t
+
+let expand problem (node : Bb_tree.node) stats =
+  stats.Stats.expanded <- stats.Stats.expanded + 1;
+  let children = Bb_tree.branch problem.pm ~lb_extra:problem.lb_extra node in
+  stats.Stats.generated <- stats.Stats.generated + List.length children;
+  let apply_33 =
+    match problem.opts.relation33 with
+    | Off -> false
+    | Third_only -> node.k = 2
+    | Every_insertion -> true
+  in
+  if not apply_33 then children
+  else begin
+    let kept =
+      List.filter
+        (fun (c : Bb_tree.node) ->
+          Relation33.compatible_insertion problem.pm c.tree node.k)
+        children
+    in
+    stats.Stats.pruned_33 <-
+      stats.Stats.pruned_33 + List.length children - List.length kept;
+    (* Never let the heuristic constraint empty the candidate list: the
+       companion paper reports 3-3 results as a subset of the full
+       results, which requires at least one child to survive. *)
+    if kept = [] then [ List.hd children ] else kept
+  end
+
+(* Binary min-heap on the lower bound, for the best-first order. *)
+module Node_heap = struct
+  type t = { mutable a : Bb_tree.node array; mutable size : int }
+
+  let dummy : Bb_tree.node =
+    { tree = Utree.Leaf 0; k = 0; cost = 0.; lb = 0. }
+
+  let create () = { a = Array.make 64 dummy; size = 0 }
+  let length h = h.size
+
+  let swap h i j =
+    let x = h.a.(i) in
+    h.a.(i) <- h.a.(j);
+    h.a.(j) <- x
+
+  let rec sift_up h i =
+    let parent = (i - 1) / 2 in
+    if i > 0 && h.a.(i).Bb_tree.lb < h.a.(parent).Bb_tree.lb then begin
+      swap h i parent;
+      sift_up h parent
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.size && h.a.(l).Bb_tree.lb < h.a.(!smallest).Bb_tree.lb then
+      smallest := l;
+    if r < h.size && h.a.(r).Bb_tree.lb < h.a.(!smallest).Bb_tree.lb then
+      smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h node =
+    if h.size = Array.length h.a then begin
+      let bigger = Array.make (2 * h.size) dummy in
+      Array.blit h.a 0 bigger 0 h.size;
+      h.a <- bigger
+    end;
+    h.a.(h.size) <- node;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.size <- h.size - 1;
+      h.a.(0) <- h.a.(h.size);
+      h.a.(h.size) <- dummy;
+      sift_down h 0;
+      Some top
+    end
+end
+
+let tie_eps = 1e-9
+
+let solve ?(options = default_options) dm =
+  let n = Dist_matrix.size dm in
+  if n = 1 then
+    {
+      tree = Utree.leaf 0;
+      cost = 0.;
+      optimal = true;
+      all_optimal = [ Utree.leaf 0 ];
+      stats = Stats.create ();
+    }
+  else begin
+    let problem = prepare ~options dm in
+    let stats = Stats.create () in
+    let ub = ref problem.ub0 in
+    let best = ref problem.incumbent0 in
+    let ties = ref [] in
+    let optimal = ref true in
+    (* With [collect_all], equal-cost nodes survive pruning so every
+       optimal topology is reached — each exactly once, because the BBT
+       generates each topology along a unique insertion sequence. *)
+    let prunable lb =
+      if options.collect_all then lb > !ub +. tie_eps else lb >= !ub
+    in
+    let record_solution (c : Bb_tree.node) =
+      if c.Bb_tree.cost < !ub -. tie_eps then begin
+        ub := c.cost;
+        best := Some c.tree;
+        ties := (if options.collect_all then [ c.tree ] else []);
+        stats.Stats.ub_updates <- stats.Stats.ub_updates + 1
+      end
+      else if options.collect_all && Float.abs (c.cost -. !ub) <= tie_eps
+      then begin
+        if not (List.exists (Utree.same_topology c.tree) !ties) then
+          ties := c.tree :: !ties
+      end
+      else if c.cost < !ub then begin
+        (* An improvement finer than [tie_eps]: still adopt the tree. *)
+        ub := c.cost;
+        best := Some c.tree;
+        stats.Stats.ub_updates <- stats.Stats.ub_updates + 1
+      end
+    in
+    (* Open list, behind push/pop chosen by the search order. *)
+    let stack = ref [] in
+    let heap = Node_heap.create () in
+    let push node =
+      match options.search with
+      | Dfs -> stack := node :: !stack
+      | Best_first -> Node_heap.push heap node
+    in
+    let pop () =
+      match options.search with
+      | Dfs -> (
+          match !stack with
+          | [] -> None
+          | x :: rest ->
+              stack := rest;
+              Some x)
+      | Best_first -> Node_heap.pop heap
+    in
+    let open_length () =
+      match options.search with
+      | Dfs -> List.length !stack
+      | Best_first -> Node_heap.length heap
+    in
+    let cap_reached () =
+      match options.max_expanded with
+      | Some cap -> stats.Stats.expanded >= cap
+      | None -> false
+    in
+    push (Bb_tree.root problem.pm);
+    let rec loop () =
+      match pop () with
+      | None -> ()
+      | Some _ when cap_reached () -> optimal := false
+      | Some node ->
+          if prunable node.Bb_tree.lb then
+            stats.Stats.pruned <- stats.Stats.pruned + 1
+          else if Bb_tree.is_complete problem.pm node then
+            (* Only the n = 2 root can be popped complete. *)
+            record_solution node
+          else begin
+            let children = expand problem node stats in
+            List.iter
+              (fun (c : Bb_tree.node) ->
+                if Bb_tree.is_complete problem.pm c then record_solution c
+                else if not (prunable c.lb) then push c
+                else stats.Stats.pruned <- stats.Stats.pruned + 1)
+              (List.rev children);
+            stats.Stats.max_open <-
+              Int.max stats.Stats.max_open (open_length ())
+          end;
+          loop ()
+    in
+    loop ();
+    match !best with
+    | Some t ->
+        let tree = relabel_out problem t in
+        let all_optimal =
+          match !ties with
+          | [] -> [ tree ]
+          | ts -> List.map (relabel_out problem) ts
+        in
+        { tree; cost = !ub; optimal = !optimal; all_optimal; stats }
+    | None ->
+        (* Only reachable with [No_heuristic_ub] and an expansion cap
+           small enough that no complete tree was ever built. *)
+        let fallback = Linkage.upgmm dm in
+        {
+          tree = fallback;
+          cost = Utree.weight fallback;
+          optimal = false;
+          all_optimal = [ fallback ];
+          stats;
+        }
+  end

@@ -1,0 +1,95 @@
+open Import
+
+(** Sequential branch-and-bound construction of minimum ultrametric trees
+    (algorithm BBU of Wu-Chao-Tang 1999, as used by both papers).
+
+    The solver (1) relabels the species as a maxmin permutation,
+    (2) builds the two-species root topology, (3) takes the UPGMM tree's
+    weight as the initial upper bound, and (4) explores the BBT
+    depth-first, pruning nodes whose lower bound reaches the incumbent.
+    The 3-3 relationship can additionally prune insertions (off /
+    third-species-only as published / every insertion as the companion
+    paper's future-work extension). *)
+
+type lb_kind =
+  | LB0  (** weight of the partial minimal realization only *)
+  | LB1
+      (** LB0 plus [sum min_j D(x,j) / 2] over species not yet inserted *)
+
+type mode33 = Off | Third_only | Every_insertion
+
+type initial_ub =
+  | Upgmm_ub  (** the papers' choice: complete-linkage heuristic tree *)
+  | Upgma_ub  (** classical UPGMA topology, re-realised to be feasible *)
+  | Nj_ub  (** neighbor-joining topology, re-realised *)
+  | No_heuristic_ub  (** start from an infinite upper bound *)
+
+type search_order =
+  | Dfs
+      (** depth-first with children in ascending-LB order — the papers'
+          strategy, constant memory per level *)
+  | Best_first
+      (** always expand the open node of least lower bound — fewer
+          expansions, potentially exponential memory *)
+
+type options = {
+  lb : lb_kind;
+  relation33 : mode33;
+  initial_ub : initial_ub;
+  max_expanded : int option;
+      (** stop early after expanding this many BBT nodes (the outcome is
+          then possibly non-optimal); [None] = run to completion *)
+  search : search_order;
+  collect_all : bool;
+      (** gather {e every} optimal tree, as the companion paper's Step 7
+          ("gather all solutions from each node") does.  Equal-cost
+          nodes are then kept instead of pruned, so the search expands
+          more nodes. *)
+}
+
+val default_options : options
+(** [LB1], [Off], [Upgmm_ub], no cap, [Dfs], [collect_all = false]. *)
+
+type outcome = {
+  tree : Utree.t;  (** best tree found, in the original species labels *)
+  cost : float;  (** its weight *)
+  optimal : bool;
+      (** whether the search ran to completion (always [false] when the
+          expansion cap was hit first) *)
+  all_optimal : Utree.t list;
+      (** with [collect_all]: every distinct optimal topology the search
+          completed (original labels); otherwise just [[tree]] *)
+  stats : Stats.t;
+}
+
+val solve : ?options:options -> Dist_matrix.t -> outcome
+(** Construct the minimum ultrametric tree of a metric distance matrix.
+    With [relation33 <> Off] the search is restricted and the result can
+    in principle be slightly costlier than the true optimum (empirically
+    it is not — see the test suite).  Handles [n = 1] and [n = 2]
+    directly.  @raise Invalid_argument on an empty matrix. *)
+
+(** {2 Shared plumbing}
+
+    The parallel solver drives the same branching and bounding; these
+    give it access to the prepared search state. *)
+
+type problem = {
+  pm : Dist_matrix.t;  (** matrix relabelled by the maxmin permutation *)
+  perm : Permutation.t;
+  lb_extra : float array;  (** per-level LB increment (zeros for [LB0]) *)
+  ub0 : float;  (** initial upper bound *)
+  incumbent0 : Utree.t option;
+      (** feasible tree realising [ub0] (in permuted labels), if any *)
+  opts : options;
+}
+
+val prepare : ?options:options -> Dist_matrix.t -> problem
+
+val expand : problem -> Bb_tree.node -> Stats.t -> Bb_tree.node list
+(** Children of a node after 3-3 filtering (recorded in the stats),
+    sorted by ascending lower bound.  Upper-bound pruning is left to the
+    caller, whose incumbent may be shared across workers. *)
+
+val relabel_out : problem -> Utree.t -> Utree.t
+(** Map a tree over permuted labels back to the original species. *)

@@ -1,0 +1,31 @@
+type t = {
+  mutable expanded : int;
+  mutable generated : int;
+  mutable pruned : int;
+  mutable pruned_33 : int;
+  mutable ub_updates : int;
+  mutable max_open : int;
+}
+
+let create () =
+  {
+    expanded = 0;
+    generated = 0;
+    pruned = 0;
+    pruned_33 = 0;
+    ub_updates = 0;
+    max_open = 0;
+  }
+
+let add acc s =
+  acc.expanded <- acc.expanded + s.expanded;
+  acc.generated <- acc.generated + s.generated;
+  acc.pruned <- acc.pruned + s.pruned;
+  acc.pruned_33 <- acc.pruned_33 + s.pruned_33;
+  acc.ub_updates <- acc.ub_updates + s.ub_updates;
+  acc.max_open <- Int.max acc.max_open s.max_open
+
+let pp ppf s =
+  Format.fprintf ppf
+    "expanded=%d generated=%d pruned=%d pruned33=%d ub_updates=%d max_open=%d"
+    s.expanded s.generated s.pruned s.pruned_33 s.ub_updates s.max_open

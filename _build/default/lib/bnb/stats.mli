@@ -1,0 +1,16 @@
+(** Search statistics for branch-and-bound runs. *)
+
+type t = {
+  mutable expanded : int;  (** BBT nodes whose children were generated *)
+  mutable generated : int;  (** children created by branching *)
+  mutable pruned : int;  (** children discarded because [LB >= UB] *)
+  mutable pruned_33 : int;  (** children discarded by the 3-3 relationship *)
+  mutable ub_updates : int;  (** times a better feasible solution was found *)
+  mutable max_open : int;  (** high-water mark of the open list *)
+}
+
+val create : unit -> t
+val add : t -> t -> unit
+(** [add acc s] accumulates [s] into [acc] (max for [max_open]). *)
+
+val pp : Format.formatter -> t -> unit

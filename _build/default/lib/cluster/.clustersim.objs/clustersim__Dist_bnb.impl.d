@@ -1,0 +1,1 @@
+lib/cluster/dist_bnb.ml: Array Bb_tree Dist_matrix Float Import List Platform Sim Solver Stats Utree

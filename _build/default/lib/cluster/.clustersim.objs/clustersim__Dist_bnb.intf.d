@@ -1,0 +1,1 @@
+lib/cluster/dist_bnb.mli: Dist_matrix Import Platform Solver Utree

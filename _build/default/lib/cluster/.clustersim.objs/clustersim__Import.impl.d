@@ -1,0 +1,1 @@
+lib/cluster/import.ml: Bnb Distmat Ultra

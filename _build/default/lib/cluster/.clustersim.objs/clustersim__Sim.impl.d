@@ -1,0 +1,1 @@
+lib/cluster/sim.ml: Array Float

@@ -1,0 +1,50 @@
+type t = {
+  slave_speeds : float array;
+  master_speed : float;
+  latency : float;
+  bandwidth : float;
+  startup : float;
+}
+
+let n_slaves t = Array.length t.slave_speeds
+
+let single ?(speed = 2_300.) () =
+  {
+    slave_speeds = [| speed |];
+    master_speed = speed;
+    latency = 1e-4;
+    bandwidth = 100e6 /. 8.;
+    startup = 0.;
+  }
+
+let cluster ?(speed = 2_300.) n =
+  if n < 1 then invalid_arg "Platform.cluster: need at least one slave";
+  {
+    slave_speeds = Array.make n speed;
+    master_speed = speed;
+    latency = 1e-4;
+    bandwidth = 100e6 /. 8.;
+    startup = 0.05;
+  }
+
+let grid ~sites =
+  if sites = [] then invalid_arg "Platform.grid: no sites";
+  let speeds =
+    List.concat_map
+      (fun (nodes, speed) ->
+        if nodes < 1 || speed <= 0. then
+          invalid_arg "Platform.grid: bad site spec";
+        List.init nodes (fun _ -> speed))
+      sites
+  in
+  {
+    slave_speeds = Array.of_list speeds;
+    master_speed = (match sites with (_, s) :: _ -> s | [] -> 0.);
+    latency = 5e-3;
+    bandwidth = 10e6 /. 8.;
+    startup = 0.08;
+  }
+
+let message_time t ~bytes = t.latency +. (float_of_int bytes /. t.bandwidth)
+
+let node_bytes ~n_species = 64 + (16 * n_species)

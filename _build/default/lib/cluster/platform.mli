@@ -1,0 +1,44 @@
+(** Hardware models for the simulated experiments.
+
+    The papers' testbed is a Linux PC cluster: one master and 16 slave
+    nodes on 100 Mbps Ethernet (1 Gbps to the server); the grid paper
+    adds a second site reached over a WAN with slower nodes.  A platform
+    fixes each slave's compute speed (BBT node expansions per second)
+    and the communication parameters used for every message
+    ([latency + bytes / bandwidth]). *)
+
+type t = {
+  slave_speeds : float array;  (** expansions per second, one per slave *)
+  master_speed : float;  (** master's expansion speed (seeding phase) *)
+  latency : float;  (** per-message startup, seconds *)
+  bandwidth : float;  (** bytes per second *)
+  startup : float;
+      (** one-off job-launch cost (MPI/Globus start, barrier), seconds *)
+}
+
+val n_slaves : t -> int
+
+val single : ?speed:float -> unit -> t
+(** One node, no parallel job launch: the papers' sequential baseline.
+    Default speed 2_300 expansions/s, calibrated so that the simulated
+    single-node times sit in the papers' reported range on comparable
+    search sizes. *)
+
+val cluster : ?speed:float -> int -> t
+(** The papers' PC cluster: homogeneous slaves (default speed 2_300
+    expansions/s — AMD 2000+ class), 100 us latency, 100 Mbps links,
+    50 ms MPI job launch. *)
+
+val grid : sites:(int * float) list -> t
+(** A computational grid: one [(nodes, speed)] pair per site, joined by
+    WAN-class communication (5 ms latency, 10 Mbps) with an 80 ms
+    Globus/MPICH-G2 launch — the UniGrid setup of the NCS 2005 paper
+    (whose per-node hardware was {e better} than the lab cluster's, as
+    the report notes). *)
+
+val message_time : t -> bytes:int -> float
+(** Latency plus transmission time of one message. *)
+
+val node_bytes : n_species:int -> int
+(** Serialised size of one BBT node: a topology over at most [n] leaves
+    plus bookkeeping. *)

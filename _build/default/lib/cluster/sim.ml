@@ -1,0 +1,78 @@
+(* Binary min-heap on (time, seq); seq preserves FIFO order for equal
+   times and makes runs deterministic. *)
+
+type event = { time : float; seq : int; handler : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let dummy = { time = 0.; seq = 0; handler = ignore }
+
+let create () =
+  { heap = Array.make 64 dummy; size = 0; clock = 0.; next_seq = 0;
+    processed = 0 }
+
+let now t = t.clock
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let x = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let schedule t ~delay handler =
+  if (not (Float.is_finite delay)) || delay < 0. then
+    invalid_arg "Sim.schedule: delay must be finite and non-negative";
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <-
+    { time = t.clock +. delay; seq = t.next_seq; handler };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  sift_down t 0;
+  top
+
+let run t =
+  while t.size > 0 do
+    let e = pop t in
+    t.clock <- e.time;
+    t.processed <- t.processed + 1;
+    e.handler ()
+  done
+
+let n_processed t = t.processed

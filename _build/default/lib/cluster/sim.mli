@@ -1,0 +1,23 @@
+(** A minimal discrete-event simulation engine.
+
+    Events are closures scheduled at absolute virtual times; [run]
+    executes them in time order (FIFO among equal times) until none
+    remain.  Handlers may schedule further events. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time (seconds); [0.] before the first event. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Enqueue a handler [delay] seconds after the current time.
+    @raise Invalid_argument on negative or non-finite delays. *)
+
+val run : t -> unit
+(** Drain the event queue.  Returns when no events remain; [now] then
+    reports the completion time. *)
+
+val n_processed : t -> int
+(** Events executed so far (for instrumentation). *)

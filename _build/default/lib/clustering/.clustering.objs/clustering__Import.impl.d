@@ -1,0 +1,1 @@
+lib/clustering/import.ml: Distmat Ultra

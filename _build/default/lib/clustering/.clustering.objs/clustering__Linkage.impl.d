@@ -1,0 +1,1 @@
+lib/clustering/linkage.ml: Array Dist_matrix Float Import Option Utree

@@ -1,0 +1,1 @@
+lib/clustering/linkage.mli: Dist_matrix Import Utree

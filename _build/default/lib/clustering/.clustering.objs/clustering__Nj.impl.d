@@ -1,0 +1,1 @@
+lib/clustering/nj.ml: Array Dist_matrix Float Fun Import List Utree

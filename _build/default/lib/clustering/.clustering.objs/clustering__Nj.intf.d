@@ -1,0 +1,1 @@
+lib/clustering/nj.mli: Dist_matrix Import Utree

@@ -1,0 +1,4 @@
+(* Aliases for modules from dependency libraries. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Utree = Ultra.Utree

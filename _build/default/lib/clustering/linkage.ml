@@ -1,0 +1,61 @@
+open Import
+
+type t = Single | Complete | Average | Weighted
+
+let lance_williams linkage ~size_a ~size_b d_ak d_bk =
+  match linkage with
+  | Single -> Float.min d_ak d_bk
+  | Complete -> Float.max d_ak d_bk
+  | Average ->
+      let na = float_of_int size_a and nb = float_of_int size_b in
+      ((na *. d_ak) +. (nb *. d_bk)) /. (na +. nb)
+  | Weighted -> (d_ak +. d_bk) /. 2.
+
+let cluster linkage dm =
+  let n = Dist_matrix.size dm in
+  if n < 2 then invalid_arg "Linkage.cluster: need at least 2 species";
+  (* Active clusters are slots 0 .. n-1; a merged pair reuses the smaller
+     slot.  [d] is the evolving cluster-distance matrix. *)
+  let d = Array.init n (fun i -> Array.init n (fun j -> Dist_matrix.get dm i j)) in
+  let tree = Array.init n (fun i -> Utree.leaf i) in
+  let size = Array.make n 1 in
+  let active = Array.make n true in
+  for _step = 1 to n - 1 do
+    let bi = ref (-1) and bj = ref (-1) and best = ref infinity in
+    for i = 0 to n - 1 do
+      if active.(i) then
+        for j = i + 1 to n - 1 do
+          if active.(j) && d.(i).(j) < !best then begin
+            best := d.(i).(j);
+            bi := i;
+            bj := j
+          end
+        done
+    done;
+    let a = !bi and b = !bj in
+    let h =
+      (* Clamp against children so inversions (possible for exotic inputs
+         under Average/Weighted) never produce an invalid tree. *)
+      Float.max (!best /. 2.)
+        (Float.max (Utree.height tree.(a)) (Utree.height tree.(b)))
+    in
+    tree.(a) <- Utree.node h tree.(a) tree.(b);
+    active.(b) <- false;
+    for k = 0 to n - 1 do
+      if active.(k) && k <> a then begin
+        let nd =
+          lance_williams linkage ~size_a:size.(a) ~size_b:size.(b) d.(a).(k)
+            d.(b).(k)
+        in
+        d.(a).(k) <- nd;
+        d.(k).(a) <- nd
+      end
+    done;
+    size.(a) <- size.(a) + size.(b)
+  done;
+  let root = ref None in
+  Array.iteri (fun i alive -> if alive then root := Some tree.(i)) active;
+  Option.get !root
+
+let upgmm dm = cluster Complete dm
+let upgma dm = cluster Average dm

@@ -1,0 +1,30 @@
+open Import
+
+(** Agglomerative hierarchical clustering.
+
+    All four classical linkages share one engine: repeatedly merge the
+    two closest clusters at height [d/2] and update the cluster-distance
+    row with the Lance-Williams rule of the chosen linkage.
+
+    [Complete] is the paper's {b UPGMM} ("Unweighted Pair Group Method
+    with Maximum"): because the merged cluster keeps the {e maximum}
+    pairwise distance, the produced tree satisfies
+    [d_T(i,j) >= D(i,j)] for every pair — a feasible ultrametric tree,
+    which is what algorithm BBU uses as its initial upper bound. *)
+
+type t =
+  | Single  (** minimum cross distance *)
+  | Complete  (** maximum cross distance — the paper's UPGMM *)
+  | Average  (** unweighted mean — classical UPGMA *)
+  | Weighted  (** WPGMA: midpoint mean *)
+
+val cluster : t -> Dist_matrix.t -> Utree.t
+(** Build the dendrogram as an ultrametric tree over species
+    [0 .. n-1].  Deterministic: ties pick the smallest cluster indices.
+    @raise Invalid_argument if the matrix has fewer than 2 species. *)
+
+val upgmm : Dist_matrix.t -> Utree.t
+(** [cluster Complete] — the paper's initial-upper-bound heuristic. *)
+
+val upgma : Dist_matrix.t -> Utree.t
+(** [cluster Average]. *)

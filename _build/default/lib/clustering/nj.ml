@@ -1,0 +1,58 @@
+open Import
+
+let rooted_topology dm =
+  let n = Dist_matrix.size dm in
+  if n < 2 then invalid_arg "Nj.rooted_topology: need at least 2 species";
+  if n = 2 then Utree.node 0. (Utree.leaf 0) (Utree.leaf 1)
+  else begin
+    let d = Array.init n (fun i -> Array.init n (Dist_matrix.get dm i)) in
+    let tree = Array.init n (fun i -> Utree.leaf i) in
+    let active = ref (List.init n Fun.id) in
+    (* Classic NJ: minimise Q(i,j) = (r-2) d(i,j) - R(i) - R(j) where r is
+       the number of active clusters and R is the row sum over them. *)
+    while List.length !active > 2 do
+      let act = !active in
+      let r = float_of_int (List.length act) in
+      let row_sum i =
+        List.fold_left (fun acc k -> if k = i then acc else acc +. d.(i).(k)) 0. act
+      in
+      let sums = List.map (fun i -> (i, row_sum i)) act in
+      let sum_of i = List.assoc i sums in
+      let best = ref infinity and bi = ref (-1) and bj = ref (-1) in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              if i < j then begin
+                let q = ((r -. 2.) *. d.(i).(j)) -. sum_of i -. sum_of j in
+                if q < !best then begin
+                  best := q;
+                  bi := i;
+                  bj := j
+                end
+              end)
+            act)
+        act;
+      let i = !bi and j = !bj in
+      (* Join i and j into slot i; distances to the new cluster follow the
+         standard NJ update. *)
+      List.iter
+        (fun k ->
+          if k <> i && k <> j then begin
+            let nd = (d.(i).(k) +. d.(j).(k) -. d.(i).(j)) /. 2. in
+            d.(i).(k) <- nd;
+            d.(k).(i) <- nd
+          end)
+        act;
+      let h = Float.max (Utree.height tree.(i)) (Utree.height tree.(j)) in
+      tree.(i) <- Utree.node h tree.(i) tree.(j);
+      active := List.filter (fun k -> k <> j) act
+    done;
+    match !active with
+    | [ a; b ] ->
+        let h = Float.max (Utree.height tree.(a)) (Utree.height tree.(b)) in
+        Utree.node h tree.(a) tree.(b)
+    | _ -> assert false
+  end
+
+let ultrametric_of dm = Utree.minimal_realization dm (rooted_topology dm)

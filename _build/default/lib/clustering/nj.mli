@@ -1,0 +1,19 @@
+open Import
+
+(** Neighbor joining (Saitou & Nei 1987) — the classical distance-based
+    baseline the papers cite.
+
+    NJ produces an unrooted additive tree; we root it at the final join
+    and return the topology.  Use {!rooted_topology} together with
+    {!Ultra.Utree.minimal_realization} to obtain a feasible ultrametric
+    tree, e.g. as an alternative initial upper bound for the
+    branch-and-bound (ablation A-5 in DESIGN.md). *)
+
+val rooted_topology : Dist_matrix.t -> Utree.t
+(** Run NJ and return the rooted topology (heights all zero except where
+    needed to stay monotone — callers should re-realise heights against a
+    matrix).  @raise Invalid_argument for fewer than 2 species. *)
+
+val ultrametric_of : Dist_matrix.t -> Utree.t
+(** [minimal_realization dm (rooted_topology dm)] — a feasible ultrametric
+    tree guided by the NJ topology. *)

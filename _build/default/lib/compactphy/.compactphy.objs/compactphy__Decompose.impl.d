@@ -1,0 +1,1 @@
+lib/compactphy/decompose.ml: Array Compact_sets Dist_matrix Float Import Int Laminar List

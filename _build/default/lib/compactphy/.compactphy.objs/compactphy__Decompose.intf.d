@@ -1,0 +1,1 @@
+lib/compactphy/decompose.mli: Dist_matrix Import Laminar

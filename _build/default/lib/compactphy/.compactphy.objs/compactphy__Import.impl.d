@@ -1,0 +1,1 @@
+lib/compactphy/import.ml: Bnb Cgraph Distmat Parbnb Ultra

@@ -1,0 +1,1 @@
+lib/compactphy/paper_example.ml: Dist_matrix Import

@@ -1,0 +1,1 @@
+lib/compactphy/paper_example.mli: Dist_matrix Import

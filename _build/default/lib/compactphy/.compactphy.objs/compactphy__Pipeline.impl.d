@@ -1,0 +1,1 @@
+lib/compactphy/pipeline.ml: Array Decompose Dist_matrix Import Laminar List Logs Par_bnb Solver Stats Unix Utree

@@ -1,0 +1,1 @@
+lib/compactphy/pipeline.mli: Decompose Dist_matrix Import Solver Stats Utree

@@ -1,0 +1,9 @@
+(* Aliases for modules from dependency libraries. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Compact_sets = Cgraph.Compact_sets
+module Laminar = Cgraph.Laminar
+module Utree = Ultra.Utree
+module Solver = Bnb.Solver
+module Stats = Bnb.Stats
+module Par_bnb = Parbnb.Par_bnb

@@ -1,0 +1,19 @@
+open Import
+
+let matrix =
+  Dist_matrix.of_rows
+    [|
+      [| 0.; 2.; 1.; 9.; 6.; 9.5 |];
+      [| 2.; 0.; 2.5; 10.; 6.; 10.5 |];
+      [| 1.; 2.5; 0.; 9.2; 5.; 9.8 |];
+      [| 9.; 10.; 9.2; 0.; 8.; 1.5 |];
+      [| 6.; 6.; 5.; 8.; 0.; 7. |];
+      [| 9.5; 10.5; 9.8; 1.5; 7.; 0. |];
+    |]
+
+let compact_sets = [ [ 0; 2 ]; [ 3; 5 ]; [ 0; 1; 2 ]; [ 0; 1; 2; 4 ] ]
+
+let c4_max_matrix =
+  (* Children of {0,1,2,4}: the set {0,1,2} and the lone vertex 4; the
+     maximum distance between them is max(6, 6, 5) = 6. *)
+  Dist_matrix.of_rows [| [| 0.; 6. |]; [| 6.; 0. |] |]

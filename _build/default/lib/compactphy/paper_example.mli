@@ -1,0 +1,22 @@
+open Import
+
+(** The paper's worked example (Figures 3-6), reconstructed.
+
+    The PaCT 2005 paper illustrates the technique on a 6-vertex complete
+    weighted graph whose exact weights are only given in a figure; this
+    matrix reproduces every stated property: the MST edge order is
+    (1,3) < (4,6) < (1,2) < (3,5) < (5,6) (paper numbering), the compact
+    sets are {{1,3}, {4,6}, {1,2,3}, {1,2,3,5}}, and the maximum
+    distance from vertex 5 to C3 = {1,2,3} is 6 — the entry the paper
+    shows in C4's maximum matrix.  Vertices here are 0-indexed. *)
+
+val matrix : Dist_matrix.t
+
+val compact_sets : int list list
+(** The four compact sets (0-indexed, canonical order):
+    [[0;2]; [3;5]; [0;1;2]; [0;1;2;4]]. *)
+
+val c4_max_matrix : Dist_matrix.t
+(** The paper's Figure 6: the maximum matrix of C4 = {1,2,3,5} over its
+    immediate children {C3, 5} — a 2x2 matrix whose off-diagonal entry
+    is 6. *)

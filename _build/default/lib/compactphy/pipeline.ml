@@ -1,0 +1,137 @@
+open Import
+
+let src = Logs.Src.create "compactphy.pipeline" ~doc:"Compact-set pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type run = {
+  tree : Utree.t;
+  cost : float;
+  elapsed_s : float;
+  stats : Stats.t;
+  n_blocks : int;
+  largest_block : int;
+  optimal : bool;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let solve_small ~options ~workers stats optimal small =
+  if Dist_matrix.size small = 1 then Utree.leaf 0
+  else if workers <= 1 then begin
+    let r = Solver.solve ~options small in
+    Stats.add stats r.Solver.stats;
+    if not r.Solver.optimal then optimal := false;
+    r.Solver.tree
+  end
+  else begin
+    let r = Par_bnb.solve ~options ~n_workers:workers small in
+    Stats.add stats r.Par_bnb.stats;
+    if not r.Par_bnb.optimal then optimal := false;
+    r.Par_bnb.tree
+  end
+
+let exact ?(options = Solver.default_options) ?(workers = 1) dm =
+  let stats = Stats.create () in
+  let optimal = ref true in
+  let tree, elapsed_s =
+    timed (fun () -> solve_small ~options ~workers stats optimal dm)
+  in
+  {
+    tree;
+    cost = Utree.weight tree;
+    elapsed_s;
+    stats;
+    n_blocks = 1;
+    largest_block = Dist_matrix.size dm;
+    optimal = !optimal;
+  }
+
+let with_compact_sets ?(linkage = Decompose.Max) ?relaxation
+    ?(options = Solver.default_options) ?(workers = 1) dm =
+  let n = Dist_matrix.size dm in
+  if n = 0 then invalid_arg "Pipeline.with_compact_sets: empty matrix";
+  if n = 1 then
+    {
+      tree = Utree.leaf 0;
+      cost = 0.;
+      elapsed_s = 0.;
+      stats = Stats.create ();
+      n_blocks = 1;
+      largest_block = 1;
+      optimal = true;
+    }
+  else begin
+    let stats = Stats.create () in
+    let optimal = ref true in
+    let (tree, deco), elapsed_s =
+      timed (fun () ->
+          let deco = Decompose.decompose ~linkage ?relaxation dm in
+          Log.debug (fun m ->
+              m "decomposed %d species into %d blocks (largest %d)" n
+                (Decompose.n_blocks deco)
+                (Decompose.largest_block deco));
+          (* Solve blocks bottom-up: a block's "species" are its
+             children; each solved small tree has leaves 0 .. k-1 which
+             we replace by the recursively built child subtrees. *)
+          let rec build_child (child : Laminar.tree) =
+            match child with
+            | Laminar.Elem i -> Utree.leaf i
+            | Laminar.Set _ ->
+                solve_block (List.assq child deco.Decompose.set_blocks)
+          and solve_block (block : Decompose.block) =
+            match block.children with
+            | [ only ] -> build_child only
+            | children ->
+                let small_tree =
+                  solve_small ~options ~workers stats optimal
+                    block.Decompose.small
+                in
+                let arr = Array.of_list children in
+                Utree.map_leaves (fun a -> build_child arr.(a)) small_tree
+          in
+          let merged = solve_block deco.Decompose.root_block in
+          Log.debug (fun m ->
+              m "blocks solved: %d BBT nodes expanded in total"
+                stats.Stats.expanded);
+          (* The graft fixes a topology; re-realising against the full
+             matrix yields the cheapest feasible ultrametric tree with
+             that topology (and repairs any height inversion the Min/Avg
+             linkages can introduce). *)
+          (Utree.minimal_realization dm merged, deco))
+    in
+    {
+      tree;
+      cost = Utree.weight tree;
+      elapsed_s;
+      stats;
+      n_blocks = Decompose.n_blocks deco;
+      largest_block = Decompose.largest_block deco;
+      optimal = !optimal;
+    }
+  end
+
+type comparison = {
+  with_cs : run;
+  without_cs : run;
+  time_saved_pct : float;
+  cost_increase_pct : float;
+}
+
+let compare_methods ?linkage ?options ?workers dm =
+  let with_cs = with_compact_sets ?linkage ?options ?workers dm in
+  let without_cs = exact ?options ?workers dm in
+  let time_saved_pct =
+    if without_cs.elapsed_s <= 0. then 0.
+    else
+      (without_cs.elapsed_s -. with_cs.elapsed_s)
+      /. without_cs.elapsed_s *. 100.
+  in
+  let cost_increase_pct =
+    if without_cs.cost <= 0. then 0.
+    else (with_cs.cost -. without_cs.cost) /. without_cs.cost *. 100.
+  in
+  { with_cs; without_cs; time_saved_pct; cost_increase_pct }

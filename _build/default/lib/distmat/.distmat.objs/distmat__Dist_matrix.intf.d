@@ -1,0 +1,1 @@
+lib/distmat/dist_matrix.mli: Format

@@ -1,0 +1,1 @@
+lib/distmat/gen.ml: Array Dist_matrix List Metric Random

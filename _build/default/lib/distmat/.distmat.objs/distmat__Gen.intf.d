@@ -1,0 +1,1 @@
+lib/distmat/gen.mli: Dist_matrix Random

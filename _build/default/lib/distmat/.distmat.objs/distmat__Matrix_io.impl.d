@@ -1,0 +1,1 @@
+lib/distmat/matrix_io.ml: Array Buffer Dist_matrix Fun List Printf String

@@ -1,0 +1,1 @@
+lib/distmat/matrix_io.mli: Dist_matrix

@@ -1,0 +1,1 @@
+lib/distmat/metric.ml: Dist_matrix Float List

@@ -1,0 +1,1 @@
+lib/distmat/metric.mli: Dist_matrix

@@ -1,0 +1,1 @@
+lib/distmat/permutation.ml: Array Dist_matrix Float

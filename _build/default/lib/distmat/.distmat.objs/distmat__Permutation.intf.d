@@ -1,0 +1,1 @@
+lib/distmat/permutation.mli: Dist_matrix

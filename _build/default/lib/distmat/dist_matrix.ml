@@ -1,0 +1,133 @@
+type t = { n : int; data : float array }
+(* Row-major full storage: [data.(i * n + j)].  Full (not triangular)
+   storage doubles memory but keeps [get] branch-free, which matters in the
+   branch-and-bound inner loops. *)
+
+let create n =
+  if n <= 0 then invalid_arg "Dist_matrix.create: size must be positive";
+  { n; data = Array.make (n * n) 0. }
+
+let size m = m.n
+
+let check_index m i =
+  if i < 0 || i >= m.n then
+    invalid_arg
+      (Printf.sprintf "Dist_matrix: index %d out of range [0, %d)" i m.n)
+
+let get m i j =
+  check_index m i;
+  check_index m j;
+  Array.unsafe_get m.data ((i * m.n) + j)
+
+let set m i j d =
+  check_index m i;
+  check_index m j;
+  if i = j && d <> 0. then
+    invalid_arg "Dist_matrix.set: diagonal entries must be zero";
+  if not (Float.is_finite d) then
+    invalid_arg "Dist_matrix.set: distance must be finite";
+  if d < 0. then invalid_arg "Dist_matrix.set: negative distance";
+  m.data.((i * m.n) + j) <- d;
+  m.data.((j * m.n) + i) <- d
+
+let init n f =
+  let m = create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      set m i j (f i j)
+    done
+  done;
+  m
+
+let of_rows rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Dist_matrix.of_rows: empty";
+  Array.iter
+    (fun r ->
+      if Array.length r <> n then invalid_arg "Dist_matrix.of_rows: not square")
+    rows;
+  for i = 0 to n - 1 do
+    if rows.(i).(i) <> 0. then
+      invalid_arg "Dist_matrix.of_rows: non-zero diagonal";
+    for j = 0 to n - 1 do
+      if not (Float.is_finite rows.(i).(j)) then
+        invalid_arg "Dist_matrix.of_rows: non-finite entry";
+      if rows.(i).(j) < 0. then
+        invalid_arg "Dist_matrix.of_rows: negative entry";
+      if rows.(i).(j) <> rows.(j).(i) then
+        invalid_arg "Dist_matrix.of_rows: not symmetric"
+    done
+  done;
+  init n (fun i j -> rows.(i).(j))
+
+let to_rows m =
+  Array.init m.n (fun i -> Array.init m.n (fun j -> get m i j))
+
+let copy m = { n = m.n; data = Array.copy m.data }
+
+let sub m idx =
+  let k = Array.length idx in
+  if k = 0 then invalid_arg "Dist_matrix.sub: empty index set";
+  Array.iter (fun i -> check_index m i) idx;
+  let seen = Array.make m.n false in
+  Array.iter
+    (fun i ->
+      if seen.(i) then invalid_arg "Dist_matrix.sub: repeated index";
+      seen.(i) <- true)
+    idx;
+  init k (fun a b -> get m idx.(a) idx.(b))
+
+let equal ?(eps = 0.) a b =
+  a.n = b.n
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data
+
+let max_entry m = Array.fold_left Float.max 0. m.data
+
+let min_off_diagonal m =
+  if m.n < 2 then invalid_arg "Dist_matrix.min_off_diagonal: need n >= 2";
+  let best = ref infinity in
+  for i = 0 to m.n - 1 do
+    for j = i + 1 to m.n - 1 do
+      let d = get m i j in
+      if d < !best then best := d
+    done
+  done;
+  !best
+
+let farthest_pair m =
+  if m.n < 2 then invalid_arg "Dist_matrix.farthest_pair: need n >= 2";
+  let bi = ref 0 and bj = ref 1 and best = ref neg_infinity in
+  for i = 0 to m.n - 1 do
+    for j = i + 1 to m.n - 1 do
+      let d = get m i j in
+      if d > !best then begin
+        best := d;
+        bi := i;
+        bj := j
+      end
+    done
+  done;
+  (!bi, !bj)
+
+let iter_pairs f m =
+  for i = 0 to m.n - 1 do
+    for j = i + 1 to m.n - 1 do
+      f i j (get m i j)
+    done
+  done
+
+let fold_pairs f acc m =
+  let acc = ref acc in
+  iter_pairs (fun i j d -> acc := f !acc i j d) m;
+  !acc
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.n - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    for j = 0 to m.n - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%8.3f" (get m i j)
+    done
+  done;
+  Format.fprintf ppf "@]"

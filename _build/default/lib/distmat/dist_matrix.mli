@@ -1,0 +1,69 @@
+(** Dense symmetric distance matrices over species [0 .. n-1].
+
+    This is the input model of the whole system: the paper constructs
+    ultrametric trees from an [n * n] symmetric matrix with zero diagonal
+    whose entries obey the triangle inequality (see {!Metric}). *)
+
+type t
+(** A symmetric [n * n] matrix of non-negative distances.  The
+    representation enforces symmetry: updating [(i, j)] also updates
+    [(j, i)]. *)
+
+val create : int -> t
+(** [create n] is the all-zero [n * n] matrix.  @raise Invalid_argument if
+    [n <= 0]. *)
+
+val size : t -> int
+(** Number of species [n]. *)
+
+val get : t -> int -> int -> float
+(** [get m i j] is the distance between species [i] and [j].
+    @raise Invalid_argument on out-of-range indices. *)
+
+val set : t -> int -> int -> float -> unit
+(** [set m i j d] sets the distance between [i] and [j] (and [j] and [i])
+    to [d].  @raise Invalid_argument on out-of-range indices, on [i = j]
+    with [d <> 0.], or on negative or non-finite [d]. *)
+
+val init : int -> (int -> int -> float) -> t
+(** [init n f] builds a matrix with entry [(i, j)] equal to [f i j] for
+    [i < j].  [f] is only called on pairs [i < j]; the diagonal is zero. *)
+
+val of_rows : float array array -> t
+(** Build from a full square array of rows.
+    @raise Invalid_argument if the array is not square, not symmetric,
+    has a non-zero diagonal, or has negative entries. *)
+
+val to_rows : t -> float array array
+(** Full square array copy of the matrix. *)
+
+val copy : t -> t
+
+val sub : t -> int array -> t
+(** [sub m idx] is the principal submatrix of [m] restricted to the
+    species listed in [idx] (in that order).
+    @raise Invalid_argument if [idx] contains an out-of-range or repeated
+    index. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Entry-wise equality up to [eps] (default [0.]). *)
+
+val max_entry : t -> float
+(** Largest entry; [0.] for a 1x1 matrix. *)
+
+val min_off_diagonal : t -> float
+(** Smallest off-diagonal entry.
+    @raise Invalid_argument for a 1x1 matrix. *)
+
+val farthest_pair : t -> int * int
+(** A pair [(i, j)], [i < j], achieving the maximum distance.
+    @raise Invalid_argument for a 1x1 matrix. *)
+
+val iter_pairs : (int -> int -> float -> unit) -> t -> unit
+(** Iterate over all pairs [i < j]. *)
+
+val fold_pairs : ('a -> int -> int -> float -> 'a) -> 'a -> t -> 'a
+(** Fold over all pairs [i < j]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering (rows of fixed-width entries). *)

@@ -1,0 +1,73 @@
+let uniform_metric ~rng ?(lo = 1.) ?(hi = 100.) n =
+  if n < 2 then invalid_arg "Gen.uniform_metric: need n >= 2";
+  if lo <= 0. || hi <= lo then
+    invalid_arg "Gen.uniform_metric: need 0 < lo < hi";
+  let raw =
+    Dist_matrix.init n (fun _ _ -> lo +. Random.State.float rng (hi -. lo))
+  in
+  Metric.floyd_warshall raw
+
+let random_points ~rng ~dim ~scale n =
+  Array.init n (fun _ ->
+      Array.init dim (fun _ -> Random.State.float rng scale))
+
+let euclidean_dist p q =
+  let acc = ref 0. in
+  Array.iteri (fun k x -> acc := !acc +. ((x -. q.(k)) ** 2.)) p;
+  sqrt !acc
+
+let euclidean ~rng ?(dim = 3) ?(scale = 100.) n =
+  if n < 2 then invalid_arg "Gen.euclidean: need n >= 2";
+  if dim < 1 then invalid_arg "Gen.euclidean: need dim >= 1";
+  let pts = random_points ~rng ~dim ~scale n in
+  Dist_matrix.init n (fun i j -> euclidean_dist pts.(i) pts.(j))
+
+let clustered ~rng ?(dim = 3) ?(spread = 5.) ?(separation = 100.) ~n_clusters
+    n =
+  if n < 2 then invalid_arg "Gen.clustered: need n >= 2";
+  if n_clusters < 1 || n_clusters > n then
+    invalid_arg "Gen.clustered: need 1 <= n_clusters <= n";
+  let centers = random_points ~rng ~dim ~scale:separation n_clusters in
+  let pts =
+    Array.init n (fun i ->
+        let c = centers.(i mod n_clusters) in
+        Array.map (fun x -> x +. Random.State.float rng spread) c)
+  in
+  Dist_matrix.init n (fun i j -> euclidean_dist pts.(i) pts.(j))
+
+let ultrametric ~rng ?(height = 100.) n =
+  if n < 2 then invalid_arg "Gen.ultrametric: need n >= 2";
+  (* Random agglomeration: repeatedly merge two random clusters at a
+     strictly increasing height; d(i,j) = 2 * merge height of the clusters
+     separating i and j.  Strict increase keeps the result a genuine
+     ultrametric with distinct levels. *)
+  let m = Dist_matrix.create n in
+  let clusters = ref (List.init n (fun i -> [ i ])) in
+  let level = ref 0. in
+  let step = height /. float_of_int n in
+  while List.length !clusters > 1 do
+    let len = List.length !clusters in
+    let a = Random.State.int rng len in
+    let b =
+      let b = Random.State.int rng (len - 1) in
+      if b >= a then b + 1 else b
+    in
+    level := !level +. (step *. (0.5 +. Random.State.float rng 1.));
+    let ca = List.nth !clusters a and cb = List.nth !clusters b in
+    List.iter
+      (fun i -> List.iter (fun j -> Dist_matrix.set m i j (2. *. !level)) cb)
+      ca;
+    clusters :=
+      (ca @ cb)
+      :: List.filteri (fun idx _ -> idx <> a && idx <> b) !clusters
+  done;
+  m
+
+let near_ultrametric ~rng ?height ?(noise = 0.1) n =
+  let base = ultrametric ~rng ?height n in
+  let jittered =
+    Dist_matrix.init n (fun i j ->
+        let d = Dist_matrix.get base i j in
+        d *. (1. +. ((Random.State.float rng 2. -. 1.) *. noise)))
+  in
+  Metric.floyd_warshall jittered

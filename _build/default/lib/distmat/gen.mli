@@ -1,0 +1,46 @@
+(** Random distance-matrix generators.
+
+    All generators take an explicit [Random.State.t] so experiments are
+    reproducible from a seed.  The paper's random workload draws entries
+    uniformly from [0, 100] — {!uniform_metric} reproduces it (with a
+    Floyd-Warshall repair pass so the result is a metric, which the
+    branch-and-bound algorithms require). *)
+
+val uniform_metric :
+  rng:Random.State.t -> ?lo:float -> ?hi:float -> int -> Dist_matrix.t
+(** [uniform_metric ~rng n] draws each entry uniformly from [[lo, hi]]
+    (defaults 1..100) and closes the result under shortest paths so the
+    triangle inequality holds.  @raise Invalid_argument if [n < 2] or
+    [lo <= 0.] or [hi <= lo]. *)
+
+val euclidean :
+  rng:Random.State.t -> ?dim:int -> ?scale:float -> int -> Dist_matrix.t
+(** Distances between [n] uniform random points in a [dim]-dimensional cube
+    of side [scale] (defaults 3 and 100.).  Always a metric. *)
+
+val clustered :
+  rng:Random.State.t ->
+  ?dim:int ->
+  ?spread:float ->
+  ?separation:float ->
+  n_clusters:int ->
+  int ->
+  Dist_matrix.t
+(** [clustered ~rng ~n_clusters n]: [n] points split evenly among
+    [n_clusters] well-separated centers ([separation], default 100.) with
+    intra-cluster noise [spread] (default 5.).  With
+    [separation >> spread] every cluster is a compact set, giving the
+    structured workload where the paper's decomposition shines. *)
+
+val ultrametric :
+  rng:Random.State.t -> ?height:float -> int -> Dist_matrix.t
+(** A random exact ultrametric on [n] species: a random binary merge order
+    with increasing merge heights up to [height] (default 100.).
+    Satisfies {!Metric.is_ultrametric}. *)
+
+val near_ultrametric :
+  rng:Random.State.t -> ?height:float -> ?noise:float -> int -> Dist_matrix.t
+(** {!ultrametric} with multiplicative noise of relative amplitude [noise]
+    (default 0.1) and a shortest-path repair.  Mimics distance matrices
+    derived from real clock-like sequence data (e.g. human mitochondrial
+    DNA), which are close to — but not exactly — ultrametric. *)

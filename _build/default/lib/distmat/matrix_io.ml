@@ -1,0 +1,159 @@
+type named = { names : string array; matrix : Dist_matrix.t }
+
+let default_names n = Array.init n (Printf.sprintf "s%d")
+
+let check_names n names =
+  if Array.length names <> n then
+    invalid_arg "Matrix_io: wrong number of names";
+  Array.iter
+    (fun s ->
+      if s = "" || String.exists (fun c -> c = ' ' || c = '\t' || c = '\n') s
+      then invalid_arg "Matrix_io: species names must be non-empty words")
+    names
+
+let to_phylip ?names m =
+  let n = Dist_matrix.size m in
+  let names =
+    match names with
+    | None -> default_names n
+    | Some ns ->
+        check_names n ns;
+        ns
+  in
+  let buf = Buffer.create (n * n * 12) in
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf '\n';
+  for i = 0 to n - 1 do
+    Buffer.add_string buf names.(i);
+    for j = 0 to n - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf " %.9g" (Dist_matrix.get m i j))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let of_phylip text =
+  let tokens_of_line line =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> tokens_of_line l <> [])
+  in
+  match lines with
+  | [] -> failwith "Matrix_io.of_phylip: empty input"
+  | header :: rows -> (
+      let n =
+        match tokens_of_line header with
+        | [ count ] -> (
+            match int_of_string_opt count with
+            | Some n when n > 0 -> n
+            | _ -> failwith "Matrix_io.of_phylip: bad species count")
+        | _ -> failwith "Matrix_io.of_phylip: bad header line"
+      in
+      if List.length rows <> n then
+        failwith
+          (Printf.sprintf "Matrix_io.of_phylip: expected %d rows, got %d" n
+             (List.length rows));
+      let names = Array.make n "" in
+      let raw = Array.make_matrix n n 0. in
+      (* Square rows carry n entries each; lower-triangular row i
+         carries i entries.  Detect from the first row. *)
+      let lower_triangular =
+        match tokens_of_line (List.hd rows) with
+        | [ _name ] -> true
+        | _ -> false
+      in
+      let parse_cell i cell =
+        match float_of_string_opt cell with
+        | Some d -> d
+        | None ->
+            failwith
+              (Printf.sprintf "Matrix_io.of_phylip: bad number %S in row %d"
+                 cell i)
+      in
+      List.iteri
+        (fun i line ->
+          let expected = if lower_triangular then i else n in
+          match tokens_of_line line with
+          | name :: cells when List.length cells = expected ->
+              names.(i) <- name;
+              List.iteri
+                (fun j cell ->
+                  let d = parse_cell i cell in
+                  raw.(i).(j) <- d;
+                  if lower_triangular then raw.(j).(i) <- d)
+                cells
+          | _ ->
+              failwith
+                (Printf.sprintf
+                   "Matrix_io.of_phylip: row %d must be a name and %d values"
+                   i expected))
+        rows;
+      match Dist_matrix.of_rows raw with
+      | m -> { names; matrix = m }
+      | exception Invalid_argument msg ->
+          failwith ("Matrix_io.of_phylip: " ^ msg))
+
+let to_phylip_lower ?names m =
+  let n = Dist_matrix.size m in
+  let names =
+    match names with
+    | None -> default_names n
+    | Some ns ->
+        check_names n ns;
+        ns
+  in
+  let buf = Buffer.create (n * n * 6) in
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf '\n';
+  for i = 0 to n - 1 do
+    Buffer.add_string buf names.(i);
+    for j = 0 to i - 1 do
+      Buffer.add_string buf (Printf.sprintf " %.9g" (Dist_matrix.get m i j))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let to_csv ?names m =
+  let n = Dist_matrix.size m in
+  let names =
+    match names with
+    | None -> default_names n
+    | Some ns ->
+        check_names n ns;
+        ns
+  in
+  let buf = Buffer.create (n * n * 12) in
+  Buffer.add_string buf "species";
+  Array.iter
+    (fun name ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf name)
+    names;
+  Buffer.add_char buf '\n';
+  for i = 0 to n - 1 do
+    Buffer.add_string buf names.(i);
+    for j = 0 to n - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf ",%.6g" (Dist_matrix.get m i j))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,30 @@
+(** Reading and writing distance matrices.
+
+    The on-disk format is PHYLIP square: a line with the species count,
+    then one line per species with its name followed by its full row of
+    distances.  Names default to [s0, s1, ...] when not supplied. *)
+
+type named = { names : string array; matrix : Dist_matrix.t }
+
+val to_phylip : ?names:string array -> Dist_matrix.t -> string
+(** Render in PHYLIP square format.
+    @raise Invalid_argument if [names] has the wrong length or a name
+    contains whitespace. *)
+
+val of_phylip : string -> named
+(** Parse PHYLIP square format, or PHYLIP lower-triangular format (row
+    [i] holds [i] entries), auto-detected from the first data row.
+    @raise Failure with a descriptive message on malformed input
+    (wrong counts, non-numeric entries, asymmetry, non-zero diagonal). *)
+
+val to_phylip_lower : ?names:string array -> Dist_matrix.t -> string
+(** Render in PHYLIP lower-triangular format (the other common layout
+    for distance matrices). *)
+
+val to_csv : ?names:string array -> Dist_matrix.t -> string
+(** Comma-separated rendering with a header row, for spreadsheets. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)
+
+val read_file : string -> string

@@ -1,0 +1,40 @@
+(** Metric and ultrametric predicates on distance matrices.
+
+    Definitions follow the companion paper (HPCAsia 2005, Defs. 1-3):
+    a matrix is a {e metric} when distances obey the triangle inequality,
+    and an {e ultrametric} when [M(i,j) <= max (M(i,k)) (M(j,k))] for all
+    triples (the three-point condition). *)
+
+type violation = { i : int; j : int; k : int; slack : float }
+(** A triple witnessing a failed inequality; [slack] is the (positive)
+    amount by which the inequality is violated. *)
+
+val is_symmetric : Dist_matrix.t -> bool
+(** Always true for {!Dist_matrix.t} values built through the API; exposed
+    for matrices reconstructed from raw rows in tests. *)
+
+val is_metric : ?eps:float -> Dist_matrix.t -> bool
+(** [is_metric m] holds when [m i j +. m j k >= m i k -. eps] for all
+    triples [i, j, k] (default [eps = 1e-9]). *)
+
+val metric_violations :
+  ?eps:float -> ?limit:int -> Dist_matrix.t -> violation list
+(** Up to [limit] (default 10) triangle-inequality violations, worst
+    first. *)
+
+val is_ultrametric : ?eps:float -> Dist_matrix.t -> bool
+(** Three-point condition: every triple's two largest distances are equal
+    (within [eps], default [1e-9]). *)
+
+val ultrametric_violations :
+  ?eps:float -> ?limit:int -> Dist_matrix.t -> violation list
+
+val floyd_warshall : Dist_matrix.t -> Dist_matrix.t
+(** Shortest-path (metric) closure of the matrix, viewing it as a complete
+    weighted graph.  The result always satisfies [is_metric]; entries can
+    only decrease.  Used to repair randomly generated matrices. *)
+
+val subdominant_ultrametric : Dist_matrix.t -> Dist_matrix.t
+(** The maximal ultrametric pointwise below [m]: the single-linkage
+    (minimax-path) closure.  Classic construction used as a reference in
+    tests: the result is always an ultrametric below the input. *)

@@ -1,0 +1,88 @@
+type t = int array
+
+let of_array a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then
+        invalid_arg "Permutation.of_array: not a permutation";
+      seen.(x) <- true)
+    a;
+  Array.copy a
+
+let identity n = Array.init n (fun i -> i)
+
+let maxmin m =
+  let n = Dist_matrix.size m in
+  if n = 1 then [| 0 |]
+  else begin
+    let i0, j0 = Dist_matrix.farthest_pair m in
+    let order = Array.make n 0 in
+    order.(0) <- i0;
+    order.(1) <- j0;
+    let placed = Array.make n false in
+    placed.(i0) <- true;
+    placed.(j0) <- true;
+    (* [min_to_placed.(x)] = min distance from x to the placed prefix,
+       maintained incrementally so the whole loop is O(n^2). *)
+    let min_to_placed =
+      Array.init n (fun x ->
+          Float.min (Dist_matrix.get m x i0) (Dist_matrix.get m x j0))
+    in
+    for rank = 2 to n - 1 do
+      let best = ref (-1) in
+      for x = 0 to n - 1 do
+        if
+          (not placed.(x))
+          && (!best < 0 || min_to_placed.(x) > min_to_placed.(!best))
+        then best := x
+      done;
+      let x = !best in
+      order.(rank) <- x;
+      placed.(x) <- true;
+      for y = 0 to n - 1 do
+        if not placed.(y) then
+          min_to_placed.(y) <-
+            Float.min min_to_placed.(y) (Dist_matrix.get m y x)
+      done
+    done;
+    order
+  end
+
+let is_maxmin m p =
+  let n = Dist_matrix.size m in
+  Array.length p = n
+  &&
+  if n <= 1 then true
+  else begin
+    let dmax = Dist_matrix.get m p.(0) p.(1) in
+    let fi, fj = Dist_matrix.farthest_pair m in
+    let global_max = Dist_matrix.get m fi fj in
+    let min_to_prefix rank x =
+      let best = ref infinity in
+      for r = 0 to rank - 1 do
+        best := Float.min !best (Dist_matrix.get m x p.(r))
+      done;
+      !best
+    in
+    let ok = ref (dmax = global_max) in
+    for rank = 2 to n - 1 do
+      let chosen = min_to_prefix rank p.(rank) in
+      for later = rank + 1 to n - 1 do
+        if min_to_prefix rank p.(later) > chosen then ok := false
+      done
+    done;
+    !ok
+  end
+
+let apply m p =
+  Dist_matrix.init (Dist_matrix.size m) (fun a b ->
+      Dist_matrix.get m p.(a) p.(b))
+
+let inverse p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun rank x -> inv.(x) <- rank) p;
+  inv
+
+let to_array p = Array.copy p

@@ -1,0 +1,36 @@
+(** Maxmin permutations (Wu-Chao-Tang 1999, Step 1 of algorithm BBU).
+
+    Relabelling the species as a maxmin permutation before branch-and-bound
+    places "spread-out" species first, which tightens lower bounds early
+    and is essential for the pruning behaviour the papers report. *)
+
+type t = private int array
+(** [p.(rank)] is the original species index placed at position [rank].
+    A valid permutation of [0 .. n-1]. *)
+
+val of_array : int array -> t
+(** Validate an arbitrary permutation (for tests / IO).
+    @raise Invalid_argument if the array is not a permutation of
+    [0 .. n-1]. *)
+
+val identity : int -> t
+
+val maxmin : Dist_matrix.t -> t
+(** [maxmin m] computes a maxmin permutation of the species of [m]:
+    positions 0 and 1 hold a farthest pair, and every subsequent position
+    holds a species maximizing its minimum distance to all previously
+    placed species (ties broken by smallest index, so the result is
+    deterministic). *)
+
+val is_maxmin : Dist_matrix.t -> t -> bool
+(** Check the defining property of a maxmin permutation for [m]. *)
+
+val apply : Dist_matrix.t -> t -> Dist_matrix.t
+(** [apply m p] relabels the matrix: entry [(a, b)] of the result is
+    [m (p.(a)) (p.(b))]. *)
+
+val inverse : t -> t
+(** [inverse p] maps original indices back to ranks. *)
+
+val to_array : t -> int array
+(** Copy of the underlying array. *)

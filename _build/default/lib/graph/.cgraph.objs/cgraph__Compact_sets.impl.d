@@ -1,0 +1,1 @@
+lib/graph/compact_sets.ml: Array Dist_matrix Float Fun Import List Mst Union_find Wgraph

@@ -1,0 +1,1 @@
+lib/graph/compact_sets.mli: Dist_matrix Import Wgraph

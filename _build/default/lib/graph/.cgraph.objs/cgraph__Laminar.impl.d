@@ -1,0 +1,1 @@
+lib/graph/laminar.ml: Array Format Fun Int List

@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Array Dist_matrix Import List Union_find Wgraph

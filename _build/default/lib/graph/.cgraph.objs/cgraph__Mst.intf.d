@@ -1,0 +1,1 @@
+lib/graph/mst.mli: Dist_matrix Import Wgraph

@@ -1,0 +1,1 @@
+lib/graph/union_find.mli:

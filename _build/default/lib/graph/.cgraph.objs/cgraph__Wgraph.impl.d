@@ -1,0 +1,1 @@
+lib/graph/wgraph.ml: Array Dist_matrix Float Format Fun Hashtbl Import List

@@ -1,0 +1,1 @@
+lib/graph/wgraph.mli: Dist_matrix Format Import

@@ -1,0 +1,161 @@
+open Import
+
+let canonical sets =
+  let sets = List.map (List.sort_uniq compare) sets in
+  List.sort_uniq
+    (fun a b ->
+      match compare (List.length a) (List.length b) with
+      | 0 -> compare a b
+      | c -> c)
+    sets
+
+let is_compact dm members =
+  let n = Dist_matrix.size dm in
+  let seen = Array.make n false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Compact_sets.is_compact: range";
+      if seen.(i) then invalid_arg "Compact_sets.is_compact: duplicate";
+      seen.(i) <- true)
+    members;
+  let k = List.length members in
+  if k < 2 || k >= n then false
+  else begin
+    let max_in = ref neg_infinity and min_out = ref infinity in
+    List.iter
+      (fun i ->
+        for j = 0 to n - 1 do
+          if j <> i then
+            if seen.(j) then begin
+              if j > i then
+                max_in := Float.max !max_in (Dist_matrix.get dm i j)
+            end
+            else min_out := Float.min !min_out (Dist_matrix.get dm i j)
+        done)
+      members;
+    !max_in < !min_out
+  end
+
+let brute_force dm =
+  let n = Dist_matrix.size dm in
+  if n > 20 then invalid_arg "Compact_sets.brute_force: n too large";
+  let acc = ref [] in
+  for mask = 1 to (1 lsl n) - 1 do
+    let members =
+      List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id)
+    in
+    let k = List.length members in
+    if k >= 2 && k < n && is_compact dm members then acc := members :: !acc
+  done;
+  canonical !acc
+
+let find_naive ?mst dm =
+  let n = Dist_matrix.size dm in
+  if n < 2 then []
+  else begin
+    let mst =
+      match mst with
+      | Some es ->
+          if not (Mst.is_spanning_tree ~n es) then
+            invalid_arg "Compact_sets.find_naive: not a spanning tree";
+          List.sort Wgraph.compare_edge es
+      | None -> Mst.kruskal (Wgraph.complete_of_matrix dm)
+    in
+    let uf = Union_find.create n in
+    let acc = ref [] in
+    (* Paper's Step 4: process the first n-2 edges only, so the full
+       vertex set is never formed (it is not a compact set by
+       definition). *)
+    let rec sweep remaining edges =
+      match edges with
+      | [] -> ()
+      | _ when remaining = 0 -> ()
+      | (e : Wgraph.edge) :: rest ->
+          ignore (Union_find.union uf e.u e.v);
+          let a = Union_find.members uf e.u in
+          if is_compact dm a then acc := a :: !acc;
+          sweep (remaining - 1) rest
+    in
+    sweep (n - 2) mst;
+    canonical !acc
+  end
+
+let find_general ~alpha dm =
+  let n = Dist_matrix.size dm in
+  if n < 3 then []
+  else begin
+    let mst = Mst.prim dm in
+    let uf = Union_find.create n in
+    (* Per-root state.  [ctable] rows exist for every vertex but only root
+       rows are meaningful; [live] tracks current roots. *)
+    let max_in = Array.make n neg_infinity in
+    let members = Array.init n (fun i -> [ i ]) in
+    let ctable =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              if i = j then infinity else Dist_matrix.get dm i j))
+    in
+    let live = Array.make n true in
+    let acc = ref [] in
+    let merge_count = ref 0 in
+    List.iter
+      (fun (e : Wgraph.edge) ->
+        incr merge_count;
+        if !merge_count <= n - 2 then begin
+          let ra = Union_find.find uf e.u and rb = Union_find.find uf e.v in
+          (* Cross maximum: every vertex pair is scanned exactly once over
+             the whole sweep, so this is O(n^2) amortised. *)
+          let cross = ref neg_infinity in
+          List.iter
+            (fun i ->
+              List.iter
+                (fun j -> cross := Float.max !cross (Dist_matrix.get dm i j))
+                members.(rb))
+            members.(ra);
+          let r = Union_find.union uf e.u e.v in
+          let o = if r = ra then rb else ra in
+          max_in.(r) <- Float.max !cross (Float.max max_in.(ra) max_in.(rb));
+          members.(r) <- List.rev_append members.(o) members.(r);
+          members.(o) <- [];
+          live.(o) <- false;
+          for c = 0 to n - 1 do
+            if live.(c) && c <> r then begin
+              let d = Float.min ctable.(r).(c) ctable.(o).(c) in
+              ctable.(r).(c) <- d;
+              ctable.(c).(r) <- d
+            end
+          done;
+          let min_out = ref infinity in
+          for c = 0 to n - 1 do
+            if live.(c) && c <> r then
+              min_out := Float.min !min_out ctable.(r).(c)
+          done;
+          if max_in.(r) < alpha *. !min_out then acc := members.(r) :: !acc
+        end)
+      mst;
+    canonical !acc
+  end
+
+let find dm = find_general ~alpha:1. dm
+
+(* Keep a laminar subfamily of a possibly-crossing family: insert sets
+   from largest to smallest, dropping any that cross a kept one. *)
+let laminar_filter sets =
+  let crosses a b =
+    let inter = List.exists (fun x -> List.mem x b) a in
+    let a_in_b = List.for_all (fun x -> List.mem x b) a in
+    let b_in_a = List.for_all (fun x -> List.mem x a) b in
+    inter && (not a_in_b) && not b_in_a
+  in
+  let by_size_desc =
+    List.sort (fun a b -> compare (List.length b) (List.length a)) sets
+  in
+  List.rev
+    (List.fold_left
+       (fun kept set ->
+         if List.exists (crosses set) kept then kept else set :: kept)
+       [] by_size_desc)
+
+let find_relaxed ~alpha dm =
+  if alpha < 1. then invalid_arg "Compact_sets.find_relaxed: alpha < 1";
+  canonical (laminar_filter (find_general ~alpha dm))

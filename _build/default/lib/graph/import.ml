@@ -1,0 +1,5 @@
+(* Aliases for modules from dependency libraries, so the rest of this
+   library can refer to them by their short names. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Metric = Distmat.Metric

@@ -1,0 +1,150 @@
+type tree =
+  | Elem of int
+  | Set of { members : int array; children : tree list }
+
+type t = { n : int; roots : tree list }
+
+let members t =
+  match t with Elem i -> [ i ] | Set s -> Array.to_list s.members
+
+let representative t =
+  match t with
+  | Elem i -> i
+  | Set s -> s.members.(0)
+
+let compare_by_rep a b = compare (representative a) (representative b)
+
+(* Mutable scaffolding used during construction only. *)
+type builder = { bmembers : int array; mutable bchildren : builder_child list }
+and builder_child = Bset of builder | Belem of int
+
+let of_sets ~n sets =
+  let sets =
+    List.map
+      (fun s ->
+        let arr = Array.of_list (List.sort_uniq compare s) in
+        if Array.length arr <> List.length s then
+          invalid_arg "Laminar.of_sets: duplicate member in a set";
+        if Array.length arr < 2 then
+          invalid_arg "Laminar.of_sets: sets must have >= 2 members";
+        Array.iter
+          (fun i ->
+            if i < 0 || i >= n then
+              invalid_arg "Laminar.of_sets: member out of range")
+          arr;
+        arr)
+      sets
+  in
+  (* Insert big sets first so that each set lands below every strict
+     superset already placed. *)
+  let sets =
+    List.sort (fun a b -> compare (Array.length b) (Array.length a)) sets
+  in
+  let top = { bmembers = Array.init n Fun.id; bchildren = [] } in
+  for i = 0 to n - 1 do
+    top.bchildren <- Belem i :: top.bchildren
+  done;
+  let subset a b =
+    (* both sorted *)
+    let la = Array.length a and lb = Array.length b in
+    la <= lb
+    &&
+    let j = ref 0 in
+    Array.for_all
+      (fun x ->
+        while !j < lb && b.(!j) < x do
+          incr j
+        done;
+        !j < lb && b.(!j) = x)
+      a
+  in
+  let intersects a b =
+    Array.exists (fun x -> Array.exists (fun y -> x = y) b) a
+  in
+  let rec insert node set =
+    (* Precondition: set is a subset of node.bmembers and is distinct from
+       every set already in the tree (duplicates were removed upstream). *)
+    match
+      List.find_opt
+        (function Bset c -> subset set c.bmembers | Belem _ -> false)
+        node.bchildren
+    with
+    | Some (Bset child) -> insert child set
+    | Some (Belem _) -> assert false
+    | None ->
+        (* The set becomes a new child here; it absorbs every current
+           child it contains.  Partial overlap with a child set means the
+           family is not laminar. *)
+        let absorbed, kept =
+          List.partition
+            (function
+              | Belem i -> Array.exists (fun x -> x = i) set
+              | Bset c -> subset c.bmembers set)
+            node.bchildren
+        in
+        List.iter
+          (function
+            | Bset c when intersects c.bmembers set ->
+                invalid_arg "Laminar.of_sets: sets are not laminar"
+            | _ -> ())
+          kept;
+        let fresh = { bmembers = set; bchildren = absorbed } in
+        node.bchildren <- Bset fresh :: kept
+  in
+  List.iter
+    (fun set ->
+      if Array.length set = n then
+        invalid_arg "Laminar.of_sets: a set may not cover all vertices";
+      insert top set)
+    (List.sort_uniq compare sets);
+  let rec freeze = function
+    | Belem i -> Elem i
+    | Bset b ->
+        Set
+          {
+            members = b.bmembers;
+            children =
+              List.sort compare_by_rep (List.map freeze b.bchildren);
+          }
+  in
+  { n; roots = List.sort compare_by_rep (List.map freeze top.bchildren) }
+
+let rec count_sets = function
+  | Elem _ -> 0
+  | Set s -> List.fold_left (fun acc c -> acc + count_sets c) 1 s.children
+
+let n_sets t = List.fold_left (fun acc r -> acc + count_sets r) 0 t.roots
+
+let rec tree_depth = function
+  | Elem _ -> 0
+  | Set s ->
+      1 + List.fold_left (fun acc c -> Int.max acc (tree_depth c)) 0 s.children
+
+let depth t = List.fold_left (fun acc r -> Int.max acc (tree_depth r)) 0 t.roots
+
+let internal_nodes t =
+  let blocks = ref [] in
+  let rec visit = function
+    | Elem _ -> ()
+    | Set s ->
+        blocks := (s.children, Array.to_list s.members) :: !blocks;
+        List.iter visit s.children
+  in
+  List.iter visit t.roots;
+  (t.roots, List.init t.n Fun.id) :: List.rev !blocks
+
+let rec pp_tree ppf = function
+  | Elem i -> Format.fprintf ppf "%d" i
+  | Set s ->
+      Format.fprintf ppf "{@[%a@]}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           pp_tree)
+        s.children
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " |@ ")
+       pp_tree)
+    t.roots

@@ -1,0 +1,69 @@
+open Import
+
+let kruskal g =
+  let n = Wgraph.n_vertices g in
+  let uf = Union_find.create n in
+  let mst =
+    List.filter
+      (fun (e : Wgraph.edge) ->
+        if Union_find.same uf e.u e.v then false
+        else begin
+          ignore (Union_find.union uf e.u e.v);
+          true
+        end)
+      (Wgraph.sorted_edges g)
+  in
+  if List.length mst <> n - 1 then
+    invalid_arg "Mst.kruskal: graph is not connected";
+  mst
+
+let prim dm =
+  let n = Dist_matrix.size dm in
+  if n = 1 then []
+  else begin
+    let in_tree = Array.make n false in
+    (* [best.(v)] = cheapest connection of v to the current tree. *)
+    let best = Array.make n infinity in
+    let best_from = Array.make n 0 in
+    in_tree.(0) <- true;
+    for v = 1 to n - 1 do
+      best.(v) <- Dist_matrix.get dm 0 v
+    done;
+    let acc = ref [] in
+    for _ = 1 to n - 1 do
+      let v = ref (-1) in
+      for x = 0 to n - 1 do
+        if (not in_tree.(x)) && (!v < 0 || best.(x) < best.(!v)) then v := x
+      done;
+      let v = !v in
+      in_tree.(v) <- true;
+      acc := Wgraph.edge best_from.(v) v best.(v) :: !acc;
+      for x = 0 to n - 1 do
+        if not in_tree.(x) then begin
+          let d = Dist_matrix.get dm v x in
+          if d < best.(x) then begin
+            best.(x) <- d;
+            best_from.(x) <- v
+          end
+        end
+      done
+    done;
+    List.sort Wgraph.compare_edge !acc
+  end
+
+let total_weight es =
+  List.fold_left (fun acc (e : Wgraph.edge) -> acc +. e.w) 0. es
+
+let is_spanning_tree ~n es =
+  List.length es = n - 1
+  &&
+  let uf = Union_find.create n in
+  List.for_all
+    (fun (e : Wgraph.edge) ->
+      e.u >= 0 && e.v < n
+      && (not (Union_find.same uf e.u e.v))
+      &&
+      (ignore (Union_find.union uf e.u e.v);
+       true))
+    es
+  && Union_find.n_sets uf = 1

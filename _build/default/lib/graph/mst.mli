@@ -1,0 +1,22 @@
+open Import
+
+(** Minimum spanning trees.
+
+    Step 1 of the paper's compact-set algorithm: find the MST of the
+    complete graph induced by the distance matrix (the paper uses
+    Kruskal's algorithm; Prim's is provided for dense graphs, where it is
+    O(n^2) without sorting). *)
+
+val kruskal : Wgraph.t -> Wgraph.edge list
+(** MST edges by ascending weight (deterministic tie-breaking via
+    {!Wgraph.compare_edge}).  @raise Invalid_argument if the graph is not
+    connected. *)
+
+val prim : Dist_matrix.t -> Wgraph.edge list
+(** O(n^2) Prim on the complete graph of a matrix.  Edge list is returned
+    sorted ascending like {!kruskal}. *)
+
+val total_weight : Wgraph.edge list -> float
+
+val is_spanning_tree : n:int -> Wgraph.edge list -> bool
+(** [n - 1] edges, connected, acyclic. *)

@@ -1,0 +1,58 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  size : int array;
+  mutable n_sets : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create: negative size";
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    size = Array.make n 1;
+    n_sets = n;
+  }
+
+let check uf i =
+  if i < 0 || i >= Array.length uf.parent then
+    invalid_arg "Union_find: element out of range"
+
+let rec find_raw uf i =
+  let p = uf.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find_raw uf p in
+    uf.parent.(i) <- root;
+    root
+  end
+
+let find uf i =
+  check uf i;
+  find_raw uf i
+
+let union uf a b =
+  let ra = find uf a and rb = find uf b in
+  if ra = rb then ra
+  else begin
+    uf.n_sets <- uf.n_sets - 1;
+    let hi, lo =
+      if uf.rank.(ra) >= uf.rank.(rb) then (ra, rb) else (rb, ra)
+    in
+    uf.parent.(lo) <- hi;
+    uf.size.(hi) <- uf.size.(hi) + uf.size.(lo);
+    if uf.rank.(hi) = uf.rank.(lo) then uf.rank.(hi) <- uf.rank.(hi) + 1;
+    hi
+  end
+
+let same uf a b = find uf a = find uf b
+let size uf i = uf.size.(find uf i)
+let n_sets uf = uf.n_sets
+
+let members uf i =
+  let root = find uf i in
+  let acc = ref [] in
+  for j = Array.length uf.parent - 1 downto 0 do
+    if find_raw uf j = root then acc := j :: !acc
+  done;
+  !acc

@@ -1,0 +1,25 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [0 .. n-1].
+    @raise Invalid_argument if [n < 0]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> int
+(** [union uf a b] merges the two sets and returns the representative of
+    the merged set.  Merging an element with itself is a no-op. *)
+
+val same : t -> int -> int -> bool
+
+val size : t -> int -> int
+(** Number of elements in the set containing the given element. *)
+
+val n_sets : t -> int
+(** Current number of disjoint sets. *)
+
+val members : t -> int -> int list
+(** Elements of the set containing the given element, ascending.  O(n). *)

@@ -1,0 +1,67 @@
+open Import
+
+type edge = { u : int; v : int; w : float }
+
+type t = { n : int; adj : (int * float) list array; m : int }
+
+let edge u v w =
+  if u = v then invalid_arg "Wgraph.edge: self loop";
+  if u < 0 || v < 0 then invalid_arg "Wgraph.edge: negative vertex";
+  if w < 0. then invalid_arg "Wgraph.edge: negative weight";
+  if u < v then { u; v; w } else { u = v; v = u; w }
+
+let create ~n es =
+  let adj = Array.make n [] in
+  let seen = Hashtbl.create (List.length es) in
+  List.iter
+    (fun e ->
+      if e.v >= n then invalid_arg "Wgraph.create: vertex out of range";
+      if Hashtbl.mem seen (e.u, e.v) then
+        invalid_arg "Wgraph.create: duplicate edge";
+      Hashtbl.add seen (e.u, e.v) ();
+      adj.(e.u) <- (e.v, e.w) :: adj.(e.u);
+      adj.(e.v) <- (e.u, e.w) :: adj.(e.v))
+    es;
+  { n; adj; m = List.length es }
+
+let complete_of_matrix dm =
+  let n = Dist_matrix.size dm in
+  let es =
+    Dist_matrix.fold_pairs (fun acc i j w -> edge i j w :: acc) [] dm
+  in
+  create ~n es
+
+let n_vertices g = g.n
+let n_edges g = g.m
+
+let edges g =
+  let acc = ref [] in
+  for u = 0 to g.n - 1 do
+    List.iter (fun (v, w) -> if u < v then acc := { u; v; w } :: !acc) g.adj.(u)
+  done;
+  !acc
+
+let compare_edge a b =
+  match Float.compare a.w b.w with
+  | 0 -> ( match compare a.u b.u with 0 -> compare a.v b.v | c -> c)
+  | c -> c
+
+let sorted_edges g = List.sort compare_edge (edges g)
+
+let neighbors g u =
+  if u < 0 || u >= g.n then invalid_arg "Wgraph.neighbors: out of range";
+  g.adj.(u)
+
+let is_connected g =
+  if g.n = 0 then true
+  else begin
+    let visited = Array.make g.n false in
+    let rec dfs u =
+      visited.(u) <- true;
+      List.iter (fun (v, _) -> if not visited.(v) then dfs v) g.adj.(u)
+    in
+    dfs 0;
+    Array.for_all Fun.id visited
+  end
+
+let pp_edge ppf e = Format.fprintf ppf "(%d-%d: %g)" e.u e.v e.w

@@ -1,0 +1,42 @@
+open Import
+
+(** Edge-weighted undirected graphs.
+
+    The paper views a distance matrix as a complete weighted graph
+    [G = (V, E)]; minimum spanning trees and compact sets are defined on
+    that graph. *)
+
+type edge = { u : int; v : int; w : float }
+(** An undirected edge; constructors normalise so that [u < v]. *)
+
+type t
+(** A graph on vertices [0 .. n-1]. *)
+
+val edge : int -> int -> float -> edge
+(** Build a normalised edge.  @raise Invalid_argument if [u = v], either
+    endpoint is negative, or the weight is negative. *)
+
+val create : n:int -> edge list -> t
+(** @raise Invalid_argument on out-of-range endpoints or duplicate edges. *)
+
+val complete_of_matrix : Dist_matrix.t -> t
+(** The complete graph whose edge weights are the matrix entries. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+val edges : t -> edge list
+(** All edges, in unspecified order. *)
+
+val sorted_edges : t -> edge list
+(** Edges by ascending weight; ties broken by endpoints, so the order is
+    deterministic. *)
+
+val neighbors : t -> int -> (int * float) list
+(** Adjacent vertices with edge weights. *)
+
+val is_connected : t -> bool
+
+val compare_edge : edge -> edge -> int
+(** Ascending weight, then lexicographic endpoints. *)
+
+val pp_edge : Format.formatter -> edge -> unit

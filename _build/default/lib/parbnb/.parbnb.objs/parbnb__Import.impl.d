@@ -1,0 +1,1 @@
+lib/parbnb/import.ml: Bnb Distmat Ultra

@@ -1,0 +1,1 @@
+lib/parbnb/par_bnb.ml: Atomic Bb_tree Clustering Dist_matrix Domain Import Int List Logs Mutex Option Shared_pool Solver Stats Utree

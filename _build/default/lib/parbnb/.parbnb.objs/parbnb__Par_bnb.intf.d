@@ -1,0 +1,1 @@
+lib/parbnb/par_bnb.mli: Dist_matrix Import Solver Stats Utree

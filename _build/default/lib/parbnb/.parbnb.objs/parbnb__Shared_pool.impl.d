@@ -1,0 +1,1 @@
+lib/parbnb/shared_pool.ml: Bb_tree Condition Import Mutex

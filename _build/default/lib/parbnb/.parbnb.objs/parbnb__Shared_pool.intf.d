@@ -1,0 +1,1 @@
+lib/parbnb/shared_pool.mli: Bb_tree Import

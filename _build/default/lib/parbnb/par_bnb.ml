@@ -1,0 +1,191 @@
+open Import
+
+let src = Logs.Src.create "compactphy.parbnb" ~doc:"Parallel branch-and-bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type outcome = {
+  tree : Utree.t;
+  cost : float;
+  optimal : bool;
+  stats : Stats.t;
+  n_workers : int;
+}
+
+type shared = {
+  ub : float Atomic.t;
+  best : (float * Utree.t) option ref;
+  best_lock : Mutex.t;
+  pool : Shared_pool.t;
+  aborted : bool Atomic.t;
+}
+
+let publish shared cost tree =
+  (* Lower the atomic upper bound to [cost] and record the tree.  The CAS
+     loop keeps the bound monotone under concurrent updates. *)
+  let rec lower () =
+    let current = Atomic.get shared.ub in
+    if cost < current then
+      if not (Atomic.compare_and_set shared.ub current cost) then lower ()
+      else begin
+        Mutex.lock shared.best_lock;
+        (match !(shared.best) with
+        | Some (c, _) when c <= cost -> ()
+        | Some _ | None -> shared.best := Some (cost, tree));
+        Mutex.unlock shared.best_lock
+      end
+  in
+  lower ()
+
+let worker problem shared ~max_expanded () =
+  let stats = Stats.create () in
+  let local = ref [] in
+  let cap_reached () =
+    match max_expanded with
+    | Some cap -> stats.Stats.expanded >= cap
+    | None -> false
+  in
+  let process (node : Bb_tree.node) =
+    if node.lb >= Atomic.get shared.ub then
+      stats.Stats.pruned <- stats.Stats.pruned + 1
+    else if Bb_tree.is_complete problem.Solver.pm node then
+      publish shared node.cost node.tree
+    else begin
+      let children = Solver.expand problem node stats in
+      List.iter
+        (fun (c : Bb_tree.node) ->
+          if Bb_tree.is_complete problem.Solver.pm c then begin
+            if c.cost < Atomic.get shared.ub then
+              publish shared c.cost c.tree
+          end
+          else if c.lb < Atomic.get shared.ub then local := c :: !local
+          else stats.Stats.pruned <- stats.Stats.pruned + 1)
+        (List.rev children);
+      stats.Stats.max_open <-
+        Int.max stats.Stats.max_open (List.length !local)
+    end
+  in
+  let rec run () =
+    if cap_reached () then begin
+      (* Return surplus work so other workers can finish it; flag the
+         run as aborted since this worker abandoned its own. *)
+      Atomic.set shared.aborted true;
+      List.iter (Shared_pool.donate shared.pool) !local;
+      local := []
+    end
+    else
+      match !local with
+      | node :: rest ->
+          local := rest;
+          (* Two-level load balancing: when the global pool is dry and we
+             still have queued work, donate our deepest-queued (worst
+             lower bound) node. *)
+          (match (Shared_pool.is_empty shared.pool, List.rev !local) with
+          | true, worst :: _ ->
+              local := List.rev (List.tl (List.rev !local));
+              Shared_pool.donate shared.pool worst
+          | _, _ -> ());
+          process node;
+          run ()
+      | [] -> (
+          match Shared_pool.take shared.pool with
+          | Some node ->
+              process node;
+              run ()
+          | None -> ())
+  in
+  run ();
+  stats
+
+let solve ?(options = Solver.default_options) ?n_workers dm =
+  let n_workers =
+    match n_workers with
+    | Some p ->
+        if p < 1 then invalid_arg "Par_bnb.solve: n_workers < 1";
+        p
+    | None -> Int.max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let n = Dist_matrix.size dm in
+  if n <= 2 then begin
+    let r = Solver.solve ~options dm in
+    {
+      tree = r.Solver.tree;
+      cost = r.Solver.cost;
+      optimal = r.Solver.optimal;
+      stats = r.Solver.stats;
+      n_workers;
+    }
+  end
+  else begin
+    let problem = Solver.prepare ~options dm in
+    let stats = Stats.create () in
+    let shared =
+      {
+        ub = Atomic.make problem.Solver.ub0;
+        best =
+          ref
+            (Option.map
+               (fun t -> (problem.Solver.ub0, t))
+               problem.Solver.incumbent0);
+        best_lock = Mutex.create ();
+        pool = Shared_pool.create ~n_workers;
+        aborted = Atomic.make false;
+      }
+    in
+    (* Master phase: breadth-first expansion until the frontier can feed
+       every worker twice over (paper's Step 5). *)
+    let target = 2 * n_workers in
+    let rec widen frontier =
+      let expandable, complete =
+        List.partition
+          (fun (nd : Bb_tree.node) ->
+            not (Bb_tree.is_complete problem.Solver.pm nd))
+          frontier
+      in
+      List.iter
+        (fun (nd : Bb_tree.node) ->
+          if nd.Bb_tree.cost < Atomic.get shared.ub then
+            publish shared nd.cost nd.tree)
+        complete;
+      match expandable with
+      | [] -> []
+      | _ when List.length expandable >= target -> expandable
+      | nd :: rest ->
+          let children =
+            if nd.Bb_tree.lb >= Atomic.get shared.ub then begin
+              stats.Stats.pruned <- stats.Stats.pruned + 1;
+              []
+            end
+            else Solver.expand problem nd stats
+          in
+          widen (rest @ children)
+      in
+    let seedwork = widen [ Bb_tree.root problem.Solver.pm ] in
+    Log.debug (fun m ->
+        m "seeding %d workers with %d nodes (initial UB %g)" n_workers
+          (List.length seedwork) problem.Solver.ub0);
+    Shared_pool.seed shared.pool seedwork;
+    let domains =
+      List.init n_workers (fun _ ->
+          Domain.spawn
+            (worker problem shared ~max_expanded:options.Solver.max_expanded))
+    in
+    List.iter (fun d -> Stats.add stats (Domain.join d)) domains;
+    let cost, tree =
+      match !(shared.best) with
+      | Some (c, t) -> (c, Solver.relabel_out problem t)
+      | None ->
+          (* No heuristic and the cap aborted everything before any
+             complete tree was built: fall back like the sequential
+             solver does. *)
+          let fallback = Clustering.Linkage.upgmm dm in
+          (Utree.weight fallback, fallback)
+    in
+    {
+      tree;
+      cost;
+      optimal = not (Atomic.get shared.aborted);
+      stats;
+      n_workers;
+    }
+  end

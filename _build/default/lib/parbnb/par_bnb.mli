@@ -1,0 +1,30 @@
+open Import
+
+(** Parallel branch-and-bound for minimum ultrametric trees
+    (Table 1 of the companion paper), on OCaml 5 domains.
+
+    The master seeds a global pool with [2 * n_workers] BBT nodes
+    (paper's Steps 1-5), then every worker runs depth-first
+    branch-and-bound on a local pool, sharing two things: the global
+    upper bound (an atomic, updated whenever a better complete tree is
+    found — the mechanism behind the reported super-linear speedups) and
+    the global pool (refilled by busy workers whenever it runs dry, the
+    papers' two-level load-balancing scheme).
+
+    The result cost always equals the sequential solver's (see the test
+    suite); the returned tree is one optimal tree, not necessarily the
+    same one the sequential search reports first. *)
+
+type outcome = {
+  tree : Utree.t;
+  cost : float;
+  optimal : bool;  (** false only when [max_expanded] stopped a worker *)
+  stats : Stats.t;  (** merged over workers *)
+  n_workers : int;
+}
+
+val solve :
+  ?options:Solver.options -> ?n_workers:int -> Dist_matrix.t -> outcome
+(** [solve ~n_workers dm] — [n_workers] defaults to
+    [Domain.recommended_domain_count () - 1], at least 1.
+    @raise Invalid_argument on an empty matrix or [n_workers < 1]. *)

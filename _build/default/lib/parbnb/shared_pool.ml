@@ -1,0 +1,65 @@
+open Import
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable queue : Bb_tree.node list;
+  mutable parked : int;
+  mutable finished : bool;
+  n_workers : int;
+}
+
+let create ~n_workers =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = [];
+    parked = 0;
+    finished = false;
+    n_workers;
+  }
+
+let seed t nodes =
+  Mutex.lock t.lock;
+  t.queue <- nodes @ t.queue;
+  Mutex.unlock t.lock
+
+let is_empty t = t.queue = []
+
+let donate t node =
+  Mutex.lock t.lock;
+  t.queue <- node :: t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let take t =
+  Mutex.lock t.lock;
+  let rec wait () =
+    match t.queue with
+    | node :: rest ->
+        t.queue <- rest;
+        Mutex.unlock t.lock;
+        Some node
+    | [] ->
+        if t.finished then begin
+          Mutex.unlock t.lock;
+          None
+        end
+        else begin
+          t.parked <- t.parked + 1;
+          if t.parked = t.n_workers then begin
+            (* Everyone is out of work: the search space is exhausted. *)
+            t.finished <- true;
+            Condition.broadcast t.nonempty;
+            t.parked <- t.parked - 1;
+            Mutex.unlock t.lock;
+            None
+          end
+          else begin
+            Condition.wait t.nonempty t.lock;
+            t.parked <- t.parked - 1;
+            wait ()
+          end
+        end
+  in
+  wait ()

@@ -1,0 +1,28 @@
+open Import
+
+(** The global pool (GP) of the master/slave design, plus termination
+    detection.
+
+    Workers keep private local pools and touch the global pool only when
+    (a) their local pool runs dry, or (b) the global pool is empty and
+    they can donate surplus work.  A worker that finds both pools empty
+    parks on a condition variable; when every worker is parked the search
+    is complete and all are released. *)
+
+type t
+
+val create : n_workers:int -> t
+
+val seed : t -> Bb_tree.node list -> unit
+(** Fill the pool before the workers start. *)
+
+val is_empty : t -> bool
+(** Racy snapshot — good enough to decide whether to donate. *)
+
+val donate : t -> Bb_tree.node -> unit
+(** Push a node and wake one parked worker. *)
+
+val take : t -> Bb_tree.node option
+(** Pop a node; blocks while the pool is empty and other workers are
+    still running; returns [None] once every worker is parked (global
+    termination). *)

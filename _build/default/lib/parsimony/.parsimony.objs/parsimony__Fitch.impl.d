@@ -1,0 +1,1 @@
+lib/parsimony/fitch.ml: Array Bnb Dist_matrix Dna Fun Import List Utree

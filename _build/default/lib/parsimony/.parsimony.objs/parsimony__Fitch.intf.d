@@ -1,0 +1,1 @@
+lib/parsimony/fitch.mli: Dna Import Utree

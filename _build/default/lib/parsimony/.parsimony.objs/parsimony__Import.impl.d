@@ -1,0 +1,1 @@
+lib/parsimony/import.ml: Distmat Seqsim Ultra

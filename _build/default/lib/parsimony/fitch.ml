@@ -1,0 +1,66 @@
+open Import
+
+let base_bit = function
+  | Dna.A -> 1
+  | Dna.C -> 2
+  | Dna.G -> 4
+  | Dna.T -> 8
+
+let check_input seqs tree =
+  let n = Array.length seqs in
+  if n = 0 then invalid_arg "Fitch: no sequences";
+  let sites = Array.length seqs.(0) in
+  Array.iter
+    (fun s ->
+      if Array.length s <> sites then
+        invalid_arg "Fitch: sequences must be aligned (equal lengths)")
+    seqs;
+  if Utree.leaves tree <> List.init n Fun.id then
+    invalid_arg "Fitch: tree leaves must index the sequences";
+  sites
+
+let score seqs tree =
+  let sites = check_input seqs tree in
+  let total = ref 0 in
+  for site = 0 to sites - 1 do
+    (* Post-order: each node carries the set (bitmask) of states an
+       optimal labelling can assign it; a union instead of an
+       intersection costs one substitution. *)
+    let rec fitch t =
+      match t with
+      | Utree.Leaf i -> base_bit seqs.(i).(site)
+      | Utree.Node n ->
+          let l = fitch n.left and r = fitch n.right in
+          let inter = l land r in
+          if inter <> 0 then inter
+          else begin
+            incr total;
+            l lor r
+          end
+    in
+    ignore (fitch tree : int)
+  done;
+  !total
+
+let best_tree seqs =
+  let n = Array.length seqs in
+  if n = 0 then invalid_arg "Fitch.best_tree: no sequences";
+  if n > 9 then invalid_arg "Fitch.best_tree: n too large";
+  if n = 1 then (Utree.leaf 0, 0)
+  else begin
+    (* Enumerate topologies over a trivial matrix (heights are
+       irrelevant to parsimony). *)
+    let dummy = Dist_matrix.init n (fun _ _ -> 1.) in
+    let best = ref None in
+    Bnb.Enumerate.iter dummy (fun t ->
+        let s = score seqs t in
+        match !best with
+        | Some (s0, _) when s0 <= s -> ()
+        | Some _ | None -> best := Some (s, t));
+    match !best with Some (s, t) -> (t, s) | None -> assert false
+  end
+
+let consistency_with_distance_tree seqs tree =
+  let s = score seqs tree in
+  let _, opt = best_tree seqs in
+  if s = 0 then 1. else float_of_int opt /. float_of_int s

@@ -1,0 +1,27 @@
+open Import
+
+(** Fitch's small-parsimony algorithm and exhaustive maximum parsimony.
+
+    The character-based counterpart to the distance model: the papers
+    repeatedly cite the parsimony family of tree problems (Day 1983,
+    Foulds & Graham 1982 — NP-complete), and a parsimony score makes a
+    useful independent check on distance-built topologies.  Fitch's
+    algorithm computes, in one post-order pass per site, the minimum
+    number of substitutions a {e fixed} topology requires. *)
+
+val score : Dna.t array -> Utree.t -> int
+(** [score seqs tree] — minimum substitutions over all sites; the tree's
+    leaves index [seqs], which must be non-empty and equal-length
+    (aligned).  @raise Invalid_argument otherwise. *)
+
+val best_tree : Dna.t array -> Utree.t * int
+(** Exhaustive maximum parsimony over all [(2n-3)!!] topologies —
+    guarded to [n <= 9].  Returns a most-parsimonious tree (heights are
+    uniform placeholders) and its score.
+    @raise Invalid_argument beyond the guard. *)
+
+val consistency_with_distance_tree :
+  Dna.t array -> Utree.t -> float
+(** Ratio of the given tree's parsimony score to the exhaustive optimum
+    ([1.0] = the distance tree is also maximally parsimonious).  Same
+    [n <= 9] guard as {!best_tree}. *)

@@ -1,0 +1,5 @@
+(* Aliases for modules from dependency libraries. *)
+
+module Dna = Seqsim.Dna
+module Utree = Ultra.Utree
+module Dist_matrix = Distmat.Dist_matrix

@@ -1,0 +1,1 @@
+lib/redistrib/conflict.ml: Hashtbl Int List Message

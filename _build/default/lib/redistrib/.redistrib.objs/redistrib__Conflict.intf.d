@@ -1,0 +1,1 @@
+lib/redistrib/conflict.mli: Message

@@ -1,0 +1,1 @@
+lib/redistrib/dca.ml: Int List Message

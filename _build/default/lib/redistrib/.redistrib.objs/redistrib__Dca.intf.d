@@ -1,0 +1,1 @@
+lib/redistrib/dca.mli: Message Schedule

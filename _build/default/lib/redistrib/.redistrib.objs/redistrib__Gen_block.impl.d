@@ -1,0 +1,1 @@
+lib/redistrib/gen_block.ml: Array Format Int Random

@@ -1,0 +1,1 @@
+lib/redistrib/gen_block.mli: Format Random

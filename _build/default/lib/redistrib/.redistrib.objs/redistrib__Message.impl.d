@@ -1,0 +1,1 @@
+lib/redistrib/message.ml: Array Format Gen_block Int List

@@ -1,0 +1,1 @@
+lib/redistrib/message.mli: Format Gen_block

@@ -1,0 +1,1 @@
+lib/redistrib/schedule.ml: Format Hashtbl Int List Message

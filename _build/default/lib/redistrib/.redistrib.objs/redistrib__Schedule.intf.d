@@ -1,0 +1,1 @@
+lib/redistrib/schedule.mli: Format Message

@@ -1,0 +1,1 @@
+lib/redistrib/scpa.ml: Conflict Int List Message Schedule

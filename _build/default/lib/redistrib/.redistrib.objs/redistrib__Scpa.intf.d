@@ -1,0 +1,1 @@
+lib/redistrib/scpa.mli: Message Schedule

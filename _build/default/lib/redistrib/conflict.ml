@@ -1,0 +1,140 @@
+type mdms = {
+  owner : [ `Sender of int | `Receiver of int ];
+  messages : Message.t list;
+}
+
+let degrees messages =
+  let send = Hashtbl.create 16 and recv = Hashtbl.create 16 in
+  let bump tbl key =
+    Hashtbl.replace tbl key
+      (1 + try Hashtbl.find tbl key with Not_found -> 0)
+  in
+  List.iter
+    (fun (m : Message.t) ->
+      bump send m.Message.src;
+      bump recv m.Message.dst)
+    messages;
+  (send, recv)
+
+let max_degree messages =
+  let send, recv = degrees messages in
+  let table_max tbl = Hashtbl.fold (fun _ v acc -> Int.max v acc) tbl 0 in
+  Int.max (table_max send) (table_max recv)
+
+let mdms_list messages =
+  let send, recv = degrees messages in
+  let k = max_degree messages in
+  if k = 0 then []
+  else begin
+    let procs_at tbl =
+      Hashtbl.fold (fun p v acc -> if v = k then p :: acc else acc) tbl []
+      |> List.sort compare
+    in
+    let of_sender p =
+      {
+        owner = `Sender p;
+        messages = List.filter (fun (m : Message.t) -> m.Message.src = p) messages;
+      }
+    in
+    let of_receiver p =
+      {
+        owner = `Receiver p;
+        messages = List.filter (fun (m : Message.t) -> m.Message.dst = p) messages;
+      }
+    in
+    List.map of_sender (procs_at send) @ List.map of_receiver (procs_at recv)
+  end
+
+let dedup_by_id ms =
+  List.sort_uniq
+    (fun (a : Message.t) b -> compare a.Message.id b.Message.id)
+    ms
+
+let explicit_conflict_points sets =
+  let rec pairs acc = function
+    | [] -> acc
+    | s :: rest ->
+        let shared =
+          List.concat_map
+            (fun s' ->
+              List.filter
+                (fun (m : Message.t) ->
+                  List.exists
+                    (fun (m' : Message.t) -> m'.Message.id = m.Message.id)
+                    s'.messages)
+                s.messages)
+            rest
+        in
+        pairs (shared @ acc) rest
+  in
+  dedup_by_id (pairs [] sets)
+
+let implicit_conflict_points messages sets =
+  let explicit = explicit_conflict_points sets in
+  let is_explicit (m : Message.t) =
+    List.exists (fun (e : Message.t) -> e.Message.id = m.Message.id) explicit
+  in
+  let mdms_of (m : Message.t) =
+    List.filteri
+      (fun _ s ->
+        List.exists
+          (fun (m' : Message.t) -> m'.Message.id = m.Message.id)
+          s.messages)
+      sets
+  in
+  let share_message a b =
+    List.exists
+      (fun (m : Message.t) ->
+        List.exists
+          (fun (m' : Message.t) -> m'.Message.id = m.Message.id)
+          b.messages)
+      a.messages
+  in
+  (* Group the messages by the low-degree processors; when one such
+     processor carries messages of two unrelated MDMSs, the earliest of
+     the connecting messages is the implicit conflict point. *)
+  let k = max_degree messages in
+  let send, recv = degrees messages in
+  let acc = ref [] in
+  let consider side tbl proc_of =
+    Hashtbl.iter
+      (fun p deg ->
+        if deg < k then begin
+          let mine =
+            List.filter (fun (m : Message.t) -> proc_of m = p) messages
+          in
+          (* All pairs of this processor's messages that live in distinct,
+             message-disjoint MDMSs. *)
+          List.iteri
+            (fun i m ->
+              List.iteri
+                (fun j m' ->
+                  if j > i then begin
+                    let sa = mdms_of m and sb = mdms_of m' in
+                    let unrelated =
+                      List.exists
+                        (fun a ->
+                          List.exists
+                            (fun b -> a.owner <> b.owner && not (share_message a b))
+                            sb)
+                        sa
+                    in
+                    if unrelated then
+                      acc :=
+                        (if (m : Message.t).Message.id < m'.Message.id then m
+                         else m')
+                        :: !acc
+                  end)
+                mine)
+            mine
+        end)
+      tbl;
+    ignore side
+  in
+  consider `Send send (fun (m : Message.t) -> m.Message.src);
+  consider `Recv recv (fun (m : Message.t) -> m.Message.dst);
+  dedup_by_id (List.filter (fun m -> not (is_explicit m)) !acc)
+
+let conflict_points messages =
+  let sets = mdms_list messages in
+  explicit_conflict_points sets @ implicit_conflict_points messages sets

@@ -1,0 +1,34 @@
+(** Maximum-degree message sets and conflict points (SCPA paper, §3.1).
+
+    The minimum number of steps equals the maximum processor degree [k].
+    Messages touching a maximum-degree processor form that processor's
+    {e Maximum Degree Message Set} (MDMS).  A message belonging to two
+    MDMSs is an {e explicit conflict point}; two disjoint MDMSs linked
+    through a lower-degree processor (which sends or receives one message
+    of each) make the earlier of those two messages an {e implicit
+    conflict point}.  Scheduling all conflict points in the same first
+    step is the key idea of SCPA. *)
+
+type mdms = {
+  owner : [ `Sender of int | `Receiver of int ];
+      (** the maximum-degree processor *)
+  messages : Message.t list;  (** its messages, in id order *)
+}
+
+val max_degree : Message.t list -> int
+
+val mdms_list : Message.t list -> mdms list
+(** One entry per maximum-degree processor (senders first, then
+    receivers, each in processor order). *)
+
+val explicit_conflict_points : mdms list -> Message.t list
+(** Messages shared by two MDMSs, in id order, without duplicates. *)
+
+val implicit_conflict_points : Message.t list -> mdms list -> Message.t list
+(** For every lower-degree processor whose messages connect two distinct
+    MDMSs that share no message: the earliest of the connecting
+    messages.  In id order, without duplicates, excluding explicit
+    conflict points. *)
+
+val conflict_points : Message.t list -> Message.t list
+(** Explicit then implicit conflict points of the message set. *)

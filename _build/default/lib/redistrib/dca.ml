@@ -1,0 +1,57 @@
+let compatible step (m : Message.t) =
+  List.for_all
+    (fun (m' : Message.t) ->
+      m'.Message.src <> m.Message.src && m'.Message.dst <> m.Message.dst)
+    step
+
+let insert_greedy steps m =
+  let rec go = function
+    | [] -> [ [ m ] ]
+    | step :: rest ->
+        if compatible step m then (m :: step) :: rest else step :: go rest
+  in
+  go steps
+
+let by_size =
+  List.sort (fun (a : Message.t) b -> compare b.Message.size a.Message.size)
+
+let rec schedule_range lo hi messages =
+  (* Schedule the messages whose endpoints both lie in [lo, hi). *)
+  match messages with
+  | [] -> []
+  | _ when hi - lo <= 1 ->
+      (* A single processor: its messages pairwise conflict; one per
+         step, largest first so expensive steps come early. *)
+      List.map (fun m -> [ m ]) (by_size messages)
+  | _ ->
+      let mid = (lo + hi) / 2 in
+      let left, rest =
+        List.partition
+          (fun (m : Message.t) -> m.Message.src < mid && m.Message.dst < mid)
+          messages
+      in
+      let right, crossing =
+        List.partition
+          (fun (m : Message.t) -> m.Message.src >= mid && m.Message.dst >= mid)
+          rest
+      in
+      let ls = schedule_range lo mid left
+      and rs = schedule_range mid hi right in
+      (* Merge: the halves touch disjoint processors, so step i of one
+         can run with step i of the other. *)
+      let rec merge a b =
+        match (a, b) with
+        | [], s | s, [] -> s
+        | x :: xs, y :: ys -> (x @ y) :: merge xs ys
+      in
+      List.fold_left insert_greedy (merge ls rs) (by_size crossing)
+
+let schedule messages =
+  let procs =
+    List.fold_left
+      (fun acc (m : Message.t) ->
+        Int.max acc (Int.max m.Message.src m.Message.dst))
+      (-1) messages
+    + 1
+  in
+  List.map List.rev (schedule_range 0 procs messages)

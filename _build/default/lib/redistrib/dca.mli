@@ -1,0 +1,11 @@
+(** Divide-and-conquer redistribution scheduling (after Wang, Guo & Wei
+    2004) — the baseline the SCPA paper compares against.
+
+    The processors are split in half; messages living entirely in one
+    half are scheduled recursively and the two sub-schedules are merged
+    step-by-step (their processor sets are disjoint, so merging is
+    contention-free); messages crossing the boundary are then inserted
+    greedily in non-increasing size order. *)
+
+val schedule : Message.t list -> Schedule.t
+(** Always returns a schedule passing {!Schedule.verify}. *)

@@ -1,0 +1,56 @@
+type t = { sizes : int array }
+
+let create sizes =
+  if Array.length sizes = 0 then invalid_arg "Gen_block.create: empty";
+  Array.iter
+    (fun s -> if s < 0 then invalid_arg "Gen_block.create: negative size")
+    sizes;
+  { sizes = Array.copy sizes }
+
+let n_procs t = Array.length t.sizes
+let total t = Array.fold_left ( + ) 0 t.sizes
+
+let bounds t =
+  let acc = ref 0 in
+  Array.map
+    (fun s ->
+      let lo = !acc in
+      acc := lo + s;
+      (lo, !acc))
+    t.sizes
+
+let random ~rng ~total ~procs ~lo_frac ~hi_frac =
+  if procs <= 0 || total <= 0 then
+    invalid_arg "Gen_block.random: need positive total and procs";
+  if lo_frac < 0. || hi_frac < lo_frac then
+    invalid_arg "Gen_block.random: bad fraction bounds";
+  let avg = float_of_int total /. float_of_int procs in
+  let lo = Int.max 0 (int_of_float (lo_frac *. avg)) in
+  let hi = Int.max (lo + 1) (int_of_float (hi_frac *. avg)) in
+  if lo * procs > total || hi * procs < total then
+    invalid_arg "Gen_block.random: bounds cannot sum to total";
+  let sizes = Array.make procs 0 in
+  (* Draw uniformly in [lo, hi], then repair the sum by bounded
+     adjustments so every size stays within the band. *)
+  for p = 0 to procs - 1 do
+    sizes.(p) <- lo + Random.State.int rng (hi - lo + 1)
+  done;
+  let excess = ref (Array.fold_left ( + ) 0 sizes - total) in
+  let step = if !excess > 0 then -1 else 1 in
+  let p = ref 0 in
+  while !excess <> 0 do
+    let s = sizes.(!p) + step in
+    if s >= lo && s <= hi then begin
+      sizes.(!p) <- s;
+      excess := !excess + step
+    end;
+    p := (!p + 1) mod procs
+  done;
+  { sizes }
+
+let pp ppf t =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Format.pp_print_int)
+    t.sizes

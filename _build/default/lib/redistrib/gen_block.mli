@@ -1,0 +1,34 @@
+(** HPF-2 GEN_BLOCK data distributions.
+
+    A GEN_BLOCK distribution assigns consecutive, unevenly sized segments
+    of an array to consecutive processors — the irregular-redistribution
+    setting of the project's APPT 2005 paper (the cluster-communication
+    substrate of this reproduction). *)
+
+type t = { sizes : int array }
+(** [sizes.(p)] = number of array elements owned by processor [p]; all
+    non-negative. *)
+
+val create : int array -> t
+(** @raise Invalid_argument on negative sizes or an empty array. *)
+
+val n_procs : t -> int
+val total : t -> int
+
+val bounds : t -> (int * int) array
+(** Half-open element ranges [(lo, hi)] per processor. *)
+
+val random :
+  rng:Random.State.t ->
+  total:int ->
+  procs:int ->
+  lo_frac:float ->
+  hi_frac:float ->
+  t
+(** Random distribution whose segment sizes fall within
+    [[lo_frac, hi_frac] * (total / procs)] and sum exactly to [total] —
+    the paper's uneven case uses fractions (0.3, 1.5) and the even case
+    (0.7, 1.3).  @raise Invalid_argument if the constraints are
+    unsatisfiable. *)
+
+val pp : Format.formatter -> t -> unit

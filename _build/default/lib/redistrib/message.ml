@@ -1,0 +1,31 @@
+type t = { id : int; src : int; dst : int; size : int }
+
+let of_distributions src_dist dst_dist =
+  if Gen_block.n_procs src_dist <> Gen_block.n_procs dst_dist then
+    invalid_arg "Message.of_distributions: different processor counts";
+  if Gen_block.total src_dist <> Gen_block.total dst_dist then
+    invalid_arg "Message.of_distributions: different totals";
+  let sb = Gen_block.bounds src_dist and db = Gen_block.bounds dst_dist in
+  let p = Gen_block.n_procs src_dist in
+  let acc = ref [] and id = ref 0 in
+  let rec sweep i j =
+    if i < p && j < p then begin
+      let slo, shi = sb.(i) and dlo, dhi = db.(j) in
+      let size = Int.min shi dhi - Int.max slo dlo in
+      if size > 0 then begin
+        acc := { id = !id; src = i; dst = j; size } :: !acc;
+        incr id
+      end;
+      (* Advance whichever segment ends first; on a tie advance both. *)
+      if shi < dhi then sweep (i + 1) j
+      else if dhi < shi then sweep i (j + 1)
+      else sweep (i + 1) (j + 1)
+    end
+  in
+  sweep 0 0;
+  List.rev !acc
+
+let total_size ms = List.fold_left (fun acc m -> acc + m.size) 0 ms
+
+let pp ppf m =
+  Format.fprintf ppf "m%d(SP%d->DP%d:%d)" (m.id + 1) m.src m.dst m.size

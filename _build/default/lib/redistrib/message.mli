@@ -1,0 +1,20 @@
+(** Messages of a GEN_BLOCK redistribution.
+
+    Redistributing from a source to a destination GEN_BLOCK distribution
+    moves every array element owned by a different processor afterwards;
+    the overlap of source segment [i] with destination segment [j]
+    becomes one message.  Consecutive segments overlap in a staircase
+    pattern, so there are between [P] and [2P - 1] messages. *)
+
+type t = { id : int; src : int; dst : int; size : int }
+(** [id] numbers messages left-to-right in array order (the papers'
+    m1, m2, ...) starting from 0. *)
+
+val of_distributions : Gen_block.t -> Gen_block.t -> t list
+(** Messages in array order.  Zero-size overlaps are skipped.
+    @raise Invalid_argument if the two distributions disagree on
+    processor count or total size. *)
+
+val total_size : t list -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+type t = Message.t list list
+
+type verification_error =
+  | Missing_message of int
+  | Duplicated_message of int
+  | Send_contention of { step : int; proc : int }
+  | Receive_contention of { step : int; proc : int }
+
+let pp_error ppf = function
+  | Missing_message id -> Format.fprintf ppf "message m%d not scheduled" (id + 1)
+  | Duplicated_message id ->
+      Format.fprintf ppf "message m%d scheduled twice" (id + 1)
+  | Send_contention { step; proc } ->
+      Format.fprintf ppf "step %d: SP%d sends twice" step proc
+  | Receive_contention { step; proc } ->
+      Format.fprintf ppf "step %d: DP%d receives twice" step proc
+
+let verify messages sched =
+  let seen = Hashtbl.create 64 in
+  let error = ref None in
+  let set_error e = if !error = None then error := Some e in
+  List.iteri
+    (fun step msgs ->
+      let senders = Hashtbl.create 8 and receivers = Hashtbl.create 8 in
+      List.iter
+        (fun (m : Message.t) ->
+          if Hashtbl.mem seen m.Message.id then
+            set_error (Duplicated_message m.Message.id);
+          Hashtbl.replace seen m.Message.id ();
+          if Hashtbl.mem senders m.Message.src then
+            set_error (Send_contention { step; proc = m.Message.src });
+          Hashtbl.replace senders m.Message.src ();
+          if Hashtbl.mem receivers m.Message.dst then
+            set_error (Receive_contention { step; proc = m.Message.dst });
+          Hashtbl.replace receivers m.Message.dst ())
+        msgs)
+    sched;
+  List.iter
+    (fun (m : Message.t) ->
+      if not (Hashtbl.mem seen m.Message.id) then
+        set_error (Missing_message m.Message.id))
+    messages;
+  match !error with None -> Ok () | Some e -> Error e
+
+let n_steps = List.length
+
+let step_sizes sched =
+  List.map
+    (fun msgs ->
+      List.fold_left (fun acc (m : Message.t) -> Int.max acc m.Message.size) 0 msgs)
+    sched
+
+let cost ?(ts = 1.) ?(tm = 1.) sched =
+  List.fold_left
+    (fun acc size -> acc +. ts +. (tm *. float_of_int size))
+    0. (step_sizes sched)
+
+let total_step_size sched = List.fold_left ( + ) 0 (step_sizes sched)
+
+let min_steps messages =
+  let bump tbl key =
+    let v = try Hashtbl.find tbl key + 1 with Not_found -> 1 in
+    Hashtbl.replace tbl key v;
+    v
+  in
+  let send = Hashtbl.create 16 and recv = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (m : Message.t) ->
+      Int.max acc
+        (Int.max (bump send m.Message.src) (bump recv m.Message.dst)))
+    0 messages

@@ -1,0 +1,38 @@
+(** Communication schedules and their cost model.
+
+    A schedule partitions the messages into steps; within a step every
+    processor sends at most one message and receives at most one message
+    (the node-contention constraint).  The cost of a step is
+    [ts + tm * max message size] — startup plus transmission of the
+    longest message — and the schedule's cost is the sum over steps. *)
+
+type t = Message.t list list
+(** Steps in order; each step is a list of contention-free messages. *)
+
+type verification_error =
+  | Missing_message of int
+  | Duplicated_message of int
+  | Send_contention of { step : int; proc : int }
+  | Receive_contention of { step : int; proc : int }
+
+val verify : Message.t list -> t -> (unit, verification_error) result
+(** Check the schedule carries exactly the given messages with no
+    contention. *)
+
+val pp_error : Format.formatter -> verification_error -> unit
+
+val n_steps : t -> int
+
+val step_sizes : t -> int list
+(** Max message size per step. *)
+
+val cost : ?ts:float -> ?tm:float -> t -> float
+(** Default [ts = 1.], [tm = 1.] (abstract units). *)
+
+val total_step_size : t -> int
+(** Sum of per-step maxima — the metric the SCPA paper compares
+    ("total messages size of steps"). *)
+
+val min_steps : Message.t list -> int
+(** The contention lower bound: the maximum send- or receive-degree of
+    any processor. *)

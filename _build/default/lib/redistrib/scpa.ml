@@ -1,0 +1,137 @@
+(* Steps are rebuilt-on-demand message lists: instances have at most
+   2P - 1 messages, so recomputing contention and maxima is cheap and
+   keeps the relocation repair simple. *)
+
+type step = { mutable msgs : Message.t list }
+
+let conflicts_with (m : Message.t) (m' : Message.t) =
+  m'.Message.src = m.Message.src || m'.Message.dst = m.Message.dst
+
+let compatible step m = not (List.exists (conflicts_with m) step.msgs)
+
+let by_size =
+  List.sort (fun (a : Message.t) b -> compare b.Message.size a.Message.size)
+
+let step_max step =
+  List.fold_left (fun acc (m : Message.t) -> Int.max acc m.Message.size) 0
+    step.msgs
+
+(* The paper's "similar message size" placement: among compatible steps,
+   prefer one the message fits under (no step-cost increase), tightest
+   first; otherwise the step needing the smallest increase. *)
+let choose_step steps (m : Message.t) =
+  let score step =
+    let mx = step_max step in
+    if mx >= m.Message.size then (0, mx - m.Message.size)
+    else (1, m.Message.size - mx)
+  in
+  List.fold_left
+    (fun best step ->
+      if not (compatible step m) then best
+      else
+        match best with
+        | None -> Some step
+        | Some b -> if score step < score b then Some step else best)
+    None steps
+
+(* Single-relocation repair: make room for [m] in some step by moving
+   the one message that blocks it into another step. *)
+let try_relocate steps (m : Message.t) =
+  let rec go = function
+    | [] -> false
+    | step :: rest -> (
+        match List.filter (conflicts_with m) step.msgs with
+        | [ blocker ] -> (
+            let others =
+              List.filter
+                (fun s -> s != step && compatible s blocker)
+                steps
+            in
+            match others with
+            | target :: _ ->
+                step.msgs <- List.filter (fun x -> x != blocker) step.msgs;
+                target.msgs <- blocker :: target.msgs;
+                step.msgs <- m :: step.msgs;
+                true
+            | [] -> go rest)
+        | _ -> go rest)
+  in
+  go steps
+
+let insert steps m =
+  match choose_step !steps m with
+  | Some step ->
+      step.msgs <- m :: step.msgs;
+      steps
+  | None ->
+      if not (try_relocate !steps m) then steps := !steps @ [ { msgs = [ m ] } ];
+      steps
+
+(* Try to empty surplus steps (beyond the max-degree minimum) by
+   re-inserting their messages elsewhere. *)
+let dissolve_surplus steps min_steps =
+  let changed = ref true in
+  while List.length !steps > min_steps && !changed do
+    changed := false;
+    let by_load =
+      List.sort
+        (fun a b -> compare (List.length a.msgs) (List.length b.msgs))
+        !steps
+    in
+    match by_load with
+    | victim :: _ ->
+        let rescue = List.filter (fun s -> s != victim) !steps in
+        let homeless =
+          List.filter
+            (fun m ->
+              match choose_step rescue m with
+              | Some s ->
+                  s.msgs <- m :: s.msgs;
+                  false
+              | None -> not (try_relocate rescue m))
+            (by_size victim.msgs)
+        in
+        if homeless = [] then begin
+          steps := rescue;
+          changed := true
+        end
+        else victim.msgs <- homeless
+    | [] -> ()
+  done
+
+let schedule messages =
+  let conflict = Conflict.conflict_points messages in
+  let sets = Conflict.mdms_list messages in
+  let in_conflict (m : Message.t) =
+    List.exists (fun (c : Message.t) -> c.Message.id = m.Message.id) conflict
+  in
+  let in_mdms (m : Message.t) =
+    List.exists
+      (fun s ->
+        List.exists
+          (fun (m' : Message.t) -> m'.Message.id = m.Message.id)
+          s.Conflict.messages)
+      sets
+  in
+  let steps = ref [ { msgs = [] } ] in
+  (* Phase 1: conflict points, all aimed at the opening step. *)
+  List.iter
+    (fun m ->
+      let first = List.hd !steps in
+      if compatible first m then first.msgs <- m :: first.msgs
+      else ignore (insert steps m))
+    (by_size conflict);
+  (* Phase 2: remaining MDMS messages, largest first. *)
+  List.iter
+    (fun m -> ignore (insert steps m))
+    (by_size
+       (List.filter (fun m -> in_mdms m && not (in_conflict m)) messages));
+  (* Phase 3: everything else, largest first. *)
+  List.iter
+    (fun m -> ignore (insert steps m))
+    (by_size
+       (List.filter (fun m -> not (in_mdms m || in_conflict m)) messages));
+  dissolve_surplus steps (Schedule.min_steps messages);
+  List.filter_map
+    (fun s -> match s.msgs with [] -> None | ms -> Some (List.rev ms))
+    !steps

@@ -1,0 +1,1 @@
+lib/seqsim/bootstrap.ml: Array Distance Hashtbl Import List Random Ultra Utree

@@ -1,0 +1,1 @@
+lib/seqsim/bootstrap.mli: Dist_matrix Distance Dna Import Random Utree

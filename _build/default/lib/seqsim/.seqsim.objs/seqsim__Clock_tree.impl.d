@@ -1,0 +1,1 @@
+lib/seqsim/clock_tree.ml: Import List Random Utree

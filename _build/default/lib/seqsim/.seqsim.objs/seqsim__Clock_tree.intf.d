@@ -1,0 +1,1 @@
+lib/seqsim/clock_tree.mli: Import Random Utree

@@ -1,0 +1,1 @@
+lib/seqsim/distance.ml: Array Dist_matrix Dna Float Fun Import Int Metric

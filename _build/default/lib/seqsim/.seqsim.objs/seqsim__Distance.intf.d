@@ -1,0 +1,1 @@
+lib/seqsim/distance.mli: Dist_matrix Dna Import

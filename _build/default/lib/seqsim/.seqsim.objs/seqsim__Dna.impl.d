@@ -1,0 +1,1 @@
+lib/seqsim/dna.ml: Array Printf Random String

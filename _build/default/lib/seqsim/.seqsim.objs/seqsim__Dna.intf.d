@@ -1,0 +1,1 @@
+lib/seqsim/dna.mli: Random

@@ -1,0 +1,1 @@
+lib/seqsim/evolve.ml: Array Dna Float Fun Import List Random Utree

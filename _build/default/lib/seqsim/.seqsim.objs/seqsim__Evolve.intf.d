@@ -1,0 +1,1 @@
+lib/seqsim/evolve.mli: Dna Import Random Utree

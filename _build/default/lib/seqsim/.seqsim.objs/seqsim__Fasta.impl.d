@@ -1,0 +1,1 @@
+lib/seqsim/fasta.ml: Buffer Dna Fun Hashtbl Int List Printf String

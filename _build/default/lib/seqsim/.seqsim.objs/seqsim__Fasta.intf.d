@@ -1,0 +1,1 @@
+lib/seqsim/fasta.mli: Dna

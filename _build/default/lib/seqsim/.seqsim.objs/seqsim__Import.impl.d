@@ -1,0 +1,1 @@
+lib/seqsim/import.ml: Distmat Ultra

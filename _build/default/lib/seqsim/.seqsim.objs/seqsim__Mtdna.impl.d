@@ -1,0 +1,1 @@
+lib/seqsim/mtdna.ml: Clock_tree Dist_matrix Distance Dna Evolve Import List Random Utree

@@ -1,0 +1,1 @@
+lib/seqsim/mtdna.mli: Dist_matrix Dna Import Random Utree

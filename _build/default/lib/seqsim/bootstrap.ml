@@ -1,0 +1,40 @@
+open Import
+
+let resample ~rng seqs =
+  if Array.length seqs = 0 then invalid_arg "Bootstrap.resample: no sequences";
+  let sites = Array.length seqs.(0) in
+  if sites = 0 then invalid_arg "Bootstrap.resample: empty sequences";
+  Array.iter
+    (fun s ->
+      if Array.length s <> sites then
+        invalid_arg "Bootstrap.resample: sequences of different lengths")
+    seqs;
+  let picks = Array.init sites (fun _ -> Random.State.int rng sites) in
+  Array.map (fun s -> Array.map (fun col -> s.(col)) picks) seqs
+
+let clusters_of tree =
+  (* Non-trivial clades, reusing the ultra library's notion. *)
+  Ultra.Rf_distance.clusters tree
+
+let support ~rng ?(replicates = 100) ?(distance = Distance.Jc) ~construct
+    ~reference seqs =
+  if replicates < 1 then invalid_arg "Bootstrap.support: replicates < 1";
+  if Utree.n_leaves reference <> Array.length seqs then
+    invalid_arg "Bootstrap.support: reference does not match sequences";
+  let target = clusters_of reference in
+  let hits = Hashtbl.create (List.length target) in
+  List.iter (fun c -> Hashtbl.replace hits c 0) target;
+  for _ = 1 to replicates do
+    let matrix = Distance.matrix ~kind:distance (resample ~rng seqs) in
+    let tree = construct matrix in
+    List.iter
+      (fun c ->
+        match Hashtbl.find_opt hits c with
+        | Some k -> Hashtbl.replace hits c (k + 1)
+        | None -> ())
+      (clusters_of tree)
+  done;
+  List.map
+    (fun c ->
+      (c, float_of_int (Hashtbl.find hits c) /. float_of_int replicates))
+    target

@@ -1,0 +1,29 @@
+open Import
+
+(** Bootstrap support for tree edges (Felsenstein's method).
+
+    Resample alignment columns with replacement, rebuild the tree from
+    each resampled data set, and report for every clade of the reference
+    tree the fraction of replicate trees that contain it — the standard
+    confidence annotation biologists expect on a published tree. *)
+
+val resample : rng:Random.State.t -> Dna.t array -> Dna.t array
+(** One bootstrap replicate: the same species with columns drawn with
+    replacement.  @raise Invalid_argument if the sequences are empty or
+    of different lengths. *)
+
+val support :
+  rng:Random.State.t ->
+  ?replicates:int ->
+  ?distance:Distance.kind ->
+  construct:(Dist_matrix.t -> Utree.t) ->
+  reference:Utree.t ->
+  Dna.t array ->
+  (int list * float) list
+(** [support ~rng ~construct ~reference seqs] runs [replicates] (default
+    100) bootstrap rounds: resample, turn into a distance matrix
+    ([distance] defaults to {!Distance.Jc}), [construct] a tree, and
+    count clade recoveries.  Returns every non-trivial clade of
+    [reference] with its support in [0, 1], in cluster order.
+    @raise Invalid_argument if [replicates < 1] or the reference's
+    leaves don't match the sequence count. *)

@@ -1,0 +1,35 @@
+open Import
+
+let coalescent ~rng ?(height = 1.) n =
+  if n < 2 then invalid_arg "Clock_tree.coalescent: need n >= 2";
+  let lineages = ref (List.init n (fun i -> Utree.leaf i)) in
+  let time = ref 0. in
+  let step = height /. float_of_int (n - 1) in
+  while List.length !lineages > 1 do
+    let len = List.length !lineages in
+    let a = Random.State.int rng len in
+    let b =
+      let b = Random.State.int rng (len - 1) in
+      if b >= a then b + 1 else b
+    in
+    time := !time +. (step *. (0.2 +. Random.State.float rng 1.6));
+    let ta = List.nth !lineages a and tb = List.nth !lineages b in
+    let merged = Utree.node !time ta tb in
+    lineages :=
+      merged :: List.filteri (fun i _ -> i <> a && i <> b) !lineages
+  done;
+  match !lineages with [ t ] -> t | _ -> assert false
+
+let balanced ?(height = 1.) n =
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg "Clock_tree.balanced: n must be a power of two >= 2";
+  let rec levels k = if k = 1 then 0 else 1 + levels (k / 2) in
+  let depth = levels n in
+  let rec build lo k =
+    if k = 1 then Utree.leaf lo
+    else begin
+      let h = height *. float_of_int (levels k) /. float_of_int depth in
+      Utree.node h (build lo (k / 2)) (build (lo + (k / 2)) (k / 2))
+    end
+  in
+  build 0 n

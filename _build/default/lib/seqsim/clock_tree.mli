@@ -1,0 +1,20 @@
+open Import
+
+(** Random molecular-clock trees.
+
+    Species evolving at a constant rate (the ultrametric-tree
+    assumption) live on a clock tree: a rooted binary tree whose leaves
+    are all at time 0 and whose internal nodes sit at their divergence
+    times.  We generate them with a coalescent-style process: starting
+    from [n] lineages, repeatedly merge two uniformly chosen lineages at
+    a strictly increasing time. *)
+
+val coalescent :
+  rng:Random.State.t -> ?height:float -> int -> Utree.t
+(** [coalescent ~rng n] is a random clock tree over species [0 .. n-1]
+    with root height about [height] (default 1.).
+    @raise Invalid_argument if [n < 2]. *)
+
+val balanced : ?height:float -> int -> Utree.t
+(** Deterministic fully-balanced clock tree (for tests); [n] must be a
+    power of two.  @raise Invalid_argument otherwise. *)

@@ -1,0 +1,71 @@
+open Import
+
+let is_purine = function Dna.A | Dna.G -> true | Dna.C | Dna.T -> false
+
+(* Purine<->purine or pyrimidine<->pyrimidine mismatch. *)
+let align_free_is_transition x y = x <> y && is_purine x = is_purine y
+
+let p_distance a b =
+  let len = Array.length a in
+  if len = 0 then invalid_arg "Distance.p_distance: empty sequences";
+  float_of_int (Dna.hamming a b) /. float_of_int len
+
+(* Cap for saturated pairs: the JC correction diverges as p -> 3/4; a
+   finite stand-in keeps downstream algorithms total. *)
+let jc_cap = 10.
+
+let jc_distance a b =
+  let p = p_distance a b in
+  if p >= 0.749 then jc_cap
+  else -0.75 *. log (1. -. (4. /. 3. *. p))
+
+let edit_distance a b =
+  let la = Array.length a and lb = Array.length b in
+  (* Two-row DP. *)
+  let prev = Array.init (lb + 1) Fun.id in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let sub =
+        prev.(j - 1) + if Dna.base_equal a.(i - 1) b.(j - 1) then 0 else 1
+      in
+      curr.(j) <- Int.min sub (1 + Int.min prev.(j) curr.(j - 1))
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let k2p_distance a b =
+  let len = Array.length a in
+  if len = 0 then invalid_arg "Distance.k2p_distance: empty sequences";
+  if len <> Array.length b then
+    invalid_arg "Distance.k2p_distance: different lengths";
+  let transitions = ref 0 and transversions = ref 0 in
+  Array.iteri
+    (fun i x ->
+      let y = b.(i) in
+      if x <> y then
+        if align_free_is_transition x y then incr transitions
+        else incr transversions)
+    a;
+  let p = float_of_int !transitions /. float_of_int len in
+  let q = float_of_int !transversions /. float_of_int len in
+  let u = 1. -. (2. *. p) -. q and v = 1. -. (2. *. q) in
+  if u <= 1e-9 || v <= 1e-9 then jc_cap
+  else Float.min jc_cap (-.(0.5 *. log u) -. (0.25 *. log v))
+
+type kind = P_distance | Jc | K2p | Edit
+
+let matrix ?(kind = Jc) ?(scale = 1000.) seqs =
+  let n = Array.length seqs in
+  if n = 0 then invalid_arg "Distance.matrix: no sequences";
+  let d i j =
+    match kind with
+    | P_distance -> p_distance seqs.(i) seqs.(j) *. scale
+    | Jc -> jc_distance seqs.(i) seqs.(j) *. scale
+    | K2p -> k2p_distance seqs.(i) seqs.(j) *. scale
+    | Edit -> float_of_int (edit_distance seqs.(i) seqs.(j))
+  in
+  let raw = Dist_matrix.init n d in
+  Metric.floyd_warshall raw

@@ -1,0 +1,34 @@
+open Import
+
+(** Distances between sequences, and matrices built from them. *)
+
+val p_distance : Dna.t -> Dna.t -> float
+(** Fraction of differing sites.  @raise Invalid_argument on different
+    lengths or empty sequences. *)
+
+val jc_distance : Dna.t -> Dna.t -> float
+(** Jukes-Cantor corrected evolutionary distance
+    [-3/4 * ln (1 - 4/3 p)].  Saturated pairs ([p >= 3/4]) map to a
+    large finite cap rather than infinity so matrices stay usable. *)
+
+val edit_distance : Dna.t -> Dna.t -> int
+(** Unit-cost Levenshtein distance by dynamic programming — the distance
+    the papers name for the distance-matrix model.  Works on sequences
+    of different lengths. *)
+
+val k2p_distance : Dna.t -> Dna.t -> float
+(** Kimura two-parameter corrected distance
+    [-1/2 ln((1-2P-Q) sqrt(1-2Q))] where [P] and [Q] are the observed
+    transition and transversion fractions.  Saturated pairs map to a
+    large finite cap. *)
+
+type kind = P_distance | Jc | K2p | Edit
+
+val matrix :
+  ?kind:kind -> ?scale:float -> Dna.t array -> Dist_matrix.t
+(** Pairwise distance matrix of the sequences, scaled by [scale]
+    (default 1000., giving distances in the papers' 0-100 ballpark for
+    typical simulations), then closed under shortest paths so the result
+    is a metric (finite-sample JC estimates can violate the triangle
+    inequality slightly).
+    @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,39 @@
+type base = A | C | G | T
+
+type t = base array
+
+let random ~rng len =
+  Array.init len (fun _ ->
+      match Random.State.int rng 4 with
+      | 0 -> A
+      | 1 -> C
+      | 2 -> G
+      | _ -> T)
+
+let of_string s =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | 'A' | 'a' -> A
+      | 'C' | 'c' -> C
+      | 'G' | 'g' -> G
+      | 'T' | 't' -> T
+      | c -> invalid_arg (Printf.sprintf "Dna.of_string: bad base %C" c))
+
+let char_of = function A -> 'A' | C -> 'C' | G -> 'G' | T -> 'T'
+
+let to_string t = String.init (Array.length t) (fun i -> char_of t.(i))
+
+let hamming a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Dna.hamming: different lengths";
+  let count = ref 0 in
+  Array.iteri (fun i x -> if x <> b.(i) then incr count) a;
+  !count
+
+let base_equal (a : base) b = a = b
+
+let other_bases = function
+  | A -> (C, G, T)
+  | C -> (A, G, T)
+  | G -> (A, C, T)
+  | T -> (A, C, G)

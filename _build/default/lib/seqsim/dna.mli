@@ -1,0 +1,23 @@
+(** DNA sequences. *)
+
+type base = A | C | G | T
+
+type t = base array
+(** A sequence of nucleotides. *)
+
+val random : rng:Random.State.t -> int -> t
+(** Uniform random sequence of the given length. *)
+
+val of_string : string -> t
+(** @raise Invalid_argument on characters outside [ACGTacgt]. *)
+
+val to_string : t -> string
+
+val hamming : t -> t -> int
+(** Number of differing sites.
+    @raise Invalid_argument on different lengths. *)
+
+val base_equal : base -> base -> bool
+val other_bases : base -> base * base * base
+(** The three bases different from the argument (used by the
+    Jukes-Cantor mutation step). *)

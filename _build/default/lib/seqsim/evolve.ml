@@ -1,0 +1,162 @@
+open Import
+
+let substitution_probability ~mu ~t =
+  0.75 *. (1. -. exp (-4. /. 3. *. mu *. t))
+
+let mutate ~rng ~p seq =
+  Array.map
+    (fun b ->
+      if Random.State.float rng 1. < p then begin
+        let x, y, z = Dna.other_bases b in
+        match Random.State.int rng 3 with 0 -> x | 1 -> y | _ -> z
+      end
+      else b)
+    seq
+
+let geometric ~rng =
+  (* Mean-2 geometric length: 1 + Geom(1/2). *)
+  let rec go len =
+    if Random.State.bool rng then go (len + 1) else len
+  in
+  go 1
+
+let apply_indels ~rng ~rate ~dt seq =
+  let sites = Array.length seq in
+  if sites = 0 then seq
+  else begin
+    (* Expected events = rate * dt * sites; draw a small Poisson by
+       thinning. *)
+    let expect = rate *. dt *. float_of_int sites in
+    (* Knuth's Poisson sampler. *)
+    let events =
+      let l = exp (-.expect) in
+      let k = ref 0 and p = ref 1. in
+      let continue = ref true in
+      while !continue do
+        incr k;
+        p := !p *. Random.State.float rng 1.;
+        if !p <= l then continue := false
+      done;
+      !k - 1
+    in
+    let current = ref seq in
+    for _ = 1 to events do
+      let s = !current in
+      let len = Array.length s in
+      let indel_len = geometric ~rng in
+      if Random.State.bool rng && len > indel_len then begin
+        (* Deletion. *)
+        let pos = Random.State.int rng (len - indel_len) in
+        current :=
+          Array.append (Array.sub s 0 pos)
+            (Array.sub s (pos + indel_len) (len - pos - indel_len))
+      end
+      else begin
+        (* Insertion. *)
+        let pos = Random.State.int rng (len + 1) in
+        let insert = Dna.random ~rng indel_len in
+        current :=
+          Array.concat
+            [ Array.sub s 0 pos; insert; Array.sub s pos (len - pos) ]
+      end
+    done;
+    !current
+  end
+
+let evolve_generic ~rng ~mu ~indel ~sites tree =
+  if mu < 0. then invalid_arg "Evolve.sequences: negative rate";
+  if sites <= 0 then invalid_arg "Evolve.sequences: need sites > 0";
+  let n = Utree.n_leaves tree in
+  if Utree.leaves tree <> List.init n Fun.id then
+    invalid_arg "Evolve.sequences: tree leaves must be 0 .. n-1";
+  let out = Array.make n [||] in
+  let root_seq = Dna.random ~rng sites in
+  let rec go t seq parent_height =
+    let dt = parent_height -. Utree.height t in
+    let seq =
+      if dt <= 0. then seq
+      else begin
+        let seq = mutate ~rng ~p:(substitution_probability ~mu ~t:dt) seq in
+        match indel with
+        | None -> seq
+        | Some rate -> apply_indels ~rng ~rate ~dt seq
+      end
+    in
+    match t with
+    | Utree.Leaf i -> out.(i) <- seq
+    | Utree.Node nd ->
+        go nd.left seq nd.height;
+        go nd.right seq nd.height
+  in
+  go tree root_seq (Utree.height tree);
+  out
+
+let sequences ~rng ~mu ~sites tree =
+  evolve_generic ~rng ~mu ~indel:None ~sites tree
+
+(* Kimura 1980: transition rate alpha, transversion rate beta per
+   target; total rate mu = alpha + 2 beta, kappa = alpha / beta. *)
+let kimura_probabilities ~mu ~kappa ~t =
+  if mu < 0. || kappa <= 0. then
+    invalid_arg "Evolve.kimura_probabilities: need mu >= 0 and kappa > 0";
+  let beta = mu /. (kappa +. 2.) in
+  let alpha = kappa *. beta in
+  let p_transition =
+    0.25 +. (0.25 *. exp (-4. *. beta *. t))
+    -. (0.5 *. exp (-2. *. (alpha +. beta) *. t))
+  in
+  let q_transversion = 0.5 -. (0.5 *. exp (-4. *. beta *. t)) in
+  (Float.max 0. p_transition, Float.max 0. q_transversion)
+
+let transition_of = function
+  | Dna.A -> Dna.G
+  | Dna.G -> Dna.A
+  | Dna.C -> Dna.T
+  | Dna.T -> Dna.C
+
+let transversions_of = function
+  | Dna.A | Dna.G -> (Dna.C, Dna.T)
+  | Dna.C | Dna.T -> (Dna.A, Dna.G)
+
+let mutate_k2p ~rng ~p ~q seq =
+  Array.map
+    (fun b ->
+      let u = Random.State.float rng 1. in
+      if u < p then transition_of b
+      else if u < p +. q then begin
+        let x, y = transversions_of b in
+        if Random.State.bool rng then x else y
+      end
+      else b)
+    seq
+
+let sequences_k2p ~rng ~mu ?(kappa = 10.) ~sites tree =
+  if mu < 0. then invalid_arg "Evolve.sequences_k2p: negative rate";
+  if sites <= 0 then invalid_arg "Evolve.sequences_k2p: need sites > 0";
+  let n = Utree.n_leaves tree in
+  if Utree.leaves tree <> List.init n Fun.id then
+    invalid_arg "Evolve.sequences_k2p: tree leaves must be 0 .. n-1";
+  let out = Array.make n [||] in
+  let root_seq = Dna.random ~rng sites in
+  let rec go t seq parent_height =
+    let dt = parent_height -. Utree.height t in
+    let seq =
+      if dt <= 0. then seq
+      else begin
+        let p, q = kimura_probabilities ~mu ~kappa ~t:dt in
+        mutate_k2p ~rng ~p ~q seq
+      end
+    in
+    match t with
+    | Utree.Leaf i -> out.(i) <- seq
+    | Utree.Node nd ->
+        go nd.left seq nd.height;
+        go nd.right seq nd.height
+  in
+  go tree root_seq (Utree.height tree);
+  out
+
+let sequences_with_indels ~rng ~mu ?indel_rate ~sites tree =
+  let rate = match indel_rate with Some r -> r | None -> mu /. 10. in
+  if rate < 0. then invalid_arg "Evolve.sequences_with_indels: negative rate";
+  evolve_generic ~rng ~mu ~indel:(Some rate) ~sites tree

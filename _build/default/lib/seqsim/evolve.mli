@@ -1,0 +1,51 @@
+open Import
+
+(** Jukes-Cantor sequence evolution along a clock tree.
+
+    Under the JC69 model every site mutates at rate [mu]; over a branch
+    of duration [t] the probability that a site ends in a {e different}
+    base is [3/4 * (1 - exp (-4/3 * mu * t))]. *)
+
+val substitution_probability : mu:float -> t:float -> float
+(** JC69 per-site probability of observing a different base after time
+    [t]; in [[0, 3/4)]. *)
+
+val sequences :
+  rng:Random.State.t -> mu:float -> sites:int -> Utree.t -> Dna.t array
+(** [sequences ~rng ~mu ~sites tree] evolves a uniform random root
+    sequence of [sites] bases down [tree] (leaf labels index the result,
+    which has [n_leaves tree] entries).  Branch durations are height
+    differences.
+    @raise Invalid_argument if the tree's leaves are not [0 .. n-1], or
+    [mu < 0.], or [sites <= 0]. *)
+
+val kimura_probabilities : mu:float -> kappa:float -> t:float -> float * float
+(** [(transition, transversion-total)] probabilities per site after time
+    [t] under Kimura's two-parameter model with total rate [mu] and
+    rate ratio [kappa = alpha / beta] (transition rate over the
+    per-target transversion rate; [kappa = 1] recovers Jukes-Cantor).
+    Mitochondrial DNA evolves with a strong transition bias ([kappa]
+    around 10). *)
+
+val sequences_k2p :
+  rng:Random.State.t ->
+  mu:float ->
+  ?kappa:float ->
+  sites:int ->
+  Utree.t ->
+  Dna.t array
+(** Like {!sequences} but under the Kimura two-parameter model
+    ([kappa] defaults to 10., mtDNA-like). *)
+
+val sequences_with_indels :
+  rng:Random.State.t ->
+  mu:float ->
+  ?indel_rate:float ->
+  sites:int ->
+  Utree.t ->
+  Dna.t array
+(** Like {!sequences}, but each branch also accumulates insertion and
+    deletion events (rate [indel_rate] per site per unit time, default
+    [mu / 10]; lengths geometric with mean 2), so the leaf sequences
+    have different lengths and must be {e aligned} before distances can
+    be taken — the workload of the {!Align} library. *)

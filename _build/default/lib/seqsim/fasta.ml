@@ -1,0 +1,81 @@
+type entry = { name : string; seq : Dna.t }
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let flush name parts acc =
+    match name with
+    | None -> acc
+    | Some name ->
+        let joined = String.concat "" (List.rev parts) in
+        if joined = "" then
+          failwith (Printf.sprintf "Fasta: empty sequence for %S" name);
+        let seq =
+          try Dna.of_string joined
+          with Invalid_argument msg ->
+            failwith (Printf.sprintf "Fasta: %s in %S" msg name)
+        in
+        { name; seq } :: acc
+  in
+  let rec go lines name parts acc =
+    match lines with
+    | [] -> List.rev (flush name parts acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" then go rest name parts acc
+        else if line.[0] = '>' then begin
+          let header = String.sub line 1 (String.length line - 1) in
+          let word =
+            match String.index_opt header ' ' with
+            | Some i -> String.sub header 0 i
+            | None -> header
+          in
+          if String.trim word = "" then failwith "Fasta: empty header";
+          go rest (Some (String.trim word)) [] (flush name parts acc)
+        end
+        else if name = None then
+          failwith "Fasta: sequence data before the first '>' header"
+        else go rest name (line :: parts) acc
+  in
+  let entries = go lines None [] [] in
+  if entries = [] then failwith "Fasta: no sequences";
+  let seen = Hashtbl.create (List.length entries) in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem seen e.name then
+        failwith (Printf.sprintf "Fasta: duplicate name %S" e.name);
+      Hashtbl.replace seen e.name ())
+    entries;
+  entries
+
+let to_string ?(width = 70) entries =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_char buf '>';
+      Buffer.add_string buf e.name;
+      Buffer.add_char buf '\n';
+      let s = Dna.to_string e.seq in
+      let len = String.length s in
+      let rec chunks start =
+        if start < len then begin
+          Buffer.add_string buf
+            (String.sub s start (Int.min width (len - start)));
+          Buffer.add_char buf '\n';
+          chunks (start + width)
+        end
+      in
+      chunks 0)
+    entries;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let write_file path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string entries))

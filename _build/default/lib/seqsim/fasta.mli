@@ -1,0 +1,16 @@
+(** FASTA reading and writing — the lingua franca for sequence data, so
+    the sequences-model pipeline can start from ordinary files. *)
+
+type entry = { name : string; seq : Dna.t }
+
+val of_string : string -> entry list
+(** Parse FASTA text: [>]-headers (first word is the name) followed by
+    sequence lines; blank lines ignored; case-insensitive bases.
+    @raise Failure on malformed input (no header, empty sequence, bad
+    characters, duplicate names). *)
+
+val to_string : ?width:int -> entry list -> string
+(** Render with lines wrapped at [width] (default 70) bases. *)
+
+val read_file : string -> entry list
+val write_file : string -> entry list -> unit

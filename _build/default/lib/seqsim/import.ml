@@ -1,0 +1,5 @@
+(* Aliases for modules from dependency libraries. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Metric = Distmat.Metric
+module Utree = Ultra.Utree

@@ -1,0 +1,26 @@
+open Import
+
+type model = Jc | K2p of float
+
+type dataset = {
+  true_tree : Utree.t;
+  sequences : Dna.t array;
+  matrix : Dist_matrix.t;
+}
+
+let generate ~rng ?(sites = 600) ?(mu = 0.15) ?(model = Jc) n =
+  if n < 2 then invalid_arg "Mtdna.generate: need n >= 2";
+  let true_tree = Clock_tree.coalescent ~rng ~height:1. n in
+  let sequences, kind =
+    match model with
+    | Jc -> (Evolve.sequences ~rng ~mu ~sites true_tree, Distance.Jc)
+    | K2p kappa ->
+        (Evolve.sequences_k2p ~rng ~mu ~kappa ~sites true_tree, Distance.K2p)
+  in
+  let matrix = Distance.matrix ~kind ~scale:100. sequences in
+  { true_tree; sequences; matrix }
+
+let batch ~seed ?sites ?mu ~n_datasets n =
+  List.init n_datasets (fun i ->
+      let rng = Random.State.make [| seed; i |] in
+      generate ~rng ?sites ?mu n)

@@ -1,0 +1,46 @@
+open Import
+
+(** Surrogate Human-Mitochondrial-DNA workload.
+
+    The papers evaluate on distance matrices derived from human
+    mitochondrial DNA, which we cannot redistribute.  This module builds
+    the closest synthetic equivalent: sequences evolved under a strict
+    molecular clock (mtDNA is the textbook clock-like locus), with the
+    low substitution rates and strong population structure that make
+    such matrices nearly ultrametric and rich in compact sets — the
+    properties the papers' HMDNA experiments exercise. *)
+
+type model =
+  | Jc  (** Jukes-Cantor evolution and correction *)
+  | K2p of float
+      (** Kimura two-parameter with the given transition/transversion
+          rate ratio; real mitochondrial DNA is strongly
+          transition-biased (kappa around 10) *)
+
+type dataset = {
+  true_tree : Utree.t;  (** the clock tree the sequences evolved on *)
+  sequences : Dna.t array;
+  matrix : Dist_matrix.t;
+      (** model-corrected distances, scaled, metric-closed *)
+}
+
+val generate :
+  rng:Random.State.t ->
+  ?sites:int ->
+  ?mu:float ->
+  ?model:model ->
+  int ->
+  dataset
+(** [generate ~rng n] builds an [n]-species surrogate dataset.
+    Defaults: [sites = 600] (HVS-I/II control-region scale),
+    [mu = 0.15] per unit tree height — low enough that distances stay
+    far from saturation — and [model = Jc] (the benchmarks' workload;
+    pass [K2p 10.] for the more realistic transition-biased variant).
+    @raise Invalid_argument if [n < 2]. *)
+
+val batch :
+  seed:int -> ?sites:int -> ?mu:float -> n_datasets:int -> int ->
+  dataset list
+(** [batch ~seed ~n_datasets n] — independent datasets with derived
+    seeds, mirroring the papers' "15 data sets containing 26 species
+    each" style of experiment. *)

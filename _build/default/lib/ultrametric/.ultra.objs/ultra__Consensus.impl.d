@@ -1,0 +1,1 @@
+lib/ultrametric/consensus.ml: Hashtbl Int List Rf_distance Utree

@@ -1,0 +1,1 @@
+lib/ultrametric/consensus.mli: Utree

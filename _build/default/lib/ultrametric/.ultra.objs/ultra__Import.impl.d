@@ -1,0 +1,1 @@
+lib/ultrametric/import.ml: Distmat

@@ -1,0 +1,1 @@
+lib/ultrametric/newick.ml: Array Buffer Float Printf String Utree

@@ -1,0 +1,1 @@
+lib/ultrametric/newick.mli: Utree

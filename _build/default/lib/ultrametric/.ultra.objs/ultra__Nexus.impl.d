@@ -1,0 +1,1 @@
+lib/ultrametric/nexus.ml: Array Buffer Dist_matrix Fun Import List Newick Printf String Utree

@@ -1,0 +1,1 @@
+lib/ultrametric/nexus.mli: Dist_matrix Import Utree

@@ -1,0 +1,1 @@
+lib/ultrametric/render.ml: Array Buffer Float Hashtbl Int List Printf String Utree

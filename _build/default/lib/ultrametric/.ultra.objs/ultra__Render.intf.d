@@ -1,0 +1,1 @@
+lib/ultrametric/render.mli: Utree

@@ -1,0 +1,1 @@
+lib/ultrametric/rf_distance.ml: List Utree

@@ -1,0 +1,1 @@
+lib/ultrametric/tree_check.ml: Dist_matrix Format Fun Import List Utree

@@ -1,0 +1,1 @@
+lib/ultrametric/tree_check.mli: Dist_matrix Format Import Utree

@@ -1,0 +1,1 @@
+lib/ultrametric/triplet_distance.mli: Utree

@@ -1,0 +1,1 @@
+lib/ultrametric/utree.ml: Dist_matrix Float Format Fun Import List

@@ -1,0 +1,1 @@
+lib/ultrametric/utree.mli: Dist_matrix Format Import

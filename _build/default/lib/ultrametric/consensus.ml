@@ -1,0 +1,51 @@
+let check_same_leaves = function
+  | [] -> invalid_arg "Consensus: empty tree list"
+  | t :: rest ->
+      let ls = Utree.leaves t in
+      List.iter
+        (fun t' ->
+          if Utree.leaves t' <> ls then
+            invalid_arg "Consensus: trees have different leaf sets")
+        rest
+
+let cluster_counts trees =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun c ->
+          Hashtbl.replace counts c
+            (1 + try Hashtbl.find counts c with Not_found -> 0))
+        (Rf_distance.clusters t))
+    trees;
+  counts
+
+let filter_by_count trees needed =
+  check_same_leaves trees;
+  let counts = cluster_counts trees in
+  Hashtbl.fold
+    (fun cluster count acc -> if count >= needed then cluster :: acc else acc)
+    counts []
+  |> List.sort compare
+
+let strict trees = filter_by_count trees (List.length trees)
+
+let majority ?(threshold = 0.5) trees =
+  if threshold < 0.5 || threshold > 1.0 then
+    invalid_arg "Consensus.majority: threshold must be in [0.5, 1.0]";
+  let n = List.length trees in
+  (* "More than threshold", with >= at exactly 1.0 so it matches
+     [strict]. *)
+  let needed =
+    if threshold >= 1.0 then n
+    else 1 + int_of_float (threshold *. float_of_int n)
+  in
+  filter_by_count trees (Int.min n needed)
+
+let agreement trees =
+  check_same_leaves trees;
+  let counts = cluster_counts trees in
+  let total = Hashtbl.length counts in
+  if total = 0 then 1.
+  else
+    float_of_int (List.length (strict trees)) /. float_of_int total

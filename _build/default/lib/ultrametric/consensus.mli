@@ -1,0 +1,22 @@
+(** Consensus of a collection of trees over the same leaf set.
+
+    The companion paper's parallel search gathers {e all} optimal trees
+    (its Step 7); a consensus summarises them.  Because the strict or
+    majority consensus of binary trees is generally non-binary, the
+    result is returned as a cluster family (every consensus cluster,
+    including singletons' complements' intersections being dropped),
+    which callers can print or compare. *)
+
+val strict : Utree.t list -> int list list
+(** Non-trivial clusters present in {e every} input tree, sorted.
+    @raise Invalid_argument on an empty list or differing leaf sets. *)
+
+val majority : ?threshold:float -> Utree.t list -> int list list
+(** Clusters present in more than [threshold] (default [0.5]) of the
+    trees.  [threshold] must be in [[0.5, 1.0]]; [1.0] equals
+    {!strict}. *)
+
+val agreement : Utree.t list -> float
+(** Fraction of the distinct non-trivial clusters across all trees that
+    are in the strict consensus — [1.] when all trees agree, [0.] when
+    no cluster is shared.  [1.] for a single tree. *)

@@ -1,0 +1,3 @@
+(* Aliases for modules from dependency libraries. *)
+
+module Dist_matrix = Distmat.Dist_matrix

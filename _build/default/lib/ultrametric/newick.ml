@@ -1,0 +1,136 @@
+let to_string ?names t =
+  let name i =
+    match names with
+    | None -> string_of_int i
+    | Some ns ->
+        if i >= Array.length ns then
+          invalid_arg "Newick.to_string: leaf index outside names";
+        ns.(i)
+  in
+  let buf = Buffer.create 256 in
+  let rec go parent_height t =
+    let len = parent_height -. Utree.height t in
+    (match t with
+    | Utree.Leaf i -> Buffer.add_string buf (name i)
+    | Utree.Node n ->
+        Buffer.add_char buf '(';
+        go n.height n.left;
+        Buffer.add_char buf ',';
+        go n.height n.right;
+        Buffer.add_char buf ')');
+    Buffer.add_string buf (Printf.sprintf ":%.9g" len)
+  in
+  (match t with
+  | Utree.Leaf i -> Buffer.add_string buf (name i)
+  | Utree.Node n ->
+      Buffer.add_char buf '(';
+      go n.height n.left;
+      Buffer.add_char buf ',';
+      go n.height n.right;
+      Buffer.add_char buf ')');
+  Buffer.add_char buf ';';
+  Buffer.contents buf
+
+(* --- Parsing: a small recursive-descent parser over a char cursor. --- *)
+
+type parsed = Pleaf of string | Pnode of (parsed * float) * (parsed * float)
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let fail c msg = failwith (Printf.sprintf "Newick: %s at offset %d" msg c.pos)
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let word c =
+  skip_ws c;
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some (('(' | ')' | ',' | ':' | ';') | ' ' | '\t' | '\n' | '\r') | None ->
+        ()
+    | Some _ ->
+        advance c;
+        go ()
+  in
+  go ();
+  if c.pos = start then fail c "expected a name";
+  String.sub c.text start (c.pos - start)
+
+let branch_length c =
+  expect c ':';
+  let w = word c in
+  match float_of_string_opt w with
+  | Some f when Float.is_finite f && f >= 0. -> f
+  | _ -> fail c (Printf.sprintf "bad branch length %S" w)
+
+let rec subtree c =
+  skip_ws c;
+  match peek c with
+  | Some '(' ->
+      advance c;
+      let l = subtree c in
+      let ll = branch_length c in
+      expect c ',';
+      let r = subtree c in
+      let rl = branch_length c in
+      skip_ws c;
+      (match peek c with
+      | Some ')' -> advance c
+      | Some ',' -> fail c "only binary trees are supported"
+      | _ -> fail c "expected ')'");
+      Pnode ((l, ll), (r, rl))
+  | Some _ -> Pleaf (word c)
+  | None -> fail c "unexpected end of input"
+
+let of_string ?(eps = 1e-6) ?names text =
+  let c = { text; pos = 0 } in
+  let p = subtree c in
+  skip_ws c;
+  (* Optional root branch length, then the mandatory semicolon. *)
+  (match peek c with Some ':' -> ignore (branch_length c : float) | _ -> ());
+  expect c ';';
+  skip_ws c;
+  if peek c <> None then fail c "trailing input";
+  let label w =
+    match names with
+    | None -> (
+        match int_of_string_opt w with
+        | Some i when i >= 0 -> i
+        | _ -> failwith (Printf.sprintf "Newick: leaf %S is not an integer" w))
+    | Some ns -> (
+        match Array.find_index (String.equal w) ns with
+        | Some i -> i
+        | None -> failwith (Printf.sprintf "Newick: unknown leaf name %S" w))
+  in
+  (* Convert to heights bottom-up, checking ultrametricity: both children
+     must reach the same height through their branch lengths. *)
+  let rec build = function
+    | Pleaf w -> Utree.leaf (label w)
+    | Pnode ((l, ll), (r, rl)) ->
+        let lt = build l and rt = build r in
+        let hl = Utree.height lt +. ll and hr = Utree.height rt +. rl in
+        if Float.abs (hl -. hr) > eps then
+          failwith
+            (Printf.sprintf
+               "Newick: branch lengths are not ultrametric (%g vs %g)" hl hr);
+        Utree.node (Float.max hl hr) lt rt
+  in
+  build p

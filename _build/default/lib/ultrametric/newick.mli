@@ -1,0 +1,18 @@
+(** Newick serialisation of ultrametric trees.
+
+    Branch lengths are height differences, so a tree at height [h] prints
+    as e.g. [((0:1,1:1):2,2:3);] — every root-to-leaf path sums to [h].
+    Parsing accepts binary trees whose branch lengths are consistent with
+    an ultrametric (all leaves equidistant from the root, up to [eps]). *)
+
+val to_string : ?names:string array -> Utree.t -> string
+(** [names.(i)] labels leaf [i]; defaults to the integer itself.
+    @raise Invalid_argument if a leaf index is outside [names]. *)
+
+val of_string : ?eps:float -> ?names:string array -> string -> Utree.t
+(** Parse a Newick string into an ultrametric tree.  When [names] is
+    given, leaf words are looked up in it; otherwise leaf words must be
+    integers.  @raise Failure on syntax errors, non-binary nodes, unknown
+    names, missing branch lengths, or branch lengths that do not describe
+    an ultrametric (root-to-leaf distances differing by more than [eps],
+    default [1e-6]). *)

@@ -1,0 +1,156 @@
+open Import
+
+type document = {
+  taxa : string array;
+  matrix : Dist_matrix.t option;
+  trees : (string * Utree.t) list;
+}
+
+let to_string doc =
+  let n = Array.length doc.taxa in
+  (match doc.matrix with
+  | Some m when Dist_matrix.size m <> n ->
+      invalid_arg "Nexus.to_string: matrix size disagrees with taxa"
+  | Some _ | None -> ());
+  List.iter
+    (fun (_, t) ->
+      if Utree.leaves t <> List.init n Fun.id then
+        invalid_arg "Nexus.to_string: tree leaves must index the taxa")
+    doc.trees;
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "#NEXUS\n\n";
+  add "BEGIN TAXA;\n  DIMENSIONS NTAX=%d;\n  TAXLABELS" n;
+  Array.iter (fun name -> add " %s" name) doc.taxa;
+  add ";\nEND;\n\n";
+  (match doc.matrix with
+  | None -> ()
+  | Some m ->
+      add "BEGIN DISTANCES;\n  DIMENSIONS NTAX=%d;\n" n;
+      add "  FORMAT TRIANGLE=LOWER DIAGONAL;\n  MATRIX\n";
+      for i = 0 to n - 1 do
+        add "    %s" doc.taxa.(i);
+        for j = 0 to i do
+          add " %.9g" (Dist_matrix.get m i j)
+        done;
+        add "\n"
+      done;
+      add "  ;\nEND;\n\n");
+  (match doc.trees with
+  | [] -> ()
+  | trees ->
+      add "BEGIN TREES;\n";
+      List.iter
+        (fun (name, t) ->
+          add "  TREE %s = %s\n" name (Newick.to_string ~names:doc.taxa t))
+        trees;
+      add "END;\n");
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+let strip_comments text =
+  (* NEXUS comments are [ ... ] and do not nest in our subset. *)
+  let buf = Buffer.create (String.length text) in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '[' then incr depth
+      else if c = ']' then begin
+        if !depth = 0 then failwith "Nexus: unbalanced ']'";
+        decr depth
+      end
+      else if !depth = 0 then Buffer.add_char buf c)
+    text;
+  if !depth <> 0 then failwith "Nexus: unterminated comment";
+  Buffer.contents buf
+
+let tokens_of text =
+  (* Statements are ;-terminated; split into statements first, keeping
+     structure simple. *)
+  String.split_on_char ';' text
+  |> List.map (fun stmt ->
+         String.split_on_char ' '
+           (String.map
+              (function '\n' | '\t' | '\r' -> ' ' | c -> c)
+              stmt)
+         |> List.filter (fun s -> s <> ""))
+  |> List.filter (fun stmt -> stmt <> [])
+
+let upper = String.uppercase_ascii
+
+let of_string text =
+  let text = strip_comments text in
+  (* The #NEXUS magic may sit at the start of the first statement. *)
+  let stmts = tokens_of text in
+  (match stmts with
+  | (magic :: _) :: _ when upper magic = "#NEXUS" -> ()
+  | _ -> failwith "Nexus: missing #NEXUS header");
+  let taxa = ref [||] in
+  let matrix = ref None in
+  let trees = ref [] in
+  let current_block = ref "" in
+  let stmts =
+    (* Drop the #NEXUS token from the first statement. *)
+    match stmts with
+    | (magic :: rest) :: others when upper magic = "#NEXUS" ->
+        if rest = [] then others else rest :: others
+    | all -> all
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | kw :: rest when upper kw = "BEGIN" -> (
+          match rest with
+          | [ block ] -> current_block := upper block
+          | _ -> failwith "Nexus: malformed BEGIN")
+      | [ kw ] when upper kw = "END" || upper kw = "ENDBLOCK" ->
+          current_block := ""
+      | kw :: rest when upper kw = "TAXLABELS" && !current_block = "TAXA" ->
+          taxa := Array.of_list rest
+      | kw :: rest when upper kw = "MATRIX" && !current_block = "DISTANCES"
+        -> (
+          let n = Array.length !taxa in
+          if n = 0 then failwith "Nexus: DISTANCES before TAXLABELS";
+          (* rest = taxon_0 d00 taxon_1 d10 d11 ... (lower + diagonal) *)
+          let raw = Array.make_matrix n n 0. in
+          let toks = ref rest in
+          let next () =
+            match !toks with
+            | [] -> failwith "Nexus: truncated distance matrix"
+            | t :: more ->
+                toks := more;
+                t
+          in
+          for i = 0 to n - 1 do
+            let name = next () in
+            if name <> !taxa.(i) then
+              failwith
+                (Printf.sprintf "Nexus: row %d is %S, expected %S" i name
+                   !taxa.(i));
+            for j = 0 to i do
+              match float_of_string_opt (next ()) with
+              | Some d ->
+                  raw.(i).(j) <- d;
+                  raw.(j).(i) <- d
+              | None -> failwith "Nexus: bad distance value"
+            done
+          done;
+          if !toks <> [] then failwith "Nexus: trailing matrix entries";
+          match Dist_matrix.of_rows raw with
+          | m -> matrix := Some m
+          | exception Invalid_argument msg -> failwith ("Nexus: " ^ msg))
+      | kw :: rest when upper kw = "TREE" && !current_block = "TREES" -> (
+          match rest with
+          | name :: "=" :: newick_parts ->
+              let newick = String.concat "" newick_parts ^ ";" in
+              let tree = Newick.of_string ~names:!taxa newick in
+              trees := (name, tree) :: !trees
+          | _ -> failwith "Nexus: malformed TREE statement")
+      | kw :: _
+        when List.mem (upper kw) [ "DIMENSIONS"; "FORMAT"; "TRANSLATE" ] ->
+          ()
+      | _ -> ())
+    stmts;
+  if Array.length !taxa = 0 then failwith "Nexus: no TAXLABELS found";
+  { taxa = !taxa; matrix = !matrix; trees = List.rev !trees }

@@ -1,0 +1,23 @@
+open Import
+
+(** A pragmatic subset of the NEXUS file format (Maddison et al. 1997),
+    the interchange format of PAUP*/MrBayes-era phylogenetics: TAXA,
+    DISTANCES and TREES blocks.  Writing always succeeds; parsing
+    accepts the files this module writes (and reasonable variations:
+    case-insensitive keywords, flexible whitespace, [\[...\]] comments). *)
+
+type document = {
+  taxa : string array;
+  matrix : Dist_matrix.t option;  (** DISTANCES block, if present *)
+  trees : (string * Utree.t) list;  (** named trees from the TREES block *)
+}
+
+val to_string : document -> string
+(** Render as [#NEXUS] with a TAXA block, then DISTANCES (if any) and
+    TREES (if any).  Tree leaves must index [taxa].
+    @raise Invalid_argument on inconsistent sizes. *)
+
+val of_string : string -> document
+(** Parse.  @raise Failure with a descriptive message on malformed
+    input, unknown taxa in trees, or a distance matrix that disagrees
+    with the taxa count. *)

@@ -1,0 +1,179 @@
+let name_of names i =
+  match names with
+  | None -> string_of_int i
+  | Some ns ->
+      if i >= Array.length ns then
+        invalid_arg "Render: leaf index outside names";
+      ns.(i)
+
+(* Assign each leaf a row and each internal node the mean row of its
+   children; x positions scale with height (root at x = 0, leaves at the
+   right edge). *)
+type layout = {
+  rows : (Utree.t * int) list;  (* leaf rows, in display order *)
+  n_rows : int;
+}
+
+let leaf_rows t =
+  let rows = ref [] and next = ref 0 in
+  let rec go t =
+    match t with
+    | Utree.Leaf _ ->
+        rows := (t, !next) :: !rows;
+        incr next
+    | Utree.Node n ->
+        go n.left;
+        go n.right
+  in
+  go t;
+  { rows = List.rev !rows; n_rows = !next }
+
+let to_ascii ?names ?(width = 72) t =
+  match t with
+  | Utree.Leaf i -> name_of names i ^ "\n"
+  | Utree.Node _ ->
+      let { rows; n_rows } = leaf_rows t in
+      let root_h = Utree.height t in
+      let label_width =
+        List.fold_left
+          (fun acc (leaf, _) ->
+            match leaf with
+            | Utree.Leaf i -> Int.max acc (String.length (name_of names i))
+            | Utree.Node _ -> acc)
+          0 rows
+      in
+      let plot_width = Int.max 10 (width - label_width - 2) in
+      (* Column of a node at a given height: root (max height) at column
+         0, height 0 at the right edge. *)
+      let col h =
+        if root_h <= 0. then plot_width - 1
+        else
+          Int.min (plot_width - 1)
+            (int_of_float
+               (Float.round
+                  ((1. -. (h /. root_h)) *. float_of_int (plot_width - 1))))
+      in
+      let grid = Array.make_matrix (2 * n_rows) (plot_width + 1) ' ' in
+      let leaf_row =
+        let tbl = Hashtbl.create n_rows in
+        List.iter
+          (fun (leaf, r) ->
+            match leaf with
+            | Utree.Leaf i -> Hashtbl.replace tbl i (2 * r)
+            | Utree.Node _ -> ())
+          rows;
+        fun i -> Hashtbl.find tbl i
+      in
+      (* Draw each subtree, returning its connector row. *)
+      let rec draw t parent_col =
+        match t with
+        | Utree.Leaf i ->
+            let r = leaf_row i in
+            for c = parent_col to plot_width - 1 do
+              grid.(r).(c) <- '-'
+            done;
+            r
+        | Utree.Node n ->
+            let c = col n.height in
+            let rl = draw n.left c and rr = draw n.right c in
+            let lo = Int.min rl rr and hi = Int.max rl rr in
+            for r = lo to hi do
+              if grid.(r).(c) = ' ' then grid.(r).(c) <- '|'
+            done;
+            grid.(lo).(c) <- '+';
+            grid.(hi).(c) <- '+';
+            let mid = (rl + rr) / 2 in
+            for cc = parent_col to c - 1 do
+              grid.(mid).(cc) <- '-'
+            done;
+            if grid.(mid).(c) = '|' then grid.(mid).(c) <- '+';
+            mid
+      in
+      ignore (draw t (col root_h) : int);
+      let buf = Buffer.create (n_rows * (width + 1) * 2) in
+      Array.iteri
+        (fun r line ->
+          let text = String.init (plot_width + 1) (Array.get line) in
+          let text =
+            (* Trim trailing blanks. *)
+            let len = ref (String.length text) in
+            while !len > 0 && text.[!len - 1] = ' ' do
+              decr len
+            done;
+            String.sub text 0 !len
+          in
+          let label =
+            if r mod 2 = 0 then
+              match List.nth_opt rows (r / 2) with
+              | Some (Utree.Leaf i, _) -> " " ^ name_of names i
+              | Some (Utree.Node _, _) | None -> ""
+            else ""
+          in
+          if text <> "" || label <> "" then begin
+            Buffer.add_string buf text;
+            Buffer.add_string buf label;
+            Buffer.add_char buf '\n'
+          end)
+        grid;
+      Buffer.contents buf
+
+let to_svg ?names ?(width = 640) t =
+  let { rows; n_rows } = leaf_rows t in
+  let root_h = Float.max (Utree.height t) 1e-9 in
+  let row_height = 22 and margin = 20 and label_space = 120 in
+  let plot_w = float_of_int (width - (2 * margin) - label_space) in
+  let height = (n_rows * row_height) + (2 * margin) + 30 in
+  let x h =
+    float_of_int margin +. ((1. -. (h /. root_h)) *. plot_w)
+  in
+  let y_of_row r = float_of_int (margin + (r * row_height) + (row_height / 2)) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" \
+        height=\"%d\" font-family=\"monospace\" font-size=\"12\">\n"
+       width height);
+  let line x1 y1 x2 y2 =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+          stroke=\"black\" stroke-width=\"1.2\"/>\n"
+         x1 y1 x2 y2)
+  in
+  let text tx ty s =
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"%.1f\" y=\"%.1f\">%s</text>\n" tx ty s)
+  in
+  let leaf_row =
+    let tbl = Hashtbl.create n_rows in
+    List.iter
+      (fun (leaf, r) ->
+        match leaf with
+        | Utree.Leaf i -> Hashtbl.replace tbl i r
+        | Utree.Node _ -> ())
+      rows;
+    fun i -> Hashtbl.find tbl i
+  in
+  let rec draw t parent_x =
+    match t with
+    | Utree.Leaf i ->
+        let y = y_of_row (leaf_row i) in
+        line parent_x y (x 0.) y;
+        text (x 0. +. 4.) (y +. 4.) (name_of names i);
+        y
+    | Utree.Node n ->
+        let cx = x n.height in
+        let yl = draw n.left cx and yr = draw n.right cx in
+        line cx yl cx yr;
+        let ym = (yl +. yr) /. 2. in
+        line parent_x ym cx ym;
+        ym
+  in
+  ignore (draw t (x root_h) : float);
+  (* Distance scale bar: root height to zero. *)
+  let bar_y = float_of_int (height - margin) in
+  line (x root_h) bar_y (x 0.) bar_y;
+  text (x root_h) (bar_y -. 5.) (Printf.sprintf "%.3g" root_h);
+  text (x 0. -. 8.) (bar_y -. 5.) "0";
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

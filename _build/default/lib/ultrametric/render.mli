@@ -1,0 +1,15 @@
+(** Tree rendering: ASCII dendrograms for terminals and SVG for reports.
+
+    The project report emphasises giving biologists {e readable} results;
+    these renderers turn an ultrametric tree into a left-to-right
+    dendrogram whose horizontal axis is evolutionary distance (node
+    height), so merge depths can be read off directly. *)
+
+val to_ascii : ?names:string array -> ?width:int -> Utree.t -> string
+(** Text dendrogram, roughly [width] columns wide (default 72).
+    Leaves are labelled by [names] (default: the integer labels).
+    @raise Invalid_argument if a leaf index is outside [names]. *)
+
+val to_svg : ?names:string array -> ?width:int -> Utree.t -> string
+(** Standalone SVG document of the same dendrogram (default width 640
+    pixels), with a distance scale bar. *)

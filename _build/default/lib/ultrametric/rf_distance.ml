@@ -1,0 +1,28 @@
+let clusters t =
+  let all = ref [] in
+  let rec go = function
+    | Utree.Leaf i -> [ i ]
+    | Utree.Node n ->
+        let l = go n.left and r = go n.right in
+        let here = List.sort compare (List.rev_append l r) in
+        all := here :: !all;
+        here
+  in
+  let top = go t in
+  let n = List.length top in
+  !all
+  |> List.filter (fun c ->
+         let k = List.length c in
+         k >= 2 && k < n)
+  |> List.sort_uniq compare
+
+let distance a b =
+  if Utree.leaves a <> Utree.leaves b then
+    invalid_arg "Rf_distance.distance: different leaf sets";
+  let ca = clusters a and cb = clusters b in
+  let only_in x y = List.filter (fun c -> not (List.mem c y)) x in
+  List.length (only_in ca cb) + List.length (only_in cb ca)
+
+let normalized a b =
+  let total = List.length (clusters a) + List.length (clusters b) in
+  if total = 0 then 0. else float_of_int (distance a b) /. float_of_int total

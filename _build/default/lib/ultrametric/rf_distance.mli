@@ -1,0 +1,18 @@
+(** Robinson-Foulds distance between rooted leaf-labelled trees.
+
+    The RF distance counts the clusters (leaf sets of internal nodes)
+    present in one tree but not the other.  We use it to quantify how far
+    the compact-set tree's topology is from the exact minimum ultrametric
+    tree, complementing the paper's cost-difference measurements. *)
+
+val clusters : Utree.t -> int list list
+(** Sorted list of non-trivial clusters (each sorted ascending; the
+    all-leaves cluster and singletons are excluded). *)
+
+val distance : Utree.t -> Utree.t -> int
+(** Size of the symmetric difference of the two cluster sets.
+    @raise Invalid_argument if the trees have different leaf sets. *)
+
+val normalized : Utree.t -> Utree.t -> float
+(** {!distance} divided by the total number of non-trivial clusters in
+    both trees ([0.] when both trees have none); ranges over [0, 1]. *)

@@ -1,0 +1,49 @@
+open Import
+
+type error =
+  | Bad_leaf_set of string
+  | Not_monotone of string
+  | Not_feasible of { i : int; j : int; needed : float; got : float }
+
+let pp_error ppf = function
+  | Bad_leaf_set msg -> Format.fprintf ppf "bad leaf set: %s" msg
+  | Not_monotone msg -> Format.fprintf ppf "heights not monotone: %s" msg
+  | Not_feasible { i; j; needed; got } ->
+      Format.fprintf ppf
+        "tree distance between %d and %d is %g, below the matrix's %g" i j
+        got needed
+
+let full_check ?(eps = 1e-9) dm t =
+  let n = Dist_matrix.size dm in
+  let ls = Utree.leaves t in
+  if List.length ls <> n || ls <> List.init n Fun.id then
+    Error
+      (Bad_leaf_set
+         (Format.asprintf "expected 0..%d, got [%a]" (n - 1)
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+               Format.pp_print_int)
+            ls))
+  else if not (Utree.is_monotone t) then
+    Error (Not_monotone "some internal node is lower than a child")
+  else begin
+    (* Localise the worst feasibility violation for the error message. *)
+    let worst = ref None in
+    let tm = Utree.to_matrix t in
+    Dist_matrix.iter_pairs
+      (fun i j needed ->
+        let got = Dist_matrix.get tm i j in
+        if got < needed -. eps then
+          match !worst with
+          | Some (_, _, n0, g0) when n0 -. g0 >= needed -. got -> ()
+          | _ -> worst := Some (i, j, needed, got))
+      dm;
+    match !worst with
+    | None -> Ok ()
+    | Some (i, j, needed, got) -> Error (Not_feasible { i; j; needed; got })
+  end
+
+let assert_valid ?eps dm t =
+  match full_check ?eps dm t with
+  | Ok () -> ()
+  | Error e -> failwith (Format.asprintf "Tree_check: %a" pp_error e)

@@ -1,0 +1,21 @@
+open Import
+
+(** Whole-tree validation, used by tests and by the pipeline's debug
+    assertions. *)
+
+type error =
+  | Bad_leaf_set of string
+      (** leaves are not exactly [0 .. n-1], or duplicated *)
+  | Not_monotone of string  (** an internal node is lower than a child *)
+  | Not_feasible of { i : int; j : int; needed : float; got : float }
+      (** some pair is closer in the tree than in the matrix *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val full_check :
+  ?eps:float -> Dist_matrix.t -> Utree.t -> (unit, error) result
+(** Check that the tree is a well-formed ultrametric tree over exactly the
+    matrix's species and is feasible for the matrix. *)
+
+val assert_valid : ?eps:float -> Dist_matrix.t -> Utree.t -> unit
+(** @raise Failure with a rendered error when {!full_check} fails. *)

@@ -1,0 +1,64 @@
+(* For each leaf [i], one walk down the root-to-[i] path records, for
+   every other leaf [a], how early [a] split from [i] (the path depth of
+   their LCA).  The grouped pair of a triple (i, j, k) follows by
+   comparing split depths, exactly as in Relation33 but against a second
+   tree instead of a matrix. *)
+
+let split_depths t n i =
+  let depths = Array.make n (-1) in
+  let rec record_all d t =
+    match t with
+    | Utree.Leaf a -> depths.(a) <- d
+    | Utree.Node nd ->
+        record_all d nd.left;
+        record_all d nd.right
+  in
+  let rec contains x = function
+    | Utree.Leaf l -> l = x
+    | Utree.Node nd -> contains x nd.left || contains x nd.right
+  in
+  let rec walk d t =
+    match t with
+    | Utree.Leaf _ -> ()
+    | Utree.Node nd ->
+        if contains i nd.left then begin
+          record_all d nd.right;
+          walk (d + 1) nd.left
+        end
+        else begin
+          record_all d nd.left;
+          walk (d + 1) nd.right
+        end
+  in
+  walk 0 t;
+  depths
+
+(* The grouped pair of (i, j, k) encoded as 0 = (j,k), 1 = (i,j),
+   2 = (i,k), from i's split depths: whichever of j, k split from i
+   later is grouped with i; equal depths mean j and k are together. *)
+let grouped depths j k =
+  if depths.(j) > depths.(k) then 1
+  else if depths.(k) > depths.(j) then 2
+  else 0
+
+let distance a b =
+  if Utree.leaves a <> Utree.leaves b then
+    invalid_arg "Triplet_distance.distance: different leaf sets";
+  let n = Utree.n_leaves a in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    let da = split_depths a n i and db = split_depths b n i in
+    for j = i + 1 to n - 1 do
+      for k = j + 1 to n - 1 do
+        if grouped da j k <> grouped db j k then incr count
+      done
+    done
+  done;
+  !count
+
+let normalized a b =
+  let n = Utree.n_leaves a in
+  if n < 3 then 0.
+  else
+    let triples = n * (n - 1) * (n - 2) / 6 in
+    float_of_int (distance a b) /. float_of_int triples

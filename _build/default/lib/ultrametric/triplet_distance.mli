@@ -1,0 +1,18 @@
+(** Triplet distance between rooted trees.
+
+    For every three leaves, a rooted binary tree groups exactly one pair
+    below the triple's common ancestor; the triplet distance counts the
+    triples on which two trees disagree.  It is finer-grained than
+    Robinson-Foulds and is the tree-tree analogue of the 3-3
+    relationship the companion paper uses between a tree and a matrix
+    ({!Bnb.Relation33} lives downstream, so the measure is implemented
+    here independently). *)
+
+val distance : Utree.t -> Utree.t -> int
+(** Number of disagreeing triples.  O(n^2) preprocessing + O(n^3)
+    comparison.  @raise Invalid_argument if the trees have different
+    leaf sets. *)
+
+val normalized : Utree.t -> Utree.t -> float
+(** {!distance} divided by [C(n, 3)] (the number of triples); in
+    [0, 1].  [0.] for trees with fewer than 3 leaves. *)

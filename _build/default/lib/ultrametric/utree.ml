@@ -1,0 +1,168 @@
+open Import
+
+type t = Leaf of int | Node of { height : float; left : t; right : t }
+
+let leaf i =
+  if i < 0 then invalid_arg "Utree.leaf: negative label";
+  Leaf i
+
+let height = function Leaf _ -> 0. | Node n -> n.height
+
+let node h l r =
+  if not (Float.is_finite h) || h < 0. then
+    invalid_arg "Utree.node: height must be finite and non-negative";
+  if h < height l || h < height r then
+    invalid_arg "Utree.node: height below a child";
+  Node { height = h; left = l; right = r }
+
+let rec n_leaves = function
+  | Leaf _ -> 1
+  | Node n -> n_leaves n.left + n_leaves n.right
+
+let rec leaf_fold f acc = function
+  | Leaf i -> f acc i
+  | Node n -> leaf_fold f (leaf_fold f acc n.left) n.right
+
+let leaf_list t = List.rev (leaf_fold (fun acc i -> i :: acc) [] t)
+let leaves t = List.sort compare (leaf_list t)
+
+let weight t =
+  (* Sum over edges of (parent height - child height). *)
+  let rec go = function
+    | Leaf _ -> 0.
+    | Node n ->
+        (n.height -. height n.left)
+        +. (n.height -. height n.right)
+        +. go n.left +. go n.right
+  in
+  go t
+
+let tree_distance t i j =
+  if i = j then 0.
+  else begin
+    let rec contains x = function
+      | Leaf l -> l = x
+      | Node n -> contains x n.left || contains x n.right
+    in
+    (* Walk down from the root; the LCA is the first node separating the
+       two labels. *)
+    let rec lca_height t =
+      match t with
+      | Leaf _ -> raise Not_found
+      | Node n ->
+          let li = contains i n.left and lj = contains j n.left in
+          let ri = contains i n.right and rj = contains j n.right in
+          if (not (li || ri)) || not (lj || rj) then raise Not_found
+          else if li && lj then lca_height n.left
+          else if ri && rj then lca_height n.right
+          else n.height
+    in
+    2. *. lca_height t
+  end
+
+let to_matrix t =
+  let n = n_leaves t in
+  let ls = leaves t in
+  if ls <> List.init n Fun.id then
+    invalid_arg "Utree.to_matrix: leaves must be exactly 0 .. n-1";
+  let m = Dist_matrix.create n in
+  (* One traversal: at each internal node, every (left-leaf, right-leaf)
+     pair is separated exactly there. *)
+  let rec go t =
+    match t with
+    | Leaf i -> [ i ]
+    | Node nd ->
+        let l = go nd.left and r = go nd.right in
+        List.iter
+          (fun i ->
+            List.iter (fun j -> Dist_matrix.set m i j (2. *. nd.height)) r)
+          l;
+        List.rev_append l r
+  in
+  ignore (go t : int list);
+  m
+
+let minimal_realization dm t =
+  let rec go t =
+    match t with
+    | Leaf i -> (Leaf i, [ i ])
+    | Node nd ->
+        let l, ll = go nd.left and r, rl = go nd.right in
+        let hmax = ref 0. in
+        List.iter
+          (fun i ->
+            List.iter
+              (fun j -> hmax := Float.max !hmax (Dist_matrix.get dm i j))
+              rl)
+          ll;
+        (* Heights must stay monotone even when the matrix is not a
+           metric; clamp to the children. *)
+        let h =
+          Float.max (!hmax /. 2.) (Float.max (height l) (height r))
+        in
+        (Node { height = h; left = l; right = r }, List.rev_append ll rl)
+  in
+  fst (go t)
+
+let is_feasible ?(eps = 1e-9) dm t =
+  let rec go t =
+    (* Returns (ok, leaf list). *)
+    match t with
+    | Leaf i -> (true, [ i ])
+    | Node nd ->
+        let okl, ll = go nd.left and okr, rl = go nd.right in
+        let ok = ref (okl && okr) in
+        let d = 2. *. nd.height in
+        List.iter
+          (fun i ->
+            List.iter
+              (fun j -> if d < Dist_matrix.get dm i j -. eps then ok := false)
+              rl)
+          ll;
+        (!ok, List.rev_append ll rl)
+  in
+  fst (go t)
+
+let rec is_monotone = function
+  | Leaf _ -> true
+  | Node n ->
+      n.height >= height n.left
+      && n.height >= height n.right
+      && is_monotone n.left && is_monotone n.right
+
+let rec relabel f = function
+  | Leaf i -> leaf (f i)
+  | Node n -> Node { n with left = relabel f n.left; right = relabel f n.right }
+
+let rec map_leaves f = function
+  | Leaf i -> f i
+  | Node n ->
+      Node { n with left = map_leaves f n.left; right = map_leaves f n.right }
+
+let rec equal a b =
+  match (a, b) with
+  | Leaf i, Leaf j -> i = j
+  | Node x, Node y ->
+      Float.equal x.height y.height && equal x.left y.left
+      && equal x.right y.right
+  | Leaf _, Node _ | Node _, Leaf _ -> false
+
+let rec clusters acc = function
+  | Leaf i -> ([ i ], acc)
+  | Node n ->
+      let l, acc = clusters acc n.left in
+      let r, acc = clusters acc n.right in
+      let here = List.sort compare (List.rev_append l r) in
+      (here, here :: acc)
+
+let cluster_set t =
+  let _, cs = clusters [] t in
+  List.sort_uniq compare cs
+
+let same_topology a b = cluster_set a = cluster_set b
+
+let rec pp ppf = function
+  | Leaf i -> Format.fprintf ppf "%d" i
+  | Node n ->
+      Format.fprintf ppf "@[<v 2>(h=%g@,%a@,%a)@]" n.height pp n.left pp
+        n.right

@@ -1,0 +1,82 @@
+open Import
+
+(** Ultrametric trees (Definitions 6-8 of the companion paper).
+
+    An ultrametric tree over species [{0 .. n-1}] is a rooted, leaf
+    labelled, edge weighted binary tree in which every internal node is at
+    the same distance from all leaves below it.  We store each internal
+    node's {e height} (that distance); the weight of the edge from a node
+    at height [h] to a child at height [h'] is [h - h'], and leaves have
+    height [0].  The tree distance between two leaves is twice the height
+    of their lowest common ancestor.
+
+    For a fixed topology the {e minimal realization} assigns every
+    internal node the height [max D(i,j) / 2] over {e all} leaf pairs of
+    its subtree (equivalently, the max of the separated-pair distances and
+    the children's heights).  This is the cheapest feasible ultrametric
+    tree with that topology, and its weight can only grow when a leaf is
+    inserted — the two facts the branch-and-bound's cost function and
+    [LB0] bound rely on. *)
+
+type t = Leaf of int | Node of { height : float; left : t; right : t }
+
+val leaf : int -> t
+(** @raise Invalid_argument on a negative label. *)
+
+val node : float -> t -> t -> t
+(** [node h l r] builds an internal node.
+    @raise Invalid_argument if [h] is negative, not finite, or lower than
+    a child's height. *)
+
+val height : t -> float
+(** Height of the root ([0.] for a leaf). *)
+
+val n_leaves : t -> int
+
+val leaves : t -> int list
+(** Leaf labels, ascending. *)
+
+val leaf_list : t -> int list
+(** Leaf labels in left-to-right tree order. *)
+
+val weight : t -> float
+(** Total edge weight [w(T)] — the quantity the MUT problem minimises. *)
+
+val tree_distance : t -> int -> int -> float
+(** [tree_distance t i j] is [d_T(i, j)] = twice the LCA height.
+    @raise Not_found if either label is missing.  O(size). *)
+
+val to_matrix : t -> Dist_matrix.t
+(** The [n * n] ultrametric matrix induced by the tree, where [n] is the
+    number of leaves.  @raise Invalid_argument if the leaf labels are not
+    exactly [0 .. n-1]. *)
+
+val minimal_realization : Dist_matrix.t -> t -> t
+(** Recompute every internal height as the max separated pair distance
+    over 2 (the cheapest ultrametric tree with this topology that is
+    feasible for the matrix).  Leaf labels index the matrix. *)
+
+val is_feasible : ?eps:float -> Dist_matrix.t -> t -> bool
+(** [d_T(i,j) >= D(i,j) - eps] for all leaf pairs (Definition 8's
+    constraint).  Default [eps = 1e-9]. *)
+
+val is_monotone : t -> bool
+(** Every internal node is at least as high as its children — always true
+    for trees built with {!node}; useful for trees parsed from Newick. *)
+
+val relabel : (int -> int) -> t -> t
+(** Apply a relabelling to every leaf. *)
+
+val map_leaves : (int -> t) -> t -> t
+(** Substitute a subtree for every leaf (used to graft compact-set block
+    trees back together).  Heights of the host tree are kept. *)
+
+val equal : t -> t -> bool
+(** Structural equality (exact float comparison on heights). *)
+
+val same_topology : t -> t -> bool
+(** Equality ignoring heights and left/right order (compares the nested
+    leaf-set structure). *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented ASCII rendering. *)

@@ -1,0 +1,1 @@
+test/test_align.ml: Alcotest Align Array Compactphy Distmat Float List Printf QCheck QCheck_alcotest Random Seqsim String Ultra

@@ -1,0 +1,1 @@
+test/test_bnb.ml: Alcotest Array Bnb Clustering Distmat Float List Printf QCheck QCheck_alcotest Random Ultra

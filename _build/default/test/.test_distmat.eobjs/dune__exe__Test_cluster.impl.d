@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Bnb Clustersim Distmat Float Fun List Printf QCheck QCheck_alcotest Random Seqsim Ultra

@@ -1,0 +1,1 @@
+test/test_clustering.ml: Alcotest Clustering Distmat Float Fun List Printf QCheck QCheck_alcotest Random Ultra

@@ -1,0 +1,1 @@
+test/test_compactphy.ml: Alcotest Bnb Cgraph Compactphy Distmat Fun List Printf QCheck QCheck_alcotest Random Seqsim Ultra

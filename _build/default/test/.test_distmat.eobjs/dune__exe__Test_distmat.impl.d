@@ -1,0 +1,1 @@
+test/test_distmat.ml: Alcotest Array Distmat Float List Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Cgraph Distmat Float Fun List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bnb Cgraph Clustering Clustersim Compactphy Distmat Filename Fun List Parbnb Printf Random Seqsim Sys Ultra

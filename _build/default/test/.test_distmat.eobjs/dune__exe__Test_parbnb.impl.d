@@ -1,0 +1,1 @@
+test/test_parbnb.ml: Alcotest Bnb Distmat Domain Float List Parbnb Printf QCheck QCheck_alcotest Random Ultra

@@ -1,0 +1,1 @@
+test/test_parsimony.ml: Alcotest Array Compactphy List Parsimony Printf QCheck QCheck_alcotest Random Seqsim Ultra

@@ -1,0 +1,1 @@
+test/test_redistrib.ml: Alcotest Array List Printf QCheck QCheck_alcotest Random Redistrib

@@ -1,0 +1,1 @@
+test/test_seqsim.ml: Alcotest Array Cgraph Clustering Distmat Float Fun List Printf QCheck QCheck_alcotest Random Seqsim Ultra

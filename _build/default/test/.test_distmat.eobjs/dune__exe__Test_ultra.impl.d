@@ -1,0 +1,1 @@
+test/test_ultra.ml: Alcotest Array Astring_contains Distmat Float List Option Printf QCheck QCheck_alcotest Random String Ultra

@@ -1,0 +1,276 @@
+(* Tests for the align library: gapped sequences, pairwise Gotoh
+   alignment, profiles, and progressive MSA. *)
+
+module Dna = Seqsim.Dna
+module Gapped = Align.Gapped
+module Scoring = Align.Scoring
+module Pairwise = Align.Pairwise
+module Msa = Align.Msa
+module Utree = Ultra.Utree
+
+let rng seed = Random.State.make [| seed |]
+let seq = Dna.of_string
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Gapped --- *)
+
+let test_gapped_string_roundtrip () =
+  let g = Gapped.of_string "AC-GT-" in
+  Alcotest.(check string) "roundtrip" "AC-GT-" (Gapped.to_string g);
+  Alcotest.(check int) "gaps" 2 (Gapped.n_gaps g);
+  Alcotest.(check string) "ungapped" "ACGT" (Dna.to_string (Gapped.to_dna g))
+
+let test_gapped_identity () =
+  let a = Gapped.of_string "AC-GT" and b = Gapped.of_string "AT-GA" in
+  (* Compared columns: A/A, C/T, G/G, T/A -> 2 of 4 match. *)
+  check_float "identity" 0.5 (Gapped.identity a b);
+  check_float "p distance" 0.5 (Gapped.p_distance a b)
+
+let test_gapped_skips_gap_columns () =
+  let a = Gapped.of_string "A-C" and b = Gapped.of_string "AG-" in
+  (* Only column 0 is gap-free. *)
+  check_float "identity" 1. (Gapped.identity a b)
+
+(* --- Scoring --- *)
+
+let test_transitions () =
+  Alcotest.(check bool) "A-G" true (Scoring.is_transition Dna.A Dna.G);
+  Alcotest.(check bool) "C-T" true (Scoring.is_transition Dna.C Dna.T);
+  Alcotest.(check bool) "A-C" false (Scoring.is_transition Dna.A Dna.C);
+  Alcotest.(check bool) "A-A" false (Scoring.is_transition Dna.A Dna.A)
+
+(* --- Pairwise --- *)
+
+let test_align_identical () =
+  let r = Pairwise.align (seq "ACGTACGT") (seq "ACGTACGT") in
+  Alcotest.(check string) "no gaps a" "ACGTACGT" (Gapped.to_string r.Pairwise.a);
+  Alcotest.(check string) "no gaps b" "ACGTACGT" (Gapped.to_string r.Pairwise.b);
+  check_float "score" 16. r.Pairwise.score
+
+let test_align_single_insertion () =
+  let r = Pairwise.align (seq "ACGT") (seq "ACGGT") in
+  Alcotest.(check int) "width 5" 5 (Gapped.length r.Pairwise.a);
+  Alcotest.(check int) "one gap in a" 1 (Gapped.n_gaps r.Pairwise.a);
+  Alcotest.(check int) "no gap in b" 0 (Gapped.n_gaps r.Pairwise.b)
+
+let test_align_recovers_inputs () =
+  for s = 0 to 9 do
+    let a = Dna.random ~rng:(rng s) 40 in
+    let b = Dna.random ~rng:(rng (100 + s)) 35 in
+    let r = Pairwise.align a b in
+    Alcotest.(check string) "a recovered" (Dna.to_string a)
+      (Dna.to_string (Gapped.to_dna r.Pairwise.a));
+    Alcotest.(check string) "b recovered" (Dna.to_string b)
+      (Dna.to_string (Gapped.to_dna r.Pairwise.b));
+    Alcotest.(check int) "same width" (Gapped.length r.Pairwise.a)
+      (Gapped.length r.Pairwise.b)
+  done
+
+let test_score_matches_align () =
+  for s = 0 to 9 do
+    let a = Dna.random ~rng:(rng s) 30 in
+    let b = Dna.random ~rng:(rng (200 + s)) 25 in
+    check_float "same score" (Pairwise.align a b).Pairwise.score
+      (Pairwise.score a b)
+  done
+
+let test_empty_sequences () =
+  let r = Pairwise.align (seq "") (seq "ACG") in
+  Alcotest.(check int) "gaps" 3 (Gapped.n_gaps r.Pairwise.a);
+  check_float "zero vs empty" 0. (Pairwise.score (seq "") (seq ""))
+
+let test_edit_distance_agrees () =
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s/%s" a b)
+        (Seqsim.Distance.edit_distance (seq a) (seq b))
+        (Pairwise.edit_distance (seq a) (seq b)))
+    [
+      ("", "ACGT");
+      ("ACGT", "ACGT");
+      ("ACGT", "AGGT");
+      ("AC", "CA");
+      ("GCATGCT", "GATTACA");
+      ("AAAA", "TTTT");
+    ]
+
+let test_affine_prefers_one_long_gap () =
+  (* With affine costs, deleting a contiguous block beats scattering
+     single-site gaps. *)
+  let a = seq "ACGTACGTACGT" and b = seq "ACGTACGT" in
+  let r = Pairwise.align a b in
+  (* The four gaps in b's row must be contiguous. *)
+  let s = Gapped.to_string r.Pairwise.b in
+  let first = String.index s '-' in
+  Alcotest.(check string) "contiguous" "----"
+    (String.sub s first 4)
+
+(* --- Msa --- *)
+
+let test_msa_identical_sequences () =
+  let seqs = Array.make 4 (seq "ACGTACGTAC") in
+  let m = Msa.align seqs in
+  Alcotest.(check int) "width" 10 (Msa.width m);
+  Array.iter
+    (fun row -> Alcotest.(check int) "no gaps" 0 (Gapped.n_gaps row))
+    m.Msa.rows
+
+let test_msa_recovers_inputs () =
+  let t = Seqsim.Clock_tree.coalescent ~rng:(rng 3) 6 in
+  let seqs =
+    Seqsim.Evolve.sequences_with_indels ~rng:(rng 4) ~mu:0.3
+      ~indel_rate:0.05 ~sites:80 t
+  in
+  let m = Msa.align seqs in
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check string)
+        (Printf.sprintf "row %d" i)
+        (Dna.to_string seqs.(i))
+        (Dna.to_string (Gapped.to_dna row)))
+    m.Msa.rows;
+  (* All rows share one width. *)
+  Array.iter
+    (fun row ->
+      Alcotest.(check int) "width" (Msa.width m) (Gapped.length row))
+    m.Msa.rows
+
+let test_msa_no_all_gap_columns () =
+  let t = Seqsim.Clock_tree.coalescent ~rng:(rng 5) 5 in
+  let seqs =
+    Seqsim.Evolve.sequences_with_indels ~rng:(rng 6) ~mu:0.4 ~indel_rate:0.1
+      ~sites:60 t
+  in
+  let m = Msa.align seqs in
+  for col = 0 to Msa.width m - 1 do
+    let has_base =
+      Array.exists (fun row -> row.(col) <> Gapped.Gap) m.Msa.rows
+    in
+    if not has_base then Alcotest.failf "all-gap column %d" col
+  done
+
+let test_msa_single_sequence () =
+  let m = Msa.align [| seq "ACGT" |] in
+  Alcotest.(check int) "width" 4 (Msa.width m)
+
+let test_msa_rejects_empty () =
+  (match Msa.align [||] with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+let test_guide_tree_leaves () =
+  let seqs = Array.init 5 (fun i -> Dna.random ~rng:(rng i) 50) in
+  Alcotest.(check (list int)) "leaves" [ 0; 1; 2; 3; 4 ]
+    (Utree.leaves (Msa.guide_tree seqs))
+
+let test_msa_distance_matrix_metric () =
+  let t = Seqsim.Clock_tree.coalescent ~rng:(rng 7) 8 in
+  let seqs =
+    Seqsim.Evolve.sequences_with_indels ~rng:(rng 8) ~mu:0.2 ~indel_rate:0.03
+      ~sites:200 t
+  in
+  let m = Msa.distance_matrix (Msa.align seqs) in
+  Alcotest.(check bool) "metric" true (Distmat.Metric.is_metric m);
+  Alcotest.(check int) "size" 8 (Distmat.Dist_matrix.size m)
+
+let test_sequences_model_end_to_end () =
+  (* The papers' full sequences model: unaligned sequences -> MSA ->
+     distance matrix -> compact-set ultrametric tree, recovering the
+     generating topology reasonably well. *)
+  let truth = Seqsim.Clock_tree.coalescent ~rng:(rng 9) 10 in
+  let seqs =
+    Seqsim.Evolve.sequences_with_indels ~rng:(rng 10) ~mu:0.15
+      ~indel_rate:0.02 ~sites:600 truth
+  in
+  let lengths = Array.map Array.length seqs in
+  Alcotest.(check bool) "lengths differ" true
+    (Array.exists (fun l -> l <> lengths.(0)) lengths);
+  let matrix = Msa.distance_matrix (Msa.align seqs) in
+  let r = Compactphy.Pipeline.with_compact_sets matrix in
+  (match Ultra.Tree_check.full_check matrix r.Compactphy.Pipeline.tree with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %a" Ultra.Tree_check.pp_error e);
+  let rf = Ultra.Rf_distance.normalized r.Compactphy.Pipeline.tree truth in
+  if rf > 0.5 then Alcotest.failf "poor recovery: RF %.2f" rf
+
+(* --- qcheck --- *)
+
+let arb_pair_strings =
+  QCheck.make
+    ~print:(fun (a, b) -> Printf.sprintf "%s / %s" a b)
+    QCheck.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 0 20))
+        (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 0 20)))
+
+let prop_edit_distance_equals_dp =
+  QCheck.Test.make ~name:"Gotoh unit-edit = classic DP edit distance"
+    ~count:100 arb_pair_strings (fun (a, b) ->
+      Pairwise.edit_distance (seq a) (seq b)
+      = Seqsim.Distance.edit_distance (seq a) (seq b))
+
+let prop_alignment_recovers_inputs =
+  QCheck.Test.make ~name:"alignment rows strip back to the inputs"
+    ~count:100 arb_pair_strings (fun (a, b) ->
+      let r = Pairwise.align (seq a) (seq b) in
+      Dna.to_string (Gapped.to_dna r.Pairwise.a) = a
+      && Dna.to_string (Gapped.to_dna r.Pairwise.b) = b)
+
+let prop_score_symmetric =
+  QCheck.Test.make ~name:"alignment score is symmetric" ~count:100
+    arb_pair_strings (fun (a, b) ->
+      Float.abs (Pairwise.score (seq a) (seq b) -. Pairwise.score (seq b) (seq a))
+      < 1e-9)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "align"
+    [
+      ( "gapped",
+        [
+          Alcotest.test_case "string roundtrip" `Quick
+            test_gapped_string_roundtrip;
+          Alcotest.test_case "identity" `Quick test_gapped_identity;
+          Alcotest.test_case "skips gap columns" `Quick
+            test_gapped_skips_gap_columns;
+        ] );
+      ("scoring", [ Alcotest.test_case "transitions" `Quick test_transitions ]);
+      ( "pairwise",
+        [
+          Alcotest.test_case "identical" `Quick test_align_identical;
+          Alcotest.test_case "single insertion" `Quick
+            test_align_single_insertion;
+          Alcotest.test_case "recovers inputs" `Quick
+            test_align_recovers_inputs;
+          Alcotest.test_case "score matches align" `Quick
+            test_score_matches_align;
+          Alcotest.test_case "empty sequences" `Quick test_empty_sequences;
+          Alcotest.test_case "edit distance agrees" `Quick
+            test_edit_distance_agrees;
+          Alcotest.test_case "affine gap block" `Quick
+            test_affine_prefers_one_long_gap;
+        ] );
+      ( "msa",
+        [
+          Alcotest.test_case "identical sequences" `Quick
+            test_msa_identical_sequences;
+          Alcotest.test_case "recovers inputs" `Quick test_msa_recovers_inputs;
+          Alcotest.test_case "no all-gap columns" `Quick
+            test_msa_no_all_gap_columns;
+          Alcotest.test_case "single sequence" `Quick test_msa_single_sequence;
+          Alcotest.test_case "rejects empty" `Quick test_msa_rejects_empty;
+          Alcotest.test_case "guide tree leaves" `Quick test_guide_tree_leaves;
+          Alcotest.test_case "distance matrix metric" `Quick
+            test_msa_distance_matrix_metric;
+          Alcotest.test_case "sequences model end-to-end" `Quick
+            test_sequences_model_end_to_end;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_edit_distance_equals_dp;
+            prop_alignment_recovers_inputs;
+            prop_score_symmetric;
+          ] );
+    ]

@@ -1,0 +1,554 @@
+(* Tests for the bnb library: branching, lower bounds, the 3-3
+   relationship, and the sequential solver checked against exhaustive
+   enumeration of all (2n-3)!! topologies. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Gen = Distmat.Gen
+module Utree = Ultra.Utree
+module Linkage = Clustering.Linkage
+module Bb_tree = Bnb.Bb_tree
+module Relation33 = Bnb.Relation33
+module Solver = Bnb.Solver
+module Stats = Bnb.Stats
+module Enumerate = Bnb.Enumerate
+module Local_search = Bnb.Local_search
+
+let rng seed = Random.State.make [| seed |]
+let check_float = Alcotest.(check (float 1e-6))
+
+(* Exhaustive minimum: insert species 2 .. n-1 in every possible position
+   and keep the cheapest complete minimal realization. *)
+let exhaustive_minimum dm =
+  let n = Dist_matrix.size dm in
+  let h01 = Dist_matrix.get dm 0 1 /. 2. in
+  let start = Utree.node h01 (Utree.leaf 0) (Utree.leaf 1) in
+  let best = ref infinity and best_tree = ref start in
+  let rec go t k =
+    if k = n then begin
+      let w = Utree.weight t in
+      if w < !best then begin
+        best := w;
+        best_tree := t
+      end
+    end
+    else List.iter (fun t' -> go t' (k + 1)) (Bb_tree.insertions dm t k)
+  in
+  go start 2;
+  (!best, !best_tree)
+
+let double_factorial n =
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 2) in
+  go 1 n
+
+(* --- Bb_tree --- *)
+
+let test_insertion_count () =
+  let m = Gen.uniform_metric ~rng:(rng 0) 8 in
+  let t = Utree.node (Dist_matrix.get m 0 1 /. 2.) (Utree.leaf 0) (Utree.leaf 1) in
+  (* 2 leaves -> 3 positions; then each 3-leaf tree -> 5 positions... *)
+  let c2 = Bb_tree.insertions m t 2 in
+  Alcotest.(check int) "3 positions" 3 (List.length c2);
+  let c3 = Bb_tree.insertions m (List.hd c2) 3 in
+  Alcotest.(check int) "5 positions" 5 (List.length c3)
+
+let test_full_bbt_leaf_count () =
+  (* The number of complete topologies must be (2n-3)!!. *)
+  let m = Gen.uniform_metric ~rng:(rng 1) 6 in
+  let count = ref 0 in
+  let t0 = Utree.node (Dist_matrix.get m 0 1 /. 2.) (Utree.leaf 0) (Utree.leaf 1) in
+  let rec go t k =
+    if k = 6 then incr count
+    else List.iter (fun t' -> go t' (k + 1)) (Bb_tree.insertions m t k)
+  in
+  go t0 2;
+  Alcotest.(check int) "(2*6-3)!!" (double_factorial 9) !count
+
+let test_insertions_are_minimal_realizations () =
+  let m = Gen.uniform_metric ~rng:(rng 2) 7 in
+  let t0 = Utree.node (Dist_matrix.get m 0 1 /. 2.) (Utree.leaf 0) (Utree.leaf 1) in
+  let rec go t k =
+    if k < 7 then
+      List.iter
+        (fun t' ->
+          let sub = Dist_matrix.sub m (Array.of_list (Utree.leaves t')) in
+          (* Leaves of t' are 0..k, so sub = principal submatrix. *)
+          Alcotest.(check bool)
+            "feasible" true
+            (Utree.is_feasible sub t');
+          Alcotest.(check bool) "monotone" true (Utree.is_monotone t');
+          check_float "is minimal realization" (Utree.weight t')
+            (Utree.weight (Utree.minimal_realization sub t'));
+          go t' (k + 1))
+        (Bb_tree.insertions m t k)
+  in
+  go t0 2
+
+let test_suffix_min_bounds () =
+  let m =
+    Dist_matrix.of_rows
+      [| [| 0.; 2.; 8. |]; [| 2.; 0.; 6. |]; [| 8.; 6.; 0. |] |]
+  in
+  let b = Bb_tree.suffix_min_bounds m in
+  (* dmin = 2, 2, 6 -> suffix sums / 2 = 5, 4, 3, 0. *)
+  check_float "b0" 5. b.(0);
+  check_float "b1" 4. b.(1);
+  check_float "b2" 3. b.(2);
+  check_float "b3" 0. b.(3)
+
+let test_branch_sorted_by_lb () =
+  let m = Gen.uniform_metric ~rng:(rng 3) 9 in
+  let lb_extra = Bb_tree.suffix_min_bounds m in
+  let node = Bb_tree.root m in
+  let children = Bb_tree.branch m ~lb_extra node in
+  let lbs = List.map (fun (c : Bb_tree.node) -> c.lb) children in
+  Alcotest.(check bool) "ascending" true (List.sort compare lbs = lbs)
+
+(* --- Relation33 --- *)
+
+let test_matrix_pair () =
+  let m =
+    Dist_matrix.of_rows
+      [| [| 0.; 1.; 5. |]; [| 1.; 0.; 5. |]; [| 5.; 5.; 0. |] |]
+  in
+  Alcotest.(check (option (pair int int))) "strict pair" (Some (0, 1))
+    (Relation33.matrix_pair m 0 1 2);
+  let tie = Dist_matrix.init 3 (fun _ _ -> 4.) in
+  Alcotest.(check (option (pair int int))) "tie" None
+    (Relation33.matrix_pair tie 0 1 2)
+
+let test_tree_pair () =
+  let t =
+    Utree.node 3. (Utree.node 1. (Utree.leaf 0) (Utree.leaf 1)) (Utree.leaf 2)
+  in
+  Alcotest.(check (pair int int)) "grouped" (0, 1) (Relation33.tree_pair t 0 1 2);
+  Alcotest.(check (pair int int)) "any order" (0, 1)
+    (Relation33.tree_pair t 2 1 0)
+
+let test_contradiction_count_zero_on_own_matrix () =
+  (* A tree can never contradict the ultrametric matrix it induces. *)
+  let m = Gen.ultrametric ~rng:(rng 4) 10 in
+  let t = Linkage.upgmm m in
+  Alcotest.(check int) "no contradictions" 0
+    (Relation33.count_contradictions m t)
+
+let test_contradiction_detected () =
+  let m =
+    Dist_matrix.of_rows
+      [| [| 0.; 1.; 5. |]; [| 1.; 0.; 5. |]; [| 5.; 5.; 0. |] |]
+  in
+  (* Tree grouping (1,2) contradicts the matrix's (0,1). *)
+  let bad =
+    Utree.node 3. (Utree.node 2.5 (Utree.leaf 1) (Utree.leaf 2)) (Utree.leaf 0)
+  in
+  Alcotest.(check bool) "contradicts" true (Relation33.contradicts m bad 0 1 2);
+  Alcotest.(check int) "count" 1 (Relation33.count_contradictions m bad)
+
+let test_compatible_insertion () =
+  let m =
+    Dist_matrix.of_rows
+      [| [| 0.; 1.; 5. |]; [| 1.; 0.; 5. |]; [| 5.; 5.; 0. |] |]
+  in
+  let good =
+    Utree.node 3. (Utree.node 0.5 (Utree.leaf 0) (Utree.leaf 1)) (Utree.leaf 2)
+  in
+  let bad =
+    Utree.node 3. (Utree.node 2.5 (Utree.leaf 1) (Utree.leaf 2)) (Utree.leaf 0)
+  in
+  Alcotest.(check bool) "good" true (Relation33.compatible_insertion m good 2);
+  Alcotest.(check bool) "bad" false (Relation33.compatible_insertion m bad 2)
+
+(* --- Solver vs exhaustive enumeration --- *)
+
+let test_optimal_small_random () =
+  for seed = 0 to 9 do
+    let m = Gen.uniform_metric ~rng:(rng seed) 7 in
+    let exact, _ = exhaustive_minimum m in
+    let r = Solver.solve m in
+    Alcotest.(check bool) "optimal flag" true r.Solver.optimal;
+    check_float "matches exhaustive" exact r.Solver.cost;
+    Alcotest.(check bool) "feasible" true (Utree.is_feasible m r.Solver.tree);
+    check_float "cost is tree weight" r.Solver.cost (Utree.weight r.Solver.tree)
+  done
+
+let test_optimal_small_near_ultrametric () =
+  for seed = 10 to 16 do
+    let m = Gen.near_ultrametric ~rng:(rng seed) ~noise:0.3 7 in
+    let exact, _ = exhaustive_minimum m in
+    check_float "matches exhaustive" exact (Solver.solve m).Solver.cost
+  done
+
+let test_lb0_also_optimal () =
+  let options = { Solver.default_options with lb = Solver.LB0 } in
+  for seed = 0 to 4 do
+    let m = Gen.uniform_metric ~rng:(rng seed) 7 in
+    let exact, _ = exhaustive_minimum m in
+    check_float "LB0 optimal" exact (Solver.solve ~options m).Solver.cost
+  done
+
+let test_lb1_prunes_more_than_lb0 () =
+  let m = Gen.uniform_metric ~rng:(rng 5) 10 in
+  let run lb =
+    (Solver.solve ~options:{ Solver.default_options with lb } m).Solver.stats
+  in
+  let s0 = run Solver.LB0 and s1 = run Solver.LB1 in
+  Alcotest.(check bool) "LB1 expands fewer nodes" true
+    (s1.Stats.expanded <= s0.Stats.expanded)
+
+let test_ub_variants_all_optimal () =
+  let m = Gen.uniform_metric ~rng:(rng 6) 8 in
+  let exact, _ = exhaustive_minimum m in
+  List.iter
+    (fun initial_ub ->
+      let options = { Solver.default_options with initial_ub } in
+      check_float "optimal" exact (Solver.solve ~options m).Solver.cost)
+    [ Solver.Upgmm_ub; Solver.Upgma_ub; Solver.Nj_ub; Solver.No_heuristic_ub ]
+
+let test_exact_ultrametric_input () =
+  (* On an exact ultrametric matrix, the optimal UT realises the matrix
+     itself: cost = sum of internal heights + root. *)
+  let m = Gen.ultrametric ~rng:(rng 7) 8 in
+  let r = Solver.solve m in
+  let u = Linkage.upgmm m in
+  check_float "UPGMM is already optimal" (Utree.weight u) r.Solver.cost
+
+let test_two_species () =
+  let m = Dist_matrix.init 2 (fun _ _ -> 5. ) in
+  let r = Solver.solve m in
+  check_float "cost" 5. r.Solver.cost;
+  Alcotest.(check bool) "optimal" true r.Solver.optimal
+
+let test_one_species () =
+  let m = Dist_matrix.create 1 in
+  let r = Solver.solve m in
+  check_float "cost" 0. r.Solver.cost
+
+let test_max_expanded_cap () =
+  let m = Gen.uniform_metric ~rng:(rng 8) 12 in
+  let options = { Solver.default_options with max_expanded = Some 5 } in
+  let r = Solver.solve ~options m in
+  Alcotest.(check bool) "not optimal" false r.Solver.optimal;
+  (* The incumbent is still a feasible tree (from UPGMM at worst). *)
+  Alcotest.(check bool) "feasible" true (Utree.is_feasible m r.Solver.tree)
+
+let test_33_third_only_same_cost () =
+  for seed = 0 to 9 do
+    let m = Gen.near_ultrametric ~rng:(rng (100 + seed)) ~noise:0.2 8 in
+    let base = Solver.solve m in
+    let opts = { Solver.default_options with relation33 = Solver.Third_only } in
+    let r33 = Solver.solve ~options:opts m in
+    check_float "same optimum" base.Solver.cost r33.Solver.cost
+  done
+
+let test_33_every_insertion_feasible_and_close () =
+  (* The aggressive variant stays feasible; cost may exceed the optimum
+     but not the UPGMM upper bound. *)
+  for seed = 0 to 4 do
+    let m = Gen.near_ultrametric ~rng:(rng (200 + seed)) ~noise:0.2 9 in
+    let opts =
+      { Solver.default_options with relation33 = Solver.Every_insertion }
+    in
+    let r = Solver.solve ~options:opts m in
+    Alcotest.(check bool) "feasible" true (Utree.is_feasible m r.Solver.tree);
+    Alcotest.(check bool) "within UPGMM bound" true
+      (r.Solver.cost <= Utree.weight (Linkage.upgmm m) +. 1e-9)
+  done
+
+let test_stats_populated () =
+  let m = Gen.uniform_metric ~rng:(rng 9) 9 in
+  let r = Solver.solve m in
+  Alcotest.(check bool) "expanded > 0" true (r.Solver.stats.Stats.expanded > 0);
+  Alcotest.(check bool) "generated > 0" true
+    (r.Solver.stats.Stats.generated > 0)
+
+(* --- Enumerate --- *)
+
+let test_enumerate_count () =
+  Alcotest.(check int) "n=2" 1 (Enumerate.count 2);
+  Alcotest.(check int) "n=3" 3 (Enumerate.count 3);
+  Alcotest.(check int) "n=6" 945 (Enumerate.count 6);
+  (match Enumerate.count 18 with
+  | _ -> Alcotest.fail "expected overflow guard"
+  | exception Invalid_argument _ -> ())
+
+let test_enumerate_visits_all () =
+  let m = Gen.uniform_metric ~rng:(rng 21) 6 in
+  let visited = ref 0 in
+  Enumerate.iter m (fun _ -> incr visited);
+  Alcotest.(check int) "(2n-3)!!" (Enumerate.count 6) !visited
+
+let test_enumerate_minimum_matches_solver () =
+  for seed = 0 to 4 do
+    let m = Gen.uniform_metric ~rng:(rng (60 + seed)) 7 in
+    check_float "same optimum"
+      (Utree.weight (Enumerate.minimum m))
+      (Solver.solve m).Solver.cost
+  done
+
+(* --- search orders and all-optimal collection --- *)
+
+let test_best_first_same_optimum () =
+  for seed = 0 to 5 do
+    let m = Gen.near_ultrametric ~rng:(rng (70 + seed)) ~noise:0.3 9 in
+    let dfs = Solver.solve m in
+    let bf =
+      Solver.solve
+        ~options:{ Solver.default_options with search = Solver.Best_first }
+        m
+    in
+    check_float "same optimum" dfs.Solver.cost bf.Solver.cost
+  done
+
+let test_best_first_expands_no_more () =
+  (* Best-first with an admissible bound never expands more nodes than
+     any other order (up to tie-breaking at the optimum). *)
+  let m = Gen.near_ultrametric ~rng:(rng 77) ~noise:0.3 11 in
+  let dfs = Solver.solve m in
+  let bf =
+    Solver.solve
+      ~options:{ Solver.default_options with search = Solver.Best_first }
+      m
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "bf %d <= dfs %d + slack" bf.Solver.stats.Stats.expanded
+       dfs.Solver.stats.Stats.expanded)
+    true
+    (bf.Solver.stats.Stats.expanded
+    <= dfs.Solver.stats.Stats.expanded + (dfs.Solver.stats.Stats.expanded / 2) + 10)
+
+let test_collect_all_finds_every_optimum () =
+  (* Cross-check against enumeration: same set of optimal topologies. *)
+  for seed = 0 to 4 do
+    let m = Gen.uniform_metric ~rng:(rng (80 + seed)) 6 in
+    let r =
+      Solver.solve
+        ~options:{ Solver.default_options with collect_all = true }
+        m
+    in
+    let expected = ref [] in
+    Enumerate.iter m (fun t ->
+        if Float.abs (Utree.weight t -. r.Solver.cost) <= 1e-9 then
+          if not (List.exists (Utree.same_topology t) !expected) then
+            expected := t :: !expected);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: optimal tree count" seed)
+      (List.length !expected)
+      (List.length r.Solver.all_optimal);
+    List.iter
+      (fun t ->
+        if not (List.exists (Utree.same_topology t) r.Solver.all_optimal)
+        then Alcotest.fail "an optimal topology was missed")
+      !expected
+  done
+
+let test_collect_all_on_tie_rich_matrix () =
+  (* All distances equal: every topology is optimal. *)
+  let m = Dist_matrix.init 5 (fun _ _ -> 4.) in
+  let r =
+    Solver.solve
+      ~options:{ Solver.default_options with collect_all = true }
+      m
+  in
+  Alcotest.(check int) "all (2*5-3)!! topologies" 105
+    (List.length r.Solver.all_optimal)
+
+let test_collect_all_default_singleton () =
+  let m = Gen.uniform_metric ~rng:(rng 90) 7 in
+  let r = Solver.solve m in
+  Alcotest.(check int) "one tree" 1 (List.length r.Solver.all_optimal)
+
+(* --- Local_search (NNI) --- *)
+
+let test_nni_neighbor_count () =
+  (* A tree with k internal edges has 2k NNI neighbours; the 4-leaf
+     caterpillar (((0,1),2),3) has 2 internal edges. *)
+  let t =
+    Utree.node 3.
+      (Utree.node 2.
+         (Utree.node 1. (Utree.leaf 0) (Utree.leaf 1))
+         (Utree.leaf 2))
+      (Utree.leaf 3)
+  in
+  Alcotest.(check int) "4 neighbours" 4 (List.length (Local_search.neighbors t));
+  (* Each neighbour keeps the leaf set. *)
+  List.iter
+    (fun t' ->
+      Alcotest.(check (list int)) "leaves" [ 0; 1; 2; 3 ] (Utree.leaves t'))
+    (Local_search.neighbors t)
+
+let test_nni_never_worse_than_start () =
+  for seed = 0 to 9 do
+    let m = Gen.uniform_metric ~rng:(rng (300 + seed)) 10 in
+    let start = Linkage.upgmm m in
+    let r = Local_search.improve m start in
+    Alcotest.(check bool) "improved or equal" true
+      (r.Local_search.cost <= Utree.weight start +. 1e-9);
+    Alcotest.(check bool) "feasible" true
+      (Utree.is_feasible m r.Local_search.tree)
+  done
+
+let test_nni_often_reaches_optimum () =
+  (* On small instances NNI from UPGMM should usually find the global
+     optimum; require it on a clear majority of seeds. *)
+  let hits = ref 0 and total = 10 in
+  for seed = 0 to total - 1 do
+    let m = Gen.near_ultrametric ~rng:(rng (400 + seed)) ~noise:0.3 8 in
+    let opt = (Solver.solve m).Solver.cost in
+    let r = Local_search.from_upgmm m in
+    Alcotest.(check bool) "never beats optimum" true
+      (r.Local_search.cost >= opt -. 1e-9);
+    if Float.abs (r.Local_search.cost -. opt) < 1e-6 then incr hits
+  done;
+  if !hits * 2 < total then
+    Alcotest.failf "NNI reached the optimum on only %d/%d" !hits total
+
+let test_nni_fixed_point () =
+  (* Re-running from a local optimum changes nothing. *)
+  let m = Gen.uniform_metric ~rng:(rng 55) 9 in
+  let r1 = Local_search.from_upgmm m in
+  let r2 = Local_search.improve m r1.Local_search.tree in
+  Alcotest.(check (float 1e-12)) "same cost" r1.Local_search.cost
+    r2.Local_search.cost;
+  Alcotest.(check int) "no improvements" 0 r2.Local_search.improvements
+
+(* --- qcheck --- *)
+
+let arb_seed_n lo hi =
+  QCheck.make
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(pair (int_bound 10_000) (int_range lo hi))
+
+let prop_lower_bounds_admissible =
+  QCheck.Test.make
+    ~name:"LB1 never exceeds the cheapest completion (n <= 6)" ~count:25
+    (arb_seed_n 3 6) (fun (seed, n) ->
+      (* For every node of the full BBT, the lower bound must be at most
+         the weight of the best complete tree below it. *)
+      let m = Gen.uniform_metric ~rng:(rng seed) n in
+      let lb_extra = Bb_tree.suffix_min_bounds m in
+      let ok = ref true in
+      let rec best_completion (node : Bb_tree.node) =
+        if node.k = n then node.cost
+        else
+          List.fold_left
+            (fun acc child -> Float.min acc (best_completion child))
+            infinity
+            (Bb_tree.branch m ~lb_extra node)
+      in
+      let rec walk (node : Bb_tree.node) =
+        let best = best_completion node in
+        if node.lb > best +. 1e-9 then ok := false
+        else if node.k < n then
+          List.iter walk (Bb_tree.branch m ~lb_extra node)
+      in
+      walk (Bb_tree.root m);
+      !ok)
+
+let prop_solver_matches_exhaustive =
+  QCheck.Test.make ~name:"solver = exhaustive minimum (n <= 7)" ~count:25
+    (arb_seed_n 2 7) (fun (seed, n) ->
+      let m = Gen.uniform_metric ~rng:(rng seed) n in
+      let exact, _ = exhaustive_minimum m in
+      Float.abs ((Solver.solve m).Solver.cost -. exact) < 1e-6)
+
+let prop_solution_feasible_and_ultrametric =
+  QCheck.Test.make ~name:"solver output is a valid feasible UT" ~count:40
+    (arb_seed_n 2 10) (fun (seed, n) ->
+      let m = Gen.near_ultrametric ~rng:(rng seed) ~noise:0.4 n in
+      let r = Solver.solve m in
+      match Ultra.Tree_check.full_check m r.Solver.tree with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_solution_below_upgmm =
+  QCheck.Test.make ~name:"optimum <= UPGMM weight" ~count:40
+    (arb_seed_n 2 10) (fun (seed, n) ->
+      let m = Gen.uniform_metric ~rng:(rng seed) n in
+      (Solver.solve m).Solver.cost
+      <= Utree.weight (Linkage.upgmm m) +. 1e-9)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "bnb"
+    [
+      ( "bb_tree",
+        [
+          Alcotest.test_case "insertion count" `Quick test_insertion_count;
+          Alcotest.test_case "BBT leaf count = (2n-3)!!" `Quick
+            test_full_bbt_leaf_count;
+          Alcotest.test_case "insertions are minimal realizations" `Quick
+            test_insertions_are_minimal_realizations;
+          Alcotest.test_case "suffix min bounds" `Quick test_suffix_min_bounds;
+          Alcotest.test_case "branch sorted by LB" `Quick
+            test_branch_sorted_by_lb;
+        ] );
+      ( "relation33",
+        [
+          Alcotest.test_case "matrix pair" `Quick test_matrix_pair;
+          Alcotest.test_case "tree pair" `Quick test_tree_pair;
+          Alcotest.test_case "zero on own matrix" `Quick
+            test_contradiction_count_zero_on_own_matrix;
+          Alcotest.test_case "contradiction detected" `Quick
+            test_contradiction_detected;
+          Alcotest.test_case "compatible insertion" `Quick
+            test_compatible_insertion;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "optimal on random" `Quick
+            test_optimal_small_random;
+          Alcotest.test_case "optimal on near-ultrametric" `Quick
+            test_optimal_small_near_ultrametric;
+          Alcotest.test_case "LB0 optimal" `Quick test_lb0_also_optimal;
+          Alcotest.test_case "LB1 prunes more" `Quick
+            test_lb1_prunes_more_than_lb0;
+          Alcotest.test_case "UB variants optimal" `Quick
+            test_ub_variants_all_optimal;
+          Alcotest.test_case "exact ultrametric input" `Quick
+            test_exact_ultrametric_input;
+          Alcotest.test_case "two species" `Quick test_two_species;
+          Alcotest.test_case "one species" `Quick test_one_species;
+          Alcotest.test_case "expansion cap" `Quick test_max_expanded_cap;
+          Alcotest.test_case "3-3 third-only keeps optimum" `Quick
+            test_33_third_only_same_cost;
+          Alcotest.test_case "3-3 every insertion" `Quick
+            test_33_every_insertion_feasible_and_close;
+          Alcotest.test_case "stats populated" `Quick test_stats_populated;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "count" `Quick test_enumerate_count;
+          Alcotest.test_case "visits all" `Quick test_enumerate_visits_all;
+          Alcotest.test_case "minimum matches solver" `Quick
+            test_enumerate_minimum_matches_solver;
+        ] );
+      ( "search_orders",
+        [
+          Alcotest.test_case "best-first same optimum" `Quick
+            test_best_first_same_optimum;
+          Alcotest.test_case "best-first expands no more" `Quick
+            test_best_first_expands_no_more;
+          Alcotest.test_case "collect-all vs enumeration" `Quick
+            test_collect_all_finds_every_optimum;
+          Alcotest.test_case "collect-all tie-rich" `Quick
+            test_collect_all_on_tie_rich_matrix;
+          Alcotest.test_case "default singleton" `Quick
+            test_collect_all_default_singleton;
+        ] );
+      ( "local_search",
+        [
+          Alcotest.test_case "neighbour count" `Quick test_nni_neighbor_count;
+          Alcotest.test_case "never worse" `Quick
+            test_nni_never_worse_than_start;
+          Alcotest.test_case "often optimal" `Quick
+            test_nni_often_reaches_optimum;
+          Alcotest.test_case "fixed point" `Quick test_nni_fixed_point;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_lower_bounds_admissible;
+            prop_solver_matches_exhaustive;
+            prop_solution_feasible_and_ultrametric;
+            prop_solution_below_upgmm;
+          ] );
+    ]

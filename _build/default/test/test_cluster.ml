@@ -1,0 +1,216 @@
+(* Tests for the clustersim library: the event engine, platforms, and
+   the distributed branch-and-bound protocol. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Gen = Distmat.Gen
+module Utree = Ultra.Utree
+module Solver = Bnb.Solver
+module Sim = Clustersim.Sim
+module Platform = Clustersim.Platform
+module Dist_bnb = Clustersim.Dist_bnb
+
+let rng seed = Random.State.make [| seed |]
+let check_float = Alcotest.(check (float 1e-6))
+
+(* --- Sim --- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:3. (fun () -> log := 3 :: !log);
+  Sim.schedule sim ~delay:1. (fun () -> log := 1 :: !log);
+  Sim.schedule sim ~delay:2. (fun () -> log := 2 :: !log);
+  Sim.run sim;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "final clock" 3. (Sim.now sim)
+
+let test_sim_fifo_for_ties () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Sim.schedule sim ~delay:1. (fun () -> log := i :: !log)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo" (List.init 10 Fun.id) (List.rev !log)
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let hits = ref 0 in
+  let rec chain k =
+    if k > 0 then
+      Sim.schedule sim ~delay:0.5 (fun () ->
+          incr hits;
+          chain (k - 1))
+  in
+  chain 5;
+  Sim.run sim;
+  Alcotest.(check int) "all fired" 5 !hits;
+  check_float "clock accumulated" 2.5 (Sim.now sim);
+  Alcotest.(check int) "processed" 5 (Sim.n_processed sim)
+
+let test_sim_rejects_bad_delay () =
+  let sim = Sim.create () in
+  (match Sim.schedule sim ~delay:(-1.) ignore with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+let test_sim_many_events () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for _ = 1 to 10_000 do
+    Sim.schedule sim ~delay:(Random.float 10.) (fun () -> incr count)
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "all processed" 10_000 !count
+
+(* --- Platform --- *)
+
+let test_platform_cluster () =
+  let p = Platform.cluster 16 in
+  Alcotest.(check int) "slaves" 16 (Platform.n_slaves p);
+  Alcotest.(check bool) "latency dominates small messages" true
+    (Platform.message_time p ~bytes:16 < Platform.message_time p ~bytes:100_000)
+
+let test_platform_grid () =
+  let g = Platform.grid ~sites:[ (12, 2_900.); (4, 2_400.) ] in
+  Alcotest.(check int) "slaves" 16 (Platform.n_slaves g);
+  (* WAN latency is far above the LAN's. *)
+  let c = Platform.cluster 16 in
+  Alcotest.(check bool) "grid slower to talk" true
+    (Platform.message_time g ~bytes:16 > Platform.message_time c ~bytes:16)
+
+(* --- Dist_bnb --- *)
+
+let test_sim_cost_matches_sequential () =
+  for seed = 0 to 5 do
+    let m = Gen.uniform_metric ~rng:(rng seed) 9 in
+    let expect = (Solver.solve m).Solver.cost in
+    let r = Dist_bnb.run (Platform.cluster 4) m in
+    check_float "optimal cost" expect r.Dist_bnb.cost;
+    Alcotest.(check bool) "feasible tree" true
+      (Utree.is_feasible m r.Dist_bnb.tree);
+    Alcotest.(check bool) "time advanced" true (r.Dist_bnb.makespan > 0.)
+  done
+
+let test_sim_cost_matches_on_mtdna () =
+  for seed = 0 to 2 do
+    let d = Seqsim.Mtdna.generate ~rng:(rng (80 + seed)) 11 in
+    let m = d.Seqsim.Mtdna.matrix in
+    let expect = (Solver.solve m).Solver.cost in
+    List.iter
+      (fun slaves ->
+        let r = Dist_bnb.run (Platform.cluster slaves) m in
+        check_float
+          (Printf.sprintf "seed %d slaves %d" seed slaves)
+          expect r.Dist_bnb.cost)
+      [ 1; 2; 16 ]
+  done
+
+let test_sim_grid_matches_too () =
+  let m = Gen.uniform_metric ~rng:(rng 42) 10 in
+  let expect = (Solver.solve m).Solver.cost in
+  let g = Platform.grid ~sites:[ (3, 2_300.); (2, 2_900.) ] in
+  check_float "grid cost" expect (Dist_bnb.run g m).Dist_bnb.cost
+
+let test_more_slaves_not_slower_on_hard_input () =
+  (* On a search big enough to parallelise (thousands of expansions),
+     8 slaves must beat 1 slave. *)
+  let m = Gen.near_ultrametric ~rng:(rng 7) ~noise:0.3 14 in
+  let t1 = (Dist_bnb.run (Platform.cluster 1) m).Dist_bnb.makespan in
+  let t8 = (Dist_bnb.run (Platform.cluster 8) m).Dist_bnb.makespan in
+  Alcotest.(check bool)
+    (Printf.sprintf "t1=%g t8=%g" t1 t8)
+    true (t8 < t1)
+
+let test_speedup_helper () =
+  let m = Gen.uniform_metric ~rng:(rng 8) 11 in
+  let s =
+    Dist_bnb.speedup (Platform.cluster 1) (Platform.cluster 8) m
+  in
+  Alcotest.(check bool) "positive" true (s > 0.)
+
+let test_two_species_shortcut () =
+  let m = Dist_matrix.init 2 (fun _ _ -> 4.) in
+  let r = Dist_bnb.run (Platform.cluster 4) m in
+  check_float "cost" 4. r.Dist_bnb.cost;
+  check_float "no virtual time" 0. r.Dist_bnb.makespan
+
+let test_sim_run_deterministic () =
+  (* Identical inputs give bit-identical makespans and costs. *)
+  let m = Gen.near_ultrametric ~rng:(rng 55) ~noise:0.3 12 in
+  let run () = Dist_bnb.run (Platform.cluster 8) m in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same makespan" true
+    (Float.equal a.Dist_bnb.makespan b.Dist_bnb.makespan);
+  Alcotest.(check bool) "same expansions" true
+    (a.Dist_bnb.expansions = b.Dist_bnb.expansions);
+  Alcotest.(check bool) "same messages" true
+    (a.Dist_bnb.messages = b.Dist_bnb.messages)
+
+let test_utilization_sane () =
+  let m = Gen.near_ultrametric ~rng:(rng 77) ~noise:0.3 13 in
+  let r = Dist_bnb.run (Platform.cluster 4) m in
+  Alcotest.(check int) "per slave" 4 (Array.length r.Dist_bnb.utilization);
+  Array.iter
+    (fun u ->
+      if u < 0. || u > 1.0 +. 1e-9 then
+        Alcotest.failf "utilization %g out of range" u)
+    r.Dist_bnb.utilization;
+  (* A busy parallel search keeps the slaves mostly working. *)
+  let mean =
+    Array.fold_left ( +. ) 0. r.Dist_bnb.utilization /. 4.
+  in
+  Alcotest.(check bool) (Printf.sprintf "mean %.2f" mean) true (mean > 0.3)
+
+let test_messages_counted () =
+  let m = Gen.uniform_metric ~rng:(rng 9) 9 in
+  let r = Dist_bnb.run (Platform.cluster 4) m in
+  Alcotest.(check bool) "messages flowed" true (r.Dist_bnb.messages > 0);
+  Alcotest.(check bool) "expansions counted" true (r.Dist_bnb.expansions > 0)
+
+let prop_sim_always_optimal =
+  QCheck.Test.make ~name:"simulated cost = sequential optimum" ~count:15
+    (QCheck.make
+       ~print:(fun (s, n, p) -> Printf.sprintf "seed=%d n=%d p=%d" s n p)
+       QCheck.Gen.(triple (int_bound 10_000) (int_range 3 9) (int_range 1 8)))
+    (fun (seed, n, p) ->
+      let m = Gen.near_ultrametric ~rng:(rng seed) ~noise:0.3 n in
+      let expect = (Solver.solve m).Solver.cost in
+      let r = Dist_bnb.run (Platform.cluster p) m in
+      Float.abs (expect -. r.Dist_bnb.cost) < 1e-6)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "clustersim"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "ordering" `Quick test_sim_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_sim_fifo_for_ties;
+          Alcotest.test_case "nested" `Quick test_sim_nested_scheduling;
+          Alcotest.test_case "rejects bad delay" `Quick
+            test_sim_rejects_bad_delay;
+          Alcotest.test_case "many events" `Quick test_sim_many_events;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "cluster" `Quick test_platform_cluster;
+          Alcotest.test_case "grid" `Quick test_platform_grid;
+        ] );
+      ( "dist_bnb",
+        [
+          Alcotest.test_case "cost matches sequential" `Quick
+            test_sim_cost_matches_sequential;
+          Alcotest.test_case "cost matches on mtdna" `Quick
+            test_sim_cost_matches_on_mtdna;
+          Alcotest.test_case "grid matches" `Quick test_sim_grid_matches_too;
+          Alcotest.test_case "8 slaves beat 1" `Quick
+            test_more_slaves_not_slower_on_hard_input;
+          Alcotest.test_case "speedup helper" `Quick test_speedup_helper;
+          Alcotest.test_case "two species" `Quick test_two_species_shortcut;
+          Alcotest.test_case "deterministic" `Quick test_sim_run_deterministic;
+          Alcotest.test_case "utilization sane" `Quick test_utilization_sane;
+          Alcotest.test_case "messages counted" `Quick test_messages_counted;
+        ] );
+      ("properties", q [ prop_sim_always_optimal ]);
+    ]

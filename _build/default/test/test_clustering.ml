@@ -1,0 +1,155 @@
+(* Tests for the clustering library: linkage dendrograms and NJ. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Metric = Distmat.Metric
+module Gen = Distmat.Gen
+module Utree = Ultra.Utree
+module Linkage = Clustering.Linkage
+module Nj = Clustering.Nj
+
+let rng seed = Random.State.make [| seed |]
+let check_float = Alcotest.(check (float 1e-9))
+
+let triple =
+  Dist_matrix.of_rows
+    [| [| 0.; 2.; 8. |]; [| 2.; 0.; 6. |]; [| 8.; 6.; 0. |] |]
+
+let test_upgmm_triple () =
+  (* Complete linkage: merge (0,1) at 1; then cluster-{2} distance is
+     max(8,6) = 8, root at 4. *)
+  let t = Linkage.upgmm triple in
+  check_float "root height" 4. (Utree.height t);
+  check_float "weight" 9. (Utree.weight t)
+
+let test_upgma_triple () =
+  (* Average linkage: root at (8+6)/2/2 = 3.5. *)
+  let t = Linkage.upgma triple in
+  check_float "root height" 3.5 (Utree.height t)
+
+let test_single_triple () =
+  let t = Linkage.cluster Linkage.Single triple in
+  check_float "root height" 3. (Utree.height t)
+
+let test_wpgma_equals_upgma_on_triple () =
+  (* With singleton merges only, weighted and unweighted coincide. *)
+  let a = Linkage.cluster Linkage.Weighted triple in
+  let b = Linkage.upgma triple in
+  Alcotest.(check bool) "equal" true (Utree.equal a b)
+
+let test_upgmm_feasible () =
+  for seed = 0 to 19 do
+    let m = Gen.uniform_metric ~rng:(rng seed) 15 in
+    let t = Linkage.upgmm m in
+    Alcotest.(check bool) "feasible" true (Utree.is_feasible m t);
+    Alcotest.(check bool) "monotone" true (Utree.is_monotone t);
+    Alcotest.(check (list int)) "leaves" (List.init 15 Fun.id) (Utree.leaves t)
+  done
+
+let test_single_linkage_is_subdominant () =
+  (* Single linkage's dendrogram realises the subdominant ultrametric. *)
+  let m = Gen.uniform_metric ~rng:(rng 3) 10 in
+  let t = Linkage.cluster Linkage.Single m in
+  let sub = Metric.subdominant_ultrametric m in
+  Alcotest.(check bool) "matches closure" true
+    (Dist_matrix.equal ~eps:1e-9 (Utree.to_matrix t) sub)
+
+let test_cluster_on_exact_ultrametric () =
+  (* On an exact ultrametric all linkages recover the true matrix. *)
+  let m = Gen.ultrametric ~rng:(rng 5) 9 in
+  List.iter
+    (fun l ->
+      let t = Linkage.cluster l m in
+      Alcotest.(check bool) "recovers matrix" true
+        (Dist_matrix.equal ~eps:1e-6 (Utree.to_matrix t) m))
+    [ Linkage.Single; Linkage.Complete; Linkage.Average; Linkage.Weighted ]
+
+let test_cluster_two_species () =
+  let m = Dist_matrix.init 2 (fun _ _ -> 6.) in
+  let t = Linkage.upgmm m in
+  check_float "height" 3. (Utree.height t);
+  check_float "weight" 6. (Utree.weight t)
+
+let test_cluster_rejects_singleton () =
+  let m = Dist_matrix.create 1 in
+  (match Linkage.upgmm m with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+let test_nj_topology_leaves () =
+  let m = Gen.uniform_metric ~rng:(rng 7) 12 in
+  let t = Nj.rooted_topology m in
+  Alcotest.(check (list int)) "leaves" (List.init 12 Fun.id) (Utree.leaves t)
+
+let test_nj_ultrametric_feasible () =
+  for seed = 0 to 9 do
+    let m = Gen.uniform_metric ~rng:(rng seed) 10 in
+    let t = Nj.ultrametric_of m in
+    Alcotest.(check bool) "feasible" true (Utree.is_feasible m t)
+  done
+
+let test_nj_recovers_clear_split () =
+  (* Two tight clusters far apart: NJ's (arbitrarily rooted) tree must
+     contain at least one of the clusters as a clade. *)
+  let m =
+    Gen.clustered ~rng:(rng 2) ~n_clusters:2 ~spread:1. ~separation:300. 8
+  in
+  let clades = Ultra.Rf_distance.clusters (Nj.rooted_topology m) in
+  let expected0 = List.filter (fun i -> i mod 2 = 0) (List.init 8 Fun.id) in
+  let expected1 = List.filter (fun i -> i mod 2 = 1) (List.init 8 Fun.id) in
+  Alcotest.(check bool) "cluster is a clade" true
+    (List.mem expected0 clades || List.mem expected1 clades)
+
+(* --- qcheck --- *)
+
+let arb_seed_n lo hi =
+  QCheck.make
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(pair (int_bound 10_000) (int_range lo hi))
+
+let prop_upgmm_feasible =
+  QCheck.Test.make ~name:"UPGMM tree is always feasible" ~count:80
+    (arb_seed_n 2 20) (fun (seed, n) ->
+      let m = Gen.near_ultrametric ~rng:(rng seed) ~noise:0.3 n in
+      Utree.is_feasible m (Linkage.upgmm m))
+
+let prop_upgmm_root_is_half_max =
+  QCheck.Test.make ~name:"UPGMM root height is half the max entry" ~count:80
+    (arb_seed_n 2 20) (fun (seed, n) ->
+      (* Feasibility forces root >= max/2; complete linkage never merges
+         above the maximum entry, so equality holds. *)
+      let m = Gen.uniform_metric ~rng:(rng seed) n in
+      Float.abs
+        ((2. *. Utree.height (Linkage.upgmm m)) -. Dist_matrix.max_entry m)
+      < 1e-9)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "clustering"
+    [
+      ( "linkage",
+        [
+          Alcotest.test_case "upgmm triple" `Quick test_upgmm_triple;
+          Alcotest.test_case "upgma triple" `Quick test_upgma_triple;
+          Alcotest.test_case "single triple" `Quick test_single_triple;
+          Alcotest.test_case "wpgma = upgma on triple" `Quick
+            test_wpgma_equals_upgma_on_triple;
+          Alcotest.test_case "upgmm feasible" `Quick test_upgmm_feasible;
+          Alcotest.test_case "single = subdominant" `Quick
+            test_single_linkage_is_subdominant;
+          Alcotest.test_case "exact ultrametric recovered" `Quick
+            test_cluster_on_exact_ultrametric;
+          Alcotest.test_case "two species" `Quick test_cluster_two_species;
+          Alcotest.test_case "rejects singleton" `Quick
+            test_cluster_rejects_singleton;
+        ] );
+      ( "nj",
+        [
+          Alcotest.test_case "topology leaves" `Quick test_nj_topology_leaves;
+          Alcotest.test_case "ultrametric feasible" `Quick
+            test_nj_ultrametric_feasible;
+          Alcotest.test_case "recovers clear split" `Quick
+            test_nj_recovers_clear_split;
+        ] );
+      ( "properties",
+        q [ prop_upgmm_feasible; prop_upgmm_root_is_half_max ] );
+    ]

@@ -1,0 +1,335 @@
+(* Tests for the distmat library: matrices, metric predicates, maxmin
+   permutations, IO and generators. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Metric = Distmat.Metric
+module Permutation = Distmat.Permutation
+module Matrix_io = Distmat.Matrix_io
+module Gen = Distmat.Gen
+
+let rng seed = Random.State.make [| seed |]
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Dist_matrix --- *)
+
+let test_create_get_set () =
+  let m = Dist_matrix.create 4 in
+  Alcotest.(check int) "size" 4 (Dist_matrix.size m);
+  Dist_matrix.set m 1 3 2.5;
+  check_float "symmetric set" 2.5 (Dist_matrix.get m 3 1);
+  check_float "diagonal" 0. (Dist_matrix.get m 2 2)
+
+let test_set_rejects_bad () =
+  let m = Dist_matrix.create 3 in
+  Alcotest.check_raises "diagonal" (Invalid_argument
+    "Dist_matrix.set: diagonal entries must be zero")
+    (fun () -> Dist_matrix.set m 1 1 1.);
+  Alcotest.check_raises "negative" (Invalid_argument
+    "Dist_matrix.set: negative distance")
+    (fun () -> Dist_matrix.set m 0 1 (-1.))
+
+let test_set_rejects_non_finite () =
+  let m = Dist_matrix.create 3 in
+  List.iter
+    (fun d ->
+      match Dist_matrix.set m 0 1 d with
+      | () -> Alcotest.failf "accepted %g" d
+      | exception Invalid_argument _ -> ())
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_out_of_range () =
+  let m = Dist_matrix.create 3 in
+  (match Dist_matrix.get m 0 3 with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+let test_of_rows_roundtrip () =
+  let rows = [| [| 0.; 1.; 2. |]; [| 1.; 0.; 3. |]; [| 2.; 3.; 0. |] |] in
+  let m = Dist_matrix.of_rows rows in
+  Alcotest.(check bool) "roundtrip" true (Dist_matrix.to_rows m = rows)
+
+let test_of_rows_rejects_asymmetric () =
+  let rows = [| [| 0.; 1. |]; [| 2.; 0. |] |] in
+  (match Dist_matrix.of_rows rows with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+let test_sub () =
+  let m = Dist_matrix.init 4 (fun i j -> float_of_int ((10 * i) + j)) in
+  let s = Dist_matrix.sub m [| 3; 1 |] in
+  check_float "sub entry" (Dist_matrix.get m 3 1) (Dist_matrix.get s 0 1);
+  Alcotest.(check int) "sub size" 2 (Dist_matrix.size s)
+
+let test_sub_rejects_repeat () =
+  let m = Dist_matrix.create 3 in
+  (match Dist_matrix.sub m [| 1; 1 |] with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+let test_farthest_pair () =
+  let m = Dist_matrix.init 4 (fun i j -> float_of_int (i + j)) in
+  Alcotest.(check (pair int int)) "farthest" (2, 3) (Dist_matrix.farthest_pair m)
+
+let test_min_off_diagonal () =
+  let m = Dist_matrix.init 3 (fun i j -> float_of_int ((i * 3) + j)) in
+  check_float "min" 1. (Dist_matrix.min_off_diagonal m)
+
+let test_fold_pairs_count () =
+  let m = Dist_matrix.create 5 in
+  let count = Dist_matrix.fold_pairs (fun acc _ _ _ -> acc + 1) 0 m in
+  Alcotest.(check int) "C(5,2)" 10 count
+
+(* --- Metric --- *)
+
+let metric_example () =
+  Dist_matrix.of_rows
+    [| [| 0.; 2.; 3. |]; [| 2.; 0.; 4. |]; [| 3.; 4.; 0. |] |]
+
+let test_is_metric () =
+  Alcotest.(check bool) "metric" true (Metric.is_metric (metric_example ()))
+
+let test_not_metric () =
+  let m =
+    Dist_matrix.of_rows
+      [| [| 0.; 1.; 10. |]; [| 1.; 0.; 1. |]; [| 10.; 1.; 0. |] |]
+  in
+  Alcotest.(check bool) "not metric" false (Metric.is_metric m);
+  Alcotest.(check bool) "has violations" true (Metric.metric_violations m <> [])
+
+let test_floyd_warshall_repairs () =
+  let m =
+    Dist_matrix.of_rows
+      [| [| 0.; 1.; 10. |]; [| 1.; 0.; 1. |]; [| 10.; 1.; 0. |] |]
+  in
+  let fixed = Metric.floyd_warshall m in
+  Alcotest.(check bool) "repaired" true (Metric.is_metric fixed);
+  check_float "shortcut" 2. (Dist_matrix.get fixed 0 2)
+
+let test_ultrametric_detection () =
+  let u =
+    Dist_matrix.of_rows
+      [| [| 0.; 2.; 6. |]; [| 2.; 0.; 6. |]; [| 6.; 6.; 0. |] |]
+  in
+  Alcotest.(check bool) "ultrametric" true (Metric.is_ultrametric u);
+  Alcotest.(check bool) "metric too" true (Metric.is_metric u);
+  let not_u = metric_example () in
+  Alcotest.(check bool) "not ultrametric" false (Metric.is_ultrametric not_u)
+
+let test_subdominant () =
+  let m = Gen.uniform_metric ~rng:(rng 7) 9 in
+  let sub = Metric.subdominant_ultrametric m in
+  Alcotest.(check bool) "is ultrametric" true (Metric.is_ultrametric sub);
+  (* Below the input, pointwise. *)
+  Dist_matrix.iter_pairs
+    (fun i j d ->
+      if d > Dist_matrix.get m i j +. 1e-9 then
+        Alcotest.failf "subdominant above input at (%d,%d)" i j)
+    sub
+
+(* --- Permutation --- *)
+
+let test_maxmin_simple () =
+  let m =
+    Dist_matrix.of_rows
+      [|
+        [| 0.; 1.; 9. |];
+        [| 1.; 0.; 8. |];
+        [| 9.; 8.; 0. |];
+      |]
+  in
+  let p = Permutation.to_array (Permutation.maxmin m) in
+  Alcotest.(check (list int)) "farthest first" [ 0; 2; 1 ] (Array.to_list p)
+
+let test_maxmin_property () =
+  let m = Gen.uniform_metric ~rng:(rng 3) 12 in
+  let p = Permutation.maxmin m in
+  Alcotest.(check bool) "is maxmin" true (Permutation.is_maxmin m p)
+
+let test_apply_inverse () =
+  let m = Gen.uniform_metric ~rng:(rng 4) 8 in
+  let p = Permutation.maxmin m in
+  let pm = Permutation.apply m p in
+  let back = Permutation.apply pm (Permutation.inverse p) in
+  Alcotest.(check bool) "inverse restores" true (Dist_matrix.equal m back)
+
+let test_of_array_rejects () =
+  (match Permutation.of_array [| 0; 0; 1 |] with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+(* --- Matrix_io --- *)
+
+let test_phylip_roundtrip () =
+  let m = Gen.uniform_metric ~rng:(rng 5) 6 in
+  let text = Matrix_io.to_phylip m in
+  let { Matrix_io.names; matrix } = Matrix_io.of_phylip text in
+  Alcotest.(check string) "default name" "s0" names.(0);
+  Alcotest.(check bool) "same matrix" true
+    (Dist_matrix.equal ~eps:1e-5 m matrix)
+
+let test_phylip_names () =
+  let m = Dist_matrix.init 2 (fun _ _ -> 3.) in
+  let text = Matrix_io.to_phylip ~names:[| "human"; "chimp" |] m in
+  let parsed = Matrix_io.of_phylip text in
+  Alcotest.(check string) "name kept" "chimp" parsed.Matrix_io.names.(1)
+
+let test_phylip_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      match Matrix_io.of_phylip bad with
+      | _ -> Alcotest.failf "accepted %S" bad
+      | exception Failure _ -> ())
+    [ ""; "x"; "2\na 0 1\n"; "2\na 0 1\nb 1 zero\n"; "1\na 0 extra\n" ]
+
+let test_phylip_lower_roundtrip () =
+  let m = Gen.uniform_metric ~rng:(rng 15) 7 in
+  let text = Matrix_io.to_phylip_lower m in
+  let parsed = Matrix_io.of_phylip text in
+  Alcotest.(check bool) "same matrix" true
+    (Dist_matrix.equal ~eps:1e-5 m parsed.Matrix_io.matrix)
+
+let test_phylip_lower_format () =
+  let m = Dist_matrix.init 3 (fun i j -> float_of_int (i + j)) in
+  Alcotest.(check string) "layout" "3\ns0\ns1 1\ns2 2 3\n"
+    (Matrix_io.to_phylip_lower m)
+
+let test_phylip_lower_rejects_ragged () =
+  (match Matrix_io.of_phylip "3\na\nb 1\nc 2\n" with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure _ -> ())
+
+let test_csv_shape () =
+  let m = Dist_matrix.init 3 (fun i j -> float_of_int (i + j)) in
+  let lines = String.split_on_char '\n' (Matrix_io.to_csv m) in
+  Alcotest.(check int) "rows + header + trailing" 5 (List.length lines)
+
+(* --- Gen --- *)
+
+let test_uniform_metric_is_metric () =
+  for seed = 0 to 4 do
+    let m = Gen.uniform_metric ~rng:(rng seed) 10 in
+    Alcotest.(check bool) "metric" true (Metric.is_metric m)
+  done
+
+let test_uniform_deterministic () =
+  let a = Gen.uniform_metric ~rng:(rng 42) 8
+  and b = Gen.uniform_metric ~rng:(rng 42) 8 in
+  Alcotest.(check bool) "same seed same matrix" true (Dist_matrix.equal a b)
+
+let test_euclidean_is_metric () =
+  let m = Gen.euclidean ~rng:(rng 1) ~dim:2 15 in
+  Alcotest.(check bool) "metric" true (Metric.is_metric m)
+
+let test_ultrametric_gen () =
+  let m = Gen.ultrametric ~rng:(rng 2) 12 in
+  Alcotest.(check bool) "ultrametric" true (Metric.is_ultrametric m)
+
+let test_near_ultrametric_is_metric () =
+  let m = Gen.near_ultrametric ~rng:(rng 6) ~noise:0.2 14 in
+  Alcotest.(check bool) "metric" true (Metric.is_metric m)
+
+let test_clustered_separation () =
+  let m =
+    Gen.clustered ~rng:(rng 9) ~n_clusters:3 ~spread:1. ~separation:100. 12
+  in
+  Alcotest.(check bool) "metric" true (Metric.is_metric m)
+
+(* --- qcheck properties --- *)
+
+let arb_matrix =
+  QCheck.make
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(pair (int_bound 10_000) (int_range 2 14))
+
+let prop_floyd_warshall_idempotent =
+  QCheck.Test.make ~name:"floyd_warshall is idempotent" ~count:50 arb_matrix
+    (fun (seed, n) ->
+      let m = Gen.uniform_metric ~rng:(rng seed) n in
+      Distmat.Dist_matrix.equal ~eps:1e-9 m (Metric.floyd_warshall m))
+
+let prop_maxmin_always_valid =
+  QCheck.Test.make ~name:"maxmin permutation is always maxmin" ~count:50
+    arb_matrix (fun (seed, n) ->
+      let m = Gen.near_ultrametric ~rng:(rng seed) n in
+      Permutation.is_maxmin m (Permutation.maxmin m))
+
+let prop_subdominant_ultrametric =
+  QCheck.Test.make ~name:"subdominant closure is ultrametric" ~count:50
+    arb_matrix (fun (seed, n) ->
+      let m = Gen.uniform_metric ~rng:(rng seed) n in
+      Metric.is_ultrametric (Metric.subdominant_ultrametric m))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "distmat"
+    [
+      ( "dist_matrix",
+        [
+          Alcotest.test_case "create/get/set" `Quick test_create_get_set;
+          Alcotest.test_case "set rejects bad" `Quick test_set_rejects_bad;
+          Alcotest.test_case "set rejects non-finite" `Quick
+            test_set_rejects_non_finite;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "of_rows roundtrip" `Quick test_of_rows_roundtrip;
+          Alcotest.test_case "of_rows asymmetric" `Quick
+            test_of_rows_rejects_asymmetric;
+          Alcotest.test_case "sub" `Quick test_sub;
+          Alcotest.test_case "sub rejects repeats" `Quick
+            test_sub_rejects_repeat;
+          Alcotest.test_case "farthest pair" `Quick test_farthest_pair;
+          Alcotest.test_case "min off diagonal" `Quick test_min_off_diagonal;
+          Alcotest.test_case "fold_pairs count" `Quick test_fold_pairs_count;
+        ] );
+      ( "metric",
+        [
+          Alcotest.test_case "is_metric" `Quick test_is_metric;
+          Alcotest.test_case "not metric" `Quick test_not_metric;
+          Alcotest.test_case "floyd_warshall repairs" `Quick
+            test_floyd_warshall_repairs;
+          Alcotest.test_case "ultrametric detection" `Quick
+            test_ultrametric_detection;
+          Alcotest.test_case "subdominant ultrametric" `Quick test_subdominant;
+        ] );
+      ( "permutation",
+        [
+          Alcotest.test_case "maxmin simple" `Quick test_maxmin_simple;
+          Alcotest.test_case "maxmin property" `Quick test_maxmin_property;
+          Alcotest.test_case "apply/inverse" `Quick test_apply_inverse;
+          Alcotest.test_case "of_array rejects" `Quick test_of_array_rejects;
+        ] );
+      ( "matrix_io",
+        [
+          Alcotest.test_case "phylip roundtrip" `Quick test_phylip_roundtrip;
+          Alcotest.test_case "phylip names" `Quick test_phylip_names;
+          Alcotest.test_case "phylip rejects garbage" `Quick
+            test_phylip_rejects_garbage;
+          Alcotest.test_case "lower roundtrip" `Quick
+            test_phylip_lower_roundtrip;
+          Alcotest.test_case "lower format" `Quick test_phylip_lower_format;
+          Alcotest.test_case "lower rejects ragged" `Quick
+            test_phylip_lower_rejects_ragged;
+          Alcotest.test_case "csv shape" `Quick test_csv_shape;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "uniform is metric" `Quick
+            test_uniform_metric_is_metric;
+          Alcotest.test_case "uniform deterministic" `Quick
+            test_uniform_deterministic;
+          Alcotest.test_case "euclidean is metric" `Quick
+            test_euclidean_is_metric;
+          Alcotest.test_case "ultrametric gen" `Quick test_ultrametric_gen;
+          Alcotest.test_case "near-ultrametric is metric" `Quick
+            test_near_ultrametric_is_metric;
+          Alcotest.test_case "clustered is metric" `Quick
+            test_clustered_separation;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_floyd_warshall_idempotent;
+            prop_maxmin_always_valid;
+            prop_subdominant_ultrametric;
+          ] );
+    ]

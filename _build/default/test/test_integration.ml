@@ -1,0 +1,159 @@
+(* Integration tests: whole pipelines crossing several libraries, file
+   IO round trips, and consistency between the four solver deployments
+   (sequential, domain-parallel, simulated cluster, compact-set
+   decomposition). *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Matrix_io = Distmat.Matrix_io
+module Gen = Distmat.Gen
+module Utree = Ultra.Utree
+module Newick = Ultra.Newick
+module Tree_check = Ultra.Tree_check
+module Rf = Ultra.Rf_distance
+module Solver = Bnb.Solver
+module Par_bnb = Parbnb.Par_bnb
+module Platform = Clustersim.Platform
+module Dist_bnb = Clustersim.Dist_bnb
+module Pipeline = Compactphy.Pipeline
+module Mtdna = Seqsim.Mtdna
+
+let rng seed = Random.State.make [| seed |]
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_four_deployments_agree () =
+  (* The same optimum must come out of every way of running the
+     search. *)
+  for seed = 0 to 3 do
+    let m = Gen.near_ultrametric ~rng:(rng seed) ~noise:0.3 10 in
+    let sequential = (Solver.solve m).Solver.cost in
+    let parallel = (Par_bnb.solve ~n_workers:4 m).Par_bnb.cost in
+    let simulated =
+      (Dist_bnb.run (Platform.cluster 16) m).Dist_bnb.cost
+    in
+    let exact_pipeline = (Pipeline.exact m).Pipeline.cost in
+    check_float "parallel" sequential parallel;
+    check_float "simulated" sequential simulated;
+    check_float "pipeline" sequential exact_pipeline
+  done
+
+let test_sequences_to_newick_roundtrip () =
+  (* sequences -> matrix -> tree -> newick -> tree -> matrix dominates
+     the original matrix. *)
+  let d = Mtdna.generate ~rng:(rng 5) 15 in
+  let r = Pipeline.with_compact_sets d.Mtdna.matrix in
+  let text = Newick.to_string r.Pipeline.tree in
+  let back = Newick.of_string text in
+  Alcotest.(check bool) "same topology" true
+    (Utree.same_topology r.Pipeline.tree back);
+  Alcotest.(check bool) "still feasible" true
+    (Utree.is_feasible ~eps:1e-3 d.Mtdna.matrix back)
+
+let test_phylip_file_roundtrip_through_disk () =
+  let m = Gen.near_ultrametric ~rng:(rng 6) 12 in
+  let path = Filename.temp_file "compactphy" ".phy" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Matrix_io.write_file path (Matrix_io.to_phylip m);
+      let parsed = Matrix_io.of_phylip (Matrix_io.read_file path) in
+      Alcotest.(check bool) "equal" true
+        (Dist_matrix.equal ~eps:1e-5 m parsed.Matrix_io.matrix);
+      (* And the parsed matrix is still constructible. *)
+      let r = Pipeline.with_compact_sets parsed.Matrix_io.matrix in
+      Alcotest.(check bool) "valid tree" true
+        (Tree_check.full_check ~eps:1e-3 parsed.Matrix_io.matrix
+           r.Pipeline.tree
+        = Ok ()))
+
+let test_true_tree_recovered_on_clean_data () =
+  (* With long sequences and moderate divergence the compact-set tree
+     recovers the generating topology almost exactly. *)
+  let d = Mtdna.generate ~rng:(rng 7) ~sites:4000 12 in
+  let r = Pipeline.with_compact_sets d.Mtdna.matrix in
+  let rf = Rf.normalized r.Pipeline.tree d.Mtdna.true_tree in
+  if rf > 0.34 then
+    Alcotest.failf "normalised RF %.2f too high for clean data" rf
+
+let test_exact_beats_heuristics_everywhere () =
+  for seed = 0 to 4 do
+    let m = Gen.uniform_metric ~rng:(rng seed) 9 in
+    let opt = (Solver.solve m).Solver.cost in
+    List.iter
+      (fun (name, tree) ->
+        let w = Utree.weight tree in
+        if w < opt -. 1e-9 then
+          Alcotest.failf "%s beat the optimum (%g < %g)" name w opt)
+      [
+        ("upgmm", Clustering.Linkage.upgmm m);
+        ("upgma", Utree.minimal_realization m (Clustering.Linkage.upgma m));
+        ("nj", Clustering.Nj.ultrametric_of m);
+        ("compact", (Pipeline.with_compact_sets m).Pipeline.tree);
+      ]
+  done
+
+let test_decomposition_consistent_with_subsolves () =
+  (* Solving a compact set's members as a standalone matrix must give a
+     subtree no better than the slice of the full exact tree: compact
+     sets preserve the optimal substructure on exact ultrametrics. *)
+  let m = Gen.ultrametric ~rng:(rng 8) 14 in
+  let sets = Cgraph.Compact_sets.find m in
+  Alcotest.(check bool) "found sets" true (sets <> []);
+  List.iter
+    (fun set ->
+      let idx = Array.of_list set in
+      let sub = Dist_matrix.sub m idx in
+      let sub_cost = (Solver.solve sub).Solver.cost in
+      (* The full optimal tree restricted to the compact set realises the
+         same ultrametric, so costs match. *)
+      let sub_cs = (Pipeline.with_compact_sets sub).Pipeline.cost in
+      check_float "block solves agree" sub_cost sub_cs)
+    sets
+
+let test_simulated_grid_slower_than_cluster_same_nodes () =
+  (* The NCS paper's observation: at equal node count, WAN latency makes
+     the grid no faster than the cluster. *)
+  (* Equal node count and speed: only communication differs. *)
+  let m = Gen.near_ultrametric ~rng:(rng 11) ~noise:0.3 13 in
+  let c = Dist_bnb.run (Platform.cluster 8) m in
+  let g =
+    Dist_bnb.run (Platform.grid ~sites:[ (8, 2_300.) ]) m
+  in
+  check_float "same answer" c.Dist_bnb.cost g.Dist_bnb.cost;
+  Alcotest.(check bool)
+    (Printf.sprintf "grid %.4f >= cluster %.4f" g.Dist_bnb.makespan
+       c.Dist_bnb.makespan)
+    true
+    (g.Dist_bnb.makespan >= c.Dist_bnb.makespan)
+
+let test_parallel_pipeline_on_mtdna_26 () =
+  (* End-to-end at the paper's headline size: 26 species through the
+     compact-set pipeline with parallel block solving. *)
+  let d = Mtdna.generate ~rng:(rng 12) 26 in
+  let r = Pipeline.with_compact_sets ~workers:4 d.Mtdna.matrix in
+  Alcotest.(check bool) "valid" true
+    (Tree_check.full_check d.Mtdna.matrix r.Pipeline.tree = Ok ());
+  Alcotest.(check bool) "fast" true (r.Pipeline.elapsed_s < 30.)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "integration",
+        [
+          Alcotest.test_case "four deployments agree" `Quick
+            test_four_deployments_agree;
+          Alcotest.test_case "sequences to newick" `Quick
+            test_sequences_to_newick_roundtrip;
+          Alcotest.test_case "phylip through disk" `Quick
+            test_phylip_file_roundtrip_through_disk;
+          Alcotest.test_case "true tree recovered" `Quick
+            test_true_tree_recovered_on_clean_data;
+          Alcotest.test_case "exact beats heuristics" `Quick
+            test_exact_beats_heuristics_everywhere;
+          Alcotest.test_case "decomposition consistency" `Quick
+            test_decomposition_consistent_with_subsolves;
+          Alcotest.test_case "grid slower than cluster" `Quick
+            test_simulated_grid_slower_than_cluster_same_nodes;
+          Alcotest.test_case "parallel pipeline 26 species" `Quick
+            test_parallel_pipeline_on_mtdna_26;
+        ] );
+    ]

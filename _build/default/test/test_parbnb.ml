@@ -1,0 +1,163 @@
+(* Tests for the parallel branch-and-bound: agreement with the
+   sequential solver, validity of outputs, worker-count robustness. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Gen = Distmat.Gen
+module Utree = Ultra.Utree
+module Solver = Bnb.Solver
+module Par_bnb = Parbnb.Par_bnb
+module Stats = Bnb.Stats
+module Shared_pool = Parbnb.Shared_pool
+module Bb_tree = Bnb.Bb_tree
+
+let rng seed = Random.State.make [| seed |]
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_matches_sequential_random () =
+  for seed = 0 to 7 do
+    let m = Gen.uniform_metric ~rng:(rng seed) 9 in
+    let seq = Solver.solve m in
+    let par = Par_bnb.solve ~n_workers:4 m in
+    check_float "same optimum" seq.Solver.cost par.Par_bnb.cost;
+    Alcotest.(check bool) "optimal" true par.Par_bnb.optimal;
+    Alcotest.(check bool) "feasible" true
+      (Utree.is_feasible m par.Par_bnb.tree);
+    check_float "cost = weight" par.Par_bnb.cost
+      (Utree.weight par.Par_bnb.tree)
+  done
+
+let test_matches_sequential_mtdna_like () =
+  for seed = 0 to 4 do
+    let m = Gen.near_ultrametric ~rng:(rng (50 + seed)) ~noise:0.2 10 in
+    let seq = Solver.solve m in
+    let par = Par_bnb.solve ~n_workers:3 m in
+    check_float "same optimum" seq.Solver.cost par.Par_bnb.cost
+  done
+
+let test_various_worker_counts () =
+  let m = Gen.uniform_metric ~rng:(rng 11) 10 in
+  let reference = (Solver.solve m).Solver.cost in
+  List.iter
+    (fun p ->
+      let r = Par_bnb.solve ~n_workers:p m in
+      check_float (Printf.sprintf "p=%d" p) reference r.Par_bnb.cost;
+      Alcotest.(check int) "worker count recorded" p r.Par_bnb.n_workers)
+    [ 1; 2; 5; 8; 16 ]
+
+let test_more_workers_than_seeds () =
+  (* Workers exceeding the seeded frontier must terminate cleanly. *)
+  let m = Gen.uniform_metric ~rng:(rng 12) 5 in
+  let r = Par_bnb.solve ~n_workers:12 m in
+  check_float "optimum" (Solver.solve m).Solver.cost r.Par_bnb.cost
+
+let test_two_species () =
+  let m = Dist_matrix.init 2 (fun _ _ -> 4.) in
+  let r = Par_bnb.solve ~n_workers:4 m in
+  check_float "cost" 4. r.Par_bnb.cost
+
+let test_rejects_zero_workers () =
+  let m = Gen.uniform_metric ~rng:(rng 1) 5 in
+  (match Par_bnb.solve ~n_workers:0 m with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+let test_33_mode_parallel () =
+  let m = Gen.near_ultrametric ~rng:(rng 30) ~noise:0.2 9 in
+  let options = { Solver.default_options with relation33 = Solver.Third_only } in
+  let seq = Solver.solve ~options m in
+  let par = Par_bnb.solve ~options ~n_workers:4 m in
+  check_float "same cost under 3-3" seq.Solver.cost par.Par_bnb.cost
+
+let test_stats_merged () =
+  let m = Gen.uniform_metric ~rng:(rng 13) 10 in
+  let r = Par_bnb.solve ~n_workers:4 m in
+  Alcotest.(check bool) "expanded > 0" true (r.Par_bnb.stats.Stats.expanded > 0)
+
+let test_cap_reports_non_optimal () =
+  let m = Gen.uniform_metric ~rng:(rng 14) 12 in
+  let options = { Solver.default_options with max_expanded = Some 3 } in
+  let r = Par_bnb.solve ~options ~n_workers:4 m in
+  Alcotest.(check bool) "not optimal" false r.Par_bnb.optimal;
+  Alcotest.(check bool) "still feasible" true
+    (Utree.is_feasible m r.Par_bnb.tree)
+
+(* --- Shared_pool --- *)
+
+let dummy_node lb : Bb_tree.node =
+  { tree = Utree.Leaf 0; k = 2; cost = lb; lb }
+
+let test_pool_take_after_seed () =
+  let pool = Shared_pool.create ~n_workers:1 in
+  Shared_pool.seed pool [ dummy_node 1.; dummy_node 2. ];
+  (match Shared_pool.take pool with
+  | Some n -> Alcotest.(check (float 0.)) "first" 1. n.Bb_tree.lb
+  | None -> Alcotest.fail "expected a node");
+  (match Shared_pool.take pool with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected second node");
+  (* Single worker, empty pool: termination. *)
+  Alcotest.(check bool) "terminates" true (Shared_pool.take pool = None)
+
+let test_pool_all_workers_park () =
+  (* Two domains both draining an empty pool must both get None rather
+     than deadlock. *)
+  let pool = Shared_pool.create ~n_workers:2 in
+  let worker () = Shared_pool.take pool = None in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  Alcotest.(check bool) "both released" true (Domain.join d1 && Domain.join d2)
+
+let test_pool_donation_wakes_parked () =
+  let pool = Shared_pool.create ~n_workers:2 in
+  let taker = Domain.spawn (fun () -> Shared_pool.take pool) in
+  (* Let the taker park, then donate: it must receive the node, and a
+     subsequent take must trigger termination for both. *)
+  Shared_pool.donate pool (dummy_node 7.);
+  (match Domain.join taker with
+  | Some n -> Alcotest.(check (float 0.)) "woken with node" 7. n.Bb_tree.lb
+  | None ->
+      (* The taker may also have terminated first if it raced past the
+         donation; accept only if the node is still in the pool. *)
+      Alcotest.(check bool) "node preserved" false (Shared_pool.is_empty pool))
+
+let prop_parallel_equals_sequential =
+  QCheck.Test.make ~name:"parallel cost = sequential cost" ~count:20
+    (QCheck.make
+       ~print:(fun (s, n, p) -> Printf.sprintf "seed=%d n=%d p=%d" s n p)
+       QCheck.Gen.(triple (int_bound 10_000) (int_range 2 9) (int_range 1 6)))
+    (fun (seed, n, p) ->
+      let m = Gen.uniform_metric ~rng:(rng seed) n in
+      let seq = (Solver.solve m).Solver.cost in
+      let par = (Par_bnb.solve ~n_workers:p m).Par_bnb.cost in
+      Float.abs (seq -. par) < 1e-6)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "parbnb"
+    [
+      ( "par_bnb",
+        [
+          Alcotest.test_case "matches sequential (random)" `Quick
+            test_matches_sequential_random;
+          Alcotest.test_case "matches sequential (mtdna-like)" `Quick
+            test_matches_sequential_mtdna_like;
+          Alcotest.test_case "worker counts" `Quick test_various_worker_counts;
+          Alcotest.test_case "more workers than seeds" `Quick
+            test_more_workers_than_seeds;
+          Alcotest.test_case "two species" `Quick test_two_species;
+          Alcotest.test_case "rejects zero workers" `Quick
+            test_rejects_zero_workers;
+          Alcotest.test_case "3-3 parallel" `Quick test_33_mode_parallel;
+          Alcotest.test_case "stats merged" `Quick test_stats_merged;
+          Alcotest.test_case "cap reports non-optimal" `Quick
+            test_cap_reports_non_optimal;
+        ] );
+      ( "shared_pool",
+        [
+          Alcotest.test_case "take after seed" `Quick test_pool_take_after_seed;
+          Alcotest.test_case "all workers park" `Quick
+            test_pool_all_workers_park;
+          Alcotest.test_case "donation wakes parked" `Quick
+            test_pool_donation_wakes_parked;
+        ] );
+      ("properties", q [ prop_parallel_equals_sequential ]);
+    ]

@@ -1,0 +1,130 @@
+(* Tests for the parsimony library: Fitch scoring and exhaustive
+   maximum parsimony. *)
+
+module Dna = Seqsim.Dna
+module Utree = Ultra.Utree
+module Fitch = Parsimony.Fitch
+
+let rng seed = Random.State.make [| seed |]
+let seq = Dna.of_string
+
+let cherry01 =
+  Utree.node 2. (Utree.node 1. (Utree.leaf 0) (Utree.leaf 1)) (Utree.leaf 2)
+
+let cherry02 =
+  Utree.node 2. (Utree.node 1. (Utree.leaf 0) (Utree.leaf 2)) (Utree.leaf 1)
+
+let test_identical_sequences_zero () =
+  let seqs = Array.make 3 (seq "ACGTACGT") in
+  Alcotest.(check int) "zero" 0 (Fitch.score seqs cherry01)
+
+let test_single_informative_site () =
+  (* Site pattern A A T: grouping (0,1) costs 1; so does (0,2) (Fitch on
+     3 leaves is topology-independent for a single site). *)
+  let seqs = [| seq "A"; seq "A"; seq "T" |] in
+  Alcotest.(check int) "cherry01" 1 (Fitch.score seqs cherry01);
+  Alcotest.(check int) "cherry02" 1 (Fitch.score seqs cherry02)
+
+let test_topology_matters_on_four_leaves () =
+  (* Pattern AATT: ((0,1),(2,3)) costs 1, ((0,2),(1,3)) costs 2. *)
+  let seqs = [| seq "A"; seq "A"; seq "T"; seq "T" |] in
+  let grouped =
+    Utree.node 2.
+      (Utree.node 1. (Utree.leaf 0) (Utree.leaf 1))
+      (Utree.node 1. (Utree.leaf 2) (Utree.leaf 3))
+  in
+  let crossed =
+    Utree.node 2.
+      (Utree.node 1. (Utree.leaf 0) (Utree.leaf 2))
+      (Utree.node 1. (Utree.leaf 1) (Utree.leaf 3))
+  in
+  Alcotest.(check int) "grouped" 1 (Fitch.score seqs grouped);
+  Alcotest.(check int) "crossed" 2 (Fitch.score seqs crossed)
+
+let test_score_additive_over_sites () =
+  let seqs = [| seq "AT"; seq "AA"; seq "TA" |] in
+  let site1 = [| seq "A"; seq "A"; seq "T" |] in
+  let site2 = [| seq "T"; seq "A"; seq "A" |] in
+  Alcotest.(check int) "additive"
+    (Fitch.score site1 cherry01 + Fitch.score site2 cherry01)
+    (Fitch.score seqs cherry01)
+
+let test_rejects_bad_input () =
+  (match Fitch.score [||] cherry01 with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ());
+  (match Fitch.score [| seq "AC"; seq "A"; seq "AC" |] cherry01 with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ());
+  match Fitch.score [| seq "A"; seq "A" |] cherry01 with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ()
+
+let test_best_tree_recovers_clean_split () =
+  (* Strongly structured sequences: maximum parsimony groups the two
+     blocks. *)
+  let seqs =
+    [| seq "AAAAAA"; seq "AAAAAT"; seq "TTTTTA"; seq "TTTTTT" |]
+  in
+  let t, score = Fitch.best_tree seqs in
+  (* Sites 1-5 (pattern AATT) cost 1 each under the block grouping; the
+     conflicting 6th site (ATAT) costs 2: total 7. *)
+  Alcotest.(check int) "score" 7 score;
+  let clades = Ultra.Rf_distance.clusters t in
+  Alcotest.(check bool) "block clade" true
+    (List.mem [ 0; 1 ] clades || List.mem [ 2; 3 ] clades)
+
+let test_best_tree_score_is_minimal () =
+  let truth = Seqsim.Clock_tree.coalescent ~rng:(rng 1) 6 in
+  let seqs = Seqsim.Evolve.sequences ~rng:(rng 2) ~mu:0.3 ~sites:60 truth in
+  let _, best = Fitch.best_tree seqs in
+  (* No enumerated tree may beat it — spot-check with the truth and a
+     caterpillar. *)
+  Alcotest.(check bool) "truth >= best" true (Fitch.score seqs truth >= best)
+
+let test_consistency_ratio () =
+  let truth = Seqsim.Clock_tree.coalescent ~rng:(rng 3) 7 in
+  let seqs = Seqsim.Evolve.sequences ~rng:(rng 4) ~mu:0.2 ~sites:300 truth in
+  let matrix = Seqsim.Distance.matrix seqs in
+  let distance_tree = (Compactphy.Pipeline.with_compact_sets matrix).Compactphy.Pipeline.tree in
+  let ratio = Fitch.consistency_with_distance_tree seqs distance_tree in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f in (0, 1]" ratio)
+    true
+    (ratio > 0. && ratio <= 1.);
+  (* On clock-like data the distance tree should be near-parsimonious. *)
+  Alcotest.(check bool) "close to parsimony optimum" true (ratio >= 0.85)
+
+let prop_fitch_nonnegative_le_sites =
+  QCheck.Test.make ~name:"0 <= fitch score <= sites * (n-1)" ~count:40
+    (QCheck.make
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+       QCheck.Gen.(pair (int_bound 10_000) (int_range 2 8)))
+    (fun (s, n) ->
+      let truth = Seqsim.Clock_tree.coalescent ~rng:(rng s) n in
+      let seqs = Seqsim.Evolve.sequences ~rng:(rng (s + 1)) ~mu:0.5 ~sites:30 truth in
+      let score = Fitch.score seqs truth in
+      score >= 0 && score <= 30 * (n - 1))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "parsimony"
+    [
+      ( "fitch",
+        [
+          Alcotest.test_case "identical zero" `Quick
+            test_identical_sequences_zero;
+          Alcotest.test_case "single site" `Quick test_single_informative_site;
+          Alcotest.test_case "topology matters" `Quick
+            test_topology_matters_on_four_leaves;
+          Alcotest.test_case "additive over sites" `Quick
+            test_score_additive_over_sites;
+          Alcotest.test_case "rejects bad input" `Quick test_rejects_bad_input;
+          Alcotest.test_case "best tree clean split" `Quick
+            test_best_tree_recovers_clean_split;
+          Alcotest.test_case "best tree minimal" `Quick
+            test_best_tree_score_is_minimal;
+          Alcotest.test_case "consistency ratio" `Quick test_consistency_ratio;
+        ] );
+      ("properties", q [ prop_fitch_nonnegative_le_sites ]);
+    ]

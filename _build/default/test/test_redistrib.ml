@@ -1,0 +1,342 @@
+(* Tests for the redistrib library: GEN_BLOCK distributions, message
+   generation, conflict points, and the SCPA / DCA schedulers. *)
+
+module Gen_block = Redistrib.Gen_block
+module Message = Redistrib.Message
+module Conflict = Redistrib.Conflict
+module Schedule = Redistrib.Schedule
+module Scpa = Redistrib.Scpa
+module Dca = Redistrib.Dca
+
+let rng seed = Random.State.make [| seed |]
+
+(* The SCPA paper's running example (Figure 1): an array of 101 elements
+   over 8 processors. *)
+let paper_src = Gen_block.create [| 12; 20; 15; 14; 11; 9; 9; 11 |]
+let paper_dst = Gen_block.create [| 17; 10; 13; 6; 17; 12; 11; 15 |]
+let paper_messages () = Message.of_distributions paper_src paper_dst
+
+(* --- Gen_block --- *)
+
+let test_create_rejects () =
+  (match Gen_block.create [||] with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ());
+  match Gen_block.create [| 3; -1 |] with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ()
+
+let test_bounds () =
+  let b = Gen_block.bounds paper_src in
+  Alcotest.(check (pair int int)) "first" (0, 12) b.(0);
+  Alcotest.(check (pair int int)) "second" (12, 32) b.(1);
+  Alcotest.(check (pair int int)) "last" (90, 101) b.(7)
+
+let test_random_respects_bounds () =
+  for seed = 0 to 9 do
+    let d =
+      Gen_block.random ~rng:(rng seed) ~total:1_000_000 ~procs:8
+        ~lo_frac:0.3 ~hi_frac:1.5
+    in
+    Alcotest.(check int) "total" 1_000_000 (Gen_block.total d);
+    let avg = 1_000_000 / 8 in
+    Array.iter
+      (fun s ->
+        if s < int_of_float (0.3 *. float_of_int avg) - 1 then
+          Alcotest.failf "segment %d below band" s;
+        if s > int_of_float (1.5 *. float_of_int avg) + 1 then
+          Alcotest.failf "segment %d above band" s)
+      d.Gen_block.sizes
+  done
+
+let test_random_rejects_impossible () =
+  (match
+     Gen_block.random ~rng:(rng 0) ~total:100 ~procs:4 ~lo_frac:2.0
+       ~hi_frac:3.0
+   with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+(* --- Message --- *)
+
+let test_paper_message_count () =
+  (* The paper's Figure 2 shows fifteen messages m1 .. m15. *)
+  Alcotest.(check int) "fifteen messages" 15 (List.length (paper_messages ()))
+
+let test_messages_conserve_size () =
+  Alcotest.(check int) "total size" 101 (Message.total_size (paper_messages ()))
+
+let test_paper_first_messages () =
+  match paper_messages () with
+  | m1 :: m2 :: _ ->
+      (* SP0's 12 elements split as 12 to DP0; DP0's remaining 5 come
+         from SP1. *)
+      Alcotest.(check int) "m1 size" 12 m1.Message.size;
+      Alcotest.(check (pair int int)) "m1 route" (0, 0)
+        (m1.Message.src, m1.Message.dst);
+      Alcotest.(check int) "m2 size" 5 m2.Message.size;
+      Alcotest.(check (pair int int)) "m2 route" (1, 0)
+        (m2.Message.src, m2.Message.dst)
+  | _ -> Alcotest.fail "missing messages"
+
+let test_message_staircase_bound () =
+  for seed = 0 to 9 do
+    let procs = 8 in
+    let src =
+      Gen_block.random ~rng:(rng seed) ~total:10_000 ~procs ~lo_frac:0.3
+        ~hi_frac:1.5
+    in
+    let dst =
+      Gen_block.random ~rng:(rng (seed + 100)) ~total:10_000 ~procs
+        ~lo_frac:0.3 ~hi_frac:1.5
+    in
+    let k = List.length (Message.of_distributions src dst) in
+    Alcotest.(check bool)
+      (Printf.sprintf "P <= %d <= 2P-1" k)
+      true
+      (k >= procs && k <= (2 * procs) - 1)
+  done
+
+let test_message_rejects_mismatch () =
+  (match Message.of_distributions paper_src (Gen_block.create [| 101 |]) with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+(* --- Conflict --- *)
+
+let test_paper_max_degree () =
+  (* SP1, SP2 and DP4 have three messages each: k = 3. *)
+  Alcotest.(check int) "degree" 3 (Conflict.max_degree (paper_messages ()))
+
+let test_paper_mdms () =
+  (* By the paper's Section 3.1 definition the maximum-degree processors
+     are SP1, SP2 and DP4, giving three MDMSs of three messages each.
+     (The paper's Section 4 walkthrough also lists DP2's {m4, m5} as a
+     fourth "MDMS", inconsistently with its own definition; what matters
+     is the conflict points, which we match exactly below.) *)
+  let sets = Conflict.mdms_list (paper_messages ()) in
+  Alcotest.(check int) "three MDMSs" 3 (List.length sets);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "each has k messages" 3
+        (List.length s.Conflict.messages))
+    sets
+
+let test_paper_conflict_points_match_step_one () =
+  (* The paper schedules m4 and m7 (1-indexed) together in step 1. *)
+  let cps = Conflict.conflict_points (paper_messages ()) in
+  Alcotest.(check (list int)) "m7 then m4" [ 6; 3 ]
+    (List.map (fun (m : Message.t) -> m.Message.id) cps)
+
+let test_paper_explicit_conflict () =
+  let sets = Conflict.mdms_list (paper_messages ()) in
+  let explicit = Conflict.explicit_conflict_points sets in
+  (* m7 (0-indexed id 6) belongs to both MDMS {m5,m6,m7} and
+     {m7,m8,m9}. *)
+  Alcotest.(check (list int)) "m7" [ 6 ]
+    (List.map (fun (m : Message.t) -> m.Message.id) explicit)
+
+let test_paper_conflict_points_schedulable () =
+  let messages = paper_messages () in
+  let cps = Conflict.conflict_points messages in
+  (* Conflict points must be pairwise contention-free (SCPA puts them in
+     one step). *)
+  let rec pairwise_ok = function
+    | [] -> true
+    | (m : Message.t) :: rest ->
+        List.for_all
+          (fun (m' : Message.t) ->
+            m'.Message.src <> m.Message.src && m'.Message.dst <> m.Message.dst)
+          rest
+        && pairwise_ok rest
+  in
+  Alcotest.(check bool) "one step suffices" true (pairwise_ok cps)
+
+(* --- Schedulers --- *)
+
+let schedulers = [ ("SCPA", Scpa.schedule); ("DCA", Dca.schedule) ]
+
+let test_schedulers_valid_on_paper_example () =
+  let messages = paper_messages () in
+  List.iter
+    (fun (name, f) ->
+      match Schedule.verify messages (f messages) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %a" name Schedule.pp_error e)
+    schedulers
+
+let test_scpa_minimal_steps_on_paper_example () =
+  let messages = paper_messages () in
+  Alcotest.(check int) "three steps" (Schedule.min_steps messages)
+    (Schedule.n_steps (Scpa.schedule messages))
+
+let test_schedulers_valid_random () =
+  for seed = 0 to 19 do
+    let src =
+      Gen_block.random ~rng:(rng seed) ~total:100_000 ~procs:12 ~lo_frac:0.3
+        ~hi_frac:1.5
+    in
+    let dst =
+      Gen_block.random ~rng:(rng (1000 + seed)) ~total:100_000 ~procs:12
+        ~lo_frac:0.3 ~hi_frac:1.5
+    in
+    let messages = Message.of_distributions src dst in
+    List.iter
+      (fun (name, f) ->
+        match Schedule.verify messages (f messages) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "seed %d %s: %a" seed name Schedule.pp_error e)
+      schedulers
+  done
+
+let test_scpa_usually_at_least_as_good () =
+  (* The paper reports SCPA >= 85 % wins on total step size; we require a
+     clear majority over a fixed sample. *)
+  let wins = ref 0 and total = 30 in
+  for seed = 0 to total - 1 do
+    let src =
+      Gen_block.random ~rng:(rng (2000 + seed)) ~total:1_000_000 ~procs:16
+        ~lo_frac:0.3 ~hi_frac:1.5
+    in
+    let dst =
+      Gen_block.random ~rng:(rng (3000 + seed)) ~total:1_000_000 ~procs:16
+        ~lo_frac:0.3 ~hi_frac:1.5
+    in
+    let messages = Message.of_distributions src dst in
+    let s = Schedule.total_step_size (Scpa.schedule messages) in
+    let d = Schedule.total_step_size (Dca.schedule messages) in
+    if s <= d then incr wins
+  done;
+  if !wins * 3 < total * 2 then
+    Alcotest.failf "SCPA won only %d/%d" !wins total
+
+let test_empty_message_list () =
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check int) (name ^ " empty") 0 (Schedule.n_steps (f [])))
+    schedulers
+
+let test_schedule_cost_model () =
+  let messages = paper_messages () in
+  let sched = Scpa.schedule messages in
+  let cost = Schedule.cost ~ts:1. ~tm:0. sched in
+  Alcotest.(check (float 1e-9))
+    "ts-only cost counts steps"
+    (float_of_int (Schedule.n_steps sched))
+    cost
+
+let test_verify_catches_bad_schedules () =
+  let messages = paper_messages () in
+  (match Schedule.verify messages [ messages ] with
+  | Error (Schedule.Send_contention _ | Schedule.Receive_contention _) -> ()
+  | Ok () -> Alcotest.fail "expected contention"
+  | Error e -> Alcotest.failf "unexpected: %a" Schedule.pp_error e);
+  match Schedule.verify messages [] with
+  | Error (Schedule.Missing_message _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "expected missing message"
+
+(* --- qcheck --- *)
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (s1, s2, p) -> Printf.sprintf "seeds=%d,%d procs=%d" s1 s2 p)
+    QCheck.Gen.(
+      triple (int_bound 10_000) (int_bound 10_000) (int_range 2 24))
+
+let prop_scpa_valid =
+  QCheck.Test.make ~name:"SCPA schedules are always valid" ~count:60 arb_case
+    (fun (s1, s2, procs) ->
+      let src =
+        Gen_block.random ~rng:(rng s1) ~total:(procs * 1000) ~procs
+          ~lo_frac:0.3 ~hi_frac:1.5
+      in
+      let dst =
+        Gen_block.random ~rng:(rng s2) ~total:(procs * 1000) ~procs
+          ~lo_frac:0.3 ~hi_frac:1.5
+      in
+      let messages = Message.of_distributions src dst in
+      Schedule.verify messages (Scpa.schedule messages) = Ok ())
+
+let prop_dca_valid =
+  QCheck.Test.make ~name:"DCA schedules are always valid" ~count:60 arb_case
+    (fun (s1, s2, procs) ->
+      let src =
+        Gen_block.random ~rng:(rng s1) ~total:(procs * 1000) ~procs
+          ~lo_frac:0.3 ~hi_frac:1.5
+      in
+      let dst =
+        Gen_block.random ~rng:(rng s2) ~total:(procs * 1000) ~procs
+          ~lo_frac:0.3 ~hi_frac:1.5
+      in
+      let messages = Message.of_distributions src dst in
+      Schedule.verify messages (Dca.schedule messages) = Ok ())
+
+let prop_scpa_steps_near_minimal =
+  QCheck.Test.make ~name:"SCPA uses at most min_steps + 1 steps" ~count:60
+    arb_case (fun (s1, s2, procs) ->
+      let src =
+        Gen_block.random ~rng:(rng s1) ~total:(procs * 1000) ~procs
+          ~lo_frac:0.3 ~hi_frac:1.5
+      in
+      let dst =
+        Gen_block.random ~rng:(rng s2) ~total:(procs * 1000) ~procs
+          ~lo_frac:0.3 ~hi_frac:1.5
+      in
+      let messages = Message.of_distributions src dst in
+      Schedule.n_steps (Scpa.schedule messages)
+      <= Schedule.min_steps messages + 1)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "redistrib"
+    [
+      ( "gen_block",
+        [
+          Alcotest.test_case "create rejects" `Quick test_create_rejects;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "random respects bounds" `Quick
+            test_random_respects_bounds;
+          Alcotest.test_case "random rejects impossible" `Quick
+            test_random_rejects_impossible;
+        ] );
+      ( "message",
+        [
+          Alcotest.test_case "paper count" `Quick test_paper_message_count;
+          Alcotest.test_case "size conserved" `Quick
+            test_messages_conserve_size;
+          Alcotest.test_case "paper first messages" `Quick
+            test_paper_first_messages;
+          Alcotest.test_case "staircase bound" `Quick
+            test_message_staircase_bound;
+          Alcotest.test_case "rejects mismatch" `Quick
+            test_message_rejects_mismatch;
+        ] );
+      ( "conflict",
+        [
+          Alcotest.test_case "paper max degree" `Quick test_paper_max_degree;
+          Alcotest.test_case "paper MDMSs" `Quick test_paper_mdms;
+          Alcotest.test_case "paper step-1 conflict points" `Quick
+            test_paper_conflict_points_match_step_one;
+          Alcotest.test_case "paper explicit conflict" `Quick
+            test_paper_explicit_conflict;
+          Alcotest.test_case "conflict points one step" `Quick
+            test_paper_conflict_points_schedulable;
+        ] );
+      ( "schedulers",
+        [
+          Alcotest.test_case "valid on paper example" `Quick
+            test_schedulers_valid_on_paper_example;
+          Alcotest.test_case "SCPA minimal steps" `Quick
+            test_scpa_minimal_steps_on_paper_example;
+          Alcotest.test_case "valid on random" `Quick
+            test_schedulers_valid_random;
+          Alcotest.test_case "SCPA wins majority" `Quick
+            test_scpa_usually_at_least_as_good;
+          Alcotest.test_case "empty" `Quick test_empty_message_list;
+          Alcotest.test_case "cost model" `Quick test_schedule_cost_model;
+          Alcotest.test_case "verify catches bad" `Quick
+            test_verify_catches_bad_schedules;
+        ] );
+      ( "properties",
+        q [ prop_scpa_valid; prop_dca_valid; prop_scpa_steps_near_minimal ] );
+    ]

@@ -1,0 +1,460 @@
+(* Tests for the seqsim library: DNA, clock trees, JC evolution,
+   distances and the mtDNA surrogate. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Metric = Distmat.Metric
+module Utree = Ultra.Utree
+module Dna = Seqsim.Dna
+module Clock_tree = Seqsim.Clock_tree
+module Evolve = Seqsim.Evolve
+module Distance = Seqsim.Distance
+module Mtdna = Seqsim.Mtdna
+module Bootstrap = Seqsim.Bootstrap
+module Fasta = Seqsim.Fasta
+
+let rng seed = Random.State.make [| seed |]
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Dna --- *)
+
+let test_dna_string_roundtrip () =
+  let s = "ACGTACGT" in
+  Alcotest.(check string) "roundtrip" s (Dna.to_string (Dna.of_string s));
+  Alcotest.(check string) "lowercase" "ACGT" (Dna.to_string (Dna.of_string "acgt"))
+
+let test_dna_rejects_bad () =
+  (match Dna.of_string "ACGX" with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+let test_hamming () =
+  let a = Dna.of_string "AAAA" and b = Dna.of_string "AATT" in
+  Alcotest.(check int) "hamming" 2 (Dna.hamming a b);
+  Alcotest.(check int) "self" 0 (Dna.hamming a a)
+
+let test_hamming_length_mismatch () =
+  (match Dna.hamming (Dna.of_string "AA") (Dna.of_string "AAA") with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+let test_random_composition () =
+  let s = Dna.random ~rng:(rng 0) 4000 in
+  (* Roughly uniform base usage. *)
+  List.iter
+    (fun b ->
+      let count = Array.fold_left (fun acc x -> if x = b then acc + 1 else acc) 0 s in
+      if count < 800 || count > 1200 then
+        Alcotest.failf "base count %d out of uniform range" count)
+    [ Dna.A; Dna.C; Dna.G; Dna.T ]
+
+(* --- Clock_tree --- *)
+
+let test_coalescent_shape () =
+  let t = Clock_tree.coalescent ~rng:(rng 1) 10 in
+  Alcotest.(check (list int)) "leaves" (List.init 10 Fun.id) (Utree.leaves t);
+  Alcotest.(check bool) "monotone" true (Utree.is_monotone t)
+
+let test_coalescent_matrix_ultrametric () =
+  let t = Clock_tree.coalescent ~rng:(rng 2) 12 in
+  Alcotest.(check bool) "ultrametric" true
+    (Metric.is_ultrametric (Utree.to_matrix t))
+
+let test_balanced () =
+  let t = Clock_tree.balanced ~height:4. 8 in
+  Alcotest.(check int) "leaves" 8 (Utree.n_leaves t);
+  check_float "height" 4. (Utree.height t);
+  (match Clock_tree.balanced 6 with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+(* --- Evolve --- *)
+
+let test_substitution_probability () =
+  check_float "t=0" 0. (Evolve.substitution_probability ~mu:1. ~t:0.);
+  let p_inf = Evolve.substitution_probability ~mu:1. ~t:1e9 in
+  Alcotest.(check (float 1e-6)) "saturation" 0.75 p_inf;
+  let p1 = Evolve.substitution_probability ~mu:0.5 ~t:1. in
+  Alcotest.(check bool) "monotone in t" true
+    (p1 < Evolve.substitution_probability ~mu:0.5 ~t:2.)
+
+let test_zero_rate_identical () =
+  let t = Clock_tree.coalescent ~rng:(rng 3) 6 in
+  let seqs = Evolve.sequences ~rng:(rng 4) ~mu:0. ~sites:100 t in
+  Array.iter
+    (fun s -> Alcotest.(check int) "identical" 0 (Dna.hamming seqs.(0) s))
+    seqs
+
+let test_divergence_tracks_tree_distance () =
+  (* Deep splits must accumulate more substitutions than shallow ones. *)
+  let t = Clock_tree.balanced ~height:1. 4 in
+  (* leaves 0,1 split late; 0,2 split at the root. *)
+  let total_shallow = ref 0 and total_deep = ref 0 in
+  for seed = 0 to 19 do
+    let seqs = Evolve.sequences ~rng:(rng seed) ~mu:0.3 ~sites:500 t in
+    total_shallow := !total_shallow + Dna.hamming seqs.(0) seqs.(1);
+    total_deep := !total_deep + Dna.hamming seqs.(0) seqs.(2)
+  done;
+  Alcotest.(check bool) "deep > shallow" true (!total_deep > !total_shallow)
+
+let test_evolve_rejects () =
+  let t = Clock_tree.coalescent ~rng:(rng 5) 4 in
+  (match Evolve.sequences ~rng:(rng 6) ~mu:(-1.) ~sites:10 t with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ());
+  match Evolve.sequences ~rng:(rng 6) ~mu:1. ~sites:0 t with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ()
+
+(* --- Distance --- *)
+
+let test_p_distance () =
+  let a = Dna.of_string "AAAA" and b = Dna.of_string "AATT" in
+  check_float "p" 0.5 (Distance.p_distance a b)
+
+let test_jc_identity_zero () =
+  let a = Dna.of_string "ACGT" in
+  check_float "zero" 0. (Distance.jc_distance a a)
+
+let test_jc_greater_than_p () =
+  (* The JC correction always exceeds the raw p-distance (multiple
+     hits). *)
+  let a = Dna.of_string "AAAAAAAAAA" and b = Dna.of_string "AATTAAAAAA" in
+  Alcotest.(check bool) "jc > p" true
+    (Distance.jc_distance a b > Distance.p_distance a b)
+
+let test_jc_saturation_cap () =
+  let a = Dna.of_string "AAAA" and b = Dna.of_string "TTTT" in
+  Alcotest.(check bool) "finite" true
+    (Float.is_finite (Distance.jc_distance a b))
+
+let test_edit_distance () =
+  let d x y =
+    Distance.edit_distance (Dna.of_string x) (Dna.of_string y)
+  in
+  Alcotest.(check int) "equal" 0 (d "ACGT" "ACGT");
+  Alcotest.(check int) "substitution" 1 (d "ACGT" "AGGT");
+  Alcotest.(check int) "insertion" 1 (d "ACGT" "ACGGT");
+  Alcotest.(check int) "empty vs seq" 4 (d "" "ACGT");
+  Alcotest.(check int) "swap" 2 (d "AC" "CA");
+  Alcotest.(check int) "symmetric" (d "GCATGCT" "GATTACA") (d "GATTACA" "GCATGCT")
+
+let test_matrix_is_metric () =
+  let t = Clock_tree.coalescent ~rng:(rng 7) 8 in
+  let seqs = Evolve.sequences ~rng:(rng 8) ~mu:0.2 ~sites:300 t in
+  List.iter
+    (fun kind ->
+      let m = Distance.matrix ~kind seqs in
+      Alcotest.(check bool) "metric" true (Metric.is_metric m);
+      Alcotest.(check int) "size" 8 (Dist_matrix.size m))
+    [ Distance.P_distance; Distance.Jc; Distance.Edit ]
+
+(* --- Mtdna --- *)
+
+let test_mtdna_dataset_valid () =
+  let d = Mtdna.generate ~rng:(rng 9) 26 in
+  Alcotest.(check int) "species" 26 (Dist_matrix.size d.Mtdna.matrix);
+  Alcotest.(check int) "sequences" 26 (Array.length d.Mtdna.sequences);
+  Alcotest.(check bool) "metric" true (Metric.is_metric d.Mtdna.matrix);
+  Alcotest.(check int) "true tree leaves" 26
+    (Utree.n_leaves d.Mtdna.true_tree)
+
+let test_mtdna_near_ultrametric () =
+  (* Clock evolution must leave only small three-point violations
+     relative to the matrix scale. *)
+  let d = Mtdna.generate ~rng:(rng 10) ~sites:2000 20 in
+  let worst =
+    match Metric.ultrametric_violations ~limit:1 d.Mtdna.matrix with
+    | [] -> 0.
+    | v :: _ -> v.Metric.slack
+  in
+  let scale = Dist_matrix.max_entry d.Mtdna.matrix in
+  Alcotest.(check bool) "small violations" true (worst < 0.35 *. scale)
+
+let test_mtdna_has_compact_sets () =
+  (* The whole point of the surrogate: population structure gives the
+     decomposition something to find on most datasets. *)
+  let sets =
+    List.concat_map
+      (fun d -> Cgraph.Compact_sets.find d.Mtdna.matrix)
+      (Mtdna.batch ~seed:77 ~n_datasets:5 20)
+  in
+  Alcotest.(check bool) "some compact sets" true (List.length sets > 0)
+
+let test_mtdna_k2p_model () =
+  let d = Mtdna.generate ~rng:(rng 40) ~model:(Mtdna.K2p 10.) 12 in
+  Alcotest.(check bool) "metric" true (Metric.is_metric d.Mtdna.matrix);
+  Alcotest.(check int) "species" 12 (Dist_matrix.size d.Mtdna.matrix)
+
+let test_mtdna_batch_independent () =
+  match Mtdna.batch ~seed:3 ~n_datasets:2 8 with
+  | [ a; b ] ->
+      Alcotest.(check bool) "different matrices" false
+        (Dist_matrix.equal a.Mtdna.matrix b.Mtdna.matrix)
+  | _ -> Alcotest.fail "wrong batch size"
+
+(* --- K2P --- *)
+
+let test_k2p_identity () =
+  let a = Dna.of_string "ACGTACGT" in
+  check_float "zero" 0. (Distance.k2p_distance a a)
+
+let test_k2p_reduces_to_jc_at_balanced_kappa () =
+  (* With kappa = 1 (alpha = beta) the Kimura model is Jukes-Cantor:
+     its P and Q probabilities satisfy Q = 2P and their total matches
+     the JC substitution probability. *)
+  let p, q = Evolve.kimura_probabilities ~mu:0.4 ~kappa:1.0 ~t:1.2 in
+  Alcotest.(check (float 1e-9)) "Q = 2P" (2. *. p) q;
+  (* And P + Q matches the JC substitution probability. *)
+  Alcotest.(check (float 1e-9))
+    "total matches JC"
+    (Evolve.substitution_probability ~mu:0.4 ~t:1.2)
+    (p +. q)
+
+let test_k2p_saturation_capped () =
+  let a = Dna.of_string "ACAC" and b = Dna.of_string "GTGT" in
+  Alcotest.(check bool) "finite" true
+    (Float.is_finite (Distance.k2p_distance a b))
+
+let test_k2p_evolution_transition_biased () =
+  let t = Clock_tree.balanced ~height:1. 2 in
+  let seqs = Evolve.sequences_k2p ~rng:(rng 31) ~mu:0.2 ~kappa:10. ~sites:4000 t in
+  let transitions = ref 0 and transversions = ref 0 in
+  Array.iteri
+    (fun i x ->
+      let y = seqs.(1).(i) in
+      if x <> y then begin
+        let purine = function Dna.A | Dna.G -> true | Dna.C | Dna.T -> false in
+        if purine x = purine y then incr transitions else incr transversions
+      end)
+    seqs.(0);
+  Alcotest.(check bool)
+    (Printf.sprintf "ts=%d tv=%d" !transitions !transversions)
+    true
+    (!transitions > 2 * !transversions)
+
+let test_k2p_estimator_recovers_distance () =
+  (* Estimated K2P distance approximates 2 * mu * height on long
+     sequences. *)
+  let t = Clock_tree.balanced ~height:1. 2 in
+  let seqs =
+    Evolve.sequences_k2p ~rng:(rng 32) ~mu:0.15 ~kappa:8. ~sites:20_000 t
+  in
+  let d = Distance.k2p_distance seqs.(0) seqs.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.3f vs true 0.3" d)
+    true
+    (Float.abs (d -. 0.3) < 0.05)
+
+(* --- Fasta --- *)
+
+let test_fasta_roundtrip () =
+  let entries =
+    [
+      { Fasta.name = "human"; seq = Dna.of_string "ACGTACGTAC" };
+      { Fasta.name = "chimp"; seq = Dna.of_string "ACGTACGTAA" };
+    ]
+  in
+  let parsed = Fasta.of_string (Fasta.to_string entries) in
+  Alcotest.(check int) "count" 2 (List.length parsed);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "name" a.Fasta.name b.Fasta.name;
+      Alcotest.(check string) "seq" (Dna.to_string a.Fasta.seq)
+        (Dna.to_string b.Fasta.seq))
+    entries parsed
+
+let test_fasta_wrapping_and_comments () =
+  let text = ">a first sequence
+ACGT
+ACGT
+
+>b
+TTTT
+" in
+  match Fasta.of_string text with
+  | [ a; b ] ->
+      Alcotest.(check string) "first word only" "a" a.Fasta.name;
+      Alcotest.(check string) "lines joined" "ACGTACGT"
+        (Dna.to_string a.Fasta.seq);
+      Alcotest.(check string) "b" "TTTT" (Dna.to_string b.Fasta.seq)
+  | _ -> Alcotest.fail "wrong entry count"
+
+let test_fasta_rejects () =
+  List.iter
+    (fun bad ->
+      match Fasta.of_string bad with
+      | _ -> Alcotest.failf "accepted %S" bad
+      | exception Failure _ -> ())
+    [ ""; "ACGT
+"; ">a
+"; ">a
+ACGX
+"; ">a
+ACGT
+>a
+ACGT
+"; ">
+AC
+" ]
+
+(* --- Bootstrap --- *)
+
+let test_resample_shape () =
+  let seqs = Array.init 4 (fun i -> Dna.random ~rng:(rng i) 50) in
+  let r = Bootstrap.resample ~rng:(rng 9) seqs in
+  Alcotest.(check int) "species" 4 (Array.length r);
+  Array.iter (fun s -> Alcotest.(check int) "sites" 50 (Array.length s)) r;
+  (* Columns stay aligned: a column of the replicate equals some column
+     of the original across all species. *)
+  let original_cols =
+    List.init 50 (fun c -> Array.map (fun s -> s.(c)) seqs)
+  in
+  for c = 0 to 49 do
+    let col = Array.map (fun s -> s.(c)) r in
+    if not (List.mem col original_cols) then
+      Alcotest.failf "column %d is not an original column" c
+  done
+
+let test_resample_rejects () =
+  (match Bootstrap.resample ~rng:(rng 0) [||] with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ());
+  match
+    Bootstrap.resample ~rng:(rng 0)
+      [| Dna.of_string "ACG"; Dna.of_string "AC" |]
+  with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ()
+
+let test_support_on_clean_data () =
+  (* Strong signal: a deep, clean split must get high support. *)
+  let truth = Clock_tree.balanced ~height:1. 8 in
+  let seqs = Evolve.sequences ~rng:(rng 11) ~mu:0.3 ~sites:800 truth in
+  let construct m = Clustering.Linkage.upgmm m in
+  let reference = construct (Distance.matrix seqs) in
+  let support =
+    Bootstrap.support ~rng:(rng 12) ~replicates:30 ~construct ~reference seqs
+  in
+  Alcotest.(check bool) "has clades" true (support <> []);
+  List.iter
+    (fun (_, s) ->
+      if s < 0. || s > 1. then Alcotest.failf "support %g out of range" s)
+    support;
+  (* The best-supported clade on clean data should be near-certain. *)
+  let best = List.fold_left (fun acc (_, s) -> Float.max acc s) 0. support in
+  Alcotest.(check bool) "strong signal" true (best >= 0.9)
+
+let test_support_deterministic () =
+  let truth = Clock_tree.coalescent ~rng:(rng 13) 6 in
+  let seqs = Evolve.sequences ~rng:(rng 14) ~mu:0.2 ~sites:200 truth in
+  let construct m = Clustering.Linkage.upgmm m in
+  let reference = construct (Distance.matrix seqs) in
+  let run () =
+    Bootstrap.support ~rng:(rng 15) ~replicates:10 ~construct ~reference seqs
+  in
+  Alcotest.(check bool) "same seed same support" true (run () = run ())
+
+(* --- qcheck --- *)
+
+let prop_matrix_metric =
+  QCheck.Test.make ~name:"sequence matrices are metrics" ~count:20
+    (QCheck.make
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+       QCheck.Gen.(pair (int_bound 10_000) (int_range 2 15)))
+    (fun (seed, n) ->
+      let d = Mtdna.generate ~rng:(rng seed) ~sites:200 n in
+      Metric.is_metric d.Mtdna.matrix)
+
+let prop_edit_distance_triangle =
+  QCheck.Test.make ~name:"edit distance obeys the triangle inequality"
+    ~count:60
+    (QCheck.make
+       ~print:(fun (a, b, c) -> Printf.sprintf "%s %s %s" a b c)
+       QCheck.Gen.(
+         triple
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 0 12))
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 0 12))
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 0 12))))
+    (fun (a, b, c) ->
+      let d x y = Distance.edit_distance (Dna.of_string x) (Dna.of_string y) in
+      d a c <= d a b + d b c)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "seqsim"
+    [
+      ( "dna",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_dna_string_roundtrip;
+          Alcotest.test_case "rejects bad" `Quick test_dna_rejects_bad;
+          Alcotest.test_case "hamming" `Quick test_hamming;
+          Alcotest.test_case "hamming mismatch" `Quick
+            test_hamming_length_mismatch;
+          Alcotest.test_case "random composition" `Quick
+            test_random_composition;
+        ] );
+      ( "clock_tree",
+        [
+          Alcotest.test_case "coalescent shape" `Quick test_coalescent_shape;
+          Alcotest.test_case "coalescent ultrametric" `Quick
+            test_coalescent_matrix_ultrametric;
+          Alcotest.test_case "balanced" `Quick test_balanced;
+        ] );
+      ( "evolve",
+        [
+          Alcotest.test_case "substitution probability" `Quick
+            test_substitution_probability;
+          Alcotest.test_case "zero rate" `Quick test_zero_rate_identical;
+          Alcotest.test_case "divergence tracks distance" `Quick
+            test_divergence_tracks_tree_distance;
+          Alcotest.test_case "rejects bad args" `Quick test_evolve_rejects;
+        ] );
+      ( "distance",
+        [
+          Alcotest.test_case "p distance" `Quick test_p_distance;
+          Alcotest.test_case "jc identity" `Quick test_jc_identity_zero;
+          Alcotest.test_case "jc > p" `Quick test_jc_greater_than_p;
+          Alcotest.test_case "jc saturation" `Quick test_jc_saturation_cap;
+          Alcotest.test_case "edit distance" `Quick test_edit_distance;
+          Alcotest.test_case "matrices are metric" `Quick test_matrix_is_metric;
+        ] );
+      ( "mtdna",
+        [
+          Alcotest.test_case "dataset valid" `Quick test_mtdna_dataset_valid;
+          Alcotest.test_case "near ultrametric" `Quick
+            test_mtdna_near_ultrametric;
+          Alcotest.test_case "has compact sets" `Quick
+            test_mtdna_has_compact_sets;
+          Alcotest.test_case "k2p model" `Quick test_mtdna_k2p_model;
+          Alcotest.test_case "batch independent" `Quick
+            test_mtdna_batch_independent;
+        ] );
+      ( "k2p",
+        [
+          Alcotest.test_case "identity" `Quick test_k2p_identity;
+          Alcotest.test_case "kappa 1 = JC" `Quick
+            test_k2p_reduces_to_jc_at_balanced_kappa;
+          Alcotest.test_case "saturation capped" `Quick
+            test_k2p_saturation_capped;
+          Alcotest.test_case "transition biased" `Quick
+            test_k2p_evolution_transition_biased;
+          Alcotest.test_case "estimator recovers" `Quick
+            test_k2p_estimator_recovers_distance;
+        ] );
+      ( "fasta",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fasta_roundtrip;
+          Alcotest.test_case "wrapping and headers" `Quick
+            test_fasta_wrapping_and_comments;
+          Alcotest.test_case "rejects" `Quick test_fasta_rejects;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "resample shape" `Quick test_resample_shape;
+          Alcotest.test_case "resample rejects" `Quick test_resample_rejects;
+          Alcotest.test_case "support on clean data" `Quick
+            test_support_on_clean_data;
+          Alcotest.test_case "deterministic" `Quick test_support_deterministic;
+        ] );
+      ("properties", q [ prop_matrix_metric; prop_edit_distance_triangle ]);
+    ]

@@ -1,0 +1,526 @@
+(* Tests for the ultra library: trees, Newick, checks, RF distance. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Metric = Distmat.Metric
+module Gen = Distmat.Gen
+module Utree = Ultra.Utree
+module Newick = Ultra.Newick
+module Tree_check = Ultra.Tree_check
+module Rf_distance = Ultra.Rf_distance
+module Render = Ultra.Render
+module Triplet_distance = Ultra.Triplet_distance
+module Consensus = Ultra.Consensus
+module Nexus = Ultra.Nexus
+
+let rng seed = Random.State.make [| seed |]
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ((0,1) at height 1, 2) at height 3 *)
+let small_tree =
+  Utree.node 3. (Utree.node 1. (Utree.leaf 0) (Utree.leaf 1)) (Utree.leaf 2)
+
+let caterpillar n =
+  (* (((0,1),2),...,n-1) with heights 1, 2, ..., n-1. *)
+  let rec go acc k =
+    if k = n then acc
+    else go (Utree.node (float_of_int k) acc (Utree.leaf k)) (k + 1)
+  in
+  go (Utree.node 1. (Utree.leaf 0) (Utree.leaf 1)) 2
+
+let test_leaves () =
+  Alcotest.(check (list int)) "leaves" [ 0; 1; 2 ] (Utree.leaves small_tree);
+  Alcotest.(check int) "count" 3 (Utree.n_leaves small_tree)
+
+let test_weight () =
+  (* Edges: 3-1, 3-0 (leaf 2), 1-0, 1-0 = 2 + 3 + 1 + 1 = 7. *)
+  check_float "weight" 7. (Utree.weight small_tree)
+
+let test_weight_height_identity () =
+  (* weight = sum of internal heights + root height. *)
+  let t = caterpillar 6 in
+  let rec heights = function
+    | Utree.Leaf _ -> 0.
+    | Utree.Node n -> n.height +. heights n.left +. heights n.right
+  in
+  check_float "identity" (heights t +. Utree.height t) (Utree.weight t)
+
+let test_tree_distance () =
+  check_float "cherry" 2. (Utree.tree_distance small_tree 0 1);
+  check_float "across root" 6. (Utree.tree_distance small_tree 0 2);
+  check_float "self" 0. (Utree.tree_distance small_tree 1 1)
+
+let test_tree_distance_missing () =
+  (match Utree.tree_distance small_tree 0 9 with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ())
+
+let test_to_matrix_is_ultrametric () =
+  let m = Utree.to_matrix (caterpillar 7) in
+  Alcotest.(check bool) "ultrametric" true (Metric.is_ultrametric m);
+  check_float "distance matches" (Utree.tree_distance (caterpillar 7) 2 5)
+    (Dist_matrix.get m 2 5)
+
+let test_node_rejects_inversion () =
+  (match Utree.node 0.5 small_tree (Utree.leaf 3) with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+let test_minimal_realization_feasible () =
+  for seed = 0 to 9 do
+    let m = Gen.uniform_metric ~rng:(rng seed) 8 in
+    (* Any topology: use the caterpillar shape re-realised for m. *)
+    let t = Utree.minimal_realization m (caterpillar 8) in
+    Alcotest.(check bool) "feasible" true (Utree.is_feasible m t);
+    Alcotest.(check bool) "monotone" true (Utree.is_monotone t)
+  done
+
+let test_minimal_realization_minimal () =
+  (* Lowering any internal node of the realization breaks feasibility:
+     check the root of a 3-leaf tree. *)
+  let m =
+    Dist_matrix.of_rows
+      [| [| 0.; 2.; 8. |]; [| 2.; 0.; 6. |]; [| 8.; 6.; 0. |] |]
+  in
+  let t = Utree.minimal_realization m small_tree in
+  (match t with
+  | Utree.Node n ->
+      check_float "root height" 4. n.height;
+      check_float "cherry height" 1. (Utree.height n.left)
+  | Utree.Leaf _ -> Alcotest.fail "not a leaf")
+
+let test_relabel () =
+  let t = Utree.relabel (fun i -> i + 10) small_tree in
+  Alcotest.(check (list int)) "relabelled" [ 10; 11; 12 ] (Utree.leaves t)
+
+let test_map_leaves_graft () =
+  let t =
+    Utree.map_leaves
+      (fun i ->
+        if i = 0 then Utree.node 0.5 (Utree.leaf 10) (Utree.leaf 11)
+        else Utree.leaf i)
+      small_tree
+  in
+  Alcotest.(check (list int)) "grafted" [ 1; 2; 10; 11 ] (Utree.leaves t);
+  Alcotest.(check bool) "monotone" true (Utree.is_monotone t)
+
+let test_same_topology () =
+  let a = Utree.node 5. (Utree.node 2. (Utree.leaf 0) (Utree.leaf 1)) (Utree.leaf 2) in
+  let b = Utree.node 9. (Utree.leaf 2) (Utree.node 1. (Utree.leaf 1) (Utree.leaf 0)) in
+  Alcotest.(check bool) "mirror" true (Utree.same_topology a b);
+  let c = Utree.node 9. (Utree.leaf 1) (Utree.node 1. (Utree.leaf 2) (Utree.leaf 0)) in
+  Alcotest.(check bool) "different" false (Utree.same_topology a c)
+
+(* --- Newick --- *)
+
+let test_newick_print () =
+  Alcotest.(check string)
+    "render" "((0:1,1:1):2,2:3);"
+    (Newick.to_string small_tree)
+
+let test_newick_roundtrip () =
+  let t = caterpillar 6 in
+  let t' = Newick.of_string (Newick.to_string t) in
+  Alcotest.(check bool) "equal" true (Utree.equal t t')
+
+let test_newick_names () =
+  let names = [| "ape"; "bee"; "cat" |] in
+  let s = Newick.to_string ~names small_tree in
+  Alcotest.(check string) "named" "((ape:1,bee:1):2,cat:3);" s;
+  let t = Newick.of_string ~names s in
+  Alcotest.(check bool) "roundtrip" true (Utree.equal small_tree t)
+
+let test_newick_rejects () =
+  List.iter
+    (fun bad ->
+      match Newick.of_string bad with
+      | (_ : Utree.t) -> Alcotest.failf "accepted %S" bad
+      | exception Failure _ -> ())
+    [
+      "";
+      "(0:1,1:1)";
+      (* missing ; *)
+      "((0:1,1:1):2,2:9);";
+      (* not ultrametric *)
+      "(0:1,1:1,2:1);";
+      (* not binary *)
+      "(0:1,x:1);";
+      (* non-integer leaf *)
+      "(0:1,1:-2);" (* negative length *);
+    ]
+
+let test_newick_whitespace () =
+  let t = Newick.of_string " ( 0 :1, 1 : 1 ) ;" in
+  Alcotest.(check (list int)) "parsed" [ 0; 1 ] (Utree.leaves t)
+
+(* --- Tree_check --- *)
+
+let test_full_check_ok () =
+  let m = Utree.to_matrix small_tree in
+  (match Tree_check.full_check m small_tree with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Tree_check.pp_error e)
+
+let test_full_check_bad_leaves () =
+  let m = Dist_matrix.create 4 in
+  (match Tree_check.full_check m small_tree with
+  | Error (Tree_check.Bad_leaf_set _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "expected Bad_leaf_set")
+
+let test_full_check_infeasible () =
+  let m = Dist_matrix.init 3 (fun _ _ -> 100.) in
+  (match Tree_check.full_check m small_tree with
+  | Error (Tree_check.Not_feasible _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "expected Not_feasible")
+
+(* --- Rf_distance --- *)
+
+let test_rf_zero_on_self () =
+  Alcotest.(check int) "self" 0
+    (Rf_distance.distance (caterpillar 6) (caterpillar 6))
+
+let test_rf_known () =
+  (* ((0,1),2,3 caterpillar) vs ((0,2),1,3 caterpillar): clusters
+     {0,1},{0,1,2} vs {0,2},{0,1,2}: distance 2. *)
+  let a =
+    Utree.node 3.
+      (Utree.node 2. (Utree.node 1. (Utree.leaf 0) (Utree.leaf 1)) (Utree.leaf 2))
+      (Utree.leaf 3)
+  in
+  let b =
+    Utree.node 3.
+      (Utree.node 2. (Utree.node 1. (Utree.leaf 0) (Utree.leaf 2)) (Utree.leaf 1))
+      (Utree.leaf 3)
+  in
+  Alcotest.(check int) "distance" 2 (Rf_distance.distance a b);
+  Alcotest.(check (float 1e-9)) "normalised" 0.5 (Rf_distance.normalized a b)
+
+let test_rf_rejects_mismatch () =
+  (match Rf_distance.distance small_tree (caterpillar 5) with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+(* --- Render --- *)
+
+let test_ascii_contains_all_names () =
+  let names = [| "human"; "chimp"; "gorilla" |] in
+  let art = Render.to_ascii ~names small_tree in
+  Array.iter
+    (fun n ->
+      if not (Astring_contains.contains art n) then
+        Alcotest.failf "missing %s in:\n%s" n art)
+    names
+
+let test_ascii_single_leaf () =
+  Alcotest.(check string) "leaf" "0\n" (Render.to_ascii (Utree.leaf 0))
+
+let test_svg_well_formed () =
+  let svg = Render.to_svg (caterpillar 6) in
+  Alcotest.(check bool) "opens" true
+    (String.length svg > 10 && String.sub svg 0 4 = "<svg");
+  Alcotest.(check bool) "closes" true
+    (Astring_contains.contains svg "</svg>");
+  (* One label per leaf. *)
+  for i = 0 to 5 do
+    if not (Astring_contains.contains svg (Printf.sprintf ">%d</text>" i))
+    then Alcotest.failf "label %d missing" i
+  done
+
+let test_render_rejects_short_names () =
+  (match Render.to_ascii ~names:[| "a" |] small_tree with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+(* --- Triplet_distance --- *)
+
+let test_triplet_zero_on_self () =
+  Alcotest.(check int) "self" 0
+    (Triplet_distance.distance (caterpillar 7) (caterpillar 7))
+
+let test_triplet_known () =
+  (* ((0,1),2) vs ((0,2),1): the single triple disagrees. *)
+  let a = Utree.node 2. (Utree.node 1. (Utree.leaf 0) (Utree.leaf 1)) (Utree.leaf 2) in
+  let b = Utree.node 2. (Utree.node 1. (Utree.leaf 0) (Utree.leaf 2)) (Utree.leaf 1) in
+  Alcotest.(check int) "one triple" 1 (Triplet_distance.distance a b);
+  Alcotest.(check (float 1e-9)) "normalised" 1. (Triplet_distance.normalized a b)
+
+let test_triplet_mirror_invariant () =
+  let a = caterpillar 6 in
+  let mirror = function
+    | Utree.Leaf _ as l -> l
+    | Utree.Node n -> Utree.Node { n with left = n.right; right = n.left }
+  in
+  let rec deep_mirror = function
+    | Utree.Leaf _ as l -> l
+    | Utree.Node n ->
+        mirror (Utree.Node { n with left = deep_mirror n.left; right = deep_mirror n.right })
+  in
+  Alcotest.(check int) "mirrored" 0 (Triplet_distance.distance a (deep_mirror a))
+
+let test_triplet_rejects_mismatch () =
+  (match Triplet_distance.distance small_tree (caterpillar 5) with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ())
+
+(* --- Nexus --- *)
+
+let nexus_doc () =
+  {
+    Nexus.taxa = [| "human"; "chimp"; "gorilla" |];
+    matrix = Some (Utree.to_matrix small_tree);
+    trees = [ ("best", small_tree) ];
+  }
+
+let test_nexus_roundtrip () =
+  let doc = nexus_doc () in
+  let parsed = Nexus.of_string (Nexus.to_string doc) in
+  Alcotest.(check (array string)) "taxa" doc.Nexus.taxa parsed.Nexus.taxa;
+  (match parsed.Nexus.matrix with
+  | Some m ->
+      Alcotest.(check bool) "matrix" true
+        (Dist_matrix.equal ~eps:1e-6 (Option.get doc.Nexus.matrix) m)
+  | None -> Alcotest.fail "matrix lost");
+  match parsed.Nexus.trees with
+  | [ (name, t) ] ->
+      Alcotest.(check string) "tree name" "best" name;
+      Alcotest.(check bool) "same topology" true
+        (Utree.same_topology small_tree t)
+  | _ -> Alcotest.fail "tree lost"
+
+let test_nexus_matrix_only () =
+  let doc = { (nexus_doc ()) with Nexus.trees = [] } in
+  let parsed = Nexus.of_string (Nexus.to_string doc) in
+  Alcotest.(check int) "no trees" 0 (List.length parsed.Nexus.trees)
+
+let test_nexus_comments_and_case () =
+  let text =
+    "#nexus [a comment]\nbegin taxa;\n dimensions ntax=2;\n taxlabels a \
+     b;\nend;\nbegin trees;\n tree t1 = (a:1,b:1);\nend;\n"
+  in
+  let parsed = Nexus.of_string text in
+  Alcotest.(check (array string)) "taxa" [| "a"; "b" |] parsed.Nexus.taxa;
+  Alcotest.(check int) "one tree" 1 (List.length parsed.Nexus.trees)
+
+let test_nexus_rejects () =
+  List.iter
+    (fun bad ->
+      match Nexus.of_string bad with
+      | _ -> Alcotest.failf "accepted %S" bad
+      | exception Failure _ -> ())
+    [
+      "";
+      "BEGIN TAXA; TAXLABELS a b; END;";
+      (* no #NEXUS *)
+      "#NEXUS [unterminated";
+      "#NEXUS\nBEGIN TREES;\nTREE t = (a:1,b:1);\nEND;" (* no taxa *);
+    ]
+
+let test_nexus_rejects_inconsistent () =
+  let doc =
+    { (nexus_doc ()) with Nexus.matrix = Some (Dist_matrix.create 2) }
+  in
+  match Nexus.to_string doc with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ()
+
+(* --- Consensus --- *)
+
+let cat4a =
+  Utree.node 3.
+    (Utree.node 2. (Utree.node 1. (Utree.leaf 0) (Utree.leaf 1)) (Utree.leaf 2))
+    (Utree.leaf 3)
+
+let cat4b =
+  Utree.node 3.
+    (Utree.node 2. (Utree.node 1. (Utree.leaf 0) (Utree.leaf 1)) (Utree.leaf 3))
+    (Utree.leaf 2)
+
+let test_consensus_strict () =
+  Alcotest.(check (list (list int)))
+    "only the shared cherry" [ [ 0; 1 ] ]
+    (Consensus.strict [ cat4a; cat4b ]);
+  Alcotest.(check (list (list int)))
+    "self strict keeps all" [ [ 0; 1 ]; [ 0; 1; 2 ] ]
+    (Consensus.strict [ cat4a; cat4a ])
+
+let test_consensus_majority () =
+  let clusters = Consensus.majority [ cat4a; cat4a; cat4b ] in
+  Alcotest.(check (list (list int)))
+    "2/3 majority" [ [ 0; 1 ]; [ 0; 1; 2 ] ] clusters
+
+let test_consensus_agreement () =
+  Alcotest.(check (float 1e-9)) "identical" 1.
+    (Consensus.agreement [ cat4a; cat4a ]);
+  (* cat4a/cat4b share 1 of 3 distinct clusters. *)
+  Alcotest.(check (float 1e-9)) "partial" (1. /. 3.)
+    (Consensus.agreement [ cat4a; cat4b ])
+
+let test_consensus_rejects () =
+  (match Consensus.strict [] with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ());
+  match Consensus.strict [ cat4a; small_tree ] with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ()
+
+(* --- qcheck properties --- *)
+
+let arb_seed_n lo hi =
+  QCheck.make
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(pair (int_bound 10_000) (int_range lo hi))
+
+(* Random tree by random insertions — exercises arbitrary shapes. *)
+let random_topology rng n =
+  let rec insert t sp =
+    match t with
+    | Utree.Leaf _ -> Utree.Node { height = 0.; left = t; right = Utree.Leaf sp }
+    | Utree.Node nd ->
+        if Random.State.bool rng then
+          Utree.Node { height = 0.; left = t; right = Utree.Leaf sp }
+        else if Random.State.bool rng then
+          Utree.Node { nd with left = insert nd.left sp }
+        else Utree.Node { nd with right = insert nd.right sp }
+  in
+  let rec go t k = if k = n then t else go (insert t k) (k + 1) in
+  go (Utree.Node { height = 0.; left = Utree.Leaf 0; right = Utree.Leaf 1 }) 2
+
+let prop_realization_feasible =
+  QCheck.Test.make ~name:"minimal realization is feasible and monotone"
+    ~count:100 (arb_seed_n 2 16) (fun (seed, n) ->
+      let r = rng seed in
+      let m = Gen.uniform_metric ~rng:r n in
+      let t = Utree.minimal_realization m (random_topology r n) in
+      Utree.is_feasible m t && Utree.is_monotone t)
+
+let prop_to_matrix_roundtrip =
+  QCheck.Test.make
+    ~name:"to_matrix induces the tree's own minimal realization" ~count:100
+    (arb_seed_n 2 14) (fun (seed, n) ->
+      let r = rng seed in
+      let m = Gen.uniform_metric ~rng:r n in
+      let t = Utree.minimal_realization m (random_topology r n) in
+      let tm = Utree.to_matrix t in
+      (* Re-realising against the tree's own matrix reproduces the tree. *)
+      Utree.equal t (Utree.minimal_realization tm t))
+
+let prop_triplet_agrees_with_rf_zero =
+  QCheck.Test.make
+    ~name:"RF distance 0 implies triplet distance 0" ~count:60
+    (arb_seed_n 3 12) (fun (seed, n) ->
+      let r = rng seed in
+      let m = Gen.uniform_metric ~rng:r n in
+      let t = Utree.minimal_realization m (random_topology r n) in
+      (* Same tree, re-realized: RF = 0, so triplets must agree. *)
+      Rf_distance.distance t t = 0 && Triplet_distance.distance t t = 0)
+
+let prop_ascii_renders_all_leaves =
+  QCheck.Test.make ~name:"ascii render mentions every leaf" ~count:40
+    (arb_seed_n 2 15) (fun (seed, n) ->
+      let r = rng seed in
+      let m = Gen.uniform_metric ~rng:r n in
+      let t = Utree.minimal_realization m (random_topology r n) in
+      let art = Render.to_ascii t in
+      List.for_all
+        (fun i -> Astring_contains.contains art (string_of_int i))
+        (Utree.leaves t))
+
+let prop_newick_roundtrip =
+  QCheck.Test.make ~name:"newick roundtrip preserves the tree" ~count:100
+    (arb_seed_n 2 18) (fun (seed, n) ->
+      let r = rng seed in
+      let m = Gen.uniform_metric ~rng:r n in
+      let t = Utree.minimal_realization m (random_topology r n) in
+      let t' = Newick.of_string (Newick.to_string t) in
+      Utree.same_topology t t'
+      && Float.abs (Utree.weight t -. Utree.weight t') < 1e-3)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "ultra"
+    [
+      ( "utree",
+        [
+          Alcotest.test_case "leaves" `Quick test_leaves;
+          Alcotest.test_case "weight" `Quick test_weight;
+          Alcotest.test_case "weight/height identity" `Quick
+            test_weight_height_identity;
+          Alcotest.test_case "tree distance" `Quick test_tree_distance;
+          Alcotest.test_case "tree distance missing" `Quick
+            test_tree_distance_missing;
+          Alcotest.test_case "to_matrix ultrametric" `Quick
+            test_to_matrix_is_ultrametric;
+          Alcotest.test_case "node rejects inversion" `Quick
+            test_node_rejects_inversion;
+          Alcotest.test_case "minimal realization feasible" `Quick
+            test_minimal_realization_feasible;
+          Alcotest.test_case "minimal realization minimal" `Quick
+            test_minimal_realization_minimal;
+          Alcotest.test_case "relabel" `Quick test_relabel;
+          Alcotest.test_case "map_leaves graft" `Quick test_map_leaves_graft;
+          Alcotest.test_case "same topology" `Quick test_same_topology;
+        ] );
+      ( "newick",
+        [
+          Alcotest.test_case "print" `Quick test_newick_print;
+          Alcotest.test_case "roundtrip" `Quick test_newick_roundtrip;
+          Alcotest.test_case "names" `Quick test_newick_names;
+          Alcotest.test_case "rejects" `Quick test_newick_rejects;
+          Alcotest.test_case "whitespace" `Quick test_newick_whitespace;
+        ] );
+      ( "tree_check",
+        [
+          Alcotest.test_case "ok" `Quick test_full_check_ok;
+          Alcotest.test_case "bad leaves" `Quick test_full_check_bad_leaves;
+          Alcotest.test_case "infeasible" `Quick test_full_check_infeasible;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "names present" `Quick
+            test_ascii_contains_all_names;
+          Alcotest.test_case "single leaf" `Quick test_ascii_single_leaf;
+          Alcotest.test_case "svg well-formed" `Quick test_svg_well_formed;
+          Alcotest.test_case "rejects short names" `Quick
+            test_render_rejects_short_names;
+        ] );
+      ( "triplet_distance",
+        [
+          Alcotest.test_case "zero on self" `Quick test_triplet_zero_on_self;
+          Alcotest.test_case "known" `Quick test_triplet_known;
+          Alcotest.test_case "mirror invariant" `Quick
+            test_triplet_mirror_invariant;
+          Alcotest.test_case "rejects mismatch" `Quick
+            test_triplet_rejects_mismatch;
+        ] );
+      ( "nexus",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_nexus_roundtrip;
+          Alcotest.test_case "matrix only" `Quick test_nexus_matrix_only;
+          Alcotest.test_case "comments and case" `Quick
+            test_nexus_comments_and_case;
+          Alcotest.test_case "rejects" `Quick test_nexus_rejects;
+          Alcotest.test_case "rejects inconsistent" `Quick
+            test_nexus_rejects_inconsistent;
+        ] );
+      ( "consensus",
+        [
+          Alcotest.test_case "strict" `Quick test_consensus_strict;
+          Alcotest.test_case "majority" `Quick test_consensus_majority;
+          Alcotest.test_case "agreement" `Quick test_consensus_agreement;
+          Alcotest.test_case "rejects" `Quick test_consensus_rejects;
+        ] );
+      ( "rf_distance",
+        [
+          Alcotest.test_case "zero on self" `Quick test_rf_zero_on_self;
+          Alcotest.test_case "known distance" `Quick test_rf_known;
+          Alcotest.test_case "rejects mismatch" `Quick test_rf_rejects_mismatch;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_realization_feasible;
+            prop_to_matrix_roundtrip;
+            prop_newick_roundtrip;
+            prop_triplet_agrees_with_rf_zero;
+            prop_ascii_renders_all_leaves;
+          ] );
+    ]
