@@ -21,6 +21,15 @@ let run_one ?(cap = 0) m label =
   in
   let w = Pipeline.with_compact_sets ~options m in
   let wo = Pipeline.exact ~options m in
+  (* Attach both run manifests (phase timings + per-block pruning
+     counters) to the experiment manifest, one entry per measured run. *)
+  Manifest.record (fun r ->
+      Obs.Report.add_worker r
+        [
+          ("label", Obs.Json.String label);
+          ("with_cs", Obs.Report.to_json w.Pipeline.report);
+          ("without_cs", Obs.Report.to_json wo.Pipeline.report);
+        ]);
   {
     label;
     t_with = w.Pipeline.elapsed_s;

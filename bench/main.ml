@@ -64,13 +64,14 @@ let () =
   in
   (match csv_dir with
   | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Manifest.dir := Some dir
   | None -> ());
   let with_csv id f =
     (match csv_dir with
     | Some dir -> Table.csv_target := Some (dir, id)
     | None -> ());
-    f ();
+    Manifest.with_manifest id f;
     Table.csv_target := None
   in
   match args with
@@ -91,7 +92,7 @@ let () =
             exit 1)
   | [ "--micro-only" ] -> Micro.run ()
   | [] ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.counter () in
       List.iter
         (fun (id, _, run) ->
           Printf.printf "\n##### %s #####\n%!" id;
@@ -99,5 +100,5 @@ let () =
         experiments;
       Printf.printf "\n##### micro #####\n%!";
       Micro.run ();
-      Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)
+      Printf.printf "\ntotal bench time: %.1f s\n" (Obs.Clock.elapsed_s t0)
   | _ -> usage ()

@@ -1,0 +1,38 @@
+(* Per-experiment run manifests (Obs.Report), written next to the CSVs.
+
+   main.ml wraps every experiment in [with_manifest]; experiment code
+   that wants to attach structure (per-run phase timings, per-worker
+   counters) calls [record] to reach the current report.  The manifest
+   always carries the experiment id, total wall-clock, and a snapshot of
+   the process-wide metrics registry. *)
+
+let dir : string option ref = ref None
+(* Defaults to the --csv directory when given, else "bench-manifests". *)
+
+let current : Obs.Report.t option ref = ref None
+
+let record f =
+  match !current with
+  | Some r -> f r
+  | None -> ()
+
+let target_dir () =
+  match !dir with Some d -> d | None -> "bench-manifests"
+
+let with_manifest id f =
+  let r = Obs.Report.create id in
+  (* Per-experiment metrics: start every experiment from zero so the
+     snapshot in its manifest covers exactly this experiment. *)
+  Obs.Metrics.reset ();
+  current := Some r;
+  Fun.protect
+    ~finally:(fun () -> current := None)
+    (fun () ->
+      let (), total_s = Obs.Clock.time f in
+      Obs.Report.add_phase r "total" total_s;
+      Obs.Report.set r "metrics" (Obs.Metrics.dump ());
+      let d = target_dir () in
+      if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+      let path = Filename.concat d (id ^ ".manifest.json") in
+      Obs.Report.write_file r path;
+      Printf.printf "manifest: %s\n%!" path)

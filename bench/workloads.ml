@@ -21,10 +21,9 @@ let random_structured ~seed n =
 let random_uniform ~seed n =
   Distmat.Gen.uniform_metric ~rng:(rng (seed + 104729)) n
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+(* Monotonic timing (Obs.Clock): wall-clock via gettimeofday could go
+   backwards under NTP adjustment and corrupt a whole table. *)
+let time = Obs.Clock.time
 
 (* Shared branch-and-bound budget for the "without compact sets"
    condition at sizes where the exact search does not terminate in

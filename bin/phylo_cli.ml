@@ -21,6 +21,92 @@ let read_matrix path =
   let named = Matrix_io.of_phylip (Matrix_io.read_file path) in
   (named.Matrix_io.names, named.Matrix_io.matrix)
 
+(* --- observability plumbing (see doc/observability.mld) ---
+
+   Every solving subcommand composes [obs_term]: it installs the Logs
+   reporter honouring -v/--verbosity, and returns a config whose
+   [with_obs] wrapper arranges for --trace / --metrics files to be
+   written when the command finishes (also on failure). *)
+
+type obs_cfg = {
+  trace : string option;
+  metrics : string option;
+  progress : Obs.Progress.t option;
+}
+
+let obs_setup style_renderer level trace metrics progress =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ~app:Fmt.stderr ~dst:Fmt.stderr ());
+  (* Progress lines are emitted at [info]; make sure they show when the
+     user asked for them, whatever the global verbosity. *)
+  if progress then Logs.Src.set_level Obs.Progress.src (Some Logs.Info);
+  {
+    trace;
+    metrics;
+    progress =
+      (if progress then Some (Obs.Progress.create ~interval_s:0.5 ())
+       else None);
+  }
+
+let obs_term =
+  let trace =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record spans and write them as Chrome-trace JSON to $(docv) \
+             (open at chrome://tracing or ui.perfetto.dev).")
+  in
+  let metrics =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Dump the metrics registry as JSON to $(docv) on exit.")
+  in
+  let progress =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Stream live branch-and-bound progress (expanded / pruned / \
+             open-list / UB-LB gap) to stderr twice a second.")
+  in
+  Cmdliner.Term.(
+    const obs_setup $ Fmt_cli.style_renderer () $ Logs_cli.level () $ trace
+    $ metrics $ progress)
+
+(* Fail before the (possibly long) run, not after it, when a telemetry
+   output path cannot be written. *)
+let check_writable = function
+  | None -> ()
+  | Some path -> (
+      try close_out (open_out path)
+      with Sys_error e ->
+        Fmt.epr "phylo: cannot write %s@." e;
+        exit 1)
+
+let with_obs cfg f =
+  check_writable cfg.trace;
+  check_writable cfg.metrics;
+  (match cfg.trace with
+  | Some _ -> Obs.Span.install (Obs.Span.create ())
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      (match (cfg.trace, Obs.Span.installed ()) with
+      | Some path, Some buf ->
+          Obs.Span.write_chrome buf path;
+          Logs.info (fun m ->
+              m "wrote %d spans to %s" (Obs.Span.length buf) path)
+      | _ -> ());
+      match cfg.metrics with
+      | Some path -> Obs.Metrics.write_file path
+      | None -> ())
+    f
+
 let write_or_print output contents =
   match output with
   | None -> print_string contents
@@ -192,12 +278,13 @@ let tree_cmd =
              companion paper's Step 7) and print them all, plus their \
              strict consensus.")
   in
-  let run input method_ linkage workers all nexus output =
+  let run cfg input method_ linkage workers all nexus output =
+    with_obs cfg @@ fun () ->
     let names, m = read_matrix input in
     match (method_, all) with
     | `Exact, true ->
         let options = { Solver.default_options with collect_all = true } in
-        let r = Solver.solve ~options m in
+        let r = Solver.solve ~options ?progress:cfg.progress m in
         Fmt.epr "optimum %g; %d optimal tree(s)@." r.Solver.cost
           (List.length r.Solver.all_optimal);
         let buf = Buffer.create 256 in
@@ -218,8 +305,12 @@ let tree_cmd =
         let tree =
           match method_ with
           | `Compact ->
-              (Pipeline.with_compact_sets ~linkage ~workers m).Pipeline.tree
-          | `Exact -> (Pipeline.exact ~workers m).Pipeline.tree
+              (Pipeline.with_compact_sets ~linkage ~workers
+                 ?progress:cfg.progress m)
+                .Pipeline.tree
+          | `Exact ->
+              (Pipeline.exact ~workers ?progress:cfg.progress m)
+                .Pipeline.tree
           | `Upgmm -> Clustering.Linkage.upgmm m
           | `Upgma ->
               Ultra.Utree.minimal_realization m (Clustering.Linkage.upgma m)
@@ -239,15 +330,45 @@ let tree_cmd =
     (Cmd.info "tree"
        ~doc:"Construct an ultrametric tree (Newick or NEXUS output).")
     Term.(
-      const run $ input_arg $ method_opt $ linkage_opt $ workers_opt $ all
-      $ nexus $ output_opt)
+      const run $ obs_term $ input_arg $ method_opt $ linkage_opt
+      $ workers_opt $ all $ nexus $ output_opt)
 
 (* --- compare --- *)
 
 let compare_cmd =
-  let run input linkage workers =
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Write the run manifest (phase timings, per-block search \
+             counters, headline percentages) as JSON to $(docv).")
+  in
+  let cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cap" ] ~docv:"N"
+          ~doc:
+            "Stop each branch-and-bound search after expanding $(docv) \
+             nodes (the papers' budget for sizes where the exact search \
+             is \"unendurable\"); capped runs report the best tree found \
+             within the budget.")
+  in
+  let run cfg input linkage workers cap manifest =
+    check_writable manifest;
+    with_obs cfg @@ fun () ->
     let _, m = read_matrix input in
-    let c = Pipeline.compare_methods ~linkage ~workers m in
+    let options =
+      match cap with
+      | None -> Bnb.Solver.default_options
+      | Some n -> { Bnb.Solver.default_options with max_expanded = Some n }
+    in
+    let c =
+      Pipeline.compare_methods ~linkage ~options ~workers
+        ?progress:cfg.progress m
+    in
     Fmt.pr "@[<v>with compact sets:    cost %-12g %8.4f s (%d blocks, largest %d)@,"
       c.Pipeline.with_cs.Pipeline.cost c.Pipeline.with_cs.Pipeline.elapsed_s
       c.Pipeline.with_cs.Pipeline.n_blocks
@@ -256,12 +377,23 @@ let compare_cmd =
       c.Pipeline.without_cs.Pipeline.cost
       c.Pipeline.without_cs.Pipeline.elapsed_s;
     Fmt.pr "time saved:           %.2f %%@,cost increase:        %.2f %%@]@."
-      c.Pipeline.time_saved_pct c.Pipeline.cost_increase_pct
+      c.Pipeline.time_saved_pct c.Pipeline.cost_increase_pct;
+    Logs.info (fun msg ->
+        msg "search stats with CS: %a" Bnb.Stats.pp
+          c.Pipeline.with_cs.Pipeline.stats);
+    Logs.info (fun msg ->
+        msg "search stats without CS: %a" Bnb.Stats.pp
+          c.Pipeline.without_cs.Pipeline.stats);
+    match manifest with
+    | Some path -> Obs.Report.write_file c.Pipeline.report path
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare construction with and without compact sets.")
-    Term.(const run $ input_arg $ linkage_opt $ workers_opt)
+    Term.(
+      const run $ obs_term $ input_arg $ linkage_opt $ workers_opt $ cap
+      $ manifest)
 
 (* --- render --- *)
 
@@ -271,13 +403,17 @@ let render_cmd =
       value & flag
       & info [ "svg" ] ~doc:"Emit an SVG document instead of ASCII art.")
   in
-  let run input method_ linkage workers svg output =
+  let run cfg input method_ linkage workers svg output =
+    with_obs cfg @@ fun () ->
     let names, m = read_matrix input in
     let tree =
       match method_ with
       | `Compact ->
-          (Pipeline.with_compact_sets ~linkage ~workers m).Pipeline.tree
-      | `Exact -> (Pipeline.exact ~workers m).Pipeline.tree
+          (Pipeline.with_compact_sets ~linkage ~workers
+             ?progress:cfg.progress m)
+            .Pipeline.tree
+      | `Exact ->
+          (Pipeline.exact ~workers ?progress:cfg.progress m).Pipeline.tree
       | `Upgmm -> Clustering.Linkage.upgmm m
       | `Upgma ->
           Ultra.Utree.minimal_realization m (Clustering.Linkage.upgma m)
@@ -294,8 +430,8 @@ let render_cmd =
     (Cmd.info "render"
        ~doc:"Construct a tree and draw it as an ASCII or SVG dendrogram.")
     Term.(
-      const run $ input_arg $ method_opt $ linkage_opt $ workers_opt $ svg
-      $ output_opt)
+      const run $ obs_term $ input_arg $ method_opt $ linkage_opt
+      $ workers_opt $ svg $ output_opt)
 
 (* --- treedist --- *)
 
@@ -382,7 +518,8 @@ let report_cmd =
           ~doc:"Emit a standalone HTML report (with an SVG dendrogram) \
                 instead of text.")
   in
-  let run input linkage workers html output =
+  let run cfg input linkage workers html output =
+    with_obs cfg @@ fun () ->
     let names, m = read_matrix input in
     let n = Dist_matrix.size m in
     if html then begin
@@ -432,8 +569,9 @@ let report_cmd =
        ~doc:
          "Full analysis report of a matrix (markdown-flavoured text, or \
           HTML with $(b,--html)).")
-    Term.(const run $ input_arg $ linkage_opt $ workers_opt $ html
-    $ output_opt)
+    Term.(
+      const run $ obs_term $ input_arg $ linkage_opt $ workers_opt $ html
+      $ output_opt)
 
 (* --- align (the sequences model, from FASTA) --- *)
 
@@ -465,7 +603,8 @@ let align_cmd =
           ~doc:"With $(b,--tree): annotate clades with $(docv)-replicate \
                 bootstrap support.")
   in
-  let run fasta matrix_out with_tree bootstrap workers output =
+  let run cfg fasta matrix_out with_tree bootstrap workers output =
+    with_obs cfg @@ fun () ->
     let entries = Seqsim.Fasta.read_file fasta in
     let names = Array.of_list (List.map (fun e -> e.Seqsim.Fasta.name) entries) in
     let seqs = Array.of_list (List.map (fun e -> e.Seqsim.Fasta.seq) entries) in
@@ -520,7 +659,7 @@ let align_cmd =
           distance matrix and the compact-set tree with bootstrap \
           support.")
     Term.(
-      const run $ fasta_arg $ matrix_out $ with_tree $ bootstrap
+      const run $ obs_term $ fasta_arg $ matrix_out $ with_tree $ bootstrap
       $ workers_opt $ output_opt)
 
 (* --- simulate --- *)
@@ -538,7 +677,18 @@ let simulate_cmd =
       & info [ "grid" ]
           ~doc:"Use the grid platform (WAN latency) instead of the cluster.")
   in
-  let run input slaves grid =
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Write the run manifest (per-slave expansion/pruning counters \
+             and utilization) as JSON to $(docv).")
+  in
+  let run cfg input slaves grid manifest =
+    check_writable manifest;
+    with_obs cfg @@ fun () ->
     let _, m = read_matrix input in
     let platform =
       if grid then Platform.grid ~sites:[ (slaves, 30_000.) ]
@@ -548,12 +698,15 @@ let simulate_cmd =
     Fmt.pr "@[<v>cost:       %g@,makespan:   %.6f virtual s@,"
       r.Dist_bnb.cost r.Dist_bnb.makespan;
     Fmt.pr "expansions: %d@,messages:   %d@]@." r.Dist_bnb.expansions
-      r.Dist_bnb.messages
+      r.Dist_bnb.messages;
+    match manifest with
+    | Some path -> Obs.Report.write_file r.Dist_bnb.report path
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the construction on the simulated cluster or grid.")
-    Term.(const run $ input_arg $ slaves $ grid)
+    Term.(const run $ obs_term $ input_arg $ slaves $ grid $ manifest)
 
 let () =
   let doc =

@@ -1,5 +1,38 @@
 open Import
 
+let src = Logs.Src.create "compactphy.solver" ~doc:"Sequential branch-and-bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Cumulative process-wide metrics (see Obs.Metrics).  Counters are
+   flushed once per solve from the run's Stats — zero cost in the inner
+   loop; the histograms record the per-solve distribution. *)
+module M = struct
+  let solves = lazy (Obs.Metrics.counter "bnb.solves")
+  let expanded = lazy (Obs.Metrics.counter "bnb.expanded")
+  let generated = lazy (Obs.Metrics.counter "bnb.generated")
+  let pruned = lazy (Obs.Metrics.counter "bnb.pruned")
+  let pruned_33 = lazy (Obs.Metrics.counter "bnb.pruned_33")
+  let ub_updates = lazy (Obs.Metrics.counter "bnb.ub_updates")
+  let expanded_per_solve = lazy (Obs.Metrics.histogram "bnb.expanded_per_solve")
+  let solve_ms = lazy (Obs.Metrics.histogram "bnb.solve_ms")
+  let max_open = lazy (Obs.Metrics.histogram "bnb.max_open_per_solve")
+
+  let flush (stats : Stats.t) elapsed_s =
+    Obs.Metrics.incr (Lazy.force solves);
+    Obs.Metrics.add (Lazy.force expanded) stats.Stats.expanded;
+    Obs.Metrics.add (Lazy.force generated) stats.Stats.generated;
+    Obs.Metrics.add (Lazy.force pruned) stats.Stats.pruned;
+    Obs.Metrics.add (Lazy.force pruned_33) stats.Stats.pruned_33;
+    Obs.Metrics.add (Lazy.force ub_updates) stats.Stats.ub_updates;
+    Obs.Metrics.observe
+      (Lazy.force expanded_per_solve)
+      (float_of_int stats.Stats.expanded);
+    Obs.Metrics.observe (Lazy.force max_open)
+      (float_of_int stats.Stats.max_open);
+    Obs.Metrics.observe (Lazy.force solve_ms) (elapsed_s *. 1e3)
+end
+
 type lb_kind = LB0 | LB1
 type mode33 = Off | Third_only | Every_insertion
 type initial_ub = Upgmm_ub | Upgma_ub | Nj_ub | No_heuristic_ub
@@ -152,7 +185,7 @@ end
 
 let tie_eps = 1e-9
 
-let solve ?(options = default_options) dm =
+let solve ?(options = default_options) ?progress dm =
   let n = Dist_matrix.size dm in
   if n = 1 then
     {
@@ -162,7 +195,11 @@ let solve ?(options = default_options) dm =
       all_optimal = [ Utree.leaf 0 ];
       stats = Stats.create ();
     }
-  else begin
+  else
+    Obs.Span.with_span "bnb.solve"
+      ~args:[ ("n", Obs.Json.Int n) ]
+      @@ fun () ->
+    let t_start = Obs.Clock.counter () in
     let problem = prepare ~options dm in
     let stats = Stats.create () in
     let ub = ref problem.ub0 in
@@ -241,12 +278,20 @@ let solve ?(options = default_options) dm =
                 else if not (prunable c.lb) then push c
                 else stats.Stats.pruned <- stats.Stats.pruned + 1)
               (List.rev children);
-            stats.Stats.max_open <-
-              Int.max stats.Stats.max_open (open_length ())
+            let olen = open_length () in
+            stats.Stats.max_open <- Int.max stats.Stats.max_open olen;
+            match progress with
+            | None -> ()
+            | Some p ->
+                Obs.Progress.sample p ~worker:0
+                  ~expanded:stats.Stats.expanded ~pruned:stats.Stats.pruned
+                  ~open_depth:olen ~ub:!ub ~lb:node.Bb_tree.lb
           end;
           loop ()
     in
     loop ();
+    M.flush stats (Obs.Clock.elapsed_s t_start);
+    Log.debug (fun m -> m "solve n=%d done: %a" n Stats.pp stats);
     match !best with
     | Some t ->
         let tree = relabel_out problem t in
@@ -267,4 +312,3 @@ let solve ?(options = default_options) dm =
           all_optimal = [ fallback ];
           stats;
         }
-  end

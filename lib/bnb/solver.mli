@@ -62,12 +62,24 @@ type outcome = {
   stats : Stats.t;
 }
 
-val solve : ?options:options -> Dist_matrix.t -> outcome
+val src : Logs.src
+(** Log source ["compactphy.solver"]. *)
+
+val solve :
+  ?options:options -> ?progress:Obs.Progress.t -> Dist_matrix.t -> outcome
 (** Construct the minimum ultrametric tree of a metric distance matrix.
     With [relation33 <> Off] the search is restricted and the result can
     in principle be slightly costlier than the true optimum (empirically
     it is not — see the test suite).  Handles [n = 1] and [n = 2]
-    directly.  @raise Invalid_argument on an empty matrix. *)
+    directly.
+
+    Telemetry: the whole search runs under an [Obs.Span] named
+    ["bnb.solve"]; pass [progress] to get rate-limited live samples
+    (expanded/pruned/open-depth/UB-LB gap) from the inner loop; the
+    final stats are also flushed into the [bnb.*] metrics of
+    {!Obs.Metrics.default}.
+
+    @raise Invalid_argument on an empty matrix. *)
 
 (** {2 Shared plumbing}
 

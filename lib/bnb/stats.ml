@@ -17,7 +17,14 @@ let create () =
     max_open = 0;
   }
 
+(* All counters are sums — except [max_open], which is a per-run
+   high-water mark and therefore combines by MAX.  The result is the
+   largest open list any single accumulated run saw, not the open-list
+   peak of a hypothetical combined run; summing it would double-count
+   when accumulating sequential per-block runs (Pipeline) just as much
+   as concurrent per-worker runs (Par_bnb). *)
 let add acc s =
+  assert (s.expanded >= 0 && s.generated >= 0 && s.pruned >= 0);
   acc.expanded <- acc.expanded + s.expanded;
   acc.generated <- acc.generated + s.generated;
   acc.pruned <- acc.pruned + s.pruned;
@@ -29,3 +36,16 @@ let pp ppf s =
   Format.fprintf ppf
     "expanded=%d generated=%d pruned=%d pruned33=%d ub_updates=%d max_open=%d"
     s.expanded s.generated s.pruned s.pruned_33 s.ub_updates s.max_open
+
+let to_json s =
+  Obs.Json.Obj
+    [
+      ("expanded", Obs.Json.Int s.expanded);
+      ("generated", Obs.Json.Int s.generated);
+      ("pruned", Obs.Json.Int s.pruned);
+      ("pruned_33", Obs.Json.Int s.pruned_33);
+      ("ub_updates", Obs.Json.Int s.ub_updates);
+      ("max_open", Obs.Json.Int s.max_open);
+    ]
+
+let pp_json ppf s = Format.pp_print_string ppf (Obs.Json.to_string (to_json s))

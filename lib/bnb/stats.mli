@@ -10,7 +10,18 @@ type t = {
 }
 
 val create : unit -> t
+
 val add : t -> t -> unit
-(** [add acc s] accumulates [s] into [acc] (max for [max_open]). *)
+(** [add acc s] accumulates [s] into [acc].  Every counter is summed
+    {e except} [max_open], which combines by maximum: it is a per-run
+    high-water mark, so the accumulated value reports the deepest open
+    list of any single constituent run (per block in the pipeline, per
+    worker in the parallel solver) — not the sum of the peaks. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Obs.Json.t
+(** The counters as a JSON object, for run manifests. *)
+
+val pp_json : Format.formatter -> t -> unit
+(** [pp] in JSON form (one object, no trailing newline). *)

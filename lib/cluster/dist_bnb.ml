@@ -1,5 +1,11 @@
 open Import
 
+let src =
+  Logs.Src.create "compactphy.distbnb"
+    ~doc:"Master/slave branch-and-bound on the simulated cluster"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type result = {
   cost : float;
   tree : Utree.t;
@@ -8,6 +14,7 @@ type result = {
   messages : int;
   n_slaves : int;
   utilization : float array;
+  report : Obs.Report.t;
 }
 
 type slave = {
@@ -19,6 +26,8 @@ type slave = {
   mutable pending : bool;  (** requested work from the master *)
   mutable stopped : bool;
   mutable busy_time : float;  (** accumulated virtual compute time *)
+  mutable n_expanded : int;  (** BBT expansions done by this slave *)
+  mutable n_pruned : int;  (** nodes this slave pruned against its UB view *)
 }
 
 type master = {
@@ -44,9 +53,16 @@ let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
       messages = 0;
       n_slaves = p;
       utilization = Array.make p 0.;
+      report = Obs.Report.create "dist_bnb";
     }
   end
-  else begin
+  else
+    Obs.Span.with_span "distbnb.run"
+      ~args:[ ("n", Obs.Json.Int n); ("slaves", Obs.Json.Int p) ]
+    @@ fun () ->
+    let report = Obs.Report.create "dist_bnb" in
+    Obs.Report.set report "n" (Obs.Json.Int n);
+    Obs.Report.set report "n_slaves" (Obs.Json.Int p);
     let problem = Solver.prepare ~options dm in
     let sim = Sim.create () in
     let stats = Stats.create () in
@@ -75,6 +91,8 @@ let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
             pending = false;
             stopped = false;
             busy_time = 0.;
+            n_expanded = 0;
+            n_pruned = 0;
           })
     in
     let send delay handler =
@@ -117,6 +135,7 @@ let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
             s.lp <- rest;
             if node.Bb_tree.lb >= s.ub_view then begin
               stats.Stats.pruned <- stats.Stats.pruned + 1;
+              s.n_pruned <- s.n_pruned + 1;
               (* Pruning is an order of magnitude cheaper than
                  expanding. *)
               s.busy <- true;
@@ -125,6 +144,7 @@ let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
             end
             else begin
               incr expansions;
+              s.n_expanded <- s.n_expanded + 1;
               if !expansions > max_expansions then
                 raise Expansion_budget_exceeded;
               let children = Solver.expand problem node stats in
@@ -137,7 +157,10 @@ let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
                     end
                   end
                   else if c.lb < s.ub_view then s.lp <- c :: s.lp
-                  else stats.Stats.pruned <- stats.Stats.pruned + 1)
+                  else begin
+                    stats.Stats.pruned <- stats.Stats.pruned + 1;
+                    s.n_pruned <- s.n_pruned + 1
+                  end)
                 (List.rev children);
               (* Two-level load balancing: feed the global pool whenever
                  it is dry and someone is waiting for work. *)
@@ -232,7 +255,14 @@ let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
           incr expansions;
           widen (rest @ Solver.expand problem nd stats)
     in
-    let seeds = widen [ Bb_tree.root problem.Solver.pm ] in
+    let seeds, seed_wall_s =
+      Obs.Clock.time (fun () -> widen [ Bb_tree.root problem.Solver.pm ])
+    in
+    Obs.Report.add_phase report "seed" seed_wall_s
+      ~meta:[ ("frontier", Obs.Json.Int (List.length seeds)) ];
+    Log.debug (fun m ->
+        m "seeded %d slaves with %d nodes (initial UB %g)" p
+          (List.length seeds) problem.Solver.ub0);
     let seed_time =
       float_of_int !expansions /. platform.Platform.master_speed
     in
@@ -256,10 +286,14 @@ let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
         (* Everything was solved during seeding (tiny n). *)
         ()
     | _ -> ());
-    (match Sim.run sim with
-    | () -> ()
-    | exception Expansion_budget_exceeded ->
-        failwith "Dist_bnb.run: expansion budget exceeded");
+    let (), sim_wall_s =
+      Obs.Clock.time (fun () ->
+          match Sim.run sim with
+          | () -> ()
+          | exception Expansion_budget_exceeded ->
+              failwith "Dist_bnb.run: expansion budget exceeded")
+    in
+    Obs.Report.add_phase report "simulate" sim_wall_s;
     let cost, tree =
       match master.best with
       | Some t -> ((match master.ub with u -> u), Solver.relabel_out problem t)
@@ -267,6 +301,30 @@ let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
       (* UPGMM always provides an incumbent. *)
     in
     let makespan = Sim.now sim in
+    let utilization =
+      Array.map
+        (fun s -> if makespan > 0. then s.busy_time /. makespan else 0.)
+        slaves
+    in
+    Log.debug (fun m ->
+        m "simulated run done: makespan %.6f vs, %d expansions, %d messages"
+          makespan !expansions !messages);
+    Array.iter
+      (fun s ->
+        Obs.Report.add_worker report
+          [
+            ("slave", Obs.Json.Int s.id);
+            ("speed", Obs.Json.Float s.speed);
+            ("expanded", Obs.Json.Int s.n_expanded);
+            ("pruned", Obs.Json.Int s.n_pruned);
+            ("busy_time_vs", Obs.Json.Float s.busy_time);
+            ("utilization", Obs.Json.Float utilization.(s.id));
+          ])
+      slaves;
+    Obs.Report.set report "makespan_vs" (Obs.Json.Float makespan);
+    Obs.Report.set report "expansions" (Obs.Json.Int !expansions);
+    Obs.Report.set report "messages" (Obs.Json.Int !messages);
+    Obs.Report.set report "stats" (Stats.to_json stats);
     {
       cost;
       tree;
@@ -274,12 +332,9 @@ let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
       expansions = !expansions;
       messages = !messages;
       n_slaves = p;
-      utilization =
-        Array.map
-          (fun s -> if makespan > 0. then s.busy_time /. makespan else 0.)
-          slaves;
+      utilization;
+      report;
     }
-  end
 
 let speedup ?options base par dm =
   let b = run ?options base dm and q = run ?options par dm in

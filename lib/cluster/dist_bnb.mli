@@ -22,7 +22,14 @@ type result = {
   utilization : float array;
       (** per-slave busy fraction of the makespan — the load-balance
           picture behind the papers' global/local pool design *)
+  report : Obs.Report.t;
+      (** run manifest: seed/simulate wall-clock phases and one entry
+          per slave (expansions, prunings, virtual busy time,
+          utilization) *)
 }
+
+val src : Logs.src
+(** Log source ["compactphy.distbnb"]. *)
 
 val run :
   ?options:Solver.options ->

@@ -4,6 +4,13 @@ let src = Logs.Src.create "compactphy.pipeline" ~doc:"Compact-set pipeline"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Process-wide pipeline metrics (Obs.Metrics.default). *)
+module M = struct
+  let runs = lazy (Obs.Metrics.counter "pipeline.runs")
+  let block_size = lazy (Obs.Metrics.histogram "pipeline.block_size")
+  let blocks_per_run = lazy (Obs.Metrics.histogram "pipeline.blocks_per_run")
+end
+
 type run = {
   tree : Utree.t;
   cost : float;
@@ -12,49 +19,83 @@ type run = {
   n_blocks : int;
   largest_block : int;
   optimal : bool;
+  report : Obs.Report.t;
 }
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let x = f () in
-  (x, Unix.gettimeofday () -. t0)
-
-let solve_small ~options ~workers stats optimal small =
-  if Dist_matrix.size small = 1 then Utree.leaf 0
-  else if workers <= 1 then begin
-    let r = Solver.solve ~options small in
-    Stats.add stats r.Solver.stats;
-    if not r.Solver.optimal then optimal := false;
-    r.Solver.tree
-  end
+let solve_small ~options ~workers ~progress ~report stats optimal small =
+  let size = Dist_matrix.size small in
+  if size = 1 then Utree.leaf 0
   else begin
-    let r = Par_bnb.solve ~options ~n_workers:workers small in
-    Stats.add stats r.Par_bnb.stats;
-    if not r.Par_bnb.optimal then optimal := false;
-    r.Par_bnb.tree
+    let block_stats, tree =
+      if workers <= 1 then begin
+        let r = Solver.solve ~options ?progress small in
+        if not r.Solver.optimal then optimal := false;
+        (r.Solver.stats, r.Solver.tree)
+      end
+      else begin
+        let r = Par_bnb.solve ~options ?progress ~n_workers:workers small in
+        if not r.Par_bnb.optimal then optimal := false;
+        (r.Par_bnb.stats, r.Par_bnb.tree)
+      end
+    in
+    Stats.add stats block_stats;
+    Obs.Metrics.observe (Lazy.force M.block_size) (float_of_int size);
+    Obs.Report.add_worker report
+      [
+        ("block_size", Obs.Json.Int size);
+        ("stats", Stats.to_json block_stats);
+      ];
+    tree
   end
 
-let exact ?(options = Solver.default_options) ?(workers = 1) dm =
+let finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block stats =
+  Obs.Metrics.incr (Lazy.force M.runs);
+  Obs.Metrics.observe (Lazy.force M.blocks_per_run) (float_of_int n_blocks);
+  Obs.Report.set report "elapsed_s" (Obs.Json.Float elapsed_s);
+  Obs.Report.set report "cost" (Obs.Json.Float cost);
+  Obs.Report.set report "n_blocks" (Obs.Json.Int n_blocks);
+  Obs.Report.set report "largest_block" (Obs.Json.Int largest_block);
+  Obs.Report.set report "stats" (Stats.to_json stats)
+
+let exact ?(options = Solver.default_options) ?(workers = 1) ?progress dm =
+  Obs.Span.with_span "pipeline.exact"
+    ~args:[ ("n", Obs.Json.Int (Dist_matrix.size dm)) ]
+  @@ fun () ->
+  let report = Obs.Report.create "pipeline.exact" in
+  Obs.Report.set report "n" (Obs.Json.Int (Dist_matrix.size dm));
   let stats = Stats.create () in
   let optimal = ref true in
   let tree, elapsed_s =
-    timed (fun () -> solve_small ~options ~workers stats optimal dm)
+    Obs.Clock.time (fun () ->
+        Obs.Report.timed_phase report "solve" (fun () ->
+            solve_small ~options ~workers ~progress ~report stats optimal dm))
   in
+  let cost = Utree.weight tree in
+  let largest_block = Dist_matrix.size dm in
+  finish_report report ~elapsed_s ~cost ~n_blocks:1 ~largest_block stats;
   {
     tree;
-    cost = Utree.weight tree;
+    cost;
     elapsed_s;
     stats;
     n_blocks = 1;
-    largest_block = Dist_matrix.size dm;
+    largest_block;
     optimal = !optimal;
+    report;
   }
 
 let with_compact_sets ?(linkage = Decompose.Max) ?relaxation
-    ?(options = Solver.default_options) ?(workers = 1) dm =
+    ?(options = Solver.default_options) ?(workers = 1) ?progress dm =
   let n = Dist_matrix.size dm in
   if n = 0 then invalid_arg "Pipeline.with_compact_sets: empty matrix";
-  if n = 1 then
+  Obs.Span.with_span "pipeline.with_compact_sets"
+    ~args:[ ("n", Obs.Json.Int n) ]
+  @@ fun () ->
+  let report = Obs.Report.create "pipeline.with_compact_sets" in
+  Obs.Report.set report "n" (Obs.Json.Int n);
+  if n = 1 then begin
+    finish_report report ~elapsed_s:0. ~cost:0. ~n_blocks:1 ~largest_block:1
+      (Stats.create ());
     {
       tree = Utree.leaf 0;
       cost = 0.;
@@ -63,13 +104,18 @@ let with_compact_sets ?(linkage = Decompose.Max) ?relaxation
       n_blocks = 1;
       largest_block = 1;
       optimal = true;
+      report;
     }
+  end
   else begin
     let stats = Stats.create () in
     let optimal = ref true in
     let (tree, deco), elapsed_s =
-      timed (fun () ->
-          let deco = Decompose.decompose ~linkage ?relaxation dm in
+      Obs.Clock.time (fun () ->
+          let deco =
+            Obs.Report.timed_phase report "decompose" (fun () ->
+                Decompose.decompose ~linkage ?relaxation dm)
+          in
           Log.debug (fun m ->
               m "decomposed %d species into %d blocks (largest %d)" n
                 (Decompose.n_blocks deco)
@@ -87,13 +133,16 @@ let with_compact_sets ?(linkage = Decompose.Max) ?relaxation
             | [ only ] -> build_child only
             | children ->
                 let small_tree =
-                  solve_small ~options ~workers stats optimal
-                    block.Decompose.small
+                  solve_small ~options ~workers ~progress ~report stats
+                    optimal block.Decompose.small
                 in
                 let arr = Array.of_list children in
                 Utree.map_leaves (fun a -> build_child arr.(a)) small_tree
           in
-          let merged = solve_block deco.Decompose.root_block in
+          let merged =
+            Obs.Report.timed_phase report "solve-blocks" (fun () ->
+                solve_block deco.Decompose.root_block)
+          in
           Log.debug (fun m ->
               m "blocks solved: %d BBT nodes expanded in total"
                 stats.Stats.expanded);
@@ -101,16 +150,23 @@ let with_compact_sets ?(linkage = Decompose.Max) ?relaxation
              matrix yields the cheapest feasible ultrametric tree with
              that topology (and repairs any height inversion the Min/Avg
              linkages can introduce). *)
-          (Utree.minimal_realization dm merged, deco))
+          ( Obs.Report.timed_phase report "re-realise" (fun () ->
+                Utree.minimal_realization dm merged),
+            deco ))
     in
+    let cost = Utree.weight tree in
+    let n_blocks = Decompose.n_blocks deco in
+    let largest_block = Decompose.largest_block deco in
+    finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block stats;
     {
       tree;
-      cost = Utree.weight tree;
+      cost;
       elapsed_s;
       stats;
-      n_blocks = Decompose.n_blocks deco;
-      largest_block = Decompose.largest_block deco;
+      n_blocks;
+      largest_block;
       optimal = !optimal;
+      report;
     }
   end
 
@@ -119,11 +175,12 @@ type comparison = {
   without_cs : run;
   time_saved_pct : float;
   cost_increase_pct : float;
+  report : Obs.Report.t;
 }
 
-let compare_methods ?linkage ?options ?workers dm =
-  let with_cs = with_compact_sets ?linkage ?options ?workers dm in
-  let without_cs = exact ?options ?workers dm in
+let compare_methods ?linkage ?options ?workers ?progress dm =
+  let with_cs = with_compact_sets ?linkage ?options ?workers ?progress dm in
+  let without_cs = exact ?options ?workers ?progress dm in
   let time_saved_pct =
     if without_cs.elapsed_s <= 0. then 0.
     else
@@ -134,4 +191,11 @@ let compare_methods ?linkage ?options ?workers dm =
     if without_cs.cost <= 0. then 0.
     else (with_cs.cost -. without_cs.cost) /. without_cs.cost *. 100.
   in
-  { with_cs; without_cs; time_saved_pct; cost_increase_pct }
+  let report = Obs.Report.create "pipeline.compare_methods" in
+  Obs.Report.set report "n" (Obs.Json.Int (Dist_matrix.size dm));
+  Obs.Report.set report "time_saved_pct" (Obs.Json.Float time_saved_pct);
+  Obs.Report.set report "cost_increase_pct"
+    (Obs.Json.Float cost_increase_pct);
+  Obs.Report.set report "with_cs" (Obs.Report.to_json with_cs.report);
+  Obs.Report.set report "without_cs" (Obs.Report.to_json without_cs.report);
+  { with_cs; without_cs; time_saved_pct; cost_increase_pct; report }

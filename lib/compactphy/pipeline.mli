@@ -22,24 +22,43 @@ type run = {
       (** [exact]: global optimality; [with_compact_sets]: every block
           was solved to optimality (the merged tree itself is
           near-optimal, not guaranteed optimal) *)
+  report : Obs.Report.t;
+      (** run manifest: phase timings ([decompose] / [solve-blocks] /
+          [re-realise], or [solve] for {!exact}), one worker entry per
+          solved block (size + search counters), and the summary
+          fields; serialise with [Obs.Report.to_json] *)
 }
 
+val src : Logs.src
+(** Log source ["compactphy.pipeline"]. *)
+
 val exact :
-  ?options:Solver.options -> ?workers:int -> Dist_matrix.t -> run
+  ?options:Solver.options ->
+  ?workers:int ->
+  ?progress:Obs.Progress.t ->
+  Dist_matrix.t ->
+  run
 (** Minimum ultrametric tree of the full matrix.  [workers] defaults to
-    1 (sequential); more workers use the domain-parallel solver. *)
+    1 (sequential); more workers use the domain-parallel solver.
+    [progress] streams live solver samples (see [Obs.Progress]). *)
 
 val with_compact_sets :
   ?linkage:Decompose.linkage ->
   ?relaxation:float ->
   ?options:Solver.options ->
   ?workers:int ->
+  ?progress:Obs.Progress.t ->
   Dist_matrix.t ->
   run
 (** The paper's fast construction.  Default linkage [Max] (the variant
     the paper evaluates).  [relaxation >= 1.] (default 1.) uses
     alpha-compact sets, decomposing more aggressively on noisy data.
     [workers] parallelises the per-block solver.
+
+    Telemetry: the whole construction runs under an [Obs.Span] named
+    ["pipeline.with_compact_sets"], with nested phase spans matching the
+    manifest phases.
+
     @raise Invalid_argument on an empty matrix. *)
 
 type comparison = {
@@ -51,12 +70,16 @@ type comparison = {
   cost_increase_pct : float;
       (** [(c_with - c_without) / c_without * 100] — the paper reports
           under 5 % (random) and under 1.5 % (mtDNA) *)
+  report : Obs.Report.t;
+      (** both runs' manifests embedded under [with_cs] / [without_cs],
+          plus the two headline percentages *)
 }
 
 val compare_methods :
   ?linkage:Decompose.linkage ->
   ?options:Solver.options ->
   ?workers:int ->
+  ?progress:Obs.Progress.t ->
   Dist_matrix.t ->
   comparison
 (** Run both conditions on the same matrix — one row of the paper's

@@ -1,0 +1,15 @@
+let now_ns = Monotonic_clock.now
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+let ns_to_us ns = Int64.to_float ns /. 1e3
+
+type counter = int64
+
+let counter () = now_ns ()
+let elapsed_ns c = Int64.sub (now_ns ()) c
+let elapsed_s c = ns_to_s (elapsed_ns c)
+
+let time f =
+  let c = counter () in
+  let x = f () in
+  (x, elapsed_s c)

@@ -1,0 +1,21 @@
+(** Monotonic wall clock.
+
+    All telemetry timing goes through this module rather than
+    [Unix.gettimeofday]: the monotonic clock cannot go backwards or jump
+    under NTP adjustment, so elapsed times are always non-negative. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on [CLOCK_MONOTONIC].  Only differences are meaningful. *)
+
+val ns_to_s : int64 -> float
+val ns_to_us : int64 -> float
+
+type counter
+(** A started stopwatch. *)
+
+val counter : unit -> counter
+val elapsed_ns : counter -> int64
+val elapsed_s : counter -> float
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed seconds. *)

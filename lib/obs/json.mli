@@ -1,0 +1,23 @@
+(** A minimal JSON document builder and serialiser.
+
+    The telemetry subsystem emits Chrome traces, metrics dumps, NDJSON
+    progress lines and run manifests; all of them build a {!t} and print
+    it.  There is deliberately no parser — nothing in this codebase
+    reads JSON back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val output : out_channel -> t -> unit
+
+val write_file : string -> t -> unit
+(** Serialise to [path] followed by a newline (truncating). *)

@@ -1,0 +1,163 @@
+(* Counters, gauges and log-scale histograms, cheap enough for the
+   branch-and-bound inner loop.  Mutation never takes a lock: every
+   metric is sharded into [n_shards] atomic cells and a writer touches
+   only the cell indexed by its domain id, so parallel workers do not
+   contend.  Readers merge the shards. *)
+
+let n_shards = 16 (* power of two *)
+
+let shard () = (Domain.self () :> int) land (n_shards - 1)
+
+type counter = { c_name : string; cells : int Atomic.t array }
+type gauge = { g_name : string; cell : float Atomic.t }
+
+let n_buckets = 32
+(* Bucket 0 holds values < 1; bucket i >= 1 holds [2^(i-1), 2^i); the
+   last bucket additionally collects the overflow.  Fixed bounds keep
+   merging trivial: same-index buckets add. *)
+
+type histogram = {
+  h_name : string;
+  buckets : int Atomic.t array array;  (* shard -> bucket -> count *)
+  sums : float Atomic.t array;  (* shard -> sum of observations *)
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+type registry = {
+  lock : Mutex.t;
+  tbl : (string, metric) Hashtbl.t;
+}
+
+let create_registry () = { lock = Mutex.create (); tbl = Hashtbl.create 64 }
+let default = create_registry ()
+
+let register registry name build inspect kind =
+  Mutex.lock registry.lock;
+  let m =
+    match Hashtbl.find_opt registry.tbl name with
+    | Some m -> m
+    | None ->
+        let m = build () in
+        Hashtbl.add registry.tbl name m;
+        m
+  in
+  Mutex.unlock registry.lock;
+  match inspect m with
+  | Some x -> x
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %S already registered as a %s" name kind)
+
+let counter ?(registry = default) name =
+  register registry name
+    (fun () ->
+      C { c_name = name; cells = Array.init n_shards (fun _ -> Atomic.make 0) })
+    (function C c -> Some c | _ -> None)
+    "non-counter"
+
+let gauge ?(registry = default) name =
+  register registry name
+    (fun () -> G { g_name = name; cell = Atomic.make Float.nan })
+    (function G g -> Some g | _ -> None)
+    "non-gauge"
+
+let histogram ?(registry = default) name =
+  register registry name
+    (fun () ->
+      H
+        {
+          h_name = name;
+          buckets =
+            Array.init n_shards (fun _ ->
+                Array.init n_buckets (fun _ -> Atomic.make 0));
+          sums = Array.init n_shards (fun _ -> Atomic.make 0.);
+        })
+    (function H h -> Some h | _ -> None)
+    "non-histogram"
+
+let add c n = ignore (Atomic.fetch_and_add c.cells.(shard ()) n)
+let incr c = add c 1
+let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.cells
+
+let set g x = Atomic.set g.cell x
+let gauge_value g = Atomic.get g.cell
+
+let bucket_of v =
+  if not (v >= 1.) then 0 (* also catches negatives and NaN *)
+  else
+    let _, e = Float.frexp v in
+    Int.min (n_buckets - 1) e
+
+let bucket_upper i = Float.ldexp 1. i (* 2^i, the exclusive upper bound *)
+
+let observe h v =
+  let s = shard () in
+  ignore (Atomic.fetch_and_add h.buckets.(s).(bucket_of v) 1);
+  (* CAS loop: several domains can share a shard if there are more than
+     [n_shards] of them. *)
+  let sum = h.sums.(s) in
+  let rec bump () =
+    let old = Atomic.get sum in
+    if not (Atomic.compare_and_set sum old (old +. v)) then bump ()
+  in
+  bump ()
+
+type histogram_snapshot = { counts : int array; count : int; sum : float }
+
+let histogram_value h =
+  let counts = Array.make n_buckets 0 in
+  Array.iter
+    (Array.iteri (fun i a -> counts.(i) <- counts.(i) + Atomic.get a))
+    h.buckets;
+  {
+    counts;
+    count = Array.fold_left ( + ) 0 counts;
+    sum = Array.fold_left (fun acc a -> acc +. Atomic.get a) 0. h.sums;
+  }
+
+let metric_to_json = function
+  | C c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int (counter_value c)) ]
+  | G g ->
+      Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float (Atomic.get g.cell)) ]
+  | H h ->
+      let s = histogram_value h in
+      let buckets =
+        Array.to_list s.counts
+        |> List.mapi (fun i n -> (i, n))
+        |> List.filter (fun (_, n) -> n > 0)
+        |> List.map (fun (i, n) ->
+               Json.Obj [ ("le", Json.Float (bucket_upper i)); ("count", Json.Int n) ])
+      in
+      Json.Obj
+        [
+          ("type", Json.String "histogram");
+          ("count", Json.Int s.count);
+          ("sum", Json.Float s.sum);
+          ("buckets", Json.List buckets);
+        ]
+
+let dump ?(registry = default) () =
+  Mutex.lock registry.lock;
+  let entries =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry.tbl []
+  in
+  Mutex.unlock registry.lock;
+  Json.Obj
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+    |> List.map (fun (name, m) -> (name, metric_to_json m)))
+
+let write_file ?registry path = Json.write_file path (dump ?registry ())
+
+let reset ?(registry = default) () =
+  Mutex.lock registry.lock;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> Array.iter (fun a -> Atomic.set a 0) c.cells
+      | G g -> Atomic.set g.cell Float.nan
+      | H h ->
+          Array.iter (Array.iter (fun a -> Atomic.set a 0)) h.buckets;
+          Array.iter (fun a -> Atomic.set a 0.) h.sums)
+    registry.tbl;
+  Mutex.unlock registry.lock

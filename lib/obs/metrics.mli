@@ -1,0 +1,66 @@
+(** A metrics registry: counters, gauges and fixed-log-bucket
+    histograms.
+
+    Designed for the branch-and-bound inner loop: mutation is lock-free
+    (one [Atomic.fetch_and_add] on a shard indexed by the writer's
+    domain id) and domain-safe; shards are merged on read.  Metrics are
+    registered by name — registering the same name twice returns the
+    same metric, so instrumentation sites can look metrics up lazily. *)
+
+type registry
+
+val create_registry : unit -> registry
+
+val default : registry
+(** The process-wide registry used when [?registry] is omitted — this is
+    what [--metrics FILE] dumps. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : ?registry:registry -> string -> counter
+(** @raise Invalid_argument if [name] is registered as another kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : ?registry:registry -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+(** NaN until the first {!set}. *)
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : ?registry:registry -> string -> histogram
+
+val observe : histogram -> float -> unit
+(** Bucket boundaries are fixed powers of two: bucket 0 counts values
+    below 1, bucket [i >= 1] counts [[2^(i-1), 2^i)], and the last
+    bucket collects the overflow; same-index buckets therefore merge by
+    addition across shards, workers and processes. *)
+
+val n_buckets : int
+val bucket_of : float -> int
+val bucket_upper : int -> float
+(** Exclusive upper bound of bucket [i] ([2^i]). *)
+
+type histogram_snapshot = { counts : int array; count : int; sum : float }
+
+val histogram_value : histogram -> histogram_snapshot
+(** Merged over shards. *)
+
+(** {1 Export} *)
+
+val dump : ?registry:registry -> unit -> Json.t
+(** All metrics (merged), as a name-sorted JSON object. *)
+
+val write_file : ?registry:registry -> string -> unit
+val reset : ?registry:registry -> unit -> unit

@@ -1,0 +1,34 @@
+(** Live progress reporting for long branch-and-bound solves.
+
+    A sampler ticker: solvers call {!sample} from their inner loops with
+    the current counters; at most one sample per [interval_s] is
+    emitted, either as a human-readable [Logs] line (level [info], source
+    ["obs.progress"]) or as one NDJSON object per line.  [sample] is
+    thread-safe and costs one monotonic-clock read plus one atomic load
+    when the tick is not due. *)
+
+val src : Logs.src
+
+type sink =
+  | Log_lines  (** emit via [Logs] on {!src} *)
+  | Ndjson of out_channel  (** one JSON object per line *)
+
+type t
+
+val create : ?interval_s:float -> ?sink:sink -> unit -> t
+(** [interval_s] defaults to 0.5 s. *)
+
+val sample :
+  t ->
+  worker:int ->
+  expanded:int ->
+  pruned:int ->
+  open_depth:int ->
+  ub:float ->
+  lb:float ->
+  unit
+(** Report the caller's current state; rate-limited internally.  [ub]
+    and [lb] may be infinite (reported gap is NaN). *)
+
+val gap_pct : ub:float -> lb:float -> float
+(** Relative optimality gap in percent, NaN when undefined. *)

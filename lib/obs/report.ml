@@ -1,0 +1,79 @@
+type phase = {
+  phase_name : string;
+  elapsed_s : float;
+  meta : (string * Json.t) list;
+}
+
+type t = {
+  name : string;
+  created_at : float;  (* Unix epoch seconds, for the manifest header *)
+  lock : Mutex.t;
+  mutable phases : phase list;  (* newest first *)
+  mutable fields : (string * Json.t) list;  (* newest first *)
+  mutable workers : Json.t list;  (* newest first *)
+}
+
+let create name =
+  {
+    name;
+    created_at = Unix.gettimeofday ();
+    lock = Mutex.create ();
+    phases = [];
+    fields = [];
+    workers = [];
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set t key v =
+  locked t (fun () ->
+      t.fields <- (key, v) :: List.remove_assoc key t.fields)
+
+let add_phase t ?(meta = []) phase_name elapsed_s =
+  locked t (fun () ->
+      t.phases <- { phase_name; elapsed_s; meta } :: t.phases)
+
+let timed_phase t ?meta name f =
+  (* One call site feeds both the manifest and the ambient trace, so
+     phase names line up across the two outputs. *)
+  let x, elapsed_s = Clock.time (fun () -> Span.with_span name f) in
+  add_phase t ?meta name elapsed_s;
+  x
+
+let add_worker t fields = locked t (fun () -> t.workers <- Json.Obj fields :: t.workers)
+
+let phases t =
+  locked t (fun () ->
+      List.rev_map (fun p -> (p.phase_name, p.elapsed_s)) t.phases)
+
+let phase_total_s t =
+  List.fold_left (fun acc (_, s) -> acc +. s) 0. (phases t)
+
+let to_json t =
+  locked t (fun () ->
+      let phase_json p =
+        Json.Obj
+          (("name", Json.String p.phase_name)
+          :: ("elapsed_s", Json.Float p.elapsed_s)
+          :: p.meta)
+      in
+      Json.Obj
+        ([
+           ("name", Json.String t.name);
+           ("created_at_epoch_s", Json.Float t.created_at);
+           ("phases", Json.List (List.rev_map phase_json t.phases));
+         ]
+        @ (if t.workers = [] then []
+           else [ ("workers", Json.List (List.rev t.workers)) ])
+        @ List.rev t.fields))
+
+let write_file t path = Json.write_file path (to_json t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>manifest %s@," t.name;
+  List.iter
+    (fun (name, s) -> Format.fprintf ppf "  %-24s %.6f s@," name s)
+    (phases t);
+  Format.fprintf ppf "@]"

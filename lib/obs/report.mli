@@ -1,0 +1,38 @@
+(** Machine-readable run manifests.
+
+    A report collects what one run did — named phase timings, arbitrary
+    key/value facts, and one entry per worker/block — and serialises to
+    a single JSON object.  Pipelines return one per run; the bench
+    harness writes one per experiment next to its CSV.  All operations
+    are thread-safe. *)
+
+type t
+
+val create : string -> t
+(** [create name] — [name] identifies the run (e.g. the experiment id);
+    the creation wall-clock time is recorded in the manifest header. *)
+
+val set : t -> string -> Json.t -> unit
+(** Set a top-level manifest field (last write per key wins). *)
+
+val add_phase : t -> ?meta:(string * Json.t) list -> string -> float -> unit
+(** [add_phase t name elapsed_s] appends a phase timing. *)
+
+val timed_phase : t -> ?meta:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Run the function, record its duration as a phase, {e and} record a
+    span of the same name into the ambient trace (see {!Span.install}),
+    so manifests and Chrome traces stay aligned. *)
+
+val add_worker : t -> (string * Json.t) list -> unit
+(** Append a per-worker (or per-block) entry to the [workers] array. *)
+
+val phases : t -> (string * float) list
+(** Phase timings in insertion order. *)
+
+val phase_total_s : t -> float
+
+val to_json : t -> Json.t
+val write_file : t -> string -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable phase summary. *)

@@ -1,0 +1,106 @@
+type event = {
+  name : string;
+  cat : string;
+  start_ns : int64;  (* relative to the buffer's origin *)
+  dur_ns : int64;
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+type buffer = {
+  lock : Mutex.t;
+  mutable events : event list;  (* newest first *)
+  mutable count : int;
+  capacity : int;
+  origin : int64;  (* monotonic ns at buffer creation *)
+}
+
+let create ?(capacity = 1_000_000) () =
+  {
+    lock = Mutex.create ();
+    events = [];
+    count = 0;
+    capacity;
+    origin = Clock.now_ns ();
+  }
+
+(* The ambient buffer.  [None] keeps [with_span] at the cost of one
+   atomic load, so instrumentation can stay in place permanently. *)
+let ambient : buffer option Atomic.t = Atomic.make None
+
+let install buf = Atomic.set ambient (Some buf)
+let uninstall () = Atomic.set ambient None
+let installed () = Atomic.get ambient
+let enabled () = Atomic.get ambient <> None
+
+let add buf ev =
+  Mutex.lock buf.lock;
+  if buf.count < buf.capacity then begin
+    buf.events <- ev :: buf.events;
+    buf.count <- buf.count + 1
+  end;
+  Mutex.unlock buf.lock
+
+let record buf ?(cat = "") ?(args = []) ~start_ns ~stop_ns name =
+  add buf
+    {
+      name;
+      cat;
+      start_ns = Int64.sub start_ns buf.origin;
+      dur_ns = Int64.max 0L (Int64.sub stop_ns start_ns);
+      tid = (Domain.self () :> int);
+      args;
+    }
+
+let with_span ?buffer ?cat ?args name f =
+  let buf =
+    match buffer with Some _ -> buffer | None -> Atomic.get ambient
+  in
+  match buf with
+  | None -> f ()
+  | Some buf ->
+      let start_ns = Clock.now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          record buf ?cat ?args ~start_ns ~stop_ns:(Clock.now_ns ()) name)
+        f
+
+let events buf =
+  Mutex.lock buf.lock;
+  let evs = List.rev buf.events in
+  Mutex.unlock buf.lock;
+  evs
+
+let length buf =
+  Mutex.lock buf.lock;
+  let n = buf.count in
+  Mutex.unlock buf.lock;
+  n
+
+(* Chrome-tracing "complete" events (ph = "X"), timestamps in
+   microseconds.  Load the file at chrome://tracing or ui.perfetto.dev. *)
+let event_to_json ev =
+  let base =
+    [
+      ("name", Json.String ev.name);
+      ("ph", Json.String "X");
+      ("ts", Json.Float (Clock.ns_to_us ev.start_ns));
+      ("dur", Json.Float (Clock.ns_to_us ev.dur_ns));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.tid);
+    ]
+  in
+  let base = if ev.cat = "" then base else base @ [ ("cat", Json.String ev.cat) ] in
+  let base =
+    if ev.args = [] then base else base @ [ ("args", Json.Obj ev.args) ]
+  in
+  Json.Obj base
+
+let to_chrome_json buf =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_to_json (events buf)));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome buf path = Json.write_file path (to_chrome_json buf)

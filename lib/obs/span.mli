@@ -1,0 +1,65 @@
+(** Named, nestable spans on the monotonic clock.
+
+    A {!buffer} is a thread-safe in-memory trace: spans from any domain
+    append to it.  Instrumentation sites call {!with_span}; when no
+    buffer is installed (the default) that is a single atomic load and a
+    direct call, so spans can stay in the hot paths permanently.
+
+    Nesting needs no explicit parent: the Chrome trace viewer (and the
+    tests) reconstruct the hierarchy from the [ts]/[dur] intervals of
+    events on the same thread id. *)
+
+type event = {
+  name : string;
+  cat : string;
+  start_ns : int64;  (** relative to the buffer's creation *)
+  dur_ns : int64;
+  tid : int;  (** domain id *)
+  args : (string * Json.t) list;
+}
+
+type buffer
+
+val create : ?capacity:int -> unit -> buffer
+(** In-memory trace buffer; events beyond [capacity] (default 1e6) are
+    dropped rather than growing without bound. *)
+
+val install : buffer -> unit
+(** Make [buffer] the ambient trace that {!with_span} records into. *)
+
+val uninstall : unit -> unit
+val installed : unit -> buffer option
+val enabled : unit -> bool
+
+val record :
+  buffer ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  start_ns:int64 ->
+  stop_ns:int64 ->
+  string ->
+  unit
+(** Append an already-measured span ([start_ns]/[stop_ns] from
+    {!Clock.now_ns}). *)
+
+val with_span :
+  ?buffer:buffer ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span name f] times [f] and records it into [buffer] (default:
+    the installed ambient buffer; a no-op when there is none).  The span
+    is recorded even if [f] raises. *)
+
+val events : buffer -> event list
+(** Completed spans in completion order. *)
+
+val length : buffer -> int
+
+val to_chrome_json : buffer -> Json.t
+(** The buffer as a Chrome-tracing / Perfetto JSON document
+    ([traceEvents] of ["ph": "X"] complete events, microsecond units). *)
+
+val write_chrome : buffer -> string -> unit

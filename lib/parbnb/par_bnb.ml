@@ -10,6 +10,8 @@ type outcome = {
   optimal : bool;
   stats : Stats.t;
   n_workers : int;
+  worker_stats : Stats.t array;
+  report : Obs.Report.t;
 }
 
 type shared = {
@@ -37,7 +39,7 @@ let publish shared cost tree =
   in
   lower ()
 
-let worker problem shared ~max_expanded () =
+let worker problem shared ~max_expanded ~id ~progress () =
   let stats = Stats.create () in
   let local = ref [] in
   let cap_reached () =
@@ -61,8 +63,14 @@ let worker problem shared ~max_expanded () =
           else if c.lb < Atomic.get shared.ub then local := c :: !local
           else stats.Stats.pruned <- stats.Stats.pruned + 1)
         (List.rev children);
-      stats.Stats.max_open <-
-        Int.max stats.Stats.max_open (List.length !local)
+      let olen = List.length !local in
+      stats.Stats.max_open <- Int.max stats.Stats.max_open olen;
+      match progress with
+      | None -> ()
+      | Some p ->
+          Obs.Progress.sample p ~worker:id ~expanded:stats.Stats.expanded
+            ~pruned:stats.Stats.pruned ~open_depth:olen
+            ~ub:(Atomic.get shared.ub) ~lb:node.Bb_tree.lb
     end
   in
   let rec run () =
@@ -97,7 +105,7 @@ let worker problem shared ~max_expanded () =
   run ();
   stats
 
-let solve ?(options = Solver.default_options) ?n_workers dm =
+let solve ?(options = Solver.default_options) ?progress ?n_workers dm =
   let n_workers =
     match n_workers with
     | Some p ->
@@ -108,15 +116,25 @@ let solve ?(options = Solver.default_options) ?n_workers dm =
   let n = Dist_matrix.size dm in
   if n <= 2 then begin
     let r = Solver.solve ~options dm in
+    let report = Obs.Report.create "par_bnb" in
+    Obs.Report.set report "n" (Obs.Json.Int n);
     {
       tree = r.Solver.tree;
       cost = r.Solver.cost;
       optimal = r.Solver.optimal;
       stats = r.Solver.stats;
       n_workers;
+      worker_stats = [| r.Solver.stats |];
+      report;
     }
   end
-  else begin
+  else
+    Obs.Span.with_span "parbnb.solve"
+      ~args:[ ("n", Obs.Json.Int n); ("workers", Obs.Json.Int n_workers) ]
+      @@ fun () ->
+    let report = Obs.Report.create "par_bnb" in
+    Obs.Report.set report "n" (Obs.Json.Int n);
+    Obs.Report.set report "n_workers" (Obs.Json.Int n_workers);
     let problem = Solver.prepare ~options dm in
     let stats = Stats.create () in
     let shared =
@@ -160,17 +178,30 @@ let solve ?(options = Solver.default_options) ?n_workers dm =
           in
           widen (rest @ children)
       in
-    let seedwork = widen [ Bb_tree.root problem.Solver.pm ] in
+    let seedwork, seed_s =
+      Obs.Clock.time (fun () -> widen [ Bb_tree.root problem.Solver.pm ])
+    in
+    Obs.Report.add_phase report "seed" seed_s
+      ~meta:[ ("frontier", Obs.Json.Int (List.length seedwork)) ];
     Log.debug (fun m ->
         m "seeding %d workers with %d nodes (initial UB %g)" n_workers
           (List.length seedwork) problem.Solver.ub0);
     Shared_pool.seed shared.pool seedwork;
+    let t_search = Obs.Clock.counter () in
     let domains =
-      List.init n_workers (fun _ ->
+      List.init n_workers (fun id ->
           Domain.spawn
-            (worker problem shared ~max_expanded:options.Solver.max_expanded))
+            (worker problem shared ~max_expanded:options.Solver.max_expanded
+               ~id ~progress))
     in
-    List.iter (fun d -> Stats.add stats (Domain.join d)) domains;
+    let worker_stats = Array.of_list (List.map Domain.join domains) in
+    Obs.Report.add_phase report "search" (Obs.Clock.elapsed_s t_search);
+    Array.iteri
+      (fun id ws ->
+        Stats.add stats ws;
+        Obs.Report.add_worker report
+          (("worker", Obs.Json.Int id) :: [ ("stats", Stats.to_json ws) ]))
+      worker_stats;
     let cost, tree =
       match !(shared.best) with
       | Some (c, t) -> (c, Solver.relabel_out problem t)
@@ -181,11 +212,13 @@ let solve ?(options = Solver.default_options) ?n_workers dm =
           let fallback = Clustering.Linkage.upgmm dm in
           (Utree.weight fallback, fallback)
     in
+    Obs.Report.set report "stats" (Stats.to_json stats);
     {
       tree;
       cost;
       optimal = not (Atomic.get shared.aborted);
       stats;
       n_workers;
+      worker_stats;
+      report;
     }
-  end

@@ -21,10 +21,26 @@ type outcome = {
   optimal : bool;  (** false only when [max_expanded] stopped a worker *)
   stats : Stats.t;  (** merged over workers *)
   n_workers : int;
+  worker_stats : Stats.t array;
+      (** per-worker search counters, in worker-id order (a single entry
+          for the [n <= 2] sequential fallback) — the load-balance
+          picture behind the merged [stats] *)
+  report : Obs.Report.t;
+      (** run manifest: seed/search phase timings and one worker entry
+          per domain *)
 }
 
 val solve :
-  ?options:Solver.options -> ?n_workers:int -> Dist_matrix.t -> outcome
+  ?options:Solver.options ->
+  ?progress:Obs.Progress.t ->
+  ?n_workers:int ->
+  Dist_matrix.t ->
+  outcome
 (** [solve ~n_workers dm] — [n_workers] defaults to
     [Domain.recommended_domain_count () - 1], at least 1.
+
+    Telemetry: the solve runs under an [Obs.Span] named
+    ["parbnb.solve"]; with [progress], every worker feeds the sampler
+    (tagged by worker id) from its inner loop.
+
     @raise Invalid_argument on an empty matrix or [n_workers < 1]. *)

@@ -1,0 +1,415 @@
+(* Tests for the obs telemetry library (clock, JSON, spans, metrics,
+   progress, reports) and the Stats accumulation semantics it exposes. *)
+
+module Stats = Bnb.Stats
+
+(* Substring check for asserting on rendered JSON. *)
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- Clock --- *)
+
+let test_clock_monotone () =
+  let a = Obs.Clock.now_ns () in
+  let b = Obs.Clock.now_ns () in
+  Alcotest.(check bool) "non-decreasing" true (Int64.compare b a >= 0);
+  let c = Obs.Clock.counter () in
+  let _, dt = Obs.Clock.time (fun () -> Sys.opaque_identity (Array.make 1000 0)) in
+  Alcotest.(check bool) "elapsed >= 0" true (Obs.Clock.elapsed_s c >= 0.);
+  Alcotest.(check bool) "timed >= 0" true (dt >= 0.)
+
+(* --- Json --- *)
+
+let test_json_render () =
+  let j =
+    Obs.Json.Obj
+      [
+        ("a", Obs.Json.Int 1);
+        ("b", Obs.Json.List [ Obs.Json.Bool true; Obs.Json.Null ]);
+        ("s", Obs.Json.String "x\"y\nz\\");
+        ("f", Obs.Json.Float 2.5);
+        ("i", Obs.Json.Float 3.);
+      ]
+  in
+  Alcotest.(check string)
+    "rendering"
+    "{\"a\":1,\"b\":[true,null],\"s\":\"x\\\"y\\nz\\\\\",\"f\":2.5,\"i\":3.0}"
+    (Obs.Json.to_string j)
+
+let test_json_non_finite () =
+  Alcotest.(check string) "nan" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  Alcotest.(check string)
+    "inf" "1e999"
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity))
+
+(* --- Span --- *)
+
+let test_span_nesting () =
+  let buf = Obs.Span.create () in
+  let r =
+    Obs.Span.with_span ~buffer:buf "parent" (fun () ->
+        let x =
+          Obs.Span.with_span ~buffer:buf "child" (fun () ->
+              ignore (Sys.opaque_identity (List.init 100 Fun.id));
+              41)
+        in
+        x + 1)
+  in
+  Alcotest.(check int) "result" 42 r;
+  match Obs.Span.events buf with
+  | [ child; parent ] ->
+      (* The child completes first, so it is recorded first. *)
+      Alcotest.(check string) "child name" "child" child.Obs.Span.name;
+      Alcotest.(check string) "parent name" "parent" parent.Obs.Span.name;
+      let child_end = Int64.add child.Obs.Span.start_ns child.Obs.Span.dur_ns in
+      let parent_end =
+        Int64.add parent.Obs.Span.start_ns parent.Obs.Span.dur_ns
+      in
+      Alcotest.(check bool)
+        "child starts after parent" true
+        (child.Obs.Span.start_ns >= parent.Obs.Span.start_ns);
+      Alcotest.(check bool)
+        "child ends before parent" true
+        (Int64.compare child_end parent_end <= 0)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_span_records_on_raise () =
+  let buf = Obs.Span.create () in
+  (try
+     Obs.Span.with_span ~buffer:buf "failing" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span recorded" 1 (Obs.Span.length buf)
+
+let test_span_ambient_and_chrome () =
+  let buf = Obs.Span.create () in
+  Obs.Span.install buf;
+  Fun.protect ~finally:Obs.Span.uninstall (fun () ->
+      Obs.Span.with_span "ambient" Fun.id);
+  Alcotest.(check int) "ambient recorded" 1 (Obs.Span.length buf);
+  match Obs.Span.to_chrome_json buf with
+  | Obs.Json.Obj kvs ->
+      (match List.assoc "traceEvents" kvs with
+      | Obs.Json.List [ Obs.Json.Obj ev ] ->
+          Alcotest.(check bool)
+            "ph is X" true
+            (List.assoc "ph" ev = Obs.Json.String "X");
+          Alcotest.(check bool) "has ts" true (List.mem_assoc "ts" ev);
+          Alcotest.(check bool) "has dur" true (List.mem_assoc "dur" ev)
+      | _ -> Alcotest.fail "traceEvents shape")
+  | _ -> Alcotest.fail "chrome json not an object"
+
+let test_span_disabled_is_noop () =
+  Obs.Span.uninstall ();
+  Alcotest.(check int) "passthrough" 7 (Obs.Span.with_span "x" (fun () -> 7))
+
+(* --- Metrics --- *)
+
+let test_counter () =
+  let reg = Obs.Metrics.create_registry () in
+  let c = Obs.Metrics.counter ~registry:reg "t.counter" in
+  for _ = 1 to 10 do
+    Obs.Metrics.incr c
+  done;
+  Obs.Metrics.add c 32;
+  Alcotest.(check int) "value" 42 (Obs.Metrics.counter_value c);
+  (* Registration is idempotent: same name, same counter. *)
+  let c' = Obs.Metrics.counter ~registry:reg "t.counter" in
+  Obs.Metrics.incr c';
+  Alcotest.(check int) "shared" 43 (Obs.Metrics.counter_value c);
+  (* ... but a kind clash is an error. *)
+  let clash =
+    try
+      ignore (Obs.Metrics.gauge ~registry:reg "t.counter");
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "kind clash" true clash
+
+let test_counter_parallel () =
+  let reg = Obs.Metrics.create_registry () in
+  let c = Obs.Metrics.counter ~registry:reg "t.par" in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Obs.Metrics.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost updates" 40_000 (Obs.Metrics.counter_value c)
+
+let test_gauge () =
+  let reg = Obs.Metrics.create_registry () in
+  let g = Obs.Metrics.gauge ~registry:reg "t.gauge" in
+  Alcotest.(check bool) "unset is NaN" true
+    (Float.is_nan (Obs.Metrics.gauge_value g));
+  Obs.Metrics.set g 3.25;
+  Alcotest.(check (float 0.)) "set" 3.25 (Obs.Metrics.gauge_value g)
+
+let test_histogram_buckets () =
+  Alcotest.(check int) "0.5 -> 0" 0 (Obs.Metrics.bucket_of 0.5);
+  Alcotest.(check int) "neg -> 0" 0 (Obs.Metrics.bucket_of (-3.));
+  Alcotest.(check int) "1 -> 1" 1 (Obs.Metrics.bucket_of 1.);
+  Alcotest.(check int) "1.99 -> 1" 1 (Obs.Metrics.bucket_of 1.99);
+  Alcotest.(check int) "2 -> 2" 2 (Obs.Metrics.bucket_of 2.);
+  Alcotest.(check int) "1000 -> 10" 10 (Obs.Metrics.bucket_of 1000.);
+  Alcotest.(check int)
+    "overflow clamps" (Obs.Metrics.n_buckets - 1)
+    (Obs.Metrics.bucket_of 1e300);
+  Alcotest.(check (float 0.)) "upper of 3" 8. (Obs.Metrics.bucket_upper 3)
+
+let test_histogram_merge () =
+  (* Observations from several domains land in different shards; the
+     snapshot must merge them (same-index buckets add). *)
+  let reg = Obs.Metrics.create_registry () in
+  let h = Obs.Metrics.histogram ~registry:reg "t.hist" in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 1000 do
+              Obs.Metrics.observe h (float_of_int ((d * 1000) + i))
+            done))
+  in
+  List.iter Domain.join domains;
+  let s = Obs.Metrics.histogram_value h in
+  Alcotest.(check int) "count" 4000 s.Obs.Metrics.count;
+  Alcotest.(check int)
+    "bucket sums match count" 4000
+    (Array.fold_left ( + ) 0 s.Obs.Metrics.counts);
+  (* sum of 1..4000 *)
+  Alcotest.(check (float 1e-6)) "sum" 8_002_000. s.Obs.Metrics.sum;
+  (* values 1..4000 never reach bucket 13 = [4096, 8192) *)
+  Alcotest.(check int) "no overflow bucket" 0 s.Obs.Metrics.counts.(13)
+
+let test_metrics_dump () =
+  let reg = Obs.Metrics.create_registry () in
+  let c = Obs.Metrics.counter ~registry:reg "a.count" in
+  Obs.Metrics.incr c;
+  let h = Obs.Metrics.histogram ~registry:reg "b.hist" in
+  Obs.Metrics.observe h 3.;
+  let s = Obs.Json.to_string (Obs.Metrics.dump ~registry:reg ()) in
+  Alcotest.(check bool) "has counter" true
+    (contains ~affix:"\"a.count\"" s);
+  Alcotest.(check bool) "has histogram" true
+    (contains ~affix:"\"b.hist\"" s);
+  Obs.Metrics.reset ~registry:reg ();
+  Alcotest.(check int) "reset" 0 (Obs.Metrics.counter_value c)
+
+(* --- Stats --- *)
+
+let test_stats_add () =
+  let acc = Stats.create () in
+  let s1 = Stats.create () in
+  s1.Stats.expanded <- 10;
+  s1.Stats.generated <- 20;
+  s1.Stats.pruned <- 5;
+  s1.Stats.max_open <- 7;
+  let s2 = Stats.create () in
+  s2.Stats.expanded <- 1;
+  s2.Stats.generated <- 2;
+  s2.Stats.pruned <- 3;
+  s2.Stats.max_open <- 4;
+  Stats.add acc s1;
+  Stats.add acc s2;
+  Alcotest.(check int) "expanded sums" 11 acc.Stats.expanded;
+  Alcotest.(check int) "generated sums" 22 acc.Stats.generated;
+  Alcotest.(check int) "pruned sums" 8 acc.Stats.pruned;
+  (* max_open is a high-water mark: MAX, not sum. *)
+  Alcotest.(check int) "max_open maxes" 7 acc.Stats.max_open
+
+let test_stats_json () =
+  let s = Stats.create () in
+  s.Stats.expanded <- 3;
+  s.Stats.max_open <- 2;
+  let j = Obs.Json.to_string (Stats.to_json s) in
+  Alcotest.(check bool) "expanded key" true
+    (contains ~affix:"\"expanded\":3" j);
+  Alcotest.(check bool) "max_open key" true
+    (contains ~affix:"\"max_open\":2" j);
+  let via_pp = Format.asprintf "%a" Stats.pp_json s in
+  Alcotest.(check string) "pp_json agrees" j via_pp
+
+(* --- Report --- *)
+
+let test_report () =
+  let r = Obs.Report.create "unit" in
+  Obs.Report.add_phase r "alpha" 1.0;
+  let x = Obs.Report.timed_phase r "beta" (fun () -> 5) in
+  Alcotest.(check int) "timed result" 5 x;
+  Obs.Report.set r "k" (Obs.Json.Int 9);
+  Obs.Report.set r "k" (Obs.Json.Int 10);
+  Obs.Report.add_worker r [ ("worker", Obs.Json.Int 0) ];
+  (match Obs.Report.phases r with
+  | [ ("alpha", a); ("beta", b) ] ->
+      Alcotest.(check (float 0.)) "alpha time" 1.0 a;
+      Alcotest.(check bool) "beta >= 0" true (b >= 0.)
+  | _ -> Alcotest.fail "phase order");
+  Alcotest.(check bool) "total" true (Obs.Report.phase_total_s r >= 1.0);
+  let j = Obs.Json.to_string (Obs.Report.to_json r) in
+  Alcotest.(check bool) "name" true
+    (contains ~affix:"\"name\":\"unit\"" j);
+  Alcotest.(check bool) "last set wins" true
+    (contains ~affix:"\"k\":10" j);
+  Alcotest.(check bool) "single k" false
+    (contains ~affix:"\"k\":9" j);
+  Alcotest.(check bool) "workers" true
+    (contains ~affix:"\"workers\":[{\"worker\":0}]" j)
+
+(* --- Progress --- *)
+
+let test_progress_ndjson () =
+  let path = Filename.temp_file "obs_progress" ".ndjson" in
+  let oc = open_out path in
+  let p =
+    Obs.Progress.create ~interval_s:0. ~sink:(Obs.Progress.Ndjson oc) ()
+  in
+  Obs.Progress.sample p ~worker:0 ~expanded:10 ~pruned:2 ~open_depth:5
+    ~ub:100. ~lb:80.;
+  Obs.Progress.sample p ~worker:1 ~expanded:20 ~pruned:4 ~open_depth:3
+    ~ub:100. ~lb:90.;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "two samples" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "json object" true
+        (String.length l > 0 && l.[0] = '{');
+      Alcotest.(check bool) "has gap" true
+        (contains ~affix:"\"gap_pct\"" l))
+    lines
+
+let test_progress_rate_limit () =
+  let path = Filename.temp_file "obs_progress" ".ndjson" in
+  let oc = open_out path in
+  let p =
+    (* One-hour interval: after the first (immediately due) sample,
+       nothing further is emitted. *)
+    Obs.Progress.create ~interval_s:3600. ~sink:(Obs.Progress.Ndjson oc) ()
+  in
+  for i = 1 to 100 do
+    Obs.Progress.sample p ~worker:0 ~expanded:i ~pruned:0 ~open_depth:1
+      ~ub:10. ~lb:1.
+  done;
+  close_out oc;
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check int) "rate limited to one line" 1 !n
+
+let test_gap_pct () =
+  Alcotest.(check (float 1e-9)) "20%" 20. (Obs.Progress.gap_pct ~ub:100. ~lb:80.);
+  Alcotest.(check bool) "inf ub" true
+    (Float.is_nan (Obs.Progress.gap_pct ~ub:Float.infinity ~lb:3.))
+
+(* --- Solver integration: spans + progress from a real solve --- *)
+
+let test_solver_emits_spans () =
+  let m = Distmat.Gen.uniform_metric ~rng:(Random.State.make [| 5 |]) 8 in
+  let buf = Obs.Span.create () in
+  Obs.Span.install buf;
+  let r =
+    Fun.protect ~finally:Obs.Span.uninstall (fun () ->
+        Compactphy.Pipeline.compare_methods m)
+  in
+  let names =
+    List.map (fun e -> e.Obs.Span.name) (Obs.Span.events buf)
+  in
+  Alcotest.(check bool) "bnb.solve span" true (List.mem "bnb.solve" names);
+  Alcotest.(check bool) "pipeline span" true
+    (List.mem "pipeline.with_compact_sets" names);
+  Alcotest.(check bool) "exact span" true (List.mem "pipeline.exact" names);
+  (* The pipeline spans must cover (almost all of) the reported elapsed
+     time — the acceptance criterion for --trace output. *)
+  let span_s name =
+    List.fold_left
+      (fun acc e ->
+        if e.Obs.Span.name = name then
+          acc +. (Int64.to_float e.Obs.Span.dur_ns /. 1e9)
+        else acc)
+      0. (Obs.Span.events buf)
+  in
+  let covered = span_s "pipeline.with_compact_sets" +. span_s "pipeline.exact" in
+  let reported =
+    r.Compactphy.Pipeline.with_cs.Compactphy.Pipeline.elapsed_s
+    +. r.Compactphy.Pipeline.without_cs.Compactphy.Pipeline.elapsed_s
+  in
+  Alcotest.(check bool) "spans cover elapsed" true (covered >= 0.95 *. reported)
+
+let test_pipeline_report_phases () =
+  let m = Distmat.Gen.near_ultrametric ~rng:(Random.State.make [| 7 |]) 12 in
+  let r = Compactphy.Pipeline.with_compact_sets m in
+  let phases = List.map fst (Obs.Report.phases r.Compactphy.Pipeline.report) in
+  Alcotest.(check bool) "decompose" true (List.mem "decompose" phases);
+  Alcotest.(check bool) "solve-blocks" true (List.mem "solve-blocks" phases);
+  Alcotest.(check bool) "re-realise" true (List.mem "re-realise" phases);
+  let j = Obs.Json.to_string (Obs.Report.to_json r.Compactphy.Pipeline.report) in
+  Alcotest.(check bool) "per-block stats" true
+    (contains ~affix:"\"pruned\"" j)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [ Alcotest.test_case "monotone" `Quick test_clock_monotone ] );
+      ( "json",
+        [
+          Alcotest.test_case "render" `Quick test_json_render;
+          Alcotest.test_case "non-finite" `Quick test_json_non_finite;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "records on raise" `Quick
+            test_span_records_on_raise;
+          Alcotest.test_case "ambient + chrome" `Quick
+            test_span_ambient_and_chrome;
+          Alcotest.test_case "disabled no-op" `Quick
+            test_span_disabled_is_noop;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "counter parallel" `Quick test_counter_parallel;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram buckets" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          Alcotest.test_case "dump + reset" `Quick test_metrics_dump;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "add semantics" `Quick test_stats_add;
+          Alcotest.test_case "json" `Quick test_stats_json;
+        ] );
+      ("report", [ Alcotest.test_case "lifecycle" `Quick test_report ]);
+      ( "progress",
+        [
+          Alcotest.test_case "ndjson" `Quick test_progress_ndjson;
+          Alcotest.test_case "rate limit" `Quick test_progress_rate_limit;
+          Alcotest.test_case "gap" `Quick test_gap_pct;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "solver spans" `Quick test_solver_emits_spans;
+          Alcotest.test_case "pipeline report" `Quick
+            test_pipeline_report_phases;
+        ] );
+    ]
