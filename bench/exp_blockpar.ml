@@ -1,0 +1,112 @@
+(* Inter-block scheduler scaling: sweep block-workers (independent
+   compact-set blocks solved concurrently, largest-first) against
+   solver-workers (domains inside each branch-and-bound), on a
+   multi-block PaCT workload.  Every configuration must report the same
+   tree cost — the scheduler only reorders independent exact solves —
+   so the table doubles as a determinism check. *)
+
+module Pipeline = Compactphy.Pipeline
+module Decompose = Compactphy.Decompose
+
+let reps ~quick = if quick then 3 else 5
+
+let time_config ~reps ~block_workers ~workers m =
+  let runs =
+    List.init reps (fun _ ->
+        let r = Pipeline.with_compact_sets ~block_workers ~workers m in
+        (r.Pipeline.elapsed_s, r.Pipeline.cost))
+  in
+  let times = List.map fst runs in
+  let costs = List.map snd runs in
+  let cost = List.hd costs in
+  List.iter
+    (fun c ->
+      if Float.abs (c -. cost) > 1e-9 then
+        failwith "blockpar-scaling: cost varies across repetitions")
+    costs;
+  (Table.median times, cost)
+
+let scaling ~quick () =
+  let want_blocks = if quick then 4 else 6 in
+  let block_size = if quick then 13 else 15 in
+  let m = Workloads.compact_blocks ~seed:5 ~n_blocks:want_blocks ~block_size in
+  let deco = Decompose.decompose m in
+  let n_blocks = Decompose.n_blocks deco in
+  let largest = Decompose.largest_block deco in
+  Printf.printf
+    "workload: %d clusters x %d species, %d blocks after decomposition \
+     (largest %d)\n%!"
+    want_blocks block_size n_blocks largest;
+  let cores = Int.max 1 (Domain.recommended_domain_count ()) in
+  if cores = 1 then
+    Printf.printf
+      "note: single-core host — the pipeline clamps the pool to 1 domain, \
+       so every schedule should match the sequential wall-clock\n%!";
+  let budget = Int.min 8 cores in
+  let auto_bw, auto_sw = Pipeline.plan_workers ~budget deco in
+  let configs =
+    [
+      (1, 1, "");
+      (2, 1, "");
+      (4, 1, "");
+      (8, 1, "");
+      (1, 2, "");
+      (2, 2, "");
+      (4, 2, "");
+      (auto_bw, auto_sw, Printf.sprintf " (auto budget %d)" budget);
+    ]
+    (* Solver-worker counts past the hardware would benchmark pure
+       oversubscription (Par_bnb honours the request); skip them. *)
+    |> List.filter (fun (_, sw, _) -> sw <= cores)
+  in
+  let reps = reps ~quick in
+  let measured =
+    List.map
+      (fun (bw, sw, tag) ->
+        let t, cost = time_config ~reps ~block_workers:bw ~workers:sw m in
+        (bw, sw, tag, t, cost))
+      configs
+  in
+  let base_t, base_cost =
+    match measured with
+    | (1, 1, _, t, c) :: _ -> (t, c)
+    | _ -> assert false
+  in
+  List.iter
+    (fun (_, _, _, _, cost) ->
+      if Float.abs (cost -. base_cost) > 1e-9 then
+        failwith "blockpar-scaling: cost differs across schedules")
+    measured;
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Inter-block scheduler — %d blocks, largest %d (median of %d)"
+         n_blocks largest reps)
+    ~headers:
+      [ "block-workers"; "solver-workers"; "median time"; "speedup"; "cost" ]
+    (List.map
+       (fun (bw, sw, tag, t, cost) ->
+         [
+           Table.d bw ^ tag;
+           Table.d sw;
+           Table.seconds t;
+           Table.f2 (base_t /. t);
+           Table.f4 cost;
+         ])
+       measured);
+  Manifest.record (fun r ->
+      Obs.Report.set r "n" (Obs.Json.Int (want_blocks * block_size));
+      Obs.Report.set r "n_blocks" (Obs.Json.Int n_blocks);
+      Obs.Report.set r "largest_block" (Obs.Json.Int largest);
+      Obs.Report.set r "cost" (Obs.Json.Float base_cost);
+      List.iter
+        (fun (bw, sw, tag, t, _) ->
+          Obs.Report.add_worker r
+            [
+              ("block_workers", Obs.Json.Int bw);
+              ("solver_workers", Obs.Json.Int sw);
+              ("auto", Obs.Json.Bool (tag <> ""));
+              ("median_s", Obs.Json.Float t);
+              ("speedup", Obs.Json.Float (base_t /. t));
+            ])
+        measured)

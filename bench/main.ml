@@ -30,6 +30,9 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
     ("grid-table6", "NCS Table 6: cluster vs grids", Exp_grid.table6);
     ("scpa-fig10", "SCPA Fig. 10: uneven GEN_BLOCK", Exp_scpa.fig10);
     ("scpa-fig11", "SCPA Fig. 11: even GEN_BLOCK", Exp_scpa.fig11);
+    ( "blockpar-scaling",
+      "Inter-block scheduler: block-workers x solver-workers sweep",
+      Exp_blockpar.scaling );
     ("ablation-linkage", "A-1: max/min/avg linkage", Exp_ablation.linkage);
     ("ablation-lb", "A-2: LB0 vs LB1", Exp_ablation.lower_bound);
     ( "ablation-compact",

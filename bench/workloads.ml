@@ -21,6 +21,30 @@ let random_structured ~seed n =
 let random_uniform ~seed n =
   Distmat.Gen.uniform_metric ~rng:(rng (seed + 104729)) n
 
+(* The inter-block scheduler's workload: [n_blocks] well-separated
+   clusters, each an independent uniform metric in [40, 100] — the
+   papers' random data, which is the branch-and-bound's hard case and
+   almost never decomposes further — against 250..270 across clusters.
+   The result is a metric (270 <= 250 + 40 covers every mixed
+   triangle), each cluster is a compact set (100 < 250), and the
+   decomposition yields [n_blocks] comparably heavy exact solves — the
+   shape that exercises [Pipeline.with_compact_sets ~block_workers]. *)
+let compact_blocks ~seed ~n_blocks ~block_size =
+  let blocks =
+    Array.init n_blocks (fun b ->
+        Distmat.Gen.uniform_metric
+          ~rng:(rng (seed + 15485863 + (104729 * b)))
+          ~lo:40. ~hi:100. block_size)
+  in
+  let inter_rng = rng (seed + 15485863 + 7) in
+  let n = n_blocks * block_size in
+  Distmat.Dist_matrix.init n (fun i j ->
+      let bi = i / block_size and bj = j / block_size in
+      if bi = bj then
+        Distmat.Dist_matrix.get blocks.(bi) (i mod block_size)
+          (j mod block_size)
+      else 250. +. Random.State.float inter_rng 20.)
+
 (* Monotonic timing (Obs.Clock): wall-clock via gettimeofday could go
    backwards under NTP adjustment and corrupt a whole table. *)
 let time = Obs.Clock.time

@@ -136,12 +136,37 @@ let species_opt =
     & opt int 12
     & info [ "n"; "species" ] ~docv:"N" ~doc:"Number of species.")
 
+(* Worker counts are validated at parse time: a zero or negative count
+   would otherwise reach the library as an Invalid_argument mid-run. *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+        Error (`Msg (Printf.sprintf "worker count must be >= 1, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let workers_opt =
   Arg.(
     value
-    & opt int 1
+    & opt pos_int 1
     & info [ "j"; "workers" ] ~docv:"N"
-        ~doc:"Worker domains for the parallel branch-and-bound.")
+        ~doc:
+          "Worker domains inside each branch-and-bound search (must be \
+           >= 1).")
+
+let block_workers_opt =
+  Arg.(
+    value
+    & opt pos_int 1
+    & info [ "block-workers" ] ~docv:"N"
+        ~doc:
+          "Independent compact-set blocks solved concurrently \
+           (largest-first; must be >= 1).  Composes with $(b,--workers): \
+           up to $(docv) * workers domains run at once.  Results are \
+           identical to the sequential schedule.")
 
 let linkage_opt =
   let linkage_conv =
@@ -278,7 +303,7 @@ let tree_cmd =
              companion paper's Step 7) and print them all, plus their \
              strict consensus.")
   in
-  let run cfg input method_ linkage workers all nexus output =
+  let run cfg input method_ linkage workers block_workers all nexus output =
     with_obs cfg @@ fun () ->
     let names, m = read_matrix input in
     match (method_, all) with
@@ -305,7 +330,7 @@ let tree_cmd =
         let tree =
           match method_ with
           | `Compact ->
-              (Pipeline.with_compact_sets ~linkage ~workers
+              (Pipeline.with_compact_sets ~linkage ~workers ~block_workers
                  ?progress:cfg.progress m)
                 .Pipeline.tree
           | `Exact ->
@@ -331,7 +356,7 @@ let tree_cmd =
        ~doc:"Construct an ultrametric tree (Newick or NEXUS output).")
     Term.(
       const run $ obs_term $ input_arg $ method_opt $ linkage_opt
-      $ workers_opt $ all $ nexus $ output_opt)
+      $ workers_opt $ block_workers_opt $ all $ nexus $ output_opt)
 
 (* --- compare --- *)
 
@@ -356,7 +381,7 @@ let compare_cmd =
              is \"unendurable\"); capped runs report the best tree found \
              within the budget.")
   in
-  let run cfg input linkage workers cap manifest =
+  let run cfg input linkage workers block_workers cap manifest =
     check_writable manifest;
     with_obs cfg @@ fun () ->
     let _, m = read_matrix input in
@@ -366,7 +391,7 @@ let compare_cmd =
       | Some n -> { Bnb.Solver.default_options with max_expanded = Some n }
     in
     let c =
-      Pipeline.compare_methods ~linkage ~options ~workers
+      Pipeline.compare_methods ~linkage ~options ~workers ~block_workers
         ?progress:cfg.progress m
     in
     Fmt.pr "@[<v>with compact sets:    cost %-12g %8.4f s (%d blocks, largest %d)@,"
@@ -392,8 +417,8 @@ let compare_cmd =
     (Cmd.info "compare"
        ~doc:"Compare construction with and without compact sets.")
     Term.(
-      const run $ obs_term $ input_arg $ linkage_opt $ workers_opt $ cap
-      $ manifest)
+      const run $ obs_term $ input_arg $ linkage_opt $ workers_opt
+      $ block_workers_opt $ cap $ manifest)
 
 (* --- render --- *)
 
@@ -403,13 +428,13 @@ let render_cmd =
       value & flag
       & info [ "svg" ] ~doc:"Emit an SVG document instead of ASCII art.")
   in
-  let run cfg input method_ linkage workers svg output =
+  let run cfg input method_ linkage workers block_workers svg output =
     with_obs cfg @@ fun () ->
     let names, m = read_matrix input in
     let tree =
       match method_ with
       | `Compact ->
-          (Pipeline.with_compact_sets ~linkage ~workers
+          (Pipeline.with_compact_sets ~linkage ~workers ~block_workers
              ?progress:cfg.progress m)
             .Pipeline.tree
       | `Exact ->
@@ -431,7 +456,7 @@ let render_cmd =
        ~doc:"Construct a tree and draw it as an ASCII or SVG dendrogram.")
     Term.(
       const run $ obs_term $ input_arg $ method_opt $ linkage_opt
-      $ workers_opt $ svg $ output_opt)
+      $ workers_opt $ block_workers_opt $ svg $ output_opt)
 
 (* --- treedist --- *)
 
@@ -518,14 +543,16 @@ let report_cmd =
           ~doc:"Emit a standalone HTML report (with an SVG dendrogram) \
                 instead of text.")
   in
-  let run cfg input linkage workers html output =
+  let run cfg input linkage workers block_workers html output =
     with_obs cfg @@ fun () ->
     let names, m = read_matrix input in
     let n = Dist_matrix.size m in
     if html then begin
       let deco = Compactphy.Decompose.decompose m in
       let sets = Cgraph.Compact_sets.find m in
-      let fast = Pipeline.with_compact_sets ~linkage ~workers m in
+      let fast =
+        Pipeline.with_compact_sets ~linkage ~workers ~block_workers m
+      in
       let upgmm = Clustering.Linkage.upgmm m in
       write_or_print output (html_report ~names ~m ~deco ~sets ~fast ~upgmm)
     end
@@ -550,7 +577,9 @@ let report_cmd =
           (String.concat ", " (List.map (fun i -> names.(i)) set)))
       sets;
     Fmt.pr "@.## Trees@.@.";
-    let fast = Pipeline.with_compact_sets ~linkage ~workers m in
+    let fast =
+      Pipeline.with_compact_sets ~linkage ~workers ~block_workers m
+    in
     Fmt.pr "- compact-set tree: cost %.4f in %.4f s (%d blocks)@."
       fast.Pipeline.cost fast.Pipeline.elapsed_s fast.Pipeline.n_blocks;
     let upgmm = Clustering.Linkage.upgmm m in
@@ -570,8 +599,8 @@ let report_cmd =
          "Full analysis report of a matrix (markdown-flavoured text, or \
           HTML with $(b,--html)).")
     Term.(
-      const run $ obs_term $ input_arg $ linkage_opt $ workers_opt $ html
-      $ output_opt)
+      const run $ obs_term $ input_arg $ linkage_opt $ workers_opt
+      $ block_workers_opt $ html $ output_opt)
 
 (* --- align (the sequences model, from FASTA) --- *)
 

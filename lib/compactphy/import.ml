@@ -7,3 +7,4 @@ module Utree = Ultra.Utree
 module Solver = Bnb.Solver
 module Stats = Bnb.Stats
 module Par_bnb = Parbnb.Par_bnb
+module Domain_pool = Parbnb.Domain_pool

@@ -9,6 +9,7 @@ module M = struct
   let runs = lazy (Obs.Metrics.counter "pipeline.runs")
   let block_size = lazy (Obs.Metrics.histogram "pipeline.block_size")
   let blocks_per_run = lazy (Obs.Metrics.histogram "pipeline.blocks_per_run")
+  let queue_wait = lazy (Obs.Metrics.histogram "pipeline.block_queue_wait_s")
 end
 
 type run = {
@@ -22,27 +23,42 @@ type run = {
   report : Obs.Report.t;
 }
 
+let validate_workers fn ~workers ~block_workers =
+  if workers < 1 then
+    invalid_arg (Printf.sprintf "%s: workers = %d (must be >= 1)" fn workers);
+  if block_workers < 1 then
+    invalid_arg
+      (Printf.sprintf "%s: block_workers = %d (must be >= 1)" fn block_workers)
+
+(* One exact solve of a small matrix: the sequential solver, or the
+   domain-parallel one when the intra-block budget allows. *)
+let solve_matrix ~options ~workers ~progress optimal small =
+  if workers <= 1 then begin
+    let r = Solver.solve ~options ?progress small in
+    if not r.Solver.optimal then optimal := false;
+    (r.Solver.stats, r.Solver.tree)
+  end
+  else begin
+    let r = Par_bnb.solve ~options ?progress ~n_workers:workers small in
+    if not r.Par_bnb.optimal then optimal := false;
+    (r.Par_bnb.stats, r.Par_bnb.tree)
+  end
+
 let solve_small ~options ~workers ~progress ~report stats optimal small =
   let size = Dist_matrix.size small in
   if size = 1 then Utree.leaf 0
   else begin
-    let block_stats, tree =
-      if workers <= 1 then begin
-        let r = Solver.solve ~options ?progress small in
-        if not r.Solver.optimal then optimal := false;
-        (r.Solver.stats, r.Solver.tree)
-      end
-      else begin
-        let r = Par_bnb.solve ~options ?progress ~n_workers:workers small in
-        if not r.Par_bnb.optimal then optimal := false;
-        (r.Par_bnb.stats, r.Par_bnb.tree)
-      end
+    let (block_stats, tree), solve_s =
+      Obs.Clock.time (fun () ->
+          solve_matrix ~options ~workers ~progress optimal small)
     in
     Stats.add stats block_stats;
     Obs.Metrics.observe (Lazy.force M.block_size) (float_of_int size);
     Obs.Report.add_worker report
       [
+        ("block", Obs.Json.Int 0);
         ("block_size", Obs.Json.Int size);
+        ("solve_s", Obs.Json.Float solve_s);
         ("stats", Stats.to_json block_stats);
       ];
     tree
@@ -58,6 +74,7 @@ let finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block stats =
   Obs.Report.set report "stats" (Stats.to_json stats)
 
 let exact ?(options = Solver.default_options) ?(workers = 1) ?progress dm =
+  validate_workers "Pipeline.exact" ~workers ~block_workers:1;
   Obs.Span.with_span "pipeline.exact"
     ~args:[ ("n", Obs.Json.Int (Dist_matrix.size dm)) ]
   @@ fun () ->
@@ -84,8 +101,158 @@ let exact ?(options = Solver.default_options) ?(workers = 1) ?progress dm =
     report;
   }
 
+(* --- inter-block scheduling --- *)
+
+(* One block of the decomposition with its deterministic id: 0 is the
+   virtual root, then the [set_blocks] in [Decompose] order (a pre-order
+   walk of the laminar forest).  Everything downstream — stats merge,
+   manifest worker entries, the graft — keys on this id, never on the
+   order tasks finished in. *)
+type slot = {
+  id : int;
+  node : Laminar.tree option;  (* [None] for the virtual root *)
+  block : Decompose.block;
+  size : int;  (* number of children = species of the small matrix *)
+}
+
+type block_result = {
+  slot : slot;
+  queue_wait_s : float;  (* pool start -> this task claimed *)
+  solve_s : float;
+  b_stats : Stats.t;
+  b_tree : Utree.t;
+  b_optimal : bool;
+}
+
+let slots_of (deco : Decompose.t) =
+  let mk id node (block : Decompose.block) =
+    { id; node; block; size = List.length block.Decompose.children }
+  in
+  mk 0 None deco.Decompose.root_block
+  :: List.mapi
+       (fun i (node, block) -> mk (i + 1) (Some node) block)
+       deco.Decompose.set_blocks
+
+(* Largest-block-first: the longest solve starts first, so it overlaps
+   with everything else and bounds the makespan.  Ties break on the
+   deterministic id. *)
+let schedule slots =
+  let a = Array.of_list (List.filter (fun s -> s.size >= 2) slots) in
+  Array.sort
+    (fun a b ->
+      match compare b.size a.size with 0 -> compare a.id b.id | c -> c)
+    a;
+  a
+
+(* Oversubscribing domains past the hardware only adds minor-GC
+   synchronisation (every domain must join each collection), so the
+   pool never uses more domains than the host recommends — a request
+   for more is a portable "as parallel as this machine allows". *)
+let effective_block_workers block_workers =
+  Int.min block_workers (Int.max 1 (Domain.recommended_domain_count ()))
+
+let solve_slots ~options ~workers ~block_workers ~progress slots =
+  let todo = schedule slots in
+  let t_pool = Obs.Clock.counter () in
+  let solve_one slot =
+    let queue_wait_s = Obs.Clock.elapsed_s t_pool in
+    let optimal = ref true in
+    let (b_stats, b_tree), solve_s =
+      Obs.Clock.time (fun () ->
+          solve_matrix ~options ~workers ~progress optimal
+            slot.block.Decompose.small)
+    in
+    { slot; queue_wait_s; solve_s; b_stats; b_tree; b_optimal = !optimal }
+  in
+  let results =
+    Domain_pool.map ~n_workers:(effective_block_workers block_workers)
+      solve_one todo
+  in
+  Array.sort (fun a b -> compare a.slot.id b.slot.id) results;
+  results
+
+(* Deterministic merge: iterate results in block-id order, whatever
+   order the pool finished them in, so the summed stats and the
+   manifest's workers array are identical for every [block_workers]. *)
+let merge_results ~report ~stats ~optimal results =
+  Array.iter
+    (fun r ->
+      Stats.add stats r.b_stats;
+      if not r.b_optimal then optimal := false;
+      Obs.Metrics.observe (Lazy.force M.block_size) (float_of_int r.slot.size);
+      Obs.Metrics.observe (Lazy.force M.queue_wait) r.queue_wait_s;
+      Obs.Report.add_worker report
+        [
+          ("block", Obs.Json.Int r.slot.id);
+          ("block_size", Obs.Json.Int r.slot.size);
+          ("queue_wait_s", Obs.Json.Float r.queue_wait_s);
+          ("solve_s", Obs.Json.Float r.solve_s);
+          ("stats", Stats.to_json r.b_stats);
+        ])
+    results
+
+(* Graft the solved small trees back together, bottom-up.  A solved
+   small tree has leaves 0 .. k-1 standing for the block's children;
+   replace each by the child's assembled subtree. *)
+let graft slots results =
+  let solved = Array.make (List.length slots) None in
+  Array.iter (fun r -> solved.(r.slot.id) <- Some r.b_tree) results;
+  let rec assemble_child (child : Laminar.tree) =
+    match child with
+    | Laminar.Elem i -> Utree.leaf i
+    | Laminar.Set _ ->
+        assemble_slot
+          (List.find
+             (fun s ->
+               match s.node with Some n -> n == child | None -> false)
+             slots)
+  and assemble_slot slot =
+    match slot.block.Decompose.children with
+    | [ only ] -> assemble_child only
+    | children -> (
+        match solved.(slot.id) with
+        | None -> invalid_arg "Pipeline.graft: unsolved block"
+        | Some small_tree ->
+            let arr = Array.of_list children in
+            Utree.map_leaves (fun a -> assemble_child arr.(a)) small_tree)
+  in
+  assemble_slot (List.hd slots)
+
+let plan_workers ~budget deco =
+  if budget < 1 then
+    invalid_arg
+      (Printf.sprintf "Pipeline.plan_workers: budget = %d (must be >= 1)"
+         budget);
+  let sizes =
+    List.filter_map
+      (fun s -> if s.size >= 2 then Some s.size else None)
+      (slots_of deco)
+  in
+  let n_solvable = List.length sizes in
+  if n_solvable <= 1 || budget = 1 then (1, budget)
+  else begin
+    (* Cost proxy: a block over k children has (2k-3)!! topologies, so
+       one block a couple of species larger dwarfs all the rest; 3^k
+       tracks that growth well enough to pick an axis. *)
+    let weight k = 3. ** float_of_int k in
+    let largest = List.fold_left Int.max 0 sizes in
+    let total = List.fold_left (fun acc k -> acc +. weight k) 0. sizes in
+    if weight largest >= 0.5 *. total then
+      (* One big lone block dominates the makespan: spend the whole
+         budget inside its branch-and-bound. *)
+      (1, budget)
+    else begin
+      (* Many comparable small blocks: spread the budget across blocks
+         first, and only then inside each solve. *)
+      let bw = Int.min n_solvable budget in
+      (bw, Int.max 1 (budget / bw))
+    end
+  end
+
 let with_compact_sets ?(linkage = Decompose.Max) ?relaxation
-    ?(options = Solver.default_options) ?(workers = 1) ?progress dm =
+    ?(options = Solver.default_options) ?(workers = 1) ?(block_workers = 1)
+    ?progress dm =
+  validate_workers "Pipeline.with_compact_sets" ~workers ~block_workers;
   let n = Dist_matrix.size dm in
   if n = 0 then invalid_arg "Pipeline.with_compact_sets: empty matrix";
   Obs.Span.with_span "pipeline.with_compact_sets"
@@ -108,6 +275,10 @@ let with_compact_sets ?(linkage = Decompose.Max) ?relaxation
     }
   end
   else begin
+    Obs.Report.set report "block_workers" (Obs.Json.Int block_workers);
+    Obs.Report.set report "effective_block_workers"
+      (Obs.Json.Int (effective_block_workers block_workers));
+    Obs.Report.set report "solver_workers" (Obs.Json.Int workers);
     let stats = Stats.create () in
     let optimal = ref true in
     let (tree, deco), elapsed_s =
@@ -120,32 +291,22 @@ let with_compact_sets ?(linkage = Decompose.Max) ?relaxation
               m "decomposed %d species into %d blocks (largest %d)" n
                 (Decompose.n_blocks deco)
                 (Decompose.largest_block deco));
-          (* Solve blocks bottom-up: a block's "species" are its
-             children; each solved small tree has leaves 0 .. k-1 which
-             we replace by the recursively built child subtrees. *)
-          let rec build_child (child : Laminar.tree) =
-            match child with
-            | Laminar.Elem i -> Utree.leaf i
-            | Laminar.Set _ ->
-                solve_block (List.assq child deco.Decompose.set_blocks)
-          and solve_block (block : Decompose.block) =
-            match block.children with
-            | [ only ] -> build_child only
-            | children ->
-                let small_tree =
-                  solve_small ~options ~workers ~progress ~report stats
-                    optimal block.Decompose.small
-                in
-                let arr = Array.of_list children in
-                Utree.map_leaves (fun a -> build_child arr.(a)) small_tree
-          in
-          let merged =
+          (* Sibling blocks are independent exact solves — the laminar
+             family's natural task parallelism.  Solve them all over the
+             inter-block pool, then merge and graft deterministically. *)
+          let slots = slots_of deco in
+          let results =
             Obs.Report.timed_phase report "solve-blocks" (fun () ->
-                solve_block deco.Decompose.root_block)
+                solve_slots ~options ~workers ~block_workers ~progress slots)
           in
+          merge_results ~report ~stats ~optimal results;
           Log.debug (fun m ->
               m "blocks solved: %d BBT nodes expanded in total"
                 stats.Stats.expanded);
+          let merged =
+            Obs.Report.timed_phase report "graft" (fun () ->
+                graft slots results)
+          in
           (* The graft fixes a topology; re-realising against the full
              matrix yields the cheapest feasible ultrametric tree with
              that topology (and repairs any height inversion the Min/Avg
@@ -178,8 +339,10 @@ type comparison = {
   report : Obs.Report.t;
 }
 
-let compare_methods ?linkage ?options ?workers ?progress dm =
-  let with_cs = with_compact_sets ?linkage ?options ?workers ?progress dm in
+let compare_methods ?linkage ?options ?workers ?block_workers ?progress dm =
+  let with_cs =
+    with_compact_sets ?linkage ?options ?workers ?block_workers ?progress dm
+  in
   let without_cs = exact ?options ?workers ?progress dm in
   let time_saved_pct =
     if without_cs.elapsed_s <= 0. then 0.

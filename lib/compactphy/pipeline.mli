@@ -9,13 +9,29 @@ open Import
     together, and re-realises the merged topology against the original
     matrix — the "with compact sets" condition.  Compactness guarantees
     the graft is consistent: everything inside a compact set is closer
-    than anything outside it, so the block structure can only help. *)
+    than anything outside it, so the block structure can only help.
+
+    {2 Two orthogonal axes of parallelism}
+
+    The decomposition exposes task parallelism {e between} blocks
+    (sibling blocks are independent exact solves) on top of the domain
+    parallelism {e inside} one branch-and-bound search
+    ({!Parbnb.Par_bnb}).  [with_compact_sets] drives both:
+    [~block_workers] dispatches blocks largest-first over a
+    {!Parbnb.Domain_pool} (so the longest solve overlaps everything
+    else), while [~workers] is the per-block solver's domain count.
+    Results are merged in deterministic block order, so costs, summed
+    statistics and the run manifest are identical for every
+    [block_workers] value; see {!plan_workers} for splitting a domain
+    budget between the two axes. *)
 
 type run = {
   tree : Utree.t;  (** feasible ultrametric tree over the input matrix *)
   cost : float;  (** its weight *)
   elapsed_s : float;  (** wall-clock seconds for the whole construction *)
-  stats : Stats.t;  (** branch-and-bound statistics, summed over blocks *)
+  stats : Stats.t;
+      (** branch-and-bound statistics, summed over blocks in block-id
+          order (deterministic under inter-block scheduling) *)
   n_blocks : int;  (** 1 for [exact] *)
   largest_block : int;  (** species count of the largest solved matrix *)
   optimal : bool;
@@ -24,9 +40,10 @@ type run = {
           near-optimal, not guaranteed optimal) *)
   report : Obs.Report.t;
       (** run manifest: phase timings ([decompose] / [solve-blocks] /
-          [re-realise], or [solve] for {!exact}), one worker entry per
-          solved block (size + search counters), and the summary
-          fields; serialise with [Obs.Report.to_json] *)
+          [graft] / [re-realise], or [solve] for {!exact}), one worker
+          entry per solved block in block-id order ([block] id,
+          [block_size], [queue_wait_s], [solve_s], search counters), and
+          the summary fields; serialise with [Obs.Report.to_json] *)
 }
 
 val src : Logs.src
@@ -40,26 +57,54 @@ val exact :
   run
 (** Minimum ultrametric tree of the full matrix.  [workers] defaults to
     1 (sequential); more workers use the domain-parallel solver.
-    [progress] streams live solver samples (see [Obs.Progress]). *)
+    [progress] streams live solver samples (see [Obs.Progress]).
+
+    @raise Invalid_argument if [workers < 1]. *)
 
 val with_compact_sets :
   ?linkage:Decompose.linkage ->
   ?relaxation:float ->
   ?options:Solver.options ->
   ?workers:int ->
+  ?block_workers:int ->
   ?progress:Obs.Progress.t ->
   Dist_matrix.t ->
   run
 (** The paper's fast construction.  Default linkage [Max] (the variant
     the paper evaluates).  [relaxation >= 1.] (default 1.) uses
     alpha-compact sets, decomposing more aggressively on noisy data.
-    [workers] parallelises the per-block solver.
+
+    [workers] (default 1) parallelises each block's branch-and-bound;
+    [block_workers] (default 1) solves that many independent blocks
+    concurrently, largest-first.  The two compose: up to
+    [block_workers * workers] domains run at once.  Whatever the split,
+    the returned cost, tree (up to the solver's existing tie-breaking),
+    summed [stats] and manifest are identical to the sequential run.
+
+    [block_workers] beyond the host's recommended domain count is
+    clamped (oversubscription only adds GC synchronisation), so a large
+    value reads as "as parallel as this machine allows"; the manifest
+    records both the requested [block_workers] and the
+    [effective_block_workers] used.
 
     Telemetry: the whole construction runs under an [Obs.Span] named
     ["pipeline.with_compact_sets"], with nested phase spans matching the
-    manifest phases.
+    manifest phases ([decompose], [solve-blocks], [graft],
+    [re-realise]).
 
-    @raise Invalid_argument on an empty matrix. *)
+    @raise Invalid_argument on an empty matrix, or if [workers < 1] or
+    [block_workers < 1]. *)
+
+val plan_workers : budget:int -> Decompose.t -> int * int
+(** [plan_workers ~budget deco] splits a total domain budget into
+    [(block_workers, workers)] for {!with_compact_sets}.  Heuristic: a
+    single big block that dominates the decomposition's estimated search
+    cost gets the whole budget as intra-block domains (inter-block
+    dispatch could not overlap anything comparable); many comparable
+    small blocks get the budget as inter-block domains first, and only
+    the remainder inside each solve.
+
+    @raise Invalid_argument if [budget < 1]. *)
 
 type comparison = {
   with_cs : run;
@@ -79,8 +124,10 @@ val compare_methods :
   ?linkage:Decompose.linkage ->
   ?options:Solver.options ->
   ?workers:int ->
+  ?block_workers:int ->
   ?progress:Obs.Progress.t ->
   Dist_matrix.t ->
   comparison
 (** Run both conditions on the same matrix — one row of the paper's
-    Figures 8-13. *)
+    Figures 8-13.  [block_workers] applies to the compact-set condition
+    only (the exact baseline is a single block). *)

@@ -44,6 +44,8 @@ let timed_phase t ?meta name f =
 
 let add_worker t fields = locked t (fun () -> t.workers <- Json.Obj fields :: t.workers)
 
+let workers t = locked t (fun () -> List.rev t.workers)
+
 let phases t =
   locked t (fun () ->
       List.rev_map (fun p -> (p.phase_name, p.elapsed_s)) t.phases)

@@ -26,6 +26,12 @@ val timed_phase : t -> ?meta:(string * Json.t) list -> string -> (unit -> 'a) ->
 val add_worker : t -> (string * Json.t) list -> unit
 (** Append a per-worker (or per-block) entry to the [workers] array. *)
 
+val workers : t -> Json.t list
+(** The per-worker entries in insertion order (each a [Json.Obj]) —
+    what [to_json] serialises under ["workers"].  The pipeline appends
+    one entry per solved block in deterministic block-id order, whatever
+    order the inter-block scheduler finished them in. *)
+
 val phases : t -> (string * float) list
 (** Phase timings in insertion order. *)
 

@@ -1,0 +1,35 @@
+let map ~n_workers f tasks =
+  if n_workers < 1 then invalid_arg "Domain_pool.map: n_workers < 1";
+  let n = Array.length tasks in
+  if n_workers = 1 || n <= 1 then Array.map f tasks
+  else begin
+    let next = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let rec drain () =
+      if not (Atomic.get stop) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f tasks.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              errors.(i) <- Some e;
+              Atomic.set stop true);
+          drain ()
+        end
+      end
+    in
+    let domains =
+      List.init (Int.min n_workers n) (fun _ -> Domain.spawn drain)
+    in
+    List.iter Domain.join domains;
+    (* Claim order is index order, so the first recorded exception is the
+       first one raised among tasks that actually started. *)
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Domain_pool.map: unreachable missing result")
+      results
+  end

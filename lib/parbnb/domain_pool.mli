@@ -1,0 +1,22 @@
+(** A reusable fixed-size pool of domains for independent tasks.
+
+    Where {!Shared_pool} is the work-sharing queue {e inside} one
+    branch-and-bound search (nodes flow between workers mid-solve),
+    this pool runs a batch of {e unrelated} tasks — one compact-set
+    block solve each, in the pipeline — over a bounded number of
+    domains.  Tasks are claimed in array order, so the caller controls
+    the schedule by ordering the input (the pipeline submits blocks
+    largest-first to minimise makespan); results always come back in
+    input order, which keeps downstream merges deterministic whatever
+    order tasks actually finished in. *)
+
+val map : n_workers:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~n_workers f tasks] applies [f] to every task and returns the
+    results in input order.  [n_workers = 1] (or a single task) runs
+    everything in the calling domain with no spawns; otherwise
+    [min n_workers (Array.length tasks)] domains each repeatedly claim
+    the next unclaimed index.  If any [f] raises, the first exception
+    (in claim order) is re-raised after all domains have drained, and
+    no further tasks are started.
+
+    @raise Invalid_argument if [n_workers < 1]. *)

@@ -8,6 +8,7 @@ module Laminar = Cgraph.Laminar
 module Utree = Ultra.Utree
 module Tree_check = Ultra.Tree_check
 module Solver = Bnb.Solver
+module Stats = Bnb.Stats
 module Decompose = Compactphy.Decompose
 module Pipeline = Compactphy.Pipeline
 module Paper_example = Compactphy.Paper_example
@@ -132,6 +133,100 @@ let test_pipeline_parallel_workers () =
   let parr = Pipeline.with_compact_sets ~workers:4 m in
   check_float "same cost" seqr.Pipeline.cost parr.Pipeline.cost
 
+let check_stats_equal msg (a : Stats.t) (b : Stats.t) =
+  let check field va vb =
+    Alcotest.(check int) (Printf.sprintf "%s: %s" msg field) va vb
+  in
+  check "expanded" a.Stats.expanded b.Stats.expanded;
+  check "generated" a.Stats.generated b.Stats.generated;
+  check "pruned" a.Stats.pruned b.Stats.pruned;
+  check "pruned_33" a.Stats.pruned_33 b.Stats.pruned_33;
+  check "ub_updates" a.Stats.ub_updates b.Stats.ub_updates;
+  check "max_open" a.Stats.max_open b.Stats.max_open
+
+let test_block_workers_deterministic () =
+  (* The inter-block scheduler must be invisible in the results: same
+     cost and identical summed search statistics for every worker
+     count. *)
+  let m = Gen.near_ultrametric ~rng:(rng 9) ~noise:0.2 14 in
+  let base = Pipeline.with_compact_sets m in
+  Alcotest.(check bool) "multi-block decomposition" true
+    (base.Pipeline.n_blocks >= 4);
+  List.iter
+    (fun block_workers ->
+      let r = Pipeline.with_compact_sets ~block_workers m in
+      check_float
+        (Printf.sprintf "cost, block_workers=%d" block_workers)
+        base.Pipeline.cost r.Pipeline.cost;
+      check_stats_equal
+        (Printf.sprintf "stats, block_workers=%d" block_workers)
+        base.Pipeline.stats r.Pipeline.stats)
+    [ 1; 2; 4 ]
+
+let test_manifest_one_entry_per_block () =
+  (* Whatever order the pool finishes blocks in, the manifest lists one
+     worker entry per solved (>= 2 children) block, in block-id order. *)
+  let m = Gen.near_ultrametric ~rng:(rng 9) ~noise:0.2 14 in
+  let deco = Decompose.decompose m in
+  let solvable id (block : Decompose.block) =
+    if List.length block.Decompose.children >= 2 then Some id else None
+  in
+  let expected =
+    List.filter_map Fun.id
+      (solvable 0 deco.Decompose.root_block
+      :: List.mapi
+           (fun i (_, b) -> solvable (i + 1) b)
+           deco.Decompose.set_blocks)
+  in
+  List.iter
+    (fun block_workers ->
+      let r = Pipeline.with_compact_sets ~block_workers m in
+      let ids =
+        List.map
+          (function
+            | Obs.Json.Obj fields -> (
+                match List.assoc_opt "block" fields with
+                | Some (Obs.Json.Int id) -> id
+                | _ -> Alcotest.fail "worker entry without block id")
+            | _ -> Alcotest.fail "worker entry is not an object")
+          (Obs.Report.workers r.Pipeline.report)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "block ids, block_workers=%d" block_workers)
+        expected ids)
+    [ 1; 4 ]
+
+let test_rejects_bad_worker_counts () =
+  let m = Gen.uniform_metric ~rng:(rng 3) 6 in
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "workers 0" (fun () ->
+      Pipeline.with_compact_sets ~workers:0 m);
+  expect_invalid "block_workers 0" (fun () ->
+      Pipeline.with_compact_sets ~block_workers:0 m);
+  expect_invalid "workers -1" (fun () ->
+      Pipeline.with_compact_sets ~workers:(-1) m);
+  expect_invalid "exact workers 0" (fun () -> Pipeline.exact ~workers:0 m);
+  expect_invalid "plan budget 0" (fun () ->
+      Pipeline.plan_workers ~budget:0 (Decompose.decompose m))
+
+let test_plan_workers_sane () =
+  List.iter
+    (fun (seed, n) ->
+      let m = Gen.near_ultrametric ~rng:(rng seed) ~noise:0.3 n in
+      let deco = Decompose.decompose m in
+      List.iter
+        (fun budget ->
+          let bw, sw = Pipeline.plan_workers ~budget deco in
+          Alcotest.(check bool) "block_workers >= 1" true (bw >= 1);
+          Alcotest.(check bool) "workers >= 1" true (sw >= 1);
+          Alcotest.(check bool) "within budget" true (bw * sw <= budget))
+        [ 1; 2; 4; 8 ])
+    [ (9, 14); (3, 6); (800, 16) ]
+
 let test_all_linkages_give_valid_trees () =
   let m = Gen.near_ultrametric ~rng:(rng 10) ~noise:0.3 13 in
   List.iter
@@ -238,6 +333,13 @@ let () =
             test_exact_ultrametric_input_is_recovered;
           Alcotest.test_case "parallel workers" `Quick
             test_pipeline_parallel_workers;
+          Alcotest.test_case "block workers deterministic" `Quick
+            test_block_workers_deterministic;
+          Alcotest.test_case "manifest entry per block" `Quick
+            test_manifest_one_entry_per_block;
+          Alcotest.test_case "rejects bad worker counts" `Quick
+            test_rejects_bad_worker_counts;
+          Alcotest.test_case "plan_workers sane" `Quick test_plan_workers_sane;
           Alcotest.test_case "all linkages valid" `Quick
             test_all_linkages_give_valid_trees;
           Alcotest.test_case "relaxed pipeline" `Quick

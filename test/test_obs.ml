@@ -257,6 +257,17 @@ let test_report () =
   Alcotest.(check bool) "workers" true
     (contains ~affix:"\"workers\":[{\"worker\":0}]" j)
 
+let test_report_workers_accessor () =
+  let r = Obs.Report.create "unit" in
+  Alcotest.(check int) "empty" 0 (List.length (Obs.Report.workers r));
+  Obs.Report.add_worker r [ ("worker", Obs.Json.Int 0) ];
+  Obs.Report.add_worker r [ ("worker", Obs.Json.Int 1) ];
+  match Obs.Report.workers r with
+  | [ Obs.Json.Obj [ ("worker", Obs.Json.Int 0) ];
+      Obs.Json.Obj [ ("worker", Obs.Json.Int 1) ] ] ->
+      ()
+  | _ -> Alcotest.fail "workers not returned in insertion order"
+
 (* --- Progress --- *)
 
 let test_progress_ndjson () =
@@ -399,7 +410,12 @@ let () =
           Alcotest.test_case "add semantics" `Quick test_stats_add;
           Alcotest.test_case "json" `Quick test_stats_json;
         ] );
-      ("report", [ Alcotest.test_case "lifecycle" `Quick test_report ]);
+      ( "report",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_report;
+          Alcotest.test_case "workers accessor" `Quick
+            test_report_workers_accessor;
+        ] );
       ( "progress",
         [
           Alcotest.test_case "ndjson" `Quick test_progress_ndjson;

@@ -8,6 +8,7 @@ module Solver = Bnb.Solver
 module Par_bnb = Parbnb.Par_bnb
 module Stats = Bnb.Stats
 module Shared_pool = Parbnb.Shared_pool
+module Domain_pool = Parbnb.Domain_pool
 module Bb_tree = Bnb.Bb_tree
 
 let rng seed = Random.State.make [| seed |]
@@ -119,6 +120,44 @@ let test_pool_donation_wakes_parked () =
          donation; accept only if the node is still in the pool. *)
       Alcotest.(check bool) "node preserved" false (Shared_pool.is_empty pool))
 
+(* --- Domain_pool --- *)
+
+let test_dpool_preserves_order () =
+  let tasks = Array.init 100 Fun.id in
+  List.iter
+    (fun n_workers ->
+      let out = Domain_pool.map ~n_workers (fun i -> i * i) tasks in
+      Alcotest.(check (array int))
+        (Printf.sprintf "order, %d workers" n_workers)
+        (Array.init 100 (fun i -> i * i))
+        out)
+    [ 1; 2; 4 ]
+
+let test_dpool_more_workers_than_tasks () =
+  let out = Domain_pool.map ~n_workers:8 (fun i -> i + 1) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "all done" [| 2; 3; 4 |] out
+
+let test_dpool_empty_and_single () =
+  Alcotest.(check (array int)) "empty" [||]
+    (Domain_pool.map ~n_workers:4 Fun.id [||]);
+  Alcotest.(check (array int)) "single" [| 7 |]
+    (Domain_pool.map ~n_workers:4 Fun.id [| 7 |])
+
+let test_dpool_rejects_zero_workers () =
+  match Domain_pool.map ~n_workers:0 Fun.id [| 1 |] with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Invalid_argument _ -> ()
+
+let test_dpool_propagates_exception () =
+  let f i = if i = 5 then failwith "boom" else i in
+  (match Domain_pool.map ~n_workers:3 f (Array.init 20 Fun.id) with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+  (* Sequential fallback path too. *)
+  match Domain_pool.map ~n_workers:1 f (Array.init 20 Fun.id) with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ()
+
 let prop_parallel_equals_sequential =
   QCheck.Test.make ~name:"parallel cost = sequential cost" ~count:20
     (QCheck.make
@@ -158,6 +197,19 @@ let () =
             test_pool_all_workers_park;
           Alcotest.test_case "donation wakes parked" `Quick
             test_pool_donation_wakes_parked;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "preserves order" `Quick
+            test_dpool_preserves_order;
+          Alcotest.test_case "more workers than tasks" `Quick
+            test_dpool_more_workers_than_tasks;
+          Alcotest.test_case "empty and single" `Quick
+            test_dpool_empty_and_single;
+          Alcotest.test_case "rejects zero workers" `Quick
+            test_dpool_rejects_zero_workers;
+          Alcotest.test_case "propagates exception" `Quick
+            test_dpool_propagates_exception;
         ] );
       ("properties", q [ prop_parallel_equals_sequential ]);
     ]
