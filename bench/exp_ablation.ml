@@ -13,7 +13,11 @@ let linkage ~quick () =
   let rows =
     List.init datasets (fun seed ->
         let m = Workloads.mtdna ~seed:(seed + 31337) n in
-        let run l = Pipeline.with_compact_sets ~linkage:l m in
+        let run l =
+          Pipeline.with_compact_sets
+            ~config:Compactphy.Run_config.(default |> with_linkage l)
+            m
+        in
         let rmax = run Decompose.Max
         and rmin = run Decompose.Min
         and ravg = run Decompose.Avg in
@@ -230,7 +234,11 @@ let relaxation ~quick () =
         let costs = ref [] and times = ref [] and largest = ref 0 in
         for seed = 0 to 4 do
           let m = Workloads.random_uniform ~seed:(seed + 3333) n in
-          let r = Pipeline.with_compact_sets ~relaxation:alpha m in
+          let r =
+            Pipeline.with_compact_sets
+              ~config:Compactphy.Run_config.(default |> with_relaxation alpha)
+              m
+          in
           costs := r.Pipeline.cost :: !costs;
           times := r.Pipeline.elapsed_s :: !times;
           largest := Int.max !largest r.Pipeline.largest_block

@@ -13,7 +13,11 @@ let reps ~quick = if quick then 3 else 5
 let time_config ~reps ~block_workers ~workers m =
   let runs =
     List.init reps (fun _ ->
-        let r = Pipeline.with_compact_sets ~block_workers ~workers m in
+        let config =
+          Compactphy.Run_config.(
+            default |> with_block_workers block_workers |> with_workers workers)
+        in
+        let r = Pipeline.with_compact_sets ~config m in
         (r.Pipeline.elapsed_s, r.Pipeline.cost))
   in
   let times = List.map fst runs in

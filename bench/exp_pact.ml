@@ -19,8 +19,9 @@ let run_one ?(cap = 0) m label =
     if cap > 0 then Workloads.capped_options cap
     else Bnb.Solver.default_options
   in
-  let w = Pipeline.with_compact_sets ~options m in
-  let wo = Pipeline.exact ~options m in
+  let config = Compactphy.Run_config.(default |> with_solver options) in
+  let w = Pipeline.with_compact_sets ~config m in
+  let wo = Pipeline.exact ~config m in
   (* Attach both run manifests (phase timings + per-block pruning
      counters) to the experiment manifest, one entry per measured run. *)
   Manifest.record (fun r ->

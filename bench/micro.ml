@@ -25,6 +25,43 @@ let tree_20 =
     (let m = Lazy.force random_20 in
      Clustering.Linkage.upgmm m)
 
+(* Reference-vs-incremental expansion fixture: a prepared problem per
+   kernel plus one representative DFS path (the best child at every
+   level), so the timed expansions span every insertion size k. *)
+let kernel_fixture =
+  lazy
+    (let m = Lazy.force random_20 in
+     let prep kernel =
+       Bnb.Solver.prepare
+         ~options:{ Bnb.Solver.default_options with Bnb.Solver.kernel }
+         m
+     in
+     let pref = prep Bnb.Solver.Reference in
+     let pinc = prep Bnb.Solver.Incremental in
+     let path, greedy_cost =
+       let stats = Bnb.Stats.create () in
+       let rec down acc node =
+         if Bnb.Bb_tree.is_complete pref.Bnb.Solver.pm node then
+           (List.rev acc, node.Bnb.Bb_tree.cost)
+         else
+           match Bnb.Solver.expand pref node stats with
+           | [] -> (List.rev acc, node.Bnb.Bb_tree.cost)
+           | best :: _ -> down (node :: acc) best
+       in
+       down [] (Bnb.Bb_tree.root pref.Bnb.Solver.pm)
+     in
+     (* The bound a steady-state search prunes with: the incumbent after
+        the first depth-first descent (or UPGMM if that is tighter). *)
+     let ub = Float.min pref.Bnb.Solver.ub0 greedy_cost in
+     (pref, pinc, path, ub))
+
+let expand_path problem ~ub =
+  let _, _, path, _ = Lazy.force kernel_fixture in
+  let stats = Bnb.Stats.create () in
+  List.iter
+    (fun node -> ignore (Bnb.Solver.expand ~ub problem node stats))
+    path
+
 let tests =
   [
     Test.make ~name:"mst/prim-100"
@@ -47,6 +84,14 @@ let tests =
       (Staged.stage (fun () ->
            Bnb.Bb_tree.insertions (Lazy.force random_20) (Lazy.force tree_20)
              19));
+    Test.make ~name:"bnb/expand-ref-20"
+      (Staged.stage (fun () ->
+           let pref, _, _, ub = Lazy.force kernel_fixture in
+           expand_path pref ~ub));
+    Test.make ~name:"bnb/expand-inc-20"
+      (Staged.stage (fun () ->
+           let _, pinc, _, ub = Lazy.force kernel_fixture in
+           expand_path pinc ~ub));
     Test.make ~name:"bnb/maxmin-permutation-100"
       (Staged.stage (fun () ->
            Distmat.Permutation.maxmin (Lazy.force mtdna_100)));
@@ -94,6 +139,52 @@ let tests =
           in
           fun () -> Seqsim.Distance.matrix (Lazy.force seqs)));
   ]
+
+(* CI smoke job for the expansion kernels: time the same DFS path of
+   expansions through the reference and incremental paths, record the
+   ratio in the manifest (and CSV).  Trajectory only — no thresholds
+   enforced here; CI uploads the artifacts for inspection. *)
+let kernel_smoke ~quick () =
+  let pref, pinc, path, ub = Lazy.force kernel_fixture in
+  let iters = if quick then 300 else 2_000 in
+  let time problem =
+    (* One warm-up pass keeps allocation effects out of the first
+       measured iteration. *)
+    expand_path problem ~ub;
+    let t0 = Obs.Clock.counter () in
+    for _ = 1 to iters do
+      expand_path problem ~ub
+    done;
+    Obs.Clock.elapsed_s t0
+  in
+  let t_ref = time pref in
+  let t_inc = time pinc in
+  let n_expand = iters * List.length path in
+  let per_ref = t_ref /. float_of_int n_expand in
+  let per_inc = t_inc /. float_of_int n_expand in
+  let speedup = if t_inc > 0. then t_ref /. t_inc else infinity in
+  Manifest.record (fun r ->
+      Obs.Report.set r "n"
+        (Obs.Json.Int (Distmat.Dist_matrix.size (Lazy.force random_20)));
+      Obs.Report.set r "path_length" (Obs.Json.Int (List.length path));
+      Obs.Report.set r "iters" (Obs.Json.Int iters);
+      Obs.Report.set r "expand_reference_s" (Obs.Json.Float t_ref);
+      Obs.Report.set r "expand_incremental_s" (Obs.Json.Float t_inc);
+      Obs.Report.set r "expand_reference_per_call_s" (Obs.Json.Float per_ref);
+      Obs.Report.set r "expand_incremental_per_call_s"
+        (Obs.Json.Float per_inc);
+      Obs.Report.set r "speedup" (Obs.Json.Float speedup));
+  Table.print ~title:"Kernel smoke — expansion path, 20 species"
+    ~headers:[ "kernel"; "total"; "per expand"; "speedup" ]
+    [
+      [ "reference"; Table.seconds t_ref; Table.seconds per_ref; "1.00" ];
+      [
+        "incremental";
+        Table.seconds t_inc;
+        Table.seconds per_inc;
+        Table.f2 speedup;
+      ];
+    ]
 
 let run () =
   let ols =

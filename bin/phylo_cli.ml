@@ -10,7 +10,9 @@ module Gen = Distmat.Gen
 module Compact_sets = Cgraph.Compact_sets
 module Newick = Ultra.Newick
 module Solver = Bnb.Solver
+module Kernel = Bnb.Kernel
 module Pipeline = Compactphy.Pipeline
+module Run_config = Compactphy.Run_config
 module Decompose = Compactphy.Decompose
 module Platform = Clustersim.Platform
 module Dist_bnb = Clustersim.Dist_bnb
@@ -151,22 +153,23 @@ let pos_int =
 let workers_opt =
   Arg.(
     value
-    & opt pos_int 1
+    & opt (some pos_int) None
     & info [ "j"; "workers" ] ~docv:"N"
         ~doc:
           "Worker domains inside each branch-and-bound search (must be \
-           >= 1).")
+           >= 1; overrides the preset).")
 
 let block_workers_opt =
   Arg.(
     value
-    & opt pos_int 1
+    & opt (some pos_int) None
     & info [ "block-workers" ] ~docv:"N"
         ~doc:
           "Independent compact-set blocks solved concurrently \
-           (largest-first; must be >= 1).  Composes with $(b,--workers): \
-           up to $(docv) * workers domains run at once.  Results are \
-           identical to the sequential schedule.")
+           (largest-first; must be >= 1; overrides the preset).  \
+           Composes with $(b,--workers): up to $(docv) * workers domains \
+           run at once.  Results are identical to the sequential \
+           schedule.")
 
 let linkage_opt =
   let linkage_conv =
@@ -175,11 +178,80 @@ let linkage_opt =
   in
   Arg.(
     value
-    & opt linkage_conv Decompose.Max
+    & opt (some linkage_conv) None
     & info [ "linkage" ] ~docv:"KIND"
         ~doc:
           "Representative distance for small matrices: $(b,max) (the \
-           paper's variant), $(b,min) or $(b,avg).")
+           paper's variant, the default), $(b,min) or $(b,avg).")
+
+let preset_opt =
+  let preset_conv =
+    Arg.enum
+      [
+        ("paper", Run_config.Paper);
+        ("fast", Run_config.Fast);
+        ("exhaustive", Run_config.Exhaustive);
+      ]
+  in
+  Arg.(
+    value
+    & opt (some preset_conv) None
+    & info [ "preset" ] ~docv:"NAME"
+        ~doc:
+          "Named configuration: $(b,paper) (the published sequential \
+           setup with the reference expansion kernel), $(b,fast) \
+           (incremental kernels plus host-sized parallelism) or \
+           $(b,exhaustive) (gather every optimal tree, best-first).  \
+           Individual flags override the preset; the manifest records \
+           both.")
+
+let kernel_opt =
+  let kernel_conv =
+    let parse s =
+      match Kernel.kind_of_string s with
+      | Some k -> Ok k
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown kernel %S (expected reference or incremental)" s))
+    in
+    Arg.conv ~docv:"KERNEL"
+      (parse, fun ppf k -> Format.pp_print_string ppf (Kernel.kind_to_string k))
+  in
+  Arg.(
+    value
+    & opt (some kernel_conv) None
+    & info [ "kernel" ] ~docv:"KERNEL"
+        ~doc:
+          "Branch-and-bound expansion kernel: $(b,incremental) (score \
+           insertions from the flat matrix, realise only un-pruned \
+           children — the default) or $(b,reference) (materialise all \
+           children first — the seed behaviour).  Both explore the \
+           identical search tree.")
+
+(* Preset first, then explicit flags on top, so [--preset fast -j 1]
+   means "fast, but sequential inside each block". *)
+let build_config ~preset ~kernel ~linkage ~workers ~block_workers ~progress =
+  let apply v f cfg = match v with Some v -> f v cfg | None -> cfg in
+  Run_config.default
+  |> apply preset (fun p _ -> Run_config.of_preset p)
+  |> apply linkage Run_config.with_linkage
+  |> apply workers Run_config.with_workers
+  |> apply block_workers Run_config.with_block_workers
+  |> apply kernel (fun k cfg ->
+         Run_config.with_solver
+           { cfg.Run_config.solver with Solver.kernel = k }
+           cfg)
+  |> apply progress Run_config.with_progress
+
+(* The preset choice itself is not derivable from the config record;
+   stamp it into manifests next to the expanded configuration. *)
+let stamp_preset report preset =
+  Obs.Report.set report "preset"
+    (match preset with
+    | Some p -> Obs.Json.String (Run_config.preset_to_string p)
+    | None -> Obs.Json.Null)
 
 (* --- gen --- *)
 
@@ -303,12 +375,19 @@ let tree_cmd =
              companion paper's Step 7) and print them all, plus their \
              strict consensus.")
   in
-  let run cfg input method_ linkage workers block_workers all nexus output =
+  let run cfg input method_ preset kernel linkage workers block_workers all
+      nexus output =
     with_obs cfg @@ fun () ->
+    let config =
+      build_config ~preset ~kernel ~linkage ~workers ~block_workers
+        ~progress:cfg.progress
+    in
     let names, m = read_matrix input in
     match (method_, all) with
     | `Exact, true ->
-        let options = { Solver.default_options with collect_all = true } in
+        let options =
+          { config.Run_config.solver with Solver.collect_all = true }
+        in
         let r = Solver.solve ~options ?progress:cfg.progress m in
         Fmt.epr "optimum %g; %d optimal tree(s)@." r.Solver.cost
           (List.length r.Solver.all_optimal);
@@ -330,12 +409,8 @@ let tree_cmd =
         let tree =
           match method_ with
           | `Compact ->
-              (Pipeline.with_compact_sets ~linkage ~workers ~block_workers
-                 ?progress:cfg.progress m)
-                .Pipeline.tree
-          | `Exact ->
-              (Pipeline.exact ~workers ?progress:cfg.progress m)
-                .Pipeline.tree
+              (Pipeline.with_compact_sets ~config m).Pipeline.tree
+          | `Exact -> (Pipeline.exact ~config m).Pipeline.tree
           | `Upgmm -> Clustering.Linkage.upgmm m
           | `Upgma ->
               Ultra.Utree.minimal_realization m (Clustering.Linkage.upgma m)
@@ -355,8 +430,9 @@ let tree_cmd =
     (Cmd.info "tree"
        ~doc:"Construct an ultrametric tree (Newick or NEXUS output).")
     Term.(
-      const run $ obs_term $ input_arg $ method_opt $ linkage_opt
-      $ workers_opt $ block_workers_opt $ all $ nexus $ output_opt)
+      const run $ obs_term $ input_arg $ method_opt $ preset_opt $ kernel_opt
+      $ linkage_opt $ workers_opt $ block_workers_opt $ all $ nexus
+      $ output_opt)
 
 (* --- compare --- *)
 
@@ -381,19 +457,24 @@ let compare_cmd =
              is \"unendurable\"); capped runs report the best tree found \
              within the budget.")
   in
-  let run cfg input linkage workers block_workers cap manifest =
+  let run cfg input preset kernel linkage workers block_workers cap manifest =
     check_writable manifest;
     with_obs cfg @@ fun () ->
     let _, m = read_matrix input in
-    let options =
+    let config =
+      build_config ~preset ~kernel ~linkage ~workers ~block_workers
+        ~progress:cfg.progress
+    in
+    let config =
       match cap with
-      | None -> Bnb.Solver.default_options
-      | Some n -> { Bnb.Solver.default_options with max_expanded = Some n }
+      | None -> config
+      | Some n ->
+          Run_config.with_solver
+            { config.Run_config.solver with Solver.max_expanded = Some n }
+            config
     in
-    let c =
-      Pipeline.compare_methods ~linkage ~options ~workers ~block_workers
-        ?progress:cfg.progress m
-    in
+    let c = Pipeline.compare_methods ~config m in
+    stamp_preset c.Pipeline.report preset;
     Fmt.pr "@[<v>with compact sets:    cost %-12g %8.4f s (%d blocks, largest %d)@,"
       c.Pipeline.with_cs.Pipeline.cost c.Pipeline.with_cs.Pipeline.elapsed_s
       c.Pipeline.with_cs.Pipeline.n_blocks
@@ -417,8 +498,8 @@ let compare_cmd =
     (Cmd.info "compare"
        ~doc:"Compare construction with and without compact sets.")
     Term.(
-      const run $ obs_term $ input_arg $ linkage_opt $ workers_opt
-      $ block_workers_opt $ cap $ manifest)
+      const run $ obs_term $ input_arg $ preset_opt $ kernel_opt $ linkage_opt
+      $ workers_opt $ block_workers_opt $ cap $ manifest)
 
 (* --- render --- *)
 
@@ -428,17 +509,18 @@ let render_cmd =
       value & flag
       & info [ "svg" ] ~doc:"Emit an SVG document instead of ASCII art.")
   in
-  let run cfg input method_ linkage workers block_workers svg output =
+  let run cfg input method_ preset kernel linkage workers block_workers svg
+      output =
     with_obs cfg @@ fun () ->
+    let config =
+      build_config ~preset ~kernel ~linkage ~workers ~block_workers
+        ~progress:cfg.progress
+    in
     let names, m = read_matrix input in
     let tree =
       match method_ with
-      | `Compact ->
-          (Pipeline.with_compact_sets ~linkage ~workers ~block_workers
-             ?progress:cfg.progress m)
-            .Pipeline.tree
-      | `Exact ->
-          (Pipeline.exact ~workers ?progress:cfg.progress m).Pipeline.tree
+      | `Compact -> (Pipeline.with_compact_sets ~config m).Pipeline.tree
+      | `Exact -> (Pipeline.exact ~config m).Pipeline.tree
       | `Upgmm -> Clustering.Linkage.upgmm m
       | `Upgma ->
           Ultra.Utree.minimal_realization m (Clustering.Linkage.upgma m)
@@ -455,8 +537,8 @@ let render_cmd =
     (Cmd.info "render"
        ~doc:"Construct a tree and draw it as an ASCII or SVG dendrogram.")
     Term.(
-      const run $ obs_term $ input_arg $ method_opt $ linkage_opt
-      $ workers_opt $ block_workers_opt $ svg $ output_opt)
+      const run $ obs_term $ input_arg $ method_opt $ preset_opt $ kernel_opt
+      $ linkage_opt $ workers_opt $ block_workers_opt $ svg $ output_opt)
 
 (* --- treedist --- *)
 
@@ -543,16 +625,18 @@ let report_cmd =
           ~doc:"Emit a standalone HTML report (with an SVG dendrogram) \
                 instead of text.")
   in
-  let run cfg input linkage workers block_workers html output =
+  let run cfg input preset kernel linkage workers block_workers html output =
     with_obs cfg @@ fun () ->
+    let config =
+      build_config ~preset ~kernel ~linkage ~workers ~block_workers
+        ~progress:cfg.progress
+    in
     let names, m = read_matrix input in
     let n = Dist_matrix.size m in
     if html then begin
       let deco = Compactphy.Decompose.decompose m in
       let sets = Cgraph.Compact_sets.find m in
-      let fast =
-        Pipeline.with_compact_sets ~linkage ~workers ~block_workers m
-      in
+      let fast = Pipeline.with_compact_sets ~config m in
       let upgmm = Clustering.Linkage.upgmm m in
       write_or_print output (html_report ~names ~m ~deco ~sets ~fast ~upgmm)
     end
@@ -577,9 +661,7 @@ let report_cmd =
           (String.concat ", " (List.map (fun i -> names.(i)) set)))
       sets;
     Fmt.pr "@.## Trees@.@.";
-    let fast =
-      Pipeline.with_compact_sets ~linkage ~workers ~block_workers m
-    in
+    let fast = Pipeline.with_compact_sets ~config m in
     Fmt.pr "- compact-set tree: cost %.4f in %.4f s (%d blocks)@."
       fast.Pipeline.cost fast.Pipeline.elapsed_s fast.Pipeline.n_blocks;
     let upgmm = Clustering.Linkage.upgmm m in
@@ -599,8 +681,8 @@ let report_cmd =
          "Full analysis report of a matrix (markdown-flavoured text, or \
           HTML with $(b,--html)).")
     Term.(
-      const run $ obs_term $ input_arg $ linkage_opt $ workers_opt
-      $ block_workers_opt $ html $ output_opt)
+      const run $ obs_term $ input_arg $ preset_opt $ kernel_opt $ linkage_opt
+      $ workers_opt $ block_workers_opt $ html $ output_opt)
 
 (* --- align (the sequences model, from FASTA) --- *)
 
@@ -649,7 +731,11 @@ let align_cmd =
     | Some path -> Matrix_io.write_file path (Matrix_io.to_phylip ~names m)
     | None -> ());
     if with_tree then begin
-      let r = Pipeline.with_compact_sets ~workers m in
+      let config =
+        build_config ~preset:None ~kernel:None ~linkage:None ~workers
+          ~block_workers:None ~progress:cfg.progress
+      in
+      let r = Pipeline.with_compact_sets ~config m in
       Buffer.add_string buf
         (Newick.to_string ~names r.Pipeline.tree ^ "\n");
       if bootstrap > 0 then begin

@@ -38,7 +38,11 @@ let () =
   let options =
     { Solver.default_options with max_expanded = Some 500_000 }
   in
-  let exact = Pipeline.exact ~options d.Mtdna.matrix in
+  let exact =
+    Pipeline.exact
+      ~config:Compactphy.Run_config.(default |> with_solver options)
+      d.Mtdna.matrix
+  in
   Fmt.pr "exact search:     cost %.4f in %.4f s (%s)@." exact.Pipeline.cost
     exact.Pipeline.elapsed_s
     (if exact.Pipeline.optimal then "proved optimal" else "budget-capped");

@@ -2,20 +2,17 @@ open Import
 
 type node = { tree : Utree.t; k : int; cost : float; lb : float }
 
-let suffix_min_bounds dm =
-  let n = Dist_matrix.size dm in
-  let dmin x =
-    let best = ref infinity in
-    for j = 0 to n - 1 do
-      if j <> x then best := Float.min !best (Dist_matrix.get dm x j)
-    done;
-    !best
-  in
+let suffix_of_minima mins =
+  let n = Array.length mins in
   let b = Array.make (n + 1) 0. in
   for k = n - 1 downto 0 do
-    b.(k) <- b.(k + 1) +. (dmin k /. 2.)
+    b.(k) <- b.(k + 1) +. (mins.(k) /. 2.)
   done;
   b
+
+let suffix_min_bounds dm =
+  if Dist_matrix.size dm < 2 then Array.make (Dist_matrix.size dm + 1) 0.
+  else suffix_of_minima (Dist_matrix.row_minima dm)
 
 let root dm =
   if Dist_matrix.size dm < 2 then invalid_arg "Bb_tree.root: need n >= 2";

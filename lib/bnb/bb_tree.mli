@@ -24,6 +24,11 @@ val suffix_min_bounds : Dist_matrix.t -> float array
 (** [b.(k)] = sum over species [x >= k] of [min_j D(x,j) / 2] — the LB1
     increment for a node with [k] species inserted.  [b.(n) = 0]. *)
 
+val suffix_of_minima : float array -> float array
+(** {!suffix_min_bounds} from precomputed row minima
+    ({!Distmat.Dist_matrix.row_minima}), so the solver computes the
+    minima once and shares them with the insertion kernel. *)
+
 val insertions : Dist_matrix.t -> Utree.t -> int -> Utree.t list
 (** [insertions dm t sp] are the [2k - 1] minimal realizations obtained
     by inserting leaf [sp] at every position of [t].  Heights are updated

@@ -38,6 +38,8 @@ type mode33 = Off | Third_only | Every_insertion
 type initial_ub = Upgmm_ub | Upgma_ub | Nj_ub | No_heuristic_ub
 type search_order = Dfs | Best_first
 
+type kernel_kind = Kernel.kind = Reference | Incremental
+
 type options = {
   lb : lb_kind;
   relation33 : mode33;
@@ -45,6 +47,7 @@ type options = {
   max_expanded : int option;
   search : search_order;
   collect_all : bool;
+  kernel : kernel_kind;
 }
 
 let default_options =
@@ -55,7 +58,21 @@ let default_options =
     max_expanded = None;
     search = Dfs;
     collect_all = false;
+    kernel = Incremental;
   }
+
+let options ?(lb = default_options.lb)
+    ?(relation33 = default_options.relation33)
+    ?(initial_ub = default_options.initial_ub) ?max_expanded
+    ?(search = default_options.search)
+    ?(collect_all = default_options.collect_all)
+    ?(kernel = default_options.kernel) () =
+  (match max_expanded with
+  | Some cap when cap <= 0 ->
+      invalid_arg
+        (Printf.sprintf "Solver.options: max_expanded = %d (must be > 0)" cap)
+  | Some _ | None -> ());
+  { lb; relation33; initial_ub; max_expanded; search; collect_all; kernel }
 
 type outcome = {
   tree : Utree.t;
@@ -72,16 +89,18 @@ type problem = {
   ub0 : float;
   incumbent0 : Utree.t option;
   opts : options;
+  kstate : Kernel.t;
 }
 
 let prepare ?(options = default_options) dm =
   let perm = Permutation.maxmin dm in
   let pm = Permutation.apply dm perm in
   let n = Dist_matrix.size pm in
+  let kstate = Kernel.prepare pm in
   let lb_extra =
     match options.lb with
     | LB0 -> Array.make (n + 1) 0.
-    | LB1 -> Bb_tree.suffix_min_bounds pm
+    | LB1 -> Bb_tree.suffix_of_minima (Kernel.row_minima kstate)
   in
   let heuristic_tree =
     match options.initial_ub with
@@ -95,36 +114,84 @@ let prepare ?(options = default_options) dm =
     | Some t -> Utree.weight t
     | None -> infinity
   in
-  { pm; perm; lb_extra; ub0; incumbent0 = heuristic_tree; opts = options }
+  { pm; perm; lb_extra; ub0; incumbent0 = heuristic_tree; opts = options; kstate }
 
 let relabel_out problem t =
   let p = Permutation.to_array problem.perm in
   Utree.relabel (fun r -> p.(r)) t
 
-let expand problem (node : Bb_tree.node) stats =
+let tie_eps = 1e-9
+
+(* Safety margin for the incremental kernel's score-based pre-pruning.
+   The score differs from the exact (reweighed) cost only by float
+   rounding — well under 1e-8 for the magnitudes this solver sees — so
+   dropping a candidate only when its score clears the bound by this
+   margin guarantees exact bounds would drop it too, in every pruning
+   mode.  Survivors are re-checked with exact costs by the caller. *)
+let score_safety = 1e-6
+
+let expand ?(ub = infinity) problem (node : Bb_tree.node) stats =
   stats.Stats.expanded <- stats.Stats.expanded + 1;
-  let children = Bb_tree.branch problem.pm ~lb_extra:problem.lb_extra node in
-  stats.Stats.generated <- stats.Stats.generated + List.length children;
   let apply_33 =
     match problem.opts.relation33 with
     | Off -> false
     | Third_only -> node.k = 2
     | Every_insertion -> true
   in
-  if not apply_33 then children
-  else begin
-    let kept =
-      List.filter
-        (fun (c : Bb_tree.node) ->
-          Relation33.compatible_insertion problem.pm c.tree node.k)
-        children
+  if problem.opts.kernel = Incremental && not apply_33 then begin
+    (* Hot path: score all 2k-1 insertions from the flat matrix and
+       realise only candidates the bound cannot already dismiss.  The
+       threshold converts the caller's upper bound into a cost-delta
+       bound, padded so pre-pruning is strictly conservative: any
+       dropped child has an exact lower bound the caller would prune in
+       either pruning mode ([lb >= ub], or [lb > ub + tie_eps] under
+       [collect_all]), and — at the last level — a cost on which
+       recording the solution would be a no-op. *)
+    let sp = node.k in
+    let lb_inc = problem.lb_extra.(sp + 1) in
+    let dthr =
+      if Float.is_finite ub then
+        ub +. tie_eps +. score_safety -. node.cost -. lb_inc
+      else infinity
     in
-    stats.Stats.pruned_33 <-
-      stats.Stats.pruned_33 + List.length children - List.length kept;
-    (* Never let the heuristic constraint empty the candidate list: the
-       companion paper reports 3-3 results as a subset of the full
-       results, which requires at least one child to survive. *)
-    if kept = [] then [ List.hd children ] else kept
+    let survivors, dropped =
+      Kernel.insertions problem.kstate node.tree sp ~dthr
+    in
+    stats.Stats.generated <- stats.Stats.generated + (2 * sp) - 1;
+    (* Dropped complete children would have reached the caller's
+       solution recording (a no-op at these costs), not its pruning
+       counter; dropped partial children would have been pruned. *)
+    if sp + 1 < Dist_matrix.size problem.pm then
+      stats.Stats.pruned <- stats.Stats.pruned + dropped;
+    let children =
+      List.map
+        (fun tree ->
+          let cost = Utree.weight tree in
+          { Bb_tree.tree; k = sp + 1; cost; lb = cost +. lb_inc })
+        survivors
+    in
+    List.sort
+      (fun (a : Bb_tree.node) (b : Bb_tree.node) -> Float.compare a.lb b.lb)
+      children
+  end
+  else begin
+    let children = Bb_tree.branch problem.pm ~lb_extra:problem.lb_extra node in
+    stats.Stats.generated <- stats.Stats.generated + List.length children;
+    if not apply_33 then children
+    else begin
+      let kept =
+        List.filter
+          (fun (c : Bb_tree.node) ->
+            Relation33.compatible_insertion problem.pm c.tree node.k)
+          children
+      in
+      stats.Stats.pruned_33 <-
+        stats.Stats.pruned_33 + List.length children - List.length kept;
+      (* Never let the heuristic constraint empty the candidate list: the
+         companion paper reports 3-3 results as a subset of the full
+         results, which requires at least one child to survive. *)
+      if kept = [] then [ List.hd children ] else kept
+    end
   end
 
 (* Binary min-heap on the lower bound, for the best-first order. *)
@@ -182,8 +249,6 @@ module Node_heap = struct
       Some top
     end
 end
-
-let tie_eps = 1e-9
 
 let solve ?(options = default_options) ?progress dm =
   let n = Dist_matrix.size dm in
@@ -271,7 +336,7 @@ let solve ?(options = default_options) ?progress dm =
             (* Only the n = 2 root can be popped complete. *)
             record_solution node
           else begin
-            let children = expand problem node stats in
+            let children = expand ~ub:!ub problem node stats in
             List.iter
               (fun (c : Bb_tree.node) ->
                 if Bb_tree.is_complete problem.pm c then record_solution c

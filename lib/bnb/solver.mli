@@ -32,6 +32,14 @@ type search_order =
       (** always expand the open node of least lower bound — fewer
           expansions, potentially exponential memory *)
 
+type kernel_kind = Kernel.kind = Reference | Incremental
+(** Which expansion path {!expand} uses: [Reference] realises all
+    [2k - 1] children before bounding (the seed behaviour, kept as the
+    differential-testing baseline); [Incremental] scores candidates from
+    the flat matrix first and realises only un-pruned ones
+    ({!Kernel.insertions}).  Both produce an observably identical
+    search: same trees, same costs, same stats. *)
+
 type options = {
   lb : lb_kind;
   relation33 : mode33;
@@ -45,10 +53,25 @@ type options = {
           ("gather all solutions from each node") does.  Equal-cost
           nodes are then kept instead of pruned, so the search expands
           more nodes. *)
+  kernel : kernel_kind;
 }
 
 val default_options : options
-(** [LB1], [Off], [Upgmm_ub], no cap, [Dfs], [collect_all = false]. *)
+(** [LB1], [Off], [Upgmm_ub], no cap, [Dfs], [collect_all = false],
+    [Incremental]. *)
+
+val options :
+  ?lb:lb_kind ->
+  ?relation33:mode33 ->
+  ?initial_ub:initial_ub ->
+  ?max_expanded:int ->
+  ?search:search_order ->
+  ?collect_all:bool ->
+  ?kernel:kernel_kind ->
+  unit ->
+  options
+(** Smart constructor over {!default_options} that validates its inputs.
+    @raise Invalid_argument if [max_expanded <= 0]. *)
 
 type outcome = {
   tree : Utree.t;  (** best tree found, in the original species labels *)
@@ -94,14 +117,24 @@ type problem = {
   incumbent0 : Utree.t option;
       (** feasible tree realising [ub0] (in permuted labels), if any *)
   opts : options;
+  kstate : Kernel.t;  (** prepared hot-path kernel state *)
 }
 
 val prepare : ?options:options -> Dist_matrix.t -> problem
 
-val expand : problem -> Bb_tree.node -> Stats.t -> Bb_tree.node list
+val expand :
+  ?ub:float -> problem -> Bb_tree.node -> Stats.t -> Bb_tree.node list
 (** Children of a node after 3-3 filtering (recorded in the stats),
-    sorted by ascending lower bound.  Upper-bound pruning is left to the
-    caller, whose incumbent may be shared across workers. *)
+    sorted by ascending lower bound.  Final upper-bound pruning is left
+    to the caller, whose incumbent may be shared across workers.
+
+    With [opts.kernel = Incremental] (and 3-3 filtering off for this
+    node), candidates whose score-based lower bound provably exceeds
+    [ub] (default [infinity] = keep everything) are dropped {e before}
+    being realised, counted into [stats.pruned]; the threshold carries a
+    safety margin so the surviving set is a superset of what the
+    caller's exact bound keeps — pass a stale or conservative [ub]
+    (e.g. a racy snapshot of a shared incumbent) freely. *)
 
 val relabel_out : problem -> Utree.t -> Utree.t
 (** Map a tree over permuted labels back to the original species. *)

@@ -39,8 +39,15 @@ type master = {
 
 exception Expansion_budget_exceeded
 
-let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
-    platform dm =
+let run ?options ?config ?(max_expansions = 30_000_000) platform dm =
+  let options =
+    match (config, options) with
+    | Some _, Some _ ->
+        invalid_arg "Dist_bnb.run: pass either ?config or ?options, not both"
+    | Some c, None -> (Run_config.validate ~who:"Dist_bnb.run" c).Run_config.solver
+    | None, Some o -> o
+    | None, None -> Solver.default_options
+  in
   let n = Dist_matrix.size dm in
   let p = Platform.n_slaves platform in
   if n <= 2 then begin
@@ -147,7 +154,12 @@ let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
               s.n_expanded <- s.n_expanded + 1;
               if !expansions > max_expansions then
                 raise Expansion_budget_exceeded;
-              let children = Solver.expand problem node stats in
+              (* The slave's possibly-stale UB view is a conservative
+                 bound for the kernel's pre-pruning; per-child checks
+                 below re-filter exactly. *)
+              let children =
+                Solver.expand ~ub:s.ub_view problem node stats
+              in
               List.iter
                 (fun (c : Bb_tree.node) ->
                   if Bb_tree.is_complete problem.Solver.pm c then begin
@@ -253,6 +265,10 @@ let run ?(options = Solver.default_options) ?(max_expansions = 30_000_000)
       | _ when List.length expandable >= target -> expandable
       | nd :: rest ->
           incr expansions;
+          (* No [~ub] here: the seeding frontier must reach the slaves
+             even when the incumbent could already prune it, so the
+             simulated workload (and its makespan) matches the paper's
+             scatter phase. *)
           widen (rest @ Solver.expand problem nd stats)
     in
     let seeds, seed_wall_s =

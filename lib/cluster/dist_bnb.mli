@@ -33,13 +33,18 @@ val src : Logs.src
 
 val run :
   ?options:Solver.options ->
+  ?config:Run_config.t ->
   ?max_expansions:int ->
   Platform.t ->
   Dist_matrix.t ->
   result
-(** Simulate one construction.  [max_expansions] (default 30 million)
-    guards against runaway searches.
-    @raise Failure if the guard is hit. *)
+(** Simulate one construction.  Solver knobs come from [?config]'s
+    [solver] field (validated; the pipeline-only fields are ignored) or
+    the legacy [?options] — passing both is an error.  [max_expansions]
+    (default 30 million) guards against runaway searches.
+    @raise Failure if the guard is hit.
+    @raise Invalid_argument if both [?config] and [?options] are given,
+    or the configuration fails {!Run_config.validate}. *)
 
 val speedup :
   ?options:Solver.options ->

@@ -23,13 +23,6 @@ type run = {
   report : Obs.Report.t;
 }
 
-let validate_workers fn ~workers ~block_workers =
-  if workers < 1 then
-    invalid_arg (Printf.sprintf "%s: workers = %d (must be >= 1)" fn workers);
-  if block_workers < 1 then
-    invalid_arg
-      (Printf.sprintf "%s: block_workers = %d (must be >= 1)" fn block_workers)
-
 (* One exact solve of a small matrix: the sequential solver, or the
    domain-parallel one when the intra-block budget allows. *)
 let solve_matrix ~options ~workers ~progress optimal small =
@@ -73,13 +66,17 @@ let finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block stats =
   Obs.Report.set report "largest_block" (Obs.Json.Int largest_block);
   Obs.Report.set report "stats" (Stats.to_json stats)
 
-let exact ?(options = Solver.default_options) ?(workers = 1) ?progress dm =
-  validate_workers "Pipeline.exact" ~workers ~block_workers:1;
+let exact ?(config = Run_config.default) dm =
+  let config = Run_config.validate ~who:"Pipeline.exact" config in
+  let options = config.Run_config.solver in
+  let workers = config.Run_config.workers in
+  let progress = config.Run_config.progress in
   Obs.Span.with_span "pipeline.exact"
     ~args:[ ("n", Obs.Json.Int (Dist_matrix.size dm)) ]
   @@ fun () ->
   let report = Obs.Report.create "pipeline.exact" in
   Obs.Report.set report "n" (Obs.Json.Int (Dist_matrix.size dm));
+  Obs.Report.set report "config" (Run_config.to_json config);
   let stats = Stats.create () in
   let optimal = ref true in
   let tree, elapsed_s =
@@ -249,10 +246,14 @@ let plan_workers ~budget deco =
     end
   end
 
-let with_compact_sets ?(linkage = Decompose.Max) ?relaxation
-    ?(options = Solver.default_options) ?(workers = 1) ?(block_workers = 1)
-    ?progress dm =
-  validate_workers "Pipeline.with_compact_sets" ~workers ~block_workers;
+let with_compact_sets ?(config = Run_config.default) dm =
+  let config = Run_config.validate ~who:"Pipeline.with_compact_sets" config in
+  let options = config.Run_config.solver in
+  let linkage = config.Run_config.linkage in
+  let relaxation = config.Run_config.relaxation in
+  let workers = config.Run_config.workers in
+  let block_workers = config.Run_config.block_workers in
+  let progress = config.Run_config.progress in
   let n = Dist_matrix.size dm in
   if n = 0 then invalid_arg "Pipeline.with_compact_sets: empty matrix";
   Obs.Span.with_span "pipeline.with_compact_sets"
@@ -260,6 +261,7 @@ let with_compact_sets ?(linkage = Decompose.Max) ?relaxation
   @@ fun () ->
   let report = Obs.Report.create "pipeline.with_compact_sets" in
   Obs.Report.set report "n" (Obs.Json.Int n);
+  Obs.Report.set report "config" (Run_config.to_json config);
   if n = 1 then begin
     finish_report report ~elapsed_s:0. ~cost:0. ~n_blocks:1 ~largest_block:1
       (Stats.create ());
@@ -339,11 +341,10 @@ type comparison = {
   report : Obs.Report.t;
 }
 
-let compare_methods ?linkage ?options ?workers ?block_workers ?progress dm =
-  let with_cs =
-    with_compact_sets ?linkage ?options ?workers ?block_workers ?progress dm
-  in
-  let without_cs = exact ?options ?workers ?progress dm in
+let compare_methods ?(config = Run_config.default) dm =
+  let config = Run_config.validate ~who:"Pipeline.compare_methods" config in
+  let with_cs = with_compact_sets ~config dm in
+  let without_cs = exact ~config dm in
   let time_saved_pct =
     if without_cs.elapsed_s <= 0. then 0.
     else
@@ -362,3 +363,45 @@ let compare_methods ?linkage ?options ?workers ?block_workers ?progress dm =
   Obs.Report.set report "with_cs" (Obs.Report.to_json with_cs.report);
   Obs.Report.set report "without_cs" (Obs.Report.to_json without_cs.report);
   { with_cs; without_cs; time_saved_pct; cost_increase_pct; report }
+
+(* --- deprecated optional-argument entry points ---
+
+   Thin shims over the [?config] API, kept so older call sites migrate
+   on their own schedule.  Each builds the equivalent [Run_config.t]
+   and defers; validation therefore happens in one place. *)
+
+let exact_legacy ?(options = Solver.default_options) ?(workers = 1) ?progress
+    dm =
+  exact
+    ~config:{ Run_config.default with solver = options; workers; progress }
+    dm
+
+let with_compact_sets_legacy ?(linkage = Decompose.Max) ?relaxation
+    ?(options = Solver.default_options) ?(workers = 1) ?(block_workers = 1)
+    ?progress dm =
+  with_compact_sets
+    ~config:
+      {
+        Run_config.solver = options;
+        linkage;
+        relaxation;
+        workers;
+        block_workers;
+        progress;
+      }
+    dm
+
+let compare_methods_legacy ?(linkage = Decompose.Max)
+    ?(options = Solver.default_options) ?(workers = 1) ?(block_workers = 1)
+    ?progress dm =
+  compare_methods
+    ~config:
+      {
+        Run_config.solver = options;
+        linkage;
+        relaxation = None;
+        workers;
+        block_workers;
+        progress;
+      }
+    dm

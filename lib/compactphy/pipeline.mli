@@ -49,37 +49,28 @@ type run = {
 val src : Logs.src
 (** Log source ["compactphy.pipeline"]. *)
 
-val exact :
-  ?options:Solver.options ->
-  ?workers:int ->
-  ?progress:Obs.Progress.t ->
-  Dist_matrix.t ->
-  run
-(** Minimum ultrametric tree of the full matrix.  [workers] defaults to
-    1 (sequential); more workers use the domain-parallel solver.
-    [progress] streams live solver samples (see [Obs.Progress]).
+val exact : ?config:Run_config.t -> Dist_matrix.t -> run
+(** Minimum ultrametric tree of the full matrix — the configuration's
+    [solver] options, [workers] (1 = sequential, more = the
+    domain-parallel solver) and [progress] sink apply; the decomposition
+    fields are ignored.  The run manifest embeds the full configuration
+    under ["config"].
 
-    @raise Invalid_argument if [workers < 1]. *)
+    @raise Invalid_argument if the configuration fails
+    {!Run_config.validate}. *)
 
-val with_compact_sets :
-  ?linkage:Decompose.linkage ->
-  ?relaxation:float ->
-  ?options:Solver.options ->
-  ?workers:int ->
-  ?block_workers:int ->
-  ?progress:Obs.Progress.t ->
-  Dist_matrix.t ->
-  run
-(** The paper's fast construction.  Default linkage [Max] (the variant
-    the paper evaluates).  [relaxation >= 1.] (default 1.) uses
-    alpha-compact sets, decomposing more aggressively on noisy data.
+val with_compact_sets : ?config:Run_config.t -> Dist_matrix.t -> run
+(** The paper's fast construction, driven by a {!Run_config.t}
+    (default {!Run_config.default}).  Linkage default [Max] (the variant
+    the paper evaluates); [relaxation >= 1.] uses alpha-compact sets,
+    decomposing more aggressively on noisy data.
 
-    [workers] (default 1) parallelises each block's branch-and-bound;
-    [block_workers] (default 1) solves that many independent blocks
-    concurrently, largest-first.  The two compose: up to
-    [block_workers * workers] domains run at once.  Whatever the split,
-    the returned cost, tree (up to the solver's existing tie-breaking),
-    summed [stats] and manifest are identical to the sequential run.
+    [workers] parallelises each block's branch-and-bound;
+    [block_workers] solves that many independent blocks concurrently,
+    largest-first.  The two compose: up to [block_workers * workers]
+    domains run at once.  Whatever the split, the returned cost, tree
+    (up to the solver's existing tie-breaking), summed [stats] and
+    manifest are identical to the sequential run.
 
     [block_workers] beyond the host's recommended domain count is
     clamped (oversubscription only adds GC synchronisation), so a large
@@ -92,8 +83,8 @@ val with_compact_sets :
     manifest phases ([decompose], [solve-blocks], [graft],
     [re-realise]).
 
-    @raise Invalid_argument on an empty matrix, or if [workers < 1] or
-    [block_workers < 1]. *)
+    @raise Invalid_argument on an empty matrix, or if the configuration
+    fails {!Run_config.validate}. *)
 
 val plan_workers : budget:int -> Decompose.t -> int * int
 (** [plan_workers ~budget deco] splits a total domain budget into
@@ -120,7 +111,37 @@ type comparison = {
           plus the two headline percentages *)
 }
 
-val compare_methods :
+val compare_methods : ?config:Run_config.t -> Dist_matrix.t -> comparison
+(** Run both conditions on the same matrix — one row of the paper's
+    Figures 8-13.  [block_workers] applies to the compact-set condition
+    only (the exact baseline is a single block). *)
+
+(** {2 Deprecated optional-argument entry points}
+
+    The pre-[Run_config] signatures, kept as thin shims.  New code
+    should build a {!Run_config.t} and call the primary functions. *)
+
+val exact_legacy :
+  ?options:Solver.options ->
+  ?workers:int ->
+  ?progress:Obs.Progress.t ->
+  Dist_matrix.t ->
+  run
+[@@alert deprecated "use Pipeline.exact ?config (Run_config.t) instead"]
+
+val with_compact_sets_legacy :
+  ?linkage:Decompose.linkage ->
+  ?relaxation:float ->
+  ?options:Solver.options ->
+  ?workers:int ->
+  ?block_workers:int ->
+  ?progress:Obs.Progress.t ->
+  Dist_matrix.t ->
+  run
+[@@alert
+  deprecated "use Pipeline.with_compact_sets ?config (Run_config.t) instead"]
+
+val compare_methods_legacy :
   ?linkage:Decompose.linkage ->
   ?options:Solver.options ->
   ?workers:int ->
@@ -128,6 +149,5 @@ val compare_methods :
   ?progress:Obs.Progress.t ->
   Dist_matrix.t ->
   comparison
-(** Run both conditions on the same matrix — one row of the paper's
-    Figures 8-13.  [block_workers] applies to the compact-set condition
-    only (the exact baseline is a single block). *)
+[@@alert
+  deprecated "use Pipeline.compare_methods ?config (Run_config.t) instead"]

@@ -1,0 +1,145 @@
+open Import
+module Kernel = Bnb.Kernel
+
+type t = {
+  solver : Solver.options;
+  linkage : Decompose.linkage;
+  relaxation : float option;
+  workers : int;
+  block_workers : int;
+  progress : Obs.Progress.t option;
+}
+
+let default =
+  {
+    solver = Solver.default_options;
+    linkage = Decompose.Max;
+    relaxation = None;
+    workers = 1;
+    block_workers = 1;
+    progress = None;
+  }
+
+let solver_options = Solver.options
+
+(* Setters, so call sites read as a pipeline of intent:
+   [Run_config.(default |> with_workers 4 |> with_linkage Avg)]. *)
+let with_solver solver c = { c with solver }
+let with_linkage linkage c = { c with linkage }
+let with_relaxation r c = { c with relaxation = Some r }
+let with_workers workers c = { c with workers }
+let with_block_workers block_workers c = { c with block_workers }
+let with_progress p c = { c with progress = Some p }
+
+let validate ?(who = "Run_config.validate") c =
+  if c.workers < 1 then
+    invalid_arg (Printf.sprintf "%s: workers = %d (must be >= 1)" who c.workers);
+  if c.block_workers < 1 then
+    invalid_arg
+      (Printf.sprintf "%s: block_workers = %d (must be >= 1)" who
+         c.block_workers);
+  (match c.relaxation with
+  | Some r when not (r >= 1.) ->
+      invalid_arg
+        (Printf.sprintf "%s: relaxation = %g (must be >= 1)" who r)
+  | Some _ | None -> ());
+  (match c.solver.Solver.max_expanded with
+  | Some cap when cap <= 0 ->
+      invalid_arg
+        (Printf.sprintf "%s: max_expanded = %d (must be > 0)" who cap)
+  | Some _ | None -> ());
+  c
+
+type preset = Paper | Fast | Exhaustive
+
+let preset_to_string = function
+  | Paper -> "paper"
+  | Fast -> "fast"
+  | Exhaustive -> "exhaustive"
+
+let preset_of_string = function
+  | "paper" -> Some Paper
+  | "fast" -> Some Fast
+  | "exhaustive" -> Some Exhaustive
+  | _ -> None
+
+let of_preset = function
+  | Paper ->
+      (* The published configuration, byte for byte: sequential search
+         over fully realised children, so runs reproduce the seed's
+         trajectory exactly. *)
+      {
+        default with
+        solver = { Solver.default_options with kernel = Solver.Reference };
+      }
+  | Fast ->
+      (* Incremental kernels plus both parallel axes; the pipeline clamps
+         block workers to the host and splits the rest sensibly. *)
+      {
+        default with
+        block_workers = Int.max 1 (Domain.recommended_domain_count ());
+      }
+  | Exhaustive ->
+      (* Every optimal topology, best-first so the bound tightens early
+         despite the wider (un-pruned ties) frontier. *)
+      {
+        default with
+        solver =
+          {
+            Solver.default_options with
+            collect_all = true;
+            search = Solver.Best_first;
+          };
+      }
+
+let lb_to_string = function Solver.LB0 -> "lb0" | Solver.LB1 -> "lb1"
+
+let mode33_to_string = function
+  | Solver.Off -> "off"
+  | Solver.Third_only -> "third_only"
+  | Solver.Every_insertion -> "every_insertion"
+
+let initial_ub_to_string = function
+  | Solver.Upgmm_ub -> "upgmm"
+  | Solver.Upgma_ub -> "upgma"
+  | Solver.Nj_ub -> "nj"
+  | Solver.No_heuristic_ub -> "none"
+
+let search_to_string = function
+  | Solver.Dfs -> "dfs"
+  | Solver.Best_first -> "best_first"
+
+let linkage_to_string = function
+  | Decompose.Max -> "max"
+  | Decompose.Min -> "min"
+  | Decompose.Avg -> "avg"
+
+let to_json c =
+  let s = c.solver in
+  Obs.Json.Obj
+    [
+      ( "solver",
+        Obs.Json.Obj
+          [
+            ("lb", Obs.Json.String (lb_to_string s.Solver.lb));
+            ( "relation33",
+              Obs.Json.String (mode33_to_string s.Solver.relation33) );
+            ( "initial_ub",
+              Obs.Json.String (initial_ub_to_string s.Solver.initial_ub) );
+            ( "max_expanded",
+              match s.Solver.max_expanded with
+              | Some cap -> Obs.Json.Int cap
+              | None -> Obs.Json.Null );
+            ("search", Obs.Json.String (search_to_string s.Solver.search));
+            ("collect_all", Obs.Json.Bool s.Solver.collect_all);
+            ( "kernel",
+              Obs.Json.String (Kernel.kind_to_string s.Solver.kernel) );
+          ] );
+      ("linkage", Obs.Json.String (linkage_to_string c.linkage));
+      ( "relaxation",
+        match c.relaxation with
+        | Some r -> Obs.Json.Float r
+        | None -> Obs.Json.Null );
+      ("workers", Obs.Json.Int c.workers);
+      ("block_workers", Obs.Json.Int c.block_workers);
+    ]

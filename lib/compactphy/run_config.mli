@@ -1,0 +1,78 @@
+open Import
+
+(** One record for everything a pipeline run can be configured with.
+
+    The pipeline entry points historically took a growing pile of
+    optional arguments ([?options ?linkage ?relaxation ?workers
+    ?block_workers ?progress]); this module packages them as a single
+    validated value so configurations can be named, passed around,
+    logged into run manifests and round-tripped through the CLI.
+
+    {[
+      let cfg = Run_config.(default |> with_workers 4 |> with_linkage Avg) in
+      Pipeline.with_compact_sets ~config:cfg dm
+    ]} *)
+
+type t = {
+  solver : Solver.options;  (** branch-and-bound knobs (see {!solver_options}) *)
+  linkage : Decompose.linkage;  (** compact-set linkage, default [Max] *)
+  relaxation : float option;
+      (** alpha-compact relaxation, [>= 1.]; [None] = exact compactness *)
+  workers : int;  (** domains inside one branch-and-bound solve *)
+  block_workers : int;  (** independent blocks solved concurrently *)
+  progress : Obs.Progress.t option;  (** live solver samples sink *)
+}
+
+val default : t
+(** Today's defaults: {!Solver.default_options} (incremental kernel),
+    [Max] linkage, no relaxation, sequential ([workers = 1],
+    [block_workers = 1]), no progress sink. *)
+
+val solver_options :
+  ?lb:Solver.lb_kind ->
+  ?relation33:Solver.mode33 ->
+  ?initial_ub:Solver.initial_ub ->
+  ?max_expanded:int ->
+  ?search:Solver.search_order ->
+  ?collect_all:bool ->
+  ?kernel:Solver.kernel_kind ->
+  unit ->
+  Solver.options
+(** Re-export of {!Solver.options}, the validating smart constructor,
+    so pipeline users never need to depend on [Bnb] directly. *)
+
+(** {2 Functional setters} *)
+
+val with_solver : Solver.options -> t -> t
+val with_linkage : Decompose.linkage -> t -> t
+val with_relaxation : float -> t -> t
+val with_workers : int -> t -> t
+val with_block_workers : int -> t -> t
+val with_progress : Obs.Progress.t -> t -> t
+
+val validate : ?who:string -> t -> t
+(** Returns its argument unchanged if coherent.  [who] prefixes the
+    error message (defaults to ["Run_config.validate"]).
+    @raise Invalid_argument if [workers < 1], [block_workers < 1],
+    [relaxation < 1.] (or NaN), or [solver.max_expanded <= 0]. *)
+
+(** {2 Presets} *)
+
+type preset =
+  | Paper
+      (** the published configuration: sequential, reference expansion
+          kernel — reproduces the seed's search trajectory exactly *)
+  | Fast
+      (** incremental kernel plus inter-block parallelism sized to the
+          host *)
+  | Exhaustive
+      (** gather every optimal topology ([collect_all]), best-first *)
+
+val of_preset : preset -> t
+val preset_to_string : preset -> string
+
+val preset_of_string : string -> preset option
+(** Inverse of {!preset_to_string}; [None] on unknown names. *)
+
+val to_json : t -> Obs.Json.t
+(** For run manifests: every field except [progress] (not data). *)

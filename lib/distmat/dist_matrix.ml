@@ -19,6 +19,28 @@ let get m i j =
   check_index m j;
   Array.unsafe_get m.data ((i * m.n) + j)
 
+let unsafe_get m i j = Array.unsafe_get m.data ((i * m.n) + j)
+let unsafe_data m = m.data
+
+let row m i =
+  check_index m i;
+  Array.sub m.data (i * m.n) m.n
+
+let row_minima m =
+  if m.n < 2 then invalid_arg "Dist_matrix.row_minima: need n >= 2";
+  (* One pass over the upper triangle updates both endpoints of each
+     pair, so the whole array costs n(n-1)/2 reads. *)
+  let mins = Array.make m.n infinity in
+  for i = 0 to m.n - 1 do
+    let base = i * m.n in
+    for j = i + 1 to m.n - 1 do
+      let d = Array.unsafe_get m.data (base + j) in
+      if d < Array.unsafe_get mins i then Array.unsafe_set mins i d;
+      if d < Array.unsafe_get mins j then Array.unsafe_set mins j d
+    done
+  done;
+  mins
+
 let set m i j d =
   check_index m i;
   check_index m j;

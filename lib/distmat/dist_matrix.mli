@@ -20,6 +20,28 @@ val get : t -> int -> int -> float
 (** [get m i j] is the distance between species [i] and [j].
     @raise Invalid_argument on out-of-range indices. *)
 
+val unsafe_get : t -> int -> int -> float
+(** [get] without bounds checks.  For hot solver loops whose indices
+    were validated once up front (see {!Bnb.Kernel.prepare}); anything
+    else should use {!get}. *)
+
+val unsafe_data : t -> float array
+(** The raw row-major backing store ([n * n] entries, entry [(i, j)] at
+    [i * n + j]).  Borrowed, not copied: callers must treat it as
+    read-only — writing would bypass the symmetry and validity
+    invariants.  Intended for kernels that stride a row with
+    [Array.unsafe_get]. *)
+
+val row : t -> int -> float array
+(** [row m i] is a fresh copy of row [i] ([n] entries, [row.(i) = 0.]).
+    @raise Invalid_argument on an out-of-range index. *)
+
+val row_minima : t -> float array
+(** [row_minima m] is the array of [min_{j <> i} get m i j] for every
+    [i], computed in one pass over the upper triangle.  Shared by the
+    LB1 suffix bounds and the solver kernels.
+    @raise Invalid_argument for a 1x1 matrix. *)
+
 val set : t -> int -> int -> float -> unit
 (** [set m i j d] sets the distance between [i] and [j] (and [j] and [i])
     to [d].  @raise Invalid_argument on out-of-range indices, on [i = j]

@@ -53,7 +53,12 @@ let worker problem shared ~max_expanded ~id ~progress () =
     else if Bb_tree.is_complete problem.Solver.pm node then
       publish shared node.cost node.tree
     else begin
-      let children = Solver.expand problem node stats in
+      (* A racy snapshot of the shared incumbent is safe here: the
+         kernel's pre-pruning is conservative for any ub >= the true
+         incumbent, and the per-child checks below re-filter exactly. *)
+      let children =
+        Solver.expand ~ub:(Atomic.get shared.ub) problem node stats
+      in
       List.iter
         (fun (c : Bb_tree.node) ->
           if Bb_tree.is_complete problem.Solver.pm c then begin
@@ -174,6 +179,9 @@ let solve ?(options = Solver.default_options) ?progress ?n_workers dm =
               stats.Stats.pruned <- stats.Stats.pruned + 1;
               []
             end
+            (* No [~ub]: the seeding phase must hand every worker real
+               work, pruned-or-not, so worker-count scaling behaves the
+               same as the reference path. *)
             else Solver.expand problem nd stats
           in
           widen (rest @ children)

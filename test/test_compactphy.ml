@@ -11,6 +11,7 @@ module Solver = Bnb.Solver
 module Stats = Bnb.Stats
 module Decompose = Compactphy.Decompose
 module Pipeline = Compactphy.Pipeline
+module Run_config = Compactphy.Run_config
 module Paper_example = Compactphy.Paper_example
 
 let rng seed = Random.State.make [| seed |]
@@ -130,7 +131,11 @@ let test_exact_ultrametric_input_is_recovered () =
 let test_pipeline_parallel_workers () =
   let m = Gen.near_ultrametric ~rng:(rng 9) ~noise:0.2 12 in
   let seqr = Pipeline.with_compact_sets m in
-  let parr = Pipeline.with_compact_sets ~workers:4 m in
+  let parr =
+    Pipeline.with_compact_sets
+      ~config:Run_config.(default |> with_workers 4)
+      m
+  in
   check_float "same cost" seqr.Pipeline.cost parr.Pipeline.cost
 
 let check_stats_equal msg (a : Stats.t) (b : Stats.t) =
@@ -154,7 +159,11 @@ let test_block_workers_deterministic () =
     (base.Pipeline.n_blocks >= 4);
   List.iter
     (fun block_workers ->
-      let r = Pipeline.with_compact_sets ~block_workers m in
+      let r =
+        Pipeline.with_compact_sets
+          ~config:Run_config.(default |> with_block_workers block_workers)
+          m
+      in
       check_float
         (Printf.sprintf "cost, block_workers=%d" block_workers)
         base.Pipeline.cost r.Pipeline.cost;
@@ -180,7 +189,11 @@ let test_manifest_one_entry_per_block () =
   in
   List.iter
     (fun block_workers ->
-      let r = Pipeline.with_compact_sets ~block_workers m in
+      let r =
+        Pipeline.with_compact_sets
+          ~config:Run_config.(default |> with_block_workers block_workers)
+          m
+      in
       let ids =
         List.map
           (function
@@ -204,12 +217,19 @@ let test_rejects_bad_worker_counts () =
     | exception Invalid_argument _ -> ()
   in
   expect_invalid "workers 0" (fun () ->
-      Pipeline.with_compact_sets ~workers:0 m);
+      Pipeline.with_compact_sets
+        ~config:Run_config.(default |> with_workers 0)
+        m);
   expect_invalid "block_workers 0" (fun () ->
-      Pipeline.with_compact_sets ~block_workers:0 m);
+      Pipeline.with_compact_sets
+        ~config:Run_config.(default |> with_block_workers 0)
+        m);
   expect_invalid "workers -1" (fun () ->
-      Pipeline.with_compact_sets ~workers:(-1) m);
-  expect_invalid "exact workers 0" (fun () -> Pipeline.exact ~workers:0 m);
+      Pipeline.with_compact_sets
+        ~config:Run_config.(default |> with_workers (-1))
+        m);
+  expect_invalid "exact workers 0" (fun () ->
+      Pipeline.exact ~config:Run_config.(default |> with_workers 0) m);
   expect_invalid "plan budget 0" (fun () ->
       Pipeline.plan_workers ~budget:0 (Decompose.decompose m))
 
@@ -231,7 +251,11 @@ let test_all_linkages_give_valid_trees () =
   let m = Gen.near_ultrametric ~rng:(rng 10) ~noise:0.3 13 in
   List.iter
     (fun linkage ->
-      let r = Pipeline.with_compact_sets ~linkage m in
+      let r =
+        Pipeline.with_compact_sets
+          ~config:Run_config.(default |> with_linkage linkage)
+          m
+      in
       match Tree_check.full_check m r.Pipeline.tree with
       | Ok () -> ()
       | Error e -> Alcotest.failf "invalid: %a" Tree_check.pp_error e)
@@ -241,7 +265,11 @@ let test_relaxed_pipeline_valid_and_faster_decomposition () =
   for seed = 0 to 4 do
     let m = Gen.uniform_metric ~rng:(rng (800 + seed)) 16 in
     let strict = Pipeline.with_compact_sets m in
-    let relaxed = Pipeline.with_compact_sets ~relaxation:1.5 m in
+    let relaxed =
+      Pipeline.with_compact_sets
+        ~config:Run_config.(default |> with_relaxation 1.5)
+        m
+    in
     (match Tree_check.full_check m relaxed.Pipeline.tree with
     | Ok () -> ()
     | Error e -> Alcotest.failf "invalid: %a" Tree_check.pp_error e);

@@ -129,7 +129,11 @@ let test_parallel_pipeline_on_mtdna_26 () =
   (* End-to-end at the paper's headline size: 26 species through the
      compact-set pipeline with parallel block solving. *)
   let d = Mtdna.generate ~rng:(rng 12) 26 in
-  let r = Pipeline.with_compact_sets ~workers:4 d.Mtdna.matrix in
+  let r =
+    Pipeline.with_compact_sets
+      ~config:Compactphy.Run_config.(default |> with_workers 4)
+      d.Mtdna.matrix
+  in
   Alcotest.(check bool) "valid" true
     (Tree_check.full_check d.Mtdna.matrix r.Pipeline.tree = Ok ());
   Alcotest.(check bool) "fast" true (r.Pipeline.elapsed_s < 30.)

@@ -1,0 +1,244 @@
+(* Tests for the unified Run_config API: defaults match the legacy
+   optional-argument entry points, validation rejects incoherent
+   configurations, and presets round-trip through their string names
+   (the CLI's [--preset] parser is built from exactly these). *)
+
+(* This file deliberately exercises the deprecated legacy shims. *)
+[@@@alert "-deprecated"]
+
+module Dist_matrix = Distmat.Dist_matrix
+module Gen = Distmat.Gen
+module Utree = Ultra.Utree
+module Decompose = Compactphy.Decompose
+module Solver = Bnb.Solver
+module Pipeline = Compactphy.Pipeline
+module Run_config = Compactphy.Run_config
+module Platform = Clustersim.Platform
+module Dist_bnb = Clustersim.Dist_bnb
+
+let rng seed = Random.State.make [| seed |]
+
+let rejects name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+(* --- defaults --- *)
+
+let test_default_fields () =
+  let c = Run_config.default in
+  Alcotest.(check int) "workers" 1 c.Run_config.workers;
+  Alcotest.(check int) "block_workers" 1 c.Run_config.block_workers;
+  Alcotest.(check bool) "no relaxation" true (c.Run_config.relaxation = None);
+  Alcotest.(check bool) "max linkage" true
+    (c.Run_config.linkage = Decompose.Max);
+  Alcotest.(check bool) "solver defaults" true
+    (c.Run_config.solver = Solver.default_options);
+  Alcotest.(check bool) "incremental kernel" true
+    (c.Run_config.solver.Solver.kernel = Solver.Incremental)
+
+let test_default_equals_legacy_exact () =
+  let m = Gen.uniform_metric ~rng:(rng 1) 9 in
+  let a = Pipeline.exact m in
+  let b = Pipeline.exact_legacy m in
+  Alcotest.(check (float 0.)) "cost" a.Pipeline.cost b.Pipeline.cost;
+  Alcotest.(check bool) "tree" true
+    (Utree.equal a.Pipeline.tree b.Pipeline.tree)
+
+let test_default_equals_legacy_compact () =
+  let m = Gen.clustered ~rng:(rng 2) ~n_clusters:3 15 in
+  let a = Pipeline.with_compact_sets m in
+  let b = Pipeline.with_compact_sets_legacy m in
+  Alcotest.(check (float 0.)) "cost" a.Pipeline.cost b.Pipeline.cost;
+  Alcotest.(check int) "blocks" a.Pipeline.n_blocks b.Pipeline.n_blocks;
+  Alcotest.(check bool) "tree" true
+    (Utree.equal a.Pipeline.tree b.Pipeline.tree)
+
+let test_legacy_args_match_setters () =
+  let m = Gen.clustered ~rng:(rng 3) ~n_clusters:2 12 in
+  let a =
+    Pipeline.with_compact_sets
+      ~config:
+        Run_config.(
+          default |> with_linkage Decompose.Avg |> with_relaxation 1.1)
+      m
+  in
+  let b =
+    Pipeline.with_compact_sets_legacy ~linkage:Decompose.Avg ~relaxation:1.1 m
+  in
+  Alcotest.(check (float 0.)) "cost" a.Pipeline.cost b.Pipeline.cost;
+  Alcotest.(check int) "blocks" a.Pipeline.n_blocks b.Pipeline.n_blocks
+
+(* --- setters --- *)
+
+let test_setters () =
+  let c =
+    Run_config.(
+      default |> with_workers 3 |> with_block_workers 2
+      |> with_linkage Decompose.Min |> with_relaxation 1.5)
+  in
+  Alcotest.(check int) "workers" 3 c.Run_config.workers;
+  Alcotest.(check int) "block_workers" 2 c.Run_config.block_workers;
+  Alcotest.(check bool) "linkage" true (c.Run_config.linkage = Decompose.Min);
+  Alcotest.(check bool) "relaxation" true
+    (c.Run_config.relaxation = Some 1.5);
+  let c' =
+    Run_config.with_solver (Solver.options ~lb:Solver.LB0 ()) c
+  in
+  Alcotest.(check bool) "solver swapped" true
+    (c'.Run_config.solver.Solver.lb = Solver.LB0);
+  Alcotest.(check int) "others untouched" 3 c'.Run_config.workers
+
+(* --- validation --- *)
+
+let test_validate_accepts_default () =
+  let c = Run_config.validate Run_config.default in
+  Alcotest.(check bool) "returned unchanged" true (c = Run_config.default)
+
+let test_validate_rejections () =
+  let base = Run_config.default in
+  rejects "workers < 1" (fun () ->
+      Run_config.(validate (with_workers 0 base)));
+  rejects "block_workers < 1" (fun () ->
+      Run_config.(validate (with_block_workers 0 base)));
+  rejects "relaxation < 1" (fun () ->
+      Run_config.(validate (with_relaxation 0.5 base)));
+  rejects "relaxation nan" (fun () ->
+      Run_config.(validate (with_relaxation Float.nan base)));
+  rejects "max_expanded <= 0" (fun () ->
+      Run_config.validate
+        (Run_config.with_solver
+           { Solver.default_options with Solver.max_expanded = Some 0 }
+           base))
+
+let test_options_smart_constructor () =
+  rejects "Solver.options rejects 0" (fun () ->
+      Solver.options ~max_expanded:0 ());
+  rejects "re-export rejects 0" (fun () ->
+      Run_config.solver_options ~max_expanded:(-3) ());
+  let o = Solver.options ~max_expanded:7 ~collect_all:true () in
+  Alcotest.(check bool) "cap kept" true (o.Solver.max_expanded = Some 7);
+  Alcotest.(check bool) "collect_all kept" true o.Solver.collect_all
+
+let test_pipeline_rejects_invalid_config () =
+  let m = Gen.uniform_metric ~rng:(rng 4) 6 in
+  rejects "exact" (fun () ->
+      Pipeline.exact ~config:Run_config.(with_workers 0 default) m);
+  rejects "with_compact_sets" (fun () ->
+      Pipeline.with_compact_sets
+        ~config:Run_config.(with_relaxation 0.2 default)
+        m)
+
+let test_dist_bnb_config_exclusive () =
+  let m = Gen.uniform_metric ~rng:(rng 5) 6 in
+  rejects "both ?config and ?options" (fun () ->
+      Dist_bnb.run ~options:Solver.default_options
+        ~config:Run_config.default (Platform.cluster 2) m);
+  (* ?config alone works and is validated. *)
+  let r = Dist_bnb.run ~config:Run_config.default (Platform.cluster 2) m in
+  let s = Pipeline.exact m in
+  Alcotest.(check (float 1e-9)) "same optimum" s.Pipeline.cost r.Dist_bnb.cost;
+  rejects "invalid config" (fun () ->
+      Dist_bnb.run
+        ~config:Run_config.(with_workers 0 default)
+        (Platform.cluster 2) m)
+
+(* --- presets --- *)
+
+let test_preset_round_trip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        "round trip" true
+        (Run_config.preset_of_string (Run_config.preset_to_string p) = Some p))
+    [ Run_config.Paper; Run_config.Fast; Run_config.Exhaustive ];
+  Alcotest.(check bool)
+    "unknown preset" true
+    (Run_config.preset_of_string "warp" = None)
+
+let test_preset_contents () =
+  let paper = Run_config.of_preset Run_config.Paper in
+  Alcotest.(check bool) "paper pins the reference kernel" true
+    (paper.Run_config.solver.Solver.kernel = Solver.Reference);
+  Alcotest.(check int) "paper is sequential" 1 paper.Run_config.block_workers;
+  let fast = Run_config.of_preset Run_config.Fast in
+  Alcotest.(check bool) "fast uses the incremental kernel" true
+    (fast.Run_config.solver.Solver.kernel = Solver.Incremental);
+  Alcotest.(check bool) "fast sizes to the host" true
+    (fast.Run_config.block_workers >= 1);
+  let ex = Run_config.of_preset Run_config.Exhaustive in
+  Alcotest.(check bool) "exhaustive collects all" true
+    ex.Run_config.solver.Solver.collect_all;
+  Alcotest.(check bool) "exhaustive is best-first" true
+    (ex.Run_config.solver.Solver.search = Solver.Best_first);
+  (* Every preset must pass its own validation. *)
+  List.iter
+    (fun p -> ignore (Run_config.validate (Run_config.of_preset p)))
+    [ Run_config.Paper; Run_config.Fast; Run_config.Exhaustive ]
+
+let test_preset_paper_matches_seed_search () =
+  (* The paper preset must reproduce the default search's result. *)
+  let m = Gen.near_ultrametric ~rng:(rng 6) 10 in
+  let a =
+    Pipeline.exact ~config:(Run_config.of_preset Run_config.Paper) m
+  in
+  let b = Pipeline.exact m in
+  Alcotest.(check (float 0.)) "cost" a.Pipeline.cost b.Pipeline.cost;
+  Alcotest.(check bool) "tree" true
+    (Utree.equal a.Pipeline.tree b.Pipeline.tree)
+
+(* --- manifest serialisation --- *)
+
+let test_to_json_shape () =
+  match Run_config.to_json Run_config.default with
+  | Obs.Json.Obj kvs ->
+      List.iter
+        (fun key ->
+          Alcotest.(check bool) (key ^ " present") true (List.mem_assoc key kvs))
+        [ "solver"; "linkage"; "relaxation"; "workers"; "block_workers" ];
+      (match List.assoc "solver" kvs with
+      | Obs.Json.Obj solver ->
+          Alcotest.(check bool) "kernel recorded" true
+            (List.assoc "kernel" solver
+            = Obs.Json.String
+                (Bnb.Kernel.kind_to_string
+                   Run_config.default.Run_config.solver.Solver.kernel))
+      | _ -> Alcotest.fail "solver field is not an object")
+  | _ -> Alcotest.fail "to_json did not produce an object"
+
+let () =
+  Alcotest.run "run_config"
+    [
+      ( "defaults",
+        [
+          Alcotest.test_case "field values" `Quick test_default_fields;
+          Alcotest.test_case "exact = legacy" `Quick
+            test_default_equals_legacy_exact;
+          Alcotest.test_case "with_compact_sets = legacy" `Quick
+            test_default_equals_legacy_compact;
+          Alcotest.test_case "legacy args = setters" `Quick
+            test_legacy_args_match_setters;
+          Alcotest.test_case "setters" `Quick test_setters;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "accepts default" `Quick
+            test_validate_accepts_default;
+          Alcotest.test_case "rejections" `Quick test_validate_rejections;
+          Alcotest.test_case "Solver.options" `Quick
+            test_options_smart_constructor;
+          Alcotest.test_case "pipeline propagates" `Quick
+            test_pipeline_rejects_invalid_config;
+          Alcotest.test_case "dist_bnb exclusivity" `Quick
+            test_dist_bnb_config_exclusive;
+        ] );
+      ( "presets",
+        [
+          Alcotest.test_case "string round trip" `Quick test_preset_round_trip;
+          Alcotest.test_case "contents" `Quick test_preset_contents;
+          Alcotest.test_case "paper preset matches default search" `Quick
+            test_preset_paper_matches_seed_search;
+        ] );
+      ( "manifest",
+        [ Alcotest.test_case "to_json shape" `Quick test_to_json_shape ] );
+    ]
