@@ -1,0 +1,91 @@
+(* Anytime quality: how fast does the budgeted branch-and-bound close
+   the gap between its incumbent and the certified lower bound?
+
+   One exact solve per node-cap on the same mtDNA workload, smallest
+   budget first, plus an unlimited reference run.  Each row reports the
+   incumbent cost, the certified global lower bound carried by the
+   interrupted search, and the relative gap — the curve the anytime
+   layer exists to flatten.  Invariants checked along the way: budgeted
+   incumbents never beat the exact optimum, never lose to smaller
+   budgets, and the certified bound never exceeds the optimum. *)
+
+module Pipeline = Compactphy.Pipeline
+module Run_config = Compactphy.Run_config
+module Budget = Bnb.Budget
+
+let caps ~quick =
+  if quick then [ 1; 8; 64; 512 ] else [ 1; 8; 64; 512; 4096 ]
+
+let run_with_cap m cap =
+  let config =
+    match cap with
+    | Some cap -> Run_config.(default |> with_max_nodes cap)
+    | None -> Run_config.default
+  in
+  Pipeline.exact ~config m
+
+let quality ~quick () =
+  let n = if quick then 18 else 24 in
+  let m = Workloads.mtdna ~seed:11 n in
+  let budgeted =
+    List.map (fun cap -> (Some cap, run_with_cap m (Some cap))) (caps ~quick)
+  in
+  let reference = (None, run_with_cap m None) in
+  let rows = budgeted @ [ reference ] in
+  let optimum = (snd reference).Pipeline.cost in
+  if (snd reference).Pipeline.status <> Budget.Exact then
+    failwith "anytime-quality: unlimited run did not report Exact";
+  List.iter
+    (fun (_, r) ->
+      if r.Pipeline.cost +. 1e-9 < optimum then
+        failwith "anytime-quality: budgeted incumbent beats the optimum";
+      if r.Pipeline.lower_bound > optimum +. 1e-9 then
+        failwith "anytime-quality: certified bound exceeds the optimum")
+    rows;
+  (let costs = List.map (fun (_, r) -> r.Pipeline.cost) rows in
+   let rec monotone = function
+     | a :: (b :: _ as rest) ->
+         if b > a +. 1e-9 then
+           failwith "anytime-quality: incumbent worsened with a larger budget";
+         monotone rest
+     | _ -> ()
+   in
+   monotone costs);
+  let gap_pct r =
+    let lb = r.Pipeline.lower_bound in
+    if lb <= 0. then 0. else (r.Pipeline.cost -. lb) /. lb *. 100.
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf "Anytime quality — exact solve, %d mtDNA species" n)
+    ~headers:
+      [ "max nodes"; "time"; "cost"; "lower bound"; "status"; "gap" ]
+    (List.map
+       (fun (cap, r) ->
+         [
+           (match cap with Some c -> Table.d c | None -> "unlimited");
+           Table.seconds r.Pipeline.elapsed_s;
+           Table.f4 r.Pipeline.cost;
+           Table.f4 r.Pipeline.lower_bound;
+           Budget.status_to_string r.Pipeline.status;
+           Table.pct (gap_pct r);
+         ])
+       rows);
+  Manifest.record (fun rep ->
+      Obs.Report.set rep "n" (Obs.Json.Int n);
+      Obs.Report.set rep "optimum" (Obs.Json.Float optimum);
+      List.iter
+        (fun (cap, r) ->
+          Obs.Report.add_worker rep
+            [
+              ( "max_nodes",
+                match cap with
+                | Some c -> Obs.Json.Int c
+                | None -> Obs.Json.Null );
+              ("elapsed_s", Obs.Json.Float r.Pipeline.elapsed_s);
+              ("cost", Obs.Json.Float r.Pipeline.cost);
+              ("lower_bound", Obs.Json.Float r.Pipeline.lower_bound);
+              ("status", Budget.status_to_json r.Pipeline.status);
+              ("gap_pct", Obs.Json.Float (gap_pct r));
+            ])
+        rows)

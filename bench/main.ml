@@ -46,6 +46,9 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
     ( "ablation-relax",
       "A-9: alpha-compact relaxation",
       Exp_ablation.relaxation );
+    ( "anytime-quality",
+      "Anytime search: incumbent vs certified bound per node budget",
+      Exp_anytime.quality );
     ( "micro-kernel",
       "Expansion kernels: reference vs incremental smoke",
       Micro.kernel_smoke );

@@ -13,6 +13,8 @@ module Solver = Bnb.Solver
 module Kernel = Bnb.Kernel
 module Pipeline = Compactphy.Pipeline
 module Run_config = Compactphy.Run_config
+module Budget = Bnb.Budget
+module Checkpoint = Bnb.Checkpoint
 module Decompose = Compactphy.Decompose
 module Platform = Clustersim.Platform
 module Dist_bnb = Clustersim.Dist_bnb
@@ -145,7 +147,7 @@ let pos_int =
     match int_of_string_opt s with
     | Some n when n >= 1 -> Ok n
     | Some n ->
-        Error (`Msg (Printf.sprintf "worker count must be >= 1, got %d" n))
+        Error (`Msg (Printf.sprintf "expected a count >= 1, got %d" n))
     | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
   in
   Arg.conv ~docv:"N" (parse, Format.pp_print_int)
@@ -170,6 +172,39 @@ let block_workers_opt =
            Composes with $(b,--workers): up to $(docv) * workers domains \
            run at once.  Results are identical to the sequential \
            schedule.")
+
+(* Budgets: a deadline must be a positive, finite number of seconds. *)
+let pos_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some d when d > 0. && Float.is_finite d -> Ok d
+    | Some d ->
+        Error
+          (`Msg (Printf.sprintf "expected a positive duration, got %g" d))
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+  in
+  Arg.conv ~docv:"SECONDS" (parse, fun ppf d -> Format.fprintf ppf "%g" d)
+
+let deadline_opt =
+  Arg.(
+    value
+    & opt (some pos_float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the whole run.  When it fires, the \
+           search stops at a clean node boundary and reports the best \
+           tree found so far together with a certified lower bound \
+           (status $(b,deadline)).")
+
+let max_nodes_opt =
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "max-nodes" ] ~docv:"N"
+        ~doc:
+          "Stop after expanding $(docv) branch-and-bound nodes across \
+           the whole run (split over compact-set blocks proportionally \
+           to their expected work; status $(b,node_cap)).")
 
 let linkage_opt =
   let linkage_conv =
@@ -232,7 +267,8 @@ let kernel_opt =
 
 (* Preset first, then explicit flags on top, so [--preset fast -j 1]
    means "fast, but sequential inside each block". *)
-let build_config ~preset ~kernel ~linkage ~workers ~block_workers ~progress =
+let build_config ?deadline ?max_nodes ?cancel ~preset ~kernel ~linkage ~workers
+    ~block_workers ~progress () =
   let apply v f cfg = match v with Some v -> f v cfg | None -> cfg in
   Run_config.default
   |> apply preset (fun p _ -> Run_config.of_preset p)
@@ -243,7 +279,37 @@ let build_config ~preset ~kernel ~linkage ~workers ~block_workers ~progress =
          Run_config.with_solver
            { cfg.Run_config.solver with Solver.kernel = k }
            cfg)
+  |> apply deadline Run_config.with_deadline
+  |> apply max_nodes Run_config.with_max_nodes
+  |> apply cancel Run_config.with_cancel
   |> apply progress Run_config.with_progress
+
+(* First Ctrl-C flips the cancel flag the solvers poll cooperatively —
+   the run winds down at a node boundary, reports status [cancelled]
+   and writes its checkpoint if asked to; a second Ctrl-C aborts
+   immediately. *)
+let install_sigint () =
+  let flag = Atomic.make false in
+  (try
+     Sys.set_signal Sys.sigint
+       (Sys.Signal_handle
+          (fun _ ->
+            if Atomic.get flag then Stdlib.exit 130
+            else begin
+              Atomic.set flag true;
+              prerr_endline
+                "phylo: interrupted - finishing cleanly (Ctrl-C again to \
+                 abort)"
+            end))
+   with Invalid_argument _ | Sys_error _ -> ());
+  flag
+
+let load_checkpoint path =
+  match Checkpoint.load path with
+  | Ok ck -> ck
+  | Error e ->
+      Fmt.epr "phylo: cannot resume from %s: %s@." path e;
+      Stdlib.exit 1
 
 (* The preset choice itself is not derivable from the config record;
    stamp it into manifests next to the expanded configuration. *)
@@ -375,20 +441,66 @@ let tree_cmd =
              companion paper's Step 7) and print them all, plus their \
              strict consensus.")
   in
-  let run cfg input method_ preset kernel linkage workers block_workers all
-      nexus output =
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a resumable search snapshot to $(docv) if the run \
+             stops early (budget exhausted or Ctrl-C).  No file is \
+             written when the search runs to completion.")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Continue from a checkpoint written by $(b,--checkpoint) \
+             (same matrix, same configuration).  The resumed search \
+             reaches the same optimum an uninterrupted run finds.")
+  in
+  let manifest_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Write the run manifest (phase timings, per-block search \
+             counters, status, lower bound) as JSON to $(docv).")
+  in
+  let run cfg input method_ preset kernel linkage workers block_workers
+      deadline max_nodes checkpoint resume all nexus manifest output =
+    check_writable manifest;
+    check_writable checkpoint;
     with_obs cfg @@ fun () ->
+    let cancel = install_sigint () in
     let config =
-      build_config ~preset ~kernel ~linkage ~workers ~block_workers
-        ~progress:cfg.progress
+      build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
+        ~workers ~block_workers ~progress:cfg.progress ()
     in
     let names, m = read_matrix input in
     match (method_, all) with
     | `Exact, true ->
+        if checkpoint <> None || resume <> None then
+          Fmt.epr
+            "phylo: --checkpoint/--resume are not supported with --all; \
+             ignoring@.";
         let options =
           { config.Run_config.solver with Solver.collect_all = true }
         in
-        let r = Solver.solve ~options ?progress:cfg.progress m in
+        let r =
+          Solver.solve ~options
+            ~budget:(Run_config.budget config)
+            ?progress:cfg.progress m
+        in
+        if r.Solver.status <> Budget.Exact then
+          Fmt.epr
+            "status: %s (stopped early - optimal-tree collection \
+             incomplete; certified lower bound %g)@."
+            (Budget.status_to_string r.Solver.status)
+            r.Solver.lower_bound;
         Fmt.epr "optimum %g; %d optimal tree(s)@." r.Solver.cost
           (List.length r.Solver.all_optimal);
         let buf = Buffer.create 256 in
@@ -406,17 +518,50 @@ let tree_cmd =
           (Ultra.Consensus.strict r.Solver.all_optimal);
         write_or_print output (Buffer.contents buf)
     | _, _ ->
-        let tree =
+        let resume_ck = Option.map load_checkpoint resume in
+        let solved, tree =
           match method_ with
           | `Compact ->
-              (Pipeline.with_compact_sets ~config m).Pipeline.tree
-          | `Exact -> (Pipeline.exact ~config m).Pipeline.tree
-          | `Upgmm -> Clustering.Linkage.upgmm m
+              let r = Pipeline.with_compact_sets ~config ?resume:resume_ck m in
+              (Some r, r.Pipeline.tree)
+          | `Exact ->
+              let r = Pipeline.exact ~config ?resume:resume_ck m in
+              (Some r, r.Pipeline.tree)
+          | `Upgmm -> (None, Clustering.Linkage.upgmm m)
           | `Upgma ->
-              Ultra.Utree.minimal_realization m (Clustering.Linkage.upgma m)
-          | `Nj -> Clustering.Nj.ultrametric_of m
-          | `Nni -> (Bnb.Local_search.from_upgmm m).Bnb.Local_search.tree
+              ( None,
+                Ultra.Utree.minimal_realization m (Clustering.Linkage.upgma m)
+              )
+          | `Nj -> (None, Clustering.Nj.ultrametric_of m)
+          | `Nni ->
+              (None, (Bnb.Local_search.from_upgmm m).Bnb.Local_search.tree)
         in
+        (match solved with
+        | Some r ->
+            stamp_preset r.Pipeline.report preset;
+            if r.Pipeline.status <> Budget.Exact then
+              Fmt.epr "status: %s (certified lower bound %g)@."
+                (Budget.status_to_string r.Pipeline.status)
+                r.Pipeline.lower_bound;
+            (match (checkpoint, r.Pipeline.checkpoint) with
+            | Some path, Some ck ->
+                Checkpoint.save path ck;
+                Fmt.epr "checkpoint written to %s (continue with --resume)@."
+                  path
+            | Some path, None ->
+                (* The run finished: drop the empty placeholder that
+                   [check_writable] pre-created (also prevents a stale
+                   checkpoint from outliving the run it belongs to). *)
+                (try Sys.remove path with Sys_error _ -> ())
+            | None, _ -> ());
+            (match manifest with
+            | Some path -> Obs.Report.write_file r.Pipeline.report path
+            | None -> ())
+        | None ->
+            if checkpoint <> None || resume <> None || manifest <> None then
+              Fmt.epr
+                "phylo: --checkpoint/--resume/--manifest apply only to \
+                 --method compact or exact; ignoring@.");
         Ultra.Tree_check.assert_valid m tree;
         Fmt.epr "tree cost: %g@." (Ultra.Utree.weight tree);
         if nexus then
@@ -431,8 +576,9 @@ let tree_cmd =
        ~doc:"Construct an ultrametric tree (Newick or NEXUS output).")
     Term.(
       const run $ obs_term $ input_arg $ method_opt $ preset_opt $ kernel_opt
-      $ linkage_opt $ workers_opt $ block_workers_opt $ all $ nexus
-      $ output_opt)
+      $ linkage_opt $ workers_opt $ block_workers_opt $ deadline_opt
+      $ max_nodes_opt $ checkpoint_arg $ resume_arg $ all $ nexus
+      $ manifest_arg $ output_opt)
 
 (* --- compare --- *)
 
@@ -457,13 +603,15 @@ let compare_cmd =
              is \"unendurable\"); capped runs report the best tree found \
              within the budget.")
   in
-  let run cfg input preset kernel linkage workers block_workers cap manifest =
+  let run cfg input preset kernel linkage workers block_workers deadline
+      max_nodes cap manifest =
     check_writable manifest;
     with_obs cfg @@ fun () ->
     let _, m = read_matrix input in
+    let cancel = install_sigint () in
     let config =
-      build_config ~preset ~kernel ~linkage ~workers ~block_workers
-        ~progress:cfg.progress
+      build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
+        ~workers ~block_workers ~progress:cfg.progress ()
     in
     let config =
       match cap with
@@ -484,6 +632,14 @@ let compare_cmd =
       c.Pipeline.without_cs.Pipeline.elapsed_s;
     Fmt.pr "time saved:           %.2f %%@,cost increase:        %.2f %%@]@."
       c.Pipeline.time_saved_pct c.Pipeline.cost_increase_pct;
+    (match
+       (c.Pipeline.with_cs.Pipeline.status, c.Pipeline.without_cs.Pipeline.status)
+     with
+    | Budget.Exact, Budget.Exact -> ()
+    | s_with, s_without ->
+        Fmt.pr "status:               with CS %s, without CS %s@."
+          (Budget.status_to_string s_with)
+          (Budget.status_to_string s_without));
     Logs.info (fun msg ->
         msg "search stats with CS: %a" Bnb.Stats.pp
           c.Pipeline.with_cs.Pipeline.stats);
@@ -499,7 +655,8 @@ let compare_cmd =
        ~doc:"Compare construction with and without compact sets.")
     Term.(
       const run $ obs_term $ input_arg $ preset_opt $ kernel_opt $ linkage_opt
-      $ workers_opt $ block_workers_opt $ cap $ manifest)
+      $ workers_opt $ block_workers_opt $ deadline_opt $ max_nodes_opt $ cap
+      $ manifest)
 
 (* --- render --- *)
 
@@ -514,7 +671,7 @@ let render_cmd =
     with_obs cfg @@ fun () ->
     let config =
       build_config ~preset ~kernel ~linkage ~workers ~block_workers
-        ~progress:cfg.progress
+        ~progress:cfg.progress ()
     in
     let names, m = read_matrix input in
     let tree =
@@ -629,7 +786,7 @@ let report_cmd =
     with_obs cfg @@ fun () ->
     let config =
       build_config ~preset ~kernel ~linkage ~workers ~block_workers
-        ~progress:cfg.progress
+        ~progress:cfg.progress ()
     in
     let names, m = read_matrix input in
     let n = Dist_matrix.size m in
@@ -733,7 +890,7 @@ let align_cmd =
     if with_tree then begin
       let config =
         build_config ~preset:None ~kernel:None ~linkage:None ~workers
-          ~block_workers:None ~progress:cfg.progress
+          ~block_workers:None ~progress:cfg.progress ()
       in
       let r = Pipeline.with_compact_sets ~config m in
       Buffer.add_string buf

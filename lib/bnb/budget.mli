@@ -1,0 +1,105 @@
+(** Cooperative budgets for anytime branch-and-bound.
+
+    A budget says when an exact search must give up: a wall-clock
+    deadline, a cap on expanded BBT nodes, and/or an external cancel
+    flag (typically flipped by a SIGINT handler).  The solvers poll it
+    {e cooperatively} — a cheap atomic read on the hot path, a full
+    check (clock, counters, flag) every [poll_every] expansions — so a
+    budgeted run always stops at a clean node boundary with its best
+    incumbent, a certified lower bound and the open frontier intact.
+
+    A budget value is pure configuration.  {!arm} turns it into a
+    {!monitor}, the shared run-time state one search (or one whole
+    pipeline run) polls; {!sub} derives per-block child monitors that
+    observe the parent's deadline, cancel flag and global node cap
+    while enforcing their own node share. *)
+
+type status =
+  | Exact  (** ran to completion — the result is the certified optimum *)
+  | Deadline  (** the wall-clock deadline fired *)
+  | Node_cap  (** the expansion cap was reached *)
+  | Cancelled  (** the external cancel flag was set *)
+
+val status_to_string : status -> string
+
+val status_of_string : string -> status option
+(** Inverse of {!status_to_string}; [None] on unknown names. *)
+
+val status_to_json : status -> Obs.Json.t
+
+type t
+(** A budget specification (immutable). *)
+
+val unlimited : t
+(** No deadline, no node cap, no cancel flag: the search runs to
+    completion exactly as an unbudgeted one. *)
+
+val create :
+  ?deadline_s:float ->
+  ?max_nodes:int ->
+  ?cancel:bool Atomic.t ->
+  ?poll_every:int ->
+  unit ->
+  t
+(** [poll_every] (default 32) is the number of expansions between full
+    checks; smaller means faster reaction, more clock reads.
+    @raise Invalid_argument if [deadline_s] is not positive and finite,
+    or [max_nodes <= 0], or [poll_every <= 0]. *)
+
+val is_unlimited : t -> bool
+(** No constraint of any kind — solvers skip frontier capture. *)
+
+val deadline_s : t -> float option
+val max_nodes : t -> int option
+
+(** {2 Run-time monitors} *)
+
+type monitor
+(** Armed budget: the clock started, shared expansion counter and
+    sticky trip flag.  Safe to poll from any number of domains. *)
+
+val arm : t -> monitor
+(** Start the clock now. *)
+
+val sub : ?max_nodes:int -> monitor -> monitor
+(** A child monitor for one sub-search (e.g. one compact-set block): it
+    trips whenever the parent trips (deadline, cancel and the parent's
+    global node cap included, since child expansions are counted into
+    the parent too) and additionally on its own [max_nodes] share.  A
+    child tripping on its own share does {e not} trip the parent. *)
+
+val spec : monitor -> t
+
+val tripped : monitor -> status option
+(** The sticky trip flag — one atomic read, no clock access; [None]
+    while the budget still has room.  Does not consult the parent. *)
+
+val check : monitor -> status option
+(** Full check: parent chain, cancel flag, deadline, node caps.  Trips
+    (stickily) on the first exhausted constraint and returns it. *)
+
+val trip : monitor -> status -> unit
+(** Force the monitor into [status] (first trip wins).  Used to record
+    an external stop decision. *)
+
+val nodes : monitor -> int
+(** Expansions charged so far (including children's flushed ticks). *)
+
+(** {2 Hot-path tickers}
+
+    One per worker domain: counts expansions locally and flushes into
+    the shared monitor every [poll_every] ticks, so the common case is
+    one increment and one comparison per expansion. *)
+
+type ticker
+
+val ticker : monitor -> ticker
+
+val tick : ticker -> status option
+(** Charge one expansion.  Returns the trip status as soon as the
+    monitor is (or becomes) exhausted; the caller must then stop
+    expanding and preserve its frontier. *)
+
+val flush : ticker -> unit
+(** Flush the residual local count into the monitor (call when the
+    worker stops for any reason, so {!nodes} is exact). *)

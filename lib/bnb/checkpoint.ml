@@ -1,0 +1,225 @@
+open Import
+module J = Obs.Json
+
+type block = {
+  b_id : int;
+  b_solved : bool;
+  b_tree : Utree.t option;
+  b_frontier : Utree.t list;
+}
+
+type t = {
+  version : int;
+  n : int;
+  digest : string;
+  status : Budget.status;
+  cost : float;
+  lower_bound : float;
+  blocks : block list;
+}
+
+let version = 1
+let hex x = Printf.sprintf "%h" x
+
+let digest_matrix m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (string_of_int (Dist_matrix.size m));
+  Dist_matrix.iter_pairs
+    (fun i j d -> Buffer.add_string buf (Printf.sprintf ";%d,%d:%s" i j (hex d)))
+    m;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let make ~matrix ~status ~cost ~lower_bound ~blocks =
+  {
+    version;
+    n = Dist_matrix.size matrix;
+    digest = digest_matrix matrix;
+    status;
+    cost;
+    lower_bound;
+    blocks;
+  }
+
+let make_block ~id ~matrix ~solved ~tree ~frontier =
+  let p = Permutation.to_array (Permutation.maxmin matrix) in
+  let out t = Utree.relabel (fun r -> p.(r)) t in
+  {
+    b_id = id;
+    b_solved = solved;
+    b_tree = tree;
+    b_frontier = List.map (fun (nd : Bb_tree.node) -> out nd.tree) frontier;
+  }
+
+let resume_of_block ~matrix b =
+  match (b.b_solved, b.b_tree) with
+  | true, Some tr -> `Solved tr
+  | _ ->
+      let inv =
+        Permutation.to_array (Permutation.inverse (Permutation.maxmin matrix))
+      in
+      let back t = Utree.relabel (fun orig -> inv.(orig)) t in
+      `Restart
+        {
+          Solver.r_frontier =
+            List.map (fun t -> (Utree.n_leaves t, back t)) b.b_frontier;
+          r_ub =
+            (match b.b_tree with Some t -> Utree.weight t | None -> infinity);
+          r_incumbent = Option.map back b.b_tree;
+        }
+
+let find_block ck id = List.find_opt (fun b -> b.b_id = id) ck.blocks
+
+(* --- JSON --- *)
+
+let rec tree_to_json = function
+  | Utree.Leaf i -> J.Int i
+  | Utree.Node { height; left; right } ->
+      J.Obj
+        [
+          ("h", J.String (hex height));
+          ("l", tree_to_json left);
+          ("r", tree_to_json right);
+        ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let rec tree_of_json j =
+  match j with
+  | J.Int i ->
+      if i >= 0 then Ok (Utree.leaf i) else Error "negative leaf label"
+  | J.Obj _ -> (
+      match (J.member "h" j, J.member "l" j, J.member "r" j) with
+      | Some (J.String h), Some l, Some r -> (
+          match float_of_string_opt h with
+          | None -> Error (Printf.sprintf "bad height literal %S" h)
+          | Some height ->
+              let* left = tree_of_json l in
+              let* right = tree_of_json r in
+              Ok (Utree.Node { height; left; right }))
+      | _ -> Error "tree node needs string \"h\" and subtrees \"l\", \"r\"")
+  | _ -> Error "tree must be a leaf integer or an object"
+
+let block_to_json b =
+  J.Obj
+    [
+      ("id", J.Int b.b_id);
+      ("solved", J.Bool b.b_solved);
+      ( "tree",
+        match b.b_tree with None -> J.Null | Some t -> tree_to_json t );
+      ("frontier", J.List (List.map tree_to_json b.b_frontier));
+    ]
+
+let field name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name j =
+  let* v = field name j in
+  match J.to_int_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let string_field name j =
+  let* v = field name j in
+  match J.to_string_opt v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S must be a string" name)
+
+let hex_float_field name j =
+  let* s = string_field name j in
+  match float_of_string_opt s with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "field %S: bad float literal %S" name s)
+
+let list_field name j =
+  let* v = field name j in
+  match J.to_list_opt v with
+  | Some xs -> Ok xs
+  | None -> Error (Printf.sprintf "field %S must be a list" name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let block_of_json j =
+  let* b_id = int_field "id" j in
+  let* solved = field "solved" j in
+  let* b_solved =
+    match solved with
+    | J.Bool b -> Ok b
+    | _ -> Error "field \"solved\" must be a boolean"
+  in
+  let* tree = field "tree" j in
+  let* b_tree =
+    match tree with
+    | J.Null -> Ok None
+    | t ->
+        let* t = tree_of_json t in
+        Ok (Some t)
+  in
+  let* fr = list_field "frontier" j in
+  let* b_frontier = map_result tree_of_json fr in
+  Ok { b_id; b_solved; b_tree; b_frontier }
+
+let to_json ck =
+  J.Obj
+    [
+      ("format", J.String "compactphy-checkpoint");
+      ("version", J.Int ck.version);
+      ("n", J.Int ck.n);
+      ("digest", J.String ck.digest);
+      ("status", Budget.status_to_json ck.status);
+      ("cost", J.String (hex ck.cost));
+      ("cost_approx", J.Float ck.cost);
+      ("lower_bound", J.String (hex ck.lower_bound));
+      ("lower_bound_approx", J.Float ck.lower_bound);
+      ("blocks", J.List (List.map block_to_json ck.blocks));
+    ]
+
+let of_json j =
+  let* fmt = string_field "format" j in
+  let* () =
+    if fmt = "compactphy-checkpoint" then Ok ()
+    else Error (Printf.sprintf "not a checkpoint file (format %S)" fmt)
+  in
+  let* v = int_field "version" j in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "unsupported checkpoint version %d" v)
+  in
+  let* n = int_field "n" j in
+  let* digest = string_field "digest" j in
+  let* status_s = string_field "status" j in
+  let* status =
+    match Budget.status_of_string status_s with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown status %S" status_s)
+  in
+  let* cost = hex_float_field "cost" j in
+  let* lower_bound = hex_float_field "lower_bound" j in
+  let* bs = list_field "blocks" j in
+  let* blocks = map_result block_of_json bs in
+  Ok { version = v; n; digest; status; cost; lower_bound; blocks }
+
+let save path ck = J.write_file path (to_json ck)
+
+let load path =
+  match J.read_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok j -> (
+      match of_json j with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok ck -> Ok ck)
+
+let verify ck matrix =
+  if ck.n <> Dist_matrix.size matrix then
+    Error
+      (Printf.sprintf "checkpoint is for %d species, matrix has %d" ck.n
+         (Dist_matrix.size matrix))
+  else if ck.digest <> digest_matrix matrix then
+    Error "checkpoint digest does not match this matrix"
+  else Ok ()

@@ -1,0 +1,88 @@
+open Import
+
+(** Durable snapshots of an interrupted anytime search.
+
+    A checkpoint freezes everything a budgeted run needs to continue
+    later: per block (one block for a plain exact solve, one per
+    compact-set block for the pipeline), the best tree found so far and
+    the open frontier of partial trees.  Costs, bounds and permutations
+    are {e not} stored — they are recomputed from the trees and the
+    matrix on resume, so a resumed search is exactly as precise as an
+    uninterrupted one.  Heights are serialised as hexadecimal float
+    literals ([%h]), which round-trip bit-exactly through the JSON
+    text; the matrix itself is pinned by a digest so a checkpoint can
+    never silently resume against different data.
+
+    The file format is a single JSON document (see {!to_json});
+    [format]/[version] fields make future migrations detectable. *)
+
+type block = {
+  b_id : int;  (** block id: decomposition block id, or [0] for exact *)
+  b_solved : bool;  (** this block's search ran to completion *)
+  b_tree : Utree.t option;
+      (** best tree so far in the block's local species labels ([None]
+          only if no complete tree existed when interrupted) *)
+  b_frontier : Utree.t list;
+      (** open partial trees (local labels, exploration order); empty
+          when [b_solved] *)
+}
+
+type t = {
+  version : int;
+  n : int;  (** species count of the source matrix *)
+  digest : string;  (** {!digest_matrix} of the source matrix *)
+  status : Budget.status;  (** why the run stopped *)
+  cost : float;  (** incumbent cost when the snapshot was taken *)
+  lower_bound : float;  (** certified global lower bound at snapshot *)
+  blocks : block list;
+}
+
+val version : int
+(** Current format version (1). *)
+
+val digest_matrix : Dist_matrix.t -> string
+(** Content digest of a distance matrix (size and every entry, at full
+    float precision). *)
+
+val make :
+  matrix:Dist_matrix.t ->
+  status:Budget.status ->
+  cost:float ->
+  lower_bound:float ->
+  blocks:block list ->
+  t
+
+val make_block :
+  id:int ->
+  matrix:Dist_matrix.t ->
+  solved:bool ->
+  tree:Utree.t option ->
+  frontier:Bb_tree.node list ->
+  block
+(** Package one (sub-)search's state.  [matrix] is the {e block-local}
+    matrix the search ran on; [frontier] comes straight from the solver
+    outcome (permuted labels) and is mapped back to local labels via
+    the matrix's maxmin permutation. *)
+
+val resume_of_block :
+  matrix:Dist_matrix.t -> block -> [ `Solved of Utree.t | `Restart of Solver.resume ]
+(** Turn a stored block back into solver input against the same
+    block-local [matrix]: either the finished tree, or a
+    {!Solver.resume} with the frontier re-mapped into permuted labels. *)
+
+val find_block : t -> int -> block option
+
+(** {2 Persistence} *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+
+val save : string -> t -> unit
+(** Write as a JSON file (truncating). *)
+
+val load : string -> (t, string) result
+(** Parse a checkpoint file; [Error] covers IO failures, JSON syntax
+    errors and schema violations, with a human-readable reason. *)
+
+val verify : t -> Dist_matrix.t -> (unit, string) result
+(** Check the checkpoint belongs to [matrix] (size and digest). *)

@@ -80,6 +80,15 @@ type outcome = {
   optimal : bool;
   all_optimal : Utree.t list;
   stats : Stats.t;
+  status : Budget.status;
+  lower_bound : float;
+  frontier : Bb_tree.node list;
+}
+
+type resume = {
+  r_frontier : (int * Utree.t) list;
+  r_ub : float;
+  r_incumbent : Utree.t option;
 }
 
 type problem = {
@@ -250,7 +259,7 @@ module Node_heap = struct
     end
 end
 
-let solve ?(options = default_options) ?progress dm =
+let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
   let n = Dist_matrix.size dm in
   if n = 1 then
     {
@@ -259,6 +268,9 @@ let solve ?(options = default_options) ?progress dm =
       optimal = true;
       all_optimal = [ Utree.leaf 0 ];
       stats = Stats.create ();
+      status = Budget.Exact;
+      lower_bound = 0.;
+      frontier = [];
     }
   else
     Obs.Span.with_span "bnb.solve"
@@ -267,8 +279,33 @@ let solve ?(options = default_options) ?progress dm =
     let t_start = Obs.Clock.counter () in
     let problem = prepare ~options dm in
     let stats = Stats.create () in
-    let ub = ref problem.ub0 in
-    let best = ref problem.incumbent0 in
+    let monitor =
+      match (monitor, budget) with
+      | Some m, _ -> m
+      | None, Some b -> Budget.arm b
+      | None, None -> Budget.arm Budget.unlimited
+    in
+    let tk = Budget.ticker monitor in
+    let interrupted = ref None in
+    (* Resuming re-derives the permutation (deterministic for a given
+       matrix) and re-costs the checkpointed frontier, so only trees are
+       ever persisted — floats are recomputed, never trusted. *)
+    let seed_nodes, ub_init, best_init =
+      match resume with
+      | None -> (None, problem.ub0, problem.incumbent0)
+      | Some r ->
+          let nodes =
+            List.map
+              (fun (k, tree) ->
+                let cost = Utree.weight tree in
+                { Bb_tree.tree; k; cost; lb = cost +. problem.lb_extra.(k) })
+              r.r_frontier
+          in
+          if r.r_ub < problem.ub0 then (Some nodes, r.r_ub, r.r_incumbent)
+          else (Some nodes, problem.ub0, problem.incumbent0)
+    in
+    let ub = ref ub_init in
+    let best = ref best_init in
     let ties = ref [] in
     let optimal = ref true in
     (* With [collect_all], equal-cost nodes survive pruning so every
@@ -324,37 +361,75 @@ let solve ?(options = default_options) ?progress dm =
       | Some cap -> stats.Stats.expanded >= cap
       | None -> false
     in
-    push (Bb_tree.root problem.pm);
+    (match seed_nodes with
+    | None -> push (Bb_tree.root problem.pm)
+    | Some nodes -> List.iter push (List.rev nodes));
+    (* On interruption the node in hand goes back on the open list, so
+       the drained frontier is exactly the set of unexplored subtrees:
+       min over its lower bounds certifies the global optimum. *)
     let rec loop () =
       match pop () with
       | None -> ()
-      | Some _ when cap_reached () -> optimal := false
+      | Some node when cap_reached () ->
+          optimal := false;
+          interrupted := Some Budget.Node_cap;
+          push node
       | Some node ->
-          if prunable node.Bb_tree.lb then
-            stats.Stats.pruned <- stats.Stats.pruned + 1
-          else if Bb_tree.is_complete problem.pm node then
+          if prunable node.Bb_tree.lb then begin
+            stats.Stats.pruned <- stats.Stats.pruned + 1;
+            loop ()
+          end
+          else if Bb_tree.is_complete problem.pm node then begin
             (* Only the n = 2 root can be popped complete. *)
-            record_solution node
+            record_solution node;
+            loop ()
+          end
           else begin
-            let children = expand ~ub:!ub problem node stats in
-            List.iter
-              (fun (c : Bb_tree.node) ->
-                if Bb_tree.is_complete problem.pm c then record_solution c
-                else if not (prunable c.lb) then push c
-                else stats.Stats.pruned <- stats.Stats.pruned + 1)
-              (List.rev children);
-            let olen = open_length () in
-            stats.Stats.max_open <- Int.max stats.Stats.max_open olen;
-            match progress with
-            | None -> ()
-            | Some p ->
-                Obs.Progress.sample p ~worker:0
-                  ~expanded:stats.Stats.expanded ~pruned:stats.Stats.pruned
-                  ~open_depth:olen ~ub:!ub ~lb:node.Bb_tree.lb
-          end;
-          loop ()
+            match Budget.tick tk with
+            | Some s ->
+                optimal := false;
+                interrupted := Some s;
+                push node
+            | None ->
+                let children = expand ~ub:!ub problem node stats in
+                List.iter
+                  (fun (c : Bb_tree.node) ->
+                    if Bb_tree.is_complete problem.pm c then record_solution c
+                    else if not (prunable c.lb) then push c
+                    else stats.Stats.pruned <- stats.Stats.pruned + 1)
+                  (List.rev children);
+                let olen = open_length () in
+                stats.Stats.max_open <- Int.max stats.Stats.max_open olen;
+                (match progress with
+                | None -> ()
+                | Some p ->
+                    Obs.Progress.sample p ~worker:0
+                      ~expanded:stats.Stats.expanded ~pruned:stats.Stats.pruned
+                      ~open_depth:olen ~ub:!ub ~lb:node.Bb_tree.lb);
+                loop ()
+          end
     in
-    loop ();
+    (match Budget.check monitor with
+    | Some s ->
+        (* Exhausted before the first expansion (e.g. a block solved
+           after the whole-run budget tripped): return the heuristic
+           incumbent immediately, frontier untouched. *)
+        optimal := false;
+        interrupted := Some s
+    | None -> loop ());
+    Budget.flush tk;
+    let frontier =
+      let rec drain acc =
+        match pop () with None -> List.rev acc | Some nd -> drain (nd :: acc)
+      in
+      drain []
+    in
+    let status = match !interrupted with Some s -> s | None -> Budget.Exact in
+    let lower_bound =
+      List.fold_left
+        (fun acc (nd : Bb_tree.node) -> Float.min acc nd.Bb_tree.lb)
+        !ub frontier
+    in
     M.flush stats (Obs.Clock.elapsed_s t_start);
     Log.debug (fun m -> m "solve n=%d done: %a" n Stats.pp stats);
     match !best with
@@ -365,7 +440,16 @@ let solve ?(options = default_options) ?progress dm =
           | [] -> [ tree ]
           | ts -> List.map (relabel_out problem) ts
         in
-        { tree; cost = !ub; optimal = !optimal; all_optimal; stats }
+        {
+          tree;
+          cost = !ub;
+          optimal = !optimal;
+          all_optimal;
+          stats;
+          status;
+          lower_bound;
+          frontier;
+        }
     | None ->
         (* Only reachable with [No_heuristic_ub] and an expansion cap
            small enough that no complete tree was ever built. *)
@@ -376,4 +460,7 @@ let solve ?(options = default_options) ?progress dm =
           optimal = false;
           all_optimal = [ fallback ];
           stats;
+          status;
+          lower_bound;
+          frontier;
         }

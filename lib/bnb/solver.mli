@@ -83,18 +83,58 @@ type outcome = {
       (** with [collect_all]: every distinct optimal topology the search
           completed (original labels); otherwise just [[tree]] *)
   stats : Stats.t;
+  status : Budget.status;
+      (** [Exact] when the search ran to completion; otherwise which
+          budget constraint stopped it ([Node_cap] also covers the
+          legacy [max_expanded] option) *)
+  lower_bound : float;
+      (** certified global lower bound on the optimum: the minimum of
+          the open frontier's bounds and [cost].  Equals [cost] when
+          [status = Exact]. *)
+  frontier : Bb_tree.node list;
+      (** the open list at the moment the search stopped (permuted
+          labels, in pop order) — empty for a completed search.  Feed it
+          back through a {!resume} to continue the run. *)
 }
+
+type resume = {
+  r_frontier : (int * Utree.t) list;
+      (** open nodes as [(k, partial tree)] pairs in {e permuted}
+          labels, in the order they should be explored *)
+  r_ub : float;  (** best cost known when the checkpoint was taken *)
+  r_incumbent : Utree.t option;  (** tree realising [r_ub] (permuted) *)
+}
+(** A search state to continue from (see [Bnb.Checkpoint] for the
+    file format).  Costs and bounds are recomputed from the trees, so a
+    resumed run is exact whatever precision the checkpoint survived. *)
 
 val src : Logs.src
 (** Log source ["compactphy.solver"]. *)
 
 val solve :
-  ?options:options -> ?progress:Obs.Progress.t -> Dist_matrix.t -> outcome
+  ?options:options ->
+  ?budget:Budget.t ->
+  ?monitor:Budget.monitor ->
+  ?resume:resume ->
+  ?progress:Obs.Progress.t ->
+  Dist_matrix.t ->
+  outcome
 (** Construct the minimum ultrametric tree of a metric distance matrix.
     With [relation33 <> Off] the search is restricted and the result can
     in principle be slightly costlier than the true optimum (empirically
     it is not — see the test suite).  Handles [n = 1] and [n = 2]
     directly.
+
+    [budget] bounds the search (see {!Budget}); on exhaustion the
+    outcome carries the best incumbent, the certified [lower_bound] and
+    the open [frontier], with [status] naming the constraint that fired.
+    An unbudgeted (or {!Budget.unlimited}) run is bit-identical to the
+    pre-budget solver: same tree, cost and stats.  [monitor] supplies an
+    already-armed monitor instead (e.g. a per-block {!Budget.sub} of a
+    whole-run budget) and takes precedence over [budget].  [resume]
+    seeds the open list and incumbent from a checkpoint instead of
+    starting at the root; the permutation is re-derived from [dm], so
+    the matrix must be the one the checkpoint was taken from.
 
     Telemetry: the whole search runs under an [Obs.Span] named
     ["bnb.solve"]; pass [progress] to get rate-limited live samples

@@ -6,5 +6,8 @@ module Laminar = Cgraph.Laminar
 module Utree = Ultra.Utree
 module Solver = Bnb.Solver
 module Stats = Bnb.Stats
+module Budget = Bnb.Budget
+module Bb_tree = Bnb.Bb_tree
+module Checkpoint = Bnb.Checkpoint
 module Par_bnb = Parbnb.Par_bnb
 module Domain_pool = Parbnb.Domain_pool

@@ -21,72 +21,155 @@ type run = {
   largest_block : int;
   optimal : bool;
   report : Obs.Report.t;
+  status : Budget.status;
+  lower_bound : float;
+  checkpoint : Checkpoint.t option;
 }
 
-(* One exact solve of a small matrix: the sequential solver, or the
-   domain-parallel one when the intra-block budget allows. *)
-let solve_matrix ~options ~workers ~progress optimal small =
-  if workers <= 1 then begin
-    let r = Solver.solve ~options ?progress small in
-    if not r.Solver.optimal then optimal := false;
-    (r.Solver.stats, r.Solver.tree)
-  end
-  else begin
-    let r = Par_bnb.solve ~options ?progress ~n_workers:workers small in
-    if not r.Par_bnb.optimal then optimal := false;
-    (r.Par_bnb.stats, r.Par_bnb.tree)
-  end
+(* One (sub-)solve's full anytime result, in the small matrix's own
+   species labels. *)
+type solved = {
+  sv_stats : Stats.t;
+  sv_tree : Utree.t;
+  sv_status : Budget.status;
+  sv_lb : float;
+  sv_frontier : Bb_tree.node list;  (* permuted labels, as the solver *)
+}
 
-let solve_small ~options ~workers ~progress ~report stats optimal small =
+let trivially_solved tree =
+  {
+    sv_stats = Stats.create ();
+    sv_tree = tree;
+    sv_status = Budget.Exact;
+    sv_lb = Utree.weight tree;
+    sv_frontier = [];
+  }
+
+(* One exact solve of a small matrix: the sequential solver, or the
+   domain-parallel one when the intra-block budget allows.  [resume] is
+   this block's checkpoint state, if any: a finished block skips the
+   solve entirely, an interrupted one continues from its frontier. *)
+let solve_matrix ~options ~workers ~progress ~monitor ~resume optimal small =
+  match resume with
+  | Some (`Solved tree) -> trivially_solved tree
+  | (None | Some (`Restart _)) as rs -> (
+      let resume =
+        match rs with Some (`Restart r) -> Some r | _ -> None
+      in
+      if workers <= 1 then begin
+        let r = Solver.solve ~options ~monitor ?resume ?progress small in
+        if not r.Solver.optimal then optimal := false;
+        {
+          sv_stats = r.Solver.stats;
+          sv_tree = r.Solver.tree;
+          sv_status = r.Solver.status;
+          sv_lb = r.Solver.lower_bound;
+          sv_frontier = r.Solver.frontier;
+        }
+      end
+      else begin
+        let r =
+          Par_bnb.solve ~options ~monitor ?resume ?progress ~n_workers:workers
+            small
+        in
+        if not r.Par_bnb.optimal then optimal := false;
+        {
+          sv_stats = r.Par_bnb.stats;
+          sv_tree = r.Par_bnb.tree;
+          sv_status = r.Par_bnb.status;
+          sv_lb = r.Par_bnb.lower_bound;
+          sv_frontier = r.Par_bnb.frontier;
+        }
+      end)
+
+let solve_small ~options ~workers ~progress ~monitor ~resume ~report stats
+    optimal small =
   let size = Dist_matrix.size small in
-  if size = 1 then Utree.leaf 0
+  if size = 1 then trivially_solved (Utree.leaf 0)
   else begin
-    let (block_stats, tree), solve_s =
+    let sv, solve_s =
       Obs.Clock.time (fun () ->
-          solve_matrix ~options ~workers ~progress optimal small)
+          solve_matrix ~options ~workers ~progress ~monitor ~resume optimal
+            small)
     in
-    Stats.add stats block_stats;
+    Stats.add stats sv.sv_stats;
     Obs.Metrics.observe (Lazy.force M.block_size) (float_of_int size);
     Obs.Report.add_worker report
       [
         ("block", Obs.Json.Int 0);
         ("block_size", Obs.Json.Int size);
         ("solve_s", Obs.Json.Float solve_s);
-        ("stats", Stats.to_json block_stats);
+        ("stats", Stats.to_json sv.sv_stats);
+        ("status", Budget.status_to_json sv.sv_status);
       ];
-    tree
+    sv
   end
 
-let finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block stats =
+let finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block ~status
+    ~lower_bound stats =
   Obs.Metrics.incr (Lazy.force M.runs);
   Obs.Metrics.observe (Lazy.force M.blocks_per_run) (float_of_int n_blocks);
   Obs.Report.set report "elapsed_s" (Obs.Json.Float elapsed_s);
   Obs.Report.set report "cost" (Obs.Json.Float cost);
   Obs.Report.set report "n_blocks" (Obs.Json.Int n_blocks);
   Obs.Report.set report "largest_block" (Obs.Json.Int largest_block);
-  Obs.Report.set report "stats" (Stats.to_json stats)
+  Obs.Report.set report "stats" (Stats.to_json stats);
+  Obs.Report.set report "status" (Budget.status_to_json status);
+  Obs.Report.set report "lower_bound" (Obs.Json.Float lower_bound)
 
-let exact ?(config = Run_config.default) dm =
+(* Validate a user-supplied checkpoint against the matrix it claims to
+   continue. *)
+let checked_resume ~who ~matrix = function
+  | None -> None
+  | Some ck -> (
+      match Checkpoint.verify ck matrix with
+      | Ok () -> Some ck
+      | Error e -> invalid_arg (Printf.sprintf "%s: %s" who e))
+
+let exact ?(config = Run_config.default) ?resume dm =
   let config = Run_config.validate ~who:"Pipeline.exact" config in
   let options = config.Run_config.solver in
   let workers = config.Run_config.workers in
   let progress = config.Run_config.progress in
+  let resume_ck = checked_resume ~who:"Pipeline.exact" ~matrix:dm resume in
   Obs.Span.with_span "pipeline.exact"
     ~args:[ ("n", Obs.Json.Int (Dist_matrix.size dm)) ]
   @@ fun () ->
   let report = Obs.Report.create "pipeline.exact" in
   Obs.Report.set report "n" (Obs.Json.Int (Dist_matrix.size dm));
   Obs.Report.set report "config" (Run_config.to_json config);
+  let monitor = Budget.arm (Run_config.budget config) in
+  let block_resume =
+    Option.bind resume_ck (fun ck ->
+        Option.map
+          (Checkpoint.resume_of_block ~matrix:dm)
+          (Checkpoint.find_block ck 0))
+  in
   let stats = Stats.create () in
   let optimal = ref true in
-  let tree, elapsed_s =
+  let sv, elapsed_s =
     Obs.Clock.time (fun () ->
         Obs.Report.timed_phase report "solve" (fun () ->
-            solve_small ~options ~workers ~progress ~report stats optimal dm))
+            solve_small ~options ~workers ~progress ~monitor
+              ~resume:block_resume ~report stats optimal dm))
   in
+  let tree = sv.sv_tree in
   let cost = Utree.weight tree in
   let largest_block = Dist_matrix.size dm in
-  finish_report report ~elapsed_s ~cost ~n_blocks:1 ~largest_block stats;
+  let checkpoint =
+    if sv.sv_status = Budget.Exact then None
+    else
+      Some
+        (Checkpoint.make ~matrix:dm ~status:sv.sv_status ~cost
+           ~lower_bound:sv.sv_lb
+           ~blocks:
+             [
+               Checkpoint.make_block ~id:0 ~matrix:dm ~solved:false
+                 ~tree:(Some tree) ~frontier:sv.sv_frontier;
+             ])
+  in
+  finish_report report ~elapsed_s ~cost ~n_blocks:1 ~largest_block
+    ~status:sv.sv_status ~lower_bound:sv.sv_lb stats;
   {
     tree;
     cost;
@@ -96,6 +179,9 @@ let exact ?(config = Run_config.default) dm =
     largest_block;
     optimal = !optimal;
     report;
+    status = sv.sv_status;
+    lower_bound = sv.sv_lb;
+    checkpoint;
   }
 
 (* --- inter-block scheduling --- *)
@@ -119,6 +205,9 @@ type block_result = {
   b_stats : Stats.t;
   b_tree : Utree.t;
   b_optimal : bool;
+  b_status : Budget.status;
+  b_lb : float;
+  b_frontier : Bb_tree.node list;
 }
 
 let slots_of (deco : Decompose.t) =
@@ -148,22 +237,74 @@ let schedule slots =
 let effective_block_workers block_workers =
   Int.min block_workers (Int.max 1 (Domain.recommended_domain_count ()))
 
-let solve_slots ~options ~workers ~block_workers ~progress slots =
+(* Split a whole-run node cap into per-block shares, proportional to
+   the same 3^k work proxy {!plan_workers} uses; every solvable block
+   keeps at least one node so it can record a heuristic incumbent.  The
+   parent monitor still enforces the global cap exactly — the shares
+   only decide which blocks are starved first. *)
+let plan_node_shares ~max_nodes todo =
+  let weight slot = 3. ** float_of_int slot.size in
+  let total = Array.fold_left (fun acc s -> acc +. weight s) 0. todo in
+  Array.map
+    (fun s ->
+      Int.max 1 (int_of_float (float_of_int max_nodes *. weight s /. total)))
+    todo
+
+let solve_slots ~options ~workers ~block_workers ~progress ~monitor
+    ~resume_for slots =
   let todo = schedule slots in
-  let t_pool = Obs.Clock.counter () in
-  let solve_one slot =
-    let queue_wait_s = Obs.Clock.elapsed_s t_pool in
-    let optimal = ref true in
-    let (b_stats, b_tree), solve_s =
-      Obs.Clock.time (fun () ->
-          solve_matrix ~options ~workers ~progress optimal
-            slot.block.Decompose.small)
-    in
-    { slot; queue_wait_s; solve_s; b_stats; b_tree; b_optimal = !optimal }
+  let shares =
+    match Budget.max_nodes (Budget.spec monitor) with
+    | None -> Array.map (fun _ -> None) todo
+    | Some cap -> Array.map (fun s -> Some s) (plan_node_shares ~max_nodes:cap todo)
   in
+  let t_pool = Obs.Clock.counter () in
+  let solve_one i slot =
+    let queue_wait_s = Obs.Clock.elapsed_s t_pool in
+    (* Blocks with their own node share solve under a child monitor, so
+       exhausting one block's share never stops its siblings; deadline
+       and cancellation still propagate from the parent. *)
+    let bmon =
+      match shares.(i) with
+      | None -> monitor
+      | Some cap -> Budget.sub ~max_nodes:cap monitor
+    in
+    let optimal = ref true in
+    let sv, solve_s =
+      Obs.Clock.time (fun () ->
+          solve_matrix ~options ~workers ~progress ~monitor:bmon
+            ~resume:(resume_for slot) optimal slot.block.Decompose.small)
+    in
+    {
+      slot;
+      queue_wait_s;
+      solve_s;
+      b_stats = sv.sv_stats;
+      b_tree = sv.sv_tree;
+      b_optimal = !optimal;
+      b_status = sv.sv_status;
+      b_lb = sv.sv_lb;
+      b_frontier = sv.sv_frontier;
+    }
+  in
+  let n_workers = Int.min (effective_block_workers block_workers) (Array.length todo) in
   let results =
-    Domain_pool.map ~n_workers:(effective_block_workers block_workers)
-      solve_one todo
+    if n_workers <= 1 || Array.length todo <= 1 then Array.mapi solve_one todo
+    else begin
+      (* A persistent pool: blocks are submitted largest-first and
+         awaited in the same order; a task failure surfaces on await
+         after the pool is shut down cleanly. *)
+      let pool = Domain_pool.create ~n_workers in
+      Fun.protect
+        ~finally:(fun () -> Domain_pool.shutdown pool)
+        (fun () ->
+          let futures =
+            Array.mapi
+              (fun i slot -> Domain_pool.submit pool (fun () -> solve_one i slot))
+              todo
+          in
+          Array.map Domain_pool.await futures)
+    end
   in
   Array.sort (fun a b -> compare a.slot.id b.slot.id) results;
   results
@@ -185,6 +326,7 @@ let merge_results ~report ~stats ~optimal results =
           ("queue_wait_s", Obs.Json.Float r.queue_wait_s);
           ("solve_s", Obs.Json.Float r.solve_s);
           ("stats", Stats.to_json r.b_stats);
+          ("status", Budget.status_to_json r.b_status);
         ])
     results
 
@@ -246,7 +388,7 @@ let plan_workers ~budget deco =
     end
   end
 
-let with_compact_sets ?(config = Run_config.default) dm =
+let with_compact_sets ?(config = Run_config.default) ?resume dm =
   let config = Run_config.validate ~who:"Pipeline.with_compact_sets" config in
   let options = config.Run_config.solver in
   let linkage = config.Run_config.linkage in
@@ -256,6 +398,9 @@ let with_compact_sets ?(config = Run_config.default) dm =
   let progress = config.Run_config.progress in
   let n = Dist_matrix.size dm in
   if n = 0 then invalid_arg "Pipeline.with_compact_sets: empty matrix";
+  let resume_ck =
+    checked_resume ~who:"Pipeline.with_compact_sets" ~matrix:dm resume
+  in
   Obs.Span.with_span "pipeline.with_compact_sets"
     ~args:[ ("n", Obs.Json.Int n) ]
   @@ fun () ->
@@ -264,7 +409,7 @@ let with_compact_sets ?(config = Run_config.default) dm =
   Obs.Report.set report "config" (Run_config.to_json config);
   if n = 1 then begin
     finish_report report ~elapsed_s:0. ~cost:0. ~n_blocks:1 ~largest_block:1
-      (Stats.create ());
+      ~status:Budget.Exact ~lower_bound:0. (Stats.create ());
     {
       tree = Utree.leaf 0;
       cost = 0.;
@@ -274,6 +419,9 @@ let with_compact_sets ?(config = Run_config.default) dm =
       largest_block = 1;
       optimal = true;
       report;
+      status = Budget.Exact;
+      lower_bound = 0.;
+      checkpoint = None;
     }
   end
   else begin
@@ -283,7 +431,8 @@ let with_compact_sets ?(config = Run_config.default) dm =
     Obs.Report.set report "solver_workers" (Obs.Json.Int workers);
     let stats = Stats.create () in
     let optimal = ref true in
-    let (tree, deco), elapsed_s =
+    let monitor = Budget.arm (Run_config.budget config) in
+    let (tree, deco, results), elapsed_s =
       Obs.Clock.time (fun () ->
           let deco =
             Obs.Report.timed_phase report "decompose" (fun () ->
@@ -297,9 +446,21 @@ let with_compact_sets ?(config = Run_config.default) dm =
              family's natural task parallelism.  Solve them all over the
              inter-block pool, then merge and graft deterministically. *)
           let slots = slots_of deco in
+          (* The decomposition is a deterministic function of the matrix
+             and linkage, so block ids line up with a checkpoint taken
+             under the same configuration; the matrix itself was already
+             digest-checked. *)
+          let resume_for slot =
+            Option.bind resume_ck (fun ck ->
+                Option.map
+                  (Checkpoint.resume_of_block
+                     ~matrix:slot.block.Decompose.small)
+                  (Checkpoint.find_block ck slot.id))
+          in
           let results =
             Obs.Report.timed_phase report "solve-blocks" (fun () ->
-                solve_slots ~options ~workers ~block_workers ~progress slots)
+                solve_slots ~options ~workers ~block_workers ~progress
+                  ~monitor ~resume_for slots)
           in
           merge_results ~report ~stats ~optimal results;
           Log.debug (fun m ->
@@ -312,15 +473,50 @@ let with_compact_sets ?(config = Run_config.default) dm =
           (* The graft fixes a topology; re-realising against the full
              matrix yields the cheapest feasible ultrametric tree with
              that topology (and repairs any height inversion the Min/Avg
-             linkages can introduce). *)
+             linkages can introduce).  Interrupted blocks contribute
+             their best incumbent, so the anytime result is always a
+             complete, feasible tree. *)
           ( Obs.Report.timed_phase report "re-realise" (fun () ->
                 Utree.minimal_realization dm merged),
-            deco ))
+            deco,
+            results ))
     in
     let cost = Utree.weight tree in
     let n_blocks = Decompose.n_blocks deco in
     let largest_block = Decompose.largest_block deco in
-    finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block stats;
+    let status =
+      (* Every block exact means the run is exact, even if the deadline
+         expires a microsecond after the last solve returned; otherwise
+         a whole-run trip (deadline, cancel, global cap) wins over a
+         block-local node-share exhaustion. *)
+      match Array.find_opt (fun r -> r.b_status <> Budget.Exact) results with
+      | None -> Budget.Exact
+      | Some r -> (
+          match Budget.tripped monitor with Some s -> s | None -> r.b_status)
+    in
+    (* Sum of per-block certified bounds: a lower bound on the total
+       cost of solving every block exactly — the quantity the block
+       phase minimises — not on the final re-realised tree's weight. *)
+    let lower_bound =
+      Array.fold_left (fun acc r -> acc +. r.b_lb) 0. results
+    in
+    let checkpoint =
+      if status = Budget.Exact then None
+      else
+        Some
+          (Checkpoint.make ~matrix:dm ~status ~cost ~lower_bound
+             ~blocks:
+               (Array.to_list
+                  (Array.map
+                     (fun r ->
+                       Checkpoint.make_block ~id:r.slot.id
+                         ~matrix:r.slot.block.Decompose.small
+                         ~solved:(r.b_status = Budget.Exact)
+                         ~tree:(Some r.b_tree) ~frontier:r.b_frontier)
+                     results)))
+    in
+    finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block ~status
+      ~lower_bound stats;
     {
       tree;
       cost;
@@ -330,6 +526,9 @@ let with_compact_sets ?(config = Run_config.default) dm =
       largest_block;
       optimal = !optimal;
       report;
+      status;
+      lower_bound;
+      checkpoint;
     }
   end
 
@@ -382,7 +581,8 @@ let with_compact_sets_legacy ?(linkage = Decompose.Max) ?relaxation
   with_compact_sets
     ~config:
       {
-        Run_config.solver = options;
+        Run_config.default with
+        solver = options;
         linkage;
         relaxation;
         workers;
@@ -397,7 +597,8 @@ let compare_methods_legacy ?(linkage = Decompose.Max)
   compare_methods
     ~config:
       {
-        Run_config.solver = options;
+        Run_config.default with
+        solver = options;
         linkage;
         relaxation = None;
         workers;

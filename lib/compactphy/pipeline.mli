@@ -42,24 +42,45 @@ type run = {
       (** run manifest: phase timings ([decompose] / [solve-blocks] /
           [graft] / [re-realise], or [solve] for {!exact}), one worker
           entry per solved block in block-id order ([block] id,
-          [block_size], [queue_wait_s], [solve_s], search counters), and
-          the summary fields; serialise with [Obs.Report.to_json] *)
+          [block_size], [queue_wait_s], [solve_s], search counters,
+          [status]), and the summary fields — including ["status"] and
+          ["lower_bound"]; serialise with [Obs.Report.to_json] *)
+  status : Bnb.Budget.status;
+      (** [Exact] when every search ran to completion; otherwise the
+          budget constraint that stopped the run *)
+  lower_bound : float;
+      (** {!exact}: certified global lower bound on the optimal cost
+          (equals [cost] when [status = Exact]).
+          {!with_compact_sets}: sum of the per-block certified bounds —
+          a lower bound on the cost of finishing every block exactly,
+          {e not} on the final re-realised tree's weight (the
+          decomposition itself is a heuristic). *)
+  checkpoint : Bnb.Checkpoint.t option;
+      (** [Some] exactly when [status <> Exact]: everything needed to
+          {!Bnb.Checkpoint.save} and later resume this run *)
 }
 
 val src : Logs.src
 (** Log source ["compactphy.pipeline"]. *)
 
-val exact : ?config:Run_config.t -> Dist_matrix.t -> run
+val exact : ?config:Run_config.t -> ?resume:Bnb.Checkpoint.t -> Dist_matrix.t -> run
 (** Minimum ultrametric tree of the full matrix — the configuration's
     [solver] options, [workers] (1 = sequential, more = the
     domain-parallel solver) and [progress] sink apply; the decomposition
     fields are ignored.  The run manifest embeds the full configuration
     under ["config"].
 
-    @raise Invalid_argument if the configuration fails
-    {!Run_config.validate}. *)
+    The configuration's budget fields ([deadline_s] / [max_nodes] /
+    [cancel]) bound the solve; an exhausted run returns its incumbent
+    with a [checkpoint] to continue from.  [resume] continues such a
+    checkpoint (same matrix, same configuration): the run reaches the
+    same optimum an uninterrupted one finds.
 
-val with_compact_sets : ?config:Run_config.t -> Dist_matrix.t -> run
+    @raise Invalid_argument if the configuration fails
+    {!Run_config.validate}, or if [resume] does not match the matrix. *)
+
+val with_compact_sets :
+  ?config:Run_config.t -> ?resume:Bnb.Checkpoint.t -> Dist_matrix.t -> run
 (** The paper's fast construction, driven by a {!Run_config.t}
     (default {!Run_config.default}).  Linkage default [Max] (the variant
     the paper evaluates); [relaxation >= 1.] uses alpha-compact sets,
@@ -78,13 +99,25 @@ val with_compact_sets : ?config:Run_config.t -> Dist_matrix.t -> run
     records both the requested [block_workers] and the
     [effective_block_workers] used.
 
+    Budgets: the configuration's [deadline_s] and [cancel] apply to the
+    whole run (all blocks share one monitor); a whole-run [max_nodes] is
+    split across blocks proportionally to their estimated search cost,
+    each block under its own child monitor so one block exhausting its
+    share never starves the others.  Interrupted blocks contribute
+    their best incumbent to the graft, so the anytime result is always
+    a complete feasible tree; the [checkpoint] records every block
+    (finished ones included) and [resume] picks up only the unfinished
+    ones — under the same matrix and configuration, the resumed run
+    reaches exactly the tree an unbudgeted run builds.
+
     Telemetry: the whole construction runs under an [Obs.Span] named
     ["pipeline.with_compact_sets"], with nested phase spans matching the
     manifest phases ([decompose], [solve-blocks], [graft],
     [re-realise]).
 
-    @raise Invalid_argument on an empty matrix, or if the configuration
-    fails {!Run_config.validate}. *)
+    @raise Invalid_argument on an empty matrix, if the configuration
+    fails {!Run_config.validate}, or if [resume] does not match the
+    matrix. *)
 
 val plan_workers : budget:int -> Decompose.t -> int * int
 (** [plan_workers ~budget deco] splits a total domain budget into

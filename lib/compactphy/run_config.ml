@@ -8,6 +8,9 @@ type t = {
   workers : int;
   block_workers : int;
   progress : Obs.Progress.t option;
+  deadline_s : float option;
+  max_nodes : int option;
+  cancel : bool Atomic.t option;
 }
 
 let default =
@@ -18,6 +21,9 @@ let default =
     workers = 1;
     block_workers = 1;
     progress = None;
+    deadline_s = None;
+    max_nodes = None;
+    cancel = None;
   }
 
 let solver_options = Solver.options
@@ -30,6 +36,13 @@ let with_relaxation r c = { c with relaxation = Some r }
 let with_workers workers c = { c with workers }
 let with_block_workers block_workers c = { c with block_workers }
 let with_progress p c = { c with progress = Some p }
+let with_deadline d c = { c with deadline_s = Some d }
+let with_max_nodes cap c = { c with max_nodes = Some cap }
+let with_cancel flag c = { c with cancel = Some flag }
+
+let budget c =
+  Bnb.Budget.create ?deadline_s:c.deadline_s ?max_nodes:c.max_nodes
+    ?cancel:c.cancel ()
 
 let validate ?(who = "Run_config.validate") c =
   if c.workers < 1 then
@@ -47,6 +60,16 @@ let validate ?(who = "Run_config.validate") c =
   | Some cap when cap <= 0 ->
       invalid_arg
         (Printf.sprintf "%s: max_expanded = %d (must be > 0)" who cap)
+  | Some _ | None -> ());
+  (match c.deadline_s with
+  | Some d when not (d > 0. && Float.is_finite d) ->
+      invalid_arg
+        (Printf.sprintf "%s: deadline_s = %g (must be > 0 and finite)" who d)
+  | Some _ | None -> ());
+  (match c.max_nodes with
+  | Some cap when cap <= 0 ->
+      invalid_arg
+        (Printf.sprintf "%s: max_nodes = %d (must be > 0)" who cap)
   | Some _ | None -> ());
   c
 
@@ -142,4 +165,12 @@ let to_json c =
         | None -> Obs.Json.Null );
       ("workers", Obs.Json.Int c.workers);
       ("block_workers", Obs.Json.Int c.block_workers);
+      ( "deadline_s",
+        match c.deadline_s with
+        | Some d -> Obs.Json.Float d
+        | None -> Obs.Json.Null );
+      ( "max_nodes",
+        match c.max_nodes with
+        | Some cap -> Obs.Json.Int cap
+        | None -> Obs.Json.Null );
     ]

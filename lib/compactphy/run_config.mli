@@ -21,12 +21,21 @@ type t = {
   workers : int;  (** domains inside one branch-and-bound solve *)
   block_workers : int;  (** independent blocks solved concurrently *)
   progress : Obs.Progress.t option;  (** live solver samples sink *)
+  deadline_s : float option;
+      (** whole-run wall-clock budget in seconds; [None] = unlimited *)
+  max_nodes : int option;
+      (** whole-run cap on expanded BBT nodes, split across compact-set
+          blocks by expected work; [None] = unlimited *)
+  cancel : bool Atomic.t option;
+      (** external cancel flag (e.g. set from a SIGINT handler): the run
+          stops cooperatively once it becomes [true] *)
 }
 
 val default : t
 (** Today's defaults: {!Solver.default_options} (incremental kernel),
     [Max] linkage, no relaxation, sequential ([workers = 1],
-    [block_workers = 1]), no progress sink. *)
+    [block_workers = 1]), no progress sink, and no budget of any kind —
+    runs behave exactly as before this field existed. *)
 
 val solver_options :
   ?lb:Solver.lb_kind ->
@@ -49,12 +58,20 @@ val with_relaxation : float -> t -> t
 val with_workers : int -> t -> t
 val with_block_workers : int -> t -> t
 val with_progress : Obs.Progress.t -> t -> t
+val with_deadline : float -> t -> t
+val with_max_nodes : int -> t -> t
+val with_cancel : bool Atomic.t -> t -> t
+
+val budget : t -> Bnb.Budget.t
+(** The run budget this configuration describes
+    ({!Bnb.Budget.unlimited} when no budget field is set). *)
 
 val validate : ?who:string -> t -> t
 (** Returns its argument unchanged if coherent.  [who] prefixes the
     error message (defaults to ["Run_config.validate"]).
     @raise Invalid_argument if [workers < 1], [block_workers < 1],
-    [relaxation < 1.] (or NaN), or [solver.max_expanded <= 0]. *)
+    [relaxation < 1.] (or NaN), [solver.max_expanded <= 0],
+    [deadline_s] not positive and finite, or [max_nodes <= 0]. *)
 
 (** {2 Presets} *)
 
@@ -75,4 +92,5 @@ val preset_of_string : string -> preset option
 (** Inverse of {!preset_to_string}; [None] on unknown names. *)
 
 val to_json : t -> Obs.Json.t
-(** For run manifests: every field except [progress] (not data). *)
+(** For run manifests: every field except [progress] and [cancel]
+    (runtime handles, not data). *)

@@ -1,3 +1,136 @@
+exception Cancelled
+
+(* --- persistent pool --- *)
+
+type 'a cell = Pending | Done of 'a | Failed of exn | Skipped
+
+type 'a future = {
+  f_lock : Mutex.t;
+  f_filled : Condition.t;
+  mutable cell : 'a cell;
+}
+
+type job = { run : unit -> unit; skip : unit -> unit }
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;
+  queue : job Queue.t;
+  mutable cancelled : bool;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let fill fut cell =
+  Mutex.lock fut.f_lock;
+  (match fut.cell with Pending -> fut.cell <- cell | _ -> ());
+  Condition.broadcast fut.f_filled;
+  Mutex.unlock fut.f_lock
+
+let worker pool () =
+  let rec next () =
+    Mutex.lock pool.lock;
+    let rec get () =
+      if pool.cancelled then begin
+        (* Unstarted jobs are abandoned, their futures resolved so no
+           awaiter blocks forever. *)
+        let skipped = List.of_seq (Queue.to_seq pool.queue) in
+        Queue.clear pool.queue;
+        Mutex.unlock pool.lock;
+        List.iter (fun j -> j.skip ()) skipped;
+        None
+      end
+      else
+        match Queue.take_opt pool.queue with
+        | Some job ->
+            Mutex.unlock pool.lock;
+            Some job
+        | None ->
+            if pool.stopping then begin
+              Mutex.unlock pool.lock;
+              None
+            end
+            else begin
+              Condition.wait pool.work pool.lock;
+              get ()
+            end
+    in
+    match get () with
+    | None -> ()
+    | Some job ->
+        job.run ();
+        next ()
+  in
+  next ()
+
+let create ~n_workers =
+  if n_workers < 1 then invalid_arg "Domain_pool.create: n_workers < 1";
+  let pool =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      cancelled = false;
+      stopping = false;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init n_workers (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let submit pool f =
+  let fut = { f_lock = Mutex.create (); f_filled = Condition.create (); cell = Pending } in
+  let job =
+    {
+      (* Task exceptions land in the future, never in the worker: one
+         raising task cannot take a pool domain down with it. *)
+      run = (fun () -> fill fut (match f () with v -> Done v | exception e -> Failed e));
+      skip = (fun () -> fill fut Skipped);
+    }
+  in
+  Mutex.lock pool.lock;
+  if pool.cancelled || pool.stopping then begin
+    Mutex.unlock pool.lock;
+    raise Cancelled
+  end;
+  Queue.add job pool.queue;
+  Condition.signal pool.work;
+  Mutex.unlock pool.lock;
+  fut
+
+let await fut =
+  Mutex.lock fut.f_lock;
+  while (match fut.cell with Pending -> true | _ -> false) do
+    Condition.wait fut.f_filled fut.f_lock
+  done;
+  let cell = fut.cell in
+  Mutex.unlock fut.f_lock;
+  match cell with
+  | Done v -> v
+  | Failed e -> raise e
+  | Skipped -> raise Cancelled
+  | Pending -> assert false
+
+let cancel pool =
+  Mutex.lock pool.lock;
+  pool.cancelled <- true;
+  let skipped = List.of_seq (Queue.to_seq pool.queue) in
+  Queue.clear pool.queue;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.lock;
+  List.iter (fun j -> j.skip ()) skipped
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.stopping <- true;
+  Condition.broadcast pool.work;
+  let domains = pool.domains in
+  pool.domains <- [];
+  Mutex.unlock pool.lock;
+  List.iter Domain.join domains
+
+(* --- one-shot batch map --- *)
+
 let map ~n_workers f tasks =
   if n_workers < 1 then invalid_arg "Domain_pool.map: n_workers < 1";
   let n = Array.length tasks in

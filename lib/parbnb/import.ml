@@ -5,3 +5,4 @@ module Utree = Ultra.Utree
 module Bb_tree = Bnb.Bb_tree
 module Solver = Bnb.Solver
 module Stats = Bnb.Stats
+module Budget = Bnb.Budget

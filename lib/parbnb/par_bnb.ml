@@ -12,6 +12,9 @@ type outcome = {
   n_workers : int;
   worker_stats : Stats.t array;
   report : Obs.Report.t;
+  status : Budget.status;
+  lower_bound : float;
+  frontier : Bb_tree.node list;
 }
 
 type shared = {
@@ -39,9 +42,11 @@ let publish shared cost tree =
   in
   lower ()
 
-let worker problem shared ~max_expanded ~id ~progress () =
+let worker problem shared ~monitor ~max_expanded ~id ~progress () =
   let stats = Stats.create () in
+  let tk = Budget.ticker monitor in
   let local = ref [] in
+  let stopped = ref false in
   let cap_reached () =
     match max_expanded with
     | Some cap -> stats.Stats.expanded >= cap
@@ -52,39 +57,51 @@ let worker problem shared ~max_expanded ~id ~progress () =
       stats.Stats.pruned <- stats.Stats.pruned + 1
     else if Bb_tree.is_complete problem.Solver.pm node then
       publish shared node.cost node.tree
-    else begin
-      (* A racy snapshot of the shared incumbent is safe here: the
-         kernel's pre-pruning is conservative for any ub >= the true
-         incumbent, and the per-child checks below re-filter exactly. *)
-      let children =
-        Solver.expand ~ub:(Atomic.get shared.ub) problem node stats
-      in
-      List.iter
-        (fun (c : Bb_tree.node) ->
-          if Bb_tree.is_complete problem.Solver.pm c then begin
-            if c.cost < Atomic.get shared.ub then
-              publish shared c.cost c.tree
-          end
-          else if c.lb < Atomic.get shared.ub then local := c :: !local
-          else stats.Stats.pruned <- stats.Stats.pruned + 1)
-        (List.rev children);
-      let olen = List.length !local in
-      stats.Stats.max_open <- Int.max stats.Stats.max_open olen;
-      match progress with
-      | None -> ()
-      | Some p ->
-          Obs.Progress.sample p ~worker:id ~expanded:stats.Stats.expanded
-            ~pruned:stats.Stats.pruned ~open_depth:olen
-            ~ub:(Atomic.get shared.ub) ~lb:node.Bb_tree.lb
-    end
+    else
+      match Budget.tick tk with
+      | Some _ ->
+          (* Budget exhausted (possibly noticed by another worker): keep
+             the node in hand as part of this worker's frontier share. *)
+          stopped := true;
+          local := node :: !local
+      | None -> begin
+          (* A racy snapshot of the shared incumbent is safe here: the
+             kernel's pre-pruning is conservative for any ub >= the true
+             incumbent, and the per-child checks below re-filter exactly. *)
+          let children =
+            Solver.expand ~ub:(Atomic.get shared.ub) problem node stats
+          in
+          List.iter
+            (fun (c : Bb_tree.node) ->
+              if Bb_tree.is_complete problem.Solver.pm c then begin
+                if c.cost < Atomic.get shared.ub then
+                  publish shared c.cost c.tree
+              end
+              else if c.lb < Atomic.get shared.ub then local := c :: !local
+              else stats.Stats.pruned <- stats.Stats.pruned + 1)
+            (List.rev children);
+          let olen = List.length !local in
+          stats.Stats.max_open <- Int.max stats.Stats.max_open olen;
+          match progress with
+          | None -> ()
+          | Some p ->
+              Obs.Progress.sample p ~worker:id ~expanded:stats.Stats.expanded
+                ~pruned:stats.Stats.pruned ~open_depth:olen
+                ~ub:(Atomic.get shared.ub) ~lb:node.Bb_tree.lb
+        end
   in
   let rec run () =
-    if cap_reached () then begin
+    if !stopped then
+      (* Release every parked worker; queued pool nodes stay for the
+         frontier drain, the local queue is returned to the caller. *)
+      Shared_pool.close shared.pool
+    else if cap_reached () then begin
       (* Return surplus work so other workers can finish it; flag the
          run as aborted since this worker abandoned its own. *)
       Atomic.set shared.aborted true;
       List.iter (Shared_pool.donate shared.pool) !local;
-      local := []
+      local := [];
+      Shared_pool.retire shared.pool
     end
     else
       match !local with
@@ -108,9 +125,11 @@ let worker problem shared ~max_expanded ~id ~progress () =
           | None -> ())
   in
   run ();
-  stats
+  Budget.flush tk;
+  (stats, !local)
 
-let solve ?(options = Solver.default_options) ?progress ?n_workers dm =
+let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
+    ?progress ?n_workers dm =
   let n_workers =
     match n_workers with
     | Some p ->
@@ -118,11 +137,19 @@ let solve ?(options = Solver.default_options) ?progress ?n_workers dm =
         p
     | None -> Int.max 1 (Domain.recommended_domain_count () - 1)
   in
+  let monitor =
+    match (monitor, budget) with
+    | Some m, _ -> m
+    | None, Some b -> Budget.arm b
+    | None, None -> Budget.arm Budget.unlimited
+  in
   let n = Dist_matrix.size dm in
   if n <= 2 then begin
-    let r = Solver.solve ~options dm in
+    let r = Solver.solve ~options ~monitor ?resume dm in
     let report = Obs.Report.create "par_bnb" in
     Obs.Report.set report "n" (Obs.Json.Int n);
+    Obs.Report.set report "status" (Budget.status_to_json r.Solver.status);
+    Obs.Report.set report "lower_bound" (Obs.Json.Float r.Solver.lower_bound);
     {
       tree = r.Solver.tree;
       cost = r.Solver.cost;
@@ -131,6 +158,9 @@ let solve ?(options = Solver.default_options) ?progress ?n_workers dm =
       n_workers;
       worker_stats = [| r.Solver.stats |];
       report;
+      status = r.Solver.status;
+      lower_bound = r.Solver.lower_bound;
+      frontier = r.Solver.frontier;
     }
   end
   else
@@ -142,14 +172,37 @@ let solve ?(options = Solver.default_options) ?progress ?n_workers dm =
     Obs.Report.set report "n_workers" (Obs.Json.Int n_workers);
     let problem = Solver.prepare ~options dm in
     let stats = Stats.create () in
+    let start_nodes, ub_init, best_init =
+      match resume with
+      | None ->
+          ( [ Bb_tree.root problem.Solver.pm ],
+            problem.Solver.ub0,
+            Option.map
+              (fun t -> (problem.Solver.ub0, t))
+              problem.Solver.incumbent0 )
+      | Some (r : Solver.resume) ->
+          let nodes =
+            List.map
+              (fun (k, tree) ->
+                let cost = Utree.weight tree in
+                { Bb_tree.tree; k; cost; lb = cost +. problem.Solver.lb_extra.(k) })
+              r.Solver.r_frontier
+          in
+          if r.Solver.r_ub < problem.Solver.ub0 then
+            ( nodes,
+              r.Solver.r_ub,
+              Option.map (fun t -> (r.Solver.r_ub, t)) r.Solver.r_incumbent )
+          else
+            ( nodes,
+              problem.Solver.ub0,
+              Option.map
+                (fun t -> (problem.Solver.ub0, t))
+                problem.Solver.incumbent0 )
+    in
     let shared =
       {
-        ub = Atomic.make problem.Solver.ub0;
-        best =
-          ref
-            (Option.map
-               (fun t -> (problem.Solver.ub0, t))
-               problem.Solver.incumbent0);
+        ub = Atomic.make ub_init;
+        best = ref best_init;
         best_lock = Mutex.create ();
         pool = Shared_pool.create ~n_workers;
         aborted = Atomic.make false;
@@ -158,6 +211,7 @@ let solve ?(options = Solver.default_options) ?progress ?n_workers dm =
     (* Master phase: breadth-first expansion until the frontier can feed
        every worker twice over (paper's Step 5). *)
     let target = 2 * n_workers in
+    let mtk = Budget.ticker monitor in
     let rec widen frontier =
       let expandable, complete =
         List.partition
@@ -174,21 +228,30 @@ let solve ?(options = Solver.default_options) ?progress ?n_workers dm =
       | [] -> []
       | _ when List.length expandable >= target -> expandable
       | nd :: rest ->
-          let children =
-            if nd.Bb_tree.lb >= Atomic.get shared.ub then begin
-              stats.Stats.pruned <- stats.Stats.pruned + 1;
-              []
-            end
-            (* No [~ub]: the seeding phase must hand every worker real
-               work, pruned-or-not, so worker-count scaling behaves the
-               same as the reference path. *)
-            else Solver.expand problem nd stats
-          in
-          widen (rest @ children)
-      in
-    let seedwork, seed_s =
-      Obs.Clock.time (fun () -> widen [ Bb_tree.root problem.Solver.pm ])
+          if nd.Bb_tree.lb >= Atomic.get shared.ub then begin
+            stats.Stats.pruned <- stats.Stats.pruned + 1;
+            widen rest
+          end
+          else begin
+            match Budget.tick mtk with
+            | Some _ ->
+                (* Budget already exhausted: stop seeding; the workers
+                   will observe the trip and preserve the frontier. *)
+                expandable
+            | None ->
+                (* No [~ub]: the seeding phase must hand every worker real
+                   work, pruned-or-not, so worker-count scaling behaves the
+                   same as the reference path. *)
+                widen (rest @ Solver.expand problem nd stats)
+          end
     in
+    let seedwork, seed_s =
+      Obs.Clock.time (fun () ->
+          match Budget.check monitor with
+          | Some _ -> start_nodes
+          | None -> widen start_nodes)
+    in
+    Budget.flush mtk;
     Obs.Report.add_phase report "seed" seed_s
       ~meta:[ ("frontier", Obs.Json.Int (List.length seedwork)) ];
     Log.debug (fun m ->
@@ -199,10 +262,11 @@ let solve ?(options = Solver.default_options) ?progress ?n_workers dm =
     let domains =
       List.init n_workers (fun id ->
           Domain.spawn
-            (worker problem shared ~max_expanded:options.Solver.max_expanded
-               ~id ~progress))
+            (worker problem shared ~monitor
+               ~max_expanded:options.Solver.max_expanded ~id ~progress))
     in
-    let worker_stats = Array.of_list (List.map Domain.join domains) in
+    let results = List.map Domain.join domains in
+    let worker_stats = Array.of_list (List.map fst results) in
     Obs.Report.add_phase report "search" (Obs.Clock.elapsed_s t_search);
     Array.iteri
       (fun id ws ->
@@ -210,6 +274,15 @@ let solve ?(options = Solver.default_options) ?progress ?n_workers dm =
         Obs.Report.add_worker report
           (("worker", Obs.Json.Int id) :: [ ("stats", Stats.to_json ws) ]))
       worker_stats;
+    let frontier =
+      List.concat_map snd results @ Shared_pool.drain shared.pool
+    in
+    let status =
+      match Budget.tripped monitor with
+      | Some s -> s
+      | None ->
+          if Atomic.get shared.aborted then Budget.Node_cap else Budget.Exact
+    in
     let cost, tree =
       match !(shared.best) with
       | Some (c, t) -> (c, Solver.relabel_out problem t)
@@ -220,13 +293,23 @@ let solve ?(options = Solver.default_options) ?progress ?n_workers dm =
           let fallback = Clustering.Linkage.upgmm dm in
           (Utree.weight fallback, fallback)
     in
+    let lower_bound =
+      List.fold_left
+        (fun acc (nd : Bb_tree.node) -> Float.min acc nd.Bb_tree.lb)
+        cost frontier
+    in
     Obs.Report.set report "stats" (Stats.to_json stats);
+    Obs.Report.set report "status" (Budget.status_to_json status);
+    Obs.Report.set report "lower_bound" (Obs.Json.Float lower_bound);
     {
       tree;
       cost;
-      optimal = not (Atomic.get shared.aborted);
+      optimal = (not (Atomic.get shared.aborted)) && status = Budget.Exact;
       stats;
       n_workers;
       worker_stats;
       report;
+      status;
+      lower_bound;
+      frontier;
     }

@@ -28,16 +28,36 @@ type outcome = {
   report : Obs.Report.t;
       (** run manifest: seed/search phase timings and one worker entry
           per domain *)
+  status : Budget.status;
+      (** [Exact] for a completed search; the tripped constraint
+          otherwise ([Node_cap] also covers the legacy per-worker
+          [max_expanded]) *)
+  lower_bound : float;
+      (** certified global lower bound (equals [cost] when exact) *)
+  frontier : Bb_tree.node list;
+      (** open nodes at the stop (permuted labels): workers' local
+          queues plus whatever was left in the global pool *)
 }
 
 val solve :
   ?options:Solver.options ->
+  ?budget:Budget.t ->
+  ?monitor:Budget.monitor ->
+  ?resume:Solver.resume ->
   ?progress:Obs.Progress.t ->
   ?n_workers:int ->
   Dist_matrix.t ->
   outcome
 (** [solve ~n_workers dm] — [n_workers] defaults to
     [Domain.recommended_domain_count () - 1], at least 1.
+
+    [budget] (or an externally armed [monitor], which wins) bounds the
+    whole parallel search: every worker polls the shared monitor; the
+    first to observe exhaustion closes the global pool, the others
+    drain within one expansion each, and the union of their local
+    queues and the pool becomes [frontier].  [resume] seeds the search
+    from a checkpointed frontier instead of the root (the master still
+    widens it to feed every worker).
 
     Telemetry: the solve runs under an [Obs.Span] named
     ["parbnb.solve"]; with [progress], every worker feeds the sampler

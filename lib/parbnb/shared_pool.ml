@@ -5,6 +5,7 @@ type t = {
   nonempty : Condition.t;
   mutable queue : Bb_tree.node list;
   mutable parked : int;
+  mutable retired : int;
   mutable finished : bool;
   n_workers : int;
 }
@@ -15,6 +16,7 @@ let create ~n_workers =
     nonempty = Condition.create ();
     queue = [];
     parked = 0;
+    retired = 0;
     finished = false;
     n_workers;
   }
@@ -35,19 +37,21 @@ let donate t node =
 let take t =
   Mutex.lock t.lock;
   let rec wait () =
-    match t.queue with
-    | node :: rest ->
-        t.queue <- rest;
-        Mutex.unlock t.lock;
-        Some node
-    | [] ->
-        if t.finished then begin
+    if t.finished then begin
+      (* A closed pool hands out no more work even if nodes remain —
+         they are an interrupted run's frontier, kept for {!drain}. *)
+      Mutex.unlock t.lock;
+      None
+    end
+    else
+      match t.queue with
+      | node :: rest ->
+          t.queue <- rest;
           Mutex.unlock t.lock;
-          None
-        end
-        else begin
+          Some node
+      | [] ->
           t.parked <- t.parked + 1;
-          if t.parked = t.n_workers then begin
+          if t.parked + t.retired >= t.n_workers then begin
             (* Everyone is out of work: the search space is exhausted. *)
             t.finished <- true;
             Condition.broadcast t.nonempty;
@@ -60,6 +64,27 @@ let take t =
             t.parked <- t.parked - 1;
             wait ()
           end
-        end
   in
   wait ()
+
+let retire t =
+  Mutex.lock t.lock;
+  t.retired <- t.retired + 1;
+  if t.parked + t.retired >= t.n_workers && t.queue = [] then begin
+    t.finished <- true;
+    Condition.broadcast t.nonempty
+  end;
+  Mutex.unlock t.lock
+
+let close t =
+  Mutex.lock t.lock;
+  t.finished <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+let drain t =
+  Mutex.lock t.lock;
+  let nodes = t.queue in
+  t.queue <- [];
+  Mutex.unlock t.lock;
+  nodes

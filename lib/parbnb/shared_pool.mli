@@ -24,5 +24,20 @@ val donate : t -> Bb_tree.node -> unit
 
 val take : t -> Bb_tree.node option
 (** Pop a node; blocks while the pool is empty and other workers are
-    still running; returns [None] once every worker is parked (global
-    termination). *)
+    still running; returns [None] once every worker is parked or
+    retired (global termination), or once the pool is {!close}d. *)
+
+val retire : t -> unit
+(** A worker announces it is exiting early (e.g. its expansion cap
+    fired) and will never [take] again.  Termination detection then
+    counts it as permanently parked, so the remaining workers still
+    unblock once they all run dry. *)
+
+val close : t -> unit
+(** Stop handing out work: every blocked or future {!take} returns
+    [None] immediately.  Nodes still queued are kept for {!drain} —
+    they are the interrupted search's open frontier. *)
+
+val drain : t -> Bb_tree.node list
+(** Remove and return everything still queued (newest first).  Call
+    after the workers have joined to collect the frontier. *)

@@ -1,0 +1,111 @@
+(* A small property-testing harness shared by the test executables.
+
+   No new dependencies: generation runs on [Random.State] seeded
+   deterministically per case, so a failure report is always
+   reproducible.  [TEST_SEED] reseeds the whole run (the failure message
+   prints the value to re-export); [PROP_MULT] multiplies the case count
+   (CI's nightly job runs the suite at 10x).  On failure the harness
+   greedily shrinks the counterexample through the arbitrary's [shrink]
+   sequence before reporting it. *)
+
+type 'a arbitrary = {
+  gen : Random.State.t -> 'a;
+  shrink : 'a -> 'a Seq.t;
+  print : 'a -> string;
+}
+
+let make ?(shrink = fun _ -> Seq.empty) ~print gen = { gen; shrink; print }
+
+let default_seed = 0x5eed
+
+let seed () =
+  match Sys.getenv_opt "TEST_SEED" with
+  | None | Some "" -> default_seed
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> Alcotest.failf "TEST_SEED=%S is not an integer" s)
+
+let mult () =
+  match Sys.getenv_opt "PROP_MULT" with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | _ -> Alcotest.failf "PROP_MULT=%S is not a positive integer" s)
+
+(* A property either holds, or fails with a reason (false = plain
+   predicate failure, an exception is captured into the reason). *)
+let run_prop prop x =
+  match prop x with
+  | true -> None
+  | false -> Some "property returned false"
+  | exception e -> Some ("property raised " ^ Printexc.to_string e)
+
+let max_shrink_steps = 500
+
+let shrink_counterexample arb prop x0 =
+  let rec go x steps =
+    if steps >= max_shrink_steps then x
+    else
+      match
+        Seq.find (fun y -> Option.is_some (run_prop prop y)) (arb.shrink x)
+      with
+      | Some y -> go y (steps + 1)
+      | None -> x
+  in
+  go x0 0
+
+let check ?(count = 200) ~name arb prop =
+  let base = seed () in
+  let cases = count * mult () in
+  for case = 0 to cases - 1 do
+    let st = Random.State.make [| 0x9e3779b9; base; case |] in
+    let x = arb.gen st in
+    match run_prop prop x with
+    | None -> ()
+    | Some reason ->
+        let small = shrink_counterexample arb prop x in
+        Alcotest.failf
+          "%s: case %d/%d failed (%s)@.shrunk counterexample:@.%s@.reproduce \
+           with TEST_SEED=%d"
+          name case cases reason (arb.print small) base
+  done
+
+(* --- distance-matrix arbitraries --- *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Gen = Distmat.Gen
+module Matrix_io = Distmat.Matrix_io
+
+(* Dropping one species keeps every flavour's defining property
+   (metricity, ultrametricity, cluster structure), so it is a sound
+   shrinking move for all matrix generators. *)
+let drop_species m k =
+  let n = Dist_matrix.size m in
+  Dist_matrix.init (n - 1) (fun i j ->
+      let i = if i >= k then i + 1 else i in
+      let j = if j >= k then j + 1 else j in
+      Dist_matrix.get m i j)
+
+let shrink_matrix ~min_n m =
+  let n = Dist_matrix.size m in
+  if n <= min_n then Seq.empty
+  else Seq.init n (fun k -> drop_species m k)
+
+(* Mixed flavours: uniform metric (the papers' hard random case),
+   clock-tree ultrametric, its perturbation, and clustered data — the
+   shapes the pipeline meets in practice. *)
+let gen_matrix ~min_n ~max_n st =
+  let n = min_n + Random.State.int st (max_n - min_n + 1) in
+  match Random.State.int st 4 with
+  | 0 -> Gen.uniform_metric ~rng:st n
+  | 1 -> Gen.ultrametric ~rng:st n
+  | 2 -> Gen.near_ultrametric ~rng:st n
+  | _ -> Gen.clustered ~rng:st ~n_clusters:(Int.max 2 (n / 4)) n
+
+let matrix ?(min_n = 4) ~max_n () =
+  make
+    ~shrink:(shrink_matrix ~min_n)
+    ~print:(fun m -> Matrix_io.to_phylip m)
+    (gen_matrix ~min_n ~max_n)

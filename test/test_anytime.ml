@@ -1,0 +1,273 @@
+(* The anytime layer's contract, end to end:
+
+   - no budget (or [Budget.unlimited], or a huge budget) is
+     bit-identical to the pre-budget solver — cost, tree and every
+     statistic;
+   - an exhausted budget stops the search with the right [status], a
+     feasible incumbent, a certified lower bound and a non-empty
+     frontier;
+   - a pre-set cancel flag stops immediately with the heuristic
+     incumbent;
+   - checkpoints round-trip exactly and an interrupted run, resumed,
+     reaches the same optimum an uninterrupted one finds (sequential
+     and with inter-block parallelism);
+   - the run manifest records status and lower bound. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Matrix_io = Distmat.Matrix_io
+module Utree = Ultra.Utree
+module Solver = Bnb.Solver
+module Stats = Bnb.Stats
+module Budget = Bnb.Budget
+module Checkpoint = Bnb.Checkpoint
+module Par_bnb = Parbnb.Par_bnb
+module Pipeline = Compactphy.Pipeline
+module Run_config = Compactphy.Run_config
+
+let rng seed = Random.State.make [| 0xA11; seed |]
+
+(* A matrix whose exact solve expands plenty of nodes: uniform random
+   data is the branch-and-bound's hard case. *)
+let hard n seed = Distmat.Gen.uniform_metric ~rng:(rng seed) n
+
+let mtdna n seed = (Seqsim.Mtdna.generate ~rng:(rng seed) n).Seqsim.Mtdna.matrix
+
+let exact_float = Alcotest.(check (float 0.))
+
+let check_same_outcome name (a : Solver.outcome) (b : Solver.outcome) =
+  exact_float (name ^ ": cost") a.Solver.cost b.Solver.cost;
+  Alcotest.(check bool)
+    (name ^ ": tree") true
+    (Utree.equal a.Solver.tree b.Solver.tree);
+  Alcotest.(check bool) (name ^ ": optimal") a.Solver.optimal b.Solver.optimal;
+  Alcotest.(check int)
+    (name ^ ": expanded")
+    a.Solver.stats.Stats.expanded b.Solver.stats.Stats.expanded;
+  Alcotest.(check int)
+    (name ^ ": generated")
+    a.Solver.stats.Stats.generated b.Solver.stats.Stats.generated;
+  Alcotest.(check int)
+    (name ^ ": pruned")
+    a.Solver.stats.Stats.pruned b.Solver.stats.Stats.pruned;
+  Alcotest.(check int)
+    (name ^ ": ub_updates")
+    a.Solver.stats.Stats.ub_updates b.Solver.stats.Stats.ub_updates;
+  Alcotest.(check int)
+    (name ^ ": max_open")
+    a.Solver.stats.Stats.max_open b.Solver.stats.Stats.max_open
+
+(* No budget, the explicit unlimited budget, and a budget too large to
+   fire must all produce the same outcome, bit for bit. *)
+let test_unbudgeted_bit_identical () =
+  let m = hard 10 3 in
+  let plain = Solver.solve m in
+  Alcotest.(check bool)
+    "plain run is Exact" true
+    (plain.Solver.status = Budget.Exact);
+  exact_float "exact run certifies its own cost" plain.Solver.cost
+    plain.Solver.lower_bound;
+  Alcotest.(check int)
+    "exact run leaves no frontier" 0
+    (List.length plain.Solver.frontier);
+  check_same_outcome "unlimited" plain (Solver.solve ~budget:Budget.unlimited m);
+  check_same_outcome "huge budget" plain
+    (Solver.solve
+       ~budget:(Budget.create ~deadline_s:3600. ~max_nodes:max_int ())
+       m)
+
+let test_node_cap_fires () =
+  let m = hard 12 5 in
+  let reference = Solver.solve m in
+  let r = Solver.solve ~budget:(Budget.create ~max_nodes:5 ()) m in
+  Alcotest.(check bool)
+    "status is Node_cap" true
+    (r.Solver.status = Budget.Node_cap);
+  Alcotest.(check bool) "not optimal" false r.Solver.optimal;
+  Alcotest.(check bool)
+    "frontier preserved" true
+    (r.Solver.frontier <> []);
+  Alcotest.(check bool)
+    "bound below incumbent" true
+    (r.Solver.lower_bound <= r.Solver.cost +. 1e-9);
+  Alcotest.(check bool)
+    "bound certifies the optimum" true
+    (r.Solver.lower_bound <= reference.Solver.cost +. 1e-9);
+  Alcotest.(check bool)
+    "incumbent is feasible" true
+    (Utree.is_feasible m r.Solver.tree)
+
+(* --deadline 0.1 on a hard >= 20-species matrix: the run must come
+   back well within ~2x the deadline (generous slop for CI), report
+   Deadline, and record status + lower bound in the manifest. *)
+let test_deadline_fires () =
+  let m = hard 20 7 in
+  let deadline = 0.1 in
+  let config = Run_config.(default |> with_deadline deadline) in
+  let r, elapsed = Obs.Clock.time (fun () -> Pipeline.exact ~config m) in
+  Alcotest.(check bool)
+    "status is Deadline" true
+    (r.Pipeline.status = Budget.Deadline);
+  Alcotest.(check bool)
+    (Printf.sprintf "terminated promptly (%.3fs for a %.1fs deadline)"
+       elapsed deadline)
+    true
+    (elapsed < (2. *. deadline) +. 0.5);
+  Alcotest.(check bool)
+    "bound below incumbent" true
+    (r.Pipeline.lower_bound <= r.Pipeline.cost +. 1e-9);
+  Alcotest.(check bool)
+    "checkpoint offered" true
+    (r.Pipeline.checkpoint <> None);
+  let json = Obs.Json.to_string (Obs.Report.to_json r.Pipeline.report) in
+  Alcotest.(check bool)
+    "manifest records status" true
+    (Astring_contains.contains json "\"status\"");
+  Alcotest.(check bool)
+    "manifest records lower bound" true
+    (Astring_contains.contains json "\"lower_bound\"")
+
+let test_cancel_flag () =
+  let m = hard 14 9 in
+  let cancel = Atomic.make true in
+  let r = Solver.solve ~budget:(Budget.create ~cancel ()) m in
+  Alcotest.(check bool)
+    "status is Cancelled" true
+    (r.Solver.status = Budget.Cancelled);
+  Alcotest.(check bool)
+    "heuristic incumbent is feasible" true
+    (Utree.is_feasible m r.Solver.tree)
+
+let test_checkpoint_roundtrip () =
+  let m = hard 13 11 in
+  let r = Solver.solve ~budget:(Budget.create ~max_nodes:20 ()) m in
+  Alcotest.(check bool) "interrupted" true (r.Solver.status <> Budget.Exact);
+  let ck =
+    Checkpoint.make ~matrix:m ~status:r.Solver.status ~cost:r.Solver.cost
+      ~lower_bound:r.Solver.lower_bound
+      ~blocks:
+        [
+          Checkpoint.make_block ~id:0 ~matrix:m ~solved:false
+            ~tree:(Some r.Solver.tree) ~frontier:r.Solver.frontier;
+        ]
+  in
+  let path = Filename.temp_file "anytime" ".ckpt.json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Checkpoint.save path ck;
+      match Checkpoint.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok ck' ->
+          Alcotest.(check bool)
+            "digest verifies" true
+            (Checkpoint.verify ck' m = Ok ());
+          Alcotest.(check int) "n" ck.Checkpoint.n ck'.Checkpoint.n;
+          Alcotest.(check bool)
+            "status" true
+            (ck'.Checkpoint.status = ck.Checkpoint.status);
+          exact_float "cost survives exactly" ck.Checkpoint.cost
+            ck'.Checkpoint.cost;
+          exact_float "bound survives exactly" ck.Checkpoint.lower_bound
+            ck'.Checkpoint.lower_bound;
+          let b = List.hd ck.Checkpoint.blocks
+          and b' = List.hd ck'.Checkpoint.blocks in
+          Alcotest.(check bool)
+            "incumbent tree survives exactly" true
+            (Option.equal Utree.equal b.Checkpoint.b_tree
+               b'.Checkpoint.b_tree);
+          Alcotest.(check bool)
+            "frontier survives exactly" true
+            (List.equal Utree.equal b.Checkpoint.b_frontier
+               b'.Checkpoint.b_frontier))
+
+(* Interrupt, checkpoint, resume: the resumed run must finish Exact at
+   the same cost an uninterrupted run reports. *)
+let resume_reaches_optimum ~config m =
+  let uninterrupted = Pipeline.exact ~config:Run_config.default m in
+  let budgeted =
+    Pipeline.exact ~config:Run_config.(config |> with_max_nodes 10) m
+  in
+  Alcotest.(check bool)
+    "budgeted run interrupted" true
+    (budgeted.Pipeline.status <> Budget.Exact);
+  let ck =
+    match budgeted.Pipeline.checkpoint with
+    | Some ck -> ck
+    | None -> Alcotest.fail "interrupted run offered no checkpoint"
+  in
+  let resumed = Pipeline.exact ~config ~resume:ck m in
+  Alcotest.(check bool)
+    "resumed run is Exact" true
+    (resumed.Pipeline.status = Budget.Exact);
+  exact_float "resumed cost = uninterrupted cost" uninterrupted.Pipeline.cost
+    resumed.Pipeline.cost
+
+let test_resume_sequential () =
+  resume_reaches_optimum ~config:Run_config.default (hard 12 13)
+
+(* Same story through the compact-set pipeline, with two blocks solved
+   concurrently on resume. *)
+let test_resume_compact_parallel () =
+  let m = mtdna 20 17 in
+  let uninterrupted = Pipeline.with_compact_sets ~config:Run_config.default m in
+  let budgeted =
+    Pipeline.with_compact_sets
+      ~config:Run_config.(default |> with_max_nodes 3) m
+  in
+  match budgeted.Pipeline.checkpoint with
+  | None ->
+      (* The decomposition can make every block trivial; then the cap
+         never fires and there is nothing to resume. *)
+      Alcotest.(check bool)
+        "no checkpoint only when Exact" true
+        (budgeted.Pipeline.status = Budget.Exact)
+  | Some ck ->
+      let resumed =
+        Pipeline.with_compact_sets
+          ~config:Run_config.(default |> with_block_workers 2)
+          ~resume:ck m
+      in
+      Alcotest.(check bool)
+        "resumed run is Exact" true
+        (resumed.Pipeline.status = Budget.Exact);
+      exact_float "resumed cost = uninterrupted cost"
+        uninterrupted.Pipeline.cost resumed.Pipeline.cost;
+      Alcotest.(check bool)
+        "resumed tree = uninterrupted tree" true
+        (Utree.equal uninterrupted.Pipeline.tree resumed.Pipeline.tree)
+
+let test_par_bnb_budget () =
+  let m = hard 13 19 in
+  let r =
+    Par_bnb.solve ~n_workers:2 ~budget:(Budget.create ~max_nodes:10 ()) m
+  in
+  Alcotest.(check bool)
+    "status set" true
+    (r.Par_bnb.status <> Budget.Exact);
+  Alcotest.(check bool)
+    "bound below incumbent" true
+    (r.Par_bnb.lower_bound <= r.Par_bnb.cost +. 1e-9);
+  Alcotest.(check bool)
+    "incumbent feasible" true
+    (Utree.is_feasible m r.Par_bnb.tree)
+
+let () =
+  Alcotest.run "anytime"
+    [
+      ( "budgets",
+        [
+          Alcotest.test_case "no budget is bit-identical" `Quick
+            test_unbudgeted_bit_identical;
+          Alcotest.test_case "node cap fires" `Quick test_node_cap_fires;
+          Alcotest.test_case "deadline fires" `Quick test_deadline_fires;
+          Alcotest.test_case "cancel flag" `Quick test_cancel_flag;
+          Alcotest.test_case "par-bnb budget" `Quick test_par_bnb_budget;
+        ] );
+      ( "checkpoints",
+        [
+          Alcotest.test_case "round-trip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "resume sequential" `Quick test_resume_sequential;
+          Alcotest.test_case "resume compact parallel" `Quick
+            test_resume_compact_parallel;
+        ] );
+    ]

@@ -158,6 +158,69 @@ let test_dpool_propagates_exception () =
   | _ -> Alcotest.fail "expected Failure"
   | exception Failure _ -> ()
 
+(* --- persistent Domain_pool: fault injection and cancellation --- *)
+
+(* A task that raises must fail only its own future: siblings complete,
+   later submissions still run, and shutdown joins without deadlock. *)
+let test_dpool_fault_isolation () =
+  let pool = Domain_pool.create ~n_workers:2 in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      let futures =
+        List.init 8 (fun i ->
+            ( i,
+              Domain_pool.submit pool (fun () ->
+                  if i = 3 then failwith "boom" else i * 10) ))
+      in
+      List.iter
+        (fun (i, fut) ->
+          if i = 3 then (
+            match Domain_pool.await fut with
+            | _ -> Alcotest.fail "expected Failure"
+            | exception Failure msg ->
+                Alcotest.(check string) "message" "boom" msg)
+          else
+            Alcotest.(check int)
+              (Printf.sprintf "task %d" i)
+              (i * 10) (Domain_pool.await fut))
+        futures;
+      Alcotest.(check int)
+        "pool still serves after a task failure" 99
+        (Domain_pool.await (Domain_pool.submit pool (fun () -> 99))))
+
+(* Cancellation: the running task drains to completion, queued unstarted
+   tasks come back as [Cancelled], and new submissions are rejected. *)
+let test_dpool_cancel () =
+  let pool = Domain_pool.create ~n_workers:1 in
+  let gate = Atomic.make false in
+  let started = Atomic.make false in
+  let running =
+    Domain_pool.submit pool (fun () ->
+        Atomic.set started true;
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done;
+        "done")
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let queued = Domain_pool.submit pool (fun () -> "never") in
+  Domain_pool.cancel pool;
+  Atomic.set gate true;
+  Alcotest.(check string)
+    "running task completes" "done"
+    (Domain_pool.await running);
+  (match Domain_pool.await queued with
+  | _ -> Alcotest.fail "expected Cancelled for the queued task"
+  | exception Domain_pool.Cancelled -> ());
+  (match Domain_pool.submit pool (fun () -> 0) with
+  | _ -> Alcotest.fail "expected Cancelled on submit"
+  | exception Domain_pool.Cancelled -> ());
+  (* Clean join even after cancellation. *)
+  Domain_pool.shutdown pool
+
 let prop_parallel_equals_sequential =
   QCheck.Test.make ~name:"parallel cost = sequential cost" ~count:20
     (QCheck.make
@@ -210,6 +273,10 @@ let () =
             test_dpool_rejects_zero_workers;
           Alcotest.test_case "propagates exception" `Quick
             test_dpool_propagates_exception;
+          Alcotest.test_case "fault isolation (persistent)" `Quick
+            test_dpool_fault_isolation;
+          Alcotest.test_case "cancellation (persistent)" `Quick
+            test_dpool_cancel;
         ] );
       ("properties", q [ prop_parallel_equals_sequential ]);
     ]

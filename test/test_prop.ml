@@ -1,0 +1,99 @@
+(* Property-based tests (see prop_gen.ml for the harness): the paper's
+   compact-set definition on the production finder's output, the
+   solver's feasibility/ultrametricity contract, and the differential
+   promise of the two expansion kernels — each over hundreds of
+   generated matrices of mixed flavours. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Metric = Distmat.Metric
+module Compact_sets = Cgraph.Compact_sets
+module Utree = Ultra.Utree
+module Solver = Bnb.Solver
+module Stats = Bnb.Stats
+
+(* The definition, straight from the paper: every distance inside the
+   set is strictly smaller than every distance from inside to outside.
+   Recomputed here from scratch so the test does not trust
+   [Compact_sets.is_compact]. *)
+let satisfies_definition m set =
+  let n = Dist_matrix.size m in
+  let inside = Array.make n false in
+  List.iter (fun i -> inside.(i) <- true) set;
+  let max_in = ref neg_infinity and min_out = ref infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = Dist_matrix.get m i j in
+      if inside.(i) && inside.(j) then max_in := Float.max !max_in d
+      else if inside.(i) <> inside.(j) then min_out := Float.min !min_out d
+    done
+  done;
+  !max_in < !min_out
+
+let compact_sets_definition () =
+  Prop_gen.check ~name:"compact sets satisfy the definition"
+    (Prop_gen.matrix ~min_n:4 ~max_n:14 ())
+    (fun m ->
+      let n = Dist_matrix.size m in
+      List.for_all
+        (fun set ->
+          let k = List.length set in
+          2 <= k && k < n
+          && List.sort_uniq compare set = List.sort compare set
+          && satisfies_definition m set)
+        (Compact_sets.find m))
+
+(* The solver's contract: the returned tree is a feasible ultrametric
+   realisation — its leaf-to-leaf distances form an ultrametric that
+   dominates the input matrix entrywise — and [cost] is its weight. *)
+let solver_output_contract () =
+  Prop_gen.check ~name:"solver output is a feasible ultrametric"
+    (Prop_gen.matrix ~min_n:4 ~max_n:8 ())
+    (fun m ->
+      let r = Solver.solve m in
+      let t = r.Solver.tree in
+      let dt = Utree.to_matrix t in
+      let n = Dist_matrix.size m in
+      let dominates = ref true in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Dist_matrix.get dt i j +. 1e-9 < Dist_matrix.get m i j then
+            dominates := false
+        done
+      done;
+      r.Solver.optimal
+      && Utree.is_feasible m t
+      && Metric.is_ultrametric ~eps:1e-9 dt
+      && !dominates
+      && Float.abs (r.Solver.cost -. Utree.weight t) <= 1e-9)
+
+(* The two expansion kernels promise an observably identical search:
+   same cost, same tree, same statistics, node for node. *)
+let kernel_differential () =
+  Prop_gen.check ~name:"reference and incremental kernels agree"
+    (Prop_gen.matrix ~min_n:4 ~max_n:9 ())
+    (fun m ->
+      let solve kernel =
+        Solver.solve ~options:{ Solver.default_options with kernel } m
+      in
+      let r = solve Solver.Reference and i = solve Solver.Incremental in
+      r.Solver.cost = i.Solver.cost
+      && Utree.equal r.Solver.tree i.Solver.tree
+      && r.Solver.optimal = i.Solver.optimal
+      && r.Solver.stats.Stats.expanded = i.Solver.stats.Stats.expanded
+      && r.Solver.stats.Stats.generated = i.Solver.stats.Stats.generated
+      && r.Solver.stats.Stats.pruned = i.Solver.stats.Stats.pruned
+      && r.Solver.stats.Stats.ub_updates = i.Solver.stats.Stats.ub_updates
+      && r.Solver.stats.Stats.max_open = i.Solver.stats.Stats.max_open)
+
+let () =
+  Alcotest.run "prop"
+    [
+      ( "properties",
+        [
+          Alcotest.test_case "compact-set definition" `Slow
+            compact_sets_definition;
+          Alcotest.test_case "solver feasible ultrametric" `Slow
+            solver_output_contract;
+          Alcotest.test_case "kernel differential" `Slow kernel_differential;
+        ] );
+    ]
