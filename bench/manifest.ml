@@ -19,6 +19,41 @@ let record f =
 let target_dir () =
   match !dir with Some d -> d | None -> "bench-manifests"
 
+(* Append-only perf trajectory, one NDJSON line per bench run, grouped
+   by experiment family (the id prefix before the first '-', so
+   pact-fig8 lands in BENCH_pact.json and blockpar-scaling in
+   BENCH_blockpar.json).  Each line keeps only the scalar report fields
+   — the diffable numbers — plus run metadata; [compactphy obs diff] on
+   a trajectory file compares against its latest line. *)
+let trajectory_family id =
+  match String.index_opt id '-' with
+  | Some i -> String.sub id 0 i
+  | None -> id
+
+let append_trajectory r id total_s =
+  let scalars =
+    List.filter
+      (fun (_, v) ->
+        match v with Obs.Json.Int _ | Obs.Json.Float _ -> true | _ -> false)
+      (Obs.Report.fields r)
+  in
+  let entry =
+    Obs.Json.Obj
+      (("experiment", Obs.Json.String id)
+      :: ("meta", Obs.Report.meta_json (Obs.Report.created_at r))
+      :: ("total_s", Obs.Json.Float total_s)
+      :: scalars)
+  in
+  let path =
+    Filename.concat (target_dir ()) ("BENCH_" ^ trajectory_family id ^ ".json")
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs.Json.to_string entry);
+      output_char oc '\n')
+
 let with_manifest id f =
   let r = Obs.Report.create id in
   (* Per-experiment metrics: start every experiment from zero so the
@@ -35,4 +70,5 @@ let with_manifest id f =
       if not (Sys.file_exists d) then Sys.mkdir d 0o755;
       let path = Filename.concat d (id ^ ".manifest.json") in
       Obs.Report.write_file r path;
+      append_trajectory r id total_s;
       Printf.printf "manifest: %s\n%!" path)

@@ -147,7 +147,7 @@ let tests =
 let kernel_smoke ~quick () =
   let pref, pinc, path, ub = Lazy.force kernel_fixture in
   let iters = if quick then 300 else 2_000 in
-  let time problem =
+  let time_n iters problem =
     (* One warm-up pass keeps allocation effects out of the first
        measured iteration. *)
     expand_path problem ~ub;
@@ -157,12 +157,41 @@ let kernel_smoke ~quick () =
     done;
     Obs.Clock.elapsed_s t0
   in
+  let time = time_n iters in
   let t_ref = time pref in
   let t_inc = time pinc in
   let n_expand = iters * List.length path in
   let per_ref = t_ref /. float_of_int n_expand in
   let per_inc = t_inc /. float_of_int n_expand in
   let speedup = if t_inc > 0. then t_ref /. t_inc else infinity in
+  (* Attribution overhead: the same incremental expansion path with
+     recording on and off, run as back-to-back pairs.  Clock-frequency
+     drift and scheduler noise shift whole pairs, not their ratio, so
+     the median of the per-pair on/off ratios is what survives a noisy
+     host; an A-then-B design would bias whichever side runs second.
+     Recorded in the manifest so every PR carries the measured cost of
+     its own forensics. *)
+  let oh_iters = Int.max iters 1_500 in
+  let t_att_on = ref infinity and t_att_off = ref infinity in
+  let ratios =
+    Fun.protect
+      ~finally:(fun () -> Obs.Attribution.set_enabled true)
+      (fun () ->
+        List.init 9 (fun _ ->
+            Obs.Attribution.set_enabled true;
+            let on = time_n oh_iters pinc in
+            Obs.Attribution.set_enabled false;
+            let off = time_n oh_iters pinc in
+            t_att_on := Float.min !t_att_on on;
+            t_att_off := Float.min !t_att_off off;
+            if off > 0. then on /. off else 1.))
+  in
+  let t_att_on = !t_att_on and t_att_off = !t_att_off in
+  let median =
+    let a = List.sort Float.compare ratios in
+    List.nth a (List.length a / 2)
+  in
+  let overhead_pct = 100. *. (median -. 1.) in
   Manifest.record (fun r ->
       Obs.Report.set r "n"
         (Obs.Json.Int (Distmat.Dist_matrix.size (Lazy.force random_20)));
@@ -173,7 +202,11 @@ let kernel_smoke ~quick () =
       Obs.Report.set r "expand_reference_per_call_s" (Obs.Json.Float per_ref);
       Obs.Report.set r "expand_incremental_per_call_s"
         (Obs.Json.Float per_inc);
-      Obs.Report.set r "speedup" (Obs.Json.Float speedup));
+      Obs.Report.set r "speedup" (Obs.Json.Float speedup);
+      Obs.Report.set r "attribution_on_s" (Obs.Json.Float t_att_on);
+      Obs.Report.set r "attribution_off_s" (Obs.Json.Float t_att_off);
+      Obs.Report.set r "attribution_overhead_pct"
+        (Obs.Json.Float overhead_pct));
   Table.print ~title:"Kernel smoke — expansion path, 20 species"
     ~headers:[ "kernel"; "total"; "per expand"; "speedup" ]
     [
@@ -184,7 +217,9 @@ let kernel_smoke ~quick () =
         Table.seconds per_inc;
         Table.f2 speedup;
       ];
-    ]
+    ];
+  Printf.printf "attribution overhead: %+.2f%% (on %.6f s, off %.6f s)\n%!"
+    overhead_pct t_att_on t_att_off
 
 let run () =
   let ols =

@@ -319,6 +319,69 @@ let stamp_preset report preset =
     | Some p -> Obs.Json.String (Run_config.preset_to_string p)
     | None -> Obs.Json.Null)
 
+(* --- --explain: human-readable search forensics --- *)
+
+let explain_opt =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "After solving, print search forensics: pruning attribution \
+           by reason and depth, the expansion/branching profile, the \
+           slowest compact-set blocks with their queue waits, and \
+           branch-and-bound solve-time percentiles.")
+
+let print_explain ~stats ~report =
+  Fmt.pr "@[<v>== search forensics ==@,%a@]@." Obs.Attribution.pp_summary
+    stats.Bnb.Stats.att;
+  (* Block hot-spots, from the manifest's per-block worker entries:
+     where the run's wall-clock went, and whether blocks waited on the
+     scheduler or on their own solve. *)
+  let blocks =
+    List.filter_map
+      (function
+        | Obs.Json.Obj kvs ->
+            let num k =
+              match List.assoc_opt k kvs with
+              | Some (Obs.Json.Float f) -> Some f
+              | Some (Obs.Json.Int i) -> Some (float_of_int i)
+              | _ -> None
+            in
+            (match (List.assoc_opt "block" kvs, num "solve_s") with
+            | Some (Obs.Json.Int b), Some s ->
+                let size =
+                  match List.assoc_opt "block_size" kvs with
+                  | Some (Obs.Json.Int z) -> z
+                  | _ -> 0
+                in
+                Some (b, size, s, Option.value ~default:0. (num "queue_wait_s"))
+            | _ -> None)
+        | _ -> None)
+      (Obs.Report.workers report)
+  in
+  (match
+     List.sort (fun (_, _, a, _) (_, _, b, _) -> Float.compare b a) blocks
+   with
+  | [] -> ()
+  | sorted ->
+      Fmt.pr "@[<v>block hot-spots (top 5 by solve time):@,";
+      List.iteri
+        (fun i (b, size, s, w) ->
+          if i < 5 then
+            Fmt.pr "  block %-3d size %-3d  solve %9.4f s  queue wait %9.4f s@,"
+              b size s w)
+        sorted;
+      Fmt.pr "@]@.");
+  let snap =
+    Obs.Metrics.histogram_value (Obs.Metrics.histogram "bnb.solve_ms")
+  in
+  if snap.Obs.Metrics.count > 0 then
+    Fmt.pr "bnb solve time: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (%d solves)@."
+      (Obs.Metrics.histogram_quantile snap 0.50)
+      (Obs.Metrics.histogram_quantile snap 0.95)
+      (Obs.Metrics.histogram_quantile snap 0.99)
+      snap.Obs.Metrics.count
+
 (* --- gen --- *)
 
 let gen_cmd =
@@ -471,7 +534,7 @@ let tree_cmd =
              counters, status, lower bound) as JSON to $(docv).")
   in
   let run cfg input method_ preset kernel linkage workers block_workers
-      deadline max_nodes checkpoint resume all nexus manifest output =
+      deadline max_nodes checkpoint resume all nexus manifest explain output =
     check_writable manifest;
     check_writable checkpoint;
     with_obs cfg @@ fun () ->
@@ -556,12 +619,16 @@ let tree_cmd =
             | None, _ -> ());
             (match manifest with
             | Some path -> Obs.Report.write_file r.Pipeline.report path
-            | None -> ())
+            | None -> ());
+            if explain then
+              print_explain ~stats:r.Pipeline.stats ~report:r.Pipeline.report
         | None ->
-            if checkpoint <> None || resume <> None || manifest <> None then
+            if checkpoint <> None || resume <> None || manifest <> None
+               || explain
+            then
               Fmt.epr
-                "phylo: --checkpoint/--resume/--manifest apply only to \
-                 --method compact or exact; ignoring@.");
+                "phylo: --checkpoint/--resume/--manifest/--explain apply \
+                 only to --method compact or exact; ignoring@.");
         Ultra.Tree_check.assert_valid m tree;
         Fmt.epr "tree cost: %g@." (Ultra.Utree.weight tree);
         if nexus then
@@ -578,7 +645,7 @@ let tree_cmd =
       const run $ obs_term $ input_arg $ method_opt $ preset_opt $ kernel_opt
       $ linkage_opt $ workers_opt $ block_workers_opt $ deadline_opt
       $ max_nodes_opt $ checkpoint_arg $ resume_arg $ all $ nexus
-      $ manifest_arg $ output_opt)
+      $ manifest_arg $ explain_opt $ output_opt)
 
 (* --- compare --- *)
 
@@ -604,7 +671,7 @@ let compare_cmd =
              within the budget.")
   in
   let run cfg input preset kernel linkage workers block_workers deadline
-      max_nodes cap manifest =
+      max_nodes cap manifest explain =
     check_writable manifest;
     with_obs cfg @@ fun () ->
     let _, m = read_matrix input in
@@ -646,6 +713,14 @@ let compare_cmd =
     Logs.info (fun msg ->
         msg "search stats without CS: %a" Bnb.Stats.pp
           c.Pipeline.without_cs.Pipeline.stats);
+    if explain then begin
+      Fmt.pr "@.-- with compact sets --@.";
+      print_explain ~stats:c.Pipeline.with_cs.Pipeline.stats
+        ~report:c.Pipeline.with_cs.Pipeline.report;
+      Fmt.pr "@.-- without compact sets --@.";
+      print_explain ~stats:c.Pipeline.without_cs.Pipeline.stats
+        ~report:c.Pipeline.without_cs.Pipeline.report
+    end;
     match manifest with
     | Some path -> Obs.Report.write_file c.Pipeline.report path
     | None -> ()
@@ -656,7 +731,7 @@ let compare_cmd =
     Term.(
       const run $ obs_term $ input_arg $ preset_opt $ kernel_opt $ linkage_opt
       $ workers_opt $ block_workers_opt $ deadline_opt $ max_nodes_opt $ cap
-      $ manifest)
+      $ manifest $ explain_opt)
 
 (* --- render --- *)
 
@@ -934,6 +1009,173 @@ let align_cmd =
       const run $ obs_term $ fasta_arg $ matrix_out $ with_tree $ bootstrap
       $ workers_opt $ output_opt)
 
+(* --- obs: manifest diffing and the perf-regression gate --- *)
+
+let rule_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | None -> Error (`Msg (Printf.sprintf "expected KEY=REL, got %S" s))
+    | Some i ->
+        let key = String.sub s 0 i in
+        let v = String.sub s (i + 1) (String.length s - i - 1) in
+        (match float_of_string_opt v with
+        | Some rel when rel >= 0. && Float.is_finite rel ->
+            Ok (Obs.Diff.rule key rel)
+        | Some _ | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "bad relative threshold %S (want e.g. 0.02)"
+                    v)))
+  in
+  Arg.conv ~docv:"KEY=REL"
+    ( parse,
+      fun ppf r ->
+        Format.fprintf ppf "%s=%g" r.Obs.Diff.key r.Obs.Diff.max_rel )
+
+let thresholds_opt =
+  Arg.(
+    value
+    & opt_all rule_conv []
+    & info [ "thr"; "threshold" ] ~docv:"KEY=REL"
+        ~doc:
+          "Add a gating rule: $(i,KEY) is a metric path \
+           ($(b,stats.expanded)), a bare field name ($(b,expanded)), or \
+           a dotted prefix ending in '.' ($(b,attribution.)); \
+           $(i,REL) is the allowed relative change (0.02 = ±2%).  \
+           Repeatable; user rules take precedence over the defaults.")
+
+let obs_rules user = user @ Obs.Diff.default_rules
+
+let load_manifest path =
+  match Obs.Diff.load_entry path with
+  | Ok j -> j
+  | Error e ->
+      Fmt.epr "compactphy obs: %s@." e;
+      exit 2
+
+let manifest_pos n name =
+  Arg.(
+    required
+    & pos n (some file) None
+    & info [] ~docv:name
+        ~doc:
+          (Printf.sprintf
+             "%s manifest (a run/bench manifest JSON file, or an \
+              append-only $(b,BENCH_*.json) trajectory, in which case \
+              its latest entry is used)."
+             name))
+
+let print_diff_failures d =
+  let open Obs.Diff in
+  List.iter
+    (fun e ->
+      Fmt.pr "  %s: %g -> %g (%+.2f%%, limit ±%.0f%%)@." e.path e.base e.cur
+        (100. *. e.rel)
+        (100. *. Option.value ~default:Float.nan e.threshold))
+    (regressions d)
+
+let obs_diff_cmd =
+  let markdown =
+    Arg.(
+      value & flag
+      & info [ "markdown" ]
+          ~doc:"Render a markdown table instead of structured JSON.")
+  in
+  let run base cur rules markdown =
+    let d =
+      Obs.Diff.diff ~rules:(obs_rules rules) ~base:(load_manifest base)
+        ~cur:(load_manifest cur) ()
+    in
+    if markdown then
+      print_string
+        (Obs.Diff.to_markdown
+           ~title:(Printf.sprintf "%s vs %s" base cur)
+           d)
+    else print_endline (Obs.Json.to_string (Obs.Diff.to_json d))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Structured delta between two manifests: every numeric leaf \
+          compared path-wise, classified against relative thresholds.")
+    Term.(
+      const run $ manifest_pos 0 "BASE" $ manifest_pos 1 "CURRENT"
+      $ thresholds_opt $ markdown)
+
+let baseline_dir_opt =
+  Arg.(
+    required
+    & opt (some dir) None
+    & info [ "baseline" ] ~docv:"DIR"
+        ~doc:"Directory of committed baseline manifests ($(b,*.json)).")
+
+let obs_check_cmd =
+  let current =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"CURRENT"
+          ~doc:"Directory of freshly produced manifests to gate.")
+  in
+  let run baseline current rules =
+    match
+      Obs.Diff.check_dirs ~rules:(obs_rules rules) ~baseline ~current ()
+    with
+    | Error e ->
+        Fmt.epr "compactphy obs check: %s@." e;
+        exit 2
+    | Ok reports ->
+        List.iter
+          (fun { Obs.Diff.file; result } ->
+            match result with
+            | Error e -> Fmt.pr "FAIL %s: %s@." file e
+            | Ok d when Obs.Diff.has_regression d ->
+                Fmt.pr "FAIL %s@." file;
+                print_diff_failures d
+            | Ok d ->
+                Fmt.pr "OK   %s (%d metrics compared)@." file
+                  (List.length d.Obs.Diff.entries))
+          reports;
+        if Obs.Diff.dirs_regressed reports then begin
+          Fmt.pr "perf gate: REGRESSED@.";
+          exit 1
+        end
+        else Fmt.pr "perf gate: ok@."
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Gate a directory of manifests against committed baselines: \
+          compare same-named $(b,*.json) files and exit non-zero on any \
+          threshold breach (the CI perf gate).")
+    Term.(const run $ baseline_dir_opt $ current $ thresholds_opt)
+
+let obs_report_cmd =
+  let run base cur rules =
+    let d =
+      Obs.Diff.diff ~rules:(obs_rules rules) ~base:(load_manifest base)
+        ~cur:(load_manifest cur) ()
+    in
+    print_string
+      (Obs.Diff.to_markdown ~title:(Printf.sprintf "%s vs %s" base cur) d)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Markdown comparison table between two manifests (for PR \
+          comments and bench summaries).")
+    Term.(
+      const run $ manifest_pos 0 "BASE" $ manifest_pos 1 "CURRENT"
+      $ thresholds_opt)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:
+         "Observability tooling: diff run manifests, render comparison \
+          reports, and gate on perf regressions.")
+    [ obs_diff_cmd; obs_check_cmd; obs_report_cmd ]
+
 (* --- simulate --- *)
 
 let simulate_cmd =
@@ -998,5 +1240,6 @@ let () =
             treedist_cmd;
             report_cmd;
             align_cmd;
+            obs_cmd;
             simulate_cmd;
           ]))

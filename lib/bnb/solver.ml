@@ -18,6 +18,15 @@ module M = struct
   let solve_ms = lazy (Obs.Metrics.histogram "bnb.solve_ms")
   let max_open = lazy (Obs.Metrics.histogram "bnb.max_open_per_solve")
 
+  let pruned_by_reason =
+    lazy
+      (List.map
+         (fun r ->
+           ( r,
+             Obs.Metrics.counter
+               ("bnb.pruned." ^ Obs.Attribution.reason_to_string r) ))
+         Obs.Attribution.reasons)
+
   let flush (stats : Stats.t) elapsed_s =
     Obs.Metrics.incr (Lazy.force solves);
     Obs.Metrics.add (Lazy.force expanded) stats.Stats.expanded;
@@ -30,7 +39,12 @@ module M = struct
       (float_of_int stats.Stats.expanded);
     Obs.Metrics.observe (Lazy.force max_open)
       (float_of_int stats.Stats.max_open);
-    Obs.Metrics.observe (Lazy.force solve_ms) (elapsed_s *. 1e3)
+    Obs.Metrics.observe (Lazy.force solve_ms) (elapsed_s *. 1e3);
+    List.iter
+      (fun (r, c) ->
+        Obs.Metrics.add c (Obs.Attribution.total stats.Stats.att r))
+      (Lazy.force pruned_by_reason);
+    Obs.Attribution.flush stats.Stats.att
 end
 
 type lb_kind = LB0 | LB1
@@ -167,11 +181,15 @@ let expand ?(ub = infinity) problem (node : Bb_tree.node) stats =
       Kernel.insertions problem.kstate node.tree sp ~dthr
     in
     stats.Stats.generated <- stats.Stats.generated + (2 * sp) - 1;
+    Obs.Attribution.expand stats.Stats.att ~depth:sp ~generated:((2 * sp) - 1);
     (* Dropped complete children would have reached the caller's
        solution recording (a no-op at these costs), not its pruning
        counter; dropped partial children would have been pruned. *)
-    if sp + 1 < Dist_matrix.size problem.pm then
+    if sp + 1 < Dist_matrix.size problem.pm then begin
       stats.Stats.pruned <- stats.Stats.pruned + dropped;
+      Obs.Attribution.prune stats.Stats.att Kernel_threshold ~depth:(sp + 1)
+        dropped
+    end;
     let children =
       List.map
         (fun tree ->
@@ -186,6 +204,8 @@ let expand ?(ub = infinity) problem (node : Bb_tree.node) stats =
   else begin
     let children = Bb_tree.branch problem.pm ~lb_extra:problem.lb_extra node in
     stats.Stats.generated <- stats.Stats.generated + List.length children;
+    Obs.Attribution.expand stats.Stats.att ~depth:node.k
+      ~generated:(List.length children);
     if not apply_33 then children
     else begin
       let kept =
@@ -196,6 +216,8 @@ let expand ?(ub = infinity) problem (node : Bb_tree.node) stats =
       in
       stats.Stats.pruned_33 <-
         stats.Stats.pruned_33 + List.length children - List.length kept;
+      Obs.Attribution.prune stats.Stats.att Filter33 ~depth:(node.k + 1)
+        (List.length children - List.length kept);
       (* Never let the heuristic constraint empty the candidate list: the
          companion paper reports 3-3 results as a subset of the full
          results, which requires at least one child to survive. *)
@@ -314,6 +336,14 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
     let prunable lb =
       if options.collect_all then lb > !ub +. tie_eps else lb >= !ub
     in
+    (* Attribution of a prune that [prunable] decided: if the node's own
+       cost already met the bound the incumbent alone was responsible;
+       otherwise the LB1 suffix supplied the missing margin.  (Under LB0
+       the suffix is all zeros, so every prune classifies Incumbent.) *)
+    let prune_reason cost =
+      if prunable cost then Obs.Attribution.Incumbent
+      else Obs.Attribution.Lb1_suffix
+    in
     let record_solution (c : Bb_tree.node) =
       if c.Bb_tree.cost < !ub -. tie_eps then begin
         ub := c.cost;
@@ -373,10 +403,14 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
       | Some node when cap_reached () ->
           optimal := false;
           interrupted := Some Budget.Node_cap;
+          Obs.Attribution.prune stats.Stats.att Budget_stop
+            ~depth:node.Bb_tree.k 1;
           push node
       | Some node ->
           if prunable node.Bb_tree.lb then begin
             stats.Stats.pruned <- stats.Stats.pruned + 1;
+            Obs.Attribution.prune stats.Stats.att
+              (prune_reason node.Bb_tree.cost) ~depth:node.Bb_tree.k 1;
             loop ()
           end
           else if Bb_tree.is_complete problem.pm node then begin
@@ -389,6 +423,8 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
             | Some s ->
                 optimal := false;
                 interrupted := Some s;
+                Obs.Attribution.prune stats.Stats.att Budget_stop
+                  ~depth:node.Bb_tree.k 1;
                 push node
             | None ->
                 let children = expand ~ub:!ub problem node stats in
@@ -396,7 +432,11 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
                   (fun (c : Bb_tree.node) ->
                     if Bb_tree.is_complete problem.pm c then record_solution c
                     else if not (prunable c.lb) then push c
-                    else stats.Stats.pruned <- stats.Stats.pruned + 1)
+                    else begin
+                      stats.Stats.pruned <- stats.Stats.pruned + 1;
+                      Obs.Attribution.prune stats.Stats.att
+                        (prune_reason c.Bb_tree.cost) ~depth:c.Bb_tree.k 1
+                    end)
                   (List.rev children);
                 let olen = open_length () in
                 stats.Stats.max_open <- Int.max stats.Stats.max_open olen;
@@ -415,7 +455,8 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
            after the whole-run budget tripped): return the heuristic
            incumbent immediately, frontier untouched. *)
         optimal := false;
-        interrupted := Some s
+        interrupted := Some s;
+        Obs.Attribution.prune stats.Stats.att Budget_stop ~depth:0 1
     | None -> loop ());
     Budget.flush tk;
     let frontier =

@@ -5,6 +5,7 @@ type t = {
   mutable pruned_33 : int;
   mutable ub_updates : int;
   mutable max_open : int;
+  att : Obs.Attribution.cells;
 }
 
 let create () =
@@ -15,6 +16,7 @@ let create () =
     pruned_33 = 0;
     ub_updates = 0;
     max_open = 0;
+    att = Obs.Attribution.cells ();
   }
 
 (* All counters are sums — except [max_open], which is a per-run
@@ -30,7 +32,8 @@ let add acc s =
   acc.pruned <- acc.pruned + s.pruned;
   acc.pruned_33 <- acc.pruned_33 + s.pruned_33;
   acc.ub_updates <- acc.ub_updates + s.ub_updates;
-  acc.max_open <- Int.max acc.max_open s.max_open
+  acc.max_open <- Int.max acc.max_open s.max_open;
+  Obs.Attribution.add_cells acc.att s.att
 
 let pp ppf s =
   Format.fprintf ppf
@@ -46,6 +49,13 @@ let to_json s =
       ("pruned_33", Obs.Json.Int s.pruned_33);
       ("ub_updates", Obs.Json.Int s.ub_updates);
       ("max_open", Obs.Json.Int s.max_open);
+      ( "pruned_by_reason",
+        Obs.Json.Obj
+          (List.map
+             (fun r ->
+               ( Obs.Attribution.reason_to_string r,
+                 Obs.Json.Int (Obs.Attribution.total s.att r) ))
+             Obs.Attribution.reasons) );
     ]
 
 let pp_json ppf s = Format.pp_print_string ppf (Obs.Json.to_string (to_json s))

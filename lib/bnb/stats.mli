@@ -7,6 +7,9 @@ type t = {
   mutable pruned_33 : int;  (** children discarded by the 3-3 relationship *)
   mutable ub_updates : int;  (** times a better feasible solution was found *)
   mutable max_open : int;  (** high-water mark of the open list *)
+  att : Obs.Attribution.cells;
+      (** pruning attribution (reason × depth) and per-depth expansion
+          profile for this run — see {!Obs.Attribution} *)
 }
 
 val create : unit -> t

@@ -114,6 +114,8 @@ let finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block ~status
   Obs.Report.set report "n_blocks" (Obs.Json.Int n_blocks);
   Obs.Report.set report "largest_block" (Obs.Json.Int largest_block);
   Obs.Report.set report "stats" (Stats.to_json stats);
+  Obs.Report.set report "attribution"
+    (Obs.Attribution.cells_to_json stats.Stats.att);
   Obs.Report.set report "status" (Budget.status_to_json status);
   Obs.Report.set report "lower_bound" (Obs.Json.Float lower_bound)
 

@@ -1,0 +1,293 @@
+(* Structured deltas between two run manifests (or bench trajectory
+   entries), plus the threshold rules that turn a delta into a CI
+   verdict.  Works on parsed JSON so it applies to any manifest the
+   [Report] module (or the bench harness) writes. *)
+
+(* --- flattening --- *)
+
+(* Numeric leaves of a JSON document as (dotted path, value) pairs.
+   Array elements use "[i]" segments.  Booleans and strings are skipped:
+   the diff is about quantities. *)
+let flatten json =
+  let acc = ref [] in
+  let rec go path = function
+    | Json.Int i -> acc := (path, float_of_int i) :: !acc
+    | Json.Float f -> if not (Float.is_nan f) then acc := (path, f) :: !acc
+    | Json.Obj kvs ->
+        List.iter
+          (fun (k, v) -> go (if path = "" then k else path ^ "." ^ k) v)
+          kvs
+    | Json.List xs ->
+        List.iteri (fun i v -> go (Printf.sprintf "%s[%d]" path i) v) xs
+    | Json.Null | Json.Bool _ | Json.String _ -> ()
+  in
+  go "" json;
+  List.rev !acc
+
+let last_segment path =
+  let path =
+    match String.rindex_opt path '[' with
+    | Some i when i > 0 && String.length path > 0 && path.[String.length path - 1] = ']'
+      -> String.sub path 0 i
+    | _ -> path
+  in
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+(* --- rules --- *)
+
+type direction = Lower_better | Higher_better
+
+type rule = { key : string; max_rel : float; direction : direction }
+
+let rule ?(direction = Lower_better) key max_rel = { key; max_rel; direction }
+
+(* A rule matches a path when its key equals the full path, equals the
+   path's last field name, or — with a trailing dot — prefixes the
+   path.  First match in list order wins, so user rules prepended to the
+   defaults override them. *)
+let rule_matches r path =
+  let k = String.length r.key in
+  if k > 0 && r.key.[k - 1] = '.' then
+    String.length path >= k && String.sub path 0 k = r.key
+  else r.key = path || r.key = last_segment path
+
+let find_rule rules path = List.find_opt (fun r -> rule_matches r path) rules
+
+(* Wall-clock quantities are never gated by default — committed
+   baselines travel between machines, so absolute times only inform.
+   Deterministic search quantities are gated tightly; the one
+   time-derived ratio worth gating (kernel speedup, measured within a
+   single process) gets generous headroom. *)
+let default_rules =
+  [
+    rule "cost" 1e-6;
+    rule "optimum" 1e-6;
+    rule ~direction:Higher_better "lower_bound" 1e-6;
+    rule "gap_pct" 0.01;
+    rule "expanded" 0.02;
+    rule "generated" 0.02;
+    rule "pruned" 0.02;
+    rule "pruned_33" 0.02;
+    rule "max_open" 0.10;
+    rule "attribution." 0.02;
+    rule ~direction:Higher_better "speedup" 0.5;
+  ]
+
+(* Paths that are different on every run by construction. *)
+let ignored path =
+  path = "created_at_epoch_s"
+  || (String.length path >= 5 && String.sub path 0 5 = "meta.")
+
+(* --- diffing --- *)
+
+type verdict = Regressed | Improved | Within | Info
+
+let verdict_to_string = function
+  | Regressed -> "regressed"
+  | Improved -> "improved"
+  | Within -> "within"
+  | Info -> "info"
+
+type entry = {
+  path : string;
+  base : float;
+  cur : float;
+  delta : float;
+  rel : float;  (* (cur - base) / |base|; infinite when base = 0 *)
+  verdict : verdict;
+  threshold : float option;  (* the matched rule's max_rel, if any *)
+}
+
+type t = {
+  entries : entry list;  (* path-sorted, both-sided numeric leaves *)
+  only_base : string list;
+  only_cur : string list;
+}
+
+let rel_change ~base ~cur =
+  if base = cur then 0.
+  else if base = 0. then (if cur > 0. then infinity else neg_infinity)
+  else (cur -. base) /. Float.abs base
+
+let classify rules path ~base ~cur =
+  let rel = rel_change ~base ~cur in
+  match find_rule rules path with
+  | None -> (Info, None, rel)
+  | Some r ->
+      let signed = match r.direction with
+        | Lower_better -> rel
+        | Higher_better -> -.rel
+      in
+      let v =
+        if signed > r.max_rel then Regressed
+        else if signed < -.r.max_rel then Improved
+        else Within
+      in
+      (v, Some r.max_rel, rel)
+
+let diff ?(rules = default_rules) ~base ~cur () =
+  let fb = flatten base and fc = flatten cur in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (p, v) -> Hashtbl.replace tbl p v) fb;
+  let entries = ref [] and only_cur = ref [] in
+  List.iter
+    (fun (p, c) ->
+      if not (ignored p) then
+        match Hashtbl.find_opt tbl p with
+        | Some b ->
+            Hashtbl.remove tbl p;
+            let verdict, threshold, rel = classify rules p ~base:b ~cur:c in
+            entries :=
+              {
+                path = p;
+                base = b;
+                cur = c;
+                delta = c -. b;
+                rel;
+                verdict;
+                threshold;
+              }
+              :: !entries
+        | None -> only_cur := p :: !only_cur)
+    fc;
+  let only_base =
+    Hashtbl.fold (fun p _ acc -> if ignored p then acc else p :: acc) tbl []
+  in
+  {
+    entries = List.sort (fun a b -> compare a.path b.path) !entries;
+    only_base = List.sort compare only_base;
+    only_cur = List.sort compare (List.rev !only_cur);
+  }
+
+let regressions d = List.filter (fun e -> e.verdict = Regressed) d.entries
+let has_regression d = regressions d <> []
+
+let changed ?(min_rel = 0.) d =
+  List.filter
+    (fun e -> e.delta <> 0. && Float.abs e.rel >= min_rel)
+    d.entries
+
+(* --- rendering --- *)
+
+let entry_to_json e =
+  Json.Obj
+    ([
+       ("path", Json.String e.path);
+       ("base", Json.Float e.base);
+       ("current", Json.Float e.cur);
+       ("delta", Json.Float e.delta);
+       ("rel", Json.Float e.rel);
+       ("verdict", Json.String (verdict_to_string e.verdict));
+     ]
+    @
+    match e.threshold with
+    | Some t -> [ ("threshold", Json.Float t) ]
+    | None -> [])
+
+let to_json d =
+  Json.Obj
+    [
+      ("regressed", Json.Bool (has_regression d));
+      ("n_compared", Json.Int (List.length d.entries));
+      ( "entries",
+        Json.List (List.map entry_to_json (changed d)) );
+      ("regressions", Json.List (List.map entry_to_json (regressions d)));
+      ("only_base", Json.List (List.map (fun p -> Json.String p) d.only_base));
+      ("only_current", Json.List (List.map (fun p -> Json.String p) d.only_cur));
+    ]
+
+let pct x =
+  if Float.is_finite x then Printf.sprintf "%+.2f%%" (100. *. x) else "new"
+
+let to_markdown ?(title = "Manifest diff") ?(all = false) d =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "## %s\n\n" title;
+  let rows = if all then d.entries else changed d in
+  if rows = [] then Buffer.add_string buf "No numeric changes.\n"
+  else begin
+    Buffer.add_string buf "| metric | base | current | change | verdict |\n";
+    Buffer.add_string buf "|---|---:|---:|---:|---|\n";
+    List.iter
+      (fun e ->
+        Printf.bprintf buf "| `%s` | %g | %g | %s | %s |\n" e.path e.base
+          e.cur (pct e.rel)
+          (verdict_to_string e.verdict))
+      rows
+  end;
+  if d.only_base <> [] then
+    Printf.bprintf buf "\n%d metric(s) only in base.\n"
+      (List.length d.only_base);
+  if d.only_cur <> [] then
+    Printf.bprintf buf "\n%d metric(s) only in current.\n"
+      (List.length d.only_cur);
+  Buffer.contents buf
+
+(* --- files and directories --- *)
+
+(* A manifest file holds one JSON document; a BENCH_* trajectory file is
+   append-only NDJSON, in which case the latest entry is what a
+   comparison means. *)
+let load_entry path =
+  match Json.read_file path with
+  | Ok j -> Ok j
+  | Error first_err -> (
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | contents -> (
+          let lines =
+            String.split_on_char '\n' contents
+            |> List.filter (fun l -> String.trim l <> "")
+          in
+          match List.rev lines with
+          | last :: _ -> (
+              match Json.of_string last with
+              | Ok j -> Ok j
+              | Error e ->
+                  Error
+                    (Printf.sprintf "%s: not JSON (%s) nor NDJSON (%s)" path
+                       first_err e))
+          | [] -> Error (Printf.sprintf "%s: empty file" path))
+      | exception Sys_error e -> Error e)
+
+type file_report = { file : string; result : (t, string) result }
+
+let json_basename f =
+  Filename.check_suffix f ".json"
+
+let check_dirs ?(rules = default_rules) ~baseline ~current () =
+  match Sys.readdir baseline with
+  | exception Sys_error e -> Error e
+  | names ->
+      let names =
+        Array.to_list names |> List.filter json_basename |> List.sort compare
+      in
+      if names = [] then
+        Error (Printf.sprintf "%s: no .json baselines" baseline)
+      else
+        Ok
+          (List.map
+             (fun name ->
+               let b = Filename.concat baseline name in
+               let c = Filename.concat current name in
+               let result =
+                 if not (Sys.file_exists c) then
+                   Error (Printf.sprintf "missing current file %s" c)
+                 else
+                   match (load_entry b, load_entry c) with
+                   | Ok base, Ok cur -> Ok (diff ~rules ~base ~cur ())
+                   | Error e, _ | _, Error e -> Error e
+               in
+               { file = name; result })
+             names)
+
+let dirs_regressed reports =
+  List.exists
+    (fun r ->
+      match r.result with Ok d -> has_regression d | Error _ -> true)
+    reports

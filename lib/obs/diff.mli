@@ -1,0 +1,87 @@
+(** Structured deltas between run manifests, and the threshold rules
+    that turn a delta into a CI verdict.
+
+    A manifest (or a bench trajectory entry) is flattened to its numeric
+    leaves as dotted paths — [stats.expanded], [attribution.reasons.
+    lb1_suffix.total], [blocks[2].solve_s] — then two documents are
+    joined path-wise.  Each joined pair is classified against the first
+    matching {!rule}: over threshold in the bad direction is
+    [Regressed], over threshold in the good direction is [Improved],
+    under is [Within]; paths with no rule are [Info] (reported, never
+    gating).  Wall-clock paths carry no default rule, so committed
+    baselines compare safely across machines. *)
+
+(** {1 Rules} *)
+
+type direction =
+  | Lower_better  (** growth beyond threshold regresses (nodes, cost) *)
+  | Higher_better  (** shrinkage beyond threshold regresses (speedup) *)
+
+type rule = { key : string; max_rel : float; direction : direction }
+
+val rule : ?direction:direction -> string -> float -> rule
+(** [rule key max_rel] gates relative change at [max_rel] (e.g. [0.02]
+    = ±2%).  [key] matches a path when it equals the full dotted path,
+    equals the path's last field name (array indices stripped), or —
+    when it ends with ['.'] — is a prefix of the path.  First matching
+    rule in list order wins. *)
+
+val default_rules : rule list
+(** Gates deterministic search quantities (cost exactly; expanded /
+    generated / pruned / attribution at 2%; speedup at 50%,
+    higher-better) and leaves times ungated. *)
+
+(** {1 Diffing} *)
+
+type verdict = Regressed | Improved | Within | Info
+
+val verdict_to_string : verdict -> string
+
+type entry = {
+  path : string;
+  base : float;
+  cur : float;
+  delta : float;
+  rel : float;  (** [(cur - base) / |base|]; infinite when [base = 0] *)
+  verdict : verdict;
+  threshold : float option;
+}
+
+type t = {
+  entries : entry list;  (** path-sorted paths present on both sides *)
+  only_base : string list;
+  only_cur : string list;
+}
+
+val flatten : Json.t -> (string * float) list
+(** Numeric leaves as (dotted path, value), document order. *)
+
+val diff : ?rules:rule list -> base:Json.t -> cur:Json.t -> unit -> t
+
+val regressions : t -> entry list
+val has_regression : t -> bool
+
+val changed : ?min_rel:float -> t -> entry list
+(** Entries whose value moved (at least [min_rel] relatively). *)
+
+val to_json : t -> Json.t
+val to_markdown : ?title:string -> ?all:bool -> t -> string
+
+(** {1 Files and directories} *)
+
+val load_entry : string -> (Json.t, string) result
+(** Load a manifest file; if the file is not a single JSON document,
+    fall back to its last non-empty line (NDJSON trajectory — the
+    latest entry is what a comparison means). *)
+
+type file_report = { file : string; result : (t, string) result }
+
+val check_dirs :
+  ?rules:rule list -> baseline:string -> current:string -> unit ->
+  (file_report list, string) result
+(** Compare every [*.json] in [baseline] against the same basename in
+    [current].  A missing or unparseable current file is itself a
+    failure. *)
+
+val dirs_regressed : file_report list -> bool
+(** True when any file regressed or failed to compare. *)

@@ -103,7 +103,45 @@ let observe h v =
   in
   bump ()
 
+let bucket_bounds i =
+  if i <= 0 then (0., 1.) else (Float.ldexp 1. (i - 1), Float.ldexp 1. i)
+
 type histogram_snapshot = { counts : int array; count : int; sum : float }
+
+(* Rank-based quantile with linear interpolation inside the matched
+   bucket — coarse (the buckets are powers of two) but monotone, and
+   exact for single-bucket data degenerates to the bucket midpoint
+   region.  [q] is clamped to [0, 1]; an empty histogram has no
+   quantiles, so the result is NaN. *)
+let histogram_quantile s q =
+  if s.count = 0 then Float.nan
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let target = q *. float_of_int s.count in
+    let rec find i seen =
+      if i >= n_buckets - 1 then i
+      else
+        let seen' = seen + s.counts.(i) in
+        if float_of_int seen' >= target && s.counts.(i) > 0 then i
+        else if seen' = s.count then i
+        else find (i + 1) seen'
+    in
+    let rec seen_before i j acc =
+      if j >= i then acc else seen_before i (j + 1) (acc + s.counts.(j))
+    in
+    let i = find 0 0 in
+    let lo, hi = bucket_bounds i in
+    let before = seen_before i 0 0 in
+    let inside = s.counts.(i) in
+    if inside = 0 then lo
+    else
+      let frac =
+        Float.min 1.
+          (Float.max 0.
+             ((target -. float_of_int before) /. float_of_int inside))
+      in
+      lo +. (frac *. (hi -. lo))
+  end
 
 let histogram_value h =
   let counts = Array.make n_buckets 0 in
@@ -119,7 +157,11 @@ let histogram_value h =
 let metric_to_json = function
   | C c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int (counter_value c)) ]
   | G g ->
-      Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float (Atomic.get g.cell)) ]
+      (* A gauge is NaN until its first [set]; NaN is not JSON, so unset
+         gauges dump as null. *)
+      let v = Atomic.get g.cell in
+      let value = if Float.is_nan v then Json.Null else Json.Float v in
+      Json.Obj [ ("type", Json.String "gauge"); ("value", value) ]
   | H h ->
       let s = histogram_value h in
       let buckets =
@@ -129,11 +171,18 @@ let metric_to_json = function
         |> List.map (fun (i, n) ->
                Json.Obj [ ("le", Json.Float (bucket_upper i)); ("count", Json.Int n) ])
       in
+      let quantile q =
+        let v = histogram_quantile s q in
+        if Float.is_nan v then Json.Null else Json.Float v
+      in
       Json.Obj
         [
           ("type", Json.String "histogram");
           ("count", Json.Int s.count);
           ("sum", Json.Float s.sum);
+          ("p50", quantile 0.50);
+          ("p95", quantile 0.95);
+          ("p99", quantile 0.99);
           ("buckets", Json.List buckets);
         ]
 

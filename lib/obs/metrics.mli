@@ -52,10 +52,21 @@ val bucket_of : float -> int
 val bucket_upper : int -> float
 (** Exclusive upper bound of bucket [i] ([2^i]). *)
 
+val bucket_bounds : int -> float * float
+(** [(inclusive lower, exclusive upper)] bounds of bucket [i]: bucket 0
+    is [(0, 1)], bucket [i >= 1] is [(2^(i-1), 2^i)]. *)
+
 type histogram_snapshot = { counts : int array; count : int; sum : float }
 
 val histogram_value : histogram -> histogram_snapshot
 (** Merged over shards. *)
+
+val histogram_quantile : histogram_snapshot -> float -> float
+(** [histogram_quantile s q] estimates the [q]-quantile ([q] clamped to
+    [[0, 1]]) by rank, interpolating linearly inside the matched
+    bucket.  Resolution is the bucket width (powers of two).  NaN when
+    the histogram is empty.  Dumps include p50/p95/p99 computed this
+    way. *)
 
 (** {1 Export} *)
 

@@ -23,6 +23,42 @@ let create name =
     workers = [];
   }
 
+(* --- run metadata --- *)
+
+let iso8601 epoch_s =
+  let tm = Unix.gmtime epoch_s in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* One `git describe` per process: manifests are written at run end, and
+   the answer cannot change underneath a run we would want to label. *)
+let git_describe =
+  lazy
+    (try
+       let ic =
+         Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+       in
+       let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+       match (Unix.close_process_in ic, line) with
+       | Unix.WEXITED 0, Some l when l <> "" -> Some l
+       | _ -> None
+     with _ -> None)
+
+let hostname = lazy (try Unix.gethostname () with _ -> "unknown")
+
+let meta_json created_at =
+  Json.Obj
+    ([
+       ("started_at", Json.String (iso8601 created_at));
+       ("hostname", Json.String (Lazy.force hostname));
+       ("ocaml_version", Json.String Sys.ocaml_version);
+     ]
+    @
+    match Lazy.force git_describe with
+    | Some g -> [ ("git", Json.String g) ]
+    | None -> [])
+
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
@@ -46,6 +82,12 @@ let add_worker t fields = locked t (fun () -> t.workers <- Json.Obj fields :: t.
 
 let workers t = locked t (fun () -> List.rev t.workers)
 
+let created_at t = t.created_at
+
+let field t key = locked t (fun () -> List.assoc_opt key t.fields)
+
+let fields t = locked t (fun () -> List.rev t.fields)
+
 let phases t =
   locked t (fun () ->
       List.rev_map (fun p -> (p.phase_name, p.elapsed_s)) t.phases)
@@ -65,6 +107,7 @@ let to_json t =
         ([
            ("name", Json.String t.name);
            ("created_at_epoch_s", Json.Float t.created_at);
+           ("meta", meta_json t.created_at);
            ("phases", Json.List (List.rev_map phase_json t.phases));
          ]
         @ (if t.workers = [] then []

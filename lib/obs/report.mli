@@ -32,8 +32,24 @@ val workers : t -> Json.t list
     one entry per solved block in deterministic block-id order, whatever
     order the inter-block scheduler finished them in. *)
 
+val created_at : t -> float
+(** Creation wall-clock time (Unix epoch seconds). *)
+
+val field : t -> string -> Json.t option
+(** Look up a top-level field previously {!set}. *)
+
+val fields : t -> (string * Json.t) list
+(** All top-level fields in insertion order. *)
+
 val phases : t -> (string * float) list
 (** Phase timings in insertion order. *)
+
+val meta_json : float -> Json.t
+(** Run metadata for a run created at the given epoch time: ISO-8601
+    [started_at], [hostname], [ocaml_version] and — when the working
+    directory is a git checkout — [git] (describe output).  Every
+    manifest embeds this under ["meta"] so [obs diff] can label what it
+    compares; [obs check] ignores the section when gating. *)
 
 val phase_total_s : t -> float
 

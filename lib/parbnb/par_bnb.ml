@@ -52,9 +52,20 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
     | Some cap -> stats.Stats.expanded >= cap
     | None -> false
   in
+  (* Attribution mirrors the sequential solver: a prune whose node cost
+     already met the (racy, monotone) incumbent snapshot is the
+     incumbent's; otherwise the LB1 suffix supplied the margin. *)
+  let lb_reason ~cost ~u =
+    if cost >= u then Obs.Attribution.Incumbent else Obs.Attribution.Lb1_suffix
+  in
   let process (node : Bb_tree.node) =
-    if node.lb >= Atomic.get shared.ub then
-      stats.Stats.pruned <- stats.Stats.pruned + 1
+    let u = Atomic.get shared.ub in
+    if node.lb >= u then begin
+      stats.Stats.pruned <- stats.Stats.pruned + 1;
+      Obs.Attribution.prune stats.Stats.att
+        (lb_reason ~cost:node.Bb_tree.cost ~u)
+        ~depth:node.Bb_tree.k 1
+    end
     else if Bb_tree.is_complete problem.Solver.pm node then
       publish shared node.cost node.tree
     else
@@ -63,6 +74,8 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
           (* Budget exhausted (possibly noticed by another worker): keep
              the node in hand as part of this worker's frontier share. *)
           stopped := true;
+          Obs.Attribution.prune stats.Stats.att Budget_stop
+            ~depth:node.Bb_tree.k 1;
           local := node :: !local
       | None -> begin
           (* A racy snapshot of the shared incumbent is safe here: the
@@ -77,8 +90,15 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
                 if c.cost < Atomic.get shared.ub then
                   publish shared c.cost c.tree
               end
-              else if c.lb < Atomic.get shared.ub then local := c :: !local
-              else stats.Stats.pruned <- stats.Stats.pruned + 1)
+              else
+                let u = Atomic.get shared.ub in
+                if c.lb < u then local := c :: !local
+                else begin
+                  stats.Stats.pruned <- stats.Stats.pruned + 1;
+                  Obs.Attribution.prune stats.Stats.att
+                    (lb_reason ~cost:c.Bb_tree.cost ~u)
+                    ~depth:c.Bb_tree.k 1
+                end)
             (List.rev children);
           let olen = List.length !local in
           stats.Stats.max_open <- Int.max stats.Stats.max_open olen;
@@ -99,6 +119,7 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
       (* Return surplus work so other workers can finish it; flag the
          run as aborted since this worker abandoned its own. *)
       Atomic.set shared.aborted true;
+      Obs.Attribution.prune stats.Stats.att Budget_stop ~depth:0 1;
       List.iter (Shared_pool.donate shared.pool) !local;
       local := [];
       Shared_pool.retire shared.pool
@@ -228,8 +249,13 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
       | [] -> []
       | _ when List.length expandable >= target -> expandable
       | nd :: rest ->
-          if nd.Bb_tree.lb >= Atomic.get shared.ub then begin
+          let u = Atomic.get shared.ub in
+          if nd.Bb_tree.lb >= u then begin
             stats.Stats.pruned <- stats.Stats.pruned + 1;
+            Obs.Attribution.prune stats.Stats.att
+              (if nd.Bb_tree.cost >= u then Obs.Attribution.Incumbent
+               else Obs.Attribution.Lb1_suffix)
+              ~depth:nd.Bb_tree.k 1;
             widen rest
           end
           else begin
@@ -299,8 +325,14 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
         cost frontier
     in
     Obs.Report.set report "stats" (Stats.to_json stats);
+    Obs.Report.set report "attribution"
+      (Obs.Attribution.cells_to_json stats.Stats.att);
     Obs.Report.set report "status" (Budget.status_to_json status);
     Obs.Report.set report "lower_bound" (Obs.Json.Float lower_bound);
+    (* The merged per-worker cells feed the process-wide aggregate once
+       per parallel solve (the sequential path flushes in Solver.solve;
+       the n <= 2 fast path above went through it already). *)
+    Obs.Attribution.flush stats.Stats.att;
     {
       tree;
       cost;

@@ -1,0 +1,370 @@
+(* Tests for Obs.Diff: manifest flattening, threshold rules, verdicts,
+   NDJSON trajectory loading, and the directory-level perf gate that CI
+   runs through [compactphy obs check]. *)
+
+module D = Obs.Diff
+module J = Obs.Json
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let obj kvs = J.Obj kvs
+
+(* A miniature manifest in the shape Report.to_json writes. *)
+let manifest ?(expanded = 100) ?(cost = 42.5) ?(total_s = 1.0)
+    ?(speedup = 2.0) () =
+  obj
+    [
+      ("name", J.String "unit");
+      ("created_at_epoch_s", J.Float 1786000000.);
+      ( "meta",
+        obj
+          [
+            ("started_at", J.String "2026-08-07T00:00:00Z");
+            ("hostname", J.String "host-a");
+          ] );
+      ( "phases",
+        J.List [ obj [ ("name", J.String "total"); ("elapsed_s", J.Float total_s) ] ]
+      );
+      ("cost", J.Float cost);
+      ("speedup", J.Float speedup);
+      ( "stats",
+        obj
+          [
+            ("expanded", J.Int expanded);
+            ("pruned", J.Int 50);
+          ] );
+      ( "attribution",
+        obj [ ("pruned_total", J.Int 50) ] );
+    ]
+
+(* --- flatten --- *)
+
+let test_flatten () =
+  let j =
+    obj
+      [
+        ("a", J.Int 1);
+        ("b", obj [ ("c", J.Float 2.5); ("skip", J.String "x") ]);
+        ("l", J.List [ J.Int 3; obj [ ("d", J.Int 4) ]; J.Bool true ]);
+        ("n", J.Null);
+        ("nan", J.Float Float.nan);
+      ]
+  in
+  Alcotest.(check (list (pair string (float 0.))))
+    "numeric leaves in document order"
+    [ ("a", 1.); ("b.c", 2.5); ("l[0]", 3.); ("l[1].d", 4.) ]
+    (D.flatten j)
+
+(* --- rules --- *)
+
+let test_rule_matching () =
+  let verdict_under rules =
+    match
+      (D.diff ~rules
+         ~base:(obj [ ("x", obj [ ("y", J.Int 1) ]) ])
+         ~cur:(obj [ ("x", obj [ ("y", J.Int 1) ]) ])
+         ())
+        .D.entries
+    with
+    | [ e ] -> e.D.verdict
+    | _ -> Alcotest.fail "one entry expected"
+  in
+  (* Full-path match gates; non-matching rule leaves Info. *)
+  Alcotest.(check bool) "full path gates" true
+    (verdict_under [ D.rule "x.y" 0.1 ] = D.Within);
+  Alcotest.(check bool) "no match is info" true
+    (verdict_under [ D.rule "z" 0.1 ] = D.Info);
+  (* Last-segment match, array index stripped. *)
+  let d =
+    D.diff
+      ~rules:[ D.rule "solve_s" 0.1 ]
+      ~base:(obj [ ("workers", J.List [ obj [ ("solve_s", J.Float 1.) ] ]) ])
+      ~cur:(obj [ ("workers", J.List [ obj [ ("solve_s", J.Float 1.) ] ]) ])
+      ()
+  in
+  (match d.D.entries with
+  | [ e ] ->
+      Alcotest.(check string) "path" "workers[0].solve_s" e.D.path;
+      Alcotest.(check bool) "last segment gates" true (e.D.verdict = D.Within)
+  | _ -> Alcotest.fail "one entry expected");
+  (* Trailing-dot prefix match. *)
+  let d =
+    D.diff
+      ~rules:[ D.rule "attribution." 0.1 ]
+      ~base:(obj [ ("attribution", obj [ ("pruned_total", J.Int 10) ]) ])
+      ~cur:(obj [ ("attribution", obj [ ("pruned_total", J.Int 10) ]) ])
+      ()
+  in
+  (match d.D.entries with
+  | [ e ] -> Alcotest.(check bool) "prefix gates" true (e.D.verdict = D.Within)
+  | _ -> Alcotest.fail "one entry expected");
+  (* First matching rule wins: a prepended user rule overrides. *)
+  let d =
+    D.diff
+      ~rules:(D.rule "expanded" 10. :: D.default_rules)
+      ~base:(obj [ ("stats", obj [ ("expanded", J.Int 100) ]) ])
+      ~cur:(obj [ ("stats", obj [ ("expanded", J.Int 200) ]) ])
+      ()
+  in
+  Alcotest.(check bool) "user rule overrides default" false
+    (D.has_regression d)
+
+(* --- verdicts --- *)
+
+let entry_for d path =
+  match List.find_opt (fun e -> e.D.path = path) d.D.entries with
+  | Some e -> e
+  | None -> Alcotest.failf "no entry for %s" path
+
+let test_verdicts () =
+  let d =
+    D.diff ~base:(manifest ()) ~cur:(manifest ~expanded:200 ()) ()
+  in
+  let e = entry_for d "stats.expanded" in
+  Alcotest.(check bool) "doubling expanded regresses" true
+    (e.D.verdict = D.Regressed);
+  Alcotest.(check (float 1e-9)) "rel" 1.0 e.D.rel;
+  Alcotest.(check (option (float 0.))) "threshold" (Some 0.02) e.D.threshold;
+  Alcotest.(check bool) "has_regression" true (D.has_regression d);
+  (* Shrinkage in a lower-better metric improves. *)
+  let d = D.diff ~base:(manifest ()) ~cur:(manifest ~expanded:50 ()) () in
+  Alcotest.(check bool) "halving improves" true
+    ((entry_for d "stats.expanded").D.verdict = D.Improved);
+  Alcotest.(check bool) "improvement does not gate" false (D.has_regression d);
+  (* Higher-better direction: a collapsing speedup regresses. *)
+  let d = D.diff ~base:(manifest ()) ~cur:(manifest ~speedup:0.5 ()) () in
+  Alcotest.(check bool) "speedup collapse regresses" true
+    ((entry_for d "speedup").D.verdict = D.Regressed);
+  (* ... and a rising one does not. *)
+  let d = D.diff ~base:(manifest ()) ~cur:(manifest ~speedup:4.0 ()) () in
+  Alcotest.(check bool) "speedup rise ok" false (D.has_regression d);
+  (* Wall-clock has no default rule: a 10x slowdown is Info only. *)
+  let d = D.diff ~base:(manifest ()) ~cur:(manifest ~total_s:10. ()) () in
+  Alcotest.(check bool) "time is info" true
+    ((entry_for d "phases[0].elapsed_s").D.verdict = D.Info);
+  Alcotest.(check bool) "time never gates" false (D.has_regression d);
+  (* Identical documents: everything Within/Info, nothing changed. *)
+  let d = D.diff ~base:(manifest ()) ~cur:(manifest ()) () in
+  Alcotest.(check bool) "no regression" false (D.has_regression d);
+  Alcotest.(check int) "nothing changed" 0 (List.length (D.changed d))
+
+let test_meta_ignored () =
+  (* meta.* and created_at_epoch_s differ on every run by construction
+     and must never appear in the comparison. *)
+  let base = manifest () in
+  let cur =
+    obj
+      (List.map
+         (function
+           | "created_at_epoch_s", _ -> ("created_at_epoch_s", J.Float 9e9)
+           | "meta", _ -> ("meta", obj [ ("hostname", J.String "host-b") ])
+           | kv -> kv)
+         (match base with J.Obj kvs -> kvs | _ -> assert false))
+  in
+  let d = D.diff ~base ~cur () in
+  Alcotest.(check int) "meta drift invisible" 0 (List.length (D.changed d));
+  Alcotest.(check bool) "no meta path" true
+    (List.for_all
+       (fun e -> not (contains ~affix:"meta" e.D.path))
+       d.D.entries)
+
+let test_only_sides () =
+  let d =
+    D.diff
+      ~base:(obj [ ("a", J.Int 1); ("gone", J.Int 2) ])
+      ~cur:(obj [ ("a", J.Int 1); ("new", J.Int 3) ])
+      ()
+  in
+  Alcotest.(check (list string)) "only base" [ "gone" ] d.D.only_base;
+  Alcotest.(check (list string)) "only current" [ "new" ] d.D.only_cur
+
+let test_render () =
+  let d = D.diff ~base:(manifest ()) ~cur:(manifest ~expanded:200 ()) () in
+  let s = J.to_string (D.to_json d) in
+  Alcotest.(check bool) "regressed flag" true
+    (contains ~affix:"\"regressed\":true" s);
+  Alcotest.(check bool) "verdict string" true
+    (contains ~affix:"\"verdict\":\"regressed\"" s);
+  (match J.of_string s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "diff json invalid: %s" e);
+  let md = D.to_markdown ~title:"T" d in
+  Alcotest.(check bool) "markdown header" true (contains ~affix:"## T" md);
+  Alcotest.(check bool) "markdown table" true
+    (contains ~affix:"| metric | base | current | change | verdict |" md);
+  Alcotest.(check bool) "markdown row" true
+    (contains ~affix:"`stats.expanded`" md)
+
+(* --- files --- *)
+
+let write_tmp ?(dir = Filename.get_temp_dir_name ()) name contents =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let test_load_entry () =
+  (* A plain manifest document. *)
+  let p = write_tmp "diff_single.json" (J.to_string (manifest ())) in
+  (match D.load_entry p with
+  | Ok (J.Obj _) -> ()
+  | Ok _ -> Alcotest.fail "not an object"
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  Sys.remove p;
+  (* An NDJSON trajectory: the LAST line is the comparison target. *)
+  let p =
+    write_tmp "diff_traj.json"
+      "{\"experiment\":\"x\",\"v\":1}\n{\"experiment\":\"x\",\"v\":2}\n\n"
+  in
+  (match D.load_entry p with
+  | Ok j ->
+      Alcotest.(check (option int)) "latest entry wins" (Some 2)
+        (Option.bind (J.member "v" j) J.to_int_opt)
+  | Error e -> Alcotest.failf "ndjson load failed: %s" e);
+  Sys.remove p;
+  (* Garbage is an error naming the file. *)
+  let p = write_tmp "diff_bad.json" "not json at all\nstill not\n" in
+  (match D.load_entry p with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error e -> Alcotest.(check bool) "names the file" true
+      (contains ~affix:"diff_bad.json" e));
+  Sys.remove p
+
+(* --- directory gate (the synthetic regression fixture) --- *)
+
+let with_dirs f =
+  let mk prefix =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        ("compactphy_" ^ prefix)
+    in
+    if Sys.file_exists d then
+      Array.iter (fun n -> Sys.remove (Filename.concat d n)) (Sys.readdir d)
+    else Sys.mkdir d 0o755;
+    d
+  in
+  let baseline = mk "diff_baseline" and current = mk "diff_current" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun d ->
+          Array.iter (fun n -> Sys.remove (Filename.concat d n)) (Sys.readdir d);
+          Sys.rmdir d)
+        [ baseline; current ])
+    (fun () -> f ~baseline ~current)
+
+let test_check_dirs_ok () =
+  with_dirs (fun ~baseline ~current ->
+      let doc = J.to_string (manifest ()) in
+      ignore (write_tmp ~dir:baseline "run.json" doc);
+      ignore (write_tmp ~dir:current "run.json" doc);
+      match D.check_dirs ~baseline ~current () with
+      | Error e -> Alcotest.failf "check failed: %s" e
+      | Ok reports ->
+          Alcotest.(check int) "one file" 1 (List.length reports);
+          Alcotest.(check bool) "gate passes" false (D.dirs_regressed reports))
+
+let test_check_dirs_regression () =
+  (* The acceptance fixture: a current run that expanded twice as many
+     nodes as its committed baseline must trip the gate. *)
+  with_dirs (fun ~baseline ~current ->
+      ignore (write_tmp ~dir:baseline "run.json" (J.to_string (manifest ())));
+      ignore
+        (write_tmp ~dir:current "run.json"
+           (J.to_string (manifest ~expanded:200 ())));
+      match D.check_dirs ~baseline ~current () with
+      | Error e -> Alcotest.failf "check failed: %s" e
+      | Ok reports ->
+          Alcotest.(check bool) "gate trips" true (D.dirs_regressed reports);
+          (match reports with
+          | [ { D.result = Ok d; _ } ] ->
+              Alcotest.(check bool) "regression names the path" true
+                (List.exists
+                   (fun e -> e.D.path = "stats.expanded")
+                   (D.regressions d))
+          | _ -> Alcotest.fail "report shape"))
+
+let test_check_dirs_missing_current () =
+  with_dirs (fun ~baseline ~current ->
+      ignore (write_tmp ~dir:baseline "run.json" (J.to_string (manifest ())));
+      ignore (write_tmp ~dir:current "unrelated.txt" "x");
+      match D.check_dirs ~baseline ~current () with
+      | Error e -> Alcotest.failf "check failed: %s" e
+      | Ok reports ->
+          Alcotest.(check bool) "missing file fails the gate" true
+            (D.dirs_regressed reports))
+
+let test_check_dirs_empty_baseline () =
+  with_dirs (fun ~baseline ~current ->
+      ignore (write_tmp ~dir:current "run.json" (J.to_string (manifest ())));
+      match D.check_dirs ~baseline ~current () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "empty baseline dir must be an error")
+
+(* --- committed example manifests --- *)
+
+let test_example_manifests_stable_delta () =
+  (* Two manifests of the same deterministic pipeline run, committed
+     under data/.  Their diff must be stable: search counters identical
+     (so no regression), only wall-clock paths moved (all Info), and the
+     rendered delta identical across invocations. *)
+  let load p =
+    match D.load_entry p with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "%s: %s" p e
+  in
+  let base = load "../data/example_manifest_a.json" in
+  let cur = load "../data/example_manifest_b.json" in
+  let d = D.diff ~base ~cur () in
+  Alcotest.(check bool) "no regression between identical runs" false
+    (D.has_regression d);
+  Alcotest.(check bool) "compares a real manifest" true
+    (List.length d.D.entries > 50);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "only wall-clock moved, but %s did" e.D.path)
+        true
+        (e.D.verdict = D.Info))
+    (D.changed d);
+  let d' = D.diff ~base ~cur () in
+  Alcotest.(check string) "delta is deterministic"
+    (J.to_string (D.to_json d))
+    (J.to_string (D.to_json d'))
+
+let () =
+  Alcotest.run "diff"
+    [
+      ( "flatten",
+        [ Alcotest.test_case "numeric leaves" `Quick test_flatten ] );
+      ( "rules",
+        [ Alcotest.test_case "matching" `Quick test_rule_matching ] );
+      ( "verdicts",
+        [
+          Alcotest.test_case "directions + thresholds" `Quick test_verdicts;
+          Alcotest.test_case "meta ignored" `Quick test_meta_ignored;
+          Alcotest.test_case "one-sided paths" `Quick test_only_sides;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+      ( "files",
+        [ Alcotest.test_case "load_entry" `Quick test_load_entry ] );
+      ( "gate",
+        [
+          Alcotest.test_case "ok" `Quick test_check_dirs_ok;
+          Alcotest.test_case "synthetic regression" `Quick
+            test_check_dirs_regression;
+          Alcotest.test_case "missing current" `Quick
+            test_check_dirs_missing_current;
+          Alcotest.test_case "empty baseline" `Quick
+            test_check_dirs_empty_baseline;
+        ] );
+      ( "examples",
+        [
+          Alcotest.test_case "stable delta" `Quick
+            test_example_manifests_stable_delta;
+        ] );
+    ]

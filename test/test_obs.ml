@@ -44,6 +44,43 @@ let test_json_non_finite () =
     "inf" "1e999"
     (Obs.Json.to_string (Obs.Json.Float Float.infinity))
 
+let test_json_parse_ok () =
+  match Obs.Json.of_string "{\"a\":[1,2.5,null,\"x\\u0041\"],\"b\":true}" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j ->
+      (match Obs.Json.member "a" j with
+      | Some (Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Float f; Obs.Json.Null;
+                              Obs.Json.String s ]) ->
+          Alcotest.(check (float 0.)) "float" 2.5 f;
+          Alcotest.(check string) "\\u decoded" "xA" s
+      | _ -> Alcotest.fail "list shape");
+      Alcotest.(check bool) "bool member" true
+        (Obs.Json.member "b" j = Some (Obs.Json.Bool true))
+
+(* Error paths must report the byte offset the parser stopped at — that
+   is what makes a truncated checkpoint or manifest diagnosable. *)
+let expect_parse_error input expected =
+  match Obs.Json.of_string input with
+  | Ok _ -> Alcotest.failf "expected failure for %S" input
+  | Error e -> Alcotest.(check string) input expected e
+
+let test_json_parse_errors () =
+  expect_parse_error "" "JSON parse error at byte 0: unexpected end of input";
+  expect_parse_error "{\"a\": 1"
+    "JSON parse error at byte 7: expected '}'";
+  expect_parse_error "[1, 2"
+    "JSON parse error at byte 5: expected ']'";
+  expect_parse_error "\"abc"
+    "JSON parse error at byte 4: unterminated string";
+  expect_parse_error "\"\\uZZZZ\""
+    "JSON parse error at byte 3: invalid \\u escape";
+  expect_parse_error "\"\\u00"
+    "JSON parse error at byte 3: truncated \\u escape";
+  expect_parse_error "true x"
+    "JSON parse error at byte 5: trailing garbage";
+  expect_parse_error "-"
+    "JSON parse error at byte 1: invalid number \"-\""
+
 (* --- Span --- *)
 
 let test_span_nesting () =
@@ -183,6 +220,72 @@ let test_histogram_merge () =
   (* values 1..4000 never reach bucket 13 = [4096, 8192) *)
   Alcotest.(check int) "no overflow bucket" 0 s.Obs.Metrics.counts.(13)
 
+let test_histogram_quantile () =
+  (* Empty histogram: no quantiles. *)
+  let reg = Obs.Metrics.create_registry () in
+  let h = Obs.Metrics.histogram ~registry:reg "t.q" in
+  let s = Obs.Metrics.histogram_value h in
+  Alcotest.(check bool) "empty -> NaN" true
+    (Float.is_nan (Obs.Metrics.histogram_quantile s 0.5));
+  (* Single-bucket data interpolates inside that bucket's bounds. *)
+  for _ = 1 to 4 do
+    Obs.Metrics.observe h 0.5
+  done;
+  let s = Obs.Metrics.histogram_value h in
+  Alcotest.(check (float 1e-9)) "p50 in bucket 0" 0.5
+    (Obs.Metrics.histogram_quantile s 0.5);
+  Alcotest.(check (float 1e-9)) "q=1 hits upper bound" 1.0
+    (Obs.Metrics.histogram_quantile s 1.0);
+  Alcotest.(check (float 1e-9)) "q clamps below" 0.0
+    (Obs.Metrics.histogram_quantile s (-3.));
+  (* A bucket further up: two observations of 3.0 live in (2, 4]. *)
+  let h2 = Obs.Metrics.histogram ~registry:reg "t.q2" in
+  Obs.Metrics.observe h2 3.0;
+  Obs.Metrics.observe h2 3.0;
+  let s2 = Obs.Metrics.histogram_value h2 in
+  Alcotest.(check (float 1e-9)) "p50 interpolates (2,4)" 3.0
+    (Obs.Metrics.histogram_quantile s2 0.5);
+  (* Spread data: quantiles are monotone in q. *)
+  let h3 = Obs.Metrics.histogram ~registry:reg "t.q3" in
+  for i = 1 to 1000 do
+    Obs.Metrics.observe h3 (float_of_int i)
+  done;
+  let s3 = Obs.Metrics.histogram_value h3 in
+  let p50 = Obs.Metrics.histogram_quantile s3 0.50 in
+  let p95 = Obs.Metrics.histogram_quantile s3 0.95 in
+  let p99 = Obs.Metrics.histogram_quantile s3 0.99 in
+  Alcotest.(check bool) "p50 <= p95" true (p50 <= p95);
+  Alcotest.(check bool) "p95 <= p99" true (p95 <= p99);
+  Alcotest.(check bool) "p99 <= max" true (p99 <= 1024.)
+
+let test_bucket_bounds () =
+  Alcotest.(check (pair (float 0.) (float 0.))) "bucket 0" (0., 1.)
+    (Obs.Metrics.bucket_bounds 0);
+  Alcotest.(check (pair (float 0.) (float 0.))) "bucket 3" (4., 8.)
+    (Obs.Metrics.bucket_bounds 3)
+
+let test_gauge_dump_null () =
+  (* An unset gauge is NaN in memory; NaN is not JSON, so the dump must
+     carry null — and the dump must round-trip through the parser. *)
+  let reg = Obs.Metrics.create_registry () in
+  let g = Obs.Metrics.gauge ~registry:reg "t.unset" in
+  let j = Obs.Metrics.dump ~registry:reg () in
+  let s = Obs.Json.to_string j in
+  Alcotest.(check bool) "value is null" true
+    (contains ~affix:"\"value\":null" s);
+  (match Obs.Json.of_string s with
+  | Error e -> Alcotest.failf "dump does not re-parse: %s" e
+  | Ok parsed ->
+      (match Obs.Json.member "t.unset" parsed with
+      | Some m ->
+          Alcotest.(check bool) "null round-trips" true
+            (Obs.Json.member "value" m = Some Obs.Json.Null)
+      | None -> Alcotest.fail "gauge missing from dump"));
+  Obs.Metrics.set g 1.5;
+  let s = Obs.Json.to_string (Obs.Metrics.dump ~registry:reg ()) in
+  Alcotest.(check bool) "set gauge dumps its value" true
+    (contains ~affix:"\"value\":1.5" s)
+
 let test_metrics_dump () =
   let reg = Obs.Metrics.create_registry () in
   let c = Obs.Metrics.counter ~registry:reg "a.count" in
@@ -194,6 +297,10 @@ let test_metrics_dump () =
     (contains ~affix:"\"a.count\"" s);
   Alcotest.(check bool) "has histogram" true
     (contains ~affix:"\"b.hist\"" s);
+  Alcotest.(check bool) "histogram carries p50" true
+    (contains ~affix:"\"p50\"" s);
+  Alcotest.(check bool) "histogram carries p99" true
+    (contains ~affix:"\"p99\"" s);
   Obs.Metrics.reset ~registry:reg ();
   Alcotest.(check int) "reset" 0 (Obs.Metrics.counter_value c)
 
@@ -229,7 +336,130 @@ let test_stats_json () =
   Alcotest.(check bool) "max_open key" true
     (contains ~affix:"\"max_open\":2" j);
   let via_pp = Format.asprintf "%a" Stats.pp_json s in
-  Alcotest.(check string) "pp_json agrees" j via_pp
+  Alcotest.(check string) "pp_json agrees" j via_pp;
+  (* Per-reason prune totals ride along in the stats JSON. *)
+  Obs.Attribution.prune s.Stats.att Obs.Attribution.Incumbent ~depth:1 4;
+  let j = Obs.Json.to_string (Stats.to_json s) in
+  Alcotest.(check bool) "pruned_by_reason" true
+    (contains ~affix:"\"pruned_by_reason\"" j);
+  Alcotest.(check bool) "incumbent total" true
+    (contains ~affix:"\"incumbent\":4" j)
+
+(* --- Attribution --- *)
+
+module Att = Obs.Attribution
+
+let test_attribution_cells () =
+  let c = Att.cells () in
+  Att.prune c Att.Incumbent ~depth:3 2;
+  Att.prune c Att.Incumbent ~depth:3 1;
+  Att.prune c Att.Lb1_suffix ~depth:5 4;
+  Att.prune c Att.Filter33 ~depth:(-1) 1;  (* clamps to bucket 0 *)
+  Att.prune c Att.Kernel_threshold ~depth:1000 1;  (* clamps to last *)
+  Att.prune c Att.Budget_stop ~depth:0 0;  (* n = 0: no-op *)
+  Att.expand c ~depth:3 ~generated:5;
+  Att.expand c ~depth:4 ~generated:7;
+  Alcotest.(check int) "incumbent total" 3 (Att.total c Att.Incumbent);
+  Alcotest.(check int) "lb1 total" 4 (Att.total c Att.Lb1_suffix);
+  Alcotest.(check int) "budget_stop empty" 0 (Att.total c Att.Budget_stop);
+  Alcotest.(check int) "prunes_at" 3
+    (Att.prunes_at c Att.Incumbent ~depth:3);
+  Alcotest.(check int) "negative depth clamps" 1
+    (Att.prunes_at c Att.Filter33 ~depth:0);
+  Alcotest.(check int) "deep depth clamps" 1
+    (Att.prunes_at c Att.Kernel_threshold
+       ~depth:(Att.n_depth_buckets - 1));
+  Alcotest.(check int) "total prunes" 9 (Att.total_prunes c);
+  Alcotest.(check int) "total expanded" 2 (Att.total_expanded c);
+  (* Merging is element-wise addition, like Stats.add. *)
+  let acc = Att.cells () in
+  Att.add_cells acc c;
+  Att.add_cells acc c;
+  Alcotest.(check int) "merged prunes" 18 (Att.total_prunes acc);
+  Alcotest.(check int) "merged expanded" 4 (Att.total_expanded acc)
+
+let test_attribution_disabled () =
+  let c = Att.cells () in
+  Att.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Att.set_enabled true)
+    (fun () ->
+      Att.prune c Att.Incumbent ~depth:1 5;
+      Att.expand c ~depth:1 ~generated:3);
+  Alcotest.(check int) "disabled records nothing" 0
+    (Att.total_prunes c + Att.total_expanded c)
+
+let test_attribution_json () =
+  let c = Att.cells () in
+  Att.prune c Att.Lb1_suffix ~depth:7 11;
+  Att.expand c ~depth:7 ~generated:13;
+  let s = Obs.Json.to_string (Att.cells_to_json c) in
+  Alcotest.(check bool) "pruned_total" true
+    (contains ~affix:"\"pruned_total\":11" s);
+  Alcotest.(check bool) "reason key" true
+    (contains ~affix:"\"lb1_suffix\"" s);
+  Alcotest.(check bool) "sparse depth row" true
+    (contains ~affix:"[7,11]" s);
+  Alcotest.(check bool) "expanded profile" true
+    (contains ~affix:"\"expanded_by_depth\":[[7,1]]" s);
+  (* The manifest section must re-parse. *)
+  match Obs.Json.of_string s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "attribution json invalid: %s" e
+
+let test_attribution_reason_strings () =
+  List.iter
+    (fun r ->
+      match Att.reason_of_string (Att.reason_to_string r) with
+      | Some r' when r' = r -> ()
+      | _ ->
+          Alcotest.failf "round-trip failed for %s" (Att.reason_to_string r))
+    Att.reasons;
+  Alcotest.(check int) "n_reasons" (List.length Att.reasons) Att.n_reasons;
+  Alcotest.(check bool) "unknown string" true
+    (Att.reason_of_string "bogus" = None)
+
+let test_attribution_flush_snapshot () =
+  let agg = Att.create () in
+  let c = Att.cells () in
+  Att.prune c Att.Incumbent ~depth:2 6;
+  Att.expand c ~depth:2 ~generated:3;
+  Att.flush ~into:agg c;
+  Att.flush ~into:agg c;
+  let snap = Att.snapshot agg in
+  Alcotest.(check int) "flushed twice" 12 (Att.total_prunes snap);
+  Alcotest.(check int) "expanded" 2 (Att.total_expanded snap);
+  Att.reset agg;
+  Alcotest.(check int) "reset" 0 (Att.total_prunes (Att.snapshot agg))
+
+let test_attribution_bit_identity () =
+  (* Acceptance criterion: recording attribution never changes the
+     search.  Same matrix, recording on vs off: identical cost (bitwise)
+     and identical node counts. *)
+  let m = Distmat.Gen.uniform_metric ~rng:(Random.State.make [| 11 |]) 10 in
+  let solve () = Bnb.Solver.solve m in
+  let on = solve () in
+  Att.set_enabled false;
+  let off =
+    Fun.protect ~finally:(fun () -> Att.set_enabled true) solve
+  in
+  Alcotest.(check bool) "bit-identical cost" true
+    (Int64.equal
+       (Int64.bits_of_float on.Bnb.Solver.cost)
+       (Int64.bits_of_float off.Bnb.Solver.cost));
+  Alcotest.(check int) "same expanded"
+    on.Bnb.Solver.stats.Stats.expanded off.Bnb.Solver.stats.Stats.expanded;
+  Alcotest.(check int) "same pruned"
+    on.Bnb.Solver.stats.Stats.pruned off.Bnb.Solver.stats.Stats.pruned;
+  (* And the enabled run actually attributed its prunes. *)
+  Alcotest.(check int) "attribution accounts for every prune"
+    on.Bnb.Solver.stats.Stats.pruned
+    (Att.total_prunes on.Bnb.Solver.stats.Stats.att);
+  Alcotest.(check int) "attribution accounts for every expansion"
+    on.Bnb.Solver.stats.Stats.expanded
+    (Att.total_expanded on.Bnb.Solver.stats.Stats.att);
+  Alcotest.(check int) "disabled run recorded nothing" 0
+    (Att.total_prunes off.Bnb.Solver.stats.Stats.att)
 
 (* --- Report --- *)
 
@@ -256,6 +486,35 @@ let test_report () =
     (contains ~affix:"\"k\":9" j);
   Alcotest.(check bool) "workers" true
     (contains ~affix:"\"workers\":[{\"worker\":0}]" j)
+
+let test_report_meta () =
+  (* Every manifest must say when, where and from what it was made. *)
+  let r = Obs.Report.create "unit" in
+  let j = Obs.Report.to_json r in
+  (match Obs.Json.member "meta" j with
+  | Some meta ->
+      (match Obs.Json.member "started_at" meta with
+      | Some (Obs.Json.String ts) ->
+          (* ISO-8601 UTC: 2026-08-07T12:34:56Z *)
+          Alcotest.(check int) "timestamp length" 20 (String.length ts);
+          Alcotest.(check bool) "date/time separator" true (ts.[10] = 'T');
+          Alcotest.(check bool) "UTC suffix" true (ts.[19] = 'Z')
+      | _ -> Alcotest.fail "started_at missing");
+      Alcotest.(check bool) "hostname" true
+        (match Obs.Json.member "hostname" meta with
+        | Some (Obs.Json.String h) -> h <> ""
+        | _ -> false);
+      Alcotest.(check bool) "ocaml_version" true
+        (Obs.Json.member "ocaml_version" meta
+        = Some (Obs.Json.String Sys.ocaml_version))
+  | None -> Alcotest.fail "meta section missing");
+  (* The epoch origin formats as the epoch origin. *)
+  match Obs.Report.meta_json 0. with
+  | Obs.Json.Obj kvs ->
+      Alcotest.(check bool) "epoch zero" true
+        (List.assoc "started_at" kvs
+        = Obs.Json.String "1970-01-01T00:00:00Z")
+  | _ -> Alcotest.fail "meta_json shape"
 
 let test_report_workers_accessor () =
   let r = Obs.Report.create "unit" in
@@ -299,6 +558,34 @@ let test_progress_ndjson () =
       Alcotest.(check bool) "has gap" true
         (contains ~affix:"\"gap_pct\"" l))
     lines
+
+let test_progress_ndjson_parses_back () =
+  (* Each emitted line must be a standalone JSON document our own parser
+     accepts — that is what obs diff's NDJSON fallback relies on. *)
+  let path = Filename.temp_file "obs_progress" ".ndjson" in
+  let oc = open_out path in
+  let p =
+    Obs.Progress.create ~interval_s:0. ~sink:(Obs.Progress.Ndjson oc) ()
+  in
+  Obs.Progress.sample p ~worker:3 ~expanded:42 ~pruned:7 ~open_depth:5
+    ~ub:100. ~lb:75.;
+  close_out oc;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  match Obs.Json.of_string line with
+  | Error e -> Alcotest.failf "progress line does not parse: %s" e
+  | Ok j ->
+      Alcotest.(check (option int)) "worker" (Some 3)
+        (Option.bind (Obs.Json.member "worker" j) Obs.Json.to_int_opt);
+      Alcotest.(check (option int)) "expanded" (Some 42)
+        (Option.bind (Obs.Json.member "expanded" j) Obs.Json.to_int_opt);
+      (match
+         Option.bind (Obs.Json.member "gap_pct" j) Obs.Json.to_float_opt
+       with
+      | Some g -> Alcotest.(check (float 1e-9)) "gap" 25. g
+      | None -> Alcotest.fail "gap_pct missing")
 
 let test_progress_rate_limit () =
   let path = Filename.temp_file "obs_progress" ".ndjson" in
@@ -384,6 +671,9 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_json_render;
           Alcotest.test_case "non-finite" `Quick test_json_non_finite;
+          Alcotest.test_case "parse ok" `Quick test_json_parse_ok;
+          Alcotest.test_case "parse errors report offsets" `Quick
+            test_json_parse_errors;
         ] );
       ( "span",
         [
@@ -403,7 +693,23 @@ let () =
           Alcotest.test_case "histogram buckets" `Quick
             test_histogram_buckets;
           Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          Alcotest.test_case "histogram quantile" `Quick
+            test_histogram_quantile;
+          Alcotest.test_case "bucket bounds" `Quick test_bucket_bounds;
+          Alcotest.test_case "gauge dumps null" `Quick test_gauge_dump_null;
           Alcotest.test_case "dump + reset" `Quick test_metrics_dump;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "cells" `Quick test_attribution_cells;
+          Alcotest.test_case "disabled" `Quick test_attribution_disabled;
+          Alcotest.test_case "json" `Quick test_attribution_json;
+          Alcotest.test_case "reason strings" `Quick
+            test_attribution_reason_strings;
+          Alcotest.test_case "flush + snapshot" `Quick
+            test_attribution_flush_snapshot;
+          Alcotest.test_case "bit identity" `Quick
+            test_attribution_bit_identity;
         ] );
       ( "stats",
         [
@@ -413,12 +719,15 @@ let () =
       ( "report",
         [
           Alcotest.test_case "lifecycle" `Quick test_report;
+          Alcotest.test_case "metadata" `Quick test_report_meta;
           Alcotest.test_case "workers accessor" `Quick
             test_report_workers_accessor;
         ] );
       ( "progress",
         [
           Alcotest.test_case "ndjson" `Quick test_progress_ndjson;
+          Alcotest.test_case "ndjson parses back" `Quick
+            test_progress_ndjson_parses_back;
           Alcotest.test_case "rate limit" `Quick test_progress_rate_limit;
           Alcotest.test_case "gap" `Quick test_gap_pct;
         ] );
