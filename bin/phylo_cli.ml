@@ -36,9 +36,13 @@ type obs_cfg = {
   trace : string option;
   metrics : string option;
   progress : Obs.Progress.t option;
+  telemetry_port : int option;
+  telemetry_socket : string option;
+  flight : string option;
 }
 
-let obs_setup style_renderer level trace metrics progress =
+let obs_setup style_renderer level trace metrics progress telemetry_port
+    telemetry_socket flight =
   Fmt_tty.setup_std_outputs ?style_renderer ();
   Logs.set_level level;
   Logs.set_reporter (Logs_fmt.reporter ~app:Fmt.stderr ~dst:Fmt.stderr ());
@@ -51,6 +55,9 @@ let obs_setup style_renderer level trace metrics progress =
     progress =
       (if progress then Some (Obs.Progress.create ~interval_s:0.5 ())
        else None);
+    telemetry_port;
+    telemetry_socket;
+    flight;
   }
 
 let obs_term =
@@ -78,9 +85,41 @@ let obs_term =
             "Stream live branch-and-bound progress (expanded / pruned / \
              open-list / UB-LB gap) to stderr twice a second.")
   in
+  let telemetry_port =
+    Cmdliner.Arg.(
+      value
+      & opt (some int) None
+      & info [ "telemetry-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve live telemetry over HTTP on 127.0.0.1:$(docv) while the \
+             command runs: $(b,/metrics) (Prometheus text exposition), \
+             $(b,/healthz) and $(b,/events) (flight-recorder NDJSON).  \
+             Port 0 picks a free ephemeral port; the bound address is \
+             printed to stderr.  Watch it live with $(b,phylo top).")
+  in
+  let telemetry_socket =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-socket" ] ~docv:"PATH"
+          ~doc:
+            "Like $(b,--telemetry-port), but listen on a Unix socket at \
+             $(docv) instead of a TCP port.")
+  in
+  let flight =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-recorder" ] ~docv:"FILE"
+          ~doc:
+            "Arm the in-memory flight recorder and write its tail (the \
+             last ~4096 events: incumbents, block lifecycles, budget \
+             ticks, worker heartbeats) to $(docv) as JSON when the run \
+             ends — including on Ctrl-C and crashes.")
+  in
   Cmdliner.Term.(
     const obs_setup $ Fmt_cli.style_renderer () $ Logs_cli.level () $ trace
-    $ metrics $ progress)
+    $ metrics $ progress $ telemetry_port $ telemetry_socket $ flight)
 
 (* Fail before the (possibly long) run, not after it, when a telemetry
    output path cannot be written. *)
@@ -95,21 +134,67 @@ let check_writable = function
 let with_obs cfg f =
   check_writable cfg.trace;
   check_writable cfg.metrics;
+  check_writable cfg.flight;
+  (* Traces stream to disk incrementally: each flush ends on a complete
+     event object, so even a hard kill leaves a file the viewers (and
+     Obs.Span.load_trace) still read. *)
   (match cfg.trace with
-  | Some _ -> Obs.Span.install (Obs.Span.create ())
+  | Some path ->
+      let buf = Obs.Span.create () in
+      Obs.Span.install buf;
+      Obs.Span.stream_to buf path
   | None -> ());
-  Fun.protect
-    ~finally:(fun () ->
+  (* Any live-telemetry surface arms the flight recorder; solver emit
+     sites cost one atomic load when it stays off. *)
+  let recorder =
+    if cfg.telemetry_port <> None || cfg.telemetry_socket <> None
+       || cfg.flight <> None
+    then Some (Obs.Recorder.create ())
+    else None
+  in
+  Option.iter Obs.Recorder.install recorder;
+  let server =
+    match (cfg.telemetry_port, cfg.telemetry_socket) with
+    | Some _, Some _ ->
+        Fmt.epr
+          "phylo: give either --telemetry-port or --telemetry-socket, not \
+           both@.";
+        exit 1
+    | Some port, None -> Some (Obs.Serve.start ?recorder ~port ())
+    | None, Some path -> Some (Obs.Serve.start ?recorder ~socket:path ())
+    | None, None -> None
+  in
+  Option.iter
+    (fun srv ->
+      (* Plain stderr, not Logs: scripts (and the CI smoke job) read the
+         ephemeral port back from this line at any verbosity. *)
+      Fmt.epr "phylo: telemetry on %s@." (Obs.Serve.addr_string srv))
+    server;
+  (* One cleanup, reachable two ways: the normal/exception path through
+     Fun.protect, and at_exit for the hard paths (second Ctrl-C calls
+     [exit], which does not unwind the stack). *)
+  let cleaned = Atomic.make false in
+  let cleanup () =
+    if not (Atomic.exchange cleaned true) then begin
       (match (cfg.trace, Obs.Span.installed ()) with
       | Some path, Some buf ->
-          Obs.Span.write_chrome buf path;
+          Obs.Span.close_stream buf;
           Logs.info (fun m ->
               m "wrote %d spans to %s" (Obs.Span.length buf) path)
       | _ -> ());
-      match cfg.metrics with
+      (match (recorder, cfg.flight) with
+      | Some r, Some path ->
+          Obs.Recorder.dump_flight r path;
+          Fmt.epr "phylo: flight-recorder dump written to %s@." path
+      | _ -> ());
+      (match cfg.metrics with
       | Some path -> Obs.Metrics.write_file path
-      | None -> ())
-    f
+      | None -> ());
+      Option.iter Obs.Serve.stop server
+    end
+  in
+  at_exit cleanup;
+  Fun.protect ~finally:cleanup f
 
 let write_or_print output contents =
   match output with
@@ -609,6 +694,7 @@ let tree_cmd =
             (match (checkpoint, r.Pipeline.checkpoint) with
             | Some path, Some ck ->
                 Checkpoint.save path ck;
+                Obs.Recorder.emit_ambient (Obs.Events.Checkpoint_write { path });
                 Fmt.epr "checkpoint written to %s (continue with --resume)@."
                   path
             | Some path, None ->
@@ -1176,6 +1262,109 @@ let obs_cmd =
           reports, and gate on perf regressions.")
     [ obs_diff_cmd; obs_check_cmd; obs_report_cmd ]
 
+(* --- top: live dashboard over a running solve's telemetry --- *)
+
+let top_cmd =
+  let addr_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "Telemetry endpoint of a running solve: $(b,HOST:PORT), a bare \
+             port, an $(b,http://) URL, or the path of a Unix socket — \
+             whatever the solving command printed as \"telemetry on ...\".")
+  in
+  let interval =
+    Arg.(
+      value
+      & opt pos_float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh interval.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Render a single frame as plain lines and exit (for scripts \
+             and tests).")
+  in
+  let poll_events target st =
+    match
+      Obs.Serve.get target
+        (Printf.sprintf "/events?since=%d" (Obs.Top.last_seq st))
+    with
+    | Ok (200, body) ->
+        List.filter_map
+          (fun line ->
+            if String.trim line = "" then None
+            else
+              match Obs.Json.of_string line with
+              | Ok j -> Some j
+              | Error _ -> None)
+          (String.split_on_char '\n' body)
+    | Ok _ | Error _ -> []
+  in
+  let poll_dropped target =
+    match Obs.Serve.get target "/healthz" with
+    | Ok (_, body) -> (
+        match Obs.Json.of_string body with
+        | Ok j ->
+            Option.value ~default:0
+              (Option.bind (Obs.Json.member "dropped" j) Obs.Json.to_int_opt)
+        | Error _ -> 0)
+    | Error _ -> 0
+  in
+  let run addr interval once =
+    match Obs.Serve.target_of_string addr with
+    | Error e ->
+        Fmt.epr "phylo top: %s@." e;
+        exit 1
+    | Ok target ->
+        (* ANSI repaints only on an interactive stdout; redirected output
+           (and --once) gets plain frames. *)
+        let tty = (not once) && Unix.isatty Unix.stdout in
+        if tty then print_string "\x1b[2J";
+        let rec loop st failures =
+          match Obs.Serve.get target "/metrics" with
+          | Error e ->
+              (* A run that has not bound yet (or just exited) is not an
+                 error worth dying for in watch mode; give it a few
+                 polls. *)
+              if once || failures >= 5 then begin
+                Fmt.epr "phylo top: %s: %s@." addr e;
+                exit 1
+              end
+              else begin
+                Unix.sleepf interval;
+                loop st (failures + 1)
+              end
+          | Ok (_, body) ->
+              let metrics = Obs.Top.parse_prometheus body in
+              let events = poll_events target st in
+              let dropped = poll_dropped target in
+              let st =
+                Obs.Top.update st ~now_s:(Unix.gettimeofday ()) ~events
+                  ~metrics ~dropped
+              in
+              print_string (Obs.Top.render ~tty st);
+              if (not tty) && not once then print_newline ();
+              flush stdout;
+              if not once then begin
+                Unix.sleepf interval;
+                loop st 0
+              end
+        in
+        loop Obs.Top.init 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a running solve: poll its telemetry endpoint \
+          (see $(b,--telemetry-port)) and render incumbent/gap, block \
+          progress, nodes/s, prune shares and worker heartbeats.")
+    Term.(const run $ addr_arg $ interval $ once)
+
 (* --- simulate --- *)
 
 let simulate_cmd =
@@ -1241,5 +1430,6 @@ let () =
             report_cmd;
             align_cmd;
             obs_cmd;
+            top_cmd;
             simulate_cmd;
           ]))

@@ -27,23 +27,57 @@ module M = struct
                ("bnb.pruned." ^ Obs.Attribution.reason_to_string r) ))
          Obs.Attribution.reasons)
 
-  let flush (stats : Stats.t) elapsed_s =
+  (* Last values already pushed to the counters for the current solve.
+     Mid-run scrapes of /metrics would otherwise see nothing until the
+     block finishes; a [live] record lets the solve flush {e deltas}
+     whenever a telemetry heartbeat fires, and the final [flush] adds
+     only the residue through the same path — totals come out identical
+     whether zero or many live flushes happened in between. *)
+  type live = {
+    mutable l_expanded : int;
+    mutable l_generated : int;
+    mutable l_pruned : int;
+    mutable l_pruned_33 : int;
+    mutable l_ub_updates : int;
+    l_reason : int array;
+  }
+
+  let live () =
+    {
+      l_expanded = 0;
+      l_generated = 0;
+      l_pruned = 0;
+      l_pruned_33 = 0;
+      l_ub_updates = 0;
+      l_reason = Array.make (List.length Obs.Attribution.reasons) 0;
+    }
+
+  let flush_live lv (stats : Stats.t) =
+    let bump c v last =
+      if v > last then Obs.Metrics.add (Lazy.force c) (v - last);
+      v
+    in
+    lv.l_expanded <- bump expanded stats.Stats.expanded lv.l_expanded;
+    lv.l_generated <- bump generated stats.Stats.generated lv.l_generated;
+    lv.l_pruned <- bump pruned stats.Stats.pruned lv.l_pruned;
+    lv.l_pruned_33 <- bump pruned_33 stats.Stats.pruned_33 lv.l_pruned_33;
+    lv.l_ub_updates <- bump ub_updates stats.Stats.ub_updates lv.l_ub_updates;
+    List.iteri
+      (fun i (r, c) ->
+        let v = Obs.Attribution.total stats.Stats.att r in
+        if v > lv.l_reason.(i) then Obs.Metrics.add c (v - lv.l_reason.(i));
+        lv.l_reason.(i) <- v)
+      (Lazy.force pruned_by_reason)
+
+  let flush lv (stats : Stats.t) elapsed_s =
     Obs.Metrics.incr (Lazy.force solves);
-    Obs.Metrics.add (Lazy.force expanded) stats.Stats.expanded;
-    Obs.Metrics.add (Lazy.force generated) stats.Stats.generated;
-    Obs.Metrics.add (Lazy.force pruned) stats.Stats.pruned;
-    Obs.Metrics.add (Lazy.force pruned_33) stats.Stats.pruned_33;
-    Obs.Metrics.add (Lazy.force ub_updates) stats.Stats.ub_updates;
+    flush_live lv stats;
     Obs.Metrics.observe
       (Lazy.force expanded_per_solve)
       (float_of_int stats.Stats.expanded);
     Obs.Metrics.observe (Lazy.force max_open)
       (float_of_int stats.Stats.max_open);
     Obs.Metrics.observe (Lazy.force solve_ms) (elapsed_s *. 1e3);
-    List.iter
-      (fun (r, c) ->
-        Obs.Metrics.add c (Obs.Attribution.total stats.Stats.att r))
-      (Lazy.force pruned_by_reason);
     Obs.Attribution.flush stats.Stats.att
 end
 
@@ -308,6 +342,8 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
       | None, None -> Budget.arm Budget.unlimited
     in
     let tk = Budget.ticker monitor in
+    let rpulse = Obs.Recorder.pulse () in
+    let mlive = M.live () in
     let interrupted = ref None in
     (* Resuming re-derives the permutation (deterministic for a given
        matrix) and re-costs the checkpointed frontier, so only trees are
@@ -330,6 +366,12 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
     let best = ref best_init in
     let ties = ref [] in
     let optimal = ref true in
+    let record_stop s =
+      optimal := false;
+      interrupted := Some s;
+      Obs.Recorder.emit_ambient
+        (Obs.Events.Budget_stop { status = Budget.status_to_string s })
+    in
     (* With [collect_all], equal-cost nodes survive pruning so every
        optimal topology is reached — each exactly once, because the BBT
        generates each topology along a unique insertion sequence. *)
@@ -349,7 +391,8 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
         ub := c.cost;
         best := Some c.tree;
         ties := (if options.collect_all then [ c.tree ] else []);
-        stats.Stats.ub_updates <- stats.Stats.ub_updates + 1
+        stats.Stats.ub_updates <- stats.Stats.ub_updates + 1;
+        Obs.Recorder.emit_ambient (Obs.Events.Incumbent { cost = c.cost })
       end
       else if options.collect_all && Float.abs (c.cost -. !ub) <= tie_eps
       then begin
@@ -360,7 +403,8 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
         (* An improvement finer than [tie_eps]: still adopt the tree. *)
         ub := c.cost;
         best := Some c.tree;
-        stats.Stats.ub_updates <- stats.Stats.ub_updates + 1
+        stats.Stats.ub_updates <- stats.Stats.ub_updates + 1;
+        Obs.Recorder.emit_ambient (Obs.Events.Incumbent { cost = c.cost })
       end
     in
     (* Open list, behind push/pop chosen by the search order. *)
@@ -401,8 +445,7 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
       match pop () with
       | None -> ()
       | Some node when cap_reached () ->
-          optimal := false;
-          interrupted := Some Budget.Node_cap;
+          record_stop Budget.Node_cap;
           Obs.Attribution.prune stats.Stats.att Budget_stop
             ~depth:node.Bb_tree.k 1;
           push node
@@ -421,8 +464,7 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
           else begin
             match Budget.tick tk with
             | Some s ->
-                optimal := false;
-                interrupted := Some s;
+                record_stop s;
                 Obs.Attribution.prune stats.Stats.att Budget_stop
                   ~depth:node.Bb_tree.k 1;
                 push node
@@ -440,6 +482,11 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
                   (List.rev children);
                 let olen = open_length () in
                 stats.Stats.max_open <- Int.max stats.Stats.max_open olen;
+                if
+                  Obs.Recorder.sample rpulse ~worker:0
+                    ~expanded:stats.Stats.expanded ~pruned:stats.Stats.pruned
+                    ~open_nodes:olen ~ub:!ub ~lb:node.Bb_tree.lb
+                then M.flush_live mlive stats;
                 (match progress with
                 | None -> ()
                 | Some p ->
@@ -454,8 +501,7 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
         (* Exhausted before the first expansion (e.g. a block solved
            after the whole-run budget tripped): return the heuristic
            incumbent immediately, frontier untouched. *)
-        optimal := false;
-        interrupted := Some s;
+        record_stop s;
         Obs.Attribution.prune stats.Stats.att Budget_stop ~depth:0 1
     | None -> loop ());
     Budget.flush tk;
@@ -471,7 +517,7 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
         (fun acc (nd : Bb_tree.node) -> Float.min acc nd.Bb_tree.lb)
         !ub frontier
     in
-    M.flush stats (Obs.Clock.elapsed_s t_start);
+    M.flush mlive stats (Obs.Clock.elapsed_s t_start);
     Log.debug (fun m -> m "solve n=%d done: %a" n Stats.pp stats);
     match !best with
     | Some t ->

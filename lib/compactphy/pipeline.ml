@@ -149,12 +149,24 @@ let exact ?(config = Run_config.default) ?resume dm =
   in
   let stats = Stats.create () in
   let optimal = ref true in
+  Obs.Recorder.emit_ambient
+    (Obs.Events.Run_start { n = Dist_matrix.size dm; n_blocks = 1 });
+  Obs.Recorder.emit_ambient
+    (Obs.Events.Block_start { id = 0; size = Dist_matrix.size dm });
   let sv, elapsed_s =
     Obs.Clock.time (fun () ->
         Obs.Report.timed_phase report "solve" (fun () ->
             solve_small ~options ~workers ~progress ~monitor
               ~resume:block_resume ~report stats optimal dm))
   in
+  Obs.Recorder.emit_ambient
+    (Obs.Events.Block_finish
+       {
+         id = 0;
+         size = Dist_matrix.size dm;
+         solve_s = elapsed_s;
+         status = Budget.status_to_string sv.sv_status;
+       });
   let tree = sv.sv_tree in
   let cost = Utree.weight tree in
   let largest_block = Dist_matrix.size dm in
@@ -272,11 +284,21 @@ let solve_slots ~options ~workers ~block_workers ~progress ~monitor
       | Some cap -> Budget.sub ~max_nodes:cap monitor
     in
     let optimal = ref true in
+    Obs.Recorder.emit_ambient
+      (Obs.Events.Block_start { id = slot.id; size = slot.size });
     let sv, solve_s =
       Obs.Clock.time (fun () ->
           solve_matrix ~options ~workers ~progress ~monitor:bmon
             ~resume:(resume_for slot) optimal slot.block.Decompose.small)
     in
+    Obs.Recorder.emit_ambient
+      (Obs.Events.Block_finish
+         {
+           id = slot.id;
+           size = slot.size;
+           solve_s;
+           status = Budget.status_to_string sv.sv_status;
+         });
     {
       slot;
       queue_wait_s;
@@ -444,6 +466,8 @@ let with_compact_sets ?(config = Run_config.default) ?resume dm =
               m "decomposed %d species into %d blocks (largest %d)" n
                 (Decompose.n_blocks deco)
                 (Decompose.largest_block deco));
+          Obs.Recorder.emit_ambient
+            (Obs.Events.Run_start { n; n_blocks = Decompose.n_blocks deco });
           (* Sibling blocks are independent exact solves — the laminar
              family's natural task parallelism.  Solve them all over the
              inter-block pool, then merge and graft deterministically. *)

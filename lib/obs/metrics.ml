@@ -198,6 +198,80 @@ let dump ?(registry = default) () =
 
 let write_file ?registry path = Json.write_file path (dump ?registry ())
 
+(* --- Prometheus text exposition (version 0.0.4) ---
+
+   Rendered from the same registry `dump` reads, deterministically: one
+   block per metric, sorted by exposition name then registry name, so
+   two scrapes of identical state are byte-identical whatever order
+   shards or registrations happened in. *)
+
+let prometheus_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || c = '_' || c = ':'
+        || (i > 0 && c >= '0' && c <= '9')
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let prometheus_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let metric_to_prometheus buf pname m =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  match m with
+  | C c ->
+      line "# TYPE %s counter\n" pname;
+      line "%s %d\n" pname (counter_value c)
+  | G g ->
+      line "# TYPE %s gauge\n" pname;
+      line "%s %s\n" pname (prometheus_float (Atomic.get g.cell))
+  | H h ->
+      let s = histogram_value h in
+      line "# TYPE %s histogram\n" pname;
+      let cum = ref 0 in
+      for i = 0 to n_buckets - 2 do
+        cum := !cum + s.counts.(i);
+        line "%s_bucket{le=\"%s\"} %d\n" pname
+          (prometheus_float (bucket_upper i))
+          !cum
+      done;
+      (* The last bucket also collects the overflow, so its upper bound
+         is +Inf by construction. *)
+      line "%s_bucket{le=\"+Inf\"} %d\n" pname s.count;
+      line "%s_sum %s\n" pname (prometheus_float s.sum);
+      line "%s_count %d\n" pname s.count
+
+let to_prometheus ?(registry = default) () =
+  Mutex.lock registry.lock;
+  let entries =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry.tbl []
+  in
+  Mutex.unlock registry.lock;
+  let entries =
+    List.sort
+      (fun (a, _) (b, _) ->
+        match String.compare (prometheus_name a) (prometheus_name b) with
+        | 0 -> String.compare a b
+        | c -> c)
+      entries
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, m) -> metric_to_prometheus buf (prometheus_name name) m)
+    entries;
+  Buffer.contents buf
+
 let reset ?(registry = default) () =
   Mutex.lock registry.lock;
   Hashtbl.iter

@@ -71,7 +71,20 @@ val histogram_quantile : histogram_snapshot -> float -> float
 (** {1 Export} *)
 
 val dump : ?registry:registry -> unit -> Json.t
-(** All metrics (merged), as a name-sorted JSON object. *)
+(** All metrics (merged), as a name-sorted JSON object.  The ordering
+    (by metric name) is deterministic across runs and shard
+    interleavings, so manifests embedding a dump diff cleanly. *)
+
+val prometheus_name : string -> string
+(** Sanitise a registry name for the exposition format (every character
+    outside [[a-zA-Z0-9_:]] becomes ['_']; dots in particular). *)
+
+val to_prometheus : ?registry:registry -> unit -> string
+(** The registry in Prometheus text exposition format (version 0.0.4):
+    counters and gauges as single samples, histograms as cumulative
+    [_bucket{le="..."}] samples over the fixed power-of-two bounds plus
+    [_sum]/[_count].  Metrics are sorted by exposition name, so equal
+    registry states render byte-identically — what [/metrics] serves. *)
 
 val write_file : ?registry:registry -> string -> unit
 val reset : ?registry:registry -> unit -> unit

@@ -2,7 +2,16 @@ let src = Logs.Src.create "obs.progress" ~doc:"Live branch-and-bound progress"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type sink = Log_lines | Ndjson of out_channel
+type sink =
+  | Log_lines
+  | Ndjson of out_channel
+  | Status_line of { tty : bool }
+
+let status_line () =
+  (* ANSI rewrites only make sense on an interactive terminal; a
+     redirected stderr (CI logs, nohup, | tee) gets one plain line per
+     rate-limited tick instead of carriage returns mid-file. *)
+  Status_line { tty = Unix.isatty Unix.stderr }
 
 type t = {
   interval_ns : int64;
@@ -30,6 +39,17 @@ let gap_pct ~ub ~lb =
 let emit t ~now ~worker ~expanded ~pruned ~open_depth ~ub ~lb =
   let elapsed_s = Clock.ns_to_s (Int64.sub now t.t0) in
   match t.sink with
+  | Status_line { tty } ->
+      let line =
+        Printf.sprintf
+          "[w%d] t=%.1fs expanded=%d pruned=%d open=%d ub=%g lb=%g gap=%.2f%%"
+          worker elapsed_s expanded pruned open_depth ub lb (gap_pct ~ub ~lb)
+      in
+      Mutex.lock t.out_lock;
+      if tty then output_string stderr ("\r\x1b[2K" ^ line)
+      else output_string stderr (line ^ "\n");
+      flush stderr;
+      Mutex.unlock t.out_lock
   | Log_lines ->
       Log.info (fun m ->
           m

@@ -12,6 +12,15 @@ val src : Logs.src
 type sink =
   | Log_lines  (** emit via [Logs] on {!src} *)
   | Ndjson of out_channel  (** one JSON object per line *)
+  | Status_line of { tty : bool }
+      (** one status line on stderr: with [tty = true] the line is
+          rewritten in place (carriage return + erase-line), with
+          [tty = false] each rate-limited tick emits one plain line —
+          no ANSI escapes ever reach a redirected stream *)
+
+val status_line : unit -> sink
+(** {!Status_line} with [tty] probed from the real stderr
+    ([Unix.isatty]). *)
 
 type t
 

@@ -44,6 +44,9 @@ val fields : t -> (string * Json.t) list
 val phases : t -> (string * float) list
 (** Phase timings in insertion order. *)
 
+val iso8601 : float -> string
+(** Render Unix epoch seconds as UTC ISO-8601 ([2026-08-08T12:00:00Z]). *)
+
 val meta_json : float -> Json.t
 (** Run metadata for a run created at the given epoch time: ISO-8601
     [started_at], [hostname], [ocaml_version] and — when the working

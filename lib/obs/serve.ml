@@ -1,0 +1,345 @@
+(* A dependency-free HTTP/1.1 telemetry listener.
+
+   One background thread accepts connections on a TCP port or a Unix
+   socket and serves three read-only endpoints from process-wide state:
+
+     /metrics          Prometheus text exposition of a Metrics registry
+     /healthz          liveness + heartbeat staleness (JSON)
+     /events?since=N   the flight recorder's ring as NDJSON
+
+   Requests are handled serially in the accept thread: scrapes are
+   sub-millisecond renders of in-memory state, and a serial loop cannot
+   be wedged open by a slow client holding a worker hostage (reads are
+   bounded, writes go to a closed socket at worst).  The solver domains
+   never block on any of this — the listener only ever reads atomics. *)
+
+type target = Tcp of string * int | Unix_sock of string
+
+let target_of_string s =
+  (* "host:port", ":port", "http://host:port[/]", a bare port, or a
+     filesystem path to a Unix socket. *)
+  let strip_prefix ~prefix s =
+    if String.length s >= String.length prefix
+       && String.sub s 0 (String.length prefix) = prefix
+    then Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+    else None
+  in
+  let s =
+    match strip_prefix ~prefix:"http://" s with Some r -> r | None -> s
+  in
+  let s =
+    match String.index_opt s '/' with
+    | Some i when i > 0 -> String.sub s 0 i
+    | _ -> s
+  in
+  if String.length s > 0 && (s.[0] = '/' || s.[0] = '.') then Ok (Unix_sock s)
+  else
+    match String.rindex_opt s ':' with
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let host = if host = "" then "127.0.0.1" else host in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+        | Some _ | None -> Error (Printf.sprintf "bad port in %S" s))
+    | None -> (
+        match int_of_string_opt s with
+        | Some p when p > 0 && p < 65536 -> Ok (Tcp ("127.0.0.1", p))
+        | Some _ | None ->
+            Error
+              (Printf.sprintf
+                 "cannot parse %S (want HOST:PORT, a port, or a socket path)"
+                 s))
+
+type t = {
+  fd : Unix.file_descr;
+  thread : Thread.t;
+  stopping : bool Atomic.t;
+  bound : target;  (* with the real port after binding port 0 *)
+}
+
+let port t = match t.bound with Tcp (_, p) -> Some p | Unix_sock _ -> None
+
+let addr_string t =
+  match t.bound with
+  | Tcp (host, p) -> Printf.sprintf "http://%s:%d" host p
+  | Unix_sock path -> path
+
+(* --- request plumbing --- *)
+
+let max_request_bytes = 8192
+
+let read_request fd =
+  (* Read until the blank line ending the header block (no endpoint
+     takes a body) or the size bound, whichever first. *)
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > max_request_bytes then Buffer.contents buf
+    else
+      let headers_done =
+        let s = Buffer.contents buf in
+        let rec find i =
+          i + 3 < String.length s
+          && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+               && s.[i + 3] = '\n')
+             || find (i + 1))
+        in
+        find 0
+      in
+      if headers_done then Buffer.contents buf
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Buffer.contents buf
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let status_text = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Error"
+
+let respond fd ~status ~content_type body =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+        Connection: close\r\n\r\n%s"
+       status (status_text status) content_type (String.length body) body)
+
+(* Split "/events?since=12" into the path and its query pairs. *)
+let parse_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+      let path = String.sub target 0 i in
+      let query = String.sub target (i + 1) (String.length target - i - 1) in
+      let pairs =
+        String.split_on_char '&' query
+        |> List.filter_map (fun kv ->
+               match String.index_opt kv '=' with
+               | Some j ->
+                   Some
+                     ( String.sub kv 0 j,
+                       String.sub kv (j + 1) (String.length kv - j - 1) )
+               | None -> if kv = "" then None else Some (kv, ""))
+      in
+      (path, pairs)
+
+(* --- endpoints --- *)
+
+let healthz ~origin ~stale_after_s ~recorder () =
+  let staleness = Option.bind recorder Recorder.heartbeat_staleness_s in
+  let stale = match staleness with Some s -> s > stale_after_s | None -> false in
+  let body =
+    Json.to_string
+      (Json.Obj
+         [
+           ("status", Json.String (if stale then "stale" else "ok"));
+           ("uptime_s", Json.Float (Clock.ns_to_s (Int64.sub (Clock.now_ns ()) origin)));
+           ( "heartbeat_staleness_s",
+             match staleness with
+             | Some s -> Json.Float s
+             | None -> Json.Null );
+           ( "last_seq",
+             match recorder with
+             | Some r -> Json.Int (Recorder.last_seq r)
+             | None -> Json.Null );
+           ( "dropped",
+             match recorder with
+             | Some r -> Json.Int (Recorder.dropped r)
+             | None -> Json.Null );
+         ])
+    ^ "\n"
+  in
+  ((if stale then 503 else 200), "application/json", body)
+
+let handle ~registry ~recorder ~origin ~stale_after_s fd =
+  let req = read_request fd in
+  let first_line =
+    match String.index_opt req '\r' with
+    | Some i -> String.sub req 0 i
+    | None -> req
+  in
+  match String.split_on_char ' ' first_line with
+  | [ meth; target; _version ] ->
+      let path, query = parse_target target in
+      let status, ctype, body =
+        if meth <> "GET" && meth <> "HEAD" then
+          (405, "text/plain", "method not allowed\n")
+        else
+          match path with
+          | "/metrics" ->
+              ( 200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                Metrics.to_prometheus ~registry () )
+          | "/healthz" -> healthz ~origin ~stale_after_s ~recorder ()
+          | "/events" -> (
+              match recorder with
+              | None -> (404, "text/plain", "no recorder installed\n")
+              | Some r ->
+                  let since =
+                    match List.assoc_opt "since" query with
+                    | Some v -> Option.value ~default:0 (int_of_string_opt v)
+                    | None -> 0
+                  in
+                  ( 200,
+                    "application/x-ndjson",
+                    Recorder.to_ndjson (Recorder.snapshot ~since r) ))
+          | _ -> (404, "text/plain", "not found\n")
+      in
+      respond fd ~status ~content_type:ctype
+        (if meth = "HEAD" then "" else body)
+  | _ -> respond fd ~status:405 ~content_type:"text/plain" "bad request\n"
+
+(* --- lifecycle --- *)
+
+let accept_loop t ~registry ~recorder ~stale_after_s origin =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.accept t.fd with
+      | client, _ ->
+          (try handle ~registry ~recorder ~origin ~stale_after_s client
+           with _ -> ());
+          (try Unix.close client with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ ->
+          (* The listening socket was closed under us: stop. *)
+          Atomic.set t.stopping true);
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(registry = Metrics.default) ?recorder ?(stale_after_s = 10.)
+    ?(host = "127.0.0.1") ?port ?socket () =
+  (* A peer disconnecting mid-response must raise EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let fd, bound =
+    match (socket, port) with
+    | Some _, Some _ ->
+        invalid_arg "Obs.Serve.start: give either ~port or ~socket, not both"
+    | Some path, None ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        (try Unix.bind fd (Unix.ADDR_UNIX path)
+         with e -> (try Unix.close fd with _ -> ()); raise e);
+        (fd, Unix_sock path)
+    | None, port ->
+        let port = Option.value ~default:0 port in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        (try
+           Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+         with e -> (try Unix.close fd with _ -> ()); raise e);
+        let bound_port =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | Unix.ADDR_UNIX _ -> port
+        in
+        (fd, Tcp (host, bound_port))
+  in
+  Unix.listen fd 16;
+  let origin = Clock.now_ns () in
+  let rec t =
+    lazy
+      {
+        fd;
+        stopping = Atomic.make false;
+        bound;
+        thread =
+          Thread.create
+            (fun () ->
+              accept_loop (Lazy.force t) ~registry ~recorder ~stale_after_s
+                origin)
+            ();
+      }
+  in
+  Lazy.force t
+
+let stop t =
+  Atomic.set t.stopping true;
+  (* Closing the listening socket unblocks the accept. *)
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  (try Thread.join t.thread with _ -> ());
+  match t.bound with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+(* --- a matching minimal client (phylo top, tests, smoke jobs) --- *)
+
+let get target path =
+  let fd, addr =
+    match target with
+    | Tcp (host, port) ->
+        let addr =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+            | h -> h.Unix.h_addr_list.(0))
+        in
+        (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0, Unix.ADDR_INET (addr, port))
+    | Unix_sock p -> (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX p)
+  in
+  match
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd addr;
+        write_all fd
+          (Printf.sprintf "GET %s HTTP/1.1\r\nHost: phylo\r\nConnection: close\r\n\r\n" path);
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              drain ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        in
+        drain ();
+        Buffer.contents buf)
+  with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Not_found -> Error "host not found"
+  | raw -> (
+      (* Split the status line and headers off; hand back code + body. *)
+      let body_at =
+        let rec find i =
+          if i + 3 >= String.length raw then None
+          else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+                  && raw.[i + 3] = '\n'
+          then Some (i + 4)
+          else find (i + 1)
+        in
+        find 0
+      in
+      match body_at with
+      | None -> Error "malformed HTTP response"
+      | Some at -> (
+          match String.split_on_char ' ' raw with
+          | _ :: code :: _ -> (
+              match int_of_string_opt code with
+              | Some c ->
+                  Ok (c, String.sub raw at (String.length raw - at))
+              | None -> Error "malformed HTTP status")
+          | _ -> Error "malformed HTTP status"))

@@ -1,0 +1,68 @@
+(** A dependency-free HTTP/1.1 telemetry listener.
+
+    One background thread serves three read-only endpoints from
+    process-wide telemetry state:
+
+    - [/metrics] — the {!Metrics} registry in Prometheus text
+      exposition format (version 0.0.4), deterministically ordered;
+    - [/healthz] — liveness JSON with uptime and the {!Recorder}
+      heartbeat staleness; HTTP 503 once the staleness exceeds the
+      configured threshold;
+    - [/events?since=N] — the flight recorder's retained events with
+      [seq > N] as NDJSON, one object per line.
+
+    Requests are handled serially in the accept thread — every endpoint
+    is a sub-millisecond render of in-memory atomics, and the solver
+    domains never block on the listener.  Binding port 0 picks an
+    ephemeral port; read it back with {!port} / {!addr_string}. *)
+
+type target = Tcp of string * int | Unix_sock of string
+
+val target_of_string : string -> (target, string) result
+(** Accepts [HOST:PORT], [:PORT], a bare port, an [http://] URL prefix
+    of those, or a filesystem path (starting with [/] or [.]) to a Unix
+    socket. *)
+
+type t
+
+val start :
+  ?registry:Metrics.registry ->
+  ?recorder:Recorder.t ->
+  ?stale_after_s:float ->
+  ?host:string ->
+  ?port:int ->
+  ?socket:string ->
+  unit ->
+  t
+(** Bind and start the accept thread.  Defaults: the process-wide
+    {!Metrics.default} registry, no recorder ([/events] answers 404 and
+    [/healthz] reports null staleness), [stale_after_s = 10.],
+    [host = "127.0.0.1"], [port = 0] (ephemeral).  Pass [~socket:path]
+    {e instead of} a port to listen on a Unix socket (an existing file
+    at [path] is replaced).  SIGPIPE is set to ignore so disconnecting
+    clients cannot kill the process.
+    @raise Invalid_argument when both [~port] and [~socket] are given.
+    @raise Unix.Unix_error when the bind fails (port taken, bad host). *)
+
+val port : t -> int option
+(** The bound TCP port (the real one when port 0 was requested);
+    [None] for Unix sockets. *)
+
+val addr_string : t -> string
+(** ["http://HOST:PORT"] or the socket path — what gets logged and what
+    [phylo top] takes. *)
+
+val stop : t -> unit
+(** Close the listening socket, join the accept thread, and unlink the
+    Unix socket file if any.  Idempotent in effect; safe to call from
+    [Fun.protect] finalisers. *)
+
+(** {1 Minimal client}
+
+    Enough HTTP for [phylo top], the tests and CI smoke jobs — not a
+    general-purpose client. *)
+
+val get : target -> string -> (int * string, string) result
+(** [get target path] performs one [GET path] request and returns
+    [(status code, body)], or [Error] with a human-readable reason on
+    connection/protocol failure. *)

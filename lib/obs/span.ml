@@ -7,12 +7,29 @@ type event = {
   args : (string * Json.t) list;
 }
 
+(* An attached incremental writer: events flow to disk in Chrome's JSON
+   Array Format ("[" then comma-separated event objects; the closing "]"
+   is optional for every viewer), buffered and flushed on a size or
+   interval threshold.  Because each flush ends on a complete object, a
+   run killed mid-solve leaves a trace that {!load_trace} — and the
+   viewers — can still read. *)
+type stream = {
+  oc : out_channel;
+  flush_every : int;
+  flush_interval_ns : int64;
+  mutable s_pending : event list;  (* newest first *)
+  mutable s_pending_count : int;
+  mutable last_flush_ns : int64;
+  mutable wrote_any : bool;
+}
+
 type buffer = {
   lock : Mutex.t;
   mutable events : event list;  (* newest first *)
   mutable count : int;
   capacity : int;
   origin : int64;  (* monotonic ns at buffer creation *)
+  mutable stream : stream option;
 }
 
 let create ?(capacity = 1_000_000) () =
@@ -22,6 +39,7 @@ let create ?(capacity = 1_000_000) () =
     count = 0;
     capacity;
     origin = Clock.now_ns ();
+    stream = None;
   }
 
 (* The ambient buffer.  [None] keeps [with_span] at the cost of one
@@ -33,12 +51,94 @@ let uninstall () = Atomic.set ambient None
 let installed () = Atomic.get ambient
 let enabled () = Atomic.get ambient <> None
 
+(* Chrome-tracing "complete" events (ph = "X"), timestamps in
+   microseconds.  Load the file at chrome://tracing or ui.perfetto.dev. *)
+let event_to_json ev =
+  let base =
+    [
+      ("name", Json.String ev.name);
+      ("ph", Json.String "X");
+      ("ts", Json.Float (Clock.ns_to_us ev.start_ns));
+      ("dur", Json.Float (Clock.ns_to_us ev.dur_ns));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.tid);
+    ]
+  in
+  let base = if ev.cat = "" then base else base @ [ ("cat", Json.String ev.cat) ] in
+  let base =
+    if ev.args = [] then base else base @ [ ("args", Json.Obj ev.args) ]
+  in
+  Json.Obj base
+
+(* Caller holds [buf.lock]. *)
+let flush_stream_locked s ~now =
+  List.iter
+    (fun ev ->
+      if s.wrote_any then output_string s.oc ",\n";
+      output_string s.oc (Json.to_string (event_to_json ev));
+      s.wrote_any <- true)
+    (List.rev s.s_pending);
+  s.s_pending <- [];
+  s.s_pending_count <- 0;
+  s.last_flush_ns <- now;
+  flush s.oc
+
 let add buf ev =
   Mutex.lock buf.lock;
   if buf.count < buf.capacity then begin
     buf.events <- ev :: buf.events;
     buf.count <- buf.count + 1
   end;
+  (match buf.stream with
+  | None -> ()
+  | Some s ->
+      (* The stream sees every event, including ones the capacity-capped
+         in-memory list drops. *)
+      s.s_pending <- ev :: s.s_pending;
+      s.s_pending_count <- s.s_pending_count + 1;
+      let now = Clock.now_ns () in
+      if
+        s.s_pending_count >= s.flush_every
+        || Int64.sub now s.last_flush_ns >= s.flush_interval_ns
+      then flush_stream_locked s ~now);
+  Mutex.unlock buf.lock
+
+let stream_to ?(flush_every = 256) ?(flush_interval_s = 1.0) buf path =
+  if flush_every < 1 then invalid_arg "Span.stream_to: flush_every < 1";
+  let oc = open_out path in
+  output_string oc "[\n";
+  flush oc;
+  Mutex.lock buf.lock;
+  let old = buf.stream in
+  buf.stream <-
+    Some
+      {
+        oc;
+        flush_every;
+        flush_interval_ns = Int64.of_float (flush_interval_s *. 1e9);
+        s_pending = [];
+        s_pending_count = 0;
+        last_flush_ns = Clock.now_ns ();
+        wrote_any = false;
+      };
+  Mutex.unlock buf.lock;
+  match old with
+  | None -> ()
+  | Some s ->
+      flush_stream_locked s ~now:(Clock.now_ns ());
+      output_string s.oc "\n]\n";
+      close_out s.oc
+
+let close_stream buf =
+  Mutex.lock buf.lock;
+  let s = buf.stream in
+  buf.stream <- None;
+  (match s with
+  | None -> ()
+  | Some s ->
+      flush_stream_locked s ~now:(Clock.now_ns ());
+      output_string s.oc "\n]\n";
+      close_out s.oc);
   Mutex.unlock buf.lock
 
 let record buf ?(cat = "") ?(args = []) ~start_ns ~stop_ns name =
@@ -77,25 +177,6 @@ let length buf =
   Mutex.unlock buf.lock;
   n
 
-(* Chrome-tracing "complete" events (ph = "X"), timestamps in
-   microseconds.  Load the file at chrome://tracing or ui.perfetto.dev. *)
-let event_to_json ev =
-  let base =
-    [
-      ("name", Json.String ev.name);
-      ("ph", Json.String "X");
-      ("ts", Json.Float (Clock.ns_to_us ev.start_ns));
-      ("dur", Json.Float (Clock.ns_to_us ev.dur_ns));
-      ("pid", Json.Int 1);
-      ("tid", Json.Int ev.tid);
-    ]
-  in
-  let base = if ev.cat = "" then base else base @ [ ("cat", Json.String ev.cat) ] in
-  let base =
-    if ev.args = [] then base else base @ [ ("args", Json.Obj ev.args) ]
-  in
-  Json.Obj base
-
 let to_chrome_json buf =
   Json.Obj
     [
@@ -104,3 +185,46 @@ let to_chrome_json buf =
     ]
 
 let write_chrome buf path = Json.write_file path (to_chrome_json buf)
+
+(* Read a trace back: either the full-object format [write_chrome]
+   emits or the (possibly truncated) JSON Array Format the incremental
+   stream leaves behind.
+
+   Recovery: a stream killed mid-write ends after any byte of the event
+   being serialised.  Scanning back over candidate ['}'] positions and
+   re-parsing [prefix ^ "]"] finds the longest prefix ending on a
+   complete top-level event — a cut inside a nested [args] object cannot
+   parse (its enclosing event object is unterminated), so the scan never
+   accepts a half event.  At worst the one event being written when the
+   process died is lost. *)
+let load_trace path =
+  match
+    In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+  with
+  | exception Sys_error e -> Error e
+  | raw -> (
+      let events_of = function
+        | Json.List l -> Ok l
+        | Json.Obj _ as j -> (
+            match Option.bind (Json.member "traceEvents" j) Json.to_list_opt with
+            | Some l -> Ok l
+            | None -> Error (path ^ ": no traceEvents array"))
+        | _ -> Error (path ^ ": not a Chrome trace")
+      in
+      match Json.of_string raw with
+      | Ok j -> events_of j
+      | Error _ ->
+          let rec recover i =
+            match String.rindex_from_opt raw i '}' with
+            | None ->
+                (* No complete event: accept the bare "[" an interrupted
+                   empty stream leaves. *)
+                if String.trim raw <> "" && (String.trim raw).[0] = '[' then
+                  Ok []
+                else Error (path ^ ": unrecoverable trace")
+            | Some j -> (
+                match Json.of_string (String.sub raw 0 (j + 1) ^ "]") with
+                | Ok doc -> events_of doc
+                | Error _ -> if j = 0 then Error (path ^ ": unrecoverable trace") else recover (j - 1))
+          in
+          recover (String.length raw - 1))

@@ -63,3 +63,31 @@ val to_chrome_json : buffer -> Json.t
     ([traceEvents] of ["ph": "X"] complete events, microsecond units). *)
 
 val write_chrome : buffer -> string -> unit
+
+(** {1 Incremental streaming} *)
+
+val stream_to :
+  ?flush_every:int -> ?flush_interval_s:float -> buffer -> string -> unit
+(** Attach an incremental writer: from now on every recorded event also
+    flows to [path] in Chrome's JSON Array Format, buffered and flushed
+    whenever [flush_every] (default 256) events are pending or
+    [flush_interval_s] (default 1.0) has elapsed since the last flush —
+    whichever comes first, checked at record time.  Each flush ends on a
+    complete event object, so a run killed mid-solve leaves a trace the
+    viewers and {!load_trace} still read (the Array Format's closing
+    ["]"] is optional).  A previously attached stream is finalised
+    first.  The in-memory buffer is unaffected (streamed events still
+    count against [capacity] only for the in-memory copy). *)
+
+val close_stream : buffer -> unit
+(** Flush pending events, terminate the array and close the file.  A
+    no-op when no stream is attached. *)
+
+val load_trace : string -> (Json.t list, string) result
+(** Read a trace file back as its list of event objects.  Accepts both
+    the [write_chrome] full-object format and the (possibly truncated)
+    Array Format a killed stream leaves behind.  Recovery scans back to
+    the longest prefix ending on a complete top-level event and drops
+    the rest — at worst the single event being written when the process
+    died is lost; a cut inside a nested object can never be accepted as
+    an event boundary. *)

@@ -1,0 +1,59 @@
+(** The pure half of [phylo top].
+
+    [phylo top] polls a {!Serve} endpoint ([/events] + [/metrics]) and
+    repaints a terminal dashboard.  Everything except the polling loop
+    lives here, side-effect free: {!parse_prometheus} reads an
+    exposition body back into samples, {!update} folds one poll into a
+    {!state}, and {!render} produces the full frame as a string — so
+    tests can drive the dashboard from canned inputs and snapshot the
+    output. *)
+
+(** {1 Prometheus exposition reader} *)
+
+type sample =
+  | Counter of float
+  | Gauge of float
+  | Histogram of { buckets : (float * float) list; sum : float; count : float }
+      (** [buckets] are [(le, cumulative count)] pairs in exposition
+          order; the [+Inf] bound parses as [infinity]. *)
+
+val parse_prometheus : string -> (string * sample) list
+(** Parse a text-exposition body (version 0.0.4) into name-sorted
+    samples.  [_bucket]/[_sum]/[_count] series of a [# TYPE _ histogram]
+    reassemble into one {!Histogram}; unparseable lines are skipped. *)
+
+val find : (string * sample) list -> string -> sample option
+val value : (string * sample) list -> string -> float option
+(** The scalar of a counter or gauge; [None] for histograms/missing. *)
+
+val quantile_of_sorted : float array -> float -> float
+(** Linear-interpolated quantile of an ascending-sorted array; NaN when
+    empty. *)
+
+(** {1 Dashboard state} *)
+
+type state
+
+val init : state
+
+val last_seq : state -> int
+(** Highest event sequence folded in so far — pass as [?since] on the
+    next [/events] poll. *)
+
+val update :
+  state ->
+  now_s:float ->
+  events:Json.t list ->
+  metrics:(string * sample) list ->
+  dropped:int ->
+  state
+(** Fold one poll: [events] are parsed [/events] lines (envelope
+    included), [metrics] a parsed [/metrics] body, [now_s] the poll
+    time on any monotonic scale (used only for the nodes/s rate between
+    consecutive polls). *)
+
+val render : tty:bool -> state -> string
+(** The full frame.  [~tty:true] wraps it in cursor-home/clear-to-end
+    escapes for flicker-free repaint; [~tty:false] is plain lines with
+    no escape codes — what non-interactive runs log and tests
+    snapshot. *)

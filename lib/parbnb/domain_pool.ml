@@ -9,9 +9,19 @@ module M = struct
   let tasks = lazy (Obs.Metrics.counter "domain_pool.tasks")
   let task_wait_ms = lazy (Obs.Metrics.histogram "domain_pool.task_wait_ms")
 
+  (* Live scheduler state for /metrics and [phylo top].  Gauges are
+     process-wide: with several pools alive the last writer wins, which
+     in practice is the one pool the pipeline runs. *)
+  let size = lazy (Obs.Metrics.gauge "domain_pool.size")
+  let queue_depth = lazy (Obs.Metrics.gauge "domain_pool.queue_depth")
+  let busy = lazy (Obs.Metrics.gauge "domain_pool.busy")
+
   let started ~waited_s =
     Obs.Metrics.incr (Lazy.force tasks);
     Obs.Metrics.observe (Lazy.force task_wait_ms) (waited_s *. 1e3)
+
+  let set_queue_depth n = Obs.Metrics.set (Lazy.force queue_depth) (float_of_int n)
+  let set_busy n = Obs.Metrics.set (Lazy.force busy) (float_of_int n)
 end
 
 (* --- persistent pool --- *)
@@ -30,6 +40,7 @@ type t = {
   lock : Mutex.t;
   work : Condition.t;
   queue : job Queue.t;
+  running : int Atomic.t;  (* jobs currently executing, for the gauge *)
   mutable cancelled : bool;
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
@@ -50,6 +61,7 @@ let worker pool () =
            awaiter blocks forever. *)
         let skipped = List.of_seq (Queue.to_seq pool.queue) in
         Queue.clear pool.queue;
+        M.set_queue_depth 0;
         Mutex.unlock pool.lock;
         List.iter (fun j -> j.skip ()) skipped;
         None
@@ -57,6 +69,7 @@ let worker pool () =
       else
         match Queue.take_opt pool.queue with
         | Some job ->
+            M.set_queue_depth (Queue.length pool.queue);
             Mutex.unlock pool.lock;
             Some job
         | None ->
@@ -72,7 +85,9 @@ let worker pool () =
     match get () with
     | None -> ()
     | Some job ->
+        M.set_busy (1 + Atomic.fetch_and_add pool.running 1);
         job.run ();
+        M.set_busy (Atomic.fetch_and_add pool.running (-1) - 1);
         next ()
   in
   next ()
@@ -84,11 +99,15 @@ let create ~n_workers =
       lock = Mutex.create ();
       work = Condition.create ();
       queue = Queue.create ();
+      running = Atomic.make 0;
       cancelled = false;
       stopping = false;
       domains = [];
     }
   in
+  Obs.Metrics.set (Lazy.force M.size) (float_of_int n_workers);
+  M.set_queue_depth 0;
+  M.set_busy 0;
   pool.domains <- List.init n_workers (fun _ -> Domain.spawn (worker pool));
   pool
 
@@ -112,6 +131,7 @@ let submit pool f =
     raise Cancelled
   end;
   Queue.add job pool.queue;
+  M.set_queue_depth (Queue.length pool.queue);
   Condition.signal pool.work;
   Mutex.unlock pool.lock;
   fut
@@ -134,6 +154,7 @@ let cancel pool =
   pool.cancelled <- true;
   let skipped = List.of_seq (Queue.to_seq pool.queue) in
   Queue.clear pool.queue;
+  M.set_queue_depth 0;
   Condition.broadcast pool.work;
   Mutex.unlock pool.lock;
   List.iter (fun j -> j.skip ()) skipped

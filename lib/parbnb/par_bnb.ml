@@ -37,7 +37,8 @@ let publish shared cost tree =
         (match !(shared.best) with
         | Some (c, _) when c <= cost -> ()
         | Some _ | None -> shared.best := Some (cost, tree));
-        Mutex.unlock shared.best_lock
+        Mutex.unlock shared.best_lock;
+        Obs.Recorder.emit_ambient (Obs.Events.Incumbent { cost })
       end
   in
   lower ()
@@ -45,6 +46,7 @@ let publish shared cost tree =
 let worker problem shared ~monitor ~max_expanded ~id ~progress () =
   let stats = Stats.create () in
   let tk = Budget.ticker monitor in
+  let rpulse = Obs.Recorder.pulse () in
   let local = ref [] in
   let stopped = ref false in
   let cap_reached () =
@@ -102,6 +104,11 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
             (List.rev children);
           let olen = List.length !local in
           stats.Stats.max_open <- Int.max stats.Stats.max_open olen;
+          ignore
+            (Obs.Recorder.sample rpulse ~worker:id
+               ~expanded:stats.Stats.expanded ~pruned:stats.Stats.pruned
+               ~open_nodes:olen ~ub:(Atomic.get shared.ub)
+               ~lb:node.Bb_tree.lb);
           match progress with
           | None -> ()
           | Some p ->
