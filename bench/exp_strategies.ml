@@ -1,0 +1,131 @@
+(* Strategy sweep: exploration x gap-tolerance grid, plus the branching
+   orders, all on one mtDNA workload.
+
+   Every eps = 0 cell must land on the same optimal cost whatever the
+   exploration or branching order — the strategies change the visit
+   sequence, never the optimum.  Every eps > 0 cell must respect its
+   certificate: cost within (1 + eps) of the exact optimum and a
+   recorded certified gap no larger than the configured tolerance.  The
+   expansion counts per cell are the diffable perf signal the trajectory
+   file (BENCH_strategies.json) tracks across commits. *)
+
+module Pipeline = Compactphy.Pipeline
+module Run_config = Compactphy.Run_config
+module Solver = Bnb.Solver
+module Budget = Bnb.Budget
+module Stats = Bnb.Stats
+
+let explorations =
+  [ ("dfs", Solver.Dfs); ("best_first", Solver.Best_first);
+    ("hybrid", Solver.Hybrid) ]
+
+let branchings =
+  [ ("paper_order", Solver.Paper_order);
+    ("largest_first", Solver.Largest_first);
+    ("residual_lb", Solver.Residual_lb) ]
+
+let gaps ~quick = if quick then [ 0.; 0.05 ] else [ 0.; 0.02; 0.1 ]
+
+let solve m ~search ~branching ~gap =
+  let config =
+    Run_config.(
+      default |> with_exploration search |> with_branching branching
+      |> with_gap gap)
+  in
+  Pipeline.exact ~config m
+
+let sweep ~quick () =
+  let n = if quick then 14 else 18 in
+  let m = Workloads.mtdna ~seed:23 n in
+  (* Exploration x gap grid, paper branching order. *)
+  let grid =
+    List.concat_map
+      (fun (ename, search) ->
+        List.map
+          (fun gap ->
+            ( Printf.sprintf "%s_g%g" ename gap,
+              ename,
+              gap,
+              solve m ~search ~branching:Solver.Paper_order ~gap ))
+          (gaps ~quick))
+      explorations
+  in
+  (* Branching orders at eps = 0, DFS. *)
+  let borders =
+    List.map
+      (fun (bname, branching) ->
+        ( Printf.sprintf "branch_%s" bname,
+          bname,
+          0.,
+          solve m ~search:Solver.Dfs ~branching ~gap:0. ))
+      branchings
+  in
+  let rows = grid @ borders in
+  let optimum =
+    match
+      List.find_opt (fun (id, _, _, _) -> id = "dfs_g0") rows
+    with
+    | Some (_, _, _, r) -> r.Pipeline.cost
+    | None -> failwith "strategies-sweep: missing dfs_g0 reference cell"
+  in
+  List.iter
+    (fun (id, _, gap, (r : Pipeline.run)) ->
+      if r.Pipeline.status <> Budget.Exact then
+        failwith
+          (Printf.sprintf "strategies-sweep: %s did not complete (%s)" id
+             (Budget.status_to_string r.Pipeline.status));
+      if gap = 0. then begin
+        if Float.abs (r.Pipeline.cost -. optimum) > 1e-9 then
+          failwith
+            (Printf.sprintf
+               "strategies-sweep: %s cost %g differs from optimum %g" id
+               r.Pipeline.cost optimum)
+      end
+      else begin
+        if r.Pipeline.cost > ((1. +. gap) *. optimum) +. 1e-9 then
+          failwith
+            (Printf.sprintf "strategies-sweep: %s violates its certificate"
+               id);
+        if r.Pipeline.certified_gap > gap +. 1e-12 then
+          failwith
+            (Printf.sprintf
+               "strategies-sweep: %s certified gap %g exceeds tolerance %g"
+               id r.Pipeline.certified_gap gap)
+      end)
+    rows;
+  Table.print
+    ~title:
+      (Printf.sprintf "Strategy sweep — exact pipeline, %d mtDNA species" n)
+    ~headers:[ "cell"; "gap"; "time"; "cost"; "certified"; "expanded" ]
+    (List.map
+       (fun (id, _, gap, (r : Pipeline.run)) ->
+         [
+           id;
+           Table.f4 gap;
+           Table.seconds r.Pipeline.elapsed_s;
+           Table.f4 r.Pipeline.cost;
+           Table.f4 r.Pipeline.certified_gap;
+           Table.d r.Pipeline.stats.Stats.expanded;
+         ])
+       rows);
+  Manifest.record (fun rep ->
+      Obs.Report.set rep "n" (Obs.Json.Int n);
+      Obs.Report.set rep "optimum" (Obs.Json.Float optimum);
+      List.iter
+        (fun (id, _, gap, (r : Pipeline.run)) ->
+          (* Scalar per-cell fields so the NDJSON trajectory keeps them
+             (only top-level Int/Float fields survive). *)
+          Obs.Report.set rep
+            ("expanded_" ^ id)
+            (Obs.Json.Int r.Pipeline.stats.Stats.expanded);
+          Obs.Report.set rep ("cost_" ^ id) (Obs.Json.Float r.Pipeline.cost);
+          Obs.Report.add_worker rep
+            [
+              ("cell", Obs.Json.String id);
+              ("gap", Obs.Json.Float gap);
+              ("elapsed_s", Obs.Json.Float r.Pipeline.elapsed_s);
+              ("cost", Obs.Json.Float r.Pipeline.cost);
+              ("certified_gap", Obs.Json.Float r.Pipeline.certified_gap);
+              ("expanded", Obs.Json.Int r.Pipeline.stats.Stats.expanded);
+            ])
+        rows)

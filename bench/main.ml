@@ -49,6 +49,9 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
     ( "anytime-quality",
       "Anytime search: incumbent vs certified bound per node budget",
       Exp_anytime.quality );
+    ( "strategies-sweep",
+      "Search strategies: exploration x gap grid, branching orders",
+      Exp_strategies.sweep );
     ( "micro-kernel",
       "Expansion kernels: reference vs incremental smoke",
       Micro.kernel_smoke );

@@ -350,10 +350,82 @@ let kernel_opt =
            children first — the seed behaviour).  Both explore the \
            identical search tree.")
 
+let exploration_opt =
+  let exploration_conv =
+    Arg.enum
+      [
+        ("dfs", Solver.Dfs);
+        ("best-first", Solver.Best_first);
+        ("best_first", Solver.Best_first);
+        ("hybrid", Solver.Hybrid);
+      ]
+  in
+  Arg.(
+    value
+    & opt (some exploration_conv) None
+    & info [ "exploration" ] ~docv:"STRATEGY"
+        ~doc:
+          "Exploration strategy: $(b,dfs) (the papers' depth-first \
+           search, the default), $(b,best-first) (always expand the \
+           open node of least lower bound) or $(b,hybrid) (depth-first \
+           dive to a complete tree, then best-first).  All three reach \
+           the same optimal cost; they differ in node visits and \
+           memory.")
+
+let branching_opt =
+  let branching_conv =
+    Arg.enum
+      [
+        ("paper", Solver.Paper_order);
+        ("paper_order", Solver.Paper_order);
+        ("largest", Solver.Largest_first);
+        ("largest_first", Solver.Largest_first);
+        ("residual", Solver.Residual_lb);
+        ("residual_lb", Solver.Residual_lb);
+      ]
+  in
+  Arg.(
+    value
+    & opt (some branching_conv) None
+    & info [ "branching" ] ~docv:"ORDER"
+        ~doc:
+          "Branching (child-ordering) strategy: $(b,paper) (ascending \
+           lower bound, as published — the default), $(b,largest) \
+           (root-nearest insertion points first) or $(b,residual) \
+           (descending lower bound).")
+
+(* A gap of exactly 0 is the exact search, so unlike durations the
+   tolerance may be zero. *)
+let nonneg_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some g when g >= 0. && Float.is_finite g -> Ok g
+    | Some g ->
+        Error
+          (`Msg
+             (Printf.sprintf "expected a tolerance >= 0, got %g" g))
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+  in
+  Arg.conv ~docv:"EPS" (parse, fun ppf g -> Format.fprintf ppf "%g" g)
+
+let gap_opt =
+  Arg.(
+    value
+    & opt (some nonneg_float) None
+    & info [ "gap" ] ~docv:"EPS"
+        ~doc:
+          "Optimality-gap tolerance: prune once a node's lower bound \
+           times $(i,1 + EPS) meets the incumbent.  The returned tree \
+           is certified within a relative factor $(docv) of the \
+           optimum (the exact certificate is recorded in the manifest \
+           as $(b,certified_gap)).  $(b,0) (the default) keeps the \
+           search exact, decision for decision.")
+
 (* Preset first, then explicit flags on top, so [--preset fast -j 1]
    means "fast, but sequential inside each block". *)
 let build_config ?deadline ?max_nodes ?cancel ~preset ~kernel ~linkage ~workers
-    ~block_workers ~progress () =
+    ~block_workers ?(exploration = None) ?(branching = None) ?(gap = None)
+    ~progress () =
   let apply v f cfg = match v with Some v -> f v cfg | None -> cfg in
   Run_config.default
   |> apply preset (fun p _ -> Run_config.of_preset p)
@@ -364,6 +436,9 @@ let build_config ?deadline ?max_nodes ?cancel ~preset ~kernel ~linkage ~workers
          Run_config.with_solver
            { cfg.Run_config.solver with Solver.kernel = k }
            cfg)
+  |> apply exploration Run_config.with_exploration
+  |> apply branching Run_config.with_branching
+  |> apply gap Run_config.with_gap
   |> apply deadline Run_config.with_deadline
   |> apply max_nodes Run_config.with_max_nodes
   |> apply cancel Run_config.with_cancel
@@ -419,6 +494,29 @@ let explain_opt =
 let print_explain ~stats ~report =
   Fmt.pr "@[<v>== search forensics ==@,%a@]@." Obs.Attribution.pp_summary
     stats.Bnb.Stats.att;
+  (* Which strategy produced these numbers, and what the run proved. *)
+  (match Obs.Report.field report "strategy" with
+  | Some (Obs.Json.Obj kvs) ->
+      let str k =
+        match List.assoc_opt k kvs with
+        | Some (Obs.Json.String s) -> s
+        | _ -> "?"
+      in
+      let gap =
+        match List.assoc_opt "gap" kvs with
+        | Some (Obs.Json.Float g) -> g
+        | _ -> 0.
+      in
+      Fmt.pr "strategy: exploration %s, branching %s, gap tolerance %g@."
+        (str "exploration") (str "branching") gap
+  | _ -> ());
+  (match Obs.Report.field report "certified_gap" with
+  | Some (Obs.Json.Float g) ->
+      if Float.is_finite g then
+        Fmt.pr "certified gap: %.6g (cost is within %.4g%% of the bound)@." g
+          (100. *. g)
+      else Fmt.pr "certified gap: unbounded (no lower bound proved)@."
+  | _ -> ());
   (* Block hot-spots, from the manifest's per-block worker entries:
      where the run's wall-clock went, and whether blocks waited on the
      scheduler or on their own solve. *)
@@ -619,14 +717,16 @@ let tree_cmd =
              counters, status, lower bound) as JSON to $(docv).")
   in
   let run cfg input method_ preset kernel linkage workers block_workers
-      deadline max_nodes checkpoint resume all nexus manifest explain output =
+      exploration branching gap deadline max_nodes checkpoint resume all nexus
+      manifest explain output =
     check_writable manifest;
     check_writable checkpoint;
     with_obs cfg @@ fun () ->
     let cancel = install_sigint () in
     let config =
       build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
-        ~workers ~block_workers ~progress:cfg.progress ()
+        ~workers ~block_workers ~exploration ~branching ~gap
+        ~progress:cfg.progress ()
     in
     let names, m = read_matrix input in
     match (method_, all) with
@@ -691,6 +791,9 @@ let tree_cmd =
               Fmt.epr "status: %s (certified lower bound %g)@."
                 (Budget.status_to_string r.Pipeline.status)
                 r.Pipeline.lower_bound;
+            if config.Run_config.solver.Solver.gap > 0. then
+              Fmt.epr "certified gap: %g (tolerance %g)@."
+                r.Pipeline.certified_gap config.Run_config.solver.Solver.gap;
             (match (checkpoint, r.Pipeline.checkpoint) with
             | Some path, Some ck ->
                 Checkpoint.save path ck;
@@ -729,9 +832,10 @@ let tree_cmd =
        ~doc:"Construct an ultrametric tree (Newick or NEXUS output).")
     Term.(
       const run $ obs_term $ input_arg $ method_opt $ preset_opt $ kernel_opt
-      $ linkage_opt $ workers_opt $ block_workers_opt $ deadline_opt
-      $ max_nodes_opt $ checkpoint_arg $ resume_arg $ all $ nexus
-      $ manifest_arg $ explain_opt $ output_opt)
+      $ linkage_opt $ workers_opt $ block_workers_opt $ exploration_opt
+      $ branching_opt $ gap_opt $ deadline_opt $ max_nodes_opt
+      $ checkpoint_arg $ resume_arg $ all $ nexus $ manifest_arg $ explain_opt
+      $ output_opt)
 
 (* --- compare --- *)
 
@@ -756,15 +860,16 @@ let compare_cmd =
              is \"unendurable\"); capped runs report the best tree found \
              within the budget.")
   in
-  let run cfg input preset kernel linkage workers block_workers deadline
-      max_nodes cap manifest explain =
+  let run cfg input preset kernel linkage workers block_workers exploration
+      branching gap deadline max_nodes cap manifest explain =
     check_writable manifest;
     with_obs cfg @@ fun () ->
     let _, m = read_matrix input in
     let cancel = install_sigint () in
     let config =
       build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
-        ~workers ~block_workers ~progress:cfg.progress ()
+        ~workers ~block_workers ~exploration ~branching ~gap
+        ~progress:cfg.progress ()
     in
     let config =
       match cap with
@@ -816,8 +921,8 @@ let compare_cmd =
        ~doc:"Compare construction with and without compact sets.")
     Term.(
       const run $ obs_term $ input_arg $ preset_opt $ kernel_opt $ linkage_opt
-      $ workers_opt $ block_workers_opt $ deadline_opt $ max_nodes_opt $ cap
-      $ manifest $ explain_opt)
+      $ workers_opt $ block_workers_opt $ exploration_opt $ branching_opt
+      $ gap_opt $ deadline_opt $ max_nodes_opt $ cap $ manifest $ explain_opt)
 
 (* --- render --- *)
 
@@ -827,12 +932,12 @@ let render_cmd =
       value & flag
       & info [ "svg" ] ~doc:"Emit an SVG document instead of ASCII art.")
   in
-  let run cfg input method_ preset kernel linkage workers block_workers svg
-      output =
+  let run cfg input method_ preset kernel linkage workers block_workers
+      exploration branching gap svg output =
     with_obs cfg @@ fun () ->
     let config =
       build_config ~preset ~kernel ~linkage ~workers ~block_workers
-        ~progress:cfg.progress ()
+        ~exploration ~branching ~gap ~progress:cfg.progress ()
     in
     let names, m = read_matrix input in
     let tree =
@@ -856,7 +961,8 @@ let render_cmd =
        ~doc:"Construct a tree and draw it as an ASCII or SVG dendrogram.")
     Term.(
       const run $ obs_term $ input_arg $ method_opt $ preset_opt $ kernel_opt
-      $ linkage_opt $ workers_opt $ block_workers_opt $ svg $ output_opt)
+      $ linkage_opt $ workers_opt $ block_workers_opt $ exploration_opt
+      $ branching_opt $ gap_opt $ svg $ output_opt)
 
 (* --- treedist --- *)
 
@@ -943,11 +1049,12 @@ let report_cmd =
           ~doc:"Emit a standalone HTML report (with an SVG dendrogram) \
                 instead of text.")
   in
-  let run cfg input preset kernel linkage workers block_workers html output =
+  let run cfg input preset kernel linkage workers block_workers exploration
+      branching gap html output =
     with_obs cfg @@ fun () ->
     let config =
       build_config ~preset ~kernel ~linkage ~workers ~block_workers
-        ~progress:cfg.progress ()
+        ~exploration ~branching ~gap ~progress:cfg.progress ()
     in
     let names, m = read_matrix input in
     let n = Dist_matrix.size m in
@@ -1000,7 +1107,8 @@ let report_cmd =
           HTML with $(b,--html)).")
     Term.(
       const run $ obs_term $ input_arg $ preset_opt $ kernel_opt $ linkage_opt
-      $ workers_opt $ block_workers_opt $ html $ output_opt)
+      $ workers_opt $ block_workers_opt $ exploration_opt $ branching_opt
+      $ gap_opt $ html $ output_opt)
 
 (* --- align (the sequences model, from FASTA) --- *)
 

@@ -84,7 +84,8 @@ end
 type lb_kind = LB0 | LB1
 type mode33 = Off | Third_only | Every_insertion
 type initial_ub = Upgmm_ub | Upgma_ub | Nj_ub | No_heuristic_ub
-type search_order = Dfs | Best_first
+type search_order = Strategy.exploration = Dfs | Best_first | Hybrid
+type branch_order = Strategy.branching = Paper_order | Largest_first | Residual_lb
 
 type kernel_kind = Kernel.kind = Reference | Incremental
 
@@ -94,6 +95,8 @@ type options = {
   initial_ub : initial_ub;
   max_expanded : int option;
   search : search_order;
+  branching : branch_order;
+  gap : float;
   collect_all : bool;
   kernel : kernel_kind;
 }
@@ -105,6 +108,8 @@ let default_options =
     initial_ub = Upgmm_ub;
     max_expanded = None;
     search = Dfs;
+    branching = Paper_order;
+    gap = 0.;
     collect_all = false;
     kernel = Incremental;
   }
@@ -113,6 +118,7 @@ let options ?(lb = default_options.lb)
     ?(relation33 = default_options.relation33)
     ?(initial_ub = default_options.initial_ub) ?max_expanded
     ?(search = default_options.search)
+    ?(branching = default_options.branching) ?(gap = default_options.gap)
     ?(collect_all = default_options.collect_all)
     ?(kernel = default_options.kernel) () =
   (match max_expanded with
@@ -120,7 +126,11 @@ let options ?(lb = default_options.lb)
       invalid_arg
         (Printf.sprintf "Solver.options: max_expanded = %d (must be > 0)" cap)
   | Some _ | None -> ());
-  { lb; relation33; initial_ub; max_expanded; search; collect_all; kernel }
+  if not (gap >= 0. && Float.is_finite gap) then
+    invalid_arg
+      (Printf.sprintf "Solver.options: gap = %g (must be >= 0 and finite)" gap);
+  { lb; relation33; initial_ub; max_expanded; search; branching; gap;
+    collect_all; kernel }
 
 type outcome = {
   tree : Utree.t;
@@ -130,6 +140,7 @@ type outcome = {
   stats : Stats.t;
   status : Budget.status;
   lower_bound : float;
+  certified_gap : float;
   frontier : Bb_tree.node list;
 }
 
@@ -189,6 +200,11 @@ let score_safety = 1e-6
 
 let expand ?(ub = infinity) problem (node : Bb_tree.node) stats =
   stats.Stats.expanded <- stats.Stats.expanded + 1;
+  let order children =
+    (* [Paper_order] (the default) returns the ascending-LB list
+       physically unchanged, keeping the historical search bit-exact. *)
+    Strategy.order_children problem.opts.branching ~inserted:node.k children
+  in
   let apply_33 =
     match problem.opts.relation33 with
     | Off -> false
@@ -217,7 +233,9 @@ let expand ?(ub = infinity) problem (node : Bb_tree.node) stats =
     stats.Stats.generated <- stats.Stats.generated + (2 * sp) - 1;
     Obs.Attribution.expand stats.Stats.att ~depth:sp ~generated:((2 * sp) - 1);
     (* Dropped complete children would have reached the caller's
-       solution recording (a no-op at these costs), not its pruning
+       solution recording — a no-op at these costs when [ub] is the
+       incumbent, a solution the tolerance traded away when it is the
+       effective bound [incumbent / (1 + eps)] — not its pruning
        counter; dropped partial children would have been pruned. *)
     if sp + 1 < Dist_matrix.size problem.pm then begin
       stats.Stats.pruned <- stats.Stats.pruned + dropped;
@@ -231,16 +249,17 @@ let expand ?(ub = infinity) problem (node : Bb_tree.node) stats =
           { Bb_tree.tree; k = sp + 1; cost; lb = cost +. lb_inc })
         survivors
     in
-    List.sort
-      (fun (a : Bb_tree.node) (b : Bb_tree.node) -> Float.compare a.lb b.lb)
-      children
+    order
+      (List.sort
+         (fun (a : Bb_tree.node) (b : Bb_tree.node) -> Float.compare a.lb b.lb)
+         children)
   end
   else begin
     let children = Bb_tree.branch problem.pm ~lb_extra:problem.lb_extra node in
     stats.Stats.generated <- stats.Stats.generated + List.length children;
     Obs.Attribution.expand stats.Stats.att ~depth:node.k
       ~generated:(List.length children);
-    if not apply_33 then children
+    if not apply_33 then order children
     else begin
       let kept =
         List.filter
@@ -255,65 +274,22 @@ let expand ?(ub = infinity) problem (node : Bb_tree.node) stats =
       (* Never let the heuristic constraint empty the candidate list: the
          companion paper reports 3-3 results as a subset of the full
          results, which requires at least one child to survive. *)
-      if kept = [] then [ List.hd children ] else kept
+      order (if kept = [] then [ List.hd children ] else kept)
     end
   end
 
-(* Binary min-heap on the lower bound, for the best-first order. *)
-module Node_heap = struct
-  type t = { mutable a : Bb_tree.node array; mutable size : int }
-
-  let dummy : Bb_tree.node =
-    { tree = Utree.Leaf 0; k = 0; cost = 0.; lb = 0. }
-
-  let create () = { a = Array.make 64 dummy; size = 0 }
-  let length h = h.size
-
-  let swap h i j =
-    let x = h.a.(i) in
-    h.a.(i) <- h.a.(j);
-    h.a.(j) <- x
-
-  let rec sift_up h i =
-    let parent = (i - 1) / 2 in
-    if i > 0 && h.a.(i).Bb_tree.lb < h.a.(parent).Bb_tree.lb then begin
-      swap h i parent;
-      sift_up h parent
-    end
-
-  let rec sift_down h i =
-    let l = (2 * i) + 1 and r = (2 * i) + 2 in
-    let smallest = ref i in
-    if l < h.size && h.a.(l).Bb_tree.lb < h.a.(!smallest).Bb_tree.lb then
-      smallest := l;
-    if r < h.size && h.a.(r).Bb_tree.lb < h.a.(!smallest).Bb_tree.lb then
-      smallest := r;
-    if !smallest <> i then begin
-      swap h i !smallest;
-      sift_down h !smallest
-    end
-
-  let push h node =
-    if h.size = Array.length h.a then begin
-      let bigger = Array.make (2 * h.size) dummy in
-      Array.blit h.a 0 bigger 0 h.size;
-      h.a <- bigger
-    end;
-    h.a.(h.size) <- node;
-    h.size <- h.size + 1;
-    sift_up h (h.size - 1)
-
-  let pop h =
-    if h.size = 0 then None
-    else begin
-      let top = h.a.(0) in
-      h.size <- h.size - 1;
-      h.a.(0) <- h.a.(h.size);
-      h.a.(h.size) <- dummy;
-      sift_down h 0;
-      Some top
-    end
-end
+(* The certified relative gap [(cost - lower_bound) / lower_bound].
+   Completed tolerance runs clamp to the configured eps: real-arithmetic
+   soundness (every discarded node had [lb >= ub_t / (1 + eps)] with
+   [ub_t >= ub_final]) guarantees the bound, while the float division
+   behind [lower_bound] could otherwise overshoot eps by an ulp or two. *)
+let certify ~gap ~exhausted ~cost ~lower_bound =
+  let raw =
+    if cost <= lower_bound then 0.
+    else if lower_bound > 0. then (cost -. lower_bound) /. lower_bound
+    else infinity
+  in
+  if exhausted && gap > 0. then Float.min gap raw else raw
 
 let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
   let n = Dist_matrix.size dm in
@@ -326,6 +302,7 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
       stats = Stats.create ();
       status = Budget.Exact;
       lower_bound = 0.;
+      certified_gap = 0.;
       frontier = [];
     }
   else
@@ -372,19 +349,31 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
       Obs.Recorder.emit_ambient
         (Obs.Events.Budget_stop { status = Budget.status_to_string s })
     in
-    (* With [collect_all], equal-cost nodes survive pruning so every
-       optimal topology is reached — each exactly once, because the BBT
-       generates each topology along a unique insertion sequence. *)
+    (* Optimality-gap tolerance: a node is pruned once [lb * (1 + eps)]
+       meets the incumbent, i.e. [lb >= ub / (1 + eps)] — with eps = 0
+       ([gap_scale = 1.], an exact float multiply) this is literally the
+       historical rule, decision for decision.  With [collect_all],
+       equal-cost nodes survive pruning so every optimal topology is
+       reached — each exactly once, because the BBT generates each
+       topology along a unique insertion sequence. *)
+    let gap_scale = 1. +. options.gap in
     let prunable lb =
-      if options.collect_all then lb > !ub +. tie_eps else lb >= !ub
+      if options.collect_all then lb *. gap_scale > !ub +. tie_eps
+      else lb *. gap_scale >= !ub
     in
     (* Attribution of a prune that [prunable] decided: if the node's own
        cost already met the bound the incumbent alone was responsible;
-       otherwise the LB1 suffix supplied the missing margin.  (Under LB0
-       the suffix is all zeros, so every prune classifies Incumbent.) *)
-    let prune_reason cost =
-      if prunable cost then Obs.Attribution.Incumbent
-      else Obs.Attribution.Lb1_suffix
+       if its exact bound did, the LB1 suffix supplied the missing
+       margin; otherwise only the gap tolerance closed it.  (Under LB0
+       the suffix is all zeros, so every exact prune classifies
+       Incumbent.) *)
+    let exact_bound x =
+      if options.collect_all then x > !ub +. tie_eps else x >= !ub
+    in
+    let prune_reason ~cost ~lb =
+      if exact_bound cost then Obs.Attribution.Incumbent
+      else if exact_bound lb then Obs.Attribution.Lb1_suffix
+      else Obs.Attribution.Gap_tolerance
     in
     let record_solution (c : Bb_tree.node) =
       if c.Bb_tree.cost < !ub -. tie_eps then begin
@@ -407,29 +396,11 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
         Obs.Recorder.emit_ambient (Obs.Events.Incumbent { cost = c.cost })
       end
     in
-    (* Open list, behind push/pop chosen by the search order. *)
-    let stack = ref [] in
-    let heap = Node_heap.create () in
-    let push node =
-      match options.search with
-      | Dfs -> stack := node :: !stack
-      | Best_first -> Node_heap.push heap node
-    in
-    let pop () =
-      match options.search with
-      | Dfs -> (
-          match !stack with
-          | [] -> None
-          | x :: rest ->
-              stack := rest;
-              Some x)
-      | Best_first -> Node_heap.pop heap
-    in
-    let open_length () =
-      match options.search with
-      | Dfs -> List.length !stack
-      | Best_first -> Node_heap.length heap
-    in
+    (* Open list, behind the frontier chosen by the search order. *)
+    let front = Strategy.Frontier.create options.search in
+    let push node = Strategy.Frontier.push front node in
+    let pop () = Strategy.Frontier.pop front in
+    let open_length () = Strategy.Frontier.length front in
     let cap_reached () =
       match options.max_expanded with
       | Some cap -> stats.Stats.expanded >= cap
@@ -453,7 +424,8 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
           if prunable node.Bb_tree.lb then begin
             stats.Stats.pruned <- stats.Stats.pruned + 1;
             Obs.Attribution.prune stats.Stats.att
-              (prune_reason node.Bb_tree.cost) ~depth:node.Bb_tree.k 1;
+              (prune_reason ~cost:node.Bb_tree.cost ~lb:node.Bb_tree.lb)
+              ~depth:node.Bb_tree.k 1;
             loop ()
           end
           else if Bb_tree.is_complete problem.pm node then begin
@@ -469,7 +441,13 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
                   ~depth:node.Bb_tree.k 1;
                 push node
             | None ->
-                let children = expand ~ub:!ub problem node stats in
+                (* Under a gap tolerance the kernel's pre-pruning
+                   threshold is the effective bound [ub / (1 + eps)]
+                   (an exact no-op divide when eps = 0), so candidates
+                   the tolerance would discard are never realised. *)
+                let children =
+                  expand ~ub:(!ub /. gap_scale) problem node stats
+                in
                 List.iter
                   (fun (c : Bb_tree.node) ->
                     if Bb_tree.is_complete problem.pm c then record_solution c
@@ -477,7 +455,8 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
                     else begin
                       stats.Stats.pruned <- stats.Stats.pruned + 1;
                       Obs.Attribution.prune stats.Stats.att
-                        (prune_reason c.Bb_tree.cost) ~depth:c.Bb_tree.k 1
+                        (prune_reason ~cost:c.Bb_tree.cost ~lb:c.Bb_tree.lb)
+                        ~depth:c.Bb_tree.k 1
                     end)
                   (List.rev children);
                 let olen = open_length () in
@@ -512,10 +491,15 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
       drain []
     in
     let status = match !interrupted with Some s -> s | None -> Budget.Exact in
+    (* Every subtree a tolerance run discarded (explicitly, or inside
+       the kernel against the effective bound) had a lower bound of at
+       least [ub_t / (1 + eps)] for some incumbent [ub_t >= !ub], so
+       [!ub / (1 + eps)] is a sound global floor; with eps = 0 the
+       divide is exact and this is the historical [!ub] start. *)
     let lower_bound =
       List.fold_left
         (fun acc (nd : Bb_tree.node) -> Float.min acc nd.Bb_tree.lb)
-        !ub frontier
+        (!ub /. gap_scale) frontier
     in
     M.flush mlive stats (Obs.Clock.elapsed_s t_start);
     Log.debug (fun m -> m "solve n=%d done: %a" n Stats.pp stats);
@@ -530,11 +514,16 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
         {
           tree;
           cost = !ub;
-          optimal = !optimal;
+          (* A tolerance run proves [cost <= (1 + eps) * optimum], not
+             optimality — [certified_gap] carries the guarantee. *)
+          optimal = !optimal && options.gap = 0.;
           all_optimal;
           stats;
           status;
           lower_bound;
+          certified_gap =
+            certify ~gap:options.gap ~exhausted:(frontier = []) ~cost:!ub
+              ~lower_bound;
           frontier;
         }
     | None ->
@@ -549,5 +538,8 @@ let solve ?(options = default_options) ?budget ?monitor ?resume ?progress dm =
           stats;
           status;
           lower_bound;
+          certified_gap =
+            certify ~gap:options.gap ~exhausted:false
+              ~cost:(Utree.weight fallback) ~lower_bound;
           frontier;
         }

@@ -24,13 +24,26 @@ type initial_ub =
   | Nj_ub  (** neighbor-joining topology, re-realised *)
   | No_heuristic_ub  (** start from an infinite upper bound *)
 
-type search_order =
+type search_order = Strategy.exploration =
   | Dfs
       (** depth-first with children in ascending-LB order — the papers'
           strategy, constant memory per level *)
   | Best_first
       (** always expand the open node of least lower bound — fewer
           expansions, potentially exponential memory *)
+  | Hybrid
+      (** DFS dive to a complete tree, then continue from the globally
+          best open node (see {!Strategy.exploration}) *)
+
+type branch_order = Strategy.branching =
+  | Paper_order  (** ascending-LB children, as published — the default *)
+  | Largest_first  (** root-nearest (largest-subtree) insertions first *)
+  | Residual_lb  (** descending LB — probe the largest residual first *)
+(** Child ordering applied by {!expand}; see {!Strategy.branching}.
+    Any order explores the same space — only the visit sequence (and so
+    the pruning trajectory) changes.  The {{!page-strategies} strategy
+    guide} covers choosing between explorations, branchings and gap
+    tolerances. *)
 
 type kernel_kind = Kernel.kind = Reference | Incremental
 (** Which expansion path {!expand} uses: [Reference] realises all
@@ -48,6 +61,12 @@ type options = {
       (** stop early after expanding this many BBT nodes (the outcome is
           then possibly non-optimal); [None] = run to completion *)
   search : search_order;
+  branching : branch_order;
+  gap : float;
+      (** optimality-gap tolerance eps [>= 0]: prune once
+          [lb * (1 + eps)] meets the incumbent, certifying
+          [cost <= (1 + eps) * optimum].  [0.] (the default) is the
+          exact search, decision for decision. *)
   collect_all : bool;
       (** gather {e every} optimal tree, as the companion paper's Step 7
           ("gather all solutions from each node") does.  Equal-cost
@@ -57,8 +76,8 @@ type options = {
 }
 
 val default_options : options
-(** [LB1], [Off], [Upgmm_ub], no cap, [Dfs], [collect_all = false],
-    [Incremental]. *)
+(** [LB1], [Off], [Upgmm_ub], no cap, [Dfs], [Paper_order], [gap = 0.],
+    [collect_all = false], [Incremental]. *)
 
 val options :
   ?lb:lb_kind ->
@@ -66,12 +85,15 @@ val options :
   ?initial_ub:initial_ub ->
   ?max_expanded:int ->
   ?search:search_order ->
+  ?branching:branch_order ->
+  ?gap:float ->
   ?collect_all:bool ->
   ?kernel:kernel_kind ->
   unit ->
   options
 (** Smart constructor over {!default_options} that validates its inputs.
-    @raise Invalid_argument if [max_expanded <= 0]. *)
+    @raise Invalid_argument if [max_expanded <= 0], or [gap] is negative
+    or not finite. *)
 
 type outcome = {
   tree : Utree.t;  (** best tree found, in the original species labels *)
@@ -89,8 +111,14 @@ type outcome = {
           legacy [max_expanded] option) *)
   lower_bound : float;
       (** certified global lower bound on the optimum: the minimum of
-          the open frontier's bounds and [cost].  Equals [cost] when
-          [status = Exact]. *)
+          the open frontier's bounds and [cost / (1 + gap)].  Equals
+          [cost] when [status = Exact] and [gap = 0.]. *)
+  certified_gap : float;
+      (** the guarantee [(cost - lower_bound) / lower_bound]: the true
+          optimum is within this relative factor below [cost].  [0.]
+          for a completed exact search; at most [gap] for a completed
+          tolerance run; possibly larger when a budget stopped the
+          search early. *)
   frontier : Bb_tree.node list;
       (** the open list at the moment the search stopped (permuted
           labels, in pop order) — empty for a completed search.  Feed it
@@ -164,9 +192,11 @@ val prepare : ?options:options -> Dist_matrix.t -> problem
 
 val expand :
   ?ub:float -> problem -> Bb_tree.node -> Stats.t -> Bb_tree.node list
-(** Children of a node after 3-3 filtering (recorded in the stats),
-    sorted by ascending lower bound.  Final upper-bound pruning is left
-    to the caller, whose incumbent may be shared across workers.
+(** Children of a node after 3-3 filtering (recorded in the stats), in
+    [opts.branching] order ([Paper_order]: ascending lower bound).
+    Final upper-bound pruning is left to the caller, whose incumbent
+    may be shared across workers.  Callers applying a gap tolerance
+    pass the {e effective} bound [incumbent / (1 + eps)] as [ub].
 
     With [opts.kernel = Incremental] (and 3-3 filtering off for this
     node), candidates whose score-based lower bound provably exceeds
@@ -178,3 +208,11 @@ val expand :
 
 val relabel_out : problem -> Utree.t -> Utree.t
 (** Map a tree over permuted labels back to the original species. *)
+
+val certify :
+  gap:float -> exhausted:bool -> cost:float -> lower_bound:float -> float
+(** The certified relative gap [(cost - lower_bound) / lower_bound]
+    (never negative; [infinity] when nothing is proved).  [exhausted]
+    says the search ran its frontier dry, in which case a tolerance
+    run's result is clamped to the configured [gap] — sound in real
+    arithmetic, where float division could overshoot by an ulp. *)

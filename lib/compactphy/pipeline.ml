@@ -10,6 +10,7 @@ module M = struct
   let block_size = lazy (Obs.Metrics.histogram "pipeline.block_size")
   let blocks_per_run = lazy (Obs.Metrics.histogram "pipeline.blocks_per_run")
   let queue_wait = lazy (Obs.Metrics.histogram "pipeline.block_queue_wait_s")
+  let certified_gap = lazy (Obs.Metrics.gauge "pipeline.certified_gap")
 end
 
 type run = {
@@ -23,6 +24,7 @@ type run = {
   report : Obs.Report.t;
   status : Budget.status;
   lower_bound : float;
+  certified_gap : float;
   checkpoint : Checkpoint.t option;
 }
 
@@ -33,6 +35,7 @@ type solved = {
   sv_tree : Utree.t;
   sv_status : Budget.status;
   sv_lb : float;
+  sv_gap : float;
   sv_frontier : Bb_tree.node list;  (* permuted labels, as the solver *)
 }
 
@@ -42,6 +45,7 @@ let trivially_solved tree =
     sv_tree = tree;
     sv_status = Budget.Exact;
     sv_lb = Utree.weight tree;
+    sv_gap = 0.;
     sv_frontier = [];
   }
 
@@ -64,6 +68,7 @@ let solve_matrix ~options ~workers ~progress ~monitor ~resume optimal small =
           sv_tree = r.Solver.tree;
           sv_status = r.Solver.status;
           sv_lb = r.Solver.lower_bound;
+          sv_gap = r.Solver.certified_gap;
           sv_frontier = r.Solver.frontier;
         }
       end
@@ -78,6 +83,7 @@ let solve_matrix ~options ~workers ~progress ~monitor ~resume optimal small =
           sv_tree = r.Par_bnb.tree;
           sv_status = r.Par_bnb.status;
           sv_lb = r.Par_bnb.lower_bound;
+          sv_gap = r.Par_bnb.certified_gap;
           sv_frontier = r.Par_bnb.frontier;
         }
       end)
@@ -105,10 +111,22 @@ let solve_small ~options ~workers ~progress ~monitor ~resume ~report stats
     sv
   end
 
-let finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block ~status
-    ~lower_bound stats =
+let strategy_json (options : Solver.options) =
+  Obs.Json.Obj
+    [
+      ( "exploration",
+        Obs.Json.String (Run_config.search_to_string options.Solver.search) );
+      ( "branching",
+        Obs.Json.String
+          (Run_config.branching_to_string options.Solver.branching) );
+      ("gap", Obs.Json.Float options.Solver.gap);
+    ]
+
+let finish_report report ~options ~elapsed_s ~cost ~n_blocks ~largest_block
+    ~status ~lower_bound ~certified_gap stats =
   Obs.Metrics.incr (Lazy.force M.runs);
   Obs.Metrics.observe (Lazy.force M.blocks_per_run) (float_of_int n_blocks);
+  Obs.Metrics.set (Lazy.force M.certified_gap) certified_gap;
   Obs.Report.set report "elapsed_s" (Obs.Json.Float elapsed_s);
   Obs.Report.set report "cost" (Obs.Json.Float cost);
   Obs.Report.set report "n_blocks" (Obs.Json.Int n_blocks);
@@ -117,7 +135,9 @@ let finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block ~status
   Obs.Report.set report "attribution"
     (Obs.Attribution.cells_to_json stats.Stats.att);
   Obs.Report.set report "status" (Budget.status_to_json status);
-  Obs.Report.set report "lower_bound" (Obs.Json.Float lower_bound)
+  Obs.Report.set report "lower_bound" (Obs.Json.Float lower_bound);
+  Obs.Report.set report "strategy" (strategy_json options);
+  Obs.Report.set report "certified_gap" (Obs.Json.Float certified_gap)
 
 (* Validate a user-supplied checkpoint against the matrix it claims to
    continue. *)
@@ -182,8 +202,8 @@ let exact ?(config = Run_config.default) ?resume dm =
                  ~tree:(Some tree) ~frontier:sv.sv_frontier;
              ])
   in
-  finish_report report ~elapsed_s ~cost ~n_blocks:1 ~largest_block
-    ~status:sv.sv_status ~lower_bound:sv.sv_lb stats;
+  finish_report report ~options ~elapsed_s ~cost ~n_blocks:1 ~largest_block
+    ~status:sv.sv_status ~lower_bound:sv.sv_lb ~certified_gap:sv.sv_gap stats;
   {
     tree;
     cost;
@@ -195,6 +215,7 @@ let exact ?(config = Run_config.default) ?resume dm =
     report;
     status = sv.sv_status;
     lower_bound = sv.sv_lb;
+    certified_gap = sv.sv_gap;
     checkpoint;
   }
 
@@ -432,8 +453,9 @@ let with_compact_sets ?(config = Run_config.default) ?resume dm =
   Obs.Report.set report "n" (Obs.Json.Int n);
   Obs.Report.set report "config" (Run_config.to_json config);
   if n = 1 then begin
-    finish_report report ~elapsed_s:0. ~cost:0. ~n_blocks:1 ~largest_block:1
-      ~status:Budget.Exact ~lower_bound:0. (Stats.create ());
+    finish_report report ~options ~elapsed_s:0. ~cost:0. ~n_blocks:1
+      ~largest_block:1 ~status:Budget.Exact ~lower_bound:0. ~certified_gap:0.
+      (Stats.create ());
     {
       tree = Utree.leaf 0;
       cost = 0.;
@@ -445,6 +467,7 @@ let with_compact_sets ?(config = Run_config.default) ?resume dm =
       report;
       status = Budget.Exact;
       lower_bound = 0.;
+      certified_gap = 0.;
       checkpoint = None;
     }
   end
@@ -541,8 +564,15 @@ let with_compact_sets ?(config = Run_config.default) ?resume dm =
                          ~tree:(Some r.b_tree) ~frontier:r.b_frontier)
                      results)))
     in
-    finish_report report ~elapsed_s ~cost ~n_blocks ~largest_block ~status
-      ~lower_bound stats;
+    (* Relative to the sum-of-block bound above, never clamped to the
+       configured tolerance: the re-realised tree's weight is not the
+       quantity the block searches bounded, so only the raw ratio is an
+       honest certificate here. *)
+    let certified_gap =
+      Solver.certify ~gap:0. ~exhausted:false ~cost ~lower_bound
+    in
+    finish_report report ~options ~elapsed_s ~cost ~n_blocks ~largest_block
+      ~status ~lower_bound ~certified_gap stats;
     {
       tree;
       cost;
@@ -554,6 +584,7 @@ let with_compact_sets ?(config = Run_config.default) ?resume dm =
       report;
       status;
       lower_bound;
+      certified_gap;
       checkpoint;
     }
   end

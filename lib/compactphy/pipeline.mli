@@ -43,8 +43,9 @@ type run = {
           [graft] / [re-realise], or [solve] for {!exact}), one worker
           entry per solved block in block-id order ([block] id,
           [block_size], [queue_wait_s], [solve_s], search counters,
-          [status]), and the summary fields — including ["status"] and
-          ["lower_bound"]; serialise with [Obs.Report.to_json] *)
+          [status]), and the summary fields — including ["status"],
+          ["lower_bound"], ["strategy"] (exploration / branching / gap)
+          and ["certified_gap"]; serialise with [Obs.Report.to_json] *)
   status : Bnb.Budget.status;
       (** [Exact] when every search ran to completion; otherwise the
           budget constraint that stopped the run *)
@@ -55,6 +56,14 @@ type run = {
           a lower bound on the cost of finishing every block exactly,
           {e not} on the final re-realised tree's weight (the
           decomposition itself is a heuristic). *)
+  certified_gap : float;
+      (** {!exact}: the solver's certificate
+          [(cost - lower_bound) / lower_bound] — [0.] for a completed
+          exact search, at most the configured [gap] for a completed
+          tolerance run (see {!Bnb.Solver.certify}).
+          {!with_compact_sets}: [cost] relative to the sum-of-block
+          bound above, never clamped to the tolerance (same caveat as
+          [lower_bound]). *)
   checkpoint : Bnb.Checkpoint.t option;
       (** [Some] exactly when [status <> Exact]: everything needed to
           {!Bnb.Checkpoint.save} and later resume this run *)

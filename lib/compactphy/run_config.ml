@@ -31,6 +31,14 @@ let solver_options = Solver.options
 (* Setters, so call sites read as a pipeline of intent:
    [Run_config.(default |> with_workers 4 |> with_linkage Avg)]. *)
 let with_solver solver c = { c with solver }
+
+let with_exploration search c =
+  { c with solver = { c.solver with Solver.search } }
+
+let with_branching branching c =
+  { c with solver = { c.solver with Solver.branching } }
+
+let with_gap gap c = { c with solver = { c.solver with Solver.gap } }
 let with_linkage linkage c = { c with linkage }
 let with_relaxation r c = { c with relaxation = Some r }
 let with_workers workers c = { c with workers }
@@ -56,6 +64,11 @@ let validate ?(who = "Run_config.validate") c =
       invalid_arg
         (Printf.sprintf "%s: relaxation = %g (must be >= 1)" who r)
   | Some _ | None -> ());
+  if not (c.solver.Solver.gap >= 0. && Float.is_finite c.solver.Solver.gap)
+  then
+    invalid_arg
+      (Printf.sprintf "%s: gap = %g (must be >= 0 and finite)" who
+         c.solver.Solver.gap);
   (match c.solver.Solver.max_expanded with
   | Some cap when cap <= 0 ->
       invalid_arg
@@ -131,6 +144,12 @@ let initial_ub_to_string = function
 let search_to_string = function
   | Solver.Dfs -> "dfs"
   | Solver.Best_first -> "best_first"
+  | Solver.Hybrid -> "hybrid"
+
+let branching_to_string = function
+  | Solver.Paper_order -> "paper_order"
+  | Solver.Largest_first -> "largest_first"
+  | Solver.Residual_lb -> "residual_lb"
 
 let linkage_to_string = function
   | Decompose.Max -> "max"
@@ -154,6 +173,9 @@ let to_json c =
               | Some cap -> Obs.Json.Int cap
               | None -> Obs.Json.Null );
             ("search", Obs.Json.String (search_to_string s.Solver.search));
+            ( "branching",
+              Obs.Json.String (branching_to_string s.Solver.branching) );
+            ("gap", Obs.Json.Float s.Solver.gap);
             ("collect_all", Obs.Json.Bool s.Solver.collect_all);
             ( "kernel",
               Obs.Json.String (Kernel.kind_to_string s.Solver.kernel) );

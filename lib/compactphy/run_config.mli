@@ -43,6 +43,8 @@ val solver_options :
   ?initial_ub:Solver.initial_ub ->
   ?max_expanded:int ->
   ?search:Solver.search_order ->
+  ?branching:Solver.branch_order ->
+  ?gap:float ->
   ?collect_all:bool ->
   ?kernel:Solver.kernel_kind ->
   unit ->
@@ -53,6 +55,17 @@ val solver_options :
 (** {2 Functional setters} *)
 
 val with_solver : Solver.options -> t -> t
+
+val with_exploration : Solver.search_order -> t -> t
+(** Replace just the exploration strategy inside [solver]. *)
+
+val with_branching : Solver.branch_order -> t -> t
+(** Replace just the branching (child-ordering) strategy. *)
+
+val with_gap : float -> t -> t
+(** Replace just the optimality-gap tolerance (validated by
+    {!validate}: must be [>= 0] and finite). *)
+
 val with_linkage : Decompose.linkage -> t -> t
 val with_relaxation : float -> t -> t
 val with_workers : int -> t -> t
@@ -70,8 +83,18 @@ val validate : ?who:string -> t -> t
 (** Returns its argument unchanged if coherent.  [who] prefixes the
     error message (defaults to ["Run_config.validate"]).
     @raise Invalid_argument if [workers < 1], [block_workers < 1],
-    [relaxation < 1.] (or NaN), [solver.max_expanded <= 0],
-    [deadline_s] not positive and finite, or [max_nodes <= 0]. *)
+    [relaxation < 1.] (or NaN), [solver.gap] negative or not finite,
+    [solver.max_expanded <= 0], [deadline_s] not positive and finite,
+    or [max_nodes <= 0]. *)
+
+(** {2 Manifest strings} *)
+
+val search_to_string : Solver.search_order -> string
+(** ["dfs"], ["best_first"] or ["hybrid"] — the spelling used by
+    {!to_json} and the run manifests. *)
+
+val branching_to_string : Solver.branch_order -> string
+(** ["paper_order"], ["largest_first"] or ["residual_lb"]. *)
 
 (** {2 Presets} *)
 

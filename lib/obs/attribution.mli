@@ -29,6 +29,11 @@ type reason =
   | Budget_stop
       (** a budget (deadline, node cap, cancellation) stopped the search
           at this node; the subtree went to the frontier, not the bin *)
+  | Gap_tolerance
+      (** neither the node's cost nor its bound met the incumbent — only
+          the optimality-gap tolerance [lb * (1 + eps) >= incumbent] did.
+          The prunes a [--gap] run trades for its certified (1+eps)
+          guarantee; always zero when [eps = 0] *)
 
 val n_reasons : int
 val reasons : reason list

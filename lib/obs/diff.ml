@@ -24,16 +24,13 @@ let flatten json =
   go "" json;
   List.rev !acc
 
-let last_segment path =
-  let path =
-    match String.rindex_opt path '[' with
-    | Some i when i > 0 && String.length path > 0 && path.[String.length path - 1] = ']'
-      -> String.sub path 0 i
-    | _ -> path
-  in
-  match String.rindex_opt path '.' with
-  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
-  | None -> path
+(* Strip a trailing "[i]" array index so "workers[0].solve_s" and
+   "open[3]" match their unindexed names. *)
+let strip_index path =
+  match String.rindex_opt path '[' with
+  | Some i when i > 0 && String.length path > 0 && path.[String.length path - 1] = ']'
+    -> String.sub path 0 i
+  | _ -> path
 
 (* --- rules --- *)
 
@@ -43,15 +40,23 @@ type rule = { key : string; max_rel : float; direction : direction }
 
 let rule ?(direction = Lower_better) key max_rel = { key; max_rel; direction }
 
-(* A rule matches a path when its key equals the full path, equals the
-   path's last field name, or — with a trailing dot — prefixes the
-   path.  First match in list order wins, so user rules prepended to the
-   defaults override them. *)
+(* A rule matches a path when its key equals the full path, is a suffix
+   of it at a segment boundary, or — with a trailing dot — prefixes the
+   path.  Suffix-at-boundary (rather than comparing the key against the
+   last '.'-separated segment) lets rule keys that themselves contain
+   dots — metric names like "bnb.pruned.lb1_suffix" — gate the nested
+   paths they appear under; for dotless keys it is exactly the old
+   last-field-name match.  First match in list order wins, so user
+   rules prepended to the defaults override them. *)
 let rule_matches r path =
   let k = String.length r.key in
   if k > 0 && r.key.[k - 1] = '.' then
     String.length path >= k && String.sub path 0 k = r.key
-  else r.key = path || r.key = last_segment path
+  else
+    let path = strip_index path in
+    let n = String.length path in
+    r.key = path
+    || (n > k && path.[n - k - 1] = '.' && String.sub path (n - k) k = r.key)
 
 let find_rule rules path = List.find_opt (fun r -> rule_matches r path) rules
 

@@ -22,9 +22,11 @@ type rule = { key : string; max_rel : float; direction : direction }
 val rule : ?direction:direction -> string -> float -> rule
 (** [rule key max_rel] gates relative change at [max_rel] (e.g. [0.02]
     = ±2%).  [key] matches a path when it equals the full dotted path,
-    equals the path's last field name (array indices stripped), or —
-    when it ends with ['.'] — is a prefix of the path.  First matching
-    rule in list order wins. *)
+    is a suffix of it at a ['.'] segment boundary (array indices
+    stripped) — so a dotless key matches a path's last field name, and
+    a dotted key like ["bnb.pruned.lb1_suffix"] matches wherever that
+    metric nests — or, when it ends with ['.'], is a prefix of the
+    path.  First matching rule in list order wins. *)
 
 val default_rules : rule list
 (** Gates deterministic search quantities (cost exactly; expanded /

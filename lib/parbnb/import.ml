@@ -4,5 +4,6 @@ module Dist_matrix = Distmat.Dist_matrix
 module Utree = Ultra.Utree
 module Bb_tree = Bnb.Bb_tree
 module Solver = Bnb.Solver
+module Strategy = Bnb.Strategy
 module Stats = Bnb.Stats
 module Budget = Bnb.Budget

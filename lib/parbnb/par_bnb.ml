@@ -14,6 +14,7 @@ type outcome = {
   report : Obs.Report.t;
   status : Budget.status;
   lower_bound : float;
+  certified_gap : float;
   frontier : Bb_tree.node list;
 }
 
@@ -47,7 +48,11 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
   let stats = Stats.create () in
   let tk = Budget.ticker monitor in
   let rpulse = Obs.Recorder.pulse () in
-  let local = ref [] in
+  (* The local pool honours the configured exploration strategy; for the
+     historical [Dfs] it is exactly the old cons-list stack. *)
+  let local = Strategy.Frontier.create problem.Solver.opts.Solver.search in
+  let gap = problem.Solver.opts.Solver.gap in
+  let gap_scale = 1. +. gap in
   let stopped = ref false in
   let cap_reached () =
     match max_expanded with
@@ -56,16 +61,19 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
   in
   (* Attribution mirrors the sequential solver: a prune whose node cost
      already met the (racy, monotone) incumbent snapshot is the
-     incumbent's; otherwise the LB1 suffix supplied the margin. *)
-  let lb_reason ~cost ~u =
-    if cost >= u then Obs.Attribution.Incumbent else Obs.Attribution.Lb1_suffix
+     incumbent's; if its exact bound did, the LB1 suffix supplied the
+     margin; otherwise only the gap tolerance closed it. *)
+  let lb_reason ~cost ~lb ~u =
+    if cost >= u then Obs.Attribution.Incumbent
+    else if lb >= u then Obs.Attribution.Lb1_suffix
+    else Obs.Attribution.Gap_tolerance
   in
   let process (node : Bb_tree.node) =
     let u = Atomic.get shared.ub in
-    if node.lb >= u then begin
+    if node.lb *. gap_scale >= u then begin
       stats.Stats.pruned <- stats.Stats.pruned + 1;
       Obs.Attribution.prune stats.Stats.att
-        (lb_reason ~cost:node.Bb_tree.cost ~u)
+        (lb_reason ~cost:node.Bb_tree.cost ~lb:node.Bb_tree.lb ~u)
         ~depth:node.Bb_tree.k 1
     end
     else if Bb_tree.is_complete problem.Solver.pm node then
@@ -78,13 +86,17 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
           stopped := true;
           Obs.Attribution.prune stats.Stats.att Budget_stop
             ~depth:node.Bb_tree.k 1;
-          local := node :: !local
+          Strategy.Frontier.push local node
       | None -> begin
           (* A racy snapshot of the shared incumbent is safe here: the
              kernel's pre-pruning is conservative for any ub >= the true
-             incumbent, and the per-child checks below re-filter exactly. *)
+             incumbent, and the per-child checks below re-filter exactly.
+             The gap divide turns the snapshot into the effective
+             tolerance bound (an exact no-op when gap = 0). *)
           let children =
-            Solver.expand ~ub:(Atomic.get shared.ub) problem node stats
+            Solver.expand
+              ~ub:(Atomic.get shared.ub /. gap_scale)
+              problem node stats
           in
           List.iter
             (fun (c : Bb_tree.node) ->
@@ -94,15 +106,15 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
               end
               else
                 let u = Atomic.get shared.ub in
-                if c.lb < u then local := c :: !local
+                if c.lb *. gap_scale < u then Strategy.Frontier.push local c
                 else begin
                   stats.Stats.pruned <- stats.Stats.pruned + 1;
                   Obs.Attribution.prune stats.Stats.att
-                    (lb_reason ~cost:c.Bb_tree.cost ~u)
+                    (lb_reason ~cost:c.Bb_tree.cost ~lb:c.Bb_tree.lb ~u)
                     ~depth:c.Bb_tree.k 1
                 end)
             (List.rev children);
-          let olen = List.length !local in
+          let olen = Strategy.Frontier.length local in
           stats.Stats.max_open <- Int.max stats.Stats.max_open olen;
           ignore
             (Obs.Recorder.sample rpulse ~worker:id
@@ -127,25 +139,22 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
          run as aborted since this worker abandoned its own. *)
       Atomic.set shared.aborted true;
       Obs.Attribution.prune stats.Stats.att Budget_stop ~depth:0 1;
-      List.iter (Shared_pool.donate shared.pool) !local;
-      local := [];
+      List.iter (Shared_pool.donate shared.pool)
+        (Strategy.Frontier.drain local);
       Shared_pool.retire shared.pool
     end
     else
-      match !local with
-      | node :: rest ->
-          local := rest;
+      match Strategy.Frontier.pop local with
+      | Some node ->
           (* Two-level load balancing: when the global pool is dry and we
-             still have queued work, donate our deepest-queued (worst
-             lower bound) node. *)
-          (match (Shared_pool.is_empty shared.pool, List.rev !local) with
-          | true, worst :: _ ->
-              local := List.rev (List.tl (List.rev !local));
-              Shared_pool.donate shared.pool worst
-          | _, _ -> ());
+             still have queued work, donate our worst-lower-bound node. *)
+          (if Shared_pool.is_empty shared.pool then
+             match Strategy.Frontier.take_worst local with
+             | Some worst -> Shared_pool.donate shared.pool worst
+             | None -> ());
           process node;
           run ()
-      | [] -> (
+      | None -> (
           match Shared_pool.take shared.pool with
           | Some node ->
               process node;
@@ -154,7 +163,7 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
   in
   run ();
   Budget.flush tk;
-  (stats, !local)
+  (stats, Strategy.Frontier.drain local)
 
 let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
     ?progress ?n_workers dm =
@@ -178,6 +187,8 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
     Obs.Report.set report "n" (Obs.Json.Int n);
     Obs.Report.set report "status" (Budget.status_to_json r.Solver.status);
     Obs.Report.set report "lower_bound" (Obs.Json.Float r.Solver.lower_bound);
+    Obs.Report.set report "certified_gap"
+      (Obs.Json.Float r.Solver.certified_gap);
     {
       tree = r.Solver.tree;
       cost = r.Solver.cost;
@@ -188,6 +199,7 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
       report;
       status = r.Solver.status;
       lower_bound = r.Solver.lower_bound;
+      certified_gap = r.Solver.certified_gap;
       frontier = r.Solver.frontier;
     }
   end
@@ -232,13 +244,17 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
         ub = Atomic.make ub_init;
         best = ref best_init;
         best_lock = Mutex.create ();
-        pool = Shared_pool.create ~n_workers;
+        pool =
+          Shared_pool.create
+            ~ordered:(options.Solver.search <> Solver.Dfs)
+            ~n_workers ();
         aborted = Atomic.make false;
       }
     in
     (* Master phase: breadth-first expansion until the frontier can feed
        every worker twice over (paper's Step 5). *)
     let target = 2 * n_workers in
+    let gap_scale = 1. +. options.Solver.gap in
     let mtk = Budget.ticker monitor in
     let rec widen frontier =
       let expandable, complete =
@@ -257,11 +273,12 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
       | _ when List.length expandable >= target -> expandable
       | nd :: rest ->
           let u = Atomic.get shared.ub in
-          if nd.Bb_tree.lb >= u then begin
+          if nd.Bb_tree.lb *. gap_scale >= u then begin
             stats.Stats.pruned <- stats.Stats.pruned + 1;
             Obs.Attribution.prune stats.Stats.att
               (if nd.Bb_tree.cost >= u then Obs.Attribution.Incumbent
-               else Obs.Attribution.Lb1_suffix)
+               else if nd.Bb_tree.lb >= u then Obs.Attribution.Lb1_suffix
+               else Obs.Attribution.Gap_tolerance)
               ~depth:nd.Bb_tree.k 1;
             widen rest
           end
@@ -327,15 +344,24 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
           (Utree.weight fallback, fallback)
     in
     let lower_bound =
+      (* Every pruned node's bound was >= incumbent / (1 + gap), so the
+         incumbent scaled down by the tolerance bounds the whole space;
+         open frontier nodes can certify less. *)
       List.fold_left
         (fun acc (nd : Bb_tree.node) -> Float.min acc nd.Bb_tree.lb)
-        cost frontier
+        (cost /. gap_scale) frontier
+    in
+    let certified_gap =
+      Solver.certify ~gap:options.Solver.gap
+        ~exhausted:(frontier = [])
+        ~cost ~lower_bound
     in
     Obs.Report.set report "stats" (Stats.to_json stats);
     Obs.Report.set report "attribution"
       (Obs.Attribution.cells_to_json stats.Stats.att);
     Obs.Report.set report "status" (Budget.status_to_json status);
     Obs.Report.set report "lower_bound" (Obs.Json.Float lower_bound);
+    Obs.Report.set report "certified_gap" (Obs.Json.Float certified_gap);
     (* The merged per-worker cells feed the process-wide aggregate once
        per parallel solve (the sequential path flushes in Solver.solve;
        the n <= 2 fast path above went through it already). *)
@@ -343,12 +369,16 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
     {
       tree;
       cost;
-      optimal = (not (Atomic.get shared.aborted)) && status = Budget.Exact;
+      optimal =
+        (not (Atomic.get shared.aborted))
+        && status = Budget.Exact
+        && options.Solver.gap = 0.;
       stats;
       n_workers;
       worker_stats;
       report;
       status;
       lower_bound;
+      certified_gap;
       frontier;
     }

@@ -4,8 +4,11 @@ open Import
     (Table 1 of the companion paper), on OCaml 5 domains.
 
     The master seeds a global pool with [2 * n_workers] BBT nodes
-    (paper's Steps 1-5), then every worker runs depth-first
-    branch-and-bound on a local pool, sharing two things: the global
+    (paper's Steps 1-5), then every worker runs branch-and-bound on a
+    local pool ordered by [options.search] — the papers' depth-first
+    stack by default, a best-first heap or hybrid dive otherwise, with
+    best-first work stealing from the global pool — sharing two things:
+    the global
     upper bound (an atomic, updated whenever a better complete tree is
     found — the mechanism behind the reported super-linear speedups) and
     the global pool (refilled by busy workers whenever it runs dry, the
@@ -33,7 +36,12 @@ type outcome = {
           otherwise ([Node_cap] also covers the legacy per-worker
           [max_expanded]) *)
   lower_bound : float;
-      (** certified global lower bound (equals [cost] when exact) *)
+      (** certified global lower bound (equals [cost] when exact and
+          [gap = 0.]) *)
+  certified_gap : float;
+      (** certified relative gap [(cost - lower_bound) / lower_bound];
+          [0.] for a completed exact search, at most [options.gap] for a
+          completed tolerance run (see {!Solver.certify}) *)
   frontier : Bb_tree.node list;
       (** open nodes at the stop (permuted labels): workers' local
           queues plus whatever was left in the global pool *)

@@ -8,9 +8,10 @@ type t = {
   mutable retired : int;
   mutable finished : bool;
   n_workers : int;
+  ordered : bool;
 }
 
-let create ~n_workers =
+let create ?(ordered = false) ~n_workers () =
   {
     lock = Mutex.create ();
     nonempty = Condition.create ();
@@ -19,6 +20,7 @@ let create ~n_workers =
     retired = 0;
     finished = false;
     n_workers;
+    ordered;
   }
 
 let seed t nodes =
@@ -34,6 +36,32 @@ let donate t node =
   Condition.signal t.nonempty;
   Mutex.unlock t.lock
 
+(* Remove the queued node of least lower bound — the ordered (best-first
+   stealing) discipline.  The queue is a plain list scanned under the
+   lock: it holds at most a few nodes per worker, so a scan is cheaper
+   than maintaining a heap across donate/drain. *)
+let pop_min t =
+  match t.queue with
+  | [] -> None
+  | first :: _ ->
+      let best =
+        List.fold_left
+          (fun (acc : Bb_tree.node) (nd : Bb_tree.node) ->
+            if nd.Bb_tree.lb < acc.Bb_tree.lb then nd else acc)
+          first t.queue
+      in
+      let removed = ref false in
+      t.queue <-
+        List.filter
+          (fun nd ->
+            if (not !removed) && nd == best then begin
+              removed := true;
+              false
+            end
+            else true)
+          t.queue;
+      Some best
+
 let take t =
   Mutex.lock t.lock;
   let rec wait () =
@@ -42,6 +70,11 @@ let take t =
          they are an interrupted run's frontier, kept for {!drain}. *)
       Mutex.unlock t.lock;
       None
+    end
+    else if t.ordered && t.queue <> [] then begin
+      let node = pop_min t in
+      Mutex.unlock t.lock;
+      node
     end
     else
       match t.queue with

@@ -11,7 +11,11 @@ open Import
 
 type t
 
-val create : n_workers:int -> t
+val create : ?ordered:bool -> n_workers:int -> unit -> t
+(** [ordered] (default [false]) makes {!take} hand out the queued node
+    of {e least lower bound} instead of LIFO — best-first work stealing:
+    whichever worker steals gets the globally most promising open node.
+    Donation order then no longer matters. *)
 
 val seed : t -> Bb_tree.node list -> unit
 (** Fill the pool before the workers start. *)

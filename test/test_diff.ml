@@ -101,6 +101,61 @@ let test_rule_matching () =
   (match d.D.entries with
   | [ e ] -> Alcotest.(check bool) "prefix gates" true (e.D.verdict = D.Within)
   | _ -> Alcotest.fail "one entry expected");
+  (* Dotted rule keys gate nested paths: the suffix match works at a
+     segment boundary, not against the last '.'-separated segment (which
+     silently skipped keys like "bnb.pruned.lb1_suffix"). *)
+  let entry_for d path =
+    match List.find_opt (fun e -> e.D.path = path) d.D.entries with
+    | Some e -> e
+    | None -> Alcotest.failf "no entry for %s" path
+  in
+  let verdict_for ~rules path =
+    let doc =
+      obj
+        [
+          ( "bnb",
+            obj
+              [
+                ( "pruned",
+                  obj [ ("lb1_suffix", J.Int 7); ("suffix", J.Int 7) ] );
+              ] );
+        ]
+    in
+    let d = D.diff ~rules ~base:doc ~cur:doc () in
+    (entry_for d path).D.verdict
+  in
+  Alcotest.(check bool) "dotted key matches nested path" true
+    (verdict_for ~rules:[ D.rule "pruned.lb1_suffix" 0.1 ]
+       "bnb.pruned.lb1_suffix"
+    = D.Within);
+  Alcotest.(check bool) "full dotted path matches" true
+    (verdict_for ~rules:[ D.rule "bnb.pruned.lb1_suffix" 0.1 ]
+       "bnb.pruned.lb1_suffix"
+    = D.Within);
+  Alcotest.(check bool) "suffix must start at a segment boundary" true
+    (verdict_for ~rules:[ D.rule "_suffix" 0.1 ] "bnb.pruned.lb1_suffix"
+    = D.Info);
+  Alcotest.(check bool) "sibling leaf not captured by dotted key" true
+    (verdict_for ~rules:[ D.rule "pruned.lb1_suffix" 0.1 ] "bnb.pruned.suffix"
+    = D.Info);
+  (* Index stripping still applies before the dotted suffix check. *)
+  let d =
+    D.diff
+      ~rules:[ D.rule "pruned.lb1_suffix" 0.1 ]
+      ~base:
+        (obj
+           [ ("pruned", obj [ ("lb1_suffix", J.List [ J.Int 1; J.Int 2 ]) ]) ])
+      ~cur:
+        (obj
+           [ ("pruned", obj [ ("lb1_suffix", J.List [ J.Int 1; J.Int 2 ]) ]) ])
+      ()
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "indexed path %s gated" e.D.path)
+        true (e.D.verdict = D.Within))
+    d.D.entries;
   (* First matching rule wins: a prepended user rule overrides. *)
   let d =
     D.diff

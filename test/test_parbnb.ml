@@ -88,7 +88,7 @@ let dummy_node lb : Bb_tree.node =
   { tree = Utree.Leaf 0; k = 2; cost = lb; lb }
 
 let test_pool_take_after_seed () =
-  let pool = Shared_pool.create ~n_workers:1 in
+  let pool = Shared_pool.create ~n_workers:1 () in
   Shared_pool.seed pool [ dummy_node 1.; dummy_node 2. ];
   (match Shared_pool.take pool with
   | Some n -> Alcotest.(check (float 0.)) "first" 1. n.Bb_tree.lb
@@ -102,13 +102,13 @@ let test_pool_take_after_seed () =
 let test_pool_all_workers_park () =
   (* Two domains both draining an empty pool must both get None rather
      than deadlock. *)
-  let pool = Shared_pool.create ~n_workers:2 in
+  let pool = Shared_pool.create ~n_workers:2 () in
   let worker () = Shared_pool.take pool = None in
   let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
   Alcotest.(check bool) "both released" true (Domain.join d1 && Domain.join d2)
 
 let test_pool_donation_wakes_parked () =
-  let pool = Shared_pool.create ~n_workers:2 in
+  let pool = Shared_pool.create ~n_workers:2 () in
   let taker = Domain.spawn (fun () -> Shared_pool.take pool) in
   (* Let the taker park, then donate: it must receive the node, and a
      subsequent take must trigger termination for both. *)
