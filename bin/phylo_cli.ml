@@ -18,6 +18,8 @@ module Checkpoint = Bnb.Checkpoint
 module Decompose = Compactphy.Decompose
 module Platform = Clustersim.Platform
 module Dist_bnb = Clustersim.Dist_bnb
+module Executor = Compactphy.Executor
+module Net_exec = Compactphy.Net_exec
 
 open Cmdliner
 
@@ -258,6 +260,43 @@ let block_workers_opt =
            run at once.  Results are identical to the sequential \
            schedule.")
 
+let executor_opt =
+  let executor_conv =
+    Arg.enum
+      [
+        ("local", Executor.Local); ("sim", Executor.Sim); ("tcp", Executor.Tcp);
+      ]
+  in
+  Arg.(
+    value
+    & opt (some executor_conv) None
+    & info [ "executor" ] ~docv:"BACKEND"
+        ~doc:
+          "Where block solves run: $(b,local) (this process — the \
+           default), $(b,sim) (the master/slave cluster simulator) or \
+           $(b,tcp) (a real worker pool; requires $(b,--workers-addr) \
+           and at least one $(b,phylo worker) connected).  Budgets, \
+           checkpoints and manifests compose unchanged across backends.")
+
+let addr_conv =
+  let parse s =
+    match Executor.parse_addr s with
+    | Ok _ -> Ok s
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv ~docv:"HOST:PORT" (parse, Format.pp_print_string)
+
+let workers_addr_opt =
+  Arg.(
+    value
+    & opt (some addr_conv) None
+    & info [ "workers-addr" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Bind address for the $(b,--executor tcp) coordinator.  Port \
+           $(b,0) picks an ephemeral port; the bound address is logged \
+           as \"worker pool listening on HOST:PORT\" so workers know \
+           where to connect.")
+
 (* Budgets: a deadline must be a positive, finite number of seconds. *)
 let pos_float =
   let parse s =
@@ -425,13 +464,15 @@ let gap_opt =
    means "fast, but sequential inside each block". *)
 let build_config ?deadline ?max_nodes ?cancel ~preset ~kernel ~linkage ~workers
     ~block_workers ?(exploration = None) ?(branching = None) ?(gap = None)
-    ~progress () =
+    ?(executor = None) ?(workers_addr = None) ~progress () =
   let apply v f cfg = match v with Some v -> f v cfg | None -> cfg in
   Run_config.default
   |> apply preset (fun p _ -> Run_config.of_preset p)
   |> apply linkage Run_config.with_linkage
   |> apply workers Run_config.with_workers
   |> apply block_workers Run_config.with_block_workers
+  |> apply executor Run_config.with_executor
+  |> apply workers_addr Run_config.with_workers_addr
   |> apply kernel (fun k cfg ->
          Run_config.with_solver
            { cfg.Run_config.solver with Solver.kernel = k }
@@ -443,6 +484,13 @@ let build_config ?deadline ?max_nodes ?cancel ~preset ~kernel ~linkage ~workers
   |> apply max_nodes Run_config.with_max_nodes
   |> apply cancel Run_config.with_cancel
   |> apply progress Run_config.with_progress
+  |> fun cfg ->
+  (* Surface an incoherent flag combination (e.g. --executor tcp
+     without --workers-addr) as a usage error, not a backtrace. *)
+  (try Run_config.validate ~who:"phylo" cfg
+   with Invalid_argument msg ->
+     Fmt.epr "%s@." msg;
+     Stdlib.exit 124)
 
 (* First Ctrl-C flips the cancel flag the solvers poll cooperatively —
    the run winds down at a node boundary, reports status [cancelled]
@@ -717,16 +765,16 @@ let tree_cmd =
              counters, status, lower bound) as JSON to $(docv).")
   in
   let run cfg input method_ preset kernel linkage workers block_workers
-      exploration branching gap deadline max_nodes checkpoint resume all nexus
-      manifest explain output =
+      exploration branching gap executor workers_addr deadline max_nodes
+      checkpoint resume all nexus manifest explain output =
     check_writable manifest;
     check_writable checkpoint;
     with_obs cfg @@ fun () ->
     let cancel = install_sigint () in
     let config =
       build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
-        ~workers ~block_workers ~exploration ~branching ~gap
-        ~progress:cfg.progress ()
+        ~workers ~block_workers ~exploration ~branching ~gap ~executor
+        ~workers_addr ~progress:cfg.progress ()
     in
     let names, m = read_matrix input in
     match (method_, all) with
@@ -833,9 +881,9 @@ let tree_cmd =
     Term.(
       const run $ obs_term $ input_arg $ method_opt $ preset_opt $ kernel_opt
       $ linkage_opt $ workers_opt $ block_workers_opt $ exploration_opt
-      $ branching_opt $ gap_opt $ deadline_opt $ max_nodes_opt
-      $ checkpoint_arg $ resume_arg $ all $ nexus $ manifest_arg $ explain_opt
-      $ output_opt)
+      $ branching_opt $ gap_opt $ executor_opt $ workers_addr_opt
+      $ deadline_opt $ max_nodes_opt $ checkpoint_arg $ resume_arg $ all
+      $ nexus $ manifest_arg $ explain_opt $ output_opt)
 
 (* --- compare --- *)
 
@@ -861,15 +909,16 @@ let compare_cmd =
              within the budget.")
   in
   let run cfg input preset kernel linkage workers block_workers exploration
-      branching gap deadline max_nodes cap manifest explain =
+      branching gap executor workers_addr deadline max_nodes cap manifest
+      explain =
     check_writable manifest;
     with_obs cfg @@ fun () ->
     let _, m = read_matrix input in
     let cancel = install_sigint () in
     let config =
       build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
-        ~workers ~block_workers ~exploration ~branching ~gap
-        ~progress:cfg.progress ()
+        ~workers ~block_workers ~exploration ~branching ~gap ~executor
+        ~workers_addr ~progress:cfg.progress ()
     in
     let config =
       match cap with
@@ -922,7 +971,8 @@ let compare_cmd =
     Term.(
       const run $ obs_term $ input_arg $ preset_opt $ kernel_opt $ linkage_opt
       $ workers_opt $ block_workers_opt $ exploration_opt $ branching_opt
-      $ gap_opt $ deadline_opt $ max_nodes_opt $ cap $ manifest $ explain_opt)
+      $ gap_opt $ executor_opt $ workers_addr_opt $ deadline_opt
+      $ max_nodes_opt $ cap $ manifest $ explain_opt)
 
 (* --- render --- *)
 
@@ -1519,10 +1569,64 @@ let simulate_cmd =
        ~doc:"Run the construction on the simulated cluster or grid.")
     Term.(const run $ obs_term $ input_arg $ slaves $ grid $ manifest)
 
+(* --- worker --- *)
+
+let worker_cmd =
+  let connect =
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Coordinator to join — the address a $(b,--executor tcp) \
+             run logs as \"worker pool listening on HOST:PORT\".")
+  in
+  let die_after =
+    Arg.(
+      value
+      & opt (some pos_int) None
+      & info [ "die-after" ] ~docv:"N"
+          ~doc:
+            "Fault injection for tests and drills: drop the connection \
+             abruptly (no goodbye, as a crash would) when the \
+             $(docv)-th job arrives.  The coordinator retries the lost \
+             job on another worker.")
+  in
+  let heartbeat =
+    Arg.(
+      value
+      & opt pos_float 1.0
+      & info [ "heartbeat" ] ~docv:"SECONDS"
+          ~doc:
+            "Interval between heartbeat frames while solving (default \
+             1 s).  Heartbeats feed the coordinator's event ring, so \
+             $(b,/healthz) staleness reflects worker liveness.")
+  in
+  let run cfg connect die_after heartbeat =
+    with_obs cfg @@ fun () ->
+    Fmt.epr "phylo worker: connecting to %s@." connect;
+    match
+      Net_exec.run_worker ?die_after_jobs:die_after
+        ~heartbeat_every_s:heartbeat ~connect ()
+    with
+    | `Shutdown -> Fmt.epr "phylo worker: coordinator shut down; exiting@."
+    | `Eof -> Fmt.epr "phylo worker: connection closed; exiting@."
+    | `Died -> Fmt.epr "phylo worker: injected fault fired; exiting@."
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Join a TCP worker pool and solve branch-and-bound jobs for a \
+          coordinator started with --executor tcp.")
+    Term.(const run $ obs_term $ connect $ die_after $ heartbeat)
+
 let () =
   let doc =
     "Fast evolutionary-tree construction with compact sets (PaCT 2005)."
   in
+  (* Wire the simulator into [--executor sim]: Clustersim depends on
+     Compactphy, so the backend registers itself at program start. *)
+  Clustersim.Sim_exec.register ();
   exit
     (Cmd.eval
        (Cmd.group
@@ -1540,4 +1644,5 @@ let () =
             obs_cmd;
             top_cmd;
             simulate_cmd;
+            worker_cmd;
           ]))

@@ -65,9 +65,17 @@ let arm budget =
     parent = None;
   }
 
-let sub ?max_nodes m =
+let sub ?max_nodes ?poll_every m =
+  let poll_every =
+    match poll_every with
+    | None -> m.budget.poll_every
+    | Some p when p <= 0 ->
+        invalid_arg
+          (Printf.sprintf "Budget.sub: poll_every = %d (must be > 0)" p)
+    | Some p -> p
+  in
   {
-    budget = { m.budget with max_nodes; deadline_s = None; cancel = None };
+    budget = { max_nodes; poll_every; deadline_s = None; cancel = None };
     clock = m.clock;
     node_count = Atomic.make 0;
     state = Atomic.make None;

@@ -61,12 +61,16 @@ type monitor
 val arm : t -> monitor
 (** Start the clock now. *)
 
-val sub : ?max_nodes:int -> monitor -> monitor
+val sub : ?max_nodes:int -> ?poll_every:int -> monitor -> monitor
 (** A child monitor for one sub-search (e.g. one compact-set block): it
     trips whenever the parent trips (deadline, cancel and the parent's
     global node cap included, since child expansions are counted into
     the parent too) and additionally on its own [max_nodes] share.  A
-    child tripping on its own share does {e not} trip the parent. *)
+    child tripping on its own share does {e not} trip the parent.
+    [poll_every] overrides the inherited polling period — useful when
+    the share is smaller than the parent's period, so a tiny cap still
+    trips promptly.
+    @raise Invalid_argument if [poll_every <= 0]. *)
 
 val spec : monitor -> t
 
@@ -84,6 +88,12 @@ val trip : monitor -> status -> unit
 
 val nodes : monitor -> int
 (** Expansions charged so far (including children's flushed ticks). *)
+
+val charge : monitor -> int -> unit
+(** Charge [k] expansions directly into the monitor (and its parent
+    chain).  For work accounted elsewhere — e.g. a remote worker's
+    expansions arriving with its result — where no local {!ticker}
+    observed them. *)
 
 (** {2 Hot-path tickers}
 

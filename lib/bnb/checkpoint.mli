@@ -74,6 +74,14 @@ val find_block : t -> int -> block option
 
 (** {2 Persistence} *)
 
+val tree_to_json : Utree.t -> Obs.Json.t
+(** One tree as JSON, heights as bit-exact [%h] hex-float literals —
+    the encoding checkpoints use, shared with the executor wire
+    protocol. *)
+
+val tree_of_json : Obs.Json.t -> (Utree.t, string) result
+(** Inverse of {!tree_to_json}. *)
+
 val to_json : t -> Obs.Json.t
 val of_json : Obs.Json.t -> (t, string) result
 

@@ -15,6 +15,7 @@ type result = {
   n_slaves : int;
   utilization : float array;
   report : Obs.Report.t;
+  stats : Stats.t;
 }
 
 type slave = {
@@ -39,14 +40,11 @@ type master = {
 
 exception Expansion_budget_exceeded
 
-let run ?options ?config ?(max_expansions = 30_000_000) platform dm =
+let run ?config ?(max_expansions = 30_000_000) platform dm =
   let options =
-    match (config, options) with
-    | Some _, Some _ ->
-        invalid_arg "Dist_bnb.run: pass either ?config or ?options, not both"
-    | Some c, None -> (Run_config.validate ~who:"Dist_bnb.run" c).Run_config.solver
-    | None, Some o -> o
-    | None, None -> Solver.default_options
+    match config with
+    | Some c -> (Run_config.validate ~who:"Dist_bnb.run" c).Run_config.solver
+    | None -> Solver.default_options
   in
   let n = Dist_matrix.size dm in
   let p = Platform.n_slaves platform in
@@ -61,6 +59,7 @@ let run ?options ?config ?(max_expansions = 30_000_000) platform dm =
       n_slaves = p;
       utilization = Array.make p 0.;
       report = Obs.Report.create "dist_bnb";
+      stats = r.Solver.stats;
     }
   end
   else
@@ -350,8 +349,9 @@ let run ?options ?config ?(max_expansions = 30_000_000) platform dm =
       n_slaves = p;
       utilization;
       report;
+      stats;
     }
 
-let speedup ?options base par dm =
-  let b = run ?options base dm and q = run ?options par dm in
+let speedup ?config base par dm =
+  let b = run ?config base dm and q = run ?config par dm in
   if q.makespan <= 0. then 1. else b.makespan /. q.makespan

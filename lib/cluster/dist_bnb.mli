@@ -26,28 +26,33 @@ type result = {
       (** run manifest: seed/simulate wall-clock phases and one entry
           per slave (expansions, prunings, virtual busy time,
           utilization) *)
+  stats : Stats.t;
+      (** aggregated search counters over all slaves, in the same shape
+          a local solve produces — what the executor's sim backend
+          merges into pipeline manifests *)
 }
 
 val src : Logs.src
 (** Log source ["compactphy.distbnb"]. *)
 
 val run :
-  ?options:Solver.options ->
   ?config:Run_config.t ->
   ?max_expansions:int ->
   Platform.t ->
   Dist_matrix.t ->
   result
 (** Simulate one construction.  Solver knobs come from [?config]'s
-    [solver] field (validated; the pipeline-only fields are ignored) or
-    the legacy [?options] — passing both is an error.  [max_expansions]
-    (default 30 million) guards against runaway searches.
+    [solver] field (validated; the pipeline-only fields are ignored).
+    Callers that used the removed legacy [?options] argument should
+    pass [~config:(Run_config.with_solver options Run_config.default)].
+    [max_expansions] (default 30 million) guards against runaway
+    searches.
     @raise Failure if the guard is hit.
-    @raise Invalid_argument if both [?config] and [?options] are given,
-    or the configuration fails {!Run_config.validate}. *)
+    @raise Invalid_argument if the configuration fails
+    {!Run_config.validate}. *)
 
 val speedup :
-  ?options:Solver.options ->
+  ?config:Run_config.t ->
   Platform.t ->
   Platform.t ->
   Dist_matrix.t ->

@@ -1,0 +1,23 @@
+(** The cluster-simulator backend of {!Compactphy.Executor}.
+
+    [Clustersim] depends on [Compactphy], not the other way round, so
+    the pipeline cannot name {!Dist_bnb} directly; instead this module
+    installs a factory through {!Compactphy.Executor.register_sim}.
+    Call {!register} once at program start (the CLI does), after which
+    [--executor sim] / [Executor.sim] runs every compact-set block on
+    the simulated master/slave cluster.
+
+    Semantics: each block solves on a [Platform.cluster workers]
+    simulation to its exact optimum (the simulator has no budget hooks
+    or frontier), expansions are charged to the run monitor on
+    completion, and a checkpointed frontier is re-solved from scratch. *)
+
+val src : Logs.src
+(** Log source ["compactphy.simexec"]. *)
+
+val make : Compactphy.Executor.sim_factory
+(** The factory itself, exposed for tests. *)
+
+val register : unit -> unit
+(** Install {!make} as the {!Compactphy.Executor.sim} backend.
+    Idempotent. *)

@@ -1,0 +1,214 @@
+open Import
+
+let src = Logs.Src.create "compactphy.executor" ~doc:"Block-solve executors"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type kind = Local | Sim | Tcp
+
+let kind_to_string = function Local -> "local" | Sim -> "sim" | Tcp -> "tcp"
+
+let kind_of_string = function
+  | "local" -> Some Local
+  | "sim" -> Some Sim
+  | "tcp" -> Some Tcp
+  | _ -> None
+
+(* "HOST:PORT" (or a bare port) for the TCP pool.  Unlike
+   [Obs.Serve.target_of_string] this accepts port 0 — bind-time
+   ephemeral ports are how tests and CI avoid picking a fixed port —
+   and never a Unix socket path (remote workers need TCP). *)
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some p when p >= 0 && p < 65536 -> Ok (host, p)
+      | Some _ | None -> Error (Printf.sprintf "bad port in %S" s))
+  | None -> (
+      match int_of_string_opt s with
+      | Some p when p >= 0 && p < 65536 -> Ok ("127.0.0.1", p)
+      | Some _ | None ->
+          Error (Printf.sprintf "cannot parse %S (want HOST:PORT)" s))
+
+type job = {
+  j_id : int;
+  j_size : int;
+  j_matrix : Dist_matrix.t;
+  j_options : Solver.options;
+  j_workers : int;
+  j_node_share : int option;
+  j_resume : [ `Solved of Utree.t | `Restart of Solver.resume ] option;
+}
+
+type solved = {
+  s_stats : Stats.t;
+  s_tree : Utree.t;
+  s_status : Budget.status;
+  s_lb : float;
+  s_gap : float;
+  s_optimal : bool;
+  s_frontier : Utree.t list;
+}
+
+type outcome = {
+  o_job : int;
+  o_solved : solved;
+  o_queue_wait_s : float;
+  o_solve_s : float;
+}
+
+type future = { await : unit -> outcome }
+
+type t = {
+  name : string;
+  capacity : int;
+  submit : job -> future;
+  cancel : unit -> unit;
+  shutdown : unit -> unit;
+}
+
+let trivially_solved tree =
+  {
+    s_stats = Stats.create ();
+    s_tree = tree;
+    s_status = Budget.Exact;
+    s_lb = Utree.weight tree;
+    s_gap = 0.;
+    s_optimal = true;
+    s_frontier = [];
+  }
+
+(* Map a solver frontier (permuted labels) back to the matrix's own
+   species labels, so a [solved] value is pure data: everything needed
+   to checkpoint or resume the block without the solver's internal
+   permutation, and therefore safe to ship across a process boundary. *)
+let frontier_out matrix = function
+  | [] -> []
+  | frontier ->
+      let p = Permutation.to_array (Permutation.maxmin matrix) in
+      List.map
+        (fun (nd : Bb_tree.node) -> Utree.relabel (fun r -> p.(r)) nd.tree)
+        frontier
+
+(* The one solve every executor shares: the sequential solver, or the
+   domain-parallel one when the job's intra-solve budget allows.  A
+   resumed-and-finished block skips the solve entirely; an interrupted
+   one continues from its frontier. *)
+let solve_job ~monitor ?progress job =
+  match job.j_resume with
+  | Some (`Solved tree) -> trivially_solved tree
+  | (None | Some (`Restart _)) as rs ->
+      if Dist_matrix.size job.j_matrix = 1 then trivially_solved (Utree.leaf 0)
+      else begin
+        let resume = match rs with Some (`Restart r) -> Some r | _ -> None in
+        let small = job.j_matrix in
+        let options = job.j_options in
+        if job.j_workers <= 1 then begin
+          let r = Solver.solve ~options ~monitor ?resume ?progress small in
+          {
+            s_stats = r.Solver.stats;
+            s_tree = r.Solver.tree;
+            s_status = r.Solver.status;
+            s_lb = r.Solver.lower_bound;
+            s_gap = r.Solver.certified_gap;
+            s_optimal = r.Solver.optimal;
+            s_frontier = frontier_out small r.Solver.frontier;
+          }
+        end
+        else begin
+          let r =
+            Par_bnb.solve ~options ~monitor ?resume ?progress
+              ~n_workers:job.j_workers small
+          in
+          {
+            s_stats = r.Par_bnb.stats;
+            s_tree = r.Par_bnb.tree;
+            s_status = r.Par_bnb.status;
+            s_lb = r.Par_bnb.lower_bound;
+            s_gap = r.Par_bnb.certified_gap;
+            s_optimal = r.Par_bnb.optimal;
+            s_frontier = frontier_out small r.Par_bnb.frontier;
+          }
+        end
+      end
+
+let job_monitor ~monitor job =
+  (* A job with its own node share solves under a child monitor, so
+     exhausting one block's share never stops its siblings; deadline and
+     cancellation still propagate from the parent. *)
+  match job.j_node_share with
+  | None -> monitor
+  | Some cap -> Budget.sub ~max_nodes:cap monitor
+
+(* Run one job in the calling domain/thread: block events, queue-wait
+   from the executor's epoch counter, and the solve timing — the shape
+   every in-process execution path (local, and the net executor's
+   degraded fallback) shares. *)
+let run_job ~monitor ?progress ~t0 job =
+  let queue_wait_s = Obs.Clock.elapsed_s t0 in
+  let bmon = job_monitor ~monitor job in
+  Obs.Recorder.emit_ambient
+    (Obs.Events.Block_start { id = job.j_id; size = job.j_size });
+  let sv, solve_s =
+    Obs.Clock.time (fun () -> solve_job ~monitor:bmon ?progress job)
+  in
+  Obs.Recorder.emit_ambient
+    (Obs.Events.Block_finish
+       {
+         id = job.j_id;
+         size = job.j_size;
+         solve_s;
+         status = Budget.status_to_string sv.s_status;
+       });
+  { o_job = job.j_id; o_solved = sv; o_queue_wait_s = queue_wait_s; o_solve_s = solve_s }
+
+(* --- Local: the calling domain, or a Domain_pool --- *)
+
+let local ~capacity ~monitor ?progress () =
+  let capacity = Int.max 1 capacity in
+  let t0 = Obs.Clock.counter () in
+  if capacity = 1 then
+    (* Jobs run eagerly at submission, in submission order — exactly the
+       sequential schedule, with no domain spawned. *)
+    {
+      name = "local";
+      capacity;
+      submit =
+        (fun job ->
+          let o = run_job ~monitor ?progress ~t0 job in
+          { await = (fun () -> o) });
+      cancel = ignore;
+      shutdown = ignore;
+    }
+  else begin
+    let pool = Domain_pool.create ~n_workers:capacity in
+    {
+      name = "local";
+      capacity;
+      submit =
+        (fun job ->
+          let fut =
+            Domain_pool.submit pool (fun () -> run_job ~monitor ?progress ~t0 job)
+          in
+          { await = (fun () -> Domain_pool.await fut) });
+      cancel = (fun () -> Domain_pool.cancel pool);
+      shutdown = (fun () -> Domain_pool.shutdown pool);
+    }
+  end
+
+(* --- Sim: registered by Clustersim, which depends on this library --- *)
+
+type sim_factory = monitor:Budget.monitor -> workers:int -> t
+
+let sim_factory : sim_factory option ref = ref None
+let register_sim f = sim_factory := Some f
+
+let sim ~monitor ~workers =
+  match !sim_factory with
+  | Some f -> f ~monitor ~workers
+  | None ->
+      failwith
+        "Executor.sim: no cluster simulator registered (call \
+         Clustersim.Sim_exec.register () first)"

@@ -1,0 +1,133 @@
+open Import
+
+(** One interface for running block solves, wherever they execute.
+
+    The compact-set pipeline decomposes a matrix into independent block
+    solves and needs them executed — on this machine's domains, on the
+    discrete-event cluster simulator, or on a real TCP worker pool.
+    An {!t} abstracts the "where": the pipeline submits {!job}s (pure
+    data: matrix, solver options, node share, resume state) and awaits
+    {!outcome}s (pure data: stats, tree, certified bounds, frontier in
+    the block's own labels), so budgets, checkpoints and manifests
+    compose identically over every backend.
+
+    Implementations:
+    - {!local} — the calling domain ([capacity = 1]) or a
+      [Parbnb.Domain_pool]; the default, bit-identical to the historical
+      in-process pipeline.
+    - {!sim} — the cluster simulator, registered by [Clustersim.Sim_exec]
+      (which depends on this library, so the wiring is a factory hook).
+    - [Net_exec.coordinator] — a real TCP worker pool (see {!Net_exec}).
+
+    Every implementation emits [Block_start]/[Block_finish] events into
+    the ambient {!Obs.Recorder}, so [phylo top], [/metrics] and the
+    flight recorder see the same story regardless of backend. *)
+
+type kind = Local | Sim | Tcp
+(** Which backend a {!Run_config} selects. *)
+
+val kind_to_string : kind -> string
+(** ["local"], ["sim"] or ["tcp"] — the CLI / manifest spelling. *)
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string}; [None] on unknown names. *)
+
+val parse_addr : string -> (string * int, string) result
+(** Parse a TCP pool address: ["HOST:PORT"], [":PORT"] or a bare port
+    (host defaults to 127.0.0.1).  Port 0 is allowed and means "bind an
+    ephemeral port" on the coordinator side. *)
+
+type job = {
+  j_id : int;  (** deterministic block id — everything downstream keys on it *)
+  j_size : int;  (** species count of the block (for events/metrics) *)
+  j_matrix : Dist_matrix.t;  (** the block-local matrix to solve *)
+  j_options : Solver.options;
+  j_workers : int;  (** intra-solve domains (where the backend supports them) *)
+  j_node_share : int option;
+      (** this block's share of a whole-run node cap; enforced as a
+          {!Budget.sub} child monitor wherever the job runs *)
+  j_resume : [ `Solved of Utree.t | `Restart of Solver.resume ] option;
+      (** checkpoint state: a finished block skips the solve, an
+          interrupted one continues from its frontier *)
+}
+
+type solved = {
+  s_stats : Stats.t;
+  s_tree : Utree.t;  (** best tree, in the block matrix's own labels *)
+  s_status : Budget.status;
+  s_lb : float;  (** certified lower bound on the block optimum *)
+  s_gap : float;  (** certified relative gap *)
+  s_optimal : bool;
+  s_frontier : Utree.t list;
+      (** open partial trees in the block matrix's own labels (the
+          checkpoint representation) — empty for a completed search *)
+}
+
+type outcome = {
+  o_job : int;  (** the job's [j_id] *)
+  o_solved : solved;
+  o_queue_wait_s : float;  (** executor creation -> job started *)
+  o_solve_s : float;
+}
+
+type future = { await : unit -> outcome }
+(** [await] blocks until the job finished (possibly re-raising the
+    job's exception); safe to call once per future. *)
+
+type t = {
+  name : string;  (** backend name, for logs and manifests *)
+  capacity : int;  (** jobs the backend can run concurrently *)
+  submit : job -> future;
+  cancel : unit -> unit;
+      (** best-effort cooperative stop of everything not yet running;
+          in-flight solves stop via their budget monitors *)
+  shutdown : unit -> unit;
+      (** release the backend's resources (join domains, close
+          sockets); call after every future was awaited.  Idempotent. *)
+}
+
+val src : Logs.src
+(** Log source ["compactphy.executor"]. *)
+
+(** {2 Shared execution core} *)
+
+val solve_job :
+  monitor:Budget.monitor -> ?progress:Obs.Progress.t -> job -> solved
+(** Solve one job in the calling domain under [monitor] — the one
+    search both the in-process backends and a remote worker run.  No
+    events, no timing: callers wrap it. *)
+
+val job_monitor : monitor:Budget.monitor -> job -> Budget.monitor
+(** The monitor a job solves under: [monitor] itself, or a
+    {!Budget.sub} child enforcing [j_node_share]. *)
+
+val run_job :
+  monitor:Budget.monitor ->
+  ?progress:Obs.Progress.t ->
+  t0:Obs.Clock.counter ->
+  job ->
+  outcome
+(** {!solve_job} plus the executor envelope: node-share sub-monitor,
+    [Block_start]/[Block_finish] events, queue-wait (measured from
+    [t0]) and solve timing. *)
+
+(** {2 Backends} *)
+
+val local :
+  capacity:int -> monitor:Budget.monitor -> ?progress:Obs.Progress.t ->
+  unit -> t
+(** In-process executor.  [capacity = 1] runs each job in the calling
+    domain at submission time (the sequential schedule, no spawns);
+    larger capacities run jobs over a [Parbnb.Domain_pool] in
+    submission order. *)
+
+val sim : monitor:Budget.monitor -> workers:int -> t
+(** The cluster-simulator backend.
+    @raise Failure if no simulator was registered — call
+    [Clustersim.Sim_exec.register ()] first (the simulator library
+    depends on this one, so it wires itself in at run time). *)
+
+type sim_factory = monitor:Budget.monitor -> workers:int -> t
+
+val register_sim : sim_factory -> unit
+(** Install the {!sim} backend factory (idempotent; last wins). *)

@@ -1,6 +1,7 @@
 (* Aliases for modules from dependency libraries. *)
 
 module Dist_matrix = Distmat.Dist_matrix
+module Permutation = Distmat.Permutation
 module Compact_sets = Cgraph.Compact_sets
 module Laminar = Cgraph.Laminar
 module Utree = Ultra.Utree

@@ -1,0 +1,598 @@
+open Import
+
+let src = Logs.Src.create "compactphy.netexec" ~doc:"TCP worker-pool executor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with _ -> invalid_arg (Printf.sprintf "Net_exec: cannot resolve %S" host))
+
+let addr_of s who =
+  match Executor.parse_addr s with
+  | Ok (host, port) -> (host, port)
+  | Error e -> invalid_arg (Printf.sprintf "%s: %s" who e)
+
+(* Tests and the CLI want to know which ephemeral port the coordinator
+   actually bound (workers_addr "127.0.0.1:0"); the pipeline creates the
+   coordinator internally, so the only general channel is a hook. *)
+let bound_hook : (string -> int -> unit) option ref = ref None
+let on_bound f = bound_hook := Some f
+
+(* --- Coordinator ------------------------------------------------- *)
+
+type cell_state =
+  | Pending
+  | Done of Executor.outcome
+  | Failed of exn
+
+type pending = {
+  p_job : Executor.job;
+  p_submitted_at : float;  (** coordinator-clock seconds, for aging *)
+  mutable p_retries : int;
+  mutable p_dispatched_at : float;
+  cell_m : Mutex.t;
+  cell_c : Condition.t;
+  mutable cell : cell_state;
+}
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  mutable c_inflight : pending option;
+  mutable c_alive : bool;
+  mutable c_cancel_sent : bool;
+}
+
+type coord = {
+  listen_fd : Unix.file_descr;
+  port : int;
+  monitor : Budget.monitor;
+  progress : Obs.Progress.t option;
+  job_timeout_s : float option;
+  fallback_after_s : float;
+  max_retries : int;
+  t0 : Obs.Clock.counter;
+  lock : Mutex.t;
+  wake : Condition.t;  (** fallback runner + housekeeping wake-ups *)
+  queue : pending Queue.t;  (** jobs waiting for an idle worker *)
+  fallback : pending Queue.t;  (** jobs degraded to a local solve *)
+  mutable conns : conn list;
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable cancelled : bool;
+  mutable threads : Thread.t list;
+}
+
+let fill p st =
+  Mutex.lock p.cell_m;
+  (match p.cell with
+  | Pending ->
+      p.cell <- st;
+      Condition.broadcast p.cell_c
+  | Done _ | Failed _ -> ());
+  Mutex.unlock p.cell_m
+
+let await_pending p =
+  Mutex.lock p.cell_m;
+  let rec wait () =
+    match p.cell with
+    | Pending ->
+        Condition.wait p.cell_c p.cell_m;
+        wait ()
+    | (Done _ | Failed _) as st -> st
+  in
+  let st = wait () in
+  Mutex.unlock p.cell_m;
+  match st with
+  | Done o -> o
+  | Failed e -> raise e
+  | Pending -> assert false
+
+(* All of the functions below suffixed [_locked] require [co.lock]. *)
+
+let alive_conns_locked co = List.filter (fun c -> c.c_alive) co.conns
+
+let push_fallback_locked co p =
+  Queue.push p co.fallback;
+  Condition.broadcast co.wake
+
+(* Mark a connection dead and put its in-flight job back in line.  The
+   actual [close] belongs to the reader thread (which may be blocked in
+   [read]); [shutdown] wakes it with EOF.  Idempotent via [c_alive]. *)
+let kill_conn_locked co c =
+  if c.c_alive then begin
+    c.c_alive <- false;
+    co.conns <- List.filter (fun x -> x != c) co.conns;
+    (try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with _ -> ());
+    match c.c_inflight with
+    | None -> ()
+    | Some p ->
+        c.c_inflight <- None;
+        p.p_retries <- p.p_retries + 1;
+        if p.p_retries > co.max_retries then begin
+          Log.warn (fun m ->
+              m "job %d failed on %d workers; degrading to local solve"
+                p.p_job.Executor.j_id p.p_retries);
+          push_fallback_locked co p
+        end
+        else begin
+          Log.info (fun m ->
+              m "worker %d lost; retrying job %d elsewhere" c.c_id
+                p.p_job.Executor.j_id);
+          Queue.push p co.queue
+        end
+  end
+
+(* Match idle workers with queued jobs.  Once the run budget tripped (or
+   [cancel] was called) remote dispatch stops: workers solve under their
+   own budgets and would run the block to completion, whereas the local
+   fallback solves under the tripped [monitor] and returns immediately
+   with the correct status and frontier. *)
+let rec pump_locked co =
+  if not (Queue.is_empty co.queue) then
+    if co.cancelled || Budget.tripped co.monitor <> None then begin
+      Queue.transfer co.queue co.fallback;
+      Condition.broadcast co.wake
+    end
+    else
+      match
+        List.find_opt
+          (fun c ->
+            c.c_alive && match c.c_inflight with None -> true | Some _ -> false)
+          co.conns
+      with
+      | None -> ()
+      | Some c ->
+          let p = Queue.pop co.queue in
+          c.c_inflight <- Some p;
+          p.p_dispatched_at <- Obs.Clock.elapsed_s co.t0;
+          Obs.Recorder.emit_ambient
+            (Obs.Events.Block_start
+               { id = p.p_job.Executor.j_id; size = p.p_job.Executor.j_size });
+          (try Wire.write_frame c.c_fd (Wire.Job p.p_job)
+           with _ -> kill_conn_locked co c);
+          pump_locked co
+
+let handle_result co c job_id solved =
+  Mutex.lock co.lock;
+  let p_opt =
+    match c.c_inflight with
+    | Some p when p.p_job.Executor.j_id = job_id ->
+        c.c_inflight <- None;
+        Some p
+    | Some _ | None -> None
+  in
+  pump_locked co;
+  Mutex.unlock co.lock;
+  match p_opt with
+  | None ->
+      (* stale result for a job that was already reassigned: drop it *)
+      Log.debug (fun m -> m "dropping stale result for job %d" job_id)
+  | Some p ->
+      (* Remote expansions never touched the coordinator's monitor while
+         they happened; charge them on arrival so a whole-run node cap
+         accounts for remote work exactly like local work. *)
+      Budget.charge co.monitor solved.Executor.s_stats.Stats.expanded;
+      let now = Obs.Clock.elapsed_s co.t0 in
+      let solve_s = now -. p.p_dispatched_at in
+      Obs.Recorder.emit_ambient
+        (Obs.Events.Block_finish
+           {
+             id = job_id;
+             size = p.p_job.Executor.j_size;
+             solve_s;
+             status = Budget.status_to_string solved.Executor.s_status;
+           });
+      fill p
+        (Done
+           {
+             Executor.o_job = job_id;
+             o_solved = solved;
+             o_queue_wait_s = p.p_dispatched_at;
+             o_solve_s = solve_s;
+           })
+
+let handle_failure co c job_id message =
+  Mutex.lock co.lock;
+  let p_opt =
+    match c.c_inflight with
+    | Some p when p.p_job.Executor.j_id = job_id ->
+        c.c_inflight <- None;
+        Some p
+    | Some _ | None -> None
+  in
+  pump_locked co;
+  Mutex.unlock co.lock;
+  match p_opt with
+  | None -> ()
+  | Some p ->
+      (* A solver exception is deterministic — retrying on another worker
+         would fail identically, so surface it through the future just
+         like a local solve would raise. *)
+      Log.err (fun m -> m "job %d failed remotely: %s" job_id message);
+      fill p (Failed (Stdlib.Failure message))
+
+let reader co c () =
+  let rec loop () =
+    match Wire.read_frame c.c_fd with
+    | Ok (Wire.Heartbeat { job_id = _; expanded }) ->
+        Obs.Recorder.emit_ambient
+          (Obs.Events.Heartbeat
+             {
+               worker = c.c_id;
+               expanded;
+               pruned = 0;
+               open_nodes = 0;
+               ub = 0.;
+               lb = 0.;
+             });
+        loop ()
+    | Ok (Wire.Result { job_id; solved }) ->
+        handle_result co c job_id solved;
+        loop ()
+    | Ok (Wire.Failure { job_id; message }) ->
+        handle_failure co c job_id message;
+        loop ()
+    | Ok _ -> loop () (* protocol noise; ignore *)
+    | Error _ -> ()
+    | exception _ -> ()
+  in
+  loop ();
+  Mutex.lock co.lock;
+  kill_conn_locked co c;
+  pump_locked co;
+  Condition.broadcast co.wake;
+  Mutex.unlock co.lock;
+  (try Unix.close c.c_fd with _ -> ())
+
+let acceptor co () =
+  let rec loop () =
+    match Unix.accept co.listen_fd with
+    | fd, _ -> (
+        match Wire.read_frame fd with
+        | Ok (Wire.Hello { version }) when version = Wire.version -> (
+            Mutex.lock co.lock;
+            if co.stopping then begin
+              Mutex.unlock co.lock;
+              (try Unix.close fd with _ -> ())
+            end
+            else begin
+              let id = co.next_id in
+              co.next_id <- id + 1;
+              let c =
+                {
+                  c_id = id;
+                  c_fd = fd;
+                  c_inflight = None;
+                  c_alive = true;
+                  c_cancel_sent = false;
+                }
+              in
+              match Wire.write_frame fd (Wire.Welcome { version = Wire.version; worker_id = id }) with
+              | () ->
+                  co.conns <- c :: co.conns;
+                  let th = Thread.create (reader co c) () in
+                  co.threads <- th :: co.threads;
+                  Log.info (fun m -> m "worker %d connected" id);
+                  pump_locked co;
+                  Mutex.unlock co.lock;
+                  loop ()
+              | exception _ ->
+                  Mutex.unlock co.lock;
+                  (try Unix.close fd with _ -> ());
+                  loop ()
+            end)
+        | Ok _ | Error _ ->
+            (try Unix.close fd with _ -> ());
+            loop ()
+        | exception _ ->
+            (try Unix.close fd with _ -> ());
+            loop ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception _ -> if not co.stopping then loop ()
+  in
+  loop ()
+
+(* Periodic duties: cancel in-flight work once the run budget trips,
+   enforce per-job timeouts, and age worker-less jobs into the local
+   fallback so a pool with no (remaining) workers still finishes. *)
+let housekeeping co () =
+  let rec loop () =
+    Thread.delay 0.05;
+    Mutex.lock co.lock;
+    let stop = co.stopping in
+    if not stop then begin
+      let now = Obs.Clock.elapsed_s co.t0 in
+      if co.cancelled || Budget.tripped co.monitor <> None then
+        List.iter
+          (fun c ->
+            if c.c_alive && not c.c_cancel_sent then begin
+              c.c_cancel_sent <- true;
+              match c.c_inflight with
+              | Some p -> (
+                  try
+                    Wire.write_frame c.c_fd
+                      (Wire.Cancel { job_id = p.p_job.Executor.j_id })
+                  with _ -> ())
+              | None -> ()
+            end)
+          co.conns;
+      (match co.job_timeout_s with
+      | None -> ()
+      | Some tmo ->
+          List.iter
+            (fun c ->
+              match c.c_inflight with
+              | Some p when now -. p.p_dispatched_at > tmo ->
+                  Log.warn (fun m ->
+                      m "job %d timed out after %.1fs on worker %d"
+                        p.p_job.Executor.j_id tmo c.c_id);
+                  kill_conn_locked co c
+              | Some _ | None -> ())
+            (alive_conns_locked co));
+      if alive_conns_locked co = [] && not (Queue.is_empty co.queue) then begin
+        let aged =
+          Queue.fold
+            (fun acc p -> acc || now -. p.p_submitted_at > co.fallback_after_s)
+            false co.queue
+        in
+        if aged then begin
+          Log.warn (fun m ->
+              m "no workers for %.1fs; degrading %d queued job(s) to local \
+                 solves"
+                co.fallback_after_s (Queue.length co.queue));
+          Queue.transfer co.queue co.fallback;
+          Condition.broadcast co.wake
+        end
+      end;
+      pump_locked co
+    end;
+    Mutex.unlock co.lock;
+    if not stop then loop ()
+  in
+  loop ()
+
+(* Degraded mode: solve in this process, on the calling thread of this
+   runner, under the real run monitor — bit-identical to the local
+   executor's sequential schedule. *)
+let fallback_runner co () =
+  let rec loop () =
+    Mutex.lock co.lock;
+    let rec next () =
+      match Queue.take_opt co.fallback with
+      | Some p -> Some p
+      | None ->
+          if co.stopping then None
+          else begin
+            Condition.wait co.wake co.lock;
+            next ()
+          end
+    in
+    let p = next () in
+    Mutex.unlock co.lock;
+    match p with
+    | None -> ()
+    | Some p ->
+        (match
+           Executor.run_job ~monitor:co.monitor ?progress:co.progress
+             ~t0:co.t0 p.p_job
+         with
+        | o -> fill p (Done o)
+        | exception e -> fill p (Failed e));
+        loop ()
+  in
+  loop ()
+
+let submit co job =
+  let p =
+    {
+      p_job = job;
+      p_submitted_at = Obs.Clock.elapsed_s co.t0;
+      p_retries = 0;
+      p_dispatched_at = 0.;
+      cell_m = Mutex.create ();
+      cell_c = Condition.create ();
+      cell = Pending;
+    }
+  in
+  Mutex.lock co.lock;
+  Queue.push p co.queue;
+  pump_locked co;
+  Mutex.unlock co.lock;
+  { Executor.await = (fun () -> await_pending p) }
+
+let cancel co () =
+  Mutex.lock co.lock;
+  co.cancelled <- true;
+  pump_locked co;
+  Condition.broadcast co.wake;
+  Mutex.unlock co.lock
+
+let shutdown co () =
+  Mutex.lock co.lock;
+  if not co.stopping then begin
+    co.stopping <- true;
+    List.iter
+      (fun c ->
+        if c.c_alive then begin
+          (try Wire.write_frame c.c_fd Wire.Shutdown with _ -> ());
+          (try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with _ -> ())
+        end)
+      co.conns;
+    (try Unix.shutdown co.listen_fd Unix.SHUTDOWN_ALL with _ -> ());
+    (try Unix.close co.listen_fd with _ -> ());
+    Condition.broadcast co.wake
+  end;
+  let ths = co.threads in
+  Mutex.unlock co.lock;
+  List.iter (fun th -> try Thread.join th with _ -> ()) ths
+
+let coordinator ?job_timeout_s ?(fallback_after_s = 10.) ?(max_retries = 2)
+    ~addr ~monitor ?progress () =
+  let host, port = addr_of addr "Net_exec.coordinator" in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (resolve host, port));
+     Unix.listen fd 16
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let co =
+    {
+      listen_fd = fd;
+      port;
+      monitor;
+      progress;
+      job_timeout_s;
+      fallback_after_s;
+      max_retries;
+      t0 = Obs.Clock.counter ();
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      fallback = Queue.create ();
+      conns = [];
+      next_id = 0;
+      stopping = false;
+      cancelled = false;
+      threads = [];
+    }
+  in
+  co.threads <-
+    [
+      Thread.create (acceptor co) ();
+      Thread.create (housekeeping co) ();
+      Thread.create (fallback_runner co) ();
+    ];
+  Log.app (fun m -> m "worker pool listening on %s:%d" host port);
+  (match !bound_hook with Some f -> f host port | None -> ());
+  ( {
+      Executor.name = "tcp";
+      capacity = Int.max 1 (List.length co.conns);
+      submit = submit co;
+      cancel = cancel co;
+      shutdown = shutdown co;
+    },
+    port )
+
+(* --- Worker ------------------------------------------------------ *)
+
+type worker_exit = [ `Shutdown | `Eof | `Died ]
+
+(* Solve one job while keeping the socket responsive: the solve runs in
+   its own thread under a per-job budget; this thread multiplexes frame
+   reads (Cancel / Shutdown) with periodic heartbeats. *)
+let serve_job fd ~heartbeat_every_s ~delay_result_s (job : Executor.job) =
+  let cancel = Atomic.make false in
+  let monitor =
+    Budget.arm (Budget.create ?max_nodes:job.Executor.j_node_share ~cancel ())
+  in
+  let result = Atomic.make None in
+  let th =
+    Thread.create
+      (fun () ->
+        let r =
+          try Ok (Executor.solve_job ~monitor job) with e -> Error e
+        in
+        Atomic.set result (Some r))
+      ()
+  in
+  let t = Obs.Clock.counter () in
+  let next_hb = ref 0. in
+  let rec wait () =
+    match Atomic.get result with
+    | Some r ->
+        Thread.join th;
+        r
+    | None ->
+        let readable, _, _ =
+          try Unix.select [ fd ] [] [] 0.05 with _ -> ([], [], [])
+        in
+        if readable <> [] then begin
+          match Wire.read_frame fd with
+          | Ok (Wire.Cancel _) | Ok Wire.Shutdown -> Atomic.set cancel true
+          | Ok _ -> ()
+          | Error _ -> Atomic.set cancel true (* coordinator gone *)
+          | exception _ -> Atomic.set cancel true
+        end;
+        let el = Obs.Clock.elapsed_s t in
+        if el >= !next_hb then begin
+          next_hb := el +. heartbeat_every_s;
+          try
+            Wire.write_frame fd
+              (Wire.Heartbeat
+                 {
+                   job_id = Some job.Executor.j_id;
+                   expanded = Budget.nodes monitor;
+                 })
+          with _ -> ()
+        end;
+        wait ()
+  in
+  let r = wait () in
+  if delay_result_s > 0. then Thread.delay delay_result_s;
+  try
+    match r with
+    | Ok solved ->
+        Wire.write_frame fd
+          (Wire.Result { job_id = job.Executor.j_id; solved })
+    | Error e ->
+        Wire.write_frame fd
+          (Wire.Failure
+             { job_id = job.Executor.j_id; message = Printexc.to_string e })
+  with _ -> ()
+
+let run_worker ?die_after_jobs ?(delay_result_s = 0.)
+    ?(heartbeat_every_s = 1.) ~connect () =
+  let host, port = addr_of connect "Net_exec.run_worker" in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (resolve host, port))
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  let finish (r : worker_exit) =
+    (try Unix.close fd with _ -> ());
+    r
+  in
+  match
+    Wire.write_frame fd (Wire.Hello { version = Wire.version });
+    Wire.read_frame fd
+  with
+  | Ok (Wire.Welcome { worker_id; _ }) ->
+      Log.info (fun m -> m "connected to %s:%d as worker %d" host port worker_id);
+      let jobs = ref 0 in
+      let rec loop () =
+        match Wire.read_frame fd with
+        | Ok (Wire.Job job) -> (
+            incr jobs;
+            match die_after_jobs with
+            | Some n when !jobs >= n ->
+                (* Fault injection: drop dead mid-job, without a result
+                   or a goodbye — exactly what a SIGKILL looks like from
+                   the coordinator's side. *)
+                Log.warn (fun m ->
+                    m "worker %d dying on purpose (job %d)" worker_id
+                      job.Executor.j_id);
+                finish `Died
+            | Some _ | None ->
+                serve_job fd ~heartbeat_every_s ~delay_result_s job;
+                loop ())
+        | Ok Wire.Shutdown -> finish `Shutdown
+        | Ok _ -> loop ()
+        | Error _ -> finish `Eof
+        | exception _ -> finish `Eof
+      in
+      loop ()
+  | Ok _ | Error _ -> finish `Eof
+  | exception e ->
+      ignore (finish `Eof);
+      raise e

@@ -28,89 +28,6 @@ type run = {
   checkpoint : Checkpoint.t option;
 }
 
-(* One (sub-)solve's full anytime result, in the small matrix's own
-   species labels. *)
-type solved = {
-  sv_stats : Stats.t;
-  sv_tree : Utree.t;
-  sv_status : Budget.status;
-  sv_lb : float;
-  sv_gap : float;
-  sv_frontier : Bb_tree.node list;  (* permuted labels, as the solver *)
-}
-
-let trivially_solved tree =
-  {
-    sv_stats = Stats.create ();
-    sv_tree = tree;
-    sv_status = Budget.Exact;
-    sv_lb = Utree.weight tree;
-    sv_gap = 0.;
-    sv_frontier = [];
-  }
-
-(* One exact solve of a small matrix: the sequential solver, or the
-   domain-parallel one when the intra-block budget allows.  [resume] is
-   this block's checkpoint state, if any: a finished block skips the
-   solve entirely, an interrupted one continues from its frontier. *)
-let solve_matrix ~options ~workers ~progress ~monitor ~resume optimal small =
-  match resume with
-  | Some (`Solved tree) -> trivially_solved tree
-  | (None | Some (`Restart _)) as rs -> (
-      let resume =
-        match rs with Some (`Restart r) -> Some r | _ -> None
-      in
-      if workers <= 1 then begin
-        let r = Solver.solve ~options ~monitor ?resume ?progress small in
-        if not r.Solver.optimal then optimal := false;
-        {
-          sv_stats = r.Solver.stats;
-          sv_tree = r.Solver.tree;
-          sv_status = r.Solver.status;
-          sv_lb = r.Solver.lower_bound;
-          sv_gap = r.Solver.certified_gap;
-          sv_frontier = r.Solver.frontier;
-        }
-      end
-      else begin
-        let r =
-          Par_bnb.solve ~options ~monitor ?resume ?progress ~n_workers:workers
-            small
-        in
-        if not r.Par_bnb.optimal then optimal := false;
-        {
-          sv_stats = r.Par_bnb.stats;
-          sv_tree = r.Par_bnb.tree;
-          sv_status = r.Par_bnb.status;
-          sv_lb = r.Par_bnb.lower_bound;
-          sv_gap = r.Par_bnb.certified_gap;
-          sv_frontier = r.Par_bnb.frontier;
-        }
-      end)
-
-let solve_small ~options ~workers ~progress ~monitor ~resume ~report stats
-    optimal small =
-  let size = Dist_matrix.size small in
-  if size = 1 then trivially_solved (Utree.leaf 0)
-  else begin
-    let sv, solve_s =
-      Obs.Clock.time (fun () ->
-          solve_matrix ~options ~workers ~progress ~monitor ~resume optimal
-            small)
-    in
-    Stats.add stats sv.sv_stats;
-    Obs.Metrics.observe (Lazy.force M.block_size) (float_of_int size);
-    Obs.Report.add_worker report
-      [
-        ("block", Obs.Json.Int 0);
-        ("block_size", Obs.Json.Int size);
-        ("solve_s", Obs.Json.Float solve_s);
-        ("stats", Stats.to_json sv.sv_stats);
-        ("status", Budget.status_to_json sv.sv_status);
-      ];
-    sv
-  end
-
 let strategy_json (options : Solver.options) =
   Obs.Json.Obj
     [
@@ -168,42 +85,63 @@ let exact ?(config = Run_config.default) ?resume dm =
           (Checkpoint.find_block ck 0))
   in
   let stats = Stats.create () in
-  let optimal = ref true in
-  Obs.Recorder.emit_ambient
-    (Obs.Events.Run_start { n = Dist_matrix.size dm; n_blocks = 1 });
-  Obs.Recorder.emit_ambient
-    (Obs.Events.Block_start { id = 0; size = Dist_matrix.size dm });
-  let sv, elapsed_s =
+  let n = Dist_matrix.size dm in
+  Obs.Recorder.emit_ambient (Obs.Events.Run_start { n; n_blocks = 1 });
+  (* An exact solve is one job through the shared execution core: block
+     events, node-share handling and timing come from [Executor.run_job],
+     exactly as a pipeline block's would. *)
+  let job =
+    {
+      Executor.j_id = 0;
+      j_size = n;
+      j_matrix = dm;
+      j_options = options;
+      j_workers = workers;
+      j_node_share = None;
+      j_resume = block_resume;
+    }
+  in
+  let t0 = Obs.Clock.counter () in
+  let o, elapsed_s =
     Obs.Clock.time (fun () ->
         Obs.Report.timed_phase report "solve" (fun () ->
-            solve_small ~options ~workers ~progress ~monitor
-              ~resume:block_resume ~report stats optimal dm))
+            Executor.run_job ~monitor ?progress ~t0 job))
   in
-  Obs.Recorder.emit_ambient
-    (Obs.Events.Block_finish
-       {
-         id = 0;
-         size = Dist_matrix.size dm;
-         solve_s = elapsed_s;
-         status = Budget.status_to_string sv.sv_status;
-       });
-  let tree = sv.sv_tree in
+  let sv = o.Executor.o_solved in
+  Stats.add stats sv.Executor.s_stats;
+  if n > 1 then begin
+    Obs.Metrics.observe (Lazy.force M.block_size) (float_of_int n);
+    Obs.Report.add_worker report
+      [
+        ("block", Obs.Json.Int 0);
+        ("block_size", Obs.Json.Int n);
+        ("solve_s", Obs.Json.Float o.Executor.o_solve_s);
+        ("stats", Stats.to_json sv.Executor.s_stats);
+        ("status", Budget.status_to_json sv.Executor.s_status);
+      ]
+  end;
+  let tree = sv.Executor.s_tree in
   let cost = Utree.weight tree in
-  let largest_block = Dist_matrix.size dm in
+  let largest_block = n in
   let checkpoint =
-    if sv.sv_status = Budget.Exact then None
+    if sv.Executor.s_status = Budget.Exact then None
     else
       Some
-        (Checkpoint.make ~matrix:dm ~status:sv.sv_status ~cost
-           ~lower_bound:sv.sv_lb
+        (Checkpoint.make ~matrix:dm ~status:sv.Executor.s_status ~cost
+           ~lower_bound:sv.Executor.s_lb
            ~blocks:
              [
-               Checkpoint.make_block ~id:0 ~matrix:dm ~solved:false
-                 ~tree:(Some tree) ~frontier:sv.sv_frontier;
+               {
+                 Checkpoint.b_id = 0;
+                 b_solved = false;
+                 b_tree = Some tree;
+                 b_frontier = sv.Executor.s_frontier;
+               };
              ])
   in
   finish_report report ~options ~elapsed_s ~cost ~n_blocks:1 ~largest_block
-    ~status:sv.sv_status ~lower_bound:sv.sv_lb ~certified_gap:sv.sv_gap stats;
+    ~status:sv.Executor.s_status ~lower_bound:sv.Executor.s_lb
+    ~certified_gap:sv.Executor.s_gap stats;
   {
     tree;
     cost;
@@ -211,11 +149,11 @@ let exact ?(config = Run_config.default) ?resume dm =
     stats;
     n_blocks = 1;
     largest_block;
-    optimal = !optimal;
+    optimal = sv.Executor.s_optimal;
     report;
-    status = sv.sv_status;
-    lower_bound = sv.sv_lb;
-    certified_gap = sv.sv_gap;
+    status = sv.Executor.s_status;
+    lower_bound = sv.Executor.s_lb;
+    certified_gap = sv.Executor.s_gap;
     checkpoint;
   }
 
@@ -235,14 +173,14 @@ type slot = {
 
 type block_result = {
   slot : slot;
-  queue_wait_s : float;  (* pool start -> this task claimed *)
+  queue_wait_s : float;  (* executor start -> this job began *)
   solve_s : float;
   b_stats : Stats.t;
   b_tree : Utree.t;
   b_optimal : bool;
   b_status : Budget.status;
   b_lb : float;
-  b_frontier : Bb_tree.node list;
+  b_frontier : Utree.t list;  (* block-local labels, as checkpoints *)
 }
 
 let slots_of (deco : Decompose.t) =
@@ -285,71 +223,81 @@ let plan_node_shares ~max_nodes todo =
       Int.max 1 (int_of_float (float_of_int max_nodes *. weight s /. total)))
     todo
 
-let solve_slots ~options ~workers ~block_workers ~progress ~monitor
-    ~resume_for slots =
+(* The backend the configuration selects for block solves.  [Local] is
+   the default and bit-identical to the historical in-process pipeline;
+   [Sim] is the discrete-event cluster; [Tcp] a real worker pool. *)
+let executor_for ~(config : Run_config.t) ~monitor ~n_jobs =
+  let progress = config.Run_config.progress in
+  match config.Run_config.executor with
+  | Executor.Local ->
+      let capacity =
+        Int.min
+          (effective_block_workers config.Run_config.block_workers)
+          (Int.max 1 n_jobs)
+      in
+      Executor.local ~capacity ~monitor ?progress ()
+  | Executor.Sim -> Executor.sim ~monitor ~workers:config.Run_config.workers
+  | Executor.Tcp ->
+      let addr =
+        (* validate guarantees the address is present and parseable *)
+        Option.value ~default:"127.0.0.1:0" config.Run_config.workers_addr
+      in
+      fst (Net_exec.coordinator ~addr ~monitor ?progress ())
+
+let solve_slots ~config ~monitor ~resume_for slots =
+  let options = config.Run_config.solver in
+  let workers = config.Run_config.workers in
   let todo = schedule slots in
   let shares =
     match Budget.max_nodes (Budget.spec monitor) with
     | None -> Array.map (fun _ -> None) todo
     | Some cap -> Array.map (fun s -> Some s) (plan_node_shares ~max_nodes:cap todo)
   in
-  let t_pool = Obs.Clock.counter () in
-  let solve_one i slot =
-    let queue_wait_s = Obs.Clock.elapsed_s t_pool in
-    (* Blocks with their own node share solve under a child monitor, so
-       exhausting one block's share never stops its siblings; deadline
-       and cancellation still propagate from the parent. *)
-    let bmon =
-      match shares.(i) with
-      | None -> monitor
-      | Some cap -> Budget.sub ~max_nodes:cap monitor
-    in
-    let optimal = ref true in
-    Obs.Recorder.emit_ambient
-      (Obs.Events.Block_start { id = slot.id; size = slot.size });
-    let sv, solve_s =
-      Obs.Clock.time (fun () ->
-          solve_matrix ~options ~workers ~progress ~monitor:bmon
-            ~resume:(resume_for slot) optimal slot.block.Decompose.small)
-    in
-    Obs.Recorder.emit_ambient
-      (Obs.Events.Block_finish
-         {
-           id = slot.id;
-           size = slot.size;
-           solve_s;
-           status = Budget.status_to_string sv.sv_status;
-         });
-    {
-      slot;
-      queue_wait_s;
-      solve_s;
-      b_stats = sv.sv_stats;
-      b_tree = sv.sv_tree;
-      b_optimal = !optimal;
-      b_status = sv.sv_status;
-      b_lb = sv.sv_lb;
-      b_frontier = sv.sv_frontier;
-    }
+  let exec = executor_for ~config ~monitor ~n_jobs:(Array.length todo) in
+  Log.debug (fun m ->
+      m "solving %d blocks on the %s executor (capacity %d)"
+        (Array.length todo) exec.Executor.name exec.Executor.capacity);
+  (* Submit largest-first (the schedule order), await in the same order;
+     a job failure surfaces on await after the executor is shut down
+     cleanly. *)
+  let outcomes =
+    Fun.protect
+      ~finally:(fun () -> exec.Executor.shutdown ())
+      (fun () ->
+        let futures =
+          Array.mapi
+            (fun i slot ->
+              ( slot,
+                exec.Executor.submit
+                  {
+                    Executor.j_id = slot.id;
+                    j_size = slot.size;
+                    j_matrix = slot.block.Decompose.small;
+                    j_options = options;
+                    j_workers = workers;
+                    j_node_share = shares.(i);
+                    j_resume = resume_for slot;
+                  } ))
+            todo
+        in
+        Array.map (fun (slot, fut) -> (slot, fut.Executor.await ())) futures)
   in
-  let n_workers = Int.min (effective_block_workers block_workers) (Array.length todo) in
   let results =
-    if n_workers <= 1 || Array.length todo <= 1 then Array.mapi solve_one todo
-    else begin
-      (* A persistent pool: blocks are submitted largest-first and
-         awaited in the same order; a task failure surfaces on await
-         after the pool is shut down cleanly. *)
-      let pool = Domain_pool.create ~n_workers in
-      Fun.protect
-        ~finally:(fun () -> Domain_pool.shutdown pool)
-        (fun () ->
-          let futures =
-            Array.mapi
-              (fun i slot -> Domain_pool.submit pool (fun () -> solve_one i slot))
-              todo
-          in
-          Array.map Domain_pool.await futures)
-    end
+    Array.map
+      (fun (slot, (o : Executor.outcome)) ->
+        let sv = o.Executor.o_solved in
+        {
+          slot;
+          queue_wait_s = o.Executor.o_queue_wait_s;
+          solve_s = o.Executor.o_solve_s;
+          b_stats = sv.Executor.s_stats;
+          b_tree = sv.Executor.s_tree;
+          b_optimal = sv.Executor.s_optimal;
+          b_status = sv.Executor.s_status;
+          b_lb = sv.Executor.s_lb;
+          b_frontier = sv.Executor.s_frontier;
+        })
+      outcomes
   in
   Array.sort (fun a b -> compare a.slot.id b.slot.id) results;
   results
@@ -440,7 +388,6 @@ let with_compact_sets ?(config = Run_config.default) ?resume dm =
   let relaxation = config.Run_config.relaxation in
   let workers = config.Run_config.workers in
   let block_workers = config.Run_config.block_workers in
-  let progress = config.Run_config.progress in
   let n = Dist_matrix.size dm in
   if n = 0 then invalid_arg "Pipeline.with_compact_sets: empty matrix";
   let resume_ck =
@@ -508,8 +455,7 @@ let with_compact_sets ?(config = Run_config.default) ?resume dm =
           in
           let results =
             Obs.Report.timed_phase report "solve-blocks" (fun () ->
-                solve_slots ~options ~workers ~block_workers ~progress
-                  ~monitor ~resume_for slots)
+                solve_slots ~config ~monitor ~resume_for slots)
           in
           merge_results ~report ~stats ~optimal results;
           Log.debug (fun m ->
@@ -558,10 +504,15 @@ let with_compact_sets ?(config = Run_config.default) ?resume dm =
                (Array.to_list
                   (Array.map
                      (fun r ->
-                       Checkpoint.make_block ~id:r.slot.id
-                         ~matrix:r.slot.block.Decompose.small
-                         ~solved:(r.b_status = Budget.Exact)
-                         ~tree:(Some r.b_tree) ~frontier:r.b_frontier)
+                       (* [b_frontier] is already in block-local labels
+                          (the executor relabels before returning), so
+                          the block record is assembled directly. *)
+                       {
+                         Checkpoint.b_id = r.slot.id;
+                         b_solved = r.b_status = Budget.Exact;
+                         b_tree = Some r.b_tree;
+                         b_frontier = r.b_frontier;
+                       })
                      results)))
     in
     (* Relative to the sum-of-block bound above, never clamped to the
@@ -619,47 +570,3 @@ let compare_methods ?(config = Run_config.default) dm =
   Obs.Report.set report "with_cs" (Obs.Report.to_json with_cs.report);
   Obs.Report.set report "without_cs" (Obs.Report.to_json without_cs.report);
   { with_cs; without_cs; time_saved_pct; cost_increase_pct; report }
-
-(* --- deprecated optional-argument entry points ---
-
-   Thin shims over the [?config] API, kept so older call sites migrate
-   on their own schedule.  Each builds the equivalent [Run_config.t]
-   and defers; validation therefore happens in one place. *)
-
-let exact_legacy ?(options = Solver.default_options) ?(workers = 1) ?progress
-    dm =
-  exact
-    ~config:{ Run_config.default with solver = options; workers; progress }
-    dm
-
-let with_compact_sets_legacy ?(linkage = Decompose.Max) ?relaxation
-    ?(options = Solver.default_options) ?(workers = 1) ?(block_workers = 1)
-    ?progress dm =
-  with_compact_sets
-    ~config:
-      {
-        Run_config.default with
-        solver = options;
-        linkage;
-        relaxation;
-        workers;
-        block_workers;
-        progress;
-      }
-    dm
-
-let compare_methods_legacy ?(linkage = Decompose.Max)
-    ?(options = Solver.default_options) ?(workers = 1) ?(block_workers = 1)
-    ?progress dm =
-  compare_methods
-    ~config:
-      {
-        Run_config.default with
-        solver = options;
-        linkage;
-        relaxation = None;
-        workers;
-        block_workers;
-        progress;
-      }
-    dm

@@ -156,40 +156,18 @@ type comparison = {
 val compare_methods : ?config:Run_config.t -> Dist_matrix.t -> comparison
 (** Run both conditions on the same matrix — one row of the paper's
     Figures 8-13.  [block_workers] applies to the compact-set condition
-    only (the exact baseline is a single block). *)
+    only (the exact baseline is a single block).
 
-(** {2 Deprecated optional-argument entry points}
+    {2 Where block solves run}
 
-    The pre-[Run_config] signatures, kept as thin shims.  New code
-    should build a {!Run_config.t} and call the primary functions. *)
+    Both entry points schedule every solve through the {!Executor}
+    backend the configuration names: [Local] (the default — this
+    process, bit-identical to the historical pipeline), [Sim] (the
+    cluster simulator; register it with [Clustersim.Sim_exec.register]),
+    or [Tcp] (a real worker pool at [workers_addr]; see {!Net_exec}).
+    Budgets, checkpoints, manifests and telemetry compose unchanged
+    across backends.
 
-val exact_legacy :
-  ?options:Solver.options ->
-  ?workers:int ->
-  ?progress:Obs.Progress.t ->
-  Dist_matrix.t ->
-  run
-[@@alert deprecated "use Pipeline.exact ?config (Run_config.t) instead"]
-
-val with_compact_sets_legacy :
-  ?linkage:Decompose.linkage ->
-  ?relaxation:float ->
-  ?options:Solver.options ->
-  ?workers:int ->
-  ?block_workers:int ->
-  ?progress:Obs.Progress.t ->
-  Dist_matrix.t ->
-  run
-[@@alert
-  deprecated "use Pipeline.with_compact_sets ?config (Run_config.t) instead"]
-
-val compare_methods_legacy :
-  ?linkage:Decompose.linkage ->
-  ?options:Solver.options ->
-  ?workers:int ->
-  ?block_workers:int ->
-  ?progress:Obs.Progress.t ->
-  Dist_matrix.t ->
-  comparison
-[@@alert
-  deprecated "use Pipeline.compare_methods ?config (Run_config.t) instead"]
+    Note: the pre-[Run_config] [*_legacy] entry points were removed —
+    build a {!Run_config.t} instead, e.g.
+    [Pipeline.exact ~config:(Run_config.with_solver options Run_config.default) dm]. *)

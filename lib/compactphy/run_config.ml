@@ -11,6 +11,8 @@ type t = {
   deadline_s : float option;
   max_nodes : int option;
   cancel : bool Atomic.t option;
+  executor : Executor.kind;
+  workers_addr : string option;
 }
 
 let default =
@@ -24,6 +26,8 @@ let default =
     deadline_s = None;
     max_nodes = None;
     cancel = None;
+    executor = Executor.Local;
+    workers_addr = None;
   }
 
 let solver_options = Solver.options
@@ -47,6 +51,8 @@ let with_progress p c = { c with progress = Some p }
 let with_deadline d c = { c with deadline_s = Some d }
 let with_max_nodes cap c = { c with max_nodes = Some cap }
 let with_cancel flag c = { c with cancel = Some flag }
+let with_executor executor c = { c with executor }
+let with_workers_addr addr c = { c with workers_addr = Some addr }
 
 let budget c =
   Bnb.Budget.create ?deadline_s:c.deadline_s ?max_nodes:c.max_nodes
@@ -84,6 +90,17 @@ let validate ?(who = "Run_config.validate") c =
       invalid_arg
         (Printf.sprintf "%s: max_nodes = %d (must be > 0)" who cap)
   | Some _ | None -> ());
+  (* The TCP executor needs a coordinator listen address (HOST:PORT;
+     port 0 binds an ephemeral port). *)
+  (match (c.executor, c.workers_addr) with
+  | Executor.Tcp, None ->
+      invalid_arg
+        (Printf.sprintf "%s: executor = tcp requires workers_addr" who)
+  | _, Some addr -> (
+      match Executor.parse_addr addr with
+      | Ok _ -> ()
+      | Error e -> invalid_arg (Printf.sprintf "%s: workers_addr: %s" who e))
+  | (Executor.Local | Executor.Sim), None -> ());
   c
 
 type preset = Paper | Fast | Exhaustive
@@ -130,10 +147,21 @@ let of_preset = function
 
 let lb_to_string = function Solver.LB0 -> "lb0" | Solver.LB1 -> "lb1"
 
+let lb_of_string = function
+  | "lb0" -> Some Solver.LB0
+  | "lb1" -> Some Solver.LB1
+  | _ -> None
+
 let mode33_to_string = function
   | Solver.Off -> "off"
   | Solver.Third_only -> "third_only"
   | Solver.Every_insertion -> "every_insertion"
+
+let mode33_of_string = function
+  | "off" -> Some Solver.Off
+  | "third_only" -> Some Solver.Third_only
+  | "every_insertion" -> Some Solver.Every_insertion
+  | _ -> None
 
 let initial_ub_to_string = function
   | Solver.Upgmm_ub -> "upgmm"
@@ -141,20 +169,45 @@ let initial_ub_to_string = function
   | Solver.Nj_ub -> "nj"
   | Solver.No_heuristic_ub -> "none"
 
+let initial_ub_of_string = function
+  | "upgmm" -> Some Solver.Upgmm_ub
+  | "upgma" -> Some Solver.Upgma_ub
+  | "nj" -> Some Solver.Nj_ub
+  | "none" -> Some Solver.No_heuristic_ub
+  | _ -> None
+
 let search_to_string = function
   | Solver.Dfs -> "dfs"
   | Solver.Best_first -> "best_first"
   | Solver.Hybrid -> "hybrid"
+
+let search_of_string = function
+  | "dfs" -> Some Solver.Dfs
+  | "best_first" -> Some Solver.Best_first
+  | "hybrid" -> Some Solver.Hybrid
+  | _ -> None
 
 let branching_to_string = function
   | Solver.Paper_order -> "paper_order"
   | Solver.Largest_first -> "largest_first"
   | Solver.Residual_lb -> "residual_lb"
 
+let branching_of_string = function
+  | "paper_order" -> Some Solver.Paper_order
+  | "largest_first" -> Some Solver.Largest_first
+  | "residual_lb" -> Some Solver.Residual_lb
+  | _ -> None
+
 let linkage_to_string = function
   | Decompose.Max -> "max"
   | Decompose.Min -> "min"
   | Decompose.Avg -> "avg"
+
+let linkage_of_string = function
+  | "max" -> Some Decompose.Max
+  | "min" -> Some Decompose.Min
+  | "avg" -> Some Decompose.Avg
+  | _ -> None
 
 let to_json c =
   let s = c.solver in
@@ -194,5 +247,10 @@ let to_json c =
       ( "max_nodes",
         match c.max_nodes with
         | Some cap -> Obs.Json.Int cap
+        | None -> Obs.Json.Null );
+      ("executor", Obs.Json.String (Executor.kind_to_string c.executor));
+      ( "workers_addr",
+        match c.workers_addr with
+        | Some a -> Obs.Json.String a
         | None -> Obs.Json.Null );
     ]

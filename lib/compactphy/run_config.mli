@@ -29,6 +29,13 @@ type t = {
   cancel : bool Atomic.t option;
       (** external cancel flag (e.g. set from a SIGINT handler): the run
           stops cooperatively once it becomes [true] *)
+  executor : Executor.kind;
+      (** where block solves run: [Local] (this process, the default),
+          [Sim] (the cluster simulator), or [Tcp] (a real worker pool —
+          see {!Net_exec}) *)
+  workers_addr : string option;
+      (** [Tcp] coordinator listen address, [HOST:PORT]; port 0 binds an
+          ephemeral port.  Required when [executor = Tcp]. *)
 }
 
 val default : t
@@ -74,6 +81,8 @@ val with_progress : Obs.Progress.t -> t -> t
 val with_deadline : float -> t -> t
 val with_max_nodes : int -> t -> t
 val with_cancel : bool Atomic.t -> t -> t
+val with_executor : Executor.kind -> t -> t
+val with_workers_addr : string -> t -> t
 
 val budget : t -> Bnb.Budget.t
 (** The run budget this configuration describes
@@ -85,9 +94,14 @@ val validate : ?who:string -> t -> t
     @raise Invalid_argument if [workers < 1], [block_workers < 1],
     [relaxation < 1.] (or NaN), [solver.gap] negative or not finite,
     [solver.max_expanded <= 0], [deadline_s] not positive and finite,
-    or [max_nodes <= 0]. *)
+    [max_nodes <= 0], [executor = Tcp] without a [workers_addr], or
+    [workers_addr] is not a parseable [HOST:PORT]. *)
 
-(** {2 Manifest strings} *)
+(** {2 Manifest strings}
+
+    The spellings used by {!to_json}, the run manifests and the wire
+    protocol, with their inverses so configurations round-trip across
+    process boundaries. *)
 
 val search_to_string : Solver.search_order -> string
 (** ["dfs"], ["best_first"] or ["hybrid"] — the spelling used by
@@ -95,6 +109,17 @@ val search_to_string : Solver.search_order -> string
 
 val branching_to_string : Solver.branch_order -> string
 (** ["paper_order"], ["largest_first"] or ["residual_lb"]. *)
+
+val lb_to_string : Solver.lb_kind -> string
+val mode33_to_string : Solver.mode33 -> string
+val initial_ub_to_string : Solver.initial_ub -> string
+val linkage_to_string : Decompose.linkage -> string
+val lb_of_string : string -> Solver.lb_kind option
+val mode33_of_string : string -> Solver.mode33 option
+val initial_ub_of_string : string -> Solver.initial_ub option
+val search_of_string : string -> Solver.search_order option
+val branching_of_string : string -> Solver.branch_order option
+val linkage_of_string : string -> Decompose.linkage option
 
 (** {2 Presets} *)
 

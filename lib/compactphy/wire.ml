@@ -1,0 +1,459 @@
+open Import
+module J = Obs.Json
+
+(* The TCP executor's frame layer: a 4-byte big-endian length prefix
+   followed by one JSON document.  Every float that must survive the
+   trip bit-exactly (matrix entries, tree heights, bounds, the gap
+   tolerance) is a [%h] hex literal, the same encoding checkpoints use
+   — a localhost pool is bit-identical to a sequential solve because
+   nothing is ever re-rounded through decimal. *)
+
+let version = 1
+
+(* A block matrix is a few hundred species at most; 64 MiB of frame is
+   already absurd, so anything larger is a protocol error, not a
+   payload. *)
+let max_frame_bytes = 64 * 1024 * 1024
+
+type frame =
+  | Hello of { version : int }
+  | Welcome of { version : int; worker_id : int }
+  | Job of Executor.job
+  | Cancel of { job_id : int }
+  | Shutdown
+  | Heartbeat of { job_id : int option; expanded : int }
+  | Result of { job_id : int; solved : Executor.solved }
+  | Failure of { job_id : int; message : string }
+
+(* --- field helpers (checkpoint-style result parsing) --- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let hex x = Printf.sprintf "%h" x
+
+let field name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name j =
+  let* v = field name j in
+  match J.to_int_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let string_field name j =
+  let* v = field name j in
+  match J.to_string_opt v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S must be a string" name)
+
+let bool_field name j =
+  let* v = field name j in
+  match v with
+  | J.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+
+let hex_float_field name j =
+  let* s = string_field name j in
+  match float_of_string_opt s with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "field %S: bad float literal %S" name s)
+
+let list_field name j =
+  let* v = field name j in
+  match J.to_list_opt v with
+  | Some xs -> Ok xs
+  | None -> Error (Printf.sprintf "field %S must be a list" name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let enum_field name of_string j =
+  let* s = string_field name j in
+  match of_string s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "field %S: unknown value %S" name s)
+
+(* --- matrices --- *)
+
+(* Entries go as [i, j, "hex"] triples so the decoder never depends on
+   the matrix iteration order of the peer's build. *)
+let matrix_to_json m =
+  let entries = ref [] in
+  Dist_matrix.iter_pairs
+    (fun i j d -> entries := J.List [ J.Int i; J.Int j; J.String (hex d) ] :: !entries)
+    m;
+  J.Obj [ ("n", J.Int (Dist_matrix.size m)); ("entries", J.List !entries) ]
+
+let matrix_of_json j =
+  let* n = int_field "n" j in
+  let* () = if n >= 1 then Ok () else Error "matrix: n must be >= 1" in
+  let* entries = list_field "entries" j in
+  let a = Array.make_matrix n n 0. in
+  let* () =
+    let rec go = function
+      | [] -> Ok ()
+      | J.List [ J.Int i; J.Int jj; J.String h ] :: rest -> (
+          if i < 0 || i >= n || jj < 0 || jj >= n then
+            Error (Printf.sprintf "matrix: entry (%d,%d) out of range" i jj)
+          else
+            match float_of_string_opt h with
+            | None -> Error (Printf.sprintf "matrix: bad float literal %S" h)
+            | Some d ->
+                a.(i).(jj) <- d;
+                a.(jj).(i) <- d;
+                go rest)
+      | _ -> Error "matrix: entries must be [i, j, \"hex\"] triples"
+    in
+    go entries
+  in
+  Ok (Dist_matrix.init n (fun i jj -> a.(i).(jj)))
+
+(* --- solver options --- *)
+
+let options_to_json (o : Solver.options) =
+  J.Obj
+    [
+      ("lb", J.String (Run_config.lb_to_string o.Solver.lb));
+      ("relation33", J.String (Run_config.mode33_to_string o.Solver.relation33));
+      ( "initial_ub",
+        J.String (Run_config.initial_ub_to_string o.Solver.initial_ub) );
+      ( "max_expanded",
+        match o.Solver.max_expanded with
+        | Some cap -> J.Int cap
+        | None -> J.Null );
+      ("search", J.String (Run_config.search_to_string o.Solver.search));
+      ("branching", J.String (Run_config.branching_to_string o.Solver.branching));
+      ("gap", J.String (hex o.Solver.gap));
+      ("collect_all", J.Bool o.Solver.collect_all);
+      ("kernel", J.String (Bnb.Kernel.kind_to_string o.Solver.kernel));
+    ]
+
+let options_of_json j =
+  let* lb = enum_field "lb" Run_config.lb_of_string j in
+  let* relation33 = enum_field "relation33" Run_config.mode33_of_string j in
+  let* initial_ub = enum_field "initial_ub" Run_config.initial_ub_of_string j in
+  let* max_expanded =
+    match J.member "max_expanded" j with
+    | Some J.Null | None -> Ok None
+    | Some v -> (
+        match J.to_int_opt v with
+        | Some cap -> Ok (Some cap)
+        | None -> Error "field \"max_expanded\" must be an integer or null")
+  in
+  let* search = enum_field "search" Run_config.search_of_string j in
+  let* branching = enum_field "branching" Run_config.branching_of_string j in
+  let* gap = hex_float_field "gap" j in
+  let* collect_all = bool_field "collect_all" j in
+  let* kernel = enum_field "kernel" Bnb.Kernel.kind_of_string j in
+  Ok
+    {
+      Solver.lb;
+      relation33;
+      initial_ub;
+      max_expanded;
+      search;
+      branching;
+      gap;
+      collect_all;
+      kernel;
+    }
+
+(* --- stats (counters + full attribution cells) --- *)
+
+let stats_to_json (s : Stats.t) =
+  J.Obj
+    [
+      ("expanded", J.Int s.Stats.expanded);
+      ("generated", J.Int s.Stats.generated);
+      ("pruned", J.Int s.Stats.pruned);
+      ("pruned_33", J.Int s.Stats.pruned_33);
+      ("ub_updates", J.Int s.Stats.ub_updates);
+      ("max_open", J.Int s.Stats.max_open);
+      ("attribution", Obs.Attribution.cells_to_json s.Stats.att);
+    ]
+
+let stats_of_json j =
+  let* expanded = int_field "expanded" j in
+  let* generated = int_field "generated" j in
+  let* pruned = int_field "pruned" j in
+  let* pruned_33 = int_field "pruned_33" j in
+  let* ub_updates = int_field "ub_updates" j in
+  let* max_open = int_field "max_open" j in
+  let* att_j = field "attribution" j in
+  let* att = Obs.Attribution.cells_of_json att_j in
+  Ok
+    { Stats.expanded; generated; pruned; pruned_33; ub_updates; max_open; att }
+
+(* --- trees, resume, status --- *)
+
+let tree_to_json = Checkpoint.tree_to_json
+let tree_of_json = Checkpoint.tree_of_json
+
+let resume_to_json = function
+  | None -> J.Null
+  | Some (`Solved t) -> J.Obj [ ("solved", tree_to_json t) ]
+  | Some (`Restart (r : Solver.resume)) ->
+      J.Obj
+        [
+          ( "frontier",
+            J.List
+              (List.map
+                 (fun (k, t) ->
+                   J.Obj [ ("k", J.Int k); ("tree", tree_to_json t) ])
+                 r.Solver.r_frontier) );
+          ("ub", J.String (hex r.Solver.r_ub));
+          ( "incumbent",
+            match r.Solver.r_incumbent with
+            | Some t -> tree_to_json t
+            | None -> J.Null );
+        ]
+
+let resume_of_json = function
+  | J.Null -> Ok None
+  | j -> (
+      match J.member "solved" j with
+      | Some t ->
+          let* t = tree_of_json t in
+          Ok (Some (`Solved t))
+      | None ->
+          let* fr = list_field "frontier" j in
+          let* r_frontier =
+            map_result
+              (fun e ->
+                let* k = int_field "k" e in
+                let* t = field "tree" e in
+                let* t = tree_of_json t in
+                Ok (k, t))
+              fr
+          in
+          let* r_ub = hex_float_field "ub" j in
+          let* r_incumbent =
+            match J.member "incumbent" j with
+            | Some J.Null | None -> Ok None
+            | Some t ->
+                let* t = tree_of_json t in
+                Ok (Some t)
+          in
+          Ok (Some (`Restart { Solver.r_frontier; r_ub; r_incumbent })))
+
+let status_of_json j =
+  let* s = string_field "status" j in
+  match Budget.status_of_string s with
+  | Some st -> Ok st
+  | None -> Error (Printf.sprintf "unknown status %S" s)
+
+(* --- jobs and results --- *)
+
+let job_to_json (job : Executor.job) =
+  J.Obj
+    [
+      ("id", J.Int job.Executor.j_id);
+      ("size", J.Int job.Executor.j_size);
+      ("matrix", matrix_to_json job.Executor.j_matrix);
+      ("options", options_to_json job.Executor.j_options);
+      ("workers", J.Int job.Executor.j_workers);
+      ( "node_share",
+        match job.Executor.j_node_share with
+        | Some s -> J.Int s
+        | None -> J.Null );
+      ("resume", resume_to_json job.Executor.j_resume);
+    ]
+
+let job_of_json j =
+  let* j_id = int_field "id" j in
+  let* j_size = int_field "size" j in
+  let* mj = field "matrix" j in
+  let* j_matrix = matrix_of_json mj in
+  let* oj = field "options" j in
+  let* j_options = options_of_json oj in
+  let* j_workers = int_field "workers" j in
+  let* j_node_share =
+    match J.member "node_share" j with
+    | Some J.Null | None -> Ok None
+    | Some v -> (
+        match J.to_int_opt v with
+        | Some s -> Ok (Some s)
+        | None -> Error "field \"node_share\" must be an integer or null")
+  in
+  let* rj = field "resume" j in
+  let* j_resume = resume_of_json rj in
+  Ok
+    {
+      Executor.j_id;
+      j_size;
+      j_matrix;
+      j_options;
+      j_workers;
+      j_node_share;
+      j_resume;
+    }
+
+let solved_to_json (s : Executor.solved) =
+  J.Obj
+    [
+      ("stats", stats_to_json s.Executor.s_stats);
+      ("tree", tree_to_json s.Executor.s_tree);
+      ("status", Budget.status_to_json s.Executor.s_status);
+      ("lb", J.String (hex s.Executor.s_lb));
+      ("gap", J.String (hex s.Executor.s_gap));
+      ("optimal", J.Bool s.Executor.s_optimal);
+      ("frontier", J.List (List.map tree_to_json s.Executor.s_frontier));
+    ]
+
+let solved_of_json j =
+  let* sj = field "stats" j in
+  let* s_stats = stats_of_json sj in
+  let* tj = field "tree" j in
+  let* s_tree = tree_of_json tj in
+  let* s_status = status_of_json j in
+  let* s_lb = hex_float_field "lb" j in
+  let* s_gap = hex_float_field "gap" j in
+  let* s_optimal = bool_field "optimal" j in
+  let* fr = list_field "frontier" j in
+  let* s_frontier = map_result tree_of_json fr in
+  Ok { Executor.s_stats; s_tree; s_status; s_lb; s_gap; s_optimal; s_frontier }
+
+(* --- frames --- *)
+
+let frame_to_json = function
+  | Hello { version } ->
+      J.Obj [ ("type", J.String "hello"); ("version", J.Int version) ]
+  | Welcome { version; worker_id } ->
+      J.Obj
+        [
+          ("type", J.String "welcome");
+          ("version", J.Int version);
+          ("worker_id", J.Int worker_id);
+        ]
+  | Job job -> J.Obj [ ("type", J.String "job"); ("job", job_to_json job) ]
+  | Cancel { job_id } ->
+      J.Obj [ ("type", J.String "cancel"); ("job", J.Int job_id) ]
+  | Shutdown -> J.Obj [ ("type", J.String "shutdown") ]
+  | Heartbeat { job_id; expanded } ->
+      J.Obj
+        [
+          ("type", J.String "heartbeat");
+          ("job", match job_id with Some i -> J.Int i | None -> J.Null);
+          ("expanded", J.Int expanded);
+        ]
+  | Result { job_id; solved } ->
+      J.Obj
+        [
+          ("type", J.String "result");
+          ("job", J.Int job_id);
+          ("solved", solved_to_json solved);
+        ]
+  | Failure { job_id; message } ->
+      J.Obj
+        [
+          ("type", J.String "failure");
+          ("job", J.Int job_id);
+          ("message", J.String message);
+        ]
+
+let frame_of_json j =
+  let* ty = string_field "type" j in
+  match ty with
+  | "hello" ->
+      let* version = int_field "version" j in
+      Ok (Hello { version })
+  | "welcome" ->
+      let* version = int_field "version" j in
+      let* worker_id = int_field "worker_id" j in
+      Ok (Welcome { version; worker_id })
+  | "job" ->
+      let* jj = field "job" j in
+      let* job = job_of_json jj in
+      Ok (Job job)
+  | "cancel" ->
+      let* job_id = int_field "job" j in
+      Ok (Cancel { job_id })
+  | "shutdown" -> Ok Shutdown
+  | "heartbeat" ->
+      let* job_id =
+        match J.member "job" j with
+        | Some J.Null | None -> Ok None
+        | Some v -> (
+            match J.to_int_opt v with
+            | Some i -> Ok (Some i)
+            | None -> Error "heartbeat: field \"job\" must be int or null")
+      in
+      let* expanded = int_field "expanded" j in
+      Ok (Heartbeat { job_id; expanded })
+  | "result" ->
+      let* job_id = int_field "job" j in
+      let* sj = field "solved" j in
+      let* solved = solved_of_json sj in
+      Ok (Result { job_id; solved })
+  | "failure" ->
+      let* job_id = int_field "job" j in
+      let* message = string_field "message" j in
+      Ok (Failure { job_id; message })
+  | _ -> Error (Printf.sprintf "unknown frame type %S" ty)
+
+(* --- socket IO --- *)
+
+type read_error = Eof | Bad of string
+
+let write_all fd b off len =
+  let rec go off len =
+    if len > 0 then begin
+      match Unix.write fd b off len with
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+    end
+  in
+  go off len
+
+let write_frame fd frame =
+  let payload = J.to_string (frame_to_json frame) in
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b 4 n;
+  write_all fd b 0 (4 + n)
+
+let read_exact fd b off len =
+  let rec go off len =
+    if len = 0 then Ok ()
+    else
+      match Unix.read fd b off len with
+      | 0 -> Error Eof
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+  in
+  go off len
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match read_exact fd hdr 0 4 with
+  | Error _ as e -> e
+  | Ok () -> (
+      let len =
+        (Bytes.get_uint8 hdr 0 lsl 24)
+        lor (Bytes.get_uint8 hdr 1 lsl 16)
+        lor (Bytes.get_uint8 hdr 2 lsl 8)
+        lor Bytes.get_uint8 hdr 3
+      in
+      if len <= 0 || len > max_frame_bytes then
+        Error (Bad (Printf.sprintf "bad frame length %d" len))
+      else
+        let b = Bytes.create len in
+        match read_exact fd b 0 len with
+        | Error _ as e -> e
+        | Ok () -> (
+            match J.of_string (Bytes.unsafe_to_string b) with
+            | Error e -> Error (Bad (Printf.sprintf "bad frame JSON: %s" e))
+            | Ok j -> (
+                match frame_of_json j with
+                | Error e -> Error (Bad e)
+                | Ok f -> Ok f)))

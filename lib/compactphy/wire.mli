@@ -1,0 +1,72 @@
+open Import
+
+(** The TCP executor's wire protocol: length-prefixed JSON frames.
+
+    Each frame is a 4-byte big-endian byte length followed by one JSON
+    document.  Floats that must survive bit-exactly — matrix entries,
+    tree heights, bounds, the gap tolerance — travel as [%h] hex-float
+    literals (the checkpoint encoding), which is why a localhost pool
+    reproduces the sequential solver's cost and topology exactly.
+
+    Conversation: the worker connects and sends [Hello]; the
+    coordinator answers [Welcome] (assigning a worker id) and then
+    sends [Job] frames.  While solving, the worker streams [Heartbeat]s
+    and watches for [Cancel]; it finishes a job with [Result] (or
+    [Failure] for a solver exception) and waits for the next job.
+    [Shutdown] ends the session from the coordinator's side. *)
+
+val version : int
+(** Protocol version, negotiated in [Hello]/[Welcome] (currently 1). *)
+
+val max_frame_bytes : int
+(** Frames larger than this are a protocol error, not a payload. *)
+
+type frame =
+  | Hello of { version : int }
+  | Welcome of { version : int; worker_id : int }
+  | Job of Executor.job
+  | Cancel of { job_id : int }
+  | Shutdown
+  | Heartbeat of { job_id : int option; expanded : int }
+  | Result of { job_id : int; solved : Executor.solved }
+  | Failure of { job_id : int; message : string }
+
+(** {2 Codecs}
+
+    Exposed for tests and for anything else that wants to persist jobs
+    or results; all [of_json] functions are total inverses of their
+    [to_json] with human-readable errors. *)
+
+val matrix_to_json : Dist_matrix.t -> Obs.Json.t
+val matrix_of_json : Obs.Json.t -> (Dist_matrix.t, string) result
+val options_to_json : Solver.options -> Obs.Json.t
+val options_of_json : Obs.Json.t -> (Solver.options, string) result
+
+val stats_to_json : Stats.t -> Obs.Json.t
+(** Unlike [Stats.to_json] (a manifest rendering), this carries the
+    {e full} attribution cells so a remote block's forensics merge into
+    the coordinator's manifest exactly as a local solve's would. *)
+
+val stats_of_json : Obs.Json.t -> (Stats.t, string) result
+
+val job_to_json : Executor.job -> Obs.Json.t
+val job_of_json : Obs.Json.t -> (Executor.job, string) result
+val solved_to_json : Executor.solved -> Obs.Json.t
+val solved_of_json : Obs.Json.t -> (Executor.solved, string) result
+
+val frame_to_json : frame -> Obs.Json.t
+val frame_of_json : Obs.Json.t -> (frame, string) result
+
+(** {2 Socket IO} *)
+
+type read_error = Eof | Bad of string
+
+val write_frame : Unix.file_descr -> frame -> unit
+(** Serialise and write one frame (handles short writes).  Raises
+    [Unix.Unix_error] on a dead peer — callers treat that as worker
+    death. *)
+
+val read_frame : Unix.file_descr -> (frame, read_error) result
+(** Read exactly one frame.  [Eof] is a clean peer close; [Bad] is a
+    malformed length, JSON or frame.  Raises [Unix.Unix_error] on
+    socket errors. *)

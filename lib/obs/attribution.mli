@@ -84,6 +84,12 @@ val cells_to_json : cells -> Json.t
     [[depth, count], ...] rows, plus expanded/generated depth profiles
     (branching factor at depth [d] is [generated/expanded]). *)
 
+val cells_of_json : Json.t -> (cells, string) result
+(** Inverse of {!cells_to_json} (up to unknown reason names, which are
+    skipped).  Lets attribution cross process boundaries bit-exactly —
+    a remote executor's result carries its cells so the merged manifest
+    matches a local run. *)
+
 val pp_summary : Format.formatter -> cells -> unit
 (** Human rendering: pruning reasons ranked by share, then the depth
     profile with average branching factors — the core of the CLI's

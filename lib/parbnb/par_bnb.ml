@@ -23,7 +23,10 @@ type shared = {
   best : (float * Utree.t) option ref;
   best_lock : Mutex.t;
   pool : Shared_pool.t;
-  aborted : bool Atomic.t;
+  node_capped : bool Atomic.t;
+      (* some worker exhausted its per-worker node share ([Budget.sub]
+         child monitor), so the search is incomplete even though the
+         whole-run monitor never tripped *)
 }
 
 let publish shared cost tree =
@@ -44,9 +47,18 @@ let publish shared cost tree =
   in
   lower ()
 
-let worker problem shared ~monitor ~max_expanded ~id ~progress () =
+let worker problem shared ~monitor ~node_share ~id ~progress () =
   let stats = Stats.create () in
-  let tk = Budget.ticker monitor in
+  (* A per-worker node share is a [Budget.sub] child of the run monitor:
+     it observes the parent's deadline, cancel flag and global cap while
+     enforcing its own [max_nodes].  The polling period shrinks to the
+     share so tiny caps still trip promptly. *)
+  let wmon =
+    match node_share with
+    | None -> monitor
+    | Some cap -> Budget.sub ~max_nodes:cap ~poll_every:(Int.min 32 cap) monitor
+  in
+  let tk = Budget.ticker wmon in
   let rpulse = Obs.Recorder.pulse () in
   (* The local pool honours the configured exploration strategy; for the
      historical [Dfs] it is exactly the old cons-list stack. *)
@@ -54,11 +66,7 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
   let gap = problem.Solver.opts.Solver.gap in
   let gap_scale = 1. +. gap in
   let stopped = ref false in
-  let cap_reached () =
-    match max_expanded with
-    | Some cap -> stats.Stats.expanded >= cap
-    | None -> false
-  in
+  let capped = ref false in
   (* Attribution mirrors the sequential solver: a prune whose node cost
      already met the (racy, monotone) incumbent snapshot is the
      incumbent's; if its exact bound did, the LB1 suffix supplied the
@@ -81,9 +89,14 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
     else
       match Budget.tick tk with
       | Some _ ->
-          (* Budget exhausted (possibly noticed by another worker): keep
-             the node in hand as part of this worker's frontier share. *)
-          stopped := true;
+          (* Budget exhausted: keep the node in hand as part of this
+             worker's frontier share.  When only the child tripped (the
+             whole-run monitor is clean), it was this worker's own node
+             share — the siblings keep going, so the surplus is donated
+             rather than the pool closed. *)
+          if node_share <> None && Budget.tripped monitor = None then
+            capped := true
+          else stopped := true;
           Obs.Attribution.prune stats.Stats.att Budget_stop
             ~depth:node.Bb_tree.k 1;
           Strategy.Frontier.push local node
@@ -134,11 +147,11 @@ let worker problem shared ~monitor ~max_expanded ~id ~progress () =
       (* Release every parked worker; queued pool nodes stay for the
          frontier drain, the local queue is returned to the caller. *)
       Shared_pool.close shared.pool
-    else if cap_reached () then begin
-      (* Return surplus work so other workers can finish it; flag the
-         run as aborted since this worker abandoned its own. *)
-      Atomic.set shared.aborted true;
-      Obs.Attribution.prune stats.Stats.att Budget_stop ~depth:0 1;
+    else if !capped then begin
+      (* Own node share exhausted: return surplus work so other workers
+         can finish it; flag the run as capped since this worker
+         abandoned its own. *)
+      Atomic.set shared.node_capped true;
       List.iter (Shared_pool.donate shared.pool)
         (Strategy.Frontier.drain local);
       Shared_pool.retire shared.pool
@@ -248,7 +261,7 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
           Shared_pool.create
             ~ordered:(options.Solver.search <> Solver.Dfs)
             ~n_workers ();
-        aborted = Atomic.make false;
+        node_capped = Atomic.make false;
       }
     in
     (* Master phase: breadth-first expansion until the frontier can feed
@@ -313,7 +326,7 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
       List.init n_workers (fun id ->
           Domain.spawn
             (worker problem shared ~monitor
-               ~max_expanded:options.Solver.max_expanded ~id ~progress))
+               ~node_share:options.Solver.max_expanded ~id ~progress))
     in
     let results = List.map Domain.join domains in
     let worker_stats = Array.of_list (List.map fst results) in
@@ -331,7 +344,8 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
       match Budget.tripped monitor with
       | Some s -> s
       | None ->
-          if Atomic.get shared.aborted then Budget.Node_cap else Budget.Exact
+          if Atomic.get shared.node_capped then Budget.Node_cap
+          else Budget.Exact
     in
     let cost, tree =
       match !(shared.best) with
@@ -370,7 +384,7 @@ let solve ?(options = Solver.default_options) ?budget ?monitor ?resume
       tree;
       cost;
       optimal =
-        (not (Atomic.get shared.aborted))
+        (not (Atomic.get shared.node_capped))
         && status = Budget.Exact
         && options.Solver.gap = 0.;
       stats;

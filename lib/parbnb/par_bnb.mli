@@ -21,7 +21,10 @@ open Import
 type outcome = {
   tree : Utree.t;
   cost : float;
-  optimal : bool;  (** false only when [max_expanded] stopped a worker *)
+  optimal : bool;
+      (** false only when a worker exhausted its per-worker node share
+          ([options.max_expanded], enforced as a {!Budget.sub} child of
+          the run monitor) *)
   stats : Stats.t;  (** merged over workers *)
   n_workers : int;
   worker_stats : Stats.t array;
@@ -33,8 +36,8 @@ type outcome = {
           per domain *)
   status : Budget.status;
       (** [Exact] for a completed search; the tripped constraint
-          otherwise ([Node_cap] also covers the legacy per-worker
-          [max_expanded]) *)
+          otherwise ([Node_cap] also covers an exhausted per-worker
+          node share) *)
   lower_bound : float;
       (** certified global lower bound (equals [cost] when exact and
           [gap = 0.]) *)

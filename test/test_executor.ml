@@ -1,0 +1,338 @@
+(* The Executor API and its three backends.
+
+   - wire codecs round-trip jobs and results bit-exactly (hex floats);
+   - a localhost TCP worker pool reproduces the sequential pipeline's
+     cost and topology exactly;
+   - a worker killed mid-block has its job retried elsewhere and the
+     run still reaches the optimum;
+   - a pool whose only worker times out (or that never had workers)
+     degrades gracefully to local solves;
+   - worker heartbeats land in the ambient recorder, so /healthz
+     reports staleness for remote workers exactly as for local ones. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Gen = Distmat.Gen
+module Utree = Ultra.Utree
+module Solver = Bnb.Solver
+module Budget = Bnb.Budget
+module Pipeline = Compactphy.Pipeline
+module Run_config = Compactphy.Run_config
+module Executor = Compactphy.Executor
+module Wire = Compactphy.Wire
+module Net_exec = Compactphy.Net_exec
+module Sim_exec = Clustersim.Sim_exec
+
+let rng seed = Random.State.make [| seed |]
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let job_of ?(id = 0) ?(options = Solver.default_options) ?node_share m =
+  {
+    Executor.j_id = id;
+    j_size = Dist_matrix.size m;
+    j_matrix = m;
+    j_options = options;
+    j_workers = 1;
+    j_node_share = node_share;
+    j_resume = None;
+  }
+
+let unwrap = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected decode error: %s" e
+
+(* --- wire codecs --- *)
+
+let test_wire_job_roundtrip () =
+  let m = Gen.uniform_metric ~rng:(rng 1) 7 in
+  let options = { Solver.default_options with Solver.gap = 0.125 } in
+  let job = job_of ~id:3 ~options ~node_share:41 m in
+  let job' = unwrap (Wire.job_of_json (Wire.job_to_json job)) in
+  Alcotest.(check int) "id" job.Executor.j_id job'.Executor.j_id;
+  Alcotest.(check int) "size" job.Executor.j_size job'.Executor.j_size;
+  Alcotest.(check bool) "node share" true
+    (job'.Executor.j_node_share = Some 41);
+  Alcotest.(check (float 0.)) "gap bit-exact" 0.125
+    job'.Executor.j_options.Solver.gap;
+  (* every matrix entry must survive bit-exactly *)
+  Dist_matrix.iter_pairs
+    (fun i j v ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "d(%d,%d)" i j)
+        v
+        (Dist_matrix.get job'.Executor.j_matrix i j))
+    m
+
+let test_wire_solved_roundtrip () =
+  let m = Gen.uniform_metric ~rng:(rng 2) 9 in
+  (* A capped solve, so the solved value carries a genuine incumbent,
+     non-trivial stats and an open frontier. *)
+  let monitor = Budget.arm (Budget.create ~max_nodes:15 ~poll_every:1 ()) in
+  let sv = Executor.solve_job ~monitor (job_of m) in
+  Alcotest.(check bool) "capped run has a frontier" true
+    (sv.Executor.s_frontier <> []);
+  let sv' = unwrap (Wire.solved_of_json (Wire.solved_to_json sv)) in
+  Alcotest.(check bool) "tree" true
+    (Utree.equal sv.Executor.s_tree sv'.Executor.s_tree);
+  Alcotest.(check (float 0.)) "lb bit-exact" sv.Executor.s_lb
+    sv'.Executor.s_lb;
+  Alcotest.(check bool) "status" true
+    (sv.Executor.s_status = sv'.Executor.s_status);
+  Alcotest.(check int) "expanded" sv.Executor.s_stats.Bnb.Stats.expanded
+    sv'.Executor.s_stats.Bnb.Stats.expanded;
+  Alcotest.(check int) "pruned" sv.Executor.s_stats.Bnb.Stats.pruned
+    sv'.Executor.s_stats.Bnb.Stats.pruned;
+  Alcotest.(check bool) "frontier" true
+    (List.equal Utree.equal sv.Executor.s_frontier sv'.Executor.s_frontier)
+
+let test_wire_frames_over_socket () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () ->
+      let m = Gen.uniform_metric ~rng:(rng 3) 5 in
+      let frames =
+        [
+          Wire.Hello { version = Wire.version };
+          Wire.Welcome { version = Wire.version; worker_id = 7 };
+          Wire.Job (job_of ~id:2 m);
+          Wire.Heartbeat { job_id = Some 2; expanded = 19 };
+          Wire.Cancel { job_id = 2 };
+          Wire.Shutdown;
+        ]
+      in
+      List.iter (Wire.write_frame a) frames;
+      List.iter
+        (fun sent ->
+          match Wire.read_frame b with
+          | Error _ -> Alcotest.fail "read_frame failed"
+          | Ok got -> (
+              match (sent, got) with
+              | Wire.Job j, Wire.Job j' ->
+                  Alcotest.(check int) "job id" j.Executor.j_id
+                    j'.Executor.j_id
+              | Wire.Heartbeat { expanded; _ }, Wire.Heartbeat h ->
+                  Alcotest.(check int) "expanded" expanded h.expanded
+              | s, g ->
+                  Alcotest.(check bool)
+                    "same constructor" true
+                    (Wire.frame_to_json s = Wire.frame_to_json g)))
+        frames;
+      Unix.close a;
+      match Wire.read_frame b with
+      | Error Wire.Eof -> ()
+      | Error (Wire.Bad e) -> Alcotest.failf "expected Eof, got Bad %s" e
+      | Ok _ -> Alcotest.fail "expected Eof after peer close")
+
+(* --- TCP pool helpers --- *)
+
+(* Run [f] with in-process worker threads dialing every coordinator the
+   pipeline binds; [specs] gives one [die_after_jobs] per worker. *)
+let with_worker_threads specs f =
+  let threads = ref [] in
+  Net_exec.on_bound (fun host port ->
+      List.iter
+        (fun die_after_jobs ->
+          let th =
+            Thread.create
+              (fun () ->
+                try
+                  ignore
+                    (Net_exec.run_worker ?die_after_jobs
+                       ~heartbeat_every_s:0.02
+                       ~connect:(Printf.sprintf "%s:%d" host port) ())
+                with _ -> ())
+              ()
+          in
+          threads := th :: !threads)
+        specs);
+  Fun.protect
+    ~finally:(fun () ->
+      Net_exec.on_bound (fun _ _ -> ());
+      List.iter Thread.join !threads)
+    (fun () -> f ())
+
+let tcp_config =
+  Run_config.(
+    default
+    |> with_executor Compactphy.Executor.Tcp
+    |> with_workers_addr "127.0.0.1:0")
+
+(* --- bit-identity: localhost pool vs sequential --- *)
+
+let test_tcp_bit_identical () =
+  let m = Gen.clustered ~rng:(rng 4) ~n_clusters:3 15 in
+  let seq = Pipeline.with_compact_sets m in
+  let tcp =
+    with_worker_threads [ None; None ] (fun () ->
+        Pipeline.with_compact_sets ~config:tcp_config m)
+  in
+  Alcotest.(check (float 0.)) "cost bit-identical" seq.Pipeline.cost
+    tcp.Pipeline.cost;
+  Alcotest.(check bool) "topology identical" true
+    (Utree.equal seq.Pipeline.tree tcp.Pipeline.tree);
+  Alcotest.(check int) "same blocks" seq.Pipeline.n_blocks
+    tcp.Pipeline.n_blocks;
+  Alcotest.(check bool) "exact" true (tcp.Pipeline.status = Budget.Exact);
+  Alcotest.(check int) "same expansions"
+    seq.Pipeline.stats.Bnb.Stats.expanded tcp.Pipeline.stats.Bnb.Stats.expanded
+
+let test_tcp_exact_entrypoint () =
+  let m = Gen.uniform_metric ~rng:(rng 5) 9 in
+  (* [exact] solves in-process whatever the executor — the single job is
+     the whole run — but a tcp config must still validate and work. *)
+  let seq = Pipeline.exact m in
+  let tcp = Pipeline.exact ~config:tcp_config m in
+  Alcotest.(check (float 0.)) "cost" seq.Pipeline.cost tcp.Pipeline.cost
+
+(* --- fault injection --- *)
+
+let test_worker_death_retries () =
+  let m = Gen.clustered ~rng:(rng 6) ~n_clusters:3 15 in
+  let seq = Pipeline.with_compact_sets m in
+  (* First worker drops dead on its first job, mid-block; the second
+     worker (or a later retry) must pick the job up. *)
+  let tcp =
+    with_worker_threads
+      [ Some 1; None ]
+      (fun () -> Pipeline.with_compact_sets ~config:tcp_config m)
+  in
+  Alcotest.(check (float 0.)) "optimum survives worker death"
+    seq.Pipeline.cost tcp.Pipeline.cost;
+  Alcotest.(check bool) "topology identical" true
+    (Utree.equal seq.Pipeline.tree tcp.Pipeline.tree)
+
+let test_timeout_falls_back_to_local () =
+  let m = Gen.uniform_metric ~rng:(rng 7) 8 in
+  let monitor = Budget.arm Budget.unlimited in
+  let exec, port =
+    Net_exec.coordinator ~job_timeout_s:0.3 ~fallback_after_s:0.2
+      ~max_retries:0 ~addr:"127.0.0.1:0" ~monitor ()
+  in
+  (* The only worker sits on its result for longer than the timeout, so
+     the coordinator must kill it and solve locally. *)
+  let th =
+    Thread.create
+      (fun () ->
+        try
+          ignore
+            (Net_exec.run_worker ~delay_result_s:2.0
+               ~connect:(Printf.sprintf "127.0.0.1:%d" port) ())
+        with _ -> ())
+      ()
+  in
+  let fut = exec.Executor.submit (job_of m) in
+  let o = fut.Executor.await () in
+  exec.Executor.shutdown ();
+  Thread.join th;
+  let r = Solver.solve m in
+  Alcotest.(check (float 0.)) "local fallback reaches the optimum"
+    r.Solver.cost
+    (Utree.weight o.Executor.o_solved.Executor.s_tree)
+
+let test_no_workers_degrades () =
+  let m = Gen.uniform_metric ~rng:(rng 8) 8 in
+  let monitor = Budget.arm Budget.unlimited in
+  let exec, _port =
+    Net_exec.coordinator ~fallback_after_s:0.1 ~addr:"127.0.0.1:0" ~monitor ()
+  in
+  let fut = exec.Executor.submit (job_of m) in
+  let o = fut.Executor.await () in
+  exec.Executor.shutdown ();
+  let r = Solver.solve m in
+  Alcotest.(check (float 0.)) "worker-less pool still solves" r.Solver.cost
+    (Utree.weight o.Executor.o_solved.Executor.s_tree);
+  Alcotest.(check bool) "and it is exact" true
+    (o.Executor.o_solved.Executor.s_status = Budget.Exact)
+
+(* --- heartbeats and /healthz --- *)
+
+let test_heartbeats_reach_healthz () =
+  let recorder = Obs.Recorder.create () in
+  Obs.Recorder.install recorder;
+  let srv = Obs.Serve.start ~recorder ~stale_after_s:0.4 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Serve.stop srv;
+      Obs.Recorder.uninstall ())
+    (fun () ->
+      let m = Gen.clustered ~rng:(rng 9) ~n_clusters:3 15 in
+      let run =
+        with_worker_threads [ None ] (fun () ->
+            Pipeline.with_compact_sets ~config:tcp_config m)
+      in
+      Alcotest.(check bool) "run finished" true (run.Pipeline.cost > 0.);
+      let kinds =
+        List.map
+          (fun e -> e.Obs.Recorder.kind)
+          (Obs.Recorder.snapshot recorder)
+      in
+      Alcotest.(check bool) "worker heartbeat recorded" true
+        (List.exists
+           (function Obs.Events.Heartbeat _ -> true | _ -> false)
+           kinds);
+      let target =
+        Obs.Serve.Tcp ("127.0.0.1", Option.get (Obs.Serve.port srv))
+      in
+      (match Obs.Serve.get target "/healthz" with
+      | Ok (code, body) ->
+          Alcotest.(check int) "fresh heartbeat -> 200" 200 code;
+          Alcotest.(check bool) "reports staleness" true
+            (contains body "heartbeat_staleness_s")
+      | Error e -> Alcotest.failf "/healthz: %s" e);
+      Thread.delay 0.8;
+      match Obs.Serve.get target "/healthz" with
+      | Ok (code, _) -> Alcotest.(check int) "stale -> 503" 503 code
+      | Error e -> Alcotest.failf "/healthz (stale): %s" e)
+
+(* --- sim backend --- *)
+
+let test_sim_backend () =
+  Sim_exec.register ();
+  let m = Gen.clustered ~rng:(rng 10) ~n_clusters:3 15 in
+  let seq = Pipeline.with_compact_sets m in
+  let sim =
+    Pipeline.with_compact_sets
+      ~config:
+        Run_config.(
+          default |> with_executor Compactphy.Executor.Sim |> with_workers 4)
+      m
+  in
+  Alcotest.(check (float 1e-9)) "simulated cluster finds the same optimum"
+    seq.Pipeline.cost sim.Pipeline.cost;
+  Alcotest.(check int) "same blocks" seq.Pipeline.n_blocks sim.Pipeline.n_blocks
+
+let () =
+  Alcotest.run "executor"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "job round trip" `Quick test_wire_job_roundtrip;
+          Alcotest.test_case "solved round trip" `Quick
+            test_wire_solved_roundtrip;
+          Alcotest.test_case "frames over a socket" `Quick
+            test_wire_frames_over_socket;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "bit-identical to sequential" `Quick
+            test_tcp_bit_identical;
+          Alcotest.test_case "exact entry point" `Quick
+            test_tcp_exact_entrypoint;
+          Alcotest.test_case "worker death mid-block" `Quick
+            test_worker_death_retries;
+          Alcotest.test_case "timeout falls back to local" `Quick
+            test_timeout_falls_back_to_local;
+          Alcotest.test_case "no workers degrades" `Quick
+            test_no_workers_degrades;
+          Alcotest.test_case "heartbeats reach /healthz" `Quick
+            test_heartbeats_reach_healthz;
+        ] );
+      ( "sim",
+        [ Alcotest.test_case "simulator backend" `Quick test_sim_backend ] );
+    ]

@@ -1,10 +1,7 @@
-(* Tests for the unified Run_config API: defaults match the legacy
-   optional-argument entry points, validation rejects incoherent
-   configurations, and presets round-trip through their string names
-   (the CLI's [--preset] parser is built from exactly these). *)
-
-(* This file deliberately exercises the deprecated legacy shims. *)
-[@@@alert "-deprecated"]
+(* Tests for the unified Run_config API: defaults behave like the bare
+   entry points, validation rejects incoherent configurations, manifest
+   strings round-trip (the CLI parsers are built from exactly these),
+   and presets round-trip through their string names. *)
 
 module Dist_matrix = Distmat.Dist_matrix
 module Gen = Distmat.Gen
@@ -15,6 +12,7 @@ module Pipeline = Compactphy.Pipeline
 module Run_config = Compactphy.Run_config
 module Platform = Clustersim.Platform
 module Dist_bnb = Clustersim.Dist_bnb
+module Executor = Compactphy.Executor
 
 let rng seed = Random.State.make [| seed |]
 
@@ -35,26 +33,30 @@ let test_default_fields () =
   Alcotest.(check bool) "solver defaults" true
     (c.Run_config.solver = Solver.default_options);
   Alcotest.(check bool) "incremental kernel" true
-    (c.Run_config.solver.Solver.kernel = Solver.Incremental)
+    (c.Run_config.solver.Solver.kernel = Solver.Incremental);
+  Alcotest.(check bool) "local executor" true
+    (c.Run_config.executor = Executor.Local);
+  Alcotest.(check bool) "no workers_addr" true
+    (c.Run_config.workers_addr = None)
 
-let test_default_equals_legacy_exact () =
+let test_default_equals_bare_exact () =
   let m = Gen.uniform_metric ~rng:(rng 1) 9 in
   let a = Pipeline.exact m in
-  let b = Pipeline.exact_legacy m in
+  let b = Pipeline.exact ~config:Run_config.default m in
   Alcotest.(check (float 0.)) "cost" a.Pipeline.cost b.Pipeline.cost;
   Alcotest.(check bool) "tree" true
     (Utree.equal a.Pipeline.tree b.Pipeline.tree)
 
-let test_default_equals_legacy_compact () =
+let test_default_equals_bare_compact () =
   let m = Gen.clustered ~rng:(rng 2) ~n_clusters:3 15 in
   let a = Pipeline.with_compact_sets m in
-  let b = Pipeline.with_compact_sets_legacy m in
+  let b = Pipeline.with_compact_sets ~config:Run_config.default m in
   Alcotest.(check (float 0.)) "cost" a.Pipeline.cost b.Pipeline.cost;
   Alcotest.(check int) "blocks" a.Pipeline.n_blocks b.Pipeline.n_blocks;
   Alcotest.(check bool) "tree" true
     (Utree.equal a.Pipeline.tree b.Pipeline.tree)
 
-let test_legacy_args_match_setters () =
+let test_setters_match_record_literal () =
   let m = Gen.clustered ~rng:(rng 3) ~n_clusters:2 12 in
   let a =
     Pipeline.with_compact_sets
@@ -64,7 +66,14 @@ let test_legacy_args_match_setters () =
       m
   in
   let b =
-    Pipeline.with_compact_sets_legacy ~linkage:Decompose.Avg ~relaxation:1.1 m
+    Pipeline.with_compact_sets
+      ~config:
+        {
+          Run_config.default with
+          Run_config.linkage = Decompose.Avg;
+          relaxation = Some 1.1;
+        }
+      m
   in
   Alcotest.(check (float 0.)) "cost" a.Pipeline.cost b.Pipeline.cost;
   Alcotest.(check int) "blocks" a.Pipeline.n_blocks b.Pipeline.n_blocks
@@ -87,7 +96,15 @@ let test_setters () =
   in
   Alcotest.(check bool) "solver swapped" true
     (c'.Run_config.solver.Solver.lb = Solver.LB0);
-  Alcotest.(check int) "others untouched" 3 c'.Run_config.workers
+  Alcotest.(check int) "others untouched" 3 c'.Run_config.workers;
+  let c'' =
+    Run_config.(
+      c' |> with_executor Executor.Tcp |> with_workers_addr "127.0.0.1:0")
+  in
+  Alcotest.(check bool) "executor swapped" true
+    (c''.Run_config.executor = Executor.Tcp);
+  Alcotest.(check bool) "addr kept" true
+    (c''.Run_config.workers_addr = Some "127.0.0.1:0")
 
 (* --- validation --- *)
 
@@ -109,7 +126,22 @@ let test_validate_rejections () =
       Run_config.validate
         (Run_config.with_solver
            { Solver.default_options with Solver.max_expanded = Some 0 }
-           base))
+           base));
+  rejects "tcp without workers_addr" (fun () ->
+      Run_config.(validate (with_executor Executor.Tcp base)));
+  rejects "unparseable workers_addr" (fun () ->
+      Run_config.(
+        validate
+          (base
+          |> with_executor Executor.Tcp
+          |> with_workers_addr "not-an-address")));
+  (* A parseable address validates, port 0 (ephemeral) included. *)
+  ignore
+    Run_config.(
+      validate
+        (base
+        |> with_executor Executor.Tcp
+        |> with_workers_addr "127.0.0.1:0"))
 
 let test_options_smart_constructor () =
   rejects "Solver.options rejects 0" (fun () ->
@@ -129,19 +161,69 @@ let test_pipeline_rejects_invalid_config () =
         ~config:Run_config.(with_relaxation 0.2 default)
         m)
 
-let test_dist_bnb_config_exclusive () =
+let test_dist_bnb_takes_config () =
   let m = Gen.uniform_metric ~rng:(rng 5) 6 in
-  rejects "both ?config and ?options" (fun () ->
-      Dist_bnb.run ~options:Solver.default_options
-        ~config:Run_config.default (Platform.cluster 2) m);
-  (* ?config alone works and is validated. *)
+  (* ?config works and is validated; the removed legacy [?options] is
+     expressed through [with_solver]. *)
   let r = Dist_bnb.run ~config:Run_config.default (Platform.cluster 2) m in
   let s = Pipeline.exact m in
   Alcotest.(check (float 1e-9)) "same optimum" s.Pipeline.cost r.Dist_bnb.cost;
+  let r' =
+    Dist_bnb.run
+      ~config:(Run_config.with_solver Solver.default_options Run_config.default)
+      (Platform.cluster 2) m
+  in
+  Alcotest.(check (float 1e-9)) "with_solver same" r.Dist_bnb.cost
+    r'.Dist_bnb.cost;
+  Alcotest.(check bool) "stats exposed" true
+    (r.Dist_bnb.stats.Bnb.Stats.expanded >= 0);
   rejects "invalid config" (fun () ->
       Dist_bnb.run
         ~config:Run_config.(with_workers 0 default)
         (Platform.cluster 2) m)
+
+(* --- manifest strings --- *)
+
+let test_string_round_trips () =
+  let round name to_s of_s all =
+    List.iter
+      (fun v ->
+        Alcotest.(check bool)
+          (name ^ " round trip") true
+          (of_s (to_s v) = Some v))
+      all;
+    Alcotest.(check bool) (name ^ " unknown") true (of_s "warp" = None)
+  in
+  round "lb" Run_config.lb_to_string Run_config.lb_of_string
+    [ Solver.LB0; Solver.LB1 ];
+  round "mode33" Run_config.mode33_to_string Run_config.mode33_of_string
+    [ Solver.Off; Solver.Third_only; Solver.Every_insertion ];
+  round "initial_ub" Run_config.initial_ub_to_string
+    Run_config.initial_ub_of_string
+    [ Solver.Upgmm_ub; Solver.Upgma_ub; Solver.Nj_ub; Solver.No_heuristic_ub ];
+  round "search" Run_config.search_to_string Run_config.search_of_string
+    [ Solver.Dfs; Solver.Best_first; Solver.Hybrid ];
+  round "branching" Run_config.branching_to_string
+    Run_config.branching_of_string
+    [ Solver.Paper_order; Solver.Largest_first; Solver.Residual_lb ];
+  round "linkage" Run_config.linkage_to_string Run_config.linkage_of_string
+    [ Decompose.Max; Decompose.Min; Decompose.Avg ];
+  round "executor kind" Executor.kind_to_string Executor.kind_of_string
+    [ Executor.Local; Executor.Sim; Executor.Tcp ]
+
+let test_parse_addr () =
+  Alcotest.(check bool) "host:port" true
+    (Executor.parse_addr "10.0.0.1:9000" = Ok ("10.0.0.1", 9000));
+  Alcotest.(check bool) ":port" true
+    (Executor.parse_addr ":7000" = Ok ("127.0.0.1", 7000));
+  Alcotest.(check bool) "bare port" true
+    (Executor.parse_addr "7000" = Ok ("127.0.0.1", 7000));
+  Alcotest.(check bool) "port 0 ok" true
+    (Executor.parse_addr "127.0.0.1:0" = Ok ("127.0.0.1", 0));
+  let is_err = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "port out of range" true
+    (is_err (Executor.parse_addr "host:70000"));
+  Alcotest.(check bool) "garbage" true (is_err (Executor.parse_addr "host:"))
 
 (* --- presets --- *)
 
@@ -195,7 +277,14 @@ let test_to_json_shape () =
       List.iter
         (fun key ->
           Alcotest.(check bool) (key ^ " present") true (List.mem_assoc key kvs))
-        [ "solver"; "linkage"; "relaxation"; "workers"; "block_workers" ];
+        [
+          "solver"; "linkage"; "relaxation"; "workers"; "block_workers";
+          "executor"; "workers_addr";
+        ];
+      Alcotest.(check bool) "executor spelled" true
+        (List.assoc "executor" kvs = Obs.Json.String "local");
+      Alcotest.(check bool) "workers_addr null" true
+        (List.assoc "workers_addr" kvs = Obs.Json.Null);
       (match List.assoc "solver" kvs with
       | Obs.Json.Obj solver ->
           Alcotest.(check bool) "kernel recorded" true
@@ -212,12 +301,12 @@ let () =
       ( "defaults",
         [
           Alcotest.test_case "field values" `Quick test_default_fields;
-          Alcotest.test_case "exact = legacy" `Quick
-            test_default_equals_legacy_exact;
-          Alcotest.test_case "with_compact_sets = legacy" `Quick
-            test_default_equals_legacy_compact;
-          Alcotest.test_case "legacy args = setters" `Quick
-            test_legacy_args_match_setters;
+          Alcotest.test_case "exact default = explicit" `Quick
+            test_default_equals_bare_exact;
+          Alcotest.test_case "with_compact_sets default = explicit" `Quick
+            test_default_equals_bare_compact;
+          Alcotest.test_case "setters = record literal" `Quick
+            test_setters_match_record_literal;
           Alcotest.test_case "setters" `Quick test_setters;
         ] );
       ( "validation",
@@ -229,8 +318,15 @@ let () =
             test_options_smart_constructor;
           Alcotest.test_case "pipeline propagates" `Quick
             test_pipeline_rejects_invalid_config;
-          Alcotest.test_case "dist_bnb exclusivity" `Quick
-            test_dist_bnb_config_exclusive;
+          Alcotest.test_case "dist_bnb takes config" `Quick
+            test_dist_bnb_takes_config;
+        ] );
+      ( "strings",
+        [
+          Alcotest.test_case "manifest string round trips" `Quick
+            test_string_round_trips;
+          Alcotest.test_case "executor address parsing" `Quick
+            test_parse_addr;
         ] );
       ( "presets",
         [
