@@ -47,6 +47,7 @@ let is_unlimited b =
 
 let deadline_s b = b.deadline_s
 let max_nodes b = b.max_nodes
+let poll_every b = b.poll_every
 
 type monitor = {
   budget : t;

@@ -52,6 +52,11 @@ val is_unlimited : t -> bool
 val deadline_s : t -> float option
 val max_nodes : t -> int option
 
+val poll_every : t -> int
+(** Expansions between full checks (the {!create} default is 32).
+    Executors ship it with remote jobs so a worker-side monitor polls
+    at the same period as a local {!sub} child would. *)
+
 (** {2 Run-time monitors} *)
 
 type monitor

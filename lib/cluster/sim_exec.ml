@@ -47,7 +47,7 @@ let make ~monitor ~workers =
   let t0 = Obs.Clock.counter () in
   {
     Executor.name = "sim";
-    capacity = 1;
+    capacity = (fun () -> 1);
     submit =
       (fun job ->
         (* Eager, in submission order — the discrete-event simulator is

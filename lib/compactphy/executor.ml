@@ -39,6 +39,7 @@ type job = {
   j_options : Solver.options;
   j_workers : int;
   j_node_share : int option;
+  j_poll_every : int;
   j_resume : [ `Solved of Utree.t | `Restart of Solver.resume ] option;
 }
 
@@ -63,7 +64,7 @@ type future = { await : unit -> outcome }
 
 type t = {
   name : string;
-  capacity : int;
+  capacity : unit -> int;
   submit : job -> future;
   cancel : unit -> unit;
   shutdown : unit -> unit;
@@ -140,7 +141,7 @@ let job_monitor ~monitor job =
      cancellation still propagate from the parent. *)
   match job.j_node_share with
   | None -> monitor
-  | Some cap -> Budget.sub ~max_nodes:cap monitor
+  | Some cap -> Budget.sub ~max_nodes:cap ~poll_every:job.j_poll_every monitor
 
 (* Run one job in the calling domain/thread: block events, queue-wait
    from the executor's epoch counter, and the solve timing — the shape
@@ -174,7 +175,7 @@ let local ~capacity ~monitor ?progress () =
        sequential schedule, with no domain spawned. *)
     {
       name = "local";
-      capacity;
+      capacity = (fun () -> capacity);
       submit =
         (fun job ->
           let o = run_job ~monitor ?progress ~t0 job in
@@ -186,7 +187,7 @@ let local ~capacity ~monitor ?progress () =
     let pool = Domain_pool.create ~n_workers:capacity in
     {
       name = "local";
-      capacity;
+      capacity = (fun () -> capacity);
       submit =
         (fun job ->
           let fut =

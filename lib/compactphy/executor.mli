@@ -46,6 +46,10 @@ type job = {
   j_node_share : int option;
       (** this block's share of a whole-run node cap; enforced as a
           {!Budget.sub} child monitor wherever the job runs *)
+  j_poll_every : int;
+      (** the run budget's polling period, shipped with the job so a
+          remote worker's monitor trips a [j_node_share] at exactly the
+          expansion count a local {!Budget.sub} child would *)
   j_resume : [ `Solved of Utree.t | `Restart of Solver.resume ] option;
       (** checkpoint state: a finished block skips the solve, an
           interrupted one continues from its frontier *)
@@ -76,7 +80,10 @@ type future = { await : unit -> outcome }
 
 type t = {
   name : string;  (** backend name, for logs and manifests *)
-  capacity : int;  (** jobs the backend can run concurrently *)
+  capacity : unit -> int;
+      (** jobs the backend can run concurrently {e right now} — fixed
+          for the in-process backends, the number of live workers (at
+          least 1) for the TCP pool *)
   submit : job -> future;
   cancel : unit -> unit;
       (** best-effort cooperative stop of everything not yet running;

@@ -15,6 +15,13 @@ let addr_of s who =
   | Ok (host, port) -> (host, port)
   | Error e -> invalid_arg (Printf.sprintf "%s: %s" who e)
 
+(* Dead peers are routine here — they are the fault model.  A write to
+   a peer that just vanished must surface as EPIPE (handled wherever
+   frames are written), not deliver SIGPIPE and kill the process. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
 (* Tests and the CLI want to know which ephemeral port the coordinator
    actually bound (workers_addr "127.0.0.1:0"); the pipeline creates the
    coordinator internally, so the only general channel is a hook. *)
@@ -44,6 +51,15 @@ type conn = {
   mutable c_inflight : pending option;
   mutable c_alive : bool;
   mutable c_cancel_sent : bool;
+  (* Socket writes happen on a per-connection writer thread fed by this
+     outbox, so a worker with a full TCP send buffer can never stall
+     the coordinator state machine: [co.lock] is held across queue
+     pushes only, never across a [write]. *)
+  c_outbox : Wire.frame Queue.t;
+  c_out_m : Mutex.t;
+  c_out_c : Condition.t;
+  mutable c_out_closed : bool;
+  mutable c_writer : Thread.t option;
 }
 
 type coord = {
@@ -91,6 +107,23 @@ let await_pending p =
   | Failed e -> raise e
   | Pending -> assert false
 
+(* Queue [frame] for the connection's writer thread.  Safe to call with
+   [co.lock] held: the lock order is [co.lock] then [c_out_m], never
+   the reverse. *)
+let send c frame =
+  Mutex.lock c.c_out_m;
+  if not c.c_out_closed then begin
+    Queue.push frame c.c_outbox;
+    Condition.signal c.c_out_c
+  end;
+  Mutex.unlock c.c_out_m
+
+let close_outbox c =
+  Mutex.lock c.c_out_m;
+  c.c_out_closed <- true;
+  Condition.broadcast c.c_out_c;
+  Mutex.unlock c.c_out_m
+
 (* All of the functions below suffixed [_locked] require [co.lock]. *)
 
 let alive_conns_locked co = List.filter (fun c -> c.c_alive) co.conns
@@ -106,6 +139,7 @@ let kill_conn_locked co c =
   if c.c_alive then begin
     c.c_alive <- false;
     co.conns <- List.filter (fun x -> x != c) co.conns;
+    close_outbox c;
     (try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with _ -> ());
     match c.c_inflight with
     | None -> ()
@@ -152,9 +186,46 @@ let rec pump_locked co =
           Obs.Recorder.emit_ambient
             (Obs.Events.Block_start
                { id = p.p_job.Executor.j_id; size = p.p_job.Executor.j_size });
-          (try Wire.write_frame c.c_fd (Wire.Job p.p_job)
-           with _ -> kill_conn_locked co c);
+          (* A failed write surfaces on the writer thread, which kills
+             the connection and requeues the job. *)
+          send c (Wire.Job p.p_job);
           pump_locked co
+
+(* Drain one connection's outbox onto its socket.  A failed write means
+   the peer is gone: kill the connection (requeueing its in-flight job)
+   and exit.  After the drain the socket is shut down, which also wakes
+   this connection's reader with EOF; the reader joins this thread
+   before closing the descriptor, so the fd is never closed while a
+   write is in flight. *)
+let writer co c () =
+  let rec loop () =
+    Mutex.lock c.c_out_m;
+    let rec next () =
+      match Queue.take_opt c.c_outbox with
+      | Some f -> Some f
+      | None ->
+          if c.c_out_closed then None
+          else begin
+            Condition.wait c.c_out_c c.c_out_m;
+            next ()
+          end
+    in
+    let f = next () in
+    Mutex.unlock c.c_out_m;
+    match f with
+    | None -> ()
+    | Some f -> (
+        match Wire.write_frame c.c_fd f with
+        | () -> loop ()
+        | exception _ ->
+            Mutex.lock co.lock;
+            kill_conn_locked co c;
+            pump_locked co;
+            Condition.broadcast co.wake;
+            Mutex.unlock co.lock)
+  in
+  loop ();
+  try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with _ -> ()
 
 let handle_result co c job_id solved =
   Mutex.lock co.lock;
@@ -246,6 +317,9 @@ let reader co c () =
   pump_locked co;
   Condition.broadcast co.wake;
   Mutex.unlock co.lock;
+  (match c.c_writer with
+  | Some th -> ( try Thread.join th with _ -> ())
+  | None -> ());
   (try Unix.close c.c_fd with _ -> ())
 
 let acceptor co () =
@@ -269,21 +343,24 @@ let acceptor co () =
                   c_inflight = None;
                   c_alive = true;
                   c_cancel_sent = false;
+                  c_outbox = Queue.create ();
+                  c_out_m = Mutex.create ();
+                  c_out_c = Condition.create ();
+                  c_out_closed = false;
+                  c_writer = None;
                 }
               in
-              match Wire.write_frame fd (Wire.Welcome { version = Wire.version; worker_id = id }) with
-              | () ->
-                  co.conns <- c :: co.conns;
-                  let th = Thread.create (reader co c) () in
-                  co.threads <- th :: co.threads;
-                  Log.info (fun m -> m "worker %d connected" id);
-                  pump_locked co;
-                  Mutex.unlock co.lock;
-                  loop ()
-              | exception _ ->
-                  Mutex.unlock co.lock;
-                  (try Unix.close fd with _ -> ());
-                  loop ()
+              co.conns <- c :: co.conns;
+              c.c_writer <- Some (Thread.create (writer co c) ());
+              let th = Thread.create (reader co c) () in
+              co.threads <- th :: co.threads;
+              Log.info (fun m -> m "worker %d connected" id);
+              (* The outbox is FIFO, so the Welcome is on the wire
+                 before any job [pump_locked] dispatches. *)
+              send c (Wire.Welcome { version = Wire.version; worker_id = id });
+              pump_locked co;
+              Mutex.unlock co.lock;
+              loop ()
             end)
         | Ok _ | Error _ ->
             (try Unix.close fd with _ -> ());
@@ -312,11 +389,8 @@ let housekeeping co () =
             if c.c_alive && not c.c_cancel_sent then begin
               c.c_cancel_sent <- true;
               match c.c_inflight with
-              | Some p -> (
-                  try
-                    Wire.write_frame c.c_fd
-                      (Wire.Cancel { job_id = p.p_job.Executor.j_id })
-                  with _ -> ())
+              | Some p ->
+                  send c (Wire.Cancel { job_id = p.p_job.Executor.j_id })
               | None -> ()
             end)
           co.conns;
@@ -415,11 +489,13 @@ let shutdown co () =
   Mutex.lock co.lock;
   if not co.stopping then begin
     co.stopping <- true;
+    (* Each writer drains its outbox (so the Shutdown frame goes out
+       whole) and then shuts the socket down, waking its reader. *)
     List.iter
       (fun c ->
         if c.c_alive then begin
-          (try Wire.write_frame c.c_fd Wire.Shutdown with _ -> ());
-          (try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with _ -> ())
+          send c Wire.Shutdown;
+          close_outbox c
         end)
       co.conns;
     (try Unix.shutdown co.listen_fd Unix.SHUTDOWN_ALL with _ -> ());
@@ -432,6 +508,7 @@ let shutdown co () =
 
 let coordinator ?job_timeout_s ?(fallback_after_s = 10.) ?(max_retries = 2)
     ~addr ~monitor ?progress () =
+  ignore_sigpipe ();
   let host, port = addr_of addr "Net_exec.coordinator" in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
@@ -477,7 +554,14 @@ let coordinator ?job_timeout_s ?(fallback_after_s = 10.) ?(max_retries = 2)
   (match !bound_hook with Some f -> f host port | None -> ());
   ( {
       Executor.name = "tcp";
-      capacity = Int.max 1 (List.length co.conns);
+      capacity =
+        (* Live workers, queried at call time: workers come and go, so
+           the pool's concurrency is a property of the moment. *)
+        (fun () ->
+          Mutex.lock co.lock;
+          let n = List.length (alive_conns_locked co) in
+          Mutex.unlock co.lock;
+          Int.max 1 n);
       submit = submit co;
       cancel = cancel co;
       shutdown = shutdown co;
@@ -493,8 +577,15 @@ type worker_exit = [ `Shutdown | `Eof | `Died ]
    reads (Cancel / Shutdown) with periodic heartbeats. *)
 let serve_job fd ~heartbeat_every_s ~delay_result_s (job : Executor.job) =
   let cancel = Atomic.make false in
+  (* Mirror [Executor.job_monitor]: the same node share polled at the
+     same period as the local executor's [Budget.sub] child, so a
+     share-capped block trips at the same expansion count wherever it
+     runs.  Deadlines and whole-run caps still live with the
+     coordinator, which propagates them as [Wire.Cancel]. *)
   let monitor =
-    Budget.arm (Budget.create ?max_nodes:job.Executor.j_node_share ~cancel ())
+    Budget.arm
+      (Budget.create ?max_nodes:job.Executor.j_node_share ~cancel
+         ~poll_every:job.Executor.j_poll_every ())
   in
   let result = Atomic.make None in
   let th =
@@ -553,6 +644,7 @@ let serve_job fd ~heartbeat_every_s ~delay_result_s (job : Executor.job) =
 
 let run_worker ?die_after_jobs ?(delay_result_s = 0.)
     ?(heartbeat_every_s = 1.) ~connect () =
+  ignore_sigpipe ();
   let host, port = addr_of connect "Net_exec.run_worker" in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_INET (resolve host, port))

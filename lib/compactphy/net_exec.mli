@@ -21,7 +21,19 @@ open Import
       ambient recorder, so [/healthz] staleness and [phylo top] see
       remote workers exactly like local ones;
     - when the run budget trips, in-flight jobs receive [Wire.Cancel]
-      and queued jobs fall back to (immediately-stopping) local solves. *)
+      and queued jobs fall back to (immediately-stopping) local solves.
+
+    Budget semantics over the wire: a job's [j_node_share] is enforced
+    worker-side with the run budget's own polling period
+    ([j_poll_every]), so a share-capped block trips at the same
+    expansion count as a local {!Budget.sub} child.  Whole-run
+    constraints (deadline, global cap, cancel) stay with the
+    coordinator and reach in-flight workers as [Wire.Cancel] frames —
+    cooperative and subject to network latency, so a deadline-tripped
+    remote block may expand slightly past the instant a local one
+    would have stopped.  Both processes ignore SIGPIPE on startup:
+    writes to a dead peer must surface as [EPIPE] for the retry and
+    fallback paths to handle. *)
 
 val src : Logs.src
 (** Log source ["compactphy.netexec"]. *)
@@ -43,7 +55,8 @@ val coordinator :
     {e any} worker before degrading to a local solve; [max_retries]
     (default 2) worker deaths per job before the same degradation.
     [shutdown] sends [Wire.Shutdown] to every worker, closes the
-    listener and joins all threads.
+    listener and joins all threads.  The executor's [capacity] reports
+    the number of live workers at call time (at least 1).
     @raise Invalid_argument on an unparseable [addr].
     @raise Unix.Unix_error if the bind fails. *)
 

@@ -65,11 +65,39 @@ let checked_resume ~who ~matrix = function
       | Ok () -> Some ck
       | Error e -> invalid_arg (Printf.sprintf "%s: %s" who e))
 
+(* Oversubscribing domains past the hardware only adds minor-GC
+   synchronisation (every domain must join each collection), so the
+   pool never uses more domains than the host recommends — a request
+   for more is a portable "as parallel as this machine allows". *)
+let effective_block_workers block_workers =
+  Int.min block_workers (Int.max 1 (Domain.recommended_domain_count ()))
+
+(* The backend the configuration selects for solves — both entry
+   points route every job through it.  [Local] is the default and
+   bit-identical to the historical in-process pipeline; [Sim] is the
+   discrete-event cluster; [Tcp] a real worker pool. *)
+let executor_for ~(config : Run_config.t) ~monitor ~n_jobs =
+  let progress = config.Run_config.progress in
+  match config.Run_config.executor with
+  | Executor.Local ->
+      let capacity =
+        Int.min
+          (effective_block_workers config.Run_config.block_workers)
+          (Int.max 1 n_jobs)
+      in
+      Executor.local ~capacity ~monitor ?progress ()
+  | Executor.Sim -> Executor.sim ~monitor ~workers:config.Run_config.workers
+  | Executor.Tcp ->
+      let addr =
+        (* validate guarantees the address is present and parseable *)
+        Option.value ~default:"127.0.0.1:0" config.Run_config.workers_addr
+      in
+      fst (Net_exec.coordinator ~addr ~monitor ?progress ())
+
 let exact ?(config = Run_config.default) ?resume dm =
   let config = Run_config.validate ~who:"Pipeline.exact" config in
   let options = config.Run_config.solver in
   let workers = config.Run_config.workers in
-  let progress = config.Run_config.progress in
   let resume_ck = checked_resume ~who:"Pipeline.exact" ~matrix:dm resume in
   Obs.Span.with_span "pipeline.exact"
     ~args:[ ("n", Obs.Json.Int (Dist_matrix.size dm)) ]
@@ -87,9 +115,10 @@ let exact ?(config = Run_config.default) ?resume dm =
   let stats = Stats.create () in
   let n = Dist_matrix.size dm in
   Obs.Recorder.emit_ambient (Obs.Events.Run_start { n; n_blocks = 1 });
-  (* An exact solve is one job through the shared execution core: block
-     events, node-share handling and timing come from [Executor.run_job],
-     exactly as a pipeline block's would. *)
+  (* An exact solve is one job through the executor the configuration
+     selects, so block events, node-share handling and timing come from
+     the shared execution core exactly as a pipeline block's would —
+     and [--executor sim|tcp] applies to this entry point too. *)
   let job =
     {
       Executor.j_id = 0;
@@ -98,14 +127,17 @@ let exact ?(config = Run_config.default) ?resume dm =
       j_options = options;
       j_workers = workers;
       j_node_share = None;
+      j_poll_every = Budget.poll_every (Budget.spec monitor);
       j_resume = block_resume;
     }
   in
-  let t0 = Obs.Clock.counter () in
+  let exec = executor_for ~config ~monitor ~n_jobs:1 in
   let o, elapsed_s =
     Obs.Clock.time (fun () ->
         Obs.Report.timed_phase report "solve" (fun () ->
-            Executor.run_job ~monitor ?progress ~t0 job))
+            Fun.protect
+              ~finally:(fun () -> exec.Executor.shutdown ())
+              (fun () -> (exec.Executor.submit job).Executor.await ())))
   in
   let sv = o.Executor.o_solved in
   Stats.add stats sv.Executor.s_stats;
@@ -203,13 +235,6 @@ let schedule slots =
     a;
   a
 
-(* Oversubscribing domains past the hardware only adds minor-GC
-   synchronisation (every domain must join each collection), so the
-   pool never uses more domains than the host recommends — a request
-   for more is a portable "as parallel as this machine allows". *)
-let effective_block_workers block_workers =
-  Int.min block_workers (Int.max 1 (Domain.recommended_domain_count ()))
-
 (* Split a whole-run node cap into per-block shares, proportional to
    the same 3^k work proxy {!plan_workers} uses; every solvable block
    keeps at least one node so it can record a heuristic incumbent.  The
@@ -223,27 +248,6 @@ let plan_node_shares ~max_nodes todo =
       Int.max 1 (int_of_float (float_of_int max_nodes *. weight s /. total)))
     todo
 
-(* The backend the configuration selects for block solves.  [Local] is
-   the default and bit-identical to the historical in-process pipeline;
-   [Sim] is the discrete-event cluster; [Tcp] a real worker pool. *)
-let executor_for ~(config : Run_config.t) ~monitor ~n_jobs =
-  let progress = config.Run_config.progress in
-  match config.Run_config.executor with
-  | Executor.Local ->
-      let capacity =
-        Int.min
-          (effective_block_workers config.Run_config.block_workers)
-          (Int.max 1 n_jobs)
-      in
-      Executor.local ~capacity ~monitor ?progress ()
-  | Executor.Sim -> Executor.sim ~monitor ~workers:config.Run_config.workers
-  | Executor.Tcp ->
-      let addr =
-        (* validate guarantees the address is present and parseable *)
-        Option.value ~default:"127.0.0.1:0" config.Run_config.workers_addr
-      in
-      fst (Net_exec.coordinator ~addr ~monitor ?progress ())
-
 let solve_slots ~config ~monitor ~resume_for slots =
   let options = config.Run_config.solver in
   let workers = config.Run_config.workers in
@@ -253,10 +257,12 @@ let solve_slots ~config ~monitor ~resume_for slots =
     | None -> Array.map (fun _ -> None) todo
     | Some cap -> Array.map (fun s -> Some s) (plan_node_shares ~max_nodes:cap todo)
   in
+  let poll_every = Budget.poll_every (Budget.spec monitor) in
   let exec = executor_for ~config ~monitor ~n_jobs:(Array.length todo) in
   Log.debug (fun m ->
       m "solving %d blocks on the %s executor (capacity %d)"
-        (Array.length todo) exec.Executor.name exec.Executor.capacity);
+        (Array.length todo) exec.Executor.name
+        (exec.Executor.capacity ()));
   (* Submit largest-first (the schedule order), await in the same order;
      a job failure surfaces on await after the executor is shut down
      cleanly. *)
@@ -276,6 +282,7 @@ let solve_slots ~config ~monitor ~resume_for slots =
                     j_options = options;
                     j_workers = workers;
                     j_node_share = shares.(i);
+                    j_poll_every = poll_every;
                     j_resume = resume_for slot;
                   } ))
             todo

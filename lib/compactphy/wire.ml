@@ -8,7 +8,8 @@ module J = Obs.Json
    — a localhost pool is bit-identical to a sequential solve because
    nothing is ever re-rounded through decimal. *)
 
-let version = 1
+(* v2: job frames carry the run budget's polling period. *)
+let version = 2
 
 (* A block matrix is a few hundred species at most; 64 MiB of frame is
    already absurd, so anything larger is a protocol error, not a
@@ -262,6 +263,7 @@ let job_to_json (job : Executor.job) =
         match job.Executor.j_node_share with
         | Some s -> J.Int s
         | None -> J.Null );
+      ("poll_every", J.Int job.Executor.j_poll_every);
       ("resume", resume_to_json job.Executor.j_resume);
     ]
 
@@ -281,6 +283,7 @@ let job_of_json j =
         | Some s -> Ok (Some s)
         | None -> Error "field \"node_share\" must be an integer or null")
   in
+  let* j_poll_every = int_field "poll_every" j in
   let* rj = field "resume" j in
   let* j_resume = resume_of_json rj in
   Ok
@@ -291,6 +294,7 @@ let job_of_json j =
       j_options;
       j_workers;
       j_node_share;
+      j_poll_every;
       j_resume;
     }
 

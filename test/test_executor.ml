@@ -29,7 +29,8 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   nn = 0 || go 0
 
-let job_of ?(id = 0) ?(options = Solver.default_options) ?node_share m =
+let job_of ?(id = 0) ?(options = Solver.default_options) ?node_share
+    ?(poll_every = 32) m =
   {
     Executor.j_id = id;
     j_size = Dist_matrix.size m;
@@ -37,6 +38,7 @@ let job_of ?(id = 0) ?(options = Solver.default_options) ?node_share m =
     j_options = options;
     j_workers = 1;
     j_node_share = node_share;
+    j_poll_every = poll_every;
     j_resume = None;
   }
 
@@ -49,12 +51,13 @@ let unwrap = function
 let test_wire_job_roundtrip () =
   let m = Gen.uniform_metric ~rng:(rng 1) 7 in
   let options = { Solver.default_options with Solver.gap = 0.125 } in
-  let job = job_of ~id:3 ~options ~node_share:41 m in
+  let job = job_of ~id:3 ~options ~node_share:41 ~poll_every:7 m in
   let job' = unwrap (Wire.job_of_json (Wire.job_to_json job)) in
   Alcotest.(check int) "id" job.Executor.j_id job'.Executor.j_id;
   Alcotest.(check int) "size" job.Executor.j_size job'.Executor.j_size;
   Alcotest.(check bool) "node share" true
     (job'.Executor.j_node_share = Some 41);
+  Alcotest.(check int) "poll_every" 7 job'.Executor.j_poll_every;
   Alcotest.(check (float 0.)) "gap bit-exact" 0.125
     job'.Executor.j_options.Solver.gap;
   (* every matrix entry must survive bit-exactly *)
@@ -184,11 +187,16 @@ let test_tcp_bit_identical () =
 
 let test_tcp_exact_entrypoint () =
   let m = Gen.uniform_metric ~rng:(rng 5) 9 in
-  (* [exact] solves in-process whatever the executor — the single job is
-     the whole run — but a tcp config must still validate and work. *)
+  (* [exact] routes its single job — the whole run — through the
+     configured executor, so a tcp config really solves remotely. *)
   let seq = Pipeline.exact m in
-  let tcp = Pipeline.exact ~config:tcp_config m in
-  Alcotest.(check (float 0.)) "cost" seq.Pipeline.cost tcp.Pipeline.cost
+  let tcp =
+    with_worker_threads [ None ] (fun () ->
+        Pipeline.exact ~config:tcp_config m)
+  in
+  Alcotest.(check (float 0.)) "cost" seq.Pipeline.cost tcp.Pipeline.cost;
+  Alcotest.(check bool) "topology identical" true
+    (Utree.equal seq.Pipeline.tree tcp.Pipeline.tree)
 
 (* --- fault injection --- *)
 
