@@ -1,0 +1,139 @@
+(* Cache warm-up: the same compact-set run twice against one
+   content-addressed sub-solve store (Compactphy.Subsolve_cache).  The
+   cold pass populates the store; the warm pass must replay it
+   bit-for-bit — identical cost and identical expansion accounting —
+   with every block sub-solve answered from the cache.  Cold/warm
+   seconds and the warm hit rate are the diffable perf signals the
+   trajectory file (BENCH_cache.json) tracks across commits. *)
+
+module Pipeline = Compactphy.Pipeline
+module Run_config = Compactphy.Run_config
+module Cache = Compactphy.Subsolve_cache
+module Stats = Bnb.Stats
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "bench-cache-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let cleanup dir =
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir)
+   with Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+type row = {
+  id : string;
+  cold : Pipeline.run;
+  cold_s : float;
+  warm : Pipeline.run;
+  warm_s : float;
+  hits : int;
+  misses : int;
+}
+
+let counters () =
+  match Cache.installed () with
+  | Some c -> Cache.counters c
+  | None -> failwith "cache-warmup: no cache installed after a cached run"
+
+let run_pair id m =
+  let dir = fresh_dir () in
+  let config = Run_config.default |> Run_config.with_cache_dir dir in
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.uninstall ();
+      cleanup dir)
+    (fun () ->
+      let cold, cold_s = Workloads.time (fun () -> Pipeline.with_compact_sets ~config m) in
+      let c0 = counters () in
+      let warm, warm_s = Workloads.time (fun () -> Pipeline.with_compact_sets ~config m) in
+      let c1 = counters () in
+      {
+        id;
+        cold;
+        cold_s;
+        warm;
+        warm_s;
+        hits = c1.Cache.hits - c0.Cache.hits;
+        misses = c1.Cache.misses - c0.Cache.misses;
+      })
+
+let check r =
+  (* The warm run is a replay, not a re-solve: same certified cost and
+     the same expansion accounting, with every block sub-solve a hit. *)
+  if not (Float.equal r.warm.Pipeline.cost r.cold.Pipeline.cost) then
+    failwith
+      (Printf.sprintf "cache-warmup: %s warm cost %h differs from cold %h"
+         r.id r.warm.Pipeline.cost r.cold.Pipeline.cost);
+  if r.warm.Pipeline.stats.Stats.expanded <> r.cold.Pipeline.stats.Stats.expanded
+  then
+    failwith
+      (Printf.sprintf
+         "cache-warmup: %s warm expansion accounting (%d) differs from cold \
+          (%d)"
+         r.id r.warm.Pipeline.stats.Stats.expanded
+         r.cold.Pipeline.stats.Stats.expanded);
+  if r.hits = 0 then
+    failwith (Printf.sprintf "cache-warmup: %s warm run never hit the cache" r.id);
+  if r.misses > 0 then
+    failwith
+      (Printf.sprintf "cache-warmup: %s warm run missed %d sub-solves" r.id
+         r.misses)
+
+let warmup ~quick () =
+  let rows =
+    [
+      run_pair "mtdna"
+        (Workloads.mtdna ~seed:31 (if quick then 16 else 22));
+      run_pair "blocks"
+        (Workloads.compact_blocks ~seed:31 ~n_blocks:(if quick then 3 else 4)
+           ~block_size:(if quick then 6 else 8));
+    ]
+  in
+  List.iter check rows;
+  Table.print ~title:"Cache warm-up — cold vs warm compact-set runs"
+    ~headers:[ "workload"; "cold"; "warm"; "speedup"; "hits"; "cost" ]
+    (List.map
+       (fun r ->
+         [
+           r.id;
+           Table.seconds r.cold_s;
+           Table.seconds r.warm_s;
+           Printf.sprintf "%.1fx" (r.cold_s /. Float.max r.warm_s 1e-9);
+           Table.d r.hits;
+           Table.f4 r.warm.Pipeline.cost;
+         ])
+       rows);
+  Manifest.record (fun rep ->
+      List.iter
+        (fun r ->
+          Obs.Report.set rep ("cold_s_" ^ r.id) (Obs.Json.Float r.cold_s);
+          Obs.Report.set rep ("warm_s_" ^ r.id) (Obs.Json.Float r.warm_s);
+          Obs.Report.set rep ("hits_" ^ r.id) (Obs.Json.Int r.hits);
+          Obs.Report.set rep
+            ("hit_rate_" ^ r.id)
+            (Obs.Json.Float
+               (float_of_int r.hits /. float_of_int (max 1 (r.hits + r.misses))));
+          Obs.Report.set rep ("cost_" ^ r.id)
+            (Obs.Json.Float r.warm.Pipeline.cost);
+          Obs.Report.add_worker rep
+            [
+              ("workload", Obs.Json.String r.id);
+              ("cold_s", Obs.Json.Float r.cold_s);
+              ("warm_s", Obs.Json.Float r.warm_s);
+              ("hits", Obs.Json.Int r.hits);
+              ("misses", Obs.Json.Int r.misses);
+              ("n_blocks", Obs.Json.Int r.warm.Pipeline.n_blocks);
+              ("cost", Obs.Json.Float r.warm.Pipeline.cost);
+            ])
+        rows)

@@ -52,6 +52,9 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
     ( "strategies-sweep",
       "Search strategies: exploration x gap grid, branching orders",
       Exp_strategies.sweep );
+    ( "cache-warmup",
+      "Sub-solve cache: cold vs warm compact-set runs",
+      Exp_cache.warmup );
     ( "micro-kernel",
       "Expansion kernels: reference vs incremental smoke",
       Micro.kernel_smoke );

@@ -330,6 +330,19 @@ let max_nodes_opt =
            the whole run (split over compact-set blocks proportionally \
            to their expected work; status $(b,node_cap)).")
 
+let cache_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Memoize certified block solves in a content-addressed store \
+           under $(docv) (created if missing).  Re-runs and runs \
+           sharing sub-problems replay cached results bit-for-bit — \
+           cost, topology and search counters; budget-interrupted \
+           solves are never cached.  Hit/miss counters appear in \
+           $(b,--metrics) dumps, $(b,/metrics) and run manifests.")
+
 let linkage_opt =
   let linkage_conv =
     Arg.enum
@@ -464,7 +477,7 @@ let gap_opt =
    means "fast, but sequential inside each block". *)
 let build_config ?deadline ?max_nodes ?cancel ~preset ~kernel ~linkage ~workers
     ~block_workers ?(exploration = None) ?(branching = None) ?(gap = None)
-    ?(executor = None) ?(workers_addr = None) ~progress () =
+    ?(executor = None) ?(workers_addr = None) ?(cache = None) ~progress () =
   let apply v f cfg = match v with Some v -> f v cfg | None -> cfg in
   Run_config.default
   |> apply preset (fun p _ -> Run_config.of_preset p)
@@ -473,6 +486,7 @@ let build_config ?deadline ?max_nodes ?cancel ~preset ~kernel ~linkage ~workers
   |> apply block_workers Run_config.with_block_workers
   |> apply executor Run_config.with_executor
   |> apply workers_addr Run_config.with_workers_addr
+  |> apply cache Run_config.with_cache_dir
   |> apply kernel (fun k cfg ->
          Run_config.with_solver
            { cfg.Run_config.solver with Solver.kernel = k }
@@ -765,7 +779,7 @@ let tree_cmd =
              counters, status, lower bound) as JSON to $(docv).")
   in
   let run cfg input method_ preset kernel linkage workers block_workers
-      exploration branching gap executor workers_addr deadline max_nodes
+      exploration branching gap executor workers_addr cache deadline max_nodes
       checkpoint resume all nexus manifest explain output =
     check_writable manifest;
     check_writable checkpoint;
@@ -774,7 +788,7 @@ let tree_cmd =
     let config =
       build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
         ~workers ~block_workers ~exploration ~branching ~gap ~executor
-        ~workers_addr ~progress:cfg.progress ()
+        ~workers_addr ~cache ~progress:cfg.progress ()
     in
     let names, m = read_matrix input in
     match (method_, all) with
@@ -881,7 +895,7 @@ let tree_cmd =
     Term.(
       const run $ obs_term $ input_arg $ method_opt $ preset_opt $ kernel_opt
       $ linkage_opt $ workers_opt $ block_workers_opt $ exploration_opt
-      $ branching_opt $ gap_opt $ executor_opt $ workers_addr_opt
+      $ branching_opt $ gap_opt $ executor_opt $ workers_addr_opt $ cache_opt
       $ deadline_opt $ max_nodes_opt $ checkpoint_arg $ resume_arg $ all
       $ nexus $ manifest_arg $ explain_opt $ output_opt)
 
@@ -909,7 +923,7 @@ let compare_cmd =
              within the budget.")
   in
   let run cfg input preset kernel linkage workers block_workers exploration
-      branching gap executor workers_addr deadline max_nodes cap manifest
+      branching gap executor workers_addr cache deadline max_nodes cap manifest
       explain =
     check_writable manifest;
     with_obs cfg @@ fun () ->
@@ -918,7 +932,7 @@ let compare_cmd =
     let config =
       build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
         ~workers ~block_workers ~exploration ~branching ~gap ~executor
-        ~workers_addr ~progress:cfg.progress ()
+        ~workers_addr ~cache ~progress:cfg.progress ()
     in
     let config =
       match cap with
@@ -971,7 +985,7 @@ let compare_cmd =
     Term.(
       const run $ obs_term $ input_arg $ preset_opt $ kernel_opt $ linkage_opt
       $ workers_opt $ block_workers_opt $ exploration_opt $ branching_opt
-      $ gap_opt $ executor_opt $ workers_addr_opt $ deadline_opt
+      $ gap_opt $ executor_opt $ workers_addr_opt $ cache_opt $ deadline_opt
       $ max_nodes_opt $ cap $ manifest $ explain_opt)
 
 (* --- render --- *)
@@ -1602,8 +1616,15 @@ let worker_cmd =
              1 s).  Heartbeats feed the coordinator's event ring, so \
              $(b,/healthz) staleness reflects worker liveness.")
   in
-  let run cfg connect die_after heartbeat =
+  let run cfg connect die_after heartbeat cache =
     with_obs cfg @@ fun () ->
+    (* The hook lives in this worker process: cached jobs sent by a
+       coordinator are answered from the local store without solving. *)
+    Option.iter
+      (fun dir ->
+        Compactphy.Subsolve_cache.install
+          (Compactphy.Subsolve_cache.get_or_create ~dir ()))
+      cache;
     Fmt.epr "phylo worker: connecting to %s@." connect;
     match
       Net_exec.run_worker ?die_after_jobs:die_after
@@ -1618,7 +1639,87 @@ let worker_cmd =
        ~doc:
          "Join a TCP worker pool and solve branch-and-bound jobs for a \
           coordinator started with --executor tcp.")
-    Term.(const run $ obs_term $ connect $ die_after $ heartbeat)
+    Term.(const run $ obs_term $ connect $ die_after $ heartbeat $ cache_opt)
+
+(* --- serve --- *)
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "TCP port to listen on (default 0: a free ephemeral port; \
+             the bound address is printed to stderr).")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind (default local).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix socket at $(docv) instead of a TCP port.")
+  in
+  let pool_workers =
+    Arg.(
+      value
+      & opt (some pos_int) None
+      & info [ "pool-workers" ] ~docv:"N"
+          ~doc:
+            "Concurrent solves (the persistent domain pool's size; \
+             default: the configuration's block workers).")
+  in
+  let run cfg preset kernel linkage workers block_workers exploration
+      branching gap cache deadline max_nodes port host socket pool_workers =
+    with_obs cfg @@ fun () ->
+    let cancel = install_sigint () in
+    let config =
+      build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
+        ~workers ~block_workers ~exploration ~branching ~gap ~cache
+        ~progress:cfg.progress ()
+    in
+    if port <> None && socket <> None then begin
+      Fmt.epr "phylo serve: give either --port or --socket, not both@.";
+      exit 1
+    end;
+    let server =
+      match socket with
+      | Some path -> Compactphy.Server.start ~config ~socket:path ?pool_workers ()
+      | None ->
+          Compactphy.Server.start ~config ~host
+            ~port:(Option.value ~default:0 port)
+            ?pool_workers ()
+    in
+    (* Plain stderr, not Logs: scripts and the CI smoke job read the
+       ephemeral address back from this line at any verbosity. *)
+    Fmt.epr "phylo serve: listening on %s@."
+      (Compactphy.Server.addr_string server);
+    Fmt.epr "phylo serve: POST a PHYLIP matrix to /solve (Ctrl-C to stop)@.";
+    while not (Atomic.get cancel) do
+      Unix.sleepf 0.2
+    done;
+    Fmt.epr "phylo serve: draining %d in-flight request(s)@."
+      (Compactphy.Server.queue_depth server);
+    Compactphy.Server.stop server
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tree-construction daemon: POST PHYLIP matrices to \
+          /solve, with the sub-solve cache and domain pool kept warm \
+          across requests, plus the /metrics, /healthz and /status \
+          telemetry endpoints.")
+    Term.(
+      const run $ obs_term $ preset_opt $ kernel_opt $ linkage_opt
+      $ workers_opt $ block_workers_opt $ exploration_opt $ branching_opt
+      $ gap_opt $ cache_opt $ deadline_opt $ max_nodes_opt $ port $ host
+      $ socket $ pool_workers)
 
 let () =
   let doc =
@@ -1645,4 +1746,5 @@ let () =
             top_cmd;
             simulate_cmd;
             worker_cmd;
+            serve_cmd;
           ]))

@@ -19,29 +19,41 @@ let solve_one ~monitor ~workers (job : Executor.job) =
         s_gap = 0.;
         s_optimal = true;
         s_frontier = [];
+        s_from_cache = false;
       }
-  | None | Some (`Restart _) ->
-      (match job.Executor.j_resume with
-      | Some (`Restart _) ->
-          Log.info (fun m ->
-              m "sim backend cannot resume a frontier; re-solving block %d"
-                job.Executor.j_id)
-      | _ -> ());
-      let platform = Platform.cluster (Int.max 1 workers) in
-      let config =
-        Run_config.with_solver job.Executor.j_options Run_config.default
-      in
-      let r = Dist_bnb.run ~config platform job.Executor.j_matrix in
-      Bnb.Budget.charge monitor r.Dist_bnb.expansions;
-      {
-        Executor.s_stats = r.Dist_bnb.stats;
-        s_tree = r.Dist_bnb.tree;
-        s_status = Bnb.Budget.Exact;
-        s_lb = r.Dist_bnb.cost;
-        s_gap = 0.;
-        s_optimal = true;
-        s_frontier = [];
-      }
+  | None | Some (`Restart _) -> (
+      (* The simulator does not run [Executor.solve_job], so it honours
+         a job's cache opt-in through the same hook calls the shared
+         core makes (the gating lives in Executor). *)
+      match Executor.cache_lookup job with
+      | Some sv -> sv
+      | None ->
+          (match job.Executor.j_resume with
+          | Some (`Restart _) ->
+              Log.info (fun m ->
+                  m "sim backend cannot resume a frontier; re-solving block %d"
+                    job.Executor.j_id)
+          | _ -> ());
+          let platform = Platform.cluster (Int.max 1 workers) in
+          let config =
+            Run_config.with_solver job.Executor.j_options Run_config.default
+          in
+          let r = Dist_bnb.run ~config platform job.Executor.j_matrix in
+          Bnb.Budget.charge monitor r.Dist_bnb.expansions;
+          let sv =
+            {
+              Executor.s_stats = r.Dist_bnb.stats;
+              s_tree = r.Dist_bnb.tree;
+              s_status = Bnb.Budget.Exact;
+              s_lb = r.Dist_bnb.cost;
+              s_gap = 0.;
+              s_optimal = true;
+              s_frontier = [];
+              s_from_cache = false;
+            }
+          in
+          Executor.cache_store job sv;
+          sv)
 
 let make ~monitor ~workers =
   let t0 = Obs.Clock.counter () in

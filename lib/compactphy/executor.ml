@@ -41,6 +41,7 @@ type job = {
   j_node_share : int option;
   j_poll_every : int;
   j_resume : [ `Solved of Utree.t | `Restart of Solver.resume ] option;
+  j_cache : bool;
 }
 
 type solved = {
@@ -51,6 +52,7 @@ type solved = {
   s_gap : float;
   s_optimal : bool;
   s_frontier : Utree.t list;
+  s_from_cache : bool;
 }
 
 type outcome = {
@@ -79,7 +81,55 @@ let trivially_solved tree =
     s_gap = 0.;
     s_optimal = true;
     s_frontier = [];
+    s_from_cache = false;
   }
+
+(* --- content-addressed sub-solve cache hook ---
+
+   The cache itself (Subsolve_cache) sits above this module — it needs
+   the wire codecs and Run_config's manifest spellings — so the solve
+   core reaches it through an installed hook, the same late-binding
+   trick the sim backend uses.  The gating lives here, in one place:
+   only jobs that opted in ([j_cache]), with no resume state, over a
+   non-trivial matrix, consult the hook; only certified ([Exact])
+   results that did not themselves come from the cache are offered
+   back.  A hook failure is logged and treated as a miss/no-op — the
+   cache is an accelerator, never a point of failure. *)
+
+type cache_hook = {
+  c_lookup : job -> solved option;
+  c_store : job -> solved -> unit;
+}
+
+let cache_hook : cache_hook option Atomic.t = Atomic.make None
+let set_cache_hook h = Atomic.set cache_hook h
+
+let cacheable job =
+  job.j_cache && job.j_resume = None && Dist_matrix.size job.j_matrix >= 2
+
+let cache_lookup job =
+  if not (cacheable job) then None
+  else
+    match Atomic.get cache_hook with
+    | None -> None
+    | Some h -> (
+        try h.c_lookup job
+        with e ->
+          Log.warn (fun m ->
+              m "cache lookup failed for block %d: %s" job.j_id
+                (Printexc.to_string e));
+          None)
+
+let cache_store job sv =
+  if cacheable job && sv.s_status = Budget.Exact && not sv.s_from_cache then
+    match Atomic.get cache_hook with
+    | None -> ()
+    | Some h -> (
+        try h.c_store job sv
+        with e ->
+          Log.warn (fun m ->
+              m "cache store failed for block %d: %s" job.j_id
+                (Printexc.to_string e)))
 
 (* Map a solver frontier (permuted labels) back to the matrix's own
    species labels, so a [solved] value is pure data: everything needed
@@ -96,44 +146,60 @@ let frontier_out matrix = function
 (* The one solve every executor shares: the sequential solver, or the
    domain-parallel one when the job's intra-solve budget allows.  A
    resumed-and-finished block skips the solve entirely; an interrupted
-   one continues from its frontier. *)
+   one continues from its frontier.  Cache-opted jobs consult the
+   installed sub-solve cache first and offer their certified result
+   back afterwards. *)
 let solve_job ~monitor ?progress job =
-  match job.j_resume with
-  | Some (`Solved tree) -> trivially_solved tree
-  | (None | Some (`Restart _)) as rs ->
-      if Dist_matrix.size job.j_matrix = 1 then trivially_solved (Utree.leaf 0)
-      else begin
-        let resume = match rs with Some (`Restart r) -> Some r | _ -> None in
-        let small = job.j_matrix in
-        let options = job.j_options in
-        if job.j_workers <= 1 then begin
-          let r = Solver.solve ~options ~monitor ?resume ?progress small in
-          {
-            s_stats = r.Solver.stats;
-            s_tree = r.Solver.tree;
-            s_status = r.Solver.status;
-            s_lb = r.Solver.lower_bound;
-            s_gap = r.Solver.certified_gap;
-            s_optimal = r.Solver.optimal;
-            s_frontier = frontier_out small r.Solver.frontier;
-          }
-        end
-        else begin
-          let r =
-            Par_bnb.solve ~options ~monitor ?resume ?progress
-              ~n_workers:job.j_workers small
-          in
-          {
-            s_stats = r.Par_bnb.stats;
-            s_tree = r.Par_bnb.tree;
-            s_status = r.Par_bnb.status;
-            s_lb = r.Par_bnb.lower_bound;
-            s_gap = r.Par_bnb.certified_gap;
-            s_optimal = r.Par_bnb.optimal;
-            s_frontier = frontier_out small r.Par_bnb.frontier;
-          }
-        end
-      end
+  match cache_lookup job with
+  | Some sv -> sv
+  | None -> (
+      match job.j_resume with
+      | Some (`Solved tree) -> trivially_solved tree
+      | (None | Some (`Restart _)) as rs ->
+          if Dist_matrix.size job.j_matrix = 1 then
+            trivially_solved (Utree.leaf 0)
+          else begin
+            let resume =
+              match rs with Some (`Restart r) -> Some r | _ -> None
+            in
+            let small = job.j_matrix in
+            let options = job.j_options in
+            let sv =
+              if job.j_workers <= 1 then begin
+                let r =
+                  Solver.solve ~options ~monitor ?resume ?progress small
+                in
+                {
+                  s_stats = r.Solver.stats;
+                  s_tree = r.Solver.tree;
+                  s_status = r.Solver.status;
+                  s_lb = r.Solver.lower_bound;
+                  s_gap = r.Solver.certified_gap;
+                  s_optimal = r.Solver.optimal;
+                  s_frontier = frontier_out small r.Solver.frontier;
+                  s_from_cache = false;
+                }
+              end
+              else begin
+                let r =
+                  Par_bnb.solve ~options ~monitor ?resume ?progress
+                    ~n_workers:job.j_workers small
+                in
+                {
+                  s_stats = r.Par_bnb.stats;
+                  s_tree = r.Par_bnb.tree;
+                  s_status = r.Par_bnb.status;
+                  s_lb = r.Par_bnb.lower_bound;
+                  s_gap = r.Par_bnb.certified_gap;
+                  s_optimal = r.Par_bnb.optimal;
+                  s_frontier = frontier_out small r.Par_bnb.frontier;
+                  s_from_cache = false;
+                }
+              end
+            in
+            cache_store job sv;
+            sv
+          end)
 
 let job_monitor ~monitor job =
   (* A job with its own node share solves under a child monitor, so

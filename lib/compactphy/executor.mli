@@ -53,6 +53,10 @@ type job = {
   j_resume : [ `Solved of Utree.t | `Restart of Solver.resume ] option;
       (** checkpoint state: a finished block skips the solve, an
           interrupted one continues from its frontier *)
+  j_cache : bool;
+      (** consult the installed sub-solve cache before solving and offer
+          the certified result back afterwards (see {!Subsolve_cache});
+          resumed jobs never touch the cache regardless *)
 }
 
 type solved = {
@@ -65,6 +69,9 @@ type solved = {
   s_frontier : Utree.t list;
       (** open partial trees in the block matrix's own labels (the
           checkpoint representation) — empty for a completed search *)
+  s_from_cache : bool;
+      (** provenance: this result was replayed from the sub-solve cache
+          (stats included) rather than searched for *)
 }
 
 type outcome = {
@@ -96,13 +103,48 @@ type t = {
 val src : Logs.src
 (** Log source ["compactphy.executor"]. *)
 
+(** {2 Sub-solve cache hook}
+
+    The content-addressed cache ({!Subsolve_cache}) lives above this
+    module, so the solve core reaches it through an installed hook —
+    the same late-binding wiring as the sim backend.  Backends that do
+    not run {!solve_job} (the simulator) call {!cache_lookup} /
+    {!cache_store} around their own solve so every backend honours a
+    job's [j_cache] opt-in identically. *)
+
+type cache_hook = {
+  c_lookup : job -> solved option;
+      (** a certified result for the job's (matrix, options) content
+          address, relabelled to the job matrix's own labels *)
+  c_store : job -> solved -> unit;
+      (** offer a result; only called for certified, non-replayed
+          results of cache-opted jobs *)
+}
+
+val set_cache_hook : cache_hook option -> unit
+(** Install (or clear) the process-wide cache hook; last wins. *)
+
+val cache_lookup : job -> solved option
+(** Consult the installed hook — [None] (a miss) unless the job opted
+    in ([j_cache]), carries no resume state, spans at least two species
+    and the hook has a certified entry.  Hook failures are logged and
+    reported as misses. *)
+
+val cache_store : job -> solved -> unit
+(** Offer a result to the installed hook.  No-op unless the job is
+    cacheable (as in {!cache_lookup}), the result is certified
+    ([Budget.Exact]) and not itself a cache replay — budget-interrupted
+    outcomes are never admitted. *)
+
 (** {2 Shared execution core} *)
 
 val solve_job :
   monitor:Budget.monitor -> ?progress:Obs.Progress.t -> job -> solved
 (** Solve one job in the calling domain under [monitor] — the one
     search both the in-process backends and a remote worker run.  No
-    events, no timing: callers wrap it. *)
+    events, no timing: callers wrap it.  Consults the installed
+    sub-solve cache first ({!cache_lookup}) and offers the certified
+    result back afterwards ({!cache_store}). *)
 
 val job_monitor : monitor:Budget.monitor -> job -> Budget.monitor
 (** The monitor a job solves under: [monitor] itself, or a

@@ -1,10 +1,12 @@
 (* Aliases for modules from dependency libraries. *)
 
 module Dist_matrix = Distmat.Dist_matrix
+module Matrix_io = Distmat.Matrix_io
 module Permutation = Distmat.Permutation
 module Compact_sets = Cgraph.Compact_sets
 module Laminar = Cgraph.Laminar
 module Utree = Ultra.Utree
+module Newick = Ultra.Newick
 module Solver = Bnb.Solver
 module Stats = Bnb.Stats
 module Budget = Bnb.Budget

@@ -94,6 +94,31 @@ let executor_for ~(config : Run_config.t) ~monitor ~n_jobs =
       in
       fst (Net_exec.coordinator ~addr ~monitor ?progress ())
 
+(* Install (and share) the content-addressed sub-solve cache the
+   configuration selects.  Jobs opt in per-run via [j_cache], so
+   installing for one run never changes the behaviour of a concurrent
+   or later run without [cache_dir]. *)
+let cache_setup (config : Run_config.t) =
+  match config.Run_config.cache_dir with
+  | None -> false
+  | Some dir ->
+      Subsolve_cache.install (Subsolve_cache.get_or_create ~dir ());
+      true
+
+(* The per-run cache provenance a manifest records: how many of this
+   run's block solves were replayed from the cache. *)
+let cache_json ~enabled ~hits ~total =
+  Obs.Json.Obj
+    [
+      ("enabled", Obs.Json.Bool enabled);
+      ("block_hits", Obs.Json.Int hits);
+      ("block_misses", Obs.Json.Int (total - hits));
+      ( "hit_rate",
+        Obs.Json.Float
+          (if total = 0 then 0. else float_of_int hits /. float_of_int total)
+      );
+    ]
+
 let exact ?(config = Run_config.default) ?resume dm =
   let config = Run_config.validate ~who:"Pipeline.exact" config in
   let options = config.Run_config.solver in
@@ -105,6 +130,7 @@ let exact ?(config = Run_config.default) ?resume dm =
   let report = Obs.Report.create "pipeline.exact" in
   Obs.Report.set report "n" (Obs.Json.Int (Dist_matrix.size dm));
   Obs.Report.set report "config" (Run_config.to_json config);
+  let use_cache = cache_setup config in
   let monitor = Budget.arm (Run_config.budget config) in
   let block_resume =
     Option.bind resume_ck (fun ck ->
@@ -129,6 +155,7 @@ let exact ?(config = Run_config.default) ?resume dm =
       j_node_share = None;
       j_poll_every = Budget.poll_every (Budget.spec monitor);
       j_resume = block_resume;
+      j_cache = use_cache;
     }
   in
   let exec = executor_for ~config ~monitor ~n_jobs:1 in
@@ -150,8 +177,13 @@ let exact ?(config = Run_config.default) ?resume dm =
         ("solve_s", Obs.Json.Float o.Executor.o_solve_s);
         ("stats", Stats.to_json sv.Executor.s_stats);
         ("status", Budget.status_to_json sv.Executor.s_status);
+        ("cached", Obs.Json.Bool sv.Executor.s_from_cache);
       ]
   end;
+  Obs.Report.set report "cache"
+    (cache_json ~enabled:use_cache
+       ~hits:(if sv.Executor.s_from_cache then 1 else 0)
+       ~total:1);
   let tree = sv.Executor.s_tree in
   let cost = Utree.weight tree in
   let largest_block = n in
@@ -213,6 +245,7 @@ type block_result = {
   b_status : Budget.status;
   b_lb : float;
   b_frontier : Utree.t list;  (* block-local labels, as checkpoints *)
+  b_cached : bool;  (* replayed from the sub-solve cache *)
 }
 
 let slots_of (deco : Decompose.t) =
@@ -251,6 +284,7 @@ let plan_node_shares ~max_nodes todo =
 let solve_slots ~config ~monitor ~resume_for slots =
   let options = config.Run_config.solver in
   let workers = config.Run_config.workers in
+  let use_cache = config.Run_config.cache_dir <> None in
   let todo = schedule slots in
   let shares =
     match Budget.max_nodes (Budget.spec monitor) with
@@ -284,6 +318,7 @@ let solve_slots ~config ~monitor ~resume_for slots =
                     j_node_share = shares.(i);
                     j_poll_every = poll_every;
                     j_resume = resume_for slot;
+                    j_cache = use_cache;
                   } ))
             todo
         in
@@ -303,6 +338,7 @@ let solve_slots ~config ~monitor ~resume_for slots =
           b_status = sv.Executor.s_status;
           b_lb = sv.Executor.s_lb;
           b_frontier = sv.Executor.s_frontier;
+          b_cached = sv.Executor.s_from_cache;
         })
       outcomes
   in
@@ -327,6 +363,7 @@ let merge_results ~report ~stats ~optimal results =
           ("solve_s", Obs.Json.Float r.solve_s);
           ("stats", Stats.to_json r.b_stats);
           ("status", Budget.status_to_json r.b_status);
+          ("cached", Obs.Json.Bool r.b_cached);
         ])
     results
 
@@ -430,6 +467,7 @@ let with_compact_sets ?(config = Run_config.default) ?resume dm =
     Obs.Report.set report "effective_block_workers"
       (Obs.Json.Int (effective_block_workers block_workers));
     Obs.Report.set report "solver_workers" (Obs.Json.Int workers);
+    let use_cache = cache_setup config in
     let stats = Stats.create () in
     let optimal = ref true in
     let monitor = Budget.arm (Run_config.budget config) in
@@ -465,6 +503,13 @@ let with_compact_sets ?(config = Run_config.default) ?resume dm =
                 solve_slots ~config ~monitor ~resume_for slots)
           in
           merge_results ~report ~stats ~optimal results;
+          Obs.Report.set report "cache"
+            (cache_json ~enabled:use_cache
+               ~hits:
+                 (Array.fold_left
+                    (fun acc r -> if r.b_cached then acc + 1 else acc)
+                    0 results)
+               ~total:(Array.length results));
           Log.debug (fun m ->
               m "blocks solved: %d BBT nodes expanded in total"
                 stats.Stats.expanded);

@@ -13,6 +13,7 @@ type t = {
   cancel : bool Atomic.t option;
   executor : Executor.kind;
   workers_addr : string option;
+  cache_dir : string option;
 }
 
 let default =
@@ -28,6 +29,7 @@ let default =
     cancel = None;
     executor = Executor.Local;
     workers_addr = None;
+    cache_dir = None;
   }
 
 let solver_options = Solver.options
@@ -53,6 +55,7 @@ let with_max_nodes cap c = { c with max_nodes = Some cap }
 let with_cancel flag c = { c with cancel = Some flag }
 let with_executor executor c = { c with executor }
 let with_workers_addr addr c = { c with workers_addr = Some addr }
+let with_cache_dir dir c = { c with cache_dir = Some dir }
 
 let budget c =
   Bnb.Budget.create ?deadline_s:c.deadline_s ?max_nodes:c.max_nodes
@@ -101,6 +104,9 @@ let validate ?(who = "Run_config.validate") c =
       | Ok _ -> ()
       | Error e -> invalid_arg (Printf.sprintf "%s: workers_addr: %s" who e))
   | (Executor.Local | Executor.Sim), None -> ());
+  (match c.cache_dir with
+  | Some "" -> invalid_arg (Printf.sprintf "%s: cache_dir must not be empty" who)
+  | Some _ | None -> ());
   c
 
 type preset = Paper | Fast | Exhaustive
@@ -252,5 +258,9 @@ let to_json c =
       ( "workers_addr",
         match c.workers_addr with
         | Some a -> Obs.Json.String a
+        | None -> Obs.Json.Null );
+      ( "cache_dir",
+        match c.cache_dir with
+        | Some d -> Obs.Json.String d
         | None -> Obs.Json.Null );
     ]

@@ -36,6 +36,11 @@ type t = {
   workers_addr : string option;
       (** [Tcp] coordinator listen address, [HOST:PORT]; port 0 binds an
           ephemeral port.  Required when [executor = Tcp]. *)
+  cache_dir : string option;
+      (** on-disk store for the content-addressed sub-solve cache
+          ({!Subsolve_cache}); [None] (the default) disables caching
+          entirely, so runs behave exactly as before this field
+          existed *)
 }
 
 val default : t
@@ -84,6 +89,10 @@ val with_cancel : bool Atomic.t -> t -> t
 val with_executor : Executor.kind -> t -> t
 val with_workers_addr : string -> t -> t
 
+val with_cache_dir : string -> t -> t
+(** Enable the content-addressed sub-solve cache, persisted under the
+    given directory (created on first use). *)
+
 val budget : t -> Bnb.Budget.t
 (** The run budget this configuration describes
     ({!Bnb.Budget.unlimited} when no budget field is set). *)
@@ -94,8 +103,9 @@ val validate : ?who:string -> t -> t
     @raise Invalid_argument if [workers < 1], [block_workers < 1],
     [relaxation < 1.] (or NaN), [solver.gap] negative or not finite,
     [solver.max_expanded <= 0], [deadline_s] not positive and finite,
-    [max_nodes <= 0], [executor = Tcp] without a [workers_addr], or
-    [workers_addr] is not a parseable [HOST:PORT]. *)
+    [max_nodes <= 0], [executor = Tcp] without a [workers_addr],
+    [workers_addr] is not a parseable [HOST:PORT], or [cache_dir] is
+    the empty string. *)
 
 (** {2 Manifest strings}
 

@@ -1,0 +1,69 @@
+(** The [phylo serve] daemon: tree construction over HTTP.
+
+    One process holds a persistent {!Domain_pool} and the
+    content-addressed {!Subsolve_cache} warm across requests, so a
+    stream of related matrices — re-runs, sweeps, the same blocks
+    reached through different decompositions — amortises both domain
+    spawns and sub-solve work.  The HTTP side reuses the
+    {!Obs.Serve} telemetry listener with an application handler: every
+    connection runs on its own thread, and the builtin [/metrics],
+    [/healthz] and [/events] endpoints keep answering while solves run.
+
+    Endpoints (on top of the {!Obs.Serve} builtins):
+
+    - [POST /solve?method=compact|exact] — body: a PHYLIP distance
+      matrix (square or lower-triangular).  The request queues onto the
+      domain pool; the response is JSON with the Newick tree ([newick],
+      using the matrix's species names), [cost] (and bit-exact
+      [cost_hex]), [status], [optimal], [n_blocks], [elapsed_s], and
+      the run's [cache] provenance section (hits/misses per block).
+      Errors: 400 (bad matrix or method), 422 (config rejected),
+      503 (shutting down).
+    - [GET /status] — JSON: current [queue_depth], requests
+      [completed], and the installed cache's counters.
+
+    The [serve.queue_depth] gauge (requests accepted but not yet
+    answered) and [serve.requests] / [serve.errors] counters are
+    published into {!Obs.Metrics.default}, next to the [cache.*]
+    family, so a [/metrics] scrape shows load and cache effectiveness
+    together. *)
+
+type t
+
+val src : Logs.src
+(** Log source ["compactphy.server"]. *)
+
+val start :
+  ?config:Run_config.t ->
+  ?recorder:Obs.Recorder.t ->
+  ?host:string ->
+  ?port:int ->
+  ?socket:string ->
+  ?pool_workers:int ->
+  unit ->
+  t
+(** Validate the configuration, install its [cache_dir] cache if any
+    (so cache counters are visible from the first scrape), spawn the
+    domain pool and bind the listener.  [config] drives every solve
+    (default {!Run_config.default}); [pool_workers] bounds concurrent
+    solves (default [max 1 config.block_workers]); [host] / [port] /
+    [socket] as in {!Obs.Serve.start} ([port] defaults to 0,
+    ephemeral — read it back with {!port} / {!addr_string}).
+    @raise Invalid_argument on an invalid configuration,
+    [pool_workers < 1], or both [~port] and [~socket]. *)
+
+val addr_string : t -> string
+(** ["http://HOST:PORT"] or the socket path. *)
+
+val port : t -> int option
+(** The bound TCP port; [None] for Unix sockets. *)
+
+val queue_depth : t -> int
+(** Solve requests accepted but not yet answered (the
+    [serve.queue_depth] gauge's source). *)
+
+val stop : t -> unit
+(** Drain and shut down: new [/solve] requests are refused with 503,
+    the listener stops (joining every in-flight connection thread, so
+    each accepted request gets its answer), then the domain pool is
+    joined.  Safe to call from a signal-triggered context. *)

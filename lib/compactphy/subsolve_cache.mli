@@ -1,0 +1,137 @@
+open Import
+
+(** Content-addressed cache of certified block solves.
+
+    The compact-set pipeline decomposes one run into many small
+    submatrix sub-solves, and across runs — and across the requests of
+    a [phylo serve] daemon — those sub-solves repeat heavily.  This
+    module memoizes them the way content-addressed workflow engines
+    memoize tasks: each sub-solve is keyed by a canonical digest of
+    {e what is being solved} (the block matrix relabelled to its
+    {!Permutation.maxmin} canonical leaf order) and {e how} (every
+    search-relevant solver option: kernel, exploration strategy,
+    branching, gap, bounds, 3-3 mode, [collect_all]), plus a cache
+    format version.  The value is the certified optimal subtree, its
+    bounds and the full stats envelope, so a warm run replays the cold
+    run bit-for-bit — cost, topology and expansion accounting.
+
+    Two layers back the mapping: a bounded in-memory LRU in front of an
+    optional on-disk store (one hex-float JSON blob per entry, written
+    temp-then-rename, digest-verified on load; a truncated or corrupted
+    blob is rejected, counted under [cache.corrupt] and deleted, and
+    the solve proceeds fresh).
+
+    Only certified ([Budget.Exact]) results are ever admitted —
+    budget-interrupted outcomes depend on where the budget tripped and
+    must never be replayed as answers.  Admission and lookup gating
+    live in {!Executor.cache_lookup} / {!Executor.cache_store}; this
+    module implements the hook those reach through ({!install}).
+
+    Hits, misses, stores, evictions and corrupt rejections are
+    published into the process-wide {!Obs.Metrics} registry
+    ([cache.hits], [cache.misses], [cache.stores], [cache.evictions],
+    [cache.corrupt], gauge [cache.hit_rate]), so they appear in
+    [/metrics] and bench manifests; the pipeline additionally writes a
+    per-run ["cache"] section into its manifest. *)
+
+val format_version : int
+(** Version of the key fingerprint and on-disk layout.  It participates
+    in the digest, so bumping it orphans (never misreads) old stores. *)
+
+val default_capacity : int
+(** Default in-memory LRU capacity, in entries. *)
+
+(** {2 Keys} *)
+
+type key
+(** The content address of one sub-solve: canonical-matrix digest plus
+    the permutation mapping canonical ranks back to the requester's
+    leaf labels.  Canonicalisation is by {!Permutation.maxmin} with a
+    content-based choice between the two seed-pair orientations, which
+    makes the digest invariant under any relabelling of a matrix whose
+    pairwise distances are distinct (the generic case).  Matrices with
+    exactly tied distances stay {e sound} — a relabelling may digest
+    differently, which only costs a missed share, never a wrong hit.
+    Sensitive to every search-relevant solver option; the search budget
+    ([max_expanded]) is excluded: only certified results are stored,
+    and those are budget-independent. *)
+
+val key : options:Solver.options -> Dist_matrix.t -> key
+(** Canonicalise and digest one sub-solve. *)
+
+val digest : key -> string
+(** The hex content digest (the on-disk entry name is derived from
+    it). *)
+
+val size : key -> int
+(** Species count of the keyed matrix. *)
+
+(** {2 Caches} *)
+
+type t
+
+val create : ?dir:string -> ?capacity:int -> unit -> t
+(** A fresh cache.  [dir] enables the on-disk store (the directory is
+    created, parents included); without it entries live only in this
+    process.  [capacity] bounds the in-memory LRU (default
+    {!default_capacity}); the disk store is unbounded.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val get_or_create : ?dir:string -> ?capacity:int -> unit -> t
+(** The process-wide shared instance for [dir] (or the shared
+    memory-only instance), created on first use — so repeated runs
+    against the same store directory also share the in-memory LRU.
+    [capacity] only applies to the creating call. *)
+
+val find : t -> key -> Executor.solved option
+(** A certified result for this content address, relabelled to the
+    requester's leaf labels, with [s_from_cache = true] and a fresh
+    copy of the stored stats envelope; [None] on a miss.  Checks the
+    in-memory LRU, then the disk store (promoting a disk hit into
+    memory).  Thread-safe. *)
+
+val store : t -> key -> Executor.solved -> unit
+(** Admit a result (given in the requester's leaf labels; stored in
+    canonical labels).  No-op unless the result is certified
+    ([Budget.Exact]) and not itself a cache replay; no-op too when the
+    entry already exists.  Best-effort on disk: IO failures are logged,
+    never raised.  Thread-safe. *)
+
+val entry_path : t -> key -> string option
+(** Where this key's on-disk blob lives (whether or not it exists);
+    [None] for a memory-only cache. *)
+
+(** {2 Counters} *)
+
+type counters = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;  (** in-memory LRU evictions (disk entries persist) *)
+  corrupt : int;  (** on-disk entries rejected by the load-time checks *)
+}
+
+val counters : t -> counters
+(** A consistent snapshot of this cache's counters. *)
+
+val hit_rate : counters -> float
+(** [hits / (hits + misses)], or [0.] before any lookup. *)
+
+val counters_json : counters -> Obs.Json.t
+(** The snapshot plus its hit rate, for manifests and server
+    responses. *)
+
+(** {2 Process-wide wiring} *)
+
+val install : t -> unit
+(** Make this cache the one {!Executor.solve_job} consults, via
+    {!Executor.set_cache_hook}.  Idempotent; last wins.  Note that
+    installing alone caches nothing: jobs opt in per-run through
+    [Run_config.cache_dir] (the pipeline sets [j_cache] only then), so
+    uncached runs stay bit-identical to a cacheless build. *)
+
+val uninstall : unit -> unit
+(** Clear the hook (and {!installed}). *)
+
+val installed : unit -> t option
+(** The currently installed cache, if any. *)

@@ -8,8 +8,10 @@ module J = Obs.Json
    — a localhost pool is bit-identical to a sequential solve because
    nothing is ever re-rounded through decimal. *)
 
-(* v2: job frames carry the run budget's polling period. *)
-let version = 2
+(* v2: job frames carry the run budget's polling period.
+   v3: jobs carry the sub-solve cache opt-in; results carry cache
+   provenance. *)
+let version = 3
 
 (* A block matrix is a few hundred species at most; 64 MiB of frame is
    already absurd, so anything larger is a protocol error, not a
@@ -265,6 +267,7 @@ let job_to_json (job : Executor.job) =
         | None -> J.Null );
       ("poll_every", J.Int job.Executor.j_poll_every);
       ("resume", resume_to_json job.Executor.j_resume);
+      ("cache", J.Bool job.Executor.j_cache);
     ]
 
 let job_of_json j =
@@ -286,6 +289,7 @@ let job_of_json j =
   let* j_poll_every = int_field "poll_every" j in
   let* rj = field "resume" j in
   let* j_resume = resume_of_json rj in
+  let* j_cache = bool_field "cache" j in
   Ok
     {
       Executor.j_id;
@@ -296,6 +300,7 @@ let job_of_json j =
       j_node_share;
       j_poll_every;
       j_resume;
+      j_cache;
     }
 
 let solved_to_json (s : Executor.solved) =
@@ -308,6 +313,7 @@ let solved_to_json (s : Executor.solved) =
       ("gap", J.String (hex s.Executor.s_gap));
       ("optimal", J.Bool s.Executor.s_optimal);
       ("frontier", J.List (List.map tree_to_json s.Executor.s_frontier));
+      ("from_cache", J.Bool s.Executor.s_from_cache);
     ]
 
 let solved_of_json j =
@@ -321,7 +327,18 @@ let solved_of_json j =
   let* s_optimal = bool_field "optimal" j in
   let* fr = list_field "frontier" j in
   let* s_frontier = map_result tree_of_json fr in
-  Ok { Executor.s_stats; s_tree; s_status; s_lb; s_gap; s_optimal; s_frontier }
+  let* s_from_cache = bool_field "from_cache" j in
+  Ok
+    {
+      Executor.s_stats;
+      s_tree;
+      s_status;
+      s_lb;
+      s_gap;
+      s_optimal;
+      s_frontier;
+      s_from_cache;
+    }
 
 (* --- frames --- *)
 

@@ -16,7 +16,8 @@ open Import
     [Shutdown] ends the session from the coordinator's side. *)
 
 val version : int
-(** Protocol version, negotiated in [Hello]/[Welcome] (currently 1). *)
+(** Protocol version, negotiated in [Hello]/[Welcome] (currently 3:
+    jobs carry the sub-solve cache opt-in, results its provenance). *)
 
 val max_frame_bytes : int
 (** Frames larger than this are a protocol error, not a payload. *)

@@ -7,11 +7,19 @@
      /healthz          liveness + heartbeat staleness (JSON)
      /events?since=N   the flight recorder's ring as NDJSON
 
-   Requests are handled serially in the accept thread: scrapes are
-   sub-millisecond renders of in-memory state, and a serial loop cannot
-   be wedged open by a slow client holding a worker hostage (reads are
-   bounded, writes go to a closed socket at worst).  The solver domains
-   never block on any of this — the listener only ever reads atomics. *)
+   Without a custom handler, requests are handled serially in the
+   accept thread: scrapes are sub-millisecond renders of in-memory
+   state, and a serial loop cannot be wedged open by a slow client
+   holding a worker hostage (reads are bounded, writes go to a closed
+   socket at worst).  The solver domains never block on any of this —
+   the listener only ever reads atomics.
+
+   An application handler (the [phylo serve] daemon) changes both
+   assumptions: its requests carry bodies (POST, bounded by
+   [max_body_bytes]) and take real time to answer, so with a handler
+   installed each connection is served on its own thread — the builtin
+   endpoints stay responsive while solves run — and [stop] joins those
+   threads, draining in-flight requests before returning. *)
 
 type target = Tcp of string * int | Unix_sock of string
 
@@ -50,11 +58,20 @@ let target_of_string s =
                  "cannot parse %S (want HOST:PORT, a port, or a socket path)"
                  s))
 
+type handler =
+  meth:string ->
+  path:string ->
+  query:(string * string) list ->
+  body:string ->
+  (int * string * string) option
+
 type t = {
   fd : Unix.file_descr;
   thread : Thread.t;
   stopping : bool Atomic.t;
   bound : target;  (* with the real port after binding port 0 *)
+  conns : (int, Thread.t) Hashtbl.t;  (* in-flight handler connections *)
+  conns_lock : Mutex.t;
 }
 
 let port t = match t.bound with Tcp (_, p) -> Some p | Unix_sock _ -> None
@@ -66,36 +83,72 @@ let addr_string t =
 
 (* --- request plumbing --- *)
 
-let max_request_bytes = 8192
+let max_header_bytes = 8192
+let max_body_bytes = 8 * 1024 * 1024
+
+(* Offset just past the "\r\n\r\n" ending the header block, if read. *)
+let header_end s =
+  let rec find i =
+    if i + 3 >= String.length s then None
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some (i + 4)
+    else find (i + 1)
+  in
+  find 0
+
+(* The declared Content-Length, scanning header lines case-insensitively. *)
+let content_length headers =
+  String.split_on_char '\n' headers
+  |> List.find_map (fun line ->
+         match String.index_opt line ':' with
+         | None -> None
+         | Some i ->
+             if String.lowercase_ascii (String.sub line 0 i) = "content-length"
+             then
+               int_of_string_opt
+                 (String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1)))
+             else None)
+  |> Option.value ~default:0
 
 let read_request fd =
-  (* Read until the blank line ending the header block (no endpoint
-     takes a body) or the size bound, whichever first. *)
+  (* Read the header block (bounded by [max_header_bytes]), then exactly
+     the declared body — itself clamped to [max_body_bytes], so an
+     over-declared length yields a truncated body the handler rejects
+     rather than an unbounded buffer. *)
   let buf = Buffer.create 512 in
-  let chunk = Bytes.create 512 in
-  let rec go () =
-    if Buffer.length buf > max_request_bytes then Buffer.contents buf
-    else
-      let headers_done =
-        let s = Buffer.contents buf in
-        let rec find i =
-          i + 3 < String.length s
-          && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
-               && s.[i + 3] = '\n')
-             || find (i + 1))
-        in
-        find 0
-      in
-      if headers_done then Buffer.contents buf
-      else
-        match Unix.read fd chunk 0 (Bytes.length chunk) with
-        | 0 -> Buffer.contents buf
-        | n ->
-            Buffer.add_subbytes buf chunk 0 n;
-            go ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  let chunk = Bytes.create 2048 in
+  let read_more () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> false
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
   in
-  go ()
+  let rec headers () =
+    match header_end (Buffer.contents buf) with
+    | Some e -> Some e
+    | None ->
+        if Buffer.length buf > max_header_bytes then None
+        else if read_more () then headers ()
+        else None
+  in
+  match headers () with
+  | None -> Buffer.contents buf
+  | Some hdr_end ->
+      let declared =
+        content_length (String.sub (Buffer.contents buf) 0 hdr_end)
+      in
+      let want = hdr_end + Int.min (Int.max declared 0) max_body_bytes in
+      let rec body () =
+        if Buffer.length buf >= want then ()
+        else if read_more () then body ()
+        else ()
+      in
+      body ();
+      Buffer.contents buf
 
 let write_all fd s =
   let b = Bytes.of_string s in
@@ -109,8 +162,11 @@ let write_all fd s =
 
 let status_text = function
   | 200 -> "OK"
+  | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 422 -> "Unprocessable Entity"
+  | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Error"
 
@@ -168,7 +224,7 @@ let healthz ~origin ~stale_after_s ~recorder () =
   in
   ((if stale then 503 else 200), "application/json", body)
 
-let handle ~registry ~recorder ~origin ~stale_after_s fd =
+let handle ~registry ~recorder ~origin ~stale_after_s ~handler fd =
   let req = read_request fd in
   let first_line =
     match String.index_opt req '\r' with
@@ -178,7 +234,19 @@ let handle ~registry ~recorder ~origin ~stale_after_s fd =
   match String.split_on_char ' ' first_line with
   | [ meth; target; _version ] ->
       let path, query = parse_target target in
-      let status, ctype, body =
+      let req_body =
+        match header_end req with
+        | Some at -> String.sub req at (String.length req - at)
+        | None -> ""
+      in
+      let handled =
+        match handler with
+        | None -> None
+        | Some h -> (
+            try h ~meth ~path ~query ~body:req_body
+            with _ -> Some (500, "text/plain", "internal error\n"))
+      in
+      let builtin () =
         if meth <> "GET" && meth <> "HEAD" then
           (405, "text/plain", "method not allowed\n")
         else
@@ -202,20 +270,43 @@ let handle ~registry ~recorder ~origin ~stale_after_s fd =
                     Recorder.to_ndjson (Recorder.snapshot ~since r) ))
           | _ -> (404, "text/plain", "not found\n")
       in
+      let status, ctype, body =
+        match handled with Some r -> r | None -> builtin ()
+      in
       respond fd ~status ~content_type:ctype
         (if meth = "HEAD" then "" else body)
   | _ -> respond fd ~status:405 ~content_type:"text/plain" "bad request\n"
 
 (* --- lifecycle --- *)
 
-let accept_loop t ~registry ~recorder ~stale_after_s origin =
+let accept_loop t ~registry ~recorder ~stale_after_s ~handler origin =
+  let serve_one client =
+    (try handle ~registry ~recorder ~origin ~stale_after_s ~handler client
+     with _ -> ());
+    try Unix.close client with Unix.Unix_error _ -> ()
+  in
   let rec loop () =
     if not (Atomic.get t.stopping) then begin
       (match Unix.accept t.fd with
       | client, _ ->
-          (try handle ~registry ~recorder ~origin ~stale_after_s client
-           with _ -> ());
-          (try Unix.close client with Unix.Unix_error _ -> ())
+          if handler = None then serve_one client
+          else begin
+            (* Handler requests do real work: give each connection its
+               own thread so scrapes stay live, and register it so
+               [stop] can drain in-flight requests. *)
+            Mutex.lock t.conns_lock;
+            let th =
+              Thread.create
+                (fun () ->
+                  serve_one client;
+                  Mutex.lock t.conns_lock;
+                  Hashtbl.remove t.conns (Thread.id (Thread.self ()));
+                  Mutex.unlock t.conns_lock)
+                ()
+            in
+            Hashtbl.replace t.conns (Thread.id th) th;
+            Mutex.unlock t.conns_lock
+          end
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | exception Unix.Unix_error _ ->
           (* The listening socket was closed under us: stop. *)
@@ -226,7 +317,7 @@ let accept_loop t ~registry ~recorder ~stale_after_s origin =
   loop ()
 
 let start ?(registry = Metrics.default) ?recorder ?(stale_after_s = 10.)
-    ?(host = "127.0.0.1") ?port ?socket () =
+    ?handler ?(host = "127.0.0.1") ?port ?socket () =
   (* A peer disconnecting mid-response must raise EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -263,11 +354,13 @@ let start ?(registry = Metrics.default) ?recorder ?(stale_after_s = 10.)
         fd;
         stopping = Atomic.make false;
         bound;
+        conns = Hashtbl.create 16;
+        conns_lock = Mutex.create ();
         thread =
           Thread.create
             (fun () ->
               accept_loop (Lazy.force t) ~registry ~recorder ~stale_after_s
-                origin)
+                ~handler origin)
             ();
       }
   in
@@ -279,13 +372,21 @@ let stop t =
   (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   (try Unix.close t.fd with Unix.Unix_error _ -> ());
   (try Thread.join t.thread with _ -> ());
+  (* Drain in-flight handler connections before reporting stopped. *)
+  let in_flight =
+    Mutex.lock t.conns_lock;
+    let l = Hashtbl.fold (fun _ th acc -> th :: acc) t.conns [] in
+    Mutex.unlock t.conns_lock;
+    l
+  in
+  List.iter (fun th -> try Thread.join th with _ -> ()) in_flight;
   match t.bound with
   | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | Tcp _ -> ()
 
 (* --- a matching minimal client (phylo top, tests, smoke jobs) --- *)
 
-let get target path =
+let request ?(meth = "GET") ?body target path =
   let fd, addr =
     match target with
     | Tcp (host, port) ->
@@ -304,8 +405,16 @@ let get target path =
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
         Unix.connect fd addr;
+        let payload = Option.value ~default:"" body in
+        let length_header =
+          match body with
+          | None -> ""
+          | Some b -> Printf.sprintf "Content-Length: %d\r\n" (String.length b)
+        in
         write_all fd
-          (Printf.sprintf "GET %s HTTP/1.1\r\nHost: phylo\r\nConnection: close\r\n\r\n" path);
+          (Printf.sprintf
+             "%s %s HTTP/1.1\r\nHost: phylo\r\nConnection: close\r\n%s\r\n%s"
+             meth path length_header payload);
         let buf = Buffer.create 4096 in
         let chunk = Bytes.create 4096 in
         let rec drain () =
@@ -323,17 +432,7 @@ let get target path =
   | exception Not_found -> Error "host not found"
   | raw -> (
       (* Split the status line and headers off; hand back code + body. *)
-      let body_at =
-        let rec find i =
-          if i + 3 >= String.length raw then None
-          else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
-                  && raw.[i + 3] = '\n'
-          then Some (i + 4)
-          else find (i + 1)
-        in
-        find 0
-      in
-      match body_at with
+      match header_end raw with
       | None -> Error "malformed HTTP response"
       | Some at -> (
           match String.split_on_char ' ' raw with
@@ -343,3 +442,5 @@ let get target path =
                   Ok (c, String.sub raw at (String.length raw - at))
               | None -> Error "malformed HTTP status")
           | _ -> Error "malformed HTTP status"))
+
+let get target path = request target path

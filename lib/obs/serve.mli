@@ -14,7 +14,13 @@
     Requests are handled serially in the accept thread — every endpoint
     is a sub-millisecond render of in-memory atomics, and the solver
     domains never block on the listener.  Binding port 0 picks an
-    ephemeral port; read it back with {!port} / {!addr_string}. *)
+    ephemeral port; read it back with {!port} / {!addr_string}.
+
+    An application {!handler} (the [phylo serve] daemon) turns the
+    listener into a small application server: handler requests may
+    carry POST bodies (read per [Content-Length], bounded at 8 MiB) and
+    each connection then runs on its own thread, with {!stop} joining
+    those threads so shutdown drains in-flight requests. *)
 
 type target = Tcp of string * int | Unix_sock of string
 
@@ -25,10 +31,24 @@ val target_of_string : string -> (target, string) result
 
 type t
 
+type handler =
+  meth:string ->
+  path:string ->
+  query:(string * string) list ->
+  body:string ->
+  (int * string * string) option
+(** An application request handler, consulted before the builtin
+    endpoints.  Returns [Some (status, content_type, body)] to answer
+    the request, or [None] to fall through to the builtins (so a
+    handler-equipped listener still serves [/metrics] and [/healthz]).
+    An exception escaping the handler answers 500.  Runs on a
+    per-connection thread; must be thread-safe. *)
+
 val start :
   ?registry:Metrics.registry ->
   ?recorder:Recorder.t ->
   ?stale_after_s:float ->
+  ?handler:handler ->
   ?host:string ->
   ?port:int ->
   ?socket:string ->
@@ -36,7 +56,8 @@ val start :
   t
 (** Bind and start the accept thread.  Defaults: the process-wide
     {!Metrics.default} registry, no recorder ([/events] answers 404 and
-    [/healthz] reports null staleness), [stale_after_s = 10.],
+    [/healthz] reports null staleness), [stale_after_s = 10.], no
+    {!handler} (serial accept loop, builtin endpoints only),
     [host = "127.0.0.1"], [port = 0] (ephemeral).  Pass [~socket:path]
     {e instead of} a port to listen on a Unix socket (an existing file
     at [path] is replaced).  SIGPIPE is set to ignore so disconnecting
@@ -53,16 +74,23 @@ val addr_string : t -> string
     [phylo top] takes. *)
 
 val stop : t -> unit
-(** Close the listening socket, join the accept thread, and unlink the
-    Unix socket file if any.  Idempotent in effect; safe to call from
-    [Fun.protect] finalisers. *)
+(** Close the listening socket, join the accept thread — then join any
+    in-flight per-connection handler threads, so every accepted request
+    is answered before [stop] returns — and unlink the Unix socket file
+    if any.  Idempotent in effect; safe to call from [Fun.protect]
+    finalisers. *)
 
 (** {1 Minimal client}
 
     Enough HTTP for [phylo top], the tests and CI smoke jobs — not a
     general-purpose client. *)
 
+val request :
+  ?meth:string -> ?body:string -> target -> string -> (int * string, string) result
+(** [request target path] performs one request (default [GET], no body)
+    and returns [(status code, response body)], or [Error] with a
+    human-readable reason on connection/protocol failure.  [~body]
+    is sent with its [Content-Length]; pair it with [~meth:"POST"]. *)
+
 val get : target -> string -> (int * string, string) result
-(** [get target path] performs one [GET path] request and returns
-    [(status code, body)], or [Error] with a human-readable reason on
-    connection/protocol failure. *)
+(** [request] with the defaults. *)

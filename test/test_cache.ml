@@ -1,0 +1,506 @@
+(* The content-addressed sub-solve cache's contract:
+
+   - a warm run is bit-identical to its cold run — cost, topology and
+     the replayed expansion accounting — on generated matrices of every
+     flavour and on the repository's data matrices;
+   - the key digest is invariant under any relabelling of the input
+     (canonicalisation by maxmin), so a warm solve of a permuted matrix
+     replays the stored tree relabelled, and sensitive to every
+     search-relevant solver option — while the search budget, which
+     certified results do not depend on, is excluded;
+   - budget-interrupted (non-certified) outcomes are never admitted,
+     through the executor gate or the store itself;
+   - a truncated or corrupted on-disk entry is rejected and deleted,
+     the [cache.corrupt] counter ticks, and the solve proceeds fresh;
+   - the in-memory LRU evicts at capacity; the disk store still answers. *)
+
+module Dist_matrix = Distmat.Dist_matrix
+module Matrix_io = Distmat.Matrix_io
+module Gen = Distmat.Gen
+module Permutation = Distmat.Permutation
+module Utree = Ultra.Utree
+module Newick = Ultra.Newick
+module Solver = Bnb.Solver
+module Stats = Bnb.Stats
+module Budget = Bnb.Budget
+module Pipeline = Compactphy.Pipeline
+module Run_config = Compactphy.Run_config
+module Executor = Compactphy.Executor
+module Cache = Compactphy.Subsolve_cache
+module J = Obs.Json
+
+let rng seed = Random.State.make [| 0xcac4e; seed |]
+
+(* Every test gets its own store directory (and therefore its own
+   [get_or_create] instance): counters and LRU state never leak between
+   tests. *)
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "sscache-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let with_uninstall f = Fun.protect ~finally:Cache.uninstall f
+
+let load name =
+  (* Under [dune runtest] the cwd is the test directory and the repo's
+     data/ sits beside it (see the (deps ...) field of test/dune);
+     under [dune exec] from the project root it is ./data. *)
+  let path =
+    match
+      List.find_opt Sys.file_exists
+        [
+          Filename.concat ".." (Filename.concat "data" name);
+          Filename.concat "data" name;
+        ]
+    with
+    | Some p -> p
+    | None -> Alcotest.failf "data matrix %s not found" name
+  in
+  (Matrix_io.of_phylip (Matrix_io.read_file path)).Matrix_io.matrix
+
+let truncate m k =
+  let k = Int.min k (Dist_matrix.size m) in
+  Dist_matrix.init k (fun i j -> Dist_matrix.get m i j)
+
+let newick t = Newick.to_string t
+
+let check_stats_equal name (a : Stats.t) (b : Stats.t) =
+  Alcotest.(check int) (name ^ ": expanded") a.Stats.expanded b.Stats.expanded;
+  Alcotest.(check int) (name ^ ": generated") a.Stats.generated b.Stats.generated;
+  Alcotest.(check int) (name ^ ": pruned") a.Stats.pruned b.Stats.pruned;
+  Alcotest.(check int) (name ^ ": pruned_33") a.Stats.pruned_33 b.Stats.pruned_33;
+  Alcotest.(check int) (name ^ ": ub updates") a.Stats.ub_updates b.Stats.ub_updates;
+  Alcotest.(check int) (name ^ ": max open") a.Stats.max_open b.Stats.max_open
+
+(* The manifest's cache section, unpacked. *)
+let cache_section report =
+  match Obs.Report.field report "cache" with
+  | Some (J.Obj kvs) ->
+      let int k =
+        match List.assoc_opt k kvs with Some (J.Int i) -> i | _ -> -1
+      in
+      let enabled =
+        match List.assoc_opt "enabled" kvs with
+        | Some (J.Bool b) -> b
+        | _ -> false
+      in
+      (enabled, int "block_hits", int "block_misses")
+  | _ -> Alcotest.fail "manifest has no cache section"
+
+(* Cold run, then warm run against the same store: everything the run
+   reports must replay bit-for-bit. *)
+let check_cold_warm name config m =
+  let cold = Pipeline.with_compact_sets ~config m in
+  let warm = Pipeline.with_compact_sets ~config m in
+  Alcotest.(check bool)
+    (name ^ ": cost bit-identical") true
+    (Float.equal cold.Pipeline.cost warm.Pipeline.cost);
+  Alcotest.(check string)
+    (name ^ ": topology identical") (newick cold.Pipeline.tree)
+    (newick warm.Pipeline.tree);
+  check_stats_equal name cold.Pipeline.stats warm.Pipeline.stats;
+  Alcotest.(check int)
+    (name ^ ": block count") cold.Pipeline.n_blocks warm.Pipeline.n_blocks;
+  let enabled_c, hits_c, _ = cache_section cold.Pipeline.report in
+  let enabled_w, hits_w, misses_w = cache_section warm.Pipeline.report in
+  Alcotest.(check bool) (name ^ ": cache enabled") true (enabled_c && enabled_w);
+  Alcotest.(check int) (name ^ ": cold has no hits") 0 hits_c;
+  (* On the warm run every cacheable block (size >= 2) must hit; only
+     trivial size-1 blocks may report a miss. *)
+  List.iter
+    (fun w ->
+      match w with
+      | J.Obj kvs -> (
+          match (List.assoc_opt "block_size" kvs, List.assoc_opt "cached" kvs)
+          with
+          | Some (J.Int size), Some (J.Bool cached) ->
+              if size >= 2 then
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: warm block of size %d cached" name size)
+                  true cached
+          | _ -> ())
+      | _ -> ())
+    (Obs.Report.workers warm.Pipeline.report);
+  ignore misses_w;
+  ignore hits_w
+
+let cached_config dir =
+  Run_config.default |> Run_config.with_cache_dir dir
+
+let test_cold_warm_generated () =
+  Prop_gen.check ~count:15 ~name:"cold = warm (compact sets)"
+    (Prop_gen.matrix ~min_n:5 ~max_n:11 ())
+    (fun m ->
+      let config = cached_config (fresh_dir ()) in
+      with_uninstall (fun () ->
+          check_cold_warm "generated" config m;
+          true))
+
+let test_cold_warm_data () =
+  with_uninstall @@ fun () ->
+  List.iter
+    (fun (name, m) -> check_cold_warm name (cached_config (fresh_dir ())) m)
+    [
+      ("hominoids", load "hominoids.phy");
+      ("mtdna26[12]", truncate (load "mtdna26.phy") 12);
+      ("random20[10]", truncate (load "random20.phy") 10);
+    ]
+
+let test_cold_warm_exact () =
+  with_uninstall @@ fun () ->
+  let m = Gen.clustered ~rng:(rng 3) ~n_clusters:3 9 in
+  let config = cached_config (fresh_dir ()) in
+  let cold = Pipeline.exact ~config m in
+  let warm = Pipeline.exact ~config m in
+  Alcotest.(check bool)
+    "exact: cost bit-identical" true
+    (Float.equal cold.Pipeline.cost warm.Pipeline.cost);
+  Alcotest.(check string) "exact: topology identical"
+    (newick cold.Pipeline.tree) (newick warm.Pipeline.tree);
+  check_stats_equal "exact" cold.Pipeline.stats warm.Pipeline.stats;
+  let _, hits_c, _ = cache_section cold.Pipeline.report in
+  let _, hits_w, _ = cache_section warm.Pipeline.report in
+  Alcotest.(check int) "exact: cold misses" 0 hits_c;
+  Alcotest.(check int) "exact: warm hits" 1 hits_w
+
+(* Without a cache_dir nothing is consulted or admitted, even with a
+   cache installed process-wide: the default path stays cache-free. *)
+let test_disabled_by_default () =
+  with_uninstall @@ fun () ->
+  let dir = fresh_dir () in
+  let c = Cache.get_or_create ~dir () in
+  Cache.install c;
+  let m = Gen.clustered ~rng:(rng 4) ~n_clusters:3 10 in
+  let r = Pipeline.with_compact_sets m in
+  Alcotest.(check bool) "solved" true (r.Pipeline.status = Budget.Exact);
+  let stats = Cache.counters c in
+  Alcotest.(check int) "no lookups" 0
+    (stats.Cache.hits + stats.Cache.misses);
+  Alcotest.(check int) "no stores" 0 stats.Cache.stores;
+  let enabled, _, _ = cache_section r.Pipeline.report in
+  Alcotest.(check bool) "manifest says disabled" false enabled
+
+(* --- keys --- *)
+
+let shuffled_permutation st n =
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Permutation.of_array a
+
+(* Maxmin canonicalisation is content-determined exactly when no two
+   pairs are at the same distance; with ties (the ultrametric
+   generator's shared merge heights) the digest may legitimately differ
+   across relabelings — sound, just not shared. *)
+let distinct_distances m =
+  let n = Dist_matrix.size m in
+  let entries = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      entries := Dist_matrix.get m i j :: !entries
+    done
+  done;
+  let sorted = List.sort Float.compare !entries in
+  let rec distinct = function
+    | a :: (b :: _ as rest) -> (not (Float.equal a b)) && distinct rest
+    | _ -> true
+  in
+  distinct sorted
+
+let test_digest_permutation_invariant () =
+  Prop_gen.check ~count:50 ~name:"digest invariant under relabelling"
+    (Prop_gen.matrix ~min_n:4 ~max_n:12 ())
+    (fun m ->
+      (not (distinct_distances m))
+      ||
+      let st = rng (Dist_matrix.size m) in
+      let q = shuffled_permutation st (Dist_matrix.size m) in
+      let m' = Permutation.apply m q in
+      let options = Solver.default_options in
+      Cache.digest (Cache.key ~options m)
+      = Cache.digest (Cache.key ~options m'))
+
+(* Under ties a relabelling may hit or miss — but whatever happens the
+   answer must be the permuted matrix's own optimum. *)
+let test_tied_matrix_sound_across_permutation () =
+  with_uninstall @@ fun () ->
+  let m = Gen.ultrametric ~rng:(rng 30) 8 in
+  let q = shuffled_permutation (rng 31) 8 in
+  let m' = Permutation.apply m q in
+  let dir = fresh_dir () in
+  let c = Cache.get_or_create ~dir () in
+  Cache.install c;
+  let job m =
+    {
+      Executor.j_id = 0;
+      j_size = Dist_matrix.size m;
+      j_matrix = m;
+      j_options = Solver.default_options;
+      j_workers = 1;
+      j_node_share = None;
+      j_poll_every = 32;
+      j_resume = None;
+      j_cache = true;
+    }
+  in
+  let monitor = Budget.arm Budget.unlimited in
+  ignore (Executor.solve_job ~monitor (job m));
+  let sv = Executor.solve_job ~monitor (job m') in
+  Cache.uninstall ();
+  let ref_sv = Executor.solve_job ~monitor (job m') in
+  Alcotest.(check bool) "tied relabelling stays optimal" true
+    (Float.equal
+       (Utree.weight ref_sv.Executor.s_tree)
+       (Utree.weight sv.Executor.s_tree));
+  Ultra.Tree_check.assert_valid m' sv.Executor.s_tree
+
+(* A hit across a relabelling must come back in the requester's labels:
+   solving the permuted matrix from a cache warmed on the original one
+   yields exactly what a fresh solve of the permuted matrix yields. *)
+let test_hit_across_permutation () =
+  with_uninstall @@ fun () ->
+  let m = Gen.clustered ~rng:(rng 5) ~n_clusters:2 8 in
+  let q = shuffled_permutation (rng 6) 8 in
+  let m' = Permutation.apply m q in
+  let dir = fresh_dir () in
+  let c = Cache.get_or_create ~dir () in
+  Cache.install c;
+  let job m =
+    {
+      Executor.j_id = 0;
+      j_size = Dist_matrix.size m;
+      j_matrix = m;
+      j_options = Solver.default_options;
+      j_workers = 1;
+      j_node_share = None;
+      j_poll_every = 32;
+      j_resume = None;
+      j_cache = true;
+    }
+  in
+  let monitor = Budget.arm Budget.unlimited in
+  let sv0 = Executor.solve_job ~monitor (job m) in
+  Alcotest.(check bool) "seed solve is fresh" false sv0.Executor.s_from_cache;
+  let sv1 = Executor.solve_job ~monitor (job m') in
+  Alcotest.(check bool) "permuted solve hits" true sv1.Executor.s_from_cache;
+  (* Reference: the permuted matrix solved with no cache at all. *)
+  Cache.uninstall ();
+  let ref_sv = Executor.solve_job ~monitor (job m') in
+  Alcotest.(check bool) "same cost" true
+    (Float.equal
+       (Utree.weight ref_sv.Executor.s_tree)
+       (Utree.weight sv1.Executor.s_tree));
+  (* Relabelling permutes sibling order in the printed form; the
+     unordered topology must match the fresh solve exactly. *)
+  Alcotest.(check bool) "same topology" true
+    (Utree.same_topology ref_sv.Executor.s_tree sv1.Executor.s_tree);
+  Ultra.Tree_check.assert_valid m' sv1.Executor.s_tree
+
+let test_digest_sensitivity () =
+  let m = Gen.uniform_metric ~rng:(rng 7) 7 in
+  let base = Solver.default_options in
+  let d options = Cache.digest (Cache.key ~options m) in
+  let base_d = d base in
+  List.iter
+    (fun (what, options) ->
+      if d options = base_d then
+        Alcotest.failf "digest ignores %s, but it changes the search" what)
+    [
+      ("lb", { base with Solver.lb = Solver.LB0 });
+      ("relation33", { base with Solver.relation33 = Solver.Every_insertion });
+      ("initial_ub", { base with Solver.initial_ub = Solver.Nj_ub });
+      ("search", { base with Solver.search = Solver.Best_first });
+      ("branching", { base with Solver.branching = Solver.Largest_first });
+      ("gap", { base with Solver.gap = 0.25 });
+      ("collect_all", { base with Solver.collect_all = true });
+      ("kernel", { base with Solver.kernel = Solver.Reference });
+    ];
+  (* The budget is excluded by design: certified results are
+     budget-independent, so a capped and an uncapped run share entries. *)
+  Alcotest.(check string) "max_expanded excluded" base_d
+    (d { base with Solver.max_expanded = Some 10 });
+  (* And the matrix content must matter. *)
+  let m2 = Gen.uniform_metric ~rng:(rng 8) 7 in
+  Alcotest.(check bool) "different matrix, different digest" false
+    (Cache.digest (Cache.key ~options:base m2) = base_d)
+
+(* --- admission gating --- *)
+
+let test_interrupted_never_admitted () =
+  with_uninstall @@ fun () ->
+  let m = Gen.uniform_metric ~rng:(rng 9) 10 in
+  let dir = fresh_dir () in
+  let c = Cache.get_or_create ~dir () in
+  Cache.install c;
+  let job =
+    {
+      Executor.j_id = 0;
+      j_size = Dist_matrix.size m;
+      j_matrix = m;
+      j_options = Solver.default_options;
+      j_workers = 1;
+      j_node_share = None;
+      j_poll_every = 1;
+      j_resume = None;
+      j_cache = true;
+    }
+  in
+  let monitor = Budget.arm (Budget.create ~max_nodes:3 ~poll_every:1 ()) in
+  let sv = Executor.solve_job ~monitor job in
+  Alcotest.(check bool) "search was interrupted" true
+    (sv.Executor.s_status <> Budget.Exact);
+  let stats = Cache.counters c in
+  Alcotest.(check int) "nothing stored" 0 stats.Cache.stores;
+  Alcotest.(check bool) "nothing findable" true
+    (Cache.find c (Cache.key ~options:Solver.default_options m) = None);
+  (* The store's own gate refuses too, whatever the caller does. *)
+  Cache.store c (Cache.key ~options:Solver.default_options m) sv;
+  Alcotest.(check int) "direct store refused" 0 (Cache.counters c).Cache.stores
+
+(* --- the disk layer --- *)
+
+let solve_and_store c m =
+  Cache.install c;
+  let job =
+    {
+      Executor.j_id = 0;
+      j_size = Dist_matrix.size m;
+      j_matrix = m;
+      j_options = Solver.default_options;
+      j_workers = 1;
+      j_node_share = None;
+      j_poll_every = 32;
+      j_resume = None;
+      j_cache = true;
+    }
+  in
+  Executor.solve_job ~monitor:(Budget.arm Budget.unlimited) job
+
+let test_disk_round_trip () =
+  with_uninstall @@ fun () ->
+  let m = Gen.clustered ~rng:(rng 10) ~n_clusters:2 7 in
+  let dir = fresh_dir () in
+  let sv = solve_and_store (Cache.create ~dir ()) m in
+  (* A brand-new instance over the same directory has a cold LRU: the
+     answer must come back through the on-disk blob. *)
+  let c2 = Cache.create ~dir () in
+  let k = Cache.key ~options:Solver.default_options m in
+  match Cache.find c2 k with
+  | None -> Alcotest.fail "disk store did not answer"
+  | Some sv' ->
+      Alcotest.(check bool) "marked as replay" true sv'.Executor.s_from_cache;
+      Alcotest.(check bool) "cost bit-identical" true
+        (Float.equal
+           (Utree.weight sv.Executor.s_tree)
+           (Utree.weight sv'.Executor.s_tree));
+      Alcotest.(check string) "topology identical" (newick sv.Executor.s_tree)
+        (newick sv'.Executor.s_tree);
+      check_stats_equal "disk" sv.Executor.s_stats sv'.Executor.s_stats;
+      Alcotest.(check bool) "certified" true
+        (sv'.Executor.s_status = Budget.Exact)
+
+let corrupt_file path =
+  (* Truncate mid-bytes: the surviving prefix is not valid JSON, and
+     even a parse that survived would fail the digest check. *)
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let keep = len / 2 in
+  let prefix = really_input_string ic keep in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc prefix;
+  close_out oc
+
+let test_corrupt_entry_rejected () =
+  with_uninstall @@ fun () ->
+  let m = Gen.clustered ~rng:(rng 11) ~n_clusters:2 7 in
+  let dir = fresh_dir () in
+  let sv = solve_and_store (Cache.create ~dir ()) m in
+  let k = Cache.key ~options:Solver.default_options m in
+  let path =
+    match Cache.entry_path (Cache.create ~dir ()) k with
+    | Some p -> p
+    | None -> Alcotest.fail "expected an on-disk path"
+  in
+  Alcotest.(check bool) "entry exists on disk" true (Sys.file_exists path);
+  corrupt_file path;
+  let c3 = Cache.create ~dir () in
+  Alcotest.(check bool) "corrupt entry rejected" true (Cache.find c3 k = None);
+  Alcotest.(check int) "corrupt counter ticked" 1 (Cache.counters c3).Cache.corrupt;
+  Alcotest.(check bool) "corrupt blob deleted" false (Sys.file_exists path);
+  (* The executor path now solves fresh and re-admits a good entry. *)
+  let sv2 = solve_and_store c3 m in
+  Alcotest.(check bool) "re-solved fresh" false sv2.Executor.s_from_cache;
+  Alcotest.(check bool) "same certified cost" true
+    (Float.equal
+       (Utree.weight sv.Executor.s_tree)
+       (Utree.weight sv2.Executor.s_tree));
+  Alcotest.(check bool) "good entry re-admitted" true
+    (Cache.find c3 k <> None)
+
+let test_lru_eviction () =
+  with_uninstall @@ fun () ->
+  (* Memory-only cache of capacity 2: a third distinct entry evicts the
+     least recently used one. *)
+  let c = Cache.create ~capacity:2 () in
+  let ms = Array.init 3 (fun i -> Gen.clustered ~rng:(rng (20 + i)) ~n_clusters:2 6) in
+  Array.iter (fun m -> ignore (solve_and_store c m)) ms;
+  let stats = Cache.counters c in
+  Alcotest.(check int) "three stores" 3 stats.Cache.stores;
+  Alcotest.(check int) "one eviction" 1 stats.Cache.evictions;
+  let k i = Cache.key ~options:Solver.default_options ms.(i) in
+  Alcotest.(check bool) "oldest evicted" true (Cache.find c (k 0) = None);
+  Alcotest.(check bool) "newest present" true (Cache.find c (k 2) <> None);
+  (* Memory-only: nothing on disk to fall back to. *)
+  Alcotest.(check bool) "no disk path" true (Cache.entry_path c (k 2) = None)
+
+let () =
+  Alcotest.run "subsolve_cache"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "cold = warm on generated matrices" `Quick
+            test_cold_warm_generated;
+          Alcotest.test_case "cold = warm on data matrices" `Quick
+            test_cold_warm_data;
+          Alcotest.test_case "cold = warm through exact" `Quick
+            test_cold_warm_exact;
+          Alcotest.test_case "disabled by default" `Quick
+            test_disabled_by_default;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "digest invariant under relabelling" `Quick
+            test_digest_permutation_invariant;
+          Alcotest.test_case "hit across a relabelling" `Quick
+            test_hit_across_permutation;
+          Alcotest.test_case "tied matrices stay sound" `Quick
+            test_tied_matrix_sound_across_permutation;
+          Alcotest.test_case "digest sensitive to every search knob" `Quick
+            test_digest_sensitivity;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "interrupted solves never admitted" `Quick
+            test_interrupted_never_admitted;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "disk round trip" `Quick test_disk_round_trip;
+          Alcotest.test_case "corrupt entry rejected and re-solved" `Quick
+            test_corrupt_entry_rejected;
+          Alcotest.test_case "LRU eviction at capacity" `Quick
+            test_lru_eviction;
+        ] );
+    ]

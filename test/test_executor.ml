@@ -40,6 +40,7 @@ let job_of ?(id = 0) ?(options = Solver.default_options) ?node_share
     j_node_share = node_share;
     j_poll_every = poll_every;
     j_resume = None;
+    j_cache = false;
   }
 
 let unwrap = function
@@ -260,6 +261,27 @@ let test_no_workers_degrades () =
 
 (* --- heartbeats and /healthz --- *)
 
+(* Poll /healthz until it answers [want] or [deadline_s] passes, then
+   return the last response.  A fixed sleep flakes both ways under CI
+   load (the machine may stall past the staleness threshold before a
+   "fresh" check, or not schedule the listener within a fixed window),
+   so both assertions poll with a deadline instead.  [prepare] runs
+   before every attempt (e.g. to emit a fresh heartbeat). *)
+let poll_healthz ?(prepare = fun () -> ()) target ~want ~deadline_s =
+  let t0 = Obs.Clock.counter () in
+  let rec go () =
+    prepare ();
+    match Obs.Serve.get target "/healthz" with
+    | Ok (code, _) as r
+      when code = want || Obs.Clock.elapsed_s t0 > deadline_s ->
+        r
+    | Ok _ ->
+        Thread.delay 0.05;
+        go ()
+    | Error _ as e -> e
+  in
+  go ()
+
 let test_heartbeats_reach_healthz () =
   let recorder = Obs.Recorder.create () in
   Obs.Recorder.install recorder;
@@ -287,14 +309,31 @@ let test_heartbeats_reach_healthz () =
       let target =
         Obs.Serve.Tcp ("127.0.0.1", Option.get (Obs.Serve.port srv))
       in
-      (match Obs.Serve.get target "/healthz" with
+      (* Re-emit a heartbeat before every attempt so freshness does not
+         depend on how long ago the run's workers went quiet. *)
+      let fresh_heartbeat () =
+        Obs.Recorder.emit_ambient
+          (Obs.Events.Heartbeat
+             {
+               worker = 0;
+               expanded = 0;
+               pruned = 0;
+               open_nodes = 0;
+               ub = Float.nan;
+               lb = Float.nan;
+             })
+      in
+      (match
+         poll_healthz ~prepare:fresh_heartbeat target ~want:200 ~deadline_s:5.
+       with
       | Ok (code, body) ->
           Alcotest.(check int) "fresh heartbeat -> 200" 200 code;
           Alcotest.(check bool) "reports staleness" true
             (contains body "heartbeat_staleness_s")
       | Error e -> Alcotest.failf "/healthz: %s" e);
-      Thread.delay 0.8;
-      match Obs.Serve.get target "/healthz" with
+      (* No more heartbeats: staleness must cross the 0.4 s threshold
+         well before the deadline. *)
+      match poll_healthz target ~want:503 ~deadline_s:10. with
       | Ok (code, _) -> Alcotest.(check int) "stale -> 503" 503 code
       | Error e -> Alcotest.failf "/healthz (stale): %s" e)
 
