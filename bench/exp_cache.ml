@@ -68,6 +68,80 @@ let run_pair id m =
         misses = c1.Cache.misses - c0.Cache.misses;
       })
 
+(* Bounded store: the same workload against a [cache_max_bytes] cap at
+   half the unbounded footprint, so admission must evict.  Whatever is
+   evicted, the solve must stay correct; the eviction counter and the
+   honoured bound are the diffable signals. *)
+type bounded_row = {
+  b_id : string;
+  b_run : Pipeline.run;
+  b_s : float;
+  b_disk_evictions : int;
+  b_bound : int;
+}
+
+let disk_usage dir =
+  Array.fold_left
+    (fun acc f ->
+      match Unix.stat (Filename.concat dir f) with
+      | st -> acc + st.Unix.st_size
+      | exception Unix.Unix_error _ -> acc)
+    0 (Sys.readdir dir)
+
+let run_bounded id m =
+  (* Learn the unbounded footprint (and the reference cost) first. *)
+  let probe_dir = fresh_dir () in
+  let probe_config =
+    Run_config.default |> Run_config.with_cache_dir probe_dir
+  in
+  let reference, footprint =
+    Fun.protect
+      ~finally:(fun () ->
+        Cache.uninstall ();
+        cleanup probe_dir)
+      (fun () ->
+        let r = Pipeline.with_compact_sets ~config:probe_config m in
+        (r, disk_usage probe_dir))
+  in
+  let bound = max 1 (footprint / 2) in
+  let dir = fresh_dir () in
+  let config =
+    Run_config.default
+    |> Run_config.with_cache_dir dir
+    |> Run_config.with_cache_max_bytes bound
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.uninstall ();
+      cleanup dir)
+    (fun () ->
+      let run, s =
+        Workloads.time (fun () -> Pipeline.with_compact_sets ~config m)
+      in
+      let c = counters () in
+      if not (Float.equal run.Pipeline.cost reference.Pipeline.cost) then
+        failwith
+          (Printf.sprintf
+             "cache-warmup: %s bounded cost %h differs from unbounded %h" id
+             run.Pipeline.cost reference.Pipeline.cost);
+      if c.Cache.disk_evictions = 0 then
+        failwith
+          (Printf.sprintf
+             "cache-warmup: %s store capped at half its footprint never \
+              evicted"
+             id);
+      if disk_usage dir > bound then
+        failwith
+          (Printf.sprintf "cache-warmup: %s store over its %d-byte cap" id
+             bound);
+      {
+        b_id = id;
+        b_run = run;
+        b_s = s;
+        b_disk_evictions = c.Cache.disk_evictions;
+        b_bound = bound;
+      })
+
 let check r =
   (* The warm run is a replay, not a re-solve: same certified cost and
      the same expansion accounting, with every block sub-solve a hit. *)
@@ -101,6 +175,11 @@ let warmup ~quick () =
     ]
   in
   List.iter check rows;
+  let bounded =
+    run_bounded "blocks-bounded"
+      (Workloads.compact_blocks ~seed:31 ~n_blocks:(if quick then 3 else 4)
+         ~block_size:(if quick then 6 else 8))
+  in
   Table.print ~title:"Cache warm-up — cold vs warm compact-set runs"
     ~headers:[ "workload"; "cold"; "warm"; "speedup"; "hits"; "cost" ]
     (List.map
@@ -114,7 +193,23 @@ let warmup ~quick () =
            Table.f4 r.warm.Pipeline.cost;
          ])
        rows);
+  Table.print ~title:"Bounded store — half-footprint cap, LRU-by-mtime"
+    ~headers:[ "workload"; "run"; "bound_B"; "evictions"; "cost" ]
+    [
+      [
+        bounded.b_id;
+        Table.seconds bounded.b_s;
+        Table.d bounded.b_bound;
+        Table.d bounded.b_disk_evictions;
+        Table.f4 bounded.b_run.Pipeline.cost;
+      ];
+    ];
   Manifest.record (fun rep ->
+      Obs.Report.set rep "disk_evictions_bounded"
+        (Obs.Json.Int bounded.b_disk_evictions);
+      Obs.Report.set rep "bound_bytes" (Obs.Json.Int bounded.b_bound);
+      Obs.Report.set rep "cost_bounded"
+        (Obs.Json.Float bounded.b_run.Pipeline.cost);
       List.iter
         (fun r ->
           Obs.Report.set rep ("cold_s_" ^ r.id) (Obs.Json.Float r.cold_s);

@@ -41,6 +41,9 @@ type obs_cfg = {
   telemetry_port : int option;
   telemetry_socket : string option;
   flight : string option;
+  run_id : string option;
+      (* trace context, minted iff some telemetry surface is on — so
+         telemetry-off runs carry no id and stay byte-identical *)
 }
 
 let obs_setup style_renderer level trace metrics progress telemetry_port
@@ -51,6 +54,15 @@ let obs_setup style_renderer level trace metrics progress telemetry_port
   (* Progress lines are emitted at [info]; make sure they show when the
      user asked for them, whatever the global verbosity. *)
   if progress then Logs.Src.set_level Obs.Progress.src (Some Logs.Info);
+  let run_id =
+    if
+      trace <> None || metrics <> None || telemetry_port <> None
+      || telemetry_socket <> None || flight <> None || progress
+    then
+      Some
+        (Printf.sprintf "run-%d-%Lx" (Unix.getpid ()) (Obs.Clock.now_ns ()))
+    else None
+  in
   {
     trace;
     metrics;
@@ -60,6 +72,7 @@ let obs_setup style_renderer level trace metrics progress telemetry_port
     telemetry_port;
     telemetry_socket;
     flight;
+    run_id;
   }
 
 let obs_term =
@@ -144,6 +157,9 @@ let with_obs cfg f =
   | Some path ->
       let buf = Obs.Span.create () in
       Obs.Span.install buf;
+      (* Label this process's track; worker tracks are labelled by the
+         coordinator as results carrying spans arrive. *)
+      Obs.Span.set_process_name buf ~pid:Obs.Span.self_pid "coordinator";
       Obs.Span.stream_to buf path
   | None -> ());
   (* Any live-telemetry surface arms the flight recorder; solver emit
@@ -343,6 +359,18 @@ let cache_opt =
            solves are never cached.  Hit/miss counters appear in \
            $(b,--metrics) dumps, $(b,/metrics) and run manifests.")
 
+let cache_max_bytes_opt =
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "cache-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Bound the on-disk size of the $(b,--cache) store: after each \
+           store the oldest entries (by modification time; hits refresh \
+           it) are evicted until the directory fits in $(docv) bytes.  \
+           Evictions are counted in the $(b,cache.disk_evictions) \
+           metric.  Unbounded when omitted.")
+
 let linkage_opt =
   let linkage_conv =
     Arg.enum
@@ -477,7 +505,8 @@ let gap_opt =
    means "fast, but sequential inside each block". *)
 let build_config ?deadline ?max_nodes ?cancel ~preset ~kernel ~linkage ~workers
     ~block_workers ?(exploration = None) ?(branching = None) ?(gap = None)
-    ?(executor = None) ?(workers_addr = None) ?(cache = None) ~progress () =
+    ?(executor = None) ?(workers_addr = None) ?(cache = None)
+    ?(cache_max_bytes = None) ?(run_id = None) ~progress () =
   let apply v f cfg = match v with Some v -> f v cfg | None -> cfg in
   Run_config.default
   |> apply preset (fun p _ -> Run_config.of_preset p)
@@ -487,6 +516,8 @@ let build_config ?deadline ?max_nodes ?cancel ~preset ~kernel ~linkage ~workers
   |> apply executor Run_config.with_executor
   |> apply workers_addr Run_config.with_workers_addr
   |> apply cache Run_config.with_cache_dir
+  |> apply cache_max_bytes Run_config.with_cache_max_bytes
+  |> apply run_id Run_config.with_run_id
   |> apply kernel (fun k cfg ->
          Run_config.with_solver
            { cfg.Run_config.solver with Solver.kernel = k }
@@ -779,8 +810,8 @@ let tree_cmd =
              counters, status, lower bound) as JSON to $(docv).")
   in
   let run cfg input method_ preset kernel linkage workers block_workers
-      exploration branching gap executor workers_addr cache deadline max_nodes
-      checkpoint resume all nexus manifest explain output =
+      exploration branching gap executor workers_addr cache cache_max_bytes
+      deadline max_nodes checkpoint resume all nexus manifest explain output =
     check_writable manifest;
     check_writable checkpoint;
     with_obs cfg @@ fun () ->
@@ -788,7 +819,8 @@ let tree_cmd =
     let config =
       build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
         ~workers ~block_workers ~exploration ~branching ~gap ~executor
-        ~workers_addr ~cache ~progress:cfg.progress ()
+        ~workers_addr ~cache ~cache_max_bytes ~run_id:cfg.run_id
+        ~progress:cfg.progress ()
     in
     let names, m = read_matrix input in
     match (method_, all) with
@@ -896,8 +928,8 @@ let tree_cmd =
       const run $ obs_term $ input_arg $ method_opt $ preset_opt $ kernel_opt
       $ linkage_opt $ workers_opt $ block_workers_opt $ exploration_opt
       $ branching_opt $ gap_opt $ executor_opt $ workers_addr_opt $ cache_opt
-      $ deadline_opt $ max_nodes_opt $ checkpoint_arg $ resume_arg $ all
-      $ nexus $ manifest_arg $ explain_opt $ output_opt)
+      $ cache_max_bytes_opt $ deadline_opt $ max_nodes_opt $ checkpoint_arg
+      $ resume_arg $ all $ nexus $ manifest_arg $ explain_opt $ output_opt)
 
 (* --- compare --- *)
 
@@ -932,7 +964,7 @@ let compare_cmd =
     let config =
       build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
         ~workers ~block_workers ~exploration ~branching ~gap ~executor
-        ~workers_addr ~cache ~progress:cfg.progress ()
+        ~workers_addr ~cache ~run_id:cfg.run_id ~progress:cfg.progress ()
     in
     let config =
       match cap with
@@ -1426,13 +1458,93 @@ let obs_report_cmd =
       const run $ manifest_pos 0 "BASE" $ manifest_pos 1 "CURRENT"
       $ thresholds_opt)
 
+let obs_timeline_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "A Chrome-trace JSON file written by $(b,--trace) — including \
+             merged multi-process traces from $(b,--executor tcp) runs.")
+  in
+  let manifest_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Reconcile the timeline against this run manifest: the trace \
+             envelope and every job must fit the manifest's \
+             $(b,elapsed_s) wall clock (within $(b,--tol)); exits 2 on \
+             any violation.")
+  in
+  let tol_arg =
+    Arg.(
+      value
+      & opt nonneg_float 0.25
+      & info [ "tol" ] ~docv:"REL"
+          ~doc:
+            "Relative tolerance for $(b,--manifest) reconciliation \
+             (clock-offset estimation is only accurate to about one \
+             network round trip).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the timeline as JSON instead of text.")
+  in
+  let run trace manifest tol json =
+    match Obs.Span.load_trace trace with
+    | Error e ->
+        Fmt.epr "compactphy obs timeline: %s@." e;
+        exit 2
+    | Ok events -> (
+        let t = Obs.Timeline.of_events events in
+        if json then print_endline (Obs.Json.to_string (Obs.Timeline.to_json t))
+        else print_string (Obs.Timeline.render t);
+        match manifest with
+        | None -> ()
+        | Some path -> (
+            let wall_s =
+              match
+                Option.bind
+                  (Obs.Json.member "elapsed_s" (load_manifest path))
+                  Obs.Json.to_float_opt
+              with
+              | Some w -> w
+              | None ->
+                  Fmt.epr
+                    "compactphy obs timeline: %s has no elapsed_s field@."
+                    path;
+                  exit 2
+            in
+            match Obs.Timeline.reconcile ~tol t ~wall_s with
+            | Ok () ->
+                Fmt.pr "timeline: reconciled with %s (wall %.4fs, tol %g)@."
+                  path wall_s tol
+            | Error problems ->
+                List.iter
+                  (fun p -> Fmt.epr "timeline: MISMATCH %s@." p)
+                  problems;
+                exit 2))
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Per-job / per-request critical-path breakdown (queue wait, \
+          network, solve, cache provenance) out of a merged Chrome \
+          trace, with optional reconciliation against the run manifest.")
+    Term.(const run $ trace_arg $ manifest_arg $ tol_arg $ json_arg)
+
 let obs_cmd =
   Cmd.group
     (Cmd.info "obs"
        ~doc:
          "Observability tooling: diff run manifests, render comparison \
-          reports, and gate on perf regressions.")
-    [ obs_diff_cmd; obs_check_cmd; obs_report_cmd ]
+          reports, reconstruct timelines from traces, and gate on perf \
+          regressions.")
+    [ obs_diff_cmd; obs_check_cmd; obs_report_cmd; obs_timeline_cmd ]
 
 (* --- top: live dashboard over a running solve's telemetry --- *)
 
@@ -1616,14 +1728,15 @@ let worker_cmd =
              1 s).  Heartbeats feed the coordinator's event ring, so \
              $(b,/healthz) staleness reflects worker liveness.")
   in
-  let run cfg connect die_after heartbeat cache =
+  let run cfg connect die_after heartbeat cache cache_max_bytes =
     with_obs cfg @@ fun () ->
     (* The hook lives in this worker process: cached jobs sent by a
        coordinator are answered from the local store without solving. *)
     Option.iter
       (fun dir ->
         Compactphy.Subsolve_cache.install
-          (Compactphy.Subsolve_cache.get_or_create ~dir ()))
+          (Compactphy.Subsolve_cache.get_or_create ~dir
+             ?max_bytes:cache_max_bytes ()))
       cache;
     Fmt.epr "phylo worker: connecting to %s@." connect;
     match
@@ -1639,7 +1752,9 @@ let worker_cmd =
        ~doc:
          "Join a TCP worker pool and solve branch-and-bound jobs for a \
           coordinator started with --executor tcp.")
-    Term.(const run $ obs_term $ connect $ die_after $ heartbeat $ cache_opt)
+    Term.(
+      const run $ obs_term $ connect $ die_after $ heartbeat $ cache_opt
+      $ cache_max_bytes_opt)
 
 (* --- serve --- *)
 
@@ -1676,13 +1791,21 @@ let serve_cmd =
              default: the configuration's block workers).")
   in
   let run cfg preset kernel linkage workers block_workers exploration
-      branching gap cache deadline max_nodes port host socket pool_workers =
+      branching gap cache cache_max_bytes deadline max_nodes port host socket
+      pool_workers =
     with_obs cfg @@ fun () ->
     let cancel = install_sigint () in
+    (* A daemon should log its accesses: raise the listener's source to
+       [info] so the one-line-per-request access log (with request ids)
+       shows at default verbosity.  -q still silences it. *)
+    if Logs.level () <> None then
+      Logs.Src.set_level Obs.Serve.src (Some Logs.Info);
+    (* No [run_id] here: each /solve request mints its own request id
+       as the trace context (see Server). *)
     let config =
       build_config ?deadline ?max_nodes ~cancel ~preset ~kernel ~linkage
         ~workers ~block_workers ~exploration ~branching ~gap ~cache
-        ~progress:cfg.progress ()
+        ~cache_max_bytes ~progress:cfg.progress ()
     in
     if port <> None && socket <> None then begin
       Fmt.epr "phylo serve: give either --port or --socket, not both@.";
@@ -1718,8 +1841,8 @@ let serve_cmd =
     Term.(
       const run $ obs_term $ preset_opt $ kernel_opt $ linkage_opt
       $ workers_opt $ block_workers_opt $ exploration_opt $ branching_opt
-      $ gap_opt $ cache_opt $ deadline_opt $ max_nodes_opt $ port $ host
-      $ socket $ pool_workers)
+      $ gap_opt $ cache_opt $ cache_max_bytes_opt $ deadline_opt
+      $ max_nodes_opt $ port $ host $ socket $ pool_workers)
 
 let () =
   let doc =

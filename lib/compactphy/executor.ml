@@ -42,6 +42,7 @@ type job = {
   j_poll_every : int;
   j_resume : [ `Solved of Utree.t | `Restart of Solver.resume ] option;
   j_cache : bool;
+  j_trace : string option;
 }
 
 type solved = {
@@ -209,18 +210,48 @@ let job_monitor ~monitor job =
   | None -> monitor
   | Some cap -> Budget.sub ~max_nodes:cap ~poll_every:job.j_poll_every monitor
 
+(* The args every job span carries, so [phylo obs timeline] can group
+   spans by job and correlate them with the run/request trace id. *)
+let span_args ?(extra = []) job =
+  ("job", Obs.Json.Int job.j_id)
+  :: (match job.j_trace with
+     | Some tr -> [ ("trace", Obs.Json.String tr) ]
+     | None -> [])
+  @ extra
+
 (* Run one job in the calling domain/thread: block events, queue-wait
    from the executor's epoch counter, and the solve timing — the shape
    every in-process execution path (local, and the net executor's
-   degraded fallback) shares. *)
+   degraded fallback) shares.  With tracing on, each job leaves a
+   [job.queue] and a [job.solve] span tagged with its job id (and trace
+   id when the run minted one); with tracing off the extra work is one
+   atomic load. *)
 let run_job ~monitor ?progress ~t0 job =
   let queue_wait_s = Obs.Clock.elapsed_s t0 in
   let bmon = job_monitor ~monitor job in
   Obs.Recorder.emit_ambient
     (Obs.Events.Block_start { id = job.j_id; size = job.j_size });
+  let solve_start_ns = Obs.Clock.now_ns () in
   let sv, solve_s =
     Obs.Clock.time (fun () -> solve_job ~monitor:bmon ?progress job)
   in
+  (match Obs.Span.installed () with
+  | None -> ()
+  | Some buf ->
+      let queue_ns = Int64.of_float (queue_wait_s *. 1e9) in
+      Obs.Span.record buf ~cat:"executor" ~args:(span_args job)
+        ~start_ns:(Int64.sub solve_start_ns queue_ns)
+        ~stop_ns:solve_start_ns "job.queue";
+      Obs.Span.record buf ~cat:"executor"
+        ~args:
+          (span_args
+             ~extra:
+               [
+                 ("size", Obs.Json.Int job.j_size);
+                 ("cached", Obs.Json.Bool sv.s_from_cache);
+               ]
+             job)
+        ~start_ns:solve_start_ns ~stop_ns:(Obs.Clock.now_ns ()) "job.solve");
   Obs.Recorder.emit_ambient
     (Obs.Events.Block_finish
        {

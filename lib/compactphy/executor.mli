@@ -57,6 +57,12 @@ type job = {
       (** consult the installed sub-solve cache before solving and offer
           the certified result back afterwards (see {!Subsolve_cache});
           resumed jobs never touch the cache regardless *)
+  j_trace : string option;
+      (** trace context — the run's [run_id] (or a serve request's
+          [request_id]).  Stamped on the job's spans, shipped over the
+          wire, and echoed back by remote workers so their spans can be
+          merged into the coordinator's trace.  [None] when telemetry is
+          off: jobs then serialise and behave exactly as before. *)
 }
 
 type solved = {

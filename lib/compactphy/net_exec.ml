@@ -38,8 +38,10 @@ type cell_state =
 type pending = {
   p_job : Executor.job;
   p_submitted_at : float;  (** coordinator-clock seconds, for aging *)
+  p_submitted_ns : int64;  (** absolute [Obs.Clock.now_ns], for spans *)
   mutable p_retries : int;
   mutable p_dispatched_at : float;
+  mutable p_dispatched_ns : int64;
   cell_m : Mutex.t;
   cell_c : Condition.t;
   mutable cell : cell_state;
@@ -51,6 +53,16 @@ type conn = {
   mutable c_inflight : pending option;
   mutable c_alive : bool;
   mutable c_cancel_sent : bool;
+  (* Estimated worker-to-coordinator clock offset: the minimum over all
+     (coordinator receipt time - worker send stamp) samples from this
+     connection's heartbeats and results.  Each sample overestimates the
+     true offset by one network delay, so the minimum-delay sample wins;
+     on localhost the error is microseconds, across a real network it is
+     bounded by the best one-way trip observed.  Read and written only
+     on this connection's reader thread. *)
+  mutable c_offset_ns : int64 option;
+  (* The coordinator's trace labels this worker's track once. *)
+  mutable c_named : bool;
   (* Socket writes happen on a per-connection writer thread fed by this
      outbox, so a worker with a full TCP send buffer can never stall
      the coordinator state machine: [co.lock] is held across queue
@@ -183,6 +195,7 @@ let rec pump_locked co =
           let p = Queue.pop co.queue in
           c.c_inflight <- Some p;
           p.p_dispatched_at <- Obs.Clock.elapsed_s co.t0;
+          p.p_dispatched_ns <- Obs.Clock.now_ns ();
           Obs.Recorder.emit_ambient
             (Obs.Events.Block_start
                { id = p.p_job.Executor.j_id; size = p.p_job.Executor.j_size });
@@ -227,7 +240,66 @@ let writer co c () =
   loop ();
   try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with _ -> ()
 
-let handle_result co c job_id solved =
+(* One offset sample from a frame that carried the worker's clock.
+   Reader-thread only (see [c_offset_ns]); pre-v4 frames stamp [0L]
+   and are ignored. *)
+let note_clock c ~worker_now_ns =
+  if worker_now_ns <> 0L then begin
+    let off = Int64.sub (Obs.Clock.now_ns ()) worker_now_ns in
+    match c.c_offset_ns with
+    | Some prev when Int64.compare prev off <= 0 -> ()
+    | Some _ | None -> c.c_offset_ns <- Some off
+  end
+
+(* The Chrome-trace process track for a worker: the coordinator itself
+   is [Span.self_pid] (1), workers follow. *)
+let worker_pid c = 2 + c.c_id
+
+(* Publish a worker's process sample as [proc.worker<N>.*] gauges, so
+   [/metrics] and [phylo top] see every process in the pool. *)
+let note_proc c = function
+  | None -> ()
+  | Some sample ->
+      Obs.Procstat.set_gauges
+        ~prefix:(Printf.sprintf "proc.worker%d" c.c_id)
+        sample
+
+(* Re-record a worker's spans into the coordinator's trace buffer, on
+   the worker's own process track, with timestamps translated through
+   the connection's estimated clock offset. *)
+let merge_worker_trace c (t : Wire.remote_trace) =
+  match Obs.Span.installed () with
+  | None -> ()
+  | Some buf ->
+      let offset = Option.value ~default:0L c.c_offset_ns in
+      if not c.c_named then begin
+        c.c_named <- true;
+        Obs.Span.set_process_name buf ~pid:(worker_pid c)
+          (Printf.sprintf "worker %d" c.c_id)
+      end;
+      List.iter
+        (fun (sp : Wire.span) ->
+          let start_ns = Int64.add sp.Wire.sp_start_ns offset in
+          Obs.Span.record buf ~cat:"worker" ~args:sp.Wire.sp_args
+            ~pid:(worker_pid c) ~tid:0 ~start_ns
+            ~stop_ns:(Int64.add start_ns sp.Wire.sp_dur_ns)
+            sp.Wire.sp_name)
+        t.Wire.rt_spans
+
+let job_span_args ?(extra = []) (job : Executor.job) =
+  ("job", Obs.Json.Int job.Executor.j_id)
+  :: (match job.Executor.j_trace with
+     | Some tr -> [ ("trace", Obs.Json.String tr) ]
+     | None -> [])
+  @ extra
+
+let handle_result co c job_id solved trace =
+  let result_ns = Obs.Clock.now_ns () in
+  (match trace with
+  | Some (t : Wire.remote_trace) ->
+      note_clock c ~worker_now_ns:t.Wire.rt_now_ns;
+      note_proc c t.Wire.rt_proc
+  | None -> ());
   Mutex.lock co.lock;
   let p_opt =
     match c.c_inflight with
@@ -249,6 +321,22 @@ let handle_result co c job_id solved =
       Budget.charge co.monitor solved.Executor.s_stats.Stats.expanded;
       let now = Obs.Clock.elapsed_s co.t0 in
       let solve_s = now -. p.p_dispatched_at in
+      (* The coordinator's side of the job: queue wait (submit to
+         dispatch) and the whole remote round trip (dispatch to this
+         result).  [phylo obs timeline] derives network time as the rpc
+         span minus the worker's merged solve span. *)
+      (match Obs.Span.installed () with
+      | None -> ()
+      | Some buf ->
+          Obs.Span.record buf ~cat:"executor" ~args:(job_span_args p.p_job)
+            ~start_ns:p.p_submitted_ns ~stop_ns:p.p_dispatched_ns "job.queue";
+          Obs.Span.record buf ~cat:"executor"
+            ~args:
+              (job_span_args
+                 ~extra:[ ("worker", Obs.Json.Int c.c_id) ]
+                 p.p_job)
+            ~start_ns:p.p_dispatched_ns ~stop_ns:result_ns "job.rpc");
+      (match trace with Some t -> merge_worker_trace c t | None -> ());
       Obs.Recorder.emit_ambient
         (Obs.Events.Block_finish
            {
@@ -289,7 +377,9 @@ let handle_failure co c job_id message =
 let reader co c () =
   let rec loop () =
     match Wire.read_frame c.c_fd with
-    | Ok (Wire.Heartbeat { job_id = _; expanded }) ->
+    | Ok (Wire.Heartbeat { job_id = _; expanded; now_ns; proc }) ->
+        note_clock c ~worker_now_ns:now_ns;
+        note_proc c proc;
         Obs.Recorder.emit_ambient
           (Obs.Events.Heartbeat
              {
@@ -301,8 +391,8 @@ let reader co c () =
                lb = 0.;
              });
         loop ()
-    | Ok (Wire.Result { job_id; solved }) ->
-        handle_result co c job_id solved;
+    | Ok (Wire.Result { job_id; solved; trace }) ->
+        handle_result co c job_id solved trace;
         loop ()
     | Ok (Wire.Failure { job_id; message }) ->
         handle_failure co c job_id message;
@@ -343,6 +433,8 @@ let acceptor co () =
                   c_inflight = None;
                   c_alive = true;
                   c_cancel_sent = false;
+                  c_offset_ns = None;
+                  c_named = false;
                   c_outbox = Queue.create ();
                   c_out_m = Mutex.create ();
                   c_out_c = Condition.create ();
@@ -465,8 +557,10 @@ let submit co job =
     {
       p_job = job;
       p_submitted_at = Obs.Clock.elapsed_s co.t0;
+      p_submitted_ns = Obs.Clock.now_ns ();
       p_retries = 0;
       p_dispatched_at = 0.;
+      p_dispatched_ns = 0L;
       cell_m = Mutex.create ();
       cell_c = Condition.create ();
       cell = Pending;
@@ -588,6 +682,7 @@ let serve_job fd ~heartbeat_every_s ~delay_result_s (job : Executor.job) =
          ~poll_every:job.Executor.j_poll_every ())
   in
   let result = Atomic.make None in
+  let solve_start_ns = Obs.Clock.now_ns () in
   let th =
     Thread.create
       (fun () ->
@@ -624,18 +719,61 @@ let serve_job fd ~heartbeat_every_s ~delay_result_s (job : Executor.job) =
                  {
                    job_id = Some job.Executor.j_id;
                    expanded = Budget.nodes monitor;
+                   now_ns = Obs.Clock.now_ns ();
+                   proc = Some (Obs.Procstat.sample ());
                  })
           with _ -> ()
         end;
         wait ()
   in
   let r = wait () in
+  let solve_stop_ns = Obs.Clock.now_ns () in
   if delay_result_s > 0. then Thread.delay delay_result_s;
+  (* The worker's half of the merged timeline: when the job carries a
+     trace context, ship the solve span (worker-clock timestamps; the
+     coordinator translates them) plus a process sample back with the
+     result.  Untraced jobs produce the exact v3 result frame. *)
+  let trace_payload solved =
+    match job.Executor.j_trace with
+    | None -> None
+    | Some tr ->
+        let sp_args =
+          [
+            ("job", Obs.Json.Int job.Executor.j_id);
+            ("trace", Obs.Json.String tr);
+            ("size", Obs.Json.Int job.Executor.j_size);
+          ]
+          @
+          match solved with
+          | Some (sv : Executor.solved) ->
+              [ ("cached", Obs.Json.Bool sv.Executor.s_from_cache) ]
+          | None -> []
+        in
+        Some
+          {
+            Wire.rt_spans =
+              [
+                {
+                  Wire.sp_name = "job.solve";
+                  sp_start_ns = solve_start_ns;
+                  sp_dur_ns = Int64.sub solve_stop_ns solve_start_ns;
+                  sp_args;
+                };
+              ];
+            rt_now_ns = Obs.Clock.now_ns ();
+            rt_proc = Some (Obs.Procstat.sample ());
+          }
+  in
   try
     match r with
     | Ok solved ->
         Wire.write_frame fd
-          (Wire.Result { job_id = job.Executor.j_id; solved })
+          (Wire.Result
+             {
+               job_id = job.Executor.j_id;
+               solved;
+               trace = trace_payload (Some solved);
+             })
     | Error e ->
         Wire.write_frame fd
           (Wire.Failure

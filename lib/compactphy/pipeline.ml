@@ -102,7 +102,9 @@ let cache_setup (config : Run_config.t) =
   match config.Run_config.cache_dir with
   | None -> false
   | Some dir ->
-      Subsolve_cache.install (Subsolve_cache.get_or_create ~dir ());
+      Subsolve_cache.install
+        (Subsolve_cache.get_or_create ~dir
+           ?max_bytes:config.Run_config.cache_max_bytes ());
       true
 
 (* The per-run cache provenance a manifest records: how many of this
@@ -156,6 +158,7 @@ let exact ?(config = Run_config.default) ?resume dm =
       j_poll_every = Budget.poll_every (Budget.spec monitor);
       j_resume = block_resume;
       j_cache = use_cache;
+      j_trace = config.Run_config.run_id;
     }
   in
   let exec = executor_for ~config ~monitor ~n_jobs:1 in
@@ -319,6 +322,7 @@ let solve_slots ~config ~monitor ~resume_for slots =
                     j_poll_every = poll_every;
                     j_resume = resume_for slot;
                     j_cache = use_cache;
+                    j_trace = config.Run_config.run_id;
                   } ))
             todo
         in

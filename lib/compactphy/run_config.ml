@@ -14,6 +14,8 @@ type t = {
   executor : Executor.kind;
   workers_addr : string option;
   cache_dir : string option;
+  cache_max_bytes : int option;
+  run_id : string option;
 }
 
 let default =
@@ -30,6 +32,8 @@ let default =
     executor = Executor.Local;
     workers_addr = None;
     cache_dir = None;
+    cache_max_bytes = None;
+    run_id = None;
   }
 
 let solver_options = Solver.options
@@ -56,6 +60,8 @@ let with_cancel flag c = { c with cancel = Some flag }
 let with_executor executor c = { c with executor }
 let with_workers_addr addr c = { c with workers_addr = Some addr }
 let with_cache_dir dir c = { c with cache_dir = Some dir }
+let with_cache_max_bytes b c = { c with cache_max_bytes = Some b }
+let with_run_id id c = { c with run_id = Some id }
 
 let budget c =
   Bnb.Budget.create ?deadline_s:c.deadline_s ?max_nodes:c.max_nodes
@@ -106,6 +112,14 @@ let validate ?(who = "Run_config.validate") c =
   | (Executor.Local | Executor.Sim), None -> ());
   (match c.cache_dir with
   | Some "" -> invalid_arg (Printf.sprintf "%s: cache_dir must not be empty" who)
+  | Some _ | None -> ());
+  (match c.cache_max_bytes with
+  | Some b when b < 1 ->
+      invalid_arg
+        (Printf.sprintf "%s: cache_max_bytes = %d (must be >= 1)" who b)
+  | Some _ | None -> ());
+  (match c.run_id with
+  | Some "" -> invalid_arg (Printf.sprintf "%s: run_id must not be empty" who)
   | Some _ | None -> ());
   c
 
@@ -218,7 +232,7 @@ let linkage_of_string = function
 let to_json c =
   let s = c.solver in
   Obs.Json.Obj
-    [
+    ([
       ( "solver",
         Obs.Json.Obj
           [
@@ -264,3 +278,11 @@ let to_json c =
         | Some d -> Obs.Json.String d
         | None -> Obs.Json.Null );
     ]
+    (* Optional fields append only when set, so manifests from runs that
+       never touch them stay byte-identical to earlier releases. *)
+    @ (match c.cache_max_bytes with
+      | Some b -> [ ("cache_max_bytes", Obs.Json.Int b) ]
+      | None -> [])
+    @ (match c.run_id with
+      | Some id -> [ ("run_id", Obs.Json.String id) ]
+      | None -> []))

@@ -41,6 +41,18 @@ type t = {
           ({!Subsolve_cache}); [None] (the default) disables caching
           entirely, so runs behave exactly as before this field
           existed *)
+  cache_max_bytes : int option;
+      (** byte budget for the on-disk cache store: after each admit the
+          store evicts least-recently-used blobs (by mtime; disk hits
+          refresh it) until the directory fits.  [None] (the default)
+          leaves the disk store unbounded, as before. *)
+  run_id : string option;
+      (** trace context for this run: stamped on every executor job
+          ([j_trace]), shipped to TCP workers over the wire, and echoed
+          in the manifest.  Minted by the CLI when tracing/telemetry is
+          on and by [phylo serve] per request; [None] (the default)
+          changes nothing — jobs carry no trace and manifests are
+          byte-identical to earlier releases. *)
 }
 
 val default : t
@@ -93,6 +105,13 @@ val with_cache_dir : string -> t -> t
 (** Enable the content-addressed sub-solve cache, persisted under the
     given directory (created on first use). *)
 
+val with_cache_max_bytes : int -> t -> t
+(** Bound the on-disk cache store (bytes, [>= 1]); see
+    [cache_max_bytes]. *)
+
+val with_run_id : string -> t -> t
+(** Set the run's trace context; see [run_id]. *)
+
 val budget : t -> Bnb.Budget.t
 (** The run budget this configuration describes
     ({!Bnb.Budget.unlimited} when no budget field is set). *)
@@ -104,8 +123,8 @@ val validate : ?who:string -> t -> t
     [relaxation < 1.] (or NaN), [solver.gap] negative or not finite,
     [solver.max_expanded <= 0], [deadline_s] not positive and finite,
     [max_nodes <= 0], [executor = Tcp] without a [workers_addr],
-    [workers_addr] is not a parseable [HOST:PORT], or [cache_dir] is
-    the empty string. *)
+    [workers_addr] is not a parseable [HOST:PORT], [cache_dir] or
+    [run_id] is the empty string, or [cache_max_bytes < 1]. *)
 
 (** {2 Manifest strings}
 
@@ -151,4 +170,6 @@ val preset_of_string : string -> preset option
 
 val to_json : t -> Obs.Json.t
 (** For run manifests: every field except [progress] and [cancel]
-    (runtime handles, not data). *)
+    (runtime handles, not data).  [cache_max_bytes] and [run_id] are
+    emitted only when set, keeping manifests from runs that never use
+    them byte-identical to earlier releases. *)

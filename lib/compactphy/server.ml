@@ -39,7 +39,7 @@ let error_json status msg =
 let cache_provenance report =
   match Obs.Report.field report "cache" with Some j -> j | None -> J.Null
 
-let run_json ~names (run : Pipeline.run) =
+let run_json ~names ~request_id (run : Pipeline.run) =
   J.Obj
     [
       ("newick", J.String (Newick.to_string ~names run.Pipeline.tree));
@@ -50,6 +50,7 @@ let run_json ~names (run : Pipeline.run) =
       ("n_blocks", J.Int run.Pipeline.n_blocks);
       ("elapsed_s", J.Float run.Pipeline.elapsed_s);
       ("cache", cache_provenance run.Pipeline.report);
+      ("request_id", J.String request_id);
     ]
 
 let status_json t =
@@ -69,15 +70,19 @@ let status_json t =
    the query.  The solve is queued onto the persistent domain pool; the
    per-connection thread blocks on the future, so slow solves never
    stall /metrics scrapes (those run on their own connections). *)
-let solve t ~query ~body =
+let solve t ~request_id ~query ~body =
   match Matrix_io.of_phylip body with
   | exception Failure msg -> error_json 400 ("bad matrix: " ^ msg)
   | { Matrix_io.names; matrix } -> (
       let meth = Option.value ~default:"compact" (List.assoc_opt "method" query) in
+      (* The request id becomes the solve's trace context, so any spans
+         the pipeline (or a remote worker) records for this request are
+         attributable to it in the merged timeline. *)
+      let config = Run_config.with_run_id request_id t.config in
       let runner =
         match meth with
-        | "compact" -> Some (fun () -> Pipeline.with_compact_sets ~config:t.config matrix)
-        | "exact" -> Some (fun () -> Pipeline.exact ~config:t.config matrix)
+        | "compact" -> Some (fun () -> Pipeline.with_compact_sets ~config matrix)
+        | "exact" -> Some (fun () -> Pipeline.exact ~config matrix)
         | _ -> None
       in
       match runner with
@@ -95,18 +100,29 @@ let solve t ~query ~body =
             Fun.protect ~finally (fun () ->
                 Domain_pool.await (Domain_pool.submit t.pool runner))
           with
-          | run -> (200, "application/json", J.to_string (run_json ~names run) ^ "\n")
+          | run ->
+              ( 200,
+                "application/json",
+                J.to_string (run_json ~names ~request_id run) ^ "\n" )
           | exception Domain_pool.Cancelled -> error_json 503 "server is shutting down"
           | exception Invalid_argument msg -> error_json 422 msg
           | exception exn ->
               Log.err (fun m -> m "solve failed: %s" (Printexc.to_string exn));
               error_json 500 (Printexc.to_string exn)))
 
-let handler t ~meth ~path ~query ~body =
+let handler t ~request_id ~meth ~path ~query ~body =
   match (meth, path) with
   | "POST", "/solve" ->
       if Atomic.get t.stopping then Some (error_json 503 "server is shutting down")
-      else Some (solve t ~query ~body)
+      else
+        (* One [request] span per solve, so a traced daemon's requests
+           appear in the merged timeline next to the jobs they spawned
+           (a no-op without an installed span buffer). *)
+        Some
+          (Obs.Span.with_span ~cat:"serve"
+             ~args:[ ("request_id", J.String request_id) ]
+             "request"
+             (fun () -> solve t ~request_id ~query ~body))
   | _, "/solve" -> Some (405, "text/plain", "POST a PHYLIP matrix to /solve\n")
   | "GET", "/status" ->
       Some (200, "application/json", J.to_string (status_json t) ^ "\n")
@@ -120,7 +136,10 @@ let start ?(config = Run_config.default) ?recorder ?(host = "127.0.0.1") ?port
   (* Installing up front (rather than on the first request) makes the
      cache counters visible in /metrics from the first scrape. *)
   (match config.Run_config.cache_dir with
-  | Some dir -> Subsolve_cache.install (Subsolve_cache.get_or_create ~dir ())
+  | Some dir ->
+      Subsolve_cache.install
+        (Subsolve_cache.get_or_create ~dir
+           ?max_bytes:config.Run_config.cache_max_bytes ())
   | None -> ());
   let pool_workers =
     match pool_workers with
@@ -136,10 +155,10 @@ let start ?(config = Run_config.default) ?recorder ?(host = "127.0.0.1") ?port
   let cell = Atomic.make None in
   let listener =
     Obs.Serve.start ?recorder
-      ~handler:(fun ~meth ~path ~query ~body ->
+      ~handler:(fun ~request_id ~meth ~path ~query ~body ->
         match Atomic.get cell with
         | None -> Some (503, "text/plain", "server is starting\n")
-        | Some t -> handler t ~meth ~path ~query ~body)
+        | Some t -> handler t ~request_id ~meth ~path ~query ~body)
       ~host ?port ?socket ()
   in
   let t =

@@ -15,10 +15,15 @@
       matrix (square or lower-triangular).  The request queues onto the
       domain pool; the response is JSON with the Newick tree ([newick],
       using the matrix's species names), [cost] (and bit-exact
-      [cost_hex]), [status], [optimal], [n_blocks], [elapsed_s], and
-      the run's [cache] provenance section (hits/misses per block).
-      Errors: 400 (bad matrix or method), 422 (config rejected),
-      503 (shutting down).
+      [cost_hex]), [status], [optimal], [n_blocks], [elapsed_s],
+      the run's [cache] provenance section (hits/misses per block),
+      and the [request_id] — the same id {!Obs.Serve} echoes on the
+      [X-Request-Id] response header and writes to the access log;
+      it also becomes the solve's [run_id] trace context, so spans
+      from this request (local or on remote workers) are attributable
+      in a merged timeline.
+      Errors: 400 (bad matrix or method), 413 (body over 8 MiB),
+      422 (config rejected), 503 (shutting down).
     - [GET /status] — JSON: current [queue_depth], requests
       [completed], and the installed cache's counters.
 

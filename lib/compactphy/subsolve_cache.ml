@@ -20,6 +20,7 @@ module M = struct
   let misses = lazy (Obs.Metrics.counter "cache.misses")
   let stores = lazy (Obs.Metrics.counter "cache.stores")
   let evictions = lazy (Obs.Metrics.counter "cache.evictions")
+  let disk_evictions = lazy (Obs.Metrics.counter "cache.disk_evictions")
   let corrupt = lazy (Obs.Metrics.counter "cache.corrupt")
   let hit_rate = lazy (Obs.Metrics.gauge "cache.hit_rate")
 end
@@ -140,12 +141,14 @@ type counters = {
   misses : int;
   stores : int;
   evictions : int;
+  disk_evictions : int;
   corrupt : int;
 }
 
 type t = {
   dir : string option;
   capacity : int;
+  max_bytes : int option;  (* disk-store byte budget; None = unbounded *)
   lock : Mutex.t;
   table : (string, Executor.solved) Hashtbl.t;  (* canonical labels *)
   stamp : (string, int) Hashtbl.t;  (* LRU clock per digest *)
@@ -154,6 +157,7 @@ type t = {
   mutable misses : int;
   mutable stores : int;
   mutable evictions : int;
+  mutable disk_evictions : int;
   mutable corrupt : int;
 }
 
@@ -168,6 +172,7 @@ let counters t : counters =
         misses = t.misses;
         stores = t.stores;
         evictions = t.evictions;
+        disk_evictions = t.disk_evictions;
         corrupt = t.corrupt;
       })
 
@@ -182,6 +187,7 @@ let counters_json (c : counters) =
       ("misses", J.Int c.misses);
       ("stores", J.Int c.stores);
       ("evictions", J.Int c.evictions);
+      ("disk_evictions", J.Int c.disk_evictions);
       ("corrupt", J.Int c.corrupt);
       ("hit_rate", J.Float (hit_rate c));
     ]
@@ -194,15 +200,22 @@ let rec mkdir_p dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ?dir ?(capacity = default_capacity) () =
+let create ?dir ?(capacity = default_capacity) ?max_bytes () =
   if capacity < 1 then
     invalid_arg
       (Printf.sprintf "Subsolve_cache.create: capacity = %d (must be >= 1)"
          capacity);
+  (match max_bytes with
+  | Some b when b < 1 ->
+      invalid_arg
+        (Printf.sprintf "Subsolve_cache.create: max_bytes = %d (must be >= 1)"
+           b)
+  | Some _ | None -> ());
   Option.iter mkdir_p dir;
   {
     dir;
     capacity;
+    max_bytes;
     lock = Mutex.create ();
     table = Hashtbl.create 64;
     stamp = Hashtbl.create 64;
@@ -211,6 +224,7 @@ let create ?dir ?(capacity = default_capacity) () =
     misses = 0;
     stores = 0;
     evictions = 0;
+    disk_evictions = 0;
     corrupt = 0;
   }
 
@@ -281,6 +295,51 @@ let note_corrupt t path reason =
    under the real name and concurrent processes sharing a directory
    never observe each other's half-written blobs. *)
 
+(* LRU-by-mtime disk eviction (call under the lock).  Every admit
+   re-scans the [ss-*.json] blobs and deletes oldest-mtime entries until
+   the directory fits [max_bytes]; disk {e hits} refresh the blob's
+   mtime ([Unix.utimes path 0. 0.] = "now"), so recently replayed
+   entries survive.  The scan is O(entries) per admit, which is noise
+   next to the solve that produced the entry.  Ties (filesystems with
+   coarse mtimes) break by name, so eviction order is deterministic. *)
+let is_entry name =
+  String.length name > 8
+  && String.sub name 0 3 = "ss-"
+  && Filename.check_suffix name ".json"
+
+let enforce_disk_bound t =
+  match (t.dir, t.max_bytes) with
+  | None, _ | _, None -> ()
+  | Some dir, Some max_bytes -> (
+      try
+        let entries =
+          Array.to_list (Sys.readdir dir)
+          |> List.filter is_entry
+          |> List.filter_map (fun name ->
+                 let path = Filename.concat dir name in
+                 match Unix.stat path with
+                 | exception Unix.Unix_error _ -> None
+                 | st when st.Unix.st_kind = Unix.S_REG ->
+                     Some (st.Unix.st_mtime, name, path, st.Unix.st_size)
+                 | _ -> None)
+          |> List.sort compare (* oldest mtime first, then name *)
+        in
+        let total =
+          List.fold_left (fun acc (_, _, _, size) -> acc + size) 0 entries
+        in
+        let excess = ref (total - max_bytes) in
+        List.iter
+          (fun (_, _, path, size) ->
+            if !excess > 0 then begin
+              (try Sys.remove path with Sys_error _ -> ());
+              excess := !excess - size;
+              t.disk_evictions <- t.disk_evictions + 1;
+              Obs.Metrics.incr (Lazy.force M.disk_evictions);
+              Log.debug (fun m -> m "disk eviction: %s (%d bytes)" path size)
+            end)
+          entries
+      with Sys_error _ -> ())
+
 let disk_store t k (sv : Executor.solved) =
   match entry_path t k with
   | None -> ()
@@ -302,7 +361,8 @@ let disk_store t k (sv : Executor.solved) =
           Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
         in
         J.write_file tmp doc;
-        Sys.rename tmp path
+        Sys.rename tmp path;
+        enforce_disk_bound t
       with e ->
         Log.warn (fun m ->
             m "cache write failed for %s: %s" path (Printexc.to_string e)))
@@ -341,7 +401,14 @@ let disk_load t k =
                           if sv.Executor.s_status <> Budget.Exact
                              || sv.Executor.s_frontier <> []
                           then reject "entry is not a certified result"
-                          else Some sv)
+                          else begin
+                            (* Refresh the blob's mtime so LRU-by-mtime
+                               disk eviction spares recently hit
+                               entries. *)
+                            (try Unix.utimes path 0. 0.
+                             with Unix.Unix_error _ -> ());
+                            Some sv
+                          end)
                 end
             | _ -> reject "bad or mismatched envelope")
       end
@@ -427,12 +494,12 @@ let installed () = Atomic.get installed_ref
 let instances : (string, t) Hashtbl.t = Hashtbl.create 4
 let instances_lock = Mutex.create ()
 
-let get_or_create ?dir ?capacity () =
+let get_or_create ?dir ?capacity ?max_bytes () =
   with_lock instances_lock (fun () ->
       let k = match dir with Some d -> "dir:" ^ d | None -> "mem" in
       match Hashtbl.find_opt instances k with
       | Some t -> t
       | None ->
-          let t = create ?dir ?capacity () in
+          let t = create ?dir ?capacity ?max_bytes () in
           Hashtbl.add instances k t;
           t)

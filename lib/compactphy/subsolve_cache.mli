@@ -30,7 +30,7 @@ open Import
     Hits, misses, stores, evictions and corrupt rejections are
     published into the process-wide {!Obs.Metrics} registry
     ([cache.hits], [cache.misses], [cache.stores], [cache.evictions],
-    [cache.corrupt], gauge [cache.hit_rate]), so they appear in
+    [cache.disk_evictions], [cache.corrupt], gauge [cache.hit_rate]), so they appear in
     [/metrics] and bench manifests; the pipeline additionally writes a
     per-run ["cache"] section into its manifest. *)
 
@@ -70,18 +70,22 @@ val size : key -> int
 
 type t
 
-val create : ?dir:string -> ?capacity:int -> unit -> t
+val create : ?dir:string -> ?capacity:int -> ?max_bytes:int -> unit -> t
 (** A fresh cache.  [dir] enables the on-disk store (the directory is
     created, parents included); without it entries live only in this
     process.  [capacity] bounds the in-memory LRU (default
-    {!default_capacity}); the disk store is unbounded.
-    @raise Invalid_argument if [capacity < 1]. *)
+    {!default_capacity}).  [max_bytes] bounds the disk store: after
+    each admitted entry, least-recently-used blobs (by mtime — disk
+    hits refresh it) are deleted until the directory fits, each
+    deletion counted under [cache.disk_evictions].  Without it the disk
+    store is unbounded, as before.
+    @raise Invalid_argument if [capacity < 1] or [max_bytes < 1]. *)
 
-val get_or_create : ?dir:string -> ?capacity:int -> unit -> t
+val get_or_create : ?dir:string -> ?capacity:int -> ?max_bytes:int -> unit -> t
 (** The process-wide shared instance for [dir] (or the shared
     memory-only instance), created on first use — so repeated runs
     against the same store directory also share the in-memory LRU.
-    [capacity] only applies to the creating call. *)
+    [capacity] and [max_bytes] only apply to the creating call. *)
 
 val find : t -> key -> Executor.solved option
 (** A certified result for this content address, relabelled to the
@@ -108,6 +112,8 @@ type counters = {
   misses : int;
   stores : int;
   evictions : int;  (** in-memory LRU evictions (disk entries persist) *)
+  disk_evictions : int;
+      (** on-disk blobs deleted to honour the [max_bytes] bound *)
   corrupt : int;  (** on-disk entries rejected by the load-time checks *)
 }
 

@@ -10,13 +10,37 @@ module J = Obs.Json
 
 (* v2: job frames carry the run budget's polling period.
    v3: jobs carry the sub-solve cache opt-in; results carry cache
-   provenance. *)
-let version = 3
+   provenance.
+   v4: jobs carry an optional trace context; heartbeats carry the
+   worker's monotonic clock and a process sample; results carry an
+   optional worker-side trace payload (span batch + clock + sample) so
+   the coordinator can merge worker spans into one timeline. *)
+let version = 4
 
 (* A block matrix is a few hundred species at most; 64 MiB of frame is
    already absurd, so anything larger is a protocol error, not a
    payload. *)
 let max_frame_bytes = 64 * 1024 * 1024
+
+(* One worker-recorded span, timestamped on the {e worker's} monotonic
+   clock ([Obs.Clock.now_ns], absolute).  The coordinator translates
+   into its own clock using the offset it estimates from heartbeats. *)
+type span = {
+  sp_name : string;
+  sp_start_ns : int64;
+  sp_dur_ns : int64;
+  sp_args : (string * J.t) list;
+}
+
+(* The trace payload a worker ships back on a [Result]: the job's
+   spans, the worker's clock at send time (one more offset sample for
+   the coordinator), and a process sample for the [proc.worker<N>.*]
+   gauges. *)
+type remote_trace = {
+  rt_spans : span list;
+  rt_now_ns : int64;
+  rt_proc : Obs.Procstat.sample option;
+}
 
 type frame =
   | Hello of { version : int }
@@ -24,8 +48,17 @@ type frame =
   | Job of Executor.job
   | Cancel of { job_id : int }
   | Shutdown
-  | Heartbeat of { job_id : int option; expanded : int }
-  | Result of { job_id : int; solved : Executor.solved }
+  | Heartbeat of {
+      job_id : int option;
+      expanded : int;
+      now_ns : int64;  (** worker clock at send ([0L] from old peers) *)
+      proc : Obs.Procstat.sample option;
+    }
+  | Result of {
+      job_id : int;
+      solved : Executor.solved;
+      trace : remote_trace option;
+    }
   | Failure of { job_id : int; message : string }
 
 (* --- field helpers (checkpoint-style result parsing) --- *)
@@ -62,6 +95,15 @@ let hex_float_field name j =
   match float_of_string_opt s with
   | Some x -> Ok x
   | None -> Error (Printf.sprintf "field %S: bad float literal %S" name s)
+
+(* Nanosecond timestamps travel as decimal strings: [J.Int] is the
+   OCaml [int] (63-bit here, but not everywhere a trace might be read),
+   and strings keep the framing honest about not re-rounding. *)
+let int64_field name j =
+  let* s = string_field name j in
+  match Int64.of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "field %S: bad int64 literal %S" name s)
 
 let list_field name j =
   let* v = field name j in
@@ -251,11 +293,55 @@ let status_of_json j =
   | Some st -> Ok st
   | None -> Error (Printf.sprintf "unknown status %S" s)
 
+(* --- trace payloads --- *)
+
+let span_to_json s =
+  J.Obj
+    [
+      ("name", J.String s.sp_name);
+      ("start_ns", J.String (Int64.to_string s.sp_start_ns));
+      ("dur_ns", J.String (Int64.to_string s.sp_dur_ns));
+      ("args", J.Obj s.sp_args);
+    ]
+
+let span_of_json j =
+  let* sp_name = string_field "name" j in
+  let* sp_start_ns = int64_field "start_ns" j in
+  let* sp_dur_ns = int64_field "dur_ns" j in
+  let sp_args =
+    match J.member "args" j with Some (J.Obj kvs) -> kvs | _ -> []
+  in
+  Ok { sp_name; sp_start_ns; sp_dur_ns; sp_args }
+
+let remote_trace_to_json t =
+  J.Obj
+    ([
+       ("spans", J.List (List.map span_to_json t.rt_spans));
+       ("now_ns", J.String (Int64.to_string t.rt_now_ns));
+     ]
+    @
+    match t.rt_proc with
+    | Some p -> [ ("proc", Obs.Procstat.to_json p) ]
+    | None -> [])
+
+let remote_trace_of_json j =
+  let* spans = list_field "spans" j in
+  let* rt_spans = map_result span_of_json spans in
+  let* rt_now_ns = int64_field "now_ns" j in
+  let* rt_proc =
+    match J.member "proc" j with
+    | Some J.Null | None -> Ok None
+    | Some p ->
+        let* p = Obs.Procstat.of_json p in
+        Ok (Some p)
+  in
+  Ok { rt_spans; rt_now_ns; rt_proc }
+
 (* --- jobs and results --- *)
 
 let job_to_json (job : Executor.job) =
   J.Obj
-    [
+    ([
       ("id", J.Int job.Executor.j_id);
       ("size", J.Int job.Executor.j_size);
       ("matrix", matrix_to_json job.Executor.j_matrix);
@@ -269,6 +355,12 @@ let job_to_json (job : Executor.job) =
       ("resume", resume_to_json job.Executor.j_resume);
       ("cache", J.Bool job.Executor.j_cache);
     ]
+    (* The trace context only appears when the run minted one, so
+       telemetry-off job frames stay byte-identical to v3's. *)
+    @
+    match job.Executor.j_trace with
+    | Some tr -> [ ("trace", J.String tr) ]
+    | None -> [])
 
 let job_of_json j =
   let* j_id = int_field "id" j in
@@ -290,6 +382,14 @@ let job_of_json j =
   let* rj = field "resume" j in
   let* j_resume = resume_of_json rj in
   let* j_cache = bool_field "cache" j in
+  let* j_trace =
+    match J.member "trace" j with
+    | Some J.Null | None -> Ok None
+    | Some v -> (
+        match J.to_string_opt v with
+        | Some tr -> Ok (Some tr)
+        | None -> Error "field \"trace\" must be a string or null")
+  in
   Ok
     {
       Executor.j_id;
@@ -301,6 +401,7 @@ let job_of_json j =
       j_poll_every;
       j_resume;
       j_cache;
+      j_trace;
     }
 
 let solved_to_json (s : Executor.solved) =
@@ -356,20 +457,29 @@ let frame_to_json = function
   | Cancel { job_id } ->
       J.Obj [ ("type", J.String "cancel"); ("job", J.Int job_id) ]
   | Shutdown -> J.Obj [ ("type", J.String "shutdown") ]
-  | Heartbeat { job_id; expanded } ->
+  | Heartbeat { job_id; expanded; now_ns; proc } ->
       J.Obj
-        [
-          ("type", J.String "heartbeat");
-          ("job", match job_id with Some i -> J.Int i | None -> J.Null);
-          ("expanded", J.Int expanded);
-        ]
-  | Result { job_id; solved } ->
+        ([
+           ("type", J.String "heartbeat");
+           ("job", match job_id with Some i -> J.Int i | None -> J.Null);
+           ("expanded", J.Int expanded);
+           ("now_ns", J.String (Int64.to_string now_ns));
+         ]
+        @
+        match proc with
+        | Some p -> [ ("proc", Obs.Procstat.to_json p) ]
+        | None -> [])
+  | Result { job_id; solved; trace } ->
       J.Obj
-        [
-          ("type", J.String "result");
-          ("job", J.Int job_id);
-          ("solved", solved_to_json solved);
-        ]
+        ([
+           ("type", J.String "result");
+           ("job", J.Int job_id);
+           ("solved", solved_to_json solved);
+         ]
+        @
+        match trace with
+        | Some t -> [ ("trace", remote_trace_to_json t) ]
+        | None -> [])
   | Failure { job_id; message } ->
       J.Obj
         [
@@ -406,12 +516,31 @@ let frame_of_json j =
             | None -> Error "heartbeat: field \"job\" must be int or null")
       in
       let* expanded = int_field "expanded" j in
-      Ok (Heartbeat { job_id; expanded })
+      let* now_ns =
+        match J.member "now_ns" j with
+        | None -> Ok 0L
+        | Some _ -> int64_field "now_ns" j
+      in
+      let* proc =
+        match J.member "proc" j with
+        | Some J.Null | None -> Ok None
+        | Some p ->
+            let* p = Obs.Procstat.of_json p in
+            Ok (Some p)
+      in
+      Ok (Heartbeat { job_id; expanded; now_ns; proc })
   | "result" ->
       let* job_id = int_field "job" j in
       let* sj = field "solved" j in
       let* solved = solved_of_json sj in
-      Ok (Result { job_id; solved })
+      let* trace =
+        match J.member "trace" j with
+        | Some J.Null | None -> Ok None
+        | Some t ->
+            let* t = remote_trace_of_json t in
+            Ok (Some t)
+      in
+      Ok (Result { job_id; solved; trace })
   | "failure" ->
       let* job_id = int_field "job" j in
       let* message = string_field "message" j in

@@ -16,11 +16,31 @@ open Import
     [Shutdown] ends the session from the coordinator's side. *)
 
 val version : int
-(** Protocol version, negotiated in [Hello]/[Welcome] (currently 3:
-    jobs carry the sub-solve cache opt-in, results its provenance). *)
+(** Protocol version, negotiated in [Hello]/[Welcome] (currently 4:
+    jobs carry an optional trace context; heartbeats carry the worker's
+    clock and a process sample; results may carry a worker-side trace
+    payload). *)
 
 val max_frame_bytes : int
 (** Frames larger than this are a protocol error, not a payload. *)
+
+type span = {
+  sp_name : string;
+  sp_start_ns : int64;
+      (** absolute [Obs.Clock.now_ns] on the {e worker's} clock; the
+          coordinator translates via its heartbeat-estimated offset *)
+  sp_dur_ns : int64;
+  sp_args : (string * Obs.Json.t) list;
+}
+(** One worker-recorded span, shipped back inside a [Result]. *)
+
+type remote_trace = {
+  rt_spans : span list;
+  rt_now_ns : int64;  (** worker clock at send — one more offset sample *)
+  rt_proc : Obs.Procstat.sample option;
+}
+(** The trace payload a worker attaches to a [Result] when the job
+    carried a trace context. *)
 
 type frame =
   | Hello of { version : int }
@@ -28,8 +48,18 @@ type frame =
   | Job of Executor.job
   | Cancel of { job_id : int }
   | Shutdown
-  | Heartbeat of { job_id : int option; expanded : int }
-  | Result of { job_id : int; solved : Executor.solved }
+  | Heartbeat of {
+      job_id : int option;
+      expanded : int;
+      now_ns : int64;
+          (** worker clock at send; [0L] when decoding a pre-v4 frame *)
+      proc : Obs.Procstat.sample option;
+    }
+  | Result of {
+      job_id : int;
+      solved : Executor.solved;
+      trace : remote_trace option;
+    }
   | Failure of { job_id : int; message : string }
 
 (** {2 Codecs}
@@ -54,6 +84,10 @@ val job_to_json : Executor.job -> Obs.Json.t
 val job_of_json : Obs.Json.t -> (Executor.job, string) result
 val solved_to_json : Executor.solved -> Obs.Json.t
 val solved_of_json : Obs.Json.t -> (Executor.solved, string) result
+val span_to_json : span -> Obs.Json.t
+val span_of_json : Obs.Json.t -> (span, string) result
+val remote_trace_to_json : remote_trace -> Obs.Json.t
+val remote_trace_of_json : Obs.Json.t -> (remote_trace, string) result
 
 val frame_to_json : frame -> Obs.Json.t
 val frame_of_json : Obs.Json.t -> (frame, string) result

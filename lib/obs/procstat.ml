@@ -1,0 +1,77 @@
+(* One cheap snapshot of this process's memory pressure: GC counters
+   from [Gc.quick_stat] (no heap walk) plus resident-set bytes from
+   /proc/self/statm.  Workers piggyback a sample on every heartbeat so
+   the coordinator can publish per-worker [proc.*] gauges; the telemetry
+   listener refreshes its own sample on each /metrics scrape. *)
+
+type sample = {
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+  rss_bytes : int;  (* 0 when /proc is unavailable (non-Linux) *)
+}
+
+let page_size = 4096
+
+(* /proc/self/statm: "size resident shared text lib data dt", in pages. *)
+let rss_bytes () =
+  match In_channel.with_open_text "/proc/self/statm" In_channel.input_all with
+  | exception _ -> 0
+  | line -> (
+      match String.split_on_char ' ' (String.trim line) with
+      | _ :: resident :: _ -> (
+          match int_of_string_opt resident with
+          | Some pages when pages >= 0 -> pages * page_size
+          | _ -> 0)
+      | _ -> 0)
+
+let sample () =
+  let q = Gc.quick_stat () in
+  {
+    minor_collections = q.Gc.minor_collections;
+    major_collections = q.Gc.major_collections;
+    compactions = q.Gc.compactions;
+    heap_words = q.Gc.heap_words;
+    rss_bytes = rss_bytes ();
+  }
+
+let to_json s =
+  Json.Obj
+    [
+      ("minor_collections", Json.Int s.minor_collections);
+      ("major_collections", Json.Int s.major_collections);
+      ("compactions", Json.Int s.compactions);
+      ("heap_words", Json.Int s.heap_words);
+      ("rss_bytes", Json.Int s.rss_bytes);
+    ]
+
+let of_json j =
+  let int k =
+    match Option.bind (Json.member k j) Json.to_int_opt with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "proc sample: missing int field %S" k)
+  in
+  match (int "minor_collections", int "major_collections", int "compactions",
+         int "heap_words", int "rss_bytes")
+  with
+  | Ok minor_collections, Ok major_collections, Ok compactions, Ok heap_words,
+    Ok rss_bytes ->
+      Ok { minor_collections; major_collections; compactions; heap_words;
+           rss_bytes }
+  | Error e, _, _, _, _
+  | _, Error e, _, _, _
+  | _, _, Error e, _, _
+  | _, _, _, Error e, _
+  | _, _, _, _, Error e ->
+      Error e
+
+let set_gauges ?registry ~prefix s =
+  let set name v =
+    Metrics.set (Metrics.gauge ?registry (prefix ^ name)) (float_of_int v)
+  in
+  set ".gc.minor_collections" s.minor_collections;
+  set ".gc.major_collections" s.major_collections;
+  set ".gc.compactions" s.compactions;
+  set ".gc.heap_words" s.heap_words;
+  set ".rss_bytes" s.rss_bytes

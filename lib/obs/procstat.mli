@@ -1,0 +1,31 @@
+(** Per-process GC and memory samples.
+
+    A {!sample} is one cheap snapshot of this process's memory
+    pressure: allocation/collection counters from [Gc.quick_stat] (no
+    heap walk, safe on a heartbeat cadence) plus resident-set bytes
+    read from [/proc/self/statm].  Samples serialise to JSON so remote
+    workers can ship them on wire heartbeats, and {!set_gauges}
+    publishes one into a {!Metrics} registry under a caller-chosen
+    prefix — [proc] for the local process, [proc.worker<N>] for a
+    worker the coordinator is relaying. *)
+
+type sample = {
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;  (** total heap size, in words *)
+  rss_bytes : int;
+      (** resident set size; [0] when [/proc/self/statm] is
+          unavailable (non-Linux hosts) *)
+}
+
+val sample : unit -> sample
+
+val to_json : sample -> Json.t
+val of_json : Json.t -> (sample, string) result
+
+val set_gauges : ?registry:Metrics.registry -> prefix:string -> sample -> unit
+(** Publish the sample as gauges [<prefix>.gc.minor_collections],
+    [<prefix>.gc.major_collections], [<prefix>.gc.compactions],
+    [<prefix>.gc.heap_words] and [<prefix>.rss_bytes] (registry
+    default: {!Metrics.default}). *)

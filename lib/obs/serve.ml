@@ -58,7 +58,12 @@ let target_of_string s =
                  "cannot parse %S (want HOST:PORT, a port, or a socket path)"
                  s))
 
+let src = Logs.Src.create "obs.serve" ~doc:"HTTP telemetry listener"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type handler =
+  request_id:string ->
   meth:string ->
   path:string ->
   query:(string * string) list ->
@@ -97,20 +102,24 @@ let header_end s =
   in
   find 0
 
-(* The declared Content-Length, scanning header lines case-insensitively. *)
-let content_length headers =
+(* One header's value, scanning header lines case-insensitively. *)
+let header_value name headers =
   String.split_on_char '\n' headers
   |> List.find_map (fun line ->
          match String.index_opt line ':' with
          | None -> None
          | Some i ->
-             if String.lowercase_ascii (String.sub line 0 i) = "content-length"
-             then
-               int_of_string_opt
+             if String.lowercase_ascii (String.sub line 0 i) = name then
+               Some
                  (String.trim
                     (String.sub line (i + 1) (String.length line - i - 1)))
              else None)
-  |> Option.value ~default:0
+
+(* The declared Content-Length; [None] when the header is absent. *)
+let declared_length headers =
+  Option.bind (header_value "content-length" headers) int_of_string_opt
+
+let content_length headers = Option.value ~default:0 (declared_length headers)
 
 let read_request fd =
   (* Read the header block (bounded by [max_header_bytes]), then exactly
@@ -165,17 +174,22 @@ let status_text = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 413 -> "Payload Too Large"
   | 422 -> "Unprocessable Entity"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Error"
 
-let respond fd ~status ~content_type body =
+let respond ?(headers = []) fd ~status ~content_type body =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
   write_all fd
     (Printf.sprintf
        "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
-        Connection: close\r\n\r\n%s"
-       status (status_text status) content_type (String.length body) body)
+        %sConnection: close\r\n\r\n%s"
+       status (status_text status) content_type (String.length body) extra body)
 
 (* Split "/events?since=12" into the path and its query pairs. *)
 let parse_target target =
@@ -224,6 +238,30 @@ let healthz ~origin ~stale_after_s ~recorder () =
   in
   ((if stale then 503 else 200), "application/json", body)
 
+(* Every request gets a request id: the client's [X-Request-Id] when it
+   sent a sane one, else a minted [req-<pid>-<seq>].  The id rides the
+   response header, the access log, and (via the handler) any trace
+   context the application threads through its work. *)
+let req_seq = Atomic.make 0
+
+let sane_request_id s =
+  let n = String.length s in
+  n > 0 && n <= 128
+  && String.for_all
+       (fun ch ->
+         (ch >= 'a' && ch <= 'z')
+         || (ch >= 'A' && ch <= 'Z')
+         || (ch >= '0' && ch <= '9')
+         || ch = '-' || ch = '_' || ch = '.')
+       s
+
+let mint_request_id headers =
+  match header_value "x-request-id" headers with
+  | Some rid when sane_request_id rid -> rid
+  | Some _ | None ->
+      Printf.sprintf "req-%d-%d" (Unix.getpid ())
+        (Atomic.fetch_and_add req_seq 1)
+
 let handle ~registry ~recorder ~origin ~stale_after_s ~handler fd =
   let req = read_request fd in
   let first_line =
@@ -231,6 +269,11 @@ let handle ~registry ~recorder ~origin ~stale_after_s ~handler fd =
     | Some i -> String.sub req 0 i
     | None -> req
   in
+  let req_headers =
+    match header_end req with Some at -> String.sub req 0 at | None -> req
+  in
+  let rid = mint_request_id req_headers in
+  let rid_header = ("X-Request-Id", rid) in
   match String.split_on_char ' ' first_line with
   | [ meth; target; _version ] ->
       let path, query = parse_target target in
@@ -239,43 +282,61 @@ let handle ~registry ~recorder ~origin ~stale_after_s ~handler fd =
         | Some at -> String.sub req at (String.length req - at)
         | None -> ""
       in
-      let handled =
-        match handler with
-        | None -> None
-        | Some h -> (
-            try h ~meth ~path ~query ~body:req_body
-            with _ -> Some (500, "text/plain", "internal error\n"))
-      in
-      let builtin () =
-        if meth <> "GET" && meth <> "HEAD" then
-          (405, "text/plain", "method not allowed\n")
-        else
-          match path with
-          | "/metrics" ->
-              ( 200,
-                "text/plain; version=0.0.4; charset=utf-8",
-                Metrics.to_prometheus ~registry () )
-          | "/healthz" -> healthz ~origin ~stale_after_s ~recorder ()
-          | "/events" -> (
-              match recorder with
-              | None -> (404, "text/plain", "no recorder installed\n")
-              | Some r ->
-                  let since =
-                    match List.assoc_opt "since" query with
-                    | Some v -> Option.value ~default:0 (int_of_string_opt v)
-                    | None -> 0
-                  in
-                  ( 200,
-                    "application/x-ndjson",
-                    Recorder.to_ndjson (Recorder.snapshot ~since r) ))
-          | _ -> (404, "text/plain", "not found\n")
-      in
       let status, ctype, body =
-        match handled with Some r -> r | None -> builtin ()
+        match declared_length req_headers with
+        | Some n when n > max_body_bytes ->
+            (* The body was clamped at [max_body_bytes] during the read,
+               so the connection is already drained as far as we will
+               go; refuse rather than hand a handler a truncated body. *)
+            ( 413,
+              "text/plain",
+              Printf.sprintf "body exceeds %d bytes\n" max_body_bytes )
+        | _ -> (
+            let handled =
+              match handler with
+              | None -> None
+              | Some h -> (
+                  try h ~request_id:rid ~meth ~path ~query ~body:req_body
+                  with _ -> Some (500, "text/plain", "internal error\n"))
+            in
+            let builtin () =
+              if meth <> "GET" && meth <> "HEAD" then
+                (405, "text/plain", "method not allowed\n")
+              else
+                match path with
+                | "/metrics" ->
+                    (* Refresh this process's own GC/RSS gauges so every
+                       scrape sees current memory pressure. *)
+                    Procstat.set_gauges ~registry ~prefix:"proc"
+                      (Procstat.sample ());
+                    ( 200,
+                      "text/plain; version=0.0.4; charset=utf-8",
+                      Metrics.to_prometheus ~registry () )
+                | "/healthz" -> healthz ~origin ~stale_after_s ~recorder ()
+                | "/events" -> (
+                    match recorder with
+                    | None -> (404, "text/plain", "no recorder installed\n")
+                    | Some r ->
+                        let since =
+                          match List.assoc_opt "since" query with
+                          | Some v ->
+                              Option.value ~default:0 (int_of_string_opt v)
+                          | None -> 0
+                        in
+                        ( 200,
+                          "application/x-ndjson",
+                          Recorder.to_ndjson (Recorder.snapshot ~since r) ))
+                | _ -> (404, "text/plain", "not found\n")
+            in
+            match handled with Some r -> r | None -> builtin ())
       in
-      respond fd ~status ~content_type:ctype
+      Log.info (fun m -> m "%s %s -> %d [%s]" meth path status rid);
+      respond fd ~headers:[ rid_header ] ~status ~content_type:ctype
         (if meth = "HEAD" then "" else body)
-  | _ -> respond fd ~status:405 ~content_type:"text/plain" "bad request\n"
+  | _ ->
+      Log.info (fun m -> m "malformed request -> 405 [%s]" rid);
+      respond fd ~headers:[ rid_header ] ~status:405
+        ~content_type:"text/plain" "bad request\n"
 
 (* --- lifecycle --- *)
 
@@ -386,7 +447,7 @@ let stop t =
 
 (* --- a matching minimal client (phylo top, tests, smoke jobs) --- *)
 
-let request ?(meth = "GET") ?body target path =
+let request_full ?(meth = "GET") ?body target path =
   let fd, addr =
     match target with
     | Tcp (host, port) ->
@@ -431,7 +492,8 @@ let request ?(meth = "GET") ?body target path =
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   | exception Not_found -> Error "host not found"
   | raw -> (
-      (* Split the status line and headers off; hand back code + body. *)
+      (* Split the status line and headers off; hand back code, parsed
+         headers (lowercased names) and body. *)
       match header_end raw with
       | None -> Error "malformed HTTP response"
       | Some at -> (
@@ -439,8 +501,26 @@ let request ?(meth = "GET") ?body target path =
           | _ :: code :: _ -> (
               match int_of_string_opt code with
               | Some c ->
-                  Ok (c, String.sub raw at (String.length raw - at))
+                  let headers =
+                    String.sub raw 0 at |> String.split_on_char '\n'
+                    |> List.filter_map (fun line ->
+                           match String.index_opt line ':' with
+                           | None -> None
+                           | Some i ->
+                               Some
+                                 ( String.lowercase_ascii
+                                     (String.sub line 0 i),
+                                   String.trim
+                                     (String.sub line (i + 1)
+                                        (String.length line - i - 1)) ))
+                  in
+                  Ok (c, headers, String.sub raw at (String.length raw - at))
               | None -> Error "malformed HTTP status")
           | _ -> Error "malformed HTTP status"))
+
+let request ?meth ?body target path =
+  match request_full ?meth ?body target path with
+  | Ok (c, _headers, body) -> Ok (c, body)
+  | Error _ as e -> e
 
 let get target path = request target path

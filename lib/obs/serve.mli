@@ -31,7 +31,13 @@ val target_of_string : string -> (target, string) result
 
 type t
 
+val src : Logs.src
+(** Log source ["obs.serve"].  The access log — one [info] line per
+    request, [METH PATH -> STATUS [REQUEST-ID]] — is emitted here;
+    raise this source to [Info] to see it at default verbosity. *)
+
 type handler =
+  request_id:string ->
   meth:string ->
   path:string ->
   query:(string * string) list ->
@@ -41,8 +47,17 @@ type handler =
     endpoints.  Returns [Some (status, content_type, body)] to answer
     the request, or [None] to fall through to the builtins (so a
     handler-equipped listener still serves [/metrics] and [/healthz]).
-    An exception escaping the handler answers 500.  Runs on a
-    per-connection thread; must be thread-safe. *)
+    An exception escaping the handler answers 500 (the response is
+    still written and the connection closed cleanly).  [request_id] is
+    the client's sane [X-Request-Id] or a minted [req-<pid>-<seq>]; it
+    is echoed on the response's [X-Request-Id] header and in the access
+    log, and the handler can thread it into whatever work it starts.
+    Runs on a per-connection thread; must be thread-safe.
+
+    Requests whose declared [Content-Length] exceeds the 8 MiB body
+    bound are answered 413 without consulting the handler.  [/metrics]
+    refreshes the process's own [proc.gc.*] / [proc.rss_bytes] gauges
+    on every scrape. *)
 
 val start :
   ?registry:Metrics.registry ->
@@ -91,6 +106,15 @@ val request :
     and returns [(status code, response body)], or [Error] with a
     human-readable reason on connection/protocol failure.  [~body]
     is sent with its [Content-Length]; pair it with [~meth:"POST"]. *)
+
+val request_full :
+  ?meth:string ->
+  ?body:string ->
+  target ->
+  string ->
+  (int * (string * string) list * string, string) result
+(** Like {!request} but also returns the response headers as
+    [(lowercased-name, value)] pairs — e.g. to read [x-request-id]. *)
 
 val get : target -> string -> (int * string, string) result
 (** [request] with the defaults. *)

@@ -1,11 +1,15 @@
 type event = {
   name : string;
   cat : string;
+  ph : string;  (* Chrome phase: "X" complete span, "M" metadata *)
   start_ns : int64;  (* relative to the buffer's origin *)
   dur_ns : int64;
+  pid : int;  (* process track; 1 is the recording process *)
   tid : int;
   args : (string * Json.t) list;
 }
+
+let self_pid = 1
 
 (* An attached incremental writer: events flow to disk in Chrome's JSON
    Array Format ("[" then comma-separated event objects; the closing "]"
@@ -51,24 +55,37 @@ let uninstall () = Atomic.set ambient None
 let installed () = Atomic.get ambient
 let enabled () = Atomic.get ambient <> None
 
-(* Chrome-tracing "complete" events (ph = "X"), timestamps in
-   microseconds.  Load the file at chrome://tracing or ui.perfetto.dev. *)
+(* Chrome-tracing events, timestamps in microseconds: "complete" spans
+   (ph = "X", the default) plus "metadata" records (ph = "M", e.g.
+   process_name, which label the per-process tracks merged traces put
+   worker spans on).  Load the file at chrome://tracing or
+   ui.perfetto.dev. *)
 let event_to_json ev =
-  let base =
-    [
-      ("name", Json.String ev.name);
-      ("ph", Json.String "X");
-      ("ts", Json.Float (Clock.ns_to_us ev.start_ns));
-      ("dur", Json.Float (Clock.ns_to_us ev.dur_ns));
-      ("pid", Json.Int 1);
-      ("tid", Json.Int ev.tid);
-    ]
-  in
-  let base = if ev.cat = "" then base else base @ [ ("cat", Json.String ev.cat) ] in
-  let base =
-    if ev.args = [] then base else base @ [ ("args", Json.Obj ev.args) ]
-  in
-  Json.Obj base
+  if ev.ph = "M" then
+    Json.Obj
+      [
+        ("name", Json.String ev.name);
+        ("ph", Json.String "M");
+        ("pid", Json.Int ev.pid);
+        ("tid", Json.Int ev.tid);
+        ("args", Json.Obj ev.args);
+      ]
+  else
+    let base =
+      [
+        ("name", Json.String ev.name);
+        ("ph", Json.String ev.ph);
+        ("ts", Json.Float (Clock.ns_to_us ev.start_ns));
+        ("dur", Json.Float (Clock.ns_to_us ev.dur_ns));
+        ("pid", Json.Int ev.pid);
+        ("tid", Json.Int ev.tid);
+      ]
+    in
+    let base = if ev.cat = "" then base else base @ [ ("cat", Json.String ev.cat) ] in
+    let base =
+      if ev.args = [] then base else base @ [ ("args", Json.Obj ev.args) ]
+    in
+    Json.Obj base
 
 (* Caller holds [buf.lock]. *)
 let flush_stream_locked s ~now =
@@ -141,16 +158,35 @@ let close_stream buf =
       close_out s.oc);
   Mutex.unlock buf.lock
 
-let record buf ?(cat = "") ?(args = []) ~start_ns ~stop_ns name =
+let record buf ?(cat = "") ?(args = []) ?(pid = self_pid) ?tid ~start_ns
+    ~stop_ns name =
   add buf
     {
       name;
       cat;
+      ph = "X";
       start_ns = Int64.sub start_ns buf.origin;
       dur_ns = Int64.max 0L (Int64.sub stop_ns start_ns);
-      tid = (Domain.self () :> int);
+      pid;
+      tid =
+        (match tid with Some t -> t | None -> (Domain.self () :> int));
       args;
     }
+
+let set_process_name buf ~pid label =
+  add buf
+    {
+      name = "process_name";
+      cat = "";
+      ph = "M";
+      start_ns = 0L;
+      dur_ns = 0L;
+      pid;
+      tid = 0;
+      args = [ ("name", Json.String label) ];
+    }
+
+let origin buf = buf.origin
 
 let with_span ?buffer ?cat ?args name f =
   let buf =

@@ -12,11 +12,20 @@
 type event = {
   name : string;
   cat : string;
+  ph : string;
+      (** Chrome phase: ["X"] complete span (the default), ["M"]
+          metadata (see {!set_process_name}) *)
   start_ns : int64;  (** relative to the buffer's creation *)
   dur_ns : int64;
-  tid : int;  (** domain id *)
+  pid : int;  (** process track; {!self_pid} is the recording process *)
+  tid : int;  (** domain id (or a caller-chosen remote track id) *)
   args : (string * Json.t) list;
 }
+
+val self_pid : int
+(** The [pid] track local spans are recorded on (1).  Merged remote
+    spans — e.g. worker spans re-recorded by the [Net_exec]
+    coordinator — use other pids, one per remote process. *)
 
 type buffer
 
@@ -35,12 +44,24 @@ val record :
   buffer ->
   ?cat:string ->
   ?args:(string * Json.t) list ->
+  ?pid:int ->
+  ?tid:int ->
   start_ns:int64 ->
   stop_ns:int64 ->
   string ->
   unit
 (** Append an already-measured span ([start_ns]/[stop_ns] from
-    {!Clock.now_ns}). *)
+    {!Clock.now_ns}, or remote timestamps already translated into this
+    process's clock).  [pid] (default {!self_pid}) selects the process
+    track; [tid] defaults to the calling domain's id. *)
+
+val set_process_name : buffer -> pid:int -> string -> unit
+(** Record a Chrome [process_name] metadata event, labelling the [pid]
+    track in the viewers (e.g. ["coordinator"], ["worker 0"]). *)
+
+val origin : buffer -> int64
+(** The buffer's creation time ({!Clock.now_ns}); recorded spans store
+    timestamps relative to it. *)
 
 val with_span :
   ?buffer:buffer ->

@@ -1,0 +1,282 @@
+(* The merged-trace report behind [phylo obs timeline]: fold a Chrome
+   trace (as loaded by [Span.load_trace]) into per-job and per-request
+   critical-path rows.
+
+   The span vocabulary it understands is the one the executor layer
+   records:
+
+   - [job.queue]  — submit to dispatch, on the coordinator (args: job);
+   - [job.rpc]    — dispatch to result receipt for a remote job, on the
+                    coordinator (args: job, worker);
+   - [job.solve]  — the solve itself, on whichever process ran it
+                    (args: job, cached); merged worker solves land on
+                    that worker's pid track;
+   - [request]    — one [phylo serve] request (args: request_id).
+
+   Network time is attributed by subtraction: rpc duration minus the
+   remote solve's duration — everything the coordinator waited for
+   beyond the solve itself (frame encode/decode, TCP transit, the
+   worker's select loop).  Sub-microsecond clock-alignment error makes
+   that a lower bound, so it is clamped at zero. *)
+
+type job_row = {
+  job : int;
+  trace : string option;
+  solve_pid : int;  (* process track the solve span landed on *)
+  queue_s : float;
+  net_s : float;
+  solve_s : float;
+  cached : bool;
+  start_s : float;  (* earliest span start, seconds from trace origin *)
+  finish_s : float;  (* latest span end *)
+}
+
+type t = {
+  jobs : job_row list;  (* by job id *)
+  requests : (string * float) list;  (* request id, duration (s) *)
+  tracks : (int * string) list;  (* pid, label (from process_name) *)
+  span_s : float;  (* envelope: latest span end - earliest start *)
+  events : int;  (* "X" events folded in *)
+}
+
+(* --- picking events apart --- *)
+
+let str k j = Option.bind (Json.member k j) Json.to_string_opt
+let num k j = Option.bind (Json.member k j) Json.to_float_opt
+let arg k j = Option.bind (Json.member "args" j) (Json.member k)
+
+let is_phase p j =
+  match str "ph" j with Some x -> x = p | None -> p = "X"
+
+(* ts/dur are microseconds in the Chrome format. *)
+let interval j =
+  match num "ts" j with
+  | None -> None
+  | Some ts ->
+      let dur = Option.value ~default:0. (num "dur" j) in
+      Some (ts /. 1e6, dur /. 1e6)
+
+let of_events events =
+  let xs = List.filter (is_phase "X") events in
+  let tracks =
+    List.filter_map
+      (fun j ->
+        if is_phase "M" j && str "name" j = Some "process_name" then
+          match
+            (Option.bind (Json.member "pid" j) Json.to_int_opt,
+             Option.bind (arg "name" j) Json.to_string_opt)
+          with
+          | Some pid, Some label -> Some (pid, label)
+          | _ -> None
+        else None)
+      events
+    |> List.sort_uniq compare
+  in
+  let jobs : (int, job_row) Hashtbl.t = Hashtbl.create 16 in
+  let touch id =
+    match Hashtbl.find_opt jobs id with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            job = id;
+            trace = None;
+            solve_pid = 0;
+            queue_s = 0.;
+            net_s = 0.;
+            solve_s = 0.;
+            cached = false;
+            start_s = Float.infinity;
+            finish_s = Float.neg_infinity;
+          }
+        in
+        Hashtbl.replace jobs id r;
+        r
+  in
+  (* rpc durations per job, so net time can be derived after the pass
+     (the matching solve span may arrive later in the file). *)
+  let rpc : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let requests = ref [] in
+  let lo = ref Float.infinity and hi = ref Float.neg_infinity in
+  List.iter
+    (fun j ->
+      match (str "name" j, interval j) with
+      | None, _ | _, None -> ()
+      | Some name, Some (start_s, dur_s) ->
+          let finish_s = start_s +. dur_s in
+          lo := Float.min !lo start_s;
+          hi := Float.max !hi finish_s;
+          let job_id = Option.bind (arg "job" j) Json.to_int_opt in
+          let trace = Option.bind (arg "trace" j) Json.to_string_opt in
+          let update id f =
+            let r = touch id in
+            let r = f r in
+            Hashtbl.replace jobs id
+              {
+                r with
+                trace = (match r.trace with Some _ -> r.trace | None -> trace);
+                start_s = Float.min r.start_s start_s;
+                finish_s = Float.max r.finish_s finish_s;
+              }
+          in
+          (match (name, job_id) with
+          | "job.queue", Some id ->
+              update id (fun r -> { r with queue_s = r.queue_s +. dur_s })
+          | "job.rpc", Some id ->
+              Hashtbl.replace rpc id
+                (dur_s
+                +. Option.value ~default:0. (Hashtbl.find_opt rpc id));
+              update id Fun.id
+          | "job.solve", Some id ->
+              let pid =
+                Option.value ~default:1
+                  (Option.bind (Json.member "pid" j) Json.to_int_opt)
+              in
+              let cached =
+                match arg "cached" j with
+                | Some (Json.Bool b) -> b
+                | _ -> false
+              in
+              update id (fun r ->
+                  { r with solve_s = r.solve_s +. dur_s; solve_pid = pid;
+                    cached = r.cached || cached })
+          | "request", _ -> (
+              match Option.bind (arg "request_id" j) Json.to_string_opt with
+              | Some rid -> requests := (rid, dur_s) :: !requests
+              | None -> ())
+          | _ -> ()))
+    xs;
+  let rows =
+    Hashtbl.fold
+      (fun id r acc ->
+        let net_s =
+          match Hashtbl.find_opt rpc id with
+          | Some rpc_s -> Float.max 0. (rpc_s -. r.solve_s)
+          | None -> 0.
+        in
+        { r with net_s } :: acc)
+      jobs []
+    |> List.sort (fun a b -> compare a.job b.job)
+  in
+  {
+    jobs = rows;
+    requests = List.rev !requests;
+    tracks;
+    span_s = (if !hi > !lo then !hi -. !lo else 0.);
+    events = List.length xs;
+  }
+
+let track_label t pid =
+  match List.assoc_opt pid t.tracks with
+  | Some l -> l
+  | None -> if pid = Span.self_pid then "coordinator" else Printf.sprintf "pid %d" pid
+
+let totals t =
+  List.fold_left
+    (fun (q, n, s) r -> (q +. r.queue_s, n +. r.net_s, s +. r.solve_s))
+    (0., 0., 0.) t.jobs
+
+let to_json t =
+  let job_json r =
+    Json.Obj
+      ([ ("job", Json.Int r.job) ]
+      @ (match r.trace with
+        | Some tr -> [ ("trace", Json.String tr) ]
+        | None -> [])
+      @ [
+          ("track", Json.String (track_label t r.solve_pid));
+          ("queue_s", Json.Float r.queue_s);
+          ("net_s", Json.Float r.net_s);
+          ("solve_s", Json.Float r.solve_s);
+          ("cached", Json.Bool r.cached);
+          ("start_s", Json.Float r.start_s);
+          ("finish_s", Json.Float r.finish_s);
+        ])
+  in
+  let queue_s, net_s, solve_s = totals t in
+  Json.Obj
+    [
+      ("events", Json.Int t.events);
+      ("span_s", Json.Float t.span_s);
+      ( "tracks",
+        Json.List
+          (List.map
+             (fun (pid, label) ->
+               Json.Obj [ ("pid", Json.Int pid); ("name", Json.String label) ])
+             t.tracks) );
+      ("jobs", Json.List (List.map job_json t.jobs));
+      ( "requests",
+        Json.List
+          (List.map
+             (fun (rid, dur_s) ->
+               Json.Obj
+                 [
+                   ("request_id", Json.String rid);
+                   ("duration_s", Json.Float dur_s);
+                 ])
+             t.requests) );
+      ( "totals",
+        Json.Obj
+          [
+            ("queue_s", Json.Float queue_s);
+            ("net_s", Json.Float net_s);
+            ("solve_s", Json.Float solve_s);
+          ] );
+    ]
+
+let render t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "timeline: %d spans over %.3fs" t.events t.span_s;
+  List.iter
+    (fun (pid, label) ->
+      let spans =
+        List.length (List.filter (fun r -> r.solve_pid = pid) t.jobs)
+      in
+      line "track pid=%d %s (%d solve%s)" pid label spans
+        (if spans = 1 then "" else "s"))
+    t.tracks;
+  if t.jobs <> [] then begin
+    line "%-5s %-14s %10s %10s %10s %7s  %s" "job" "track" "queue_s" "net_s"
+      "solve_s" "cached" "trace";
+    List.iter
+      (fun r ->
+        line "%-5d %-14s %10.4f %10.4f %10.4f %7s  %s" r.job
+          (track_label t r.solve_pid)
+          r.queue_s r.net_s r.solve_s
+          (if r.cached then "yes" else "no")
+          (Option.value ~default:"-" r.trace))
+      t.jobs;
+    let queue_s, net_s, solve_s = totals t in
+    line "total queue %.4fs  net %.4fs  solve %.4fs  (critical span %.4fs)"
+      queue_s net_s solve_s t.span_s
+  end;
+  List.iter
+    (fun (rid, dur_s) -> line "request %s: %.4fs" rid dur_s)
+    t.requests;
+  Buffer.contents b
+
+(* The reconciliation gate behind [obs timeline --manifest]: every
+   per-job account (queue + net + solve) must fit inside the job's own
+   observed lifetime, and the whole trace envelope inside the
+   manifest's wall clock — with [tol] slack for flush timing and the
+   sub-heartbeat clock-alignment error. *)
+let reconcile ?(tol = 0.25) t ~wall_s =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let slack = (tol *. Float.max wall_s 0.01) +. 0.05 in
+  if t.events = 0 then err "trace has no spans";
+  if t.span_s > wall_s +. slack then
+    err "trace envelope %.4fs exceeds manifest wall %.4fs" t.span_s wall_s;
+  List.iter
+    (fun r ->
+      let accounted = r.queue_s +. r.net_s +. r.solve_s in
+      let lifetime = r.finish_s -. r.start_s in
+      if accounted > lifetime +. slack then
+        err "job %d accounts %.4fs over its %.4fs lifetime" r.job accounted
+          lifetime;
+      if r.finish_s > wall_s +. slack then
+        err "job %d finishes at %.4fs, past wall %.4fs" r.job r.finish_s
+          wall_s)
+    t.jobs;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -1,0 +1,51 @@
+(** Per-job / per-request critical-path rows out of a merged Chrome
+    trace — the model behind [phylo obs timeline].
+
+    {!of_events} folds the event list {!Span.load_trace} returns into
+    one {!t}: a row per executor job (queue wait, network time, solve
+    time, cache provenance, and which process track the solve ran on),
+    a row per [phylo serve] request, the labelled process tracks, and
+    the whole-trace time envelope.  Network time is derived by
+    subtraction — a remote job's [job.rpc] coordinator span minus the
+    worker's merged [job.solve] span — and clamped at zero, since
+    clock alignment (estimated from heartbeat offsets, see
+    {!page-observability}) is only accurate to about one network
+    round trip. *)
+
+type job_row = {
+  job : int;
+  trace : string option;  (** run / request id the job was tagged with *)
+  solve_pid : int;  (** process track the solve span landed on *)
+  queue_s : float;  (** submit to dispatch *)
+  net_s : float;  (** rpc minus remote solve; [0.] for local solves *)
+  solve_s : float;
+  cached : bool;
+  start_s : float;  (** earliest span start, seconds from trace origin *)
+  finish_s : float;  (** latest span end *)
+}
+
+type t = {
+  jobs : job_row list;  (** sorted by job id *)
+  requests : (string * float) list;  (** request id, duration (s) *)
+  tracks : (int * string) list;  (** pid, [process_name] label *)
+  span_s : float;  (** latest span end minus earliest start *)
+  events : int;  (** complete ("X") events folded in *)
+}
+
+val of_events : Json.t list -> t
+
+val track_label : t -> int -> string
+(** The [process_name] label for a pid, with sensible fallbacks. *)
+
+val totals : t -> float * float * float
+(** Summed [(queue_s, net_s, solve_s)] over all jobs. *)
+
+val to_json : t -> Json.t
+val render : t -> string
+
+val reconcile : ?tol:float -> t -> wall_s:float -> (unit, string list) result
+(** Check the timeline against a manifest's wall clock: the trace
+    envelope and every job's finish must fall within [wall_s], and each
+    job's accounted time (queue + net + solve) within its own observed
+    lifetime — all with relative tolerance [tol] (default [0.25]) plus
+    a small absolute slack.  [Error] lists every violated check. *)

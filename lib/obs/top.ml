@@ -375,12 +375,23 @@ let render_plain st =
               counts)));
   List.iter
     (fun w ->
-      line "worker %d: expanded %s  pruned %s  open %s  ub %s  lb %s"
+      (* TCP workers piggyback a Procstat sample on every heartbeat; the
+         coordinator republishes it as proc.worker<N>.* gauges, which the
+         /metrics scrape sanitises to proc_worker<N>_... names. *)
+      let rss =
+        match
+          value st.metrics (Printf.sprintf "proc_worker%d_rss_bytes" w.worker)
+        with
+        | Some r when Float.is_finite r && r > 0. ->
+            Printf.sprintf "  rss %sB" (fmt_si r)
+        | _ -> ""
+      in
+      line "worker %d: expanded %s  pruned %s  open %s  ub %s  lb %s%s"
         w.worker
         (fmt_si (float_of_int w.expanded))
         (fmt_si (float_of_int w.pruned))
         (fmt_si (float_of_int w.open_nodes))
-        (fmt_f w.ub) (fmt_f w.lb))
+        (fmt_f w.ub) (fmt_f w.lb) rss)
     st.workers;
   line "events: last_seq %d  dropped %d  checkpoints %d  polls %d" st.last_seq
     st.dropped st.checkpoints st.polls;

@@ -252,6 +252,7 @@ let test_tied_matrix_sound_across_permutation () =
       j_poll_every = 32;
       j_resume = None;
       j_cache = true;
+      j_trace = None;
     }
   in
   let monitor = Budget.arm Budget.unlimited in
@@ -287,6 +288,7 @@ let test_hit_across_permutation () =
       j_poll_every = 32;
       j_resume = None;
       j_cache = true;
+      j_trace = None;
     }
   in
   let monitor = Budget.arm Budget.unlimited in
@@ -354,6 +356,7 @@ let test_interrupted_never_admitted () =
       j_poll_every = 1;
       j_resume = None;
       j_cache = true;
+      j_trace = None;
     }
   in
   let monitor = Budget.arm (Budget.create ~max_nodes:3 ~poll_every:1 ()) in
@@ -383,6 +386,7 @@ let solve_and_store c m =
       j_poll_every = 32;
       j_resume = None;
       j_cache = true;
+      j_trace = None;
     }
   in
   Executor.solve_job ~monitor:(Budget.arm Budget.unlimited) job
@@ -449,6 +453,57 @@ let test_corrupt_entry_rejected () =
   Alcotest.(check bool) "good entry re-admitted" true
     (Cache.find c3 k <> None)
 
+let test_disk_bound_eviction () =
+  with_uninstall @@ fun () ->
+  let ms =
+    Array.init 3 (fun i -> Gen.clustered ~rng:(rng (40 + i)) ~n_clusters:2 6)
+  in
+  let k i = Cache.key ~options:Solver.default_options ms.(i) in
+  (* Measure one blob to size the bound: room for two entries, never
+     three. *)
+  let probe = Cache.create ~dir:(fresh_dir ()) () in
+  ignore (solve_and_store probe ms.(0));
+  let blob =
+    (Unix.stat (Option.get (Cache.entry_path probe (k 0)))).Unix.st_size
+  in
+  Cache.uninstall ();
+  let bound = (2 * blob) + (blob / 2) in
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir ~max_bytes:bound () in
+  (* Deterministic LRU order whatever the filesystem's mtime
+     granularity: pin each blob far in the past, in store order.
+     (Not 0.: [Unix.utimes p 0. 0.] means "now".) *)
+  let stamp i =
+    match Cache.entry_path c (k i) with
+    | Some p when Sys.file_exists p ->
+        Unix.utimes p (float_of_int (i + 1)) (float_of_int (i + 1))
+    | _ -> ()
+  in
+  ignore (solve_and_store c ms.(0));
+  stamp 0;
+  ignore (solve_and_store c ms.(1));
+  stamp 1;
+  ignore (solve_and_store c ms.(2));
+  let stats = Cache.counters c in
+  Alcotest.(check int) "three stores" 3 stats.Cache.stores;
+  Alcotest.(check bool) "disk evictions ticked" true
+    (stats.Cache.disk_evictions >= 1);
+  Alcotest.(check bool) "oldest blob evicted" false
+    (Sys.file_exists (Option.get (Cache.entry_path c (k 0))));
+  Alcotest.(check bool) "newest blob survives" true
+    (Sys.file_exists (Option.get (Cache.entry_path c (k 2))));
+  (* The directory really fits the bound... *)
+  let total =
+    Array.fold_left
+      (fun acc f -> acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+      0 (Sys.readdir dir)
+  in
+  Alcotest.(check bool) "directory within bound" true (total <= bound);
+  (* ... and a survivor still loads through a brand-new instance (cold
+     in-memory LRU, so the answer comes off disk). *)
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check bool) "survivor loadable" true (Cache.find c2 (k 2) <> None)
+
 let test_lru_eviction () =
   with_uninstall @@ fun () ->
   (* Memory-only cache of capacity 2: a third distinct entry evicts the
@@ -502,5 +557,7 @@ let () =
             test_corrupt_entry_rejected;
           Alcotest.test_case "LRU eviction at capacity" `Quick
             test_lru_eviction;
+          Alcotest.test_case "disk store honours max_bytes" `Quick
+            test_disk_bound_eviction;
         ] );
     ]

@@ -30,7 +30,7 @@ let contains hay needle =
   nn = 0 || go 0
 
 let job_of ?(id = 0) ?(options = Solver.default_options) ?node_share
-    ?(poll_every = 32) m =
+    ?(poll_every = 32) ?trace m =
   {
     Executor.j_id = id;
     j_size = Dist_matrix.size m;
@@ -41,6 +41,7 @@ let job_of ?(id = 0) ?(options = Solver.default_options) ?node_share
     j_poll_every = poll_every;
     j_resume = None;
     j_cache = false;
+    j_trace = trace;
   }
 
 let unwrap = function
@@ -52,9 +53,15 @@ let unwrap = function
 let test_wire_job_roundtrip () =
   let m = Gen.uniform_metric ~rng:(rng 1) 7 in
   let options = { Solver.default_options with Solver.gap = 0.125 } in
-  let job = job_of ~id:3 ~options ~node_share:41 ~poll_every:7 m in
+  let job = job_of ~id:3 ~options ~node_share:41 ~poll_every:7 ~trace:"run-1-af" m in
   let job' = unwrap (Wire.job_of_json (Wire.job_to_json job)) in
   Alcotest.(check int) "id" job.Executor.j_id job'.Executor.j_id;
+  Alcotest.(check (option string)) "trace context" (Some "run-1-af")
+    job'.Executor.j_trace;
+  (* an untraced job stays untraced — and its frame carries no trace key
+     at all, preserving byte-identity with telemetry off *)
+  let bare = unwrap (Wire.job_of_json (Wire.job_to_json (job_of m))) in
+  Alcotest.(check (option string)) "no trace" None bare.Executor.j_trace;
   Alcotest.(check int) "size" job.Executor.j_size job'.Executor.j_size;
   Alcotest.(check bool) "node share" true
     (job'.Executor.j_node_share = Some 41);
@@ -92,6 +99,53 @@ let test_wire_solved_roundtrip () =
   Alcotest.(check bool) "frontier" true
     (List.equal Utree.equal sv.Executor.s_frontier sv'.Executor.s_frontier)
 
+let test_wire_trace_roundtrip () =
+  let proc =
+    {
+      Obs.Procstat.minor_collections = 12;
+      major_collections = 3;
+      compactions = 1;
+      heap_words = 1 lsl 20;
+      rss_bytes = 64 lsl 20;
+    }
+  in
+  let rt =
+    {
+      (* worker-clock nanoseconds travel as decimal strings, so pick
+         values past 2^53 to catch any float round-trip *)
+      Wire.rt_spans =
+        [
+          {
+            Wire.sp_name = "job.solve";
+            sp_start_ns = 9_223_372_036_854_775_806L;
+            sp_dur_ns = 2_500_000L;
+            sp_args =
+              [ ("job", Obs.Json.Int 3); ("trace", Obs.Json.String "run-1-af") ];
+          };
+        ];
+      rt_now_ns = 9_007_199_254_740_993L;
+      rt_proc = Some proc;
+    }
+  in
+  let rt' = unwrap (Wire.remote_trace_of_json (Wire.remote_trace_to_json rt)) in
+  (match rt'.Wire.rt_spans with
+  | [ sp ] ->
+      Alcotest.(check string) "span name" "job.solve" sp.Wire.sp_name;
+      Alcotest.(check bool) "start ns exact" true
+        (sp.Wire.sp_start_ns = 9_223_372_036_854_775_806L);
+      Alcotest.(check bool) "dur ns exact" true (sp.Wire.sp_dur_ns = 2_500_000L);
+      Alcotest.(check bool) "args survive" true
+        (List.assoc_opt "trace" sp.Wire.sp_args
+        = Some (Obs.Json.String "run-1-af"))
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans));
+  Alcotest.(check bool) "now_ns exact" true
+    (rt'.Wire.rt_now_ns = 9_007_199_254_740_993L);
+  match rt'.Wire.rt_proc with
+  | Some p ->
+      Alcotest.(check int) "rss" (64 lsl 20) p.Obs.Procstat.rss_bytes;
+      Alcotest.(check int) "minors" 12 p.Obs.Procstat.minor_collections
+  | None -> Alcotest.fail "proc sample lost in transit"
+
 let test_wire_frames_over_socket () =
   let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -105,7 +159,13 @@ let test_wire_frames_over_socket () =
           Wire.Hello { version = Wire.version };
           Wire.Welcome { version = Wire.version; worker_id = 7 };
           Wire.Job (job_of ~id:2 m);
-          Wire.Heartbeat { job_id = Some 2; expanded = 19 };
+          Wire.Heartbeat
+            {
+              job_id = Some 2;
+              expanded = 19;
+              now_ns = 123456789L;
+              proc = None;
+            };
           Wire.Cancel { job_id = 2 };
           Wire.Shutdown;
         ]
@@ -259,6 +319,88 @@ let test_no_workers_degrades () =
   Alcotest.(check bool) "and it is exact" true
     (o.Executor.o_solved.Executor.s_status = Budget.Exact)
 
+(* --- merged tracing --- *)
+
+(* A traced two-worker run must leave one merged timeline: coordinator
+   job.queue/job.rpc spans plus worker job.solve spans re-recorded on
+   per-worker pid tracks, clock-aligned into the coordinator's envelope
+   and tagged with the run's trace context — and the whole thing must
+   reconcile with the observed wall clock. *)
+let test_tcp_merged_trace () =
+  let m = Gen.clustered ~rng:(rng 12) ~n_clusters:3 15 in
+  let buf = Obs.Span.create () in
+  Obs.Span.install buf;
+  Obs.Span.set_process_name buf ~pid:Obs.Span.self_pid "coordinator";
+  let config = Run_config.with_run_id "run-test-1" tcp_config in
+  let t0 = Obs.Clock.counter () in
+  let run =
+    Fun.protect ~finally:Obs.Span.uninstall (fun () ->
+        with_worker_threads [ None; None ] (fun () ->
+            Pipeline.with_compact_sets ~config m))
+  in
+  let wall_s = Obs.Clock.elapsed_s t0 in
+  Alcotest.(check bool) "run finished" true (run.Pipeline.cost > 0.);
+  let events = Obs.Span.events buf in
+  let named n = List.filter (fun e -> e.Obs.Span.name = n) events in
+  Alcotest.(check bool) "queue spans recorded" true (named "job.queue" <> []);
+  Alcotest.(check bool) "rpc spans recorded" true (named "job.rpc" <> []);
+  let worker_solves =
+    List.filter (fun e -> e.Obs.Span.pid <> Obs.Span.self_pid) (named "job.solve")
+  in
+  Alcotest.(check bool) "worker solves merged" true (worker_solves <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "tagged with the run's trace context" true
+        (List.assoc_opt "trace" e.Obs.Span.args
+        = Some (Obs.Json.String "run-test-1"));
+      (* Clock alignment: the translated span must land inside the
+         coordinator's own time envelope. *)
+      let start_s = Int64.to_float e.Obs.Span.start_ns /. 1e9 in
+      let finish_s =
+        Int64.to_float (Int64.add e.Obs.Span.start_ns e.Obs.Span.dur_ns) /. 1e9
+      in
+      Alcotest.(check bool) "starts after the trace origin" true
+        (start_s >= -0.001);
+      Alcotest.(check bool) "finishes within the wall clock" true
+        (finish_s <= wall_s +. 0.1))
+    worker_solves;
+  (* Worker tracks got process_name labels when their spans merged. *)
+  let labels =
+    List.filter_map
+      (fun e ->
+        if e.Obs.Span.ph = "M" && e.Obs.Span.pid <> Obs.Span.self_pid then
+          match List.assoc_opt "name" e.Obs.Span.args with
+          | Some (Obs.Json.String l) -> Some l
+          | _ -> None
+        else None)
+      events
+  in
+  Alcotest.(check bool) "worker track labelled" true
+    (List.exists (fun l -> contains l "worker") labels);
+  (* And the timeline model reconciles the file with the wall clock. *)
+  let path = Filename.temp_file "tcp-trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.Span.write_chrome buf path;
+      let evs =
+        match Obs.Span.load_trace path with
+        | Ok evs -> evs
+        | Error e -> Alcotest.failf "load_trace: %s" e
+      in
+      let t = Obs.Timeline.of_events evs in
+      Alcotest.(check bool) "timeline has job rows" true
+        (t.Obs.Timeline.jobs <> []);
+      Alcotest.(check bool) "some solve on a worker track" true
+        (List.exists
+           (fun r -> r.Obs.Timeline.solve_pid <> Obs.Span.self_pid)
+           t.Obs.Timeline.jobs);
+      match Obs.Timeline.reconcile t ~wall_s with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "timeline does not reconcile: %s"
+            (String.concat "; " es))
+
 (* --- heartbeats and /healthz --- *)
 
 (* Poll /healthz until it answers [want] or [deadline_s] passes, then
@@ -362,6 +504,8 @@ let () =
           Alcotest.test_case "job round trip" `Quick test_wire_job_roundtrip;
           Alcotest.test_case "solved round trip" `Quick
             test_wire_solved_roundtrip;
+          Alcotest.test_case "trace payload round trip" `Quick
+            test_wire_trace_roundtrip;
           Alcotest.test_case "frames over a socket" `Quick
             test_wire_frames_over_socket;
         ] );
@@ -377,6 +521,8 @@ let () =
             test_timeout_falls_back_to_local;
           Alcotest.test_case "no workers degrades" `Quick
             test_no_workers_degrades;
+          Alcotest.test_case "two-worker merged trace" `Quick
+            test_tcp_merged_trace;
           Alcotest.test_case "heartbeats reach /healthz" `Quick
             test_heartbeats_reach_healthz;
         ] );

@@ -662,6 +662,88 @@ let test_pipeline_report_phases () =
   Alcotest.(check bool) "per-block stats" true
     (contains ~affix:"\"pruned\"" j)
 
+(* --- Procstat --- *)
+
+let test_procstat_roundtrip () =
+  let s = Obs.Procstat.sample () in
+  Alcotest.(check bool) "heap words positive" true
+    (s.Obs.Procstat.heap_words > 0);
+  (match Obs.Procstat.of_json (Obs.Procstat.to_json s) with
+  | Ok s' -> Alcotest.(check bool) "round trip" true (s = s')
+  | Error e -> Alcotest.failf "procstat round trip: %s" e);
+  let reg = Obs.Metrics.create_registry () in
+  Obs.Procstat.set_gauges ~registry:reg ~prefix:"proc.worker3" s;
+  let dump = Obs.Json.to_string (Obs.Metrics.dump ~registry:reg ()) in
+  Alcotest.(check bool) "gauges published under the prefix" true
+    (contains ~affix:"\"proc.worker3.gc.minor_collections\"" dump);
+  Alcotest.(check bool) "rss gauge" true
+    (contains ~affix:"\"proc.worker3.rss_bytes\"" dump)
+
+(* --- Timeline --- *)
+
+(* A synthetic merged trace with known timings: one remote job (queue
+   10ms, rpc 100ms wrapping a 60ms worker-track solve) and one serve
+   request (120ms), written and loaded through the real file format. *)
+let test_timeline_model () =
+  let buf = Obs.Span.create () in
+  let base = Obs.Span.origin buf in
+  let at ms = Int64.add base (Int64.of_int (ms * 1_000_000)) in
+  Obs.Span.set_process_name buf ~pid:Obs.Span.self_pid "coordinator";
+  Obs.Span.set_process_name buf ~pid:3 "worker 1";
+  let job_args =
+    [ ("job", Obs.Json.Int 1); ("trace", Obs.Json.String "run-x") ]
+  in
+  Obs.Span.record buf ~cat:"executor" ~args:job_args ~start_ns:(at 0)
+    ~stop_ns:(at 10) "job.queue";
+  Obs.Span.record buf ~cat:"executor"
+    ~args:(job_args @ [ ("worker", Obs.Json.Int 1) ])
+    ~start_ns:(at 10) ~stop_ns:(at 110) "job.rpc";
+  Obs.Span.record buf ~cat:"worker" ~pid:3 ~tid:0
+    ~args:(job_args @ [ ("cached", Obs.Json.Bool false) ])
+    ~start_ns:(at 30) ~stop_ns:(at 90) "job.solve";
+  Obs.Span.record buf ~cat:"serve"
+    ~args:[ ("request_id", Obs.Json.String "req-1-0") ]
+    ~start_ns:(at 0) ~stop_ns:(at 120) "request";
+  let path = Filename.temp_file "timeline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Obs.Span.write_chrome buf path;
+  let events =
+    match Obs.Span.load_trace path with
+    | Ok evs -> evs
+    | Error e -> Alcotest.failf "load_trace: %s" e
+  in
+  let t = Obs.Timeline.of_events events in
+  Alcotest.(check int) "four X events" 4 t.Obs.Timeline.events;
+  Alcotest.(check string) "worker track labelled" "worker 1"
+    (Obs.Timeline.track_label t 3);
+  (match t.Obs.Timeline.jobs with
+  | [ r ] ->
+      Alcotest.(check int) "job id" 1 r.Obs.Timeline.job;
+      Alcotest.(check int) "solve on the worker track" 3
+        r.Obs.Timeline.solve_pid;
+      Alcotest.(check (option string)) "trace tag" (Some "run-x")
+        r.Obs.Timeline.trace;
+      Alcotest.(check (float 1e-6)) "queue 10ms" 0.010 r.Obs.Timeline.queue_s;
+      Alcotest.(check (float 1e-6)) "solve 60ms" 0.060 r.Obs.Timeline.solve_s;
+      (* net time by subtraction: 100ms rpc minus the 60ms remote solve *)
+      Alcotest.(check (float 1e-6)) "net 40ms" 0.040 r.Obs.Timeline.net_s;
+      Alcotest.(check bool) "not cached" false r.Obs.Timeline.cached
+  | rows -> Alcotest.failf "expected 1 job row, got %d" (List.length rows));
+  (match t.Obs.Timeline.requests with
+  | [ (rid, dur_s) ] ->
+      Alcotest.(check string) "request id" "req-1-0" rid;
+      Alcotest.(check (float 1e-6)) "request 120ms" 0.120 dur_s
+  | rs -> Alcotest.failf "expected 1 request, got %d" (List.length rs));
+  Alcotest.(check (float 1e-6)) "envelope 120ms" 0.120 t.Obs.Timeline.span_s;
+  (match Obs.Timeline.reconcile t ~wall_s:0.2 with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "reconcile: %s" (String.concat "; " es));
+  match Obs.Timeline.reconcile ~tol:0.0 t ~wall_s:0.01 with
+  | Ok () -> Alcotest.fail "reconcile accepted an impossible wall clock"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "obs"
     [
@@ -731,6 +813,10 @@ let () =
           Alcotest.test_case "rate limit" `Quick test_progress_rate_limit;
           Alcotest.test_case "gap" `Quick test_gap_pct;
         ] );
+      ( "procstat",
+        [ Alcotest.test_case "sample round trip" `Quick test_procstat_roundtrip ] );
+      ( "timeline",
+        [ Alcotest.test_case "model from a merged trace" `Quick test_timeline_model ] );
       ( "integration",
         [
           Alcotest.test_case "solver spans" `Quick test_solver_emits_spans;

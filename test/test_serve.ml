@@ -174,6 +174,120 @@ let test_bad_requests () =
   | Some (J.Int 1) -> ()
   | _ -> Alcotest.failf "exact run should report one block: %s" body
 
+(* --- request ids --- *)
+
+(* A hand-rolled request, for shapes the minimal client cannot produce
+   (custom headers, a missing or lying Content-Length).  Shuts down the
+   write side after sending so the server sees EOF instead of waiting
+   for a body that never comes. *)
+let raw_request target lines =
+  match target with
+  | Serve.Unix_sock _ -> Alcotest.fail "raw_request wants TCP"
+  | Serve.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+          let req = String.concat "\r\n" lines in
+          ignore (Unix.write_substring fd req 0 (String.length req));
+          (try Unix.shutdown fd Unix.SHUTDOWN_SEND with _ -> ());
+          let buf = Buffer.create 1024 in
+          let chunk = Bytes.create 4096 in
+          let rec drain () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                drain ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          drain ();
+          Buffer.contents buf)
+
+let raw_status resp =
+  match String.split_on_char ' ' resp with
+  | _ :: code :: _ -> ( try int_of_string code with _ -> -1)
+  | _ -> Alcotest.failf "unparseable response %S" resp
+
+let contains = Astring_contains.contains
+
+let test_request_ids () =
+  let m = Gen.clustered ~rng:(rng 60) ~n_clusters:2 6 in
+  with_server @@ fun _server target ->
+  let code, headers, body =
+    unwrap
+      (Serve.request_full ~meth:"POST" ~body:(Matrix_io.to_phylip m) target
+         "/solve")
+  in
+  Alcotest.(check int) "solve answers" 200 code;
+  let rid =
+    match List.assoc_opt "x-request-id" headers with
+    | Some rid -> rid
+    | None -> Alcotest.fail "no X-Request-Id response header"
+  in
+  Alcotest.(check bool) "minted id shape" true
+    (String.length rid > 4 && String.sub rid 0 4 = "req-");
+  (match obj_field (parse_json body) "request_id" with
+  | Some (J.String jrid) ->
+      Alcotest.(check string) "JSON field matches header" rid jrid
+  | _ -> Alcotest.failf "no request_id in %s" body);
+  (* A sane client-supplied id is honoured verbatim... *)
+  let resp =
+    raw_request target
+      [ "GET /status HTTP/1.1"; "Host: x"; "X-Request-Id: cli-42"; ""; "" ]
+  in
+  Alcotest.(check bool) "client id echoed" true
+    (contains resp "X-Request-Id: cli-42");
+  (* ...one with forbidden characters is replaced by a minted one. *)
+  let resp =
+    raw_request target
+      [ "GET /status HTTP/1.1"; "Host: x"; "X-Request-Id: not ok"; ""; "" ]
+  in
+  Alcotest.(check bool) "bad id replaced" true
+    ((not (contains resp "not ok")) && contains resp "X-Request-Id: req-")
+
+(* --- the listener's error paths --- *)
+
+let test_listener_error_paths () =
+  let handler ~request_id:_ ~meth:_ ~path ~query:_ ~body =
+    match path with
+    | "/boom" -> failwith "kaboom"
+    | "/echo" ->
+        Some (200, "text/plain", Printf.sprintf "%d bytes\n" (String.length body))
+    | _ -> None
+  in
+  let srv = Serve.start ~handler () in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop srv)
+    (fun () ->
+      let target = Serve.Tcp ("127.0.0.1", Option.get (Serve.port srv)) in
+      (* A handler exception answers a complete 500 response (not a
+         reset)... *)
+      let code, _ = unwrap (Serve.get target "/boom") in
+      Alcotest.(check int) "handler raise -> 500" 500 code;
+      (* ...and the listener survives to serve the next request. *)
+      let code, body =
+        unwrap (Serve.request ~meth:"POST" ~body:"hello" target "/echo")
+      in
+      Alcotest.(check int) "listener survives" 200 code;
+      Alcotest.(check string) "body delivered" "5 bytes\n" body;
+      (* A declared Content-Length over the 8 MiB bound is refused with
+         413 without the handler ever running (the echo handler would
+         have answered 200). *)
+      let resp =
+        raw_request target
+          [ "POST /echo HTTP/1.1"; "Host: x"; "Content-Length: 16777216"; ""; "" ]
+      in
+      Alcotest.(check int) "oversized declared body -> 413" 413
+        (raw_status resp);
+      (* A POST with no Content-Length reaches the handler with an empty
+         body — no hang waiting for bytes that never come. *)
+      let resp = raw_request target [ "POST /echo HTTP/1.1"; "Host: x"; ""; "" ] in
+      Alcotest.(check int) "missing length -> 200" 200 (raw_status resp);
+      Alcotest.(check bool) "empty body" true (contains resp "0 bytes"))
+
 (* --- shutdown drains in-flight work --- *)
 
 let test_stop_drains () =
@@ -245,6 +359,10 @@ let () =
           Alcotest.test_case "builtin telemetry still served" `Quick
             test_builtins_still_served;
           Alcotest.test_case "structured errors" `Quick test_bad_requests;
+          Alcotest.test_case "request ids minted and echoed" `Quick
+            test_request_ids;
+          Alcotest.test_case "listener error paths" `Quick
+            test_listener_error_paths;
           Alcotest.test_case "stop drains in-flight requests" `Quick
             test_stop_drains;
         ] );
